@@ -1,0 +1,277 @@
+//! The layer-pair stack.
+
+use crate::{ArchError, LayerPair};
+use ia_tech::{TechnologyNode, WiringTier};
+use serde::{Deserialize, Serialize};
+
+/// An interconnect architecture: an ordered stack of layer-pairs,
+/// **topmost first** (index 0 is the pair that receives the longest
+/// wires, matching the paper's `j = 1` convention).
+///
+/// # Examples
+///
+/// ```
+/// use ia_arch::{Architecture, ArchitectureBuilder};
+/// use ia_tech::{presets, WiringTier};
+///
+/// let node = presets::tsmc130();
+/// // The Table 2 baseline: 1 global pair on top of 2 semi-global pairs.
+/// let arch = Architecture::baseline(&node);
+/// assert_eq!(arch.pair(0).tier(), WiringTier::Global);
+/// assert_eq!(arch.pair(2).tier(), WiringTier::SemiGlobal);
+///
+/// // A custom stack with a local pair at the bottom:
+/// let custom = ArchitectureBuilder::new(&node)
+///     .global_pairs(1)
+///     .semi_global_pairs(2)
+///     .local_pairs(1)
+///     .build()?;
+/// assert_eq!(custom.len(), 4);
+/// # Ok::<(), ia_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    pairs: Vec<LayerPair>,
+}
+
+impl Architecture {
+    /// Builds an architecture from pairs given **topmost first**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::EmptyArchitecture`] for an empty stack.
+    pub fn from_pairs(pairs: Vec<LayerPair>) -> Result<Self, ArchError> {
+        if pairs.is_empty() {
+            return Err(ArchError::EmptyArchitecture);
+        }
+        Ok(Self { pairs })
+    }
+
+    /// The paper's Table 2 baseline stack for a node: one global
+    /// layer-pair on top of two semi-global layer-pairs.
+    #[must_use]
+    pub fn baseline(node: &TechnologyNode) -> Self {
+        ArchitectureBuilder::new(node)
+            .global_pairs(1)
+            .semi_global_pairs(2)
+            .build()
+            .expect("baseline stack is non-empty")
+    }
+
+    /// The node's *full* foundry stack, pairing up every metal layer of
+    /// Table 3: the 180 nm node has 6 metals (`M1 + M2..M5 + M6`), the
+    /// 130 nm node 7, the 90 nm node 8. Layers pair bottom-up within
+    /// each tier, so this yields 1 local pair, `⌊(x_layers)/2⌋`
+    /// semi-global pairs (any odd layer joins the local tier's pairing)
+    /// and 1 global pair — the configuration the conclusions propose
+    /// evaluating ("ITRS and foundry BEOL architectures").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's metal count is below 4 (never true for the
+    /// bundled presets).
+    #[must_use]
+    pub fn full_stack(node: &TechnologyNode) -> Self {
+        // Metal counts per Table 3's caption: node → total layers.
+        let nm = node.feature_size().nanometers().round() as u64;
+        let metals: usize = match nm {
+            180 => 6,
+            130 => 7,
+            90 => 8,
+            // Generic fallback: interpolate one metal per ~25 nm shrink.
+            other => (6 + (180_i64 - other as i64) / 25).clamp(4, 12) as usize,
+        };
+        assert!(metals >= 4, "full stack needs at least 4 metals");
+        // 1 global pair (Mt + top Mx), 1 local pair (M1 + M2), the rest
+        // of the Mx layers pair among themselves.
+        let semi_global = (metals - 4) / 2 + 1;
+        ArchitectureBuilder::new(node)
+            .global_pairs(1)
+            .semi_global_pairs(semi_global)
+            .local_pairs(1)
+            .build()
+            .expect("full stack is non-empty")
+    }
+
+    /// Number of layer-pairs (`m` in the paper).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the stack is empty (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pair at position `j` (0 = topmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    #[must_use]
+    pub fn pair(&self, j: usize) -> &LayerPair {
+        &self.pairs[j]
+    }
+
+    /// Iterates pairs top-down.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &LayerPair> + '_ {
+        self.pairs.iter()
+    }
+
+    /// Borrow the ordered pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[LayerPair] {
+        &self.pairs
+    }
+}
+
+impl<'a> IntoIterator for &'a Architecture {
+    type Item = &'a LayerPair;
+    type IntoIter = std::slice::Iter<'a, LayerPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.iter()
+    }
+}
+
+/// Builder assembling an [`Architecture`] from tier pair-counts,
+/// stacking global pairs on top, then semi-global, then local.
+#[derive(Debug, Clone)]
+pub struct ArchitectureBuilder<'a> {
+    node: &'a TechnologyNode,
+    global: usize,
+    semi_global: usize,
+    local: usize,
+}
+
+impl<'a> ArchitectureBuilder<'a> {
+    /// Starts a builder for the given node with an empty stack.
+    #[must_use]
+    pub fn new(node: &'a TechnologyNode) -> Self {
+        Self {
+            node,
+            global: 0,
+            semi_global: 0,
+            local: 0,
+        }
+    }
+
+    /// Sets the number of global (`M_t`) layer-pairs.
+    #[must_use]
+    pub fn global_pairs(mut self, n: usize) -> Self {
+        self.global = n;
+        self
+    }
+
+    /// Sets the number of semi-global (`M_x`) layer-pairs.
+    #[must_use]
+    pub fn semi_global_pairs(mut self, n: usize) -> Self {
+        self.semi_global = n;
+        self
+    }
+
+    /// Sets the number of local (`M1`) layer-pairs.
+    #[must_use]
+    pub fn local_pairs(mut self, n: usize) -> Self {
+        self.local = n;
+        self
+    }
+
+    /// Builds the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::EmptyArchitecture`] if all counts are zero.
+    pub fn build(self) -> Result<Architecture, ArchError> {
+        let mut pairs = Vec::with_capacity(self.global + self.semi_global + self.local);
+        for _ in 0..self.global {
+            pairs.push(LayerPair::from_tier(self.node, WiringTier::Global));
+        }
+        for _ in 0..self.semi_global {
+            pairs.push(LayerPair::from_tier(self.node, WiringTier::SemiGlobal));
+        }
+        for _ in 0..self.local {
+            pairs.push(LayerPair::from_tier(self.node, WiringTier::Local));
+        }
+        Architecture::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_tech::presets;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let tiers: Vec<WiringTier> = arch.iter().map(|p| p.tier()).collect();
+        assert_eq!(
+            tiers,
+            vec![
+                WiringTier::Global,
+                WiringTier::SemiGlobal,
+                WiringTier::SemiGlobal
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_stack_is_rejected() {
+        let node = presets::tsmc130();
+        assert_eq!(
+            ArchitectureBuilder::new(&node).build().unwrap_err(),
+            ArchError::EmptyArchitecture
+        );
+        assert_eq!(
+            Architecture::from_pairs(vec![]).unwrap_err(),
+            ArchError::EmptyArchitecture
+        );
+    }
+
+    #[test]
+    fn builder_orders_top_down() {
+        let node = presets::tsmc90();
+        let arch = ArchitectureBuilder::new(&node)
+            .local_pairs(2)
+            .global_pairs(1)
+            .semi_global_pairs(1)
+            .build()
+            .unwrap();
+        let tiers: Vec<WiringTier> = arch.iter().map(|p| p.tier()).collect();
+        assert_eq!(
+            tiers,
+            vec![
+                WiringTier::Global,
+                WiringTier::SemiGlobal,
+                WiringTier::Local,
+                WiringTier::Local
+            ]
+        );
+    }
+
+    #[test]
+    fn full_stack_tracks_metal_counts() {
+        // 180 nm: 6 metals → 4 pairs; 130 nm: 7 → 4; 90 nm: 8 → 5.
+        assert_eq!(Architecture::full_stack(&presets::tsmc180()).len(), 4);
+        assert_eq!(Architecture::full_stack(&presets::tsmc130()).len(), 4);
+        assert_eq!(Architecture::full_stack(&presets::tsmc90()).len(), 5);
+        // Always 1 global on top and 1 local at the bottom.
+        for node in presets::all() {
+            let a = Architecture::full_stack(&node);
+            assert_eq!(a.pair(0).tier(), WiringTier::Global);
+            assert_eq!(a.pair(a.len() - 1).tier(), WiringTier::Local);
+        }
+    }
+
+    #[test]
+    fn pair_indexing_is_topmost_first() {
+        let node = presets::tsmc180();
+        let arch = Architecture::baseline(&node);
+        assert_eq!(arch.pair(0).tier(), WiringTier::Global);
+        assert!(arch.pair(0).wire_pitch() > arch.pair(1).wire_pitch());
+    }
+}

@@ -1,0 +1,76 @@
+//! The Table 2 experiment baseline.
+
+use ia_units::{Frequency, Permittivity};
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table 2 baseline parameters, shared by the 180/130/90 nm
+/// experiments: `K = 3.9`, Miller factor 2, repeater-area fraction 0.4,
+/// two semi-global layer-pairs, one global layer-pair, and a 500 MHz
+/// target clock.
+///
+/// # Examples
+///
+/// ```
+/// use ia_arch::BaselineParameters;
+///
+/// let b = BaselineParameters::paper();
+/// assert!((b.ild_permittivity.relative() - 3.9).abs() < 1e-12);
+/// assert!((b.miller_factor - 2.0).abs() < 1e-12);
+/// assert!((b.repeater_fraction - 0.4).abs() < 1e-12);
+/// assert_eq!((b.semi_global_pairs, b.global_pairs), (2, 1));
+/// assert!((b.clock.megahertz() - 500.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineParameters {
+    /// ILD permittivity `K` (baseline 3.9).
+    pub ild_permittivity: Permittivity,
+    /// Miller coupling factor (baseline 2.0).
+    pub miller_factor: f64,
+    /// Repeater-area fraction of the die (baseline 0.4).
+    pub repeater_fraction: f64,
+    /// Number of semi-global layer-pairs (baseline 2).
+    pub semi_global_pairs: usize,
+    /// Number of global layer-pairs (baseline 1).
+    pub global_pairs: usize,
+    /// Target clock frequency (baseline 500 MHz).
+    pub clock: Frequency,
+}
+
+impl BaselineParameters {
+    /// The exact Table 2 values.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            ild_permittivity: Permittivity::SILICON_DIOXIDE,
+            miller_factor: 2.0,
+            repeater_fraction: 0.4,
+            semi_global_pairs: 2,
+            global_pairs: 1,
+            clock: Frequency::from_megahertz(500.0),
+        }
+    }
+}
+
+impl Default for BaselineParameters {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(BaselineParameters::default(), BaselineParameters::paper());
+    }
+
+    #[test]
+    fn table2_values() {
+        let b = BaselineParameters::paper();
+        assert_eq!(b.semi_global_pairs, 2);
+        assert_eq!(b.global_pairs, 1);
+        assert!((b.clock.period().nanoseconds() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Die sizing and repeater budgets (§5.2, Eq. 6).
+
+use crate::ArchError;
+use ia_tech::TechnologyNode;
+use ia_units::{Area, Length};
+use serde::{Deserialize, Serialize};
+
+/// Die model of §5.2: die area, repeater budget, and the physical gate
+/// pitch that converts WLD lengths (in gate pitches) to micrometres.
+///
+/// The paper sizes the die as (Eq. 6):
+///
+/// ```text
+/// die area due to gates = g²·N          (g = 12.6 × node, ITRS rule)
+/// A_r = fraction · A_d
+/// A_d = A_r + die area due to gates     ⇒  A_d = g²·N / (1 − fraction)
+/// ```
+///
+/// and then redistributes the gates evenly over the inflated die, so the
+/// *actual* gate pitch is `√(A_d/N)` — wire lengths from the WLD scale
+/// by this pitch.
+///
+/// # Examples
+///
+/// ```
+/// use ia_arch::DieModel;
+/// use ia_tech::presets;
+///
+/// let node = presets::tsmc130();
+/// let die = DieModel::new(&node, 1_000_000, 0.4)?;
+/// // Inflation: A_d = gate area / 0.6.
+/// assert!((die.die_area() / die.gate_area() - 1.0 / 0.6).abs() < 1e-9);
+/// // The longest Davis wire (2√N pitches) in physical units:
+/// let l_max = die.physical_length(2_000);
+/// assert!(l_max.millimeters() > 3.0 && l_max.millimeters() < 5.0);
+/// # Ok::<(), ia_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieModel {
+    gates: u64,
+    repeater_fraction: f64,
+    gate_area: Area,
+    die_area: Area,
+    repeater_budget: Area,
+    actual_gate_pitch: Length,
+}
+
+impl DieModel {
+    /// Builds the die model for `gates` gates on `node` with the given
+    /// repeater-area fraction (the `R` axis of Table 4).
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::ZeroGates`] if `gates == 0`;
+    /// * [`ArchError::InvalidRepeaterFraction`] unless
+    ///   `0 ≤ fraction < 1`.
+    pub fn new(
+        node: &TechnologyNode,
+        gates: u64,
+        repeater_fraction: f64,
+    ) -> Result<Self, ArchError> {
+        if gates == 0 {
+            return Err(ArchError::ZeroGates);
+        }
+        if !(0.0..1.0).contains(&repeater_fraction) || !repeater_fraction.is_finite() {
+            return Err(ArchError::InvalidRepeaterFraction {
+                fraction: repeater_fraction,
+            });
+        }
+        let g = node.gate_pitch();
+        let gate_area = g.squared() * gates as f64;
+        let die_area = gate_area / (1.0 - repeater_fraction);
+        let repeater_budget = die_area * repeater_fraction;
+        let actual_gate_pitch = (die_area / gates as f64).side();
+        Ok(Self {
+            gates,
+            repeater_fraction,
+            gate_area,
+            die_area,
+            repeater_budget,
+            actual_gate_pitch,
+        })
+    }
+
+    /// The design's gate count `N`.
+    #[must_use]
+    pub fn gates(&self) -> u64 {
+        self.gates
+    }
+
+    /// The repeater-area fraction.
+    #[must_use]
+    pub fn repeater_fraction(&self) -> f64 {
+        self.repeater_fraction
+    }
+
+    /// Die area due to gates alone, `g²·N`.
+    #[must_use]
+    pub fn gate_area(&self) -> Area {
+        self.gate_area
+    }
+
+    /// The inflated die area `A_d` (Eq. 6).
+    #[must_use]
+    pub fn die_area(&self) -> Area {
+        self.die_area
+    }
+
+    /// The maximum repeater area `A_R = fraction · A_d`.
+    #[must_use]
+    pub fn repeater_budget(&self) -> Area {
+        self.repeater_budget
+    }
+
+    /// The actual gate pitch `√(A_d/N)` after inflation.
+    #[must_use]
+    pub fn actual_gate_pitch(&self) -> Length {
+        self.actual_gate_pitch
+    }
+
+    /// Converts a WLD length in gate pitches to physical length.
+    #[must_use]
+    pub fn physical_length(&self, pitches: u64) -> Length {
+        self.actual_gate_pitch * pitches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_tech::presets;
+
+    #[test]
+    fn eq6_identities_hold() {
+        let node = presets::tsmc130();
+        let die = DieModel::new(&node, 1_000_000, 0.4).unwrap();
+        // A_d = A_r + gate area.
+        let sum = die.repeater_budget() + die.gate_area();
+        assert!((sum / die.die_area() - 1.0).abs() < 1e-12);
+        // A_r = fraction × A_d.
+        assert!((die.repeater_budget() / die.die_area() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fraction_means_no_inflation() {
+        let node = presets::tsmc130();
+        let die = DieModel::new(&node, 1_000_000, 0.0).unwrap();
+        assert_eq!(die.die_area(), die.gate_area());
+        assert_eq!(die.repeater_budget(), ia_units::Area::ZERO);
+        assert!((die.actual_gate_pitch() / node.gate_pitch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let node = presets::tsmc130();
+        assert_eq!(
+            DieModel::new(&node, 0, 0.4).unwrap_err(),
+            ArchError::ZeroGates
+        );
+        assert!(matches!(
+            DieModel::new(&node, 100, 1.0).unwrap_err(),
+            ArchError::InvalidRepeaterFraction { .. }
+        ));
+        assert!(matches!(
+            DieModel::new(&node, 100, -0.1).unwrap_err(),
+            ArchError::InvalidRepeaterFraction { .. }
+        ));
+    }
+
+    #[test]
+    fn gate_pitch_grows_with_repeater_fraction() {
+        let node = presets::tsmc130();
+        let lean = DieModel::new(&node, 1_000_000, 0.1).unwrap();
+        let rich = DieModel::new(&node, 1_000_000, 0.5).unwrap();
+        assert!(rich.actual_gate_pitch() > lean.actual_gate_pitch());
+        assert!(rich.die_area() > lean.die_area());
+    }
+
+    #[test]
+    fn physical_length_scales_by_actual_pitch() {
+        let node = presets::tsmc90();
+        let die = DieModel::new(&node, 4_000_000, 0.4).unwrap();
+        let one = die.physical_length(1);
+        let thousand = die.physical_length(1000);
+        assert!((thousand / one - 1000.0).abs() < 1e-9);
+        assert_eq!(one, die.actual_gate_pitch());
+    }
+
+    #[test]
+    fn die_sizes_are_era_plausible() {
+        // 1M gates at 130 nm with 40% repeater allocation: a few mm².
+        let node = presets::tsmc130();
+        let die = DieModel::new(&node, 1_000_000, 0.4).unwrap();
+        let mm2 = die.die_area().square_millimeters();
+        assert!(mm2 > 2.0 && mm2 < 10.0, "die = {mm2} mm²");
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors for architecture and die-model construction.
+
+use std::fmt;
+
+/// Error raised when an architecture or die model is invalid.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The architecture has no layer-pairs.
+    EmptyArchitecture,
+    /// The repeater-area fraction must lie in `[0, 1)`.
+    InvalidRepeaterFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The gate count must be positive.
+    ZeroGates,
+    /// The wiring-efficiency factor must lie in `(0, 1]`.
+    InvalidWiringEfficiency {
+        /// The offending factor.
+        efficiency: f64,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::EmptyArchitecture => {
+                write!(f, "architecture must contain at least one layer-pair")
+            }
+            ArchError::InvalidRepeaterFraction { fraction } => {
+                write!(
+                    f,
+                    "repeater-area fraction must be in [0, 1), got {fraction}"
+                )
+            }
+            ArchError::ZeroGates => write!(f, "gate count must be positive"),
+            ArchError::InvalidWiringEfficiency { efficiency } => {
+                write!(f, "wiring efficiency must be in (0, 1], got {efficiency}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ArchError::EmptyArchitecture
+            .to_string()
+            .contains("layer-pair"));
+        assert!(ArchError::InvalidRepeaterFraction { fraction: 1.5 }
+            .to_string()
+            .contains("1.5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ArchError>();
+    }
+}

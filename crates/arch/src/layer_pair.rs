@@ -1,0 +1,115 @@
+//! One layer-pair of an architecture.
+
+use ia_tech::{LayerGeometry, TechnologyNode, ViaGeometry, WiringTier};
+use ia_units::Length;
+use serde::{Deserialize, Serialize};
+
+/// One layer-pair: two adjacent metal layers sharing a tier geometry,
+/// routing "L"-shaped wires (one leg per layer).
+///
+/// A pair snapshots its geometry from a [`TechnologyNode`] tier at
+/// construction, so an [`crate::Architecture`] stays self-contained even
+/// if the node is later perturbed.
+///
+/// # Examples
+///
+/// ```
+/// use ia_arch::LayerPair;
+/// use ia_tech::{presets, WiringTier};
+///
+/// let node = presets::tsmc130();
+/// let pair = LayerPair::from_tier(&node, WiringTier::Global);
+/// assert_eq!(pair.tier(), WiringTier::Global);
+/// assert!((pair.wire_pitch().micrometers() - 0.9).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerPair {
+    tier: WiringTier,
+    geometry: LayerGeometry,
+    via: ViaGeometry,
+}
+
+impl LayerPair {
+    /// Creates a pair from an explicit geometry and via class.
+    #[must_use]
+    pub fn new(tier: WiringTier, geometry: LayerGeometry, via: ViaGeometry) -> Self {
+        Self {
+            tier,
+            geometry,
+            via,
+        }
+    }
+
+    /// Creates a pair snapshotting the given tier of a technology node.
+    #[must_use]
+    pub fn from_tier(node: &TechnologyNode, tier: WiringTier) -> Self {
+        Self {
+            tier,
+            geometry: node.layer(tier),
+            via: node.via(tier),
+        }
+    }
+
+    /// The wiring tier this pair belongs to.
+    #[must_use]
+    pub fn tier(&self) -> WiringTier {
+        self.tier
+    }
+
+    /// The pair's wiring geometry.
+    #[must_use]
+    pub fn geometry(&self) -> LayerGeometry {
+        self.geometry
+    }
+
+    /// The via class penetrating this pair.
+    #[must_use]
+    pub fn via(&self) -> ViaGeometry {
+        self.via
+    }
+
+    /// Routing pitch `W_j + S_j`: the width of die consumed per unit wire
+    /// length by the wire-area accounting (Algorithms 4–5).
+    #[must_use]
+    pub fn wire_pitch(&self) -> Length {
+        self.geometry.pitch()
+    }
+
+    /// Returns a copy with a different geometry (for what-if studies).
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: LayerGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_tech::presets;
+
+    #[test]
+    fn from_tier_snapshots_node_geometry() {
+        let node = presets::tsmc130();
+        let pair = LayerPair::from_tier(&node, WiringTier::SemiGlobal);
+        assert_eq!(pair.geometry(), node.layer(WiringTier::SemiGlobal));
+        assert_eq!(pair.via(), node.via(WiringTier::SemiGlobal));
+    }
+
+    #[test]
+    fn wire_pitch_is_width_plus_spacing() {
+        let node = presets::tsmc90();
+        let pair = LayerPair::from_tier(&node, WiringTier::Local);
+        assert!((pair.wire_pitch().micrometers() - 0.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_geometry_replaces_geometry_only() {
+        let node = presets::tsmc130();
+        let pair = LayerPair::from_tier(&node, WiringTier::Global);
+        let fat = pair.with_geometry(node.layer(WiringTier::Global).scaled_pitch(2.0));
+        assert_eq!(fat.tier(), WiringTier::Global);
+        assert_eq!(fat.via(), pair.via());
+        assert!((fat.wire_pitch() / pair.wire_pitch() - 2.0).abs() < 1e-9);
+    }
+}

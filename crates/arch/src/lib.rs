@@ -1,0 +1,45 @@
+//! Interconnect architecture descriptions.
+//!
+//! An interconnect architecture (IA) is, per §3 of the paper, a stack of
+//! **layer-pairs**: each pair routes "L"-shaped wires (one leg per
+//! layer), all wires in a pair share width/spacing/thickness, and longer
+//! wires live on higher pairs. This crate provides:
+//!
+//! * [`LayerPair`] — one pair with its tier geometry and via class;
+//! * [`Architecture`] — an ordered stack (topmost first) with a builder,
+//!   plus the paper's Table 2 baseline (1 global + 2 semi-global pairs);
+//! * [`DieModel`] — die sizing per §5.2 / Eq. 6: die area is gate area
+//!   inflated by the repeater allocation, which also fixes the physical
+//!   gate pitch that converts WLD lengths (in pitches) to micrometres;
+//! * [`BaselineParameters`] — the Table 2 experiment baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_arch::{Architecture, DieModel};
+//! use ia_tech::presets;
+//!
+//! let node = presets::tsmc130();
+//! let arch = Architecture::baseline(&node);
+//! assert_eq!(arch.len(), 3); // 1 global on top + 2 semi-global
+//!
+//! let die = DieModel::new(&node, 1_000_000, 0.4)?;
+//! // Eq. 6: repeater area is 40% of the inflated die area.
+//! assert!((die.repeater_budget() / die.die_area() - 0.4).abs() < 1e-9);
+//! # Ok::<(), ia_arch::ArchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod architecture;
+mod baseline;
+mod die;
+mod error;
+mod layer_pair;
+
+pub use architecture::{Architecture, ArchitectureBuilder};
+pub use baseline::BaselineParameters;
+pub use die::DieModel;
+pub use error::ArchError;
+pub use layer_pair::LayerPair;

@@ -1,0 +1,91 @@
+//! Property tests for die sizing (Eq. 6) and architecture construction.
+
+use ia_arch::{Architecture, ArchitectureBuilder, DieModel};
+use ia_tech::presets;
+use proptest::prelude::*;
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-30)
+}
+
+proptest! {
+    #[test]
+    fn eq6_identities_hold_for_any_inputs(
+        gates in 1u64..100_000_000,
+        fraction in 0.0f64..0.95,
+    ) {
+        let node = presets::tsmc130();
+        let die = DieModel::new(&node, gates, fraction).expect("valid inputs");
+        // A_d = A_r + gate area (Eq. 6).
+        let sum = die.repeater_budget() + die.gate_area();
+        prop_assert!(rel(sum.square_meters(), die.die_area().square_meters()) < 1e-12);
+        // A_r = fraction × A_d.
+        prop_assert!(rel(
+            die.repeater_budget().square_meters(),
+            fraction * die.die_area().square_meters()
+        ) < 1e-9 || fraction == 0.0);
+        // Gates exactly tile the inflated die at the actual pitch.
+        let tiled = die.actual_gate_pitch().squared() * gates as f64;
+        prop_assert!(rel(tiled.square_meters(), die.die_area().square_meters()) < 1e-9);
+    }
+
+    #[test]
+    fn physical_lengths_scale_linearly(
+        gates in 100u64..10_000_000,
+        fraction in 0.0f64..0.9,
+        pitches in 1u64..10_000,
+    ) {
+        let node = presets::tsmc90();
+        let die = DieModel::new(&node, gates, fraction).expect("valid inputs");
+        let one = die.physical_length(1);
+        let many = die.physical_length(pitches);
+        prop_assert!(rel(many.meters(), one.meters() * pitches as f64) < 1e-9);
+    }
+
+    #[test]
+    fn larger_repeater_fraction_never_shrinks_the_die(
+        gates in 100u64..10_000_000,
+        f1 in 0.0f64..0.9,
+        f2 in 0.0f64..0.9,
+    ) {
+        let node = presets::tsmc180();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let small = DieModel::new(&node, gates, lo).expect("valid");
+        let large = DieModel::new(&node, gates, hi).expect("valid");
+        prop_assert!(large.die_area() >= small.die_area());
+        prop_assert!(large.repeater_budget() >= small.repeater_budget());
+        prop_assert!(large.actual_gate_pitch() >= small.actual_gate_pitch());
+    }
+
+    #[test]
+    fn builder_stack_counts_add_up(
+        g in 0usize..4,
+        sg in 0usize..5,
+        local in 0usize..3,
+    ) {
+        let node = presets::tsmc130();
+        let built = ArchitectureBuilder::new(&node)
+            .global_pairs(g)
+            .semi_global_pairs(sg)
+            .local_pairs(local)
+            .build();
+        if g + sg + local == 0 {
+            prop_assert!(built.is_err());
+        } else {
+            let a = built.expect("non-empty stack");
+            prop_assert_eq!(a.len(), g + sg + local);
+            // Pitch is non-increasing going down the stack order only
+            // between tiers: global ≥ semi-global ≥ local.
+            for w in a.pairs().windows(2) {
+                prop_assert!(w[0].tier() >= w[1].tier());
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_is_three_pairs_everywhere(node_idx in 0usize..3) {
+        let node = &presets::all()[node_idx];
+        let a = Architecture::baseline(node);
+        prop_assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! Cost of coarsening choices (§5.1, footnote 7): how bunch size and
+//! binning change WLD preparation and solve time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_arch::Architecture;
+use ia_rank::RankProblem;
+use ia_tech::presets;
+use ia_wld::{coarsen, WldSpec};
+
+fn bench_coarsening(c: &mut Criterion) {
+    let spec = WldSpec::new(400_000).expect("gate count is valid");
+    let wld = spec.generate();
+
+    let mut group = c.benchmark_group("coarsening");
+    group.bench_function("generate_wld_400k", |b| b.iter(|| spec.generate()));
+
+    for bunch in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("bunch", bunch), &bunch, |b, &size| {
+            b.iter(|| coarsen::bunch(&wld, size).expect("positive bunch size"))
+        });
+    }
+    group.bench_function("bin_spread2", |b| b.iter(|| coarsen::bin(&wld, 2)));
+
+    // End-to-end solve cost as a function of bunch size.
+    let node = presets::tsmc130();
+    let arch = Architecture::baseline(&node);
+    for bunch in [1_000u64, 10_000] {
+        let problem = RankProblem::builder(&node, &arch)
+            .wld_spec(spec)
+            .bunch_size(bunch)
+            .build()
+            .expect("problem builds");
+        group.bench_with_input(
+            BenchmarkId::new("solve_with_bunch", bunch),
+            &problem,
+            |b, p| b.iter(|| p.rank()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! DP vs greedy vs the reference solvers (Figure 2 and scaled toys).
+//!
+//! Quantifies the cost of optimality: the DP pays a polynomial factor
+//! over the greedy heuristic, the paper's literal 4-D DP pays its
+//! `O(m·n⁴·A_R³)` table, and the exhaustive oracle pays `O(n^(m+1))`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_rank::{
+    dp, exact, exhaustive, greedy, toy, BunchSolverSpec, Instance, Need, PairSolverSpec,
+};
+
+/// A two-pair instance shaped like Figure 2 scaled to `n` unit bunches.
+fn scaled_figure2(n: u64) -> Instance {
+    let pairs = vec![
+        PairSolverSpec {
+            capacity: n as f64 / 2.0,
+            via_area: 0.01,
+            repeater_unit_area: 1.0,
+        },
+        PairSolverSpec {
+            capacity: 3.0 * n as f64 / 4.0,
+            via_area: 0.01,
+            repeater_unit_area: 1.0,
+        },
+    ];
+    let bunches = (0..n)
+        .map(|i| BunchSolverSpec {
+            length: 2 * n - i,
+            count: 1,
+            wire_area: vec![1.0, 1.0],
+            need: vec![Need::Repeaters(4), Need::Repeaters(1)],
+        })
+        .collect();
+    Instance::new(pairs, bunches, 2, 2.0 * n as f64).expect("scaled figure-2 instance is valid")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_vs_greedy");
+
+    let fig2 = toy::figure2();
+    group.bench_function("figure2/dp", |b| b.iter(|| dp::rank(&fig2)));
+    group.bench_function("figure2/greedy", |b| b.iter(|| greedy::rank_greedy(&fig2)));
+    group.bench_function("figure2/exact_4d", |b| {
+        b.iter(|| exact::rank_exact(&fig2).expect("unit repeaters"))
+    });
+    group.bench_function("figure2/exhaustive", |b| {
+        b.iter(|| exhaustive::rank_exhaustive(&fig2))
+    });
+
+    for n in [16u64, 64, 256] {
+        let inst = scaled_figure2(n);
+        group.bench_with_input(BenchmarkId::new("scaled/dp", n), &inst, |b, i| {
+            b.iter(|| dp::rank(i))
+        });
+        group.bench_with_input(BenchmarkId::new("scaled/greedy", n), &inst, |b, i| {
+            b.iter(|| greedy::rank_greedy(i))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

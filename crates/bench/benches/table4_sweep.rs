@@ -1,0 +1,31 @@
+//! End-to-end cost of regenerating one Table 4 column (all four are
+//! sweeps of the same problem family; `R` rebuilds the die model too).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ia_arch::Architecture;
+use ia_bench::baseline_builder;
+use ia_rank::sweep::{sweep_permittivity, sweep_repeater_fraction};
+use ia_tech::presets;
+
+fn bench_table4(c: &mut Criterion) {
+    let node = presets::tsmc130();
+    let arch = Architecture::baseline(&node);
+    // 400k gates keeps a full-column sweep within Criterion's patience
+    // while staying in the budget-limited regime.
+    let builder = baseline_builder(&node, &arch, 400_000);
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("k_column_5pts", |b| {
+        b.iter(|| sweep_permittivity(&builder, &[3.9, 3.4, 2.9, 2.4, 1.8]).expect("sweep runs"))
+    });
+    group.bench_function("r_column_5pts", |b| {
+        b.iter(|| {
+            sweep_repeater_fraction(&builder, &[0.1, 0.2, 0.3, 0.4, 0.5]).expect("sweep runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

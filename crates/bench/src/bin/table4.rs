@@ -1,0 +1,54 @@
+//! Regenerates Table 4: variation of rank with ILD permittivity (K),
+//! Miller coupling factor (M), target clock frequency (C), and maximum
+//! repeater fraction (R) for the 130 nm baseline design.
+//!
+//! Usage: `table4 [k|m|c|r]...` (defaults to all four columns).
+//! Scale: set `IA_BENCH_GATES` (default 1 000 000 — the paper's scale).
+
+use ia_arch::Architecture;
+use ia_bench::{baseline_builder, configured_gates, sweep_table};
+use ia_rank::sweep::{
+    sweep_clock, sweep_miller, sweep_permittivity, sweep_repeater_fraction, PAPER_C_HERTZ,
+    PAPER_K_VALUES, PAPER_M_VALUES, PAPER_R_VALUES,
+};
+use ia_tech::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |axis: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(axis));
+
+    let node = presets::tsmc130();
+    let arch = Architecture::baseline(&node);
+    let gates = configured_gates();
+    let builder = baseline_builder(&node, &arch, gates);
+
+    println!("Table 4 — variation of rank, {gates} gates, 130 nm, p = 0.6, bunch 10 000");
+    println!("(paper baseline: K = 3.9, M = 2, R = 0.4, f_c = 500 MHz)\n");
+
+    if want("k") {
+        let start = std::time::Instant::now();
+        let pts = sweep_permittivity(&builder, &PAPER_K_VALUES)?;
+        println!("{}", sweep_table("K", &pts, |x| format!("{x:.2}")));
+        println!("(K sweep in {:.1?})\n", start.elapsed());
+    }
+    if want("m") {
+        let start = std::time::Instant::now();
+        let pts = sweep_miller(&builder, &PAPER_M_VALUES)?;
+        println!("{}", sweep_table("M", &pts, |x| format!("{x:.2}")));
+        println!("(M sweep in {:.1?})\n", start.elapsed());
+    }
+    if want("c") {
+        let start = std::time::Instant::now();
+        let pts = sweep_clock(&builder, &PAPER_C_HERTZ)?;
+        println!("{}", sweep_table("C", &pts, |x| format!("{x:.2e}")));
+        println!("(C sweep in {:.1?})\n", start.elapsed());
+    }
+    if want("r") {
+        let start = std::time::Instant::now();
+        let pts = sweep_repeater_fraction(&builder, &PAPER_R_VALUES)?;
+        println!("{}", sweep_table("R", &pts, |x| format!("{x:.2}")));
+        println!("(R sweep in {:.1?})\n", start.elapsed());
+    }
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! Minimal dependency-free argument parsing for the `iarank` binary.
+//!
+//! Flags are `--name value` pairs (or `--name=value`); the first
+//! positional token is the subcommand. Unknown flags are errors so
+//! typos fail loudly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--flag value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// Flag values keyed by flag name (without the `--`).
+    options: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Error raised by argument parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A token that is neither a subcommand nor a flag.
+    UnexpectedPositional(String),
+    /// A `--flag` with no value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// Why it failed.
+        message: String,
+    },
+    /// Flags that no subcommand recognises.
+    UnknownFlags(Vec<String>),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::UnexpectedPositional(tok) => {
+                write!(f, "unexpected argument `{tok}` (flags are `--name value`)")
+            }
+            ArgsError::MissingValue(flag) => write!(f, "flag `--{flag}` needs a value"),
+            ArgsError::BadValue {
+                flag,
+                value,
+                message,
+            } => {
+                write!(f, "bad value `{value}` for `--{flag}`: {message}")
+            }
+            ArgsError::UnknownFlags(flags) => {
+                write!(f, "unknown flags: ")?;
+                for (i, flag) in flags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "--{flag}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses a raw token stream (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for stray positionals or valueless flags.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut command = None;
+        let mut options = BTreeMap::new();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                if let Some((name, value)) = flag.split_once('=') {
+                    options.insert(name.to_owned(), value.to_owned());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgsError::MissingValue(flag.to_owned()))?;
+                    if value.starts_with("--") {
+                        return Err(ArgsError::MissingValue(flag.to_owned()));
+                    }
+                    options.insert(flag.to_owned(), value);
+                }
+            } else if command.is_none() {
+                command = Some(tok);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(Self {
+            command,
+            options,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Fetches and parses a flag, or returns `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] if present but unparsable.
+    pub fn get<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgsError>
+    where
+        T::Err: fmt::Display,
+    {
+        self.consumed.borrow_mut().push(flag.to_owned());
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| ArgsError::BadValue {
+                flag: flag.to_owned(),
+                value: raw.clone(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Fetches an optional string flag.
+    #[must_use]
+    pub fn get_str(&self, flag: &str) -> Option<String> {
+        self.consumed.borrow_mut().push(flag.to_owned());
+        self.options.get(flag).cloned()
+    }
+
+    /// Errors if any provided flag was never consumed by `get`/`get_str`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::UnknownFlags`] listing the strays.
+    pub fn reject_unknown(&self) -> Result<(), ArgsError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<String> = self
+            .options
+            .keys()
+            .filter(|k| !consumed.contains(k))
+            .cloned()
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgsError::UnknownFlags(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = ParsedArgs::parse(["rank", "--gates", "1000", "--node=90"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("rank"));
+        assert_eq!(a.get("gates", 0u64).unwrap(), 1000);
+        assert_eq!(a.get_str("node").as_deref(), Some("90"));
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let a = ParsedArgs::parse(["rank"]).unwrap();
+        assert_eq!(a.get("gates", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            ParsedArgs::parse(["rank", "--gates"]).unwrap_err(),
+            ArgsError::MissingValue("gates".to_owned())
+        );
+        assert_eq!(
+            ParsedArgs::parse(["rank", "--gates", "--node", "90"]).unwrap_err(),
+            ArgsError::MissingValue("gates".to_owned())
+        );
+    }
+
+    #[test]
+    fn bad_values_report_flag_and_value() {
+        let a = ParsedArgs::parse(["rank", "--gates", "lots"]).unwrap();
+        match a.get("gates", 0u64).unwrap_err() {
+            ArgsError::BadValue { flag, value, .. } => {
+                assert_eq!(flag, "gates");
+                assert_eq!(value, "lots");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected() {
+        assert!(matches!(
+            ParsedArgs::parse(["rank", "oops"]).unwrap_err(),
+            ArgsError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = ParsedArgs::parse(["rank", "--bogus", "1"]).unwrap();
+        let _ = a.get("gates", 0u64);
+        assert_eq!(
+            a.reject_unknown().unwrap_err(),
+            ArgsError::UnknownFlags(vec!["bogus".to_owned()])
+        );
+    }
+}

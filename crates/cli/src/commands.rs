@@ -1,0 +1,537 @@
+//! Subcommand implementations for `iarank`.
+
+use crate::args::{ArgsError, ParsedArgs};
+use ia_arch::{Architecture, ArchitectureBuilder};
+use ia_netlist::{NetModel, Placement};
+use ia_rank::optimize::{optimize_stack, pareto_front, StackSearchSpace};
+use ia_rank::sweep;
+use ia_rank::{explain, utilization, RankProblem, RankProblemBuilder};
+use ia_report::Table;
+use ia_tech::TechnologyNode;
+use ia_units::{Frequency, Permittivity};
+use ia_wld::WldSpec;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgsError),
+    /// A domain operation failed.
+    Domain(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Domain(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn domain<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Domain(e.to_string())
+}
+
+/// Resolves `--net-model star|hpwl` (default star).
+fn resolve_net_model(args: &ParsedArgs) -> Result<NetModel, CliError> {
+    match args
+        .get_str("net-model")
+        .unwrap_or_else(|| "star".to_owned())
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "star" => Ok(NetModel::Star),
+        "hpwl" => Ok(NetModel::Hpwl),
+        other => Err(CliError::Domain(format!(
+            "unknown net model `{other}` (expected star or hpwl)"
+        ))),
+    }
+}
+
+/// Resolves `--node 90|130|180` to a preset.
+fn resolve_node(args: &ParsedArgs) -> Result<TechnologyNode, CliError> {
+    let name = args.get_str("node").unwrap_or_else(|| "130".to_owned());
+    match name.trim_start_matches("tsmc") {
+        "90" => Ok(ia_tech::presets::tsmc90()),
+        "130" => Ok(ia_tech::presets::tsmc130()),
+        "180" => Ok(ia_tech::presets::tsmc180()),
+        other => Err(CliError::Domain(format!(
+            "unknown node `{other}` (expected 90, 130 or 180)"
+        ))),
+    }
+}
+
+/// Builds the architecture from `--global/--semi-global/--local` pair
+/// counts (defaulting to the paper's Table 2 baseline).
+fn resolve_architecture(
+    args: &ParsedArgs,
+    node: &TechnologyNode,
+) -> Result<Architecture, CliError> {
+    let global = args.get("global", 1usize)?;
+    let semi_global = args.get("semi-global", 2usize)?;
+    let local = args.get("local", 0usize)?;
+    ArchitectureBuilder::new(node)
+        .global_pairs(global)
+        .semi_global_pairs(semi_global)
+        .local_pairs(local)
+        .build()
+        .map_err(domain)
+}
+
+/// Applies the shared problem flags to a builder.
+fn configure<'a>(
+    args: &ParsedArgs,
+    mut builder: RankProblemBuilder<'a>,
+) -> Result<RankProblemBuilder<'a>, CliError> {
+    let gates = args.get("gates", 1_000_000u64)?;
+    let net_model = resolve_net_model(args)?;
+    if let Some(path) = args.get_str("wld") {
+        let wld = ia_wld::io::read_csv_file(std::path::Path::new(&path)).map_err(domain)?;
+        builder = builder.wld(wld).gates(gates);
+    } else if let Some(path) = args.get_str("netlist") {
+        let placement = Placement::read_file(std::path::Path::new(&path)).map_err(domain)?;
+        let wld = placement.to_wld(net_model).map_err(domain)?;
+        // Die sizing uses the placement's own cell count unless --gates
+        // was given explicitly.
+        let cells = placement.cell_count() as u64;
+        builder = builder.wld(wld).gates(if args.get_str("gates").is_some() {
+            gates
+        } else {
+            cells.max(16)
+        });
+    } else {
+        builder = builder.wld_spec(WldSpec::new(gates).map_err(domain)?);
+    }
+    builder = builder.bunch_size(args.get("bunch", 10_000u64)?);
+    builder = builder.clock(Frequency::from_megahertz(args.get("clock-mhz", 500.0f64)?));
+    builder = builder.repeater_fraction(args.get("fraction", 0.4f64)?);
+    builder = builder.miller_factor(args.get("miller", 2.0f64)?);
+    if let Some(k) = args.get_str("k") {
+        let k: f64 = k
+            .parse()
+            .map_err(|e| CliError::Domain(format!("bad --k value: {e}")))?;
+        builder = builder.permittivity(Permittivity::from_relative(k));
+    }
+    Ok(builder)
+}
+
+/// `iarank rank`: compute the rank of one configuration.
+pub fn cmd_rank(args: &ParsedArgs) -> Result<String, CliError> {
+    let node = resolve_node(args)?;
+    let architecture = resolve_architecture(args, &node)?;
+    let builder = configure(args, RankProblem::builder(&node, &architecture))?;
+    let detail = args
+        .get_str("detail")
+        .is_some_and(|v| v == "true" || v == "1");
+    args.reject_unknown()?;
+
+    let problem = builder.build().map_err(domain)?;
+    let result = problem.rank();
+    let greedy = problem.greedy_rank();
+
+    let mut out = String::new();
+    out.push_str(&format!("node         : {}\n", node.name()));
+    out.push_str(&format!(
+        "architecture : {} layer-pairs\n",
+        architecture.len()
+    ));
+    out.push_str(&format!("die area     : {}\n", problem.die().die_area()));
+    out.push_str(&format!("result       : {result}\n"));
+    out.push_str(&format!("greedy       : {greedy}\n"));
+    out.push_str(&format!(
+        "repeaters    : {} ({})\n",
+        result.repeater_count(),
+        result.repeater_area()
+    ));
+    out.push_str(&format!(
+        "frontier     : {}\n",
+        explain::frontier(problem.instance(), result.solution())
+    ));
+    if detail {
+        let mut t = Table::new(["pair", "wires", "met", "util %", "repeaters"]);
+        for u in utilization(problem.instance(), result.solution()) {
+            t.row([
+                u.pair.to_string(),
+                u.wires.to_string(),
+                u.met_wires.to_string(),
+                format!("{:.1}", 100.0 * u.utilization()),
+                u.repeaters.to_string(),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    Ok(out)
+}
+
+/// `iarank sweep --axis k|m|c|r`: regenerate one Table 4 column.
+pub fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
+    let node = resolve_node(args)?;
+    let architecture = resolve_architecture(args, &node)?;
+    let builder = configure(args, RankProblem::builder(&node, &architecture))?;
+    let axis = args
+        .get_str("axis")
+        .unwrap_or_else(|| "k".to_owned())
+        .to_ascii_lowercase();
+    args.reject_unknown()?;
+
+    let (label, points) = match axis.as_str() {
+        "k" => (
+            "K",
+            sweep::sweep_permittivity(&builder, &sweep::PAPER_K_VALUES).map_err(domain)?,
+        ),
+        "m" => (
+            "M",
+            sweep::sweep_miller(&builder, &sweep::PAPER_M_VALUES).map_err(domain)?,
+        ),
+        "c" => (
+            "C (Hz)",
+            sweep::sweep_clock(&builder, &sweep::PAPER_C_HERTZ).map_err(domain)?,
+        ),
+        "r" => (
+            "R",
+            sweep::sweep_repeater_fraction(&builder, &sweep::PAPER_R_VALUES).map_err(domain)?,
+        ),
+        other => {
+            return Err(CliError::Domain(format!(
+                "unknown axis `{other}` (expected k, m, c or r)"
+            )))
+        }
+    };
+    let mut t = Table::new([label, "rank", "normalized"]);
+    for p in &points {
+        t.row([
+            format!("{:.4e}", p.x),
+            p.rank.to_string(),
+            format!("{:.6}", p.normalized),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// `iarank wld`: generate a Davis WLD and print or save it as CSV.
+pub fn cmd_wld(args: &ParsedArgs) -> Result<String, CliError> {
+    let gates = args.get("gates", 1_000_000u64)?;
+    let rent_p = args.get("rent-p", 0.6f64)?;
+    let out = args.get_str("out");
+    args.reject_unknown()?;
+
+    let rent = ia_wld::RentParameters::new(rent_p, 4.0, 3.0).map_err(domain)?;
+    let wld = WldSpec::with_rent(gates, rent).map_err(domain)?.generate();
+    let stats = wld.stats();
+    let csv = ia_wld::io::to_csv(&wld);
+    if let Some(path) = out {
+        ia_wld::io::write_csv_file(&wld, std::path::Path::new(&path)).map_err(domain)?;
+        Ok(format!(
+            "wrote {} wires across {} lengths to {path} (mean {:.2}, max {})\n",
+            stats.total_wires, stats.distinct_lengths, stats.mean_length, stats.max_length
+        ))
+    } else {
+        Ok(csv)
+    }
+}
+
+/// `iarank netlist`: inspect a placement and convert it to a WLD CSV.
+pub fn cmd_netlist(args: &ParsedArgs) -> Result<String, CliError> {
+    let Some(path) = args.get_str("in") else {
+        return Err(CliError::Domain("`netlist` needs `--in FILE`".to_owned()));
+    };
+    let model = resolve_net_model(args)?;
+    let out = args.get_str("out");
+    args.reject_unknown()?;
+
+    let placement = Placement::read_file(std::path::Path::new(&path)).map_err(domain)?;
+    let stats = placement.stats();
+    let wld = placement.to_wld(model).map_err(domain)?;
+    let wld_stats = wld.stats();
+    let mut text = format!(
+        "placement: {} cells, {} nets, mean fanout {:.2}, span {} pitches\nextracted ({model}): {} connections across {} lengths (mean {:.2}, max {})\n",
+        stats.cells,
+        stats.nets,
+        stats.mean_fanout,
+        stats.span,
+        wld_stats.total_wires,
+        wld_stats.distinct_lengths,
+        wld_stats.mean_length,
+        wld_stats.max_length,
+    );
+    if let Some(out_path) = out {
+        ia_wld::io::write_csv_file(&wld, std::path::Path::new(&out_path)).map_err(domain)?;
+        text.push_str(&format!(
+            "wrote {out_path}
+"
+        ));
+    } else {
+        text.push('\n');
+        text.push_str(&ia_wld::io::to_csv(&wld));
+    }
+    Ok(text)
+}
+
+/// `iarank optimize`: search stacks by rank within a pair budget.
+pub fn cmd_optimize(args: &ParsedArgs) -> Result<String, CliError> {
+    let node = resolve_node(args)?;
+    let max_pairs = args.get("max-pairs", 5usize)?;
+    // Consume shared problem flags for configure() below.
+    let space = StackSearchSpace {
+        max_total_pairs: max_pairs,
+        global_pairs: 1..=2.min(max_pairs),
+        semi_global_pairs: 1..=4.min(max_pairs),
+        local_pairs: 0..=2.min(max_pairs),
+        semi_global_pitch_scales: vec![1.0, 1.5],
+    };
+    // Validate the shared flags once against the baseline stack;
+    // per-candidate builders are configured with the same (validated)
+    // flags inside the optimizer callback.
+    let baseline = Architecture::baseline(&node);
+    configure(args, RankProblem::builder(&node, &baseline))?;
+    args.reject_unknown()?;
+
+    let ranked = optimize_stack(&node, &space, |b| {
+        configure(args, b).expect("flags already validated")
+    })
+    .map_err(domain)?;
+
+    let mut t = Table::new(["pairs", "stack", "rank", "normalized"]);
+    for e in &ranked {
+        t.row([
+            e.candidate.total_pairs().to_string(),
+            e.candidate.to_string(),
+            if e.routable {
+                e.rank.to_string()
+            } else {
+                "unroutable".to_owned()
+            },
+            format!("{:.6}", e.normalized),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("\npareto front (pairs vs rank):\n");
+    for e in pareto_front(&ranked) {
+        out.push_str(&format!(
+            "  {} pairs: {} -> rank {}\n",
+            e.candidate.total_pairs(),
+            e.candidate,
+            e.rank
+        ));
+    }
+    Ok(out)
+}
+
+/// The `--help` text.
+#[must_use]
+pub fn usage() -> String {
+    "\
+iarank — the DATE 2003 interconnect-architecture rank metric
+
+USAGE:
+  iarank <command> [--flag value]...
+
+COMMANDS:
+  rank       compute the rank of one configuration
+  sweep      regenerate a Table 4 column (--axis k|m|c|r)
+  wld        generate a Davis wire-length distribution as CSV
+  netlist    extract a WLD from a placed netlist (--in FILE [--net-model star|hpwl])
+  optimize   search BEOL stacks by rank within a pair budget
+  help       show this text
+
+SHARED FLAGS (rank, sweep, optimize):
+  --node 90|130|180        technology node preset       [130]
+  --gates N                design gate count            [1000000]
+  --wld FILE.csv           use a CSV WLD instead of the Davis model
+  --netlist FILE           extract the WLD from a placed netlist
+  --net-model star|hpwl    multi-terminal net decomposition [star]
+  --bunch N                coarsening bunch size        [10000]
+  --clock-mhz F            target clock frequency (MHz) [500]
+  --fraction F             repeater area fraction       [0.4]
+  --miller F               Miller coupling factor       [2.0]
+  --k F                    ILD permittivity override    [node default]
+  --global/--semi-global/--local N   stack pair counts  [1/2/0]
+
+EXAMPLES:
+  iarank rank --node 130 --gates 1000000 --detail true
+  iarank sweep --axis r --gates 400000
+  iarank wld --gates 250000 --out design.csv
+  iarank optimize --node 90 --max-pairs 5 --gates 400000
+"
+    .to_owned()
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad flags, or domain
+/// failures; the caller prints the message and exits non-zero.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_deref() {
+        Some("rank") => cmd_rank(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("wld") => cmd_wld(args),
+        Some("netlist") => cmd_netlist(args),
+        Some("optimize") => cmd_optimize(args),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(CliError::Domain(format!(
+            "unknown command `{other}` — try `iarank help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, CliError> {
+        let args = ParsedArgs::parse(tokens.iter().copied()).map_err(CliError::Args)?;
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let text = run(&["help"]).unwrap();
+        for cmd in ["rank", "sweep", "wld", "optimize"] {
+            assert!(text.contains(cmd));
+        }
+        assert_eq!(run(&[]).unwrap(), usage());
+    }
+
+    #[test]
+    fn rank_small_design_runs() {
+        let out = run(&["rank", "--gates", "30000", "--bunch", "3000"]).unwrap();
+        assert!(out.contains("rank"));
+        assert!(out.contains("tsmc130"));
+        assert!(out.contains("frontier"));
+    }
+
+    #[test]
+    fn rank_detail_prints_utilization_table() {
+        let out = run(&[
+            "rank", "--gates", "30000", "--bunch", "3000", "--detail", "true",
+        ])
+        .unwrap();
+        assert!(out.contains("util %"));
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let err = run(&["rank", "--node", "65", "--gates", "30000"]).unwrap_err();
+        assert!(err.to_string().contains("unknown node"));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = run(&["rank", "--gates", "30000", "--typo", "1"]).unwrap_err();
+        assert!(err.to_string().contains("--typo"));
+    }
+
+    #[test]
+    fn sweep_axis_validation() {
+        let err = run(&["sweep", "--axis", "x", "--gates", "30000"]).unwrap_err();
+        assert!(err.to_string().contains("unknown axis"));
+    }
+
+    #[test]
+    fn sweep_r_small_runs() {
+        let out = run(&[
+            "sweep", "--axis", "r", "--gates", "30000", "--bunch", "3000",
+        ])
+        .unwrap();
+        assert!(out.lines().count() >= 7); // header + rule + 5 rows
+    }
+
+    #[test]
+    fn wld_generation_prints_csv() {
+        let out = run(&["wld", "--gates", "10000"]).unwrap();
+        assert!(out.starts_with("length,count"));
+        let parsed = ia_wld::io::from_csv(&out).unwrap();
+        assert!(parsed.total_wires() > 10_000);
+    }
+
+    #[test]
+    fn wld_round_trips_through_rank() {
+        let dir = std::env::temp_dir().join("iarank_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.csv");
+        let msg = run(&["wld", "--gates", "30000", "--out", path.to_str().unwrap()]).unwrap();
+        assert!(msg.contains("wrote"));
+        let out = run(&[
+            "rank",
+            "--gates",
+            "30000",
+            "--wld",
+            path.to_str().unwrap(),
+            "--bunch",
+            "3000",
+        ])
+        .unwrap();
+        assert!(out.contains("rank"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn netlist_command_extracts_and_ranks() {
+        let dir = std::env::temp_dir().join("iarank_netlist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.place");
+        std::fs::write(
+            &path,
+            "cell a 0 0\ncell b 10 0\ncell c 0 20\nnet n1 a b c\nnet n2 b c\n",
+        )
+        .unwrap();
+        let out = run(&["netlist", "--in", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("3 cells"));
+        assert!(out.contains("length,count"));
+        // HPWL model merges each net into one connection.
+        let out = run(&[
+            "netlist",
+            "--in",
+            path.to_str().unwrap(),
+            "--net-model",
+            "hpwl",
+        ])
+        .unwrap();
+        assert!(out.contains("2 connections"));
+        // Rank directly from the placement.
+        let out = run(&["rank", "--netlist", path.to_str().unwrap(), "--bunch", "1"]).unwrap();
+        assert!(out.contains("result"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn netlist_rejects_bad_model_and_missing_input() {
+        let err = run(&["netlist"]).unwrap_err();
+        assert!(err.to_string().contains("--in"));
+        let err = run(&["netlist", "--in", "/nonexistent", "--net-model", "mesh"]).unwrap_err();
+        assert!(err.to_string().contains("unknown net model"));
+    }
+
+    #[test]
+    fn optimize_small_space_runs() {
+        let out = run(&[
+            "optimize",
+            "--gates",
+            "30000",
+            "--bunch",
+            "3000",
+            "--max-pairs",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("pareto front"));
+    }
+}

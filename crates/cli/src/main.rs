@@ -1,0 +1,27 @@
+//! `iarank` — command-line interface to the interconnect-rank metric.
+//!
+//! See `iarank help` for usage.
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(tokens) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The paper's assignment subroutines: `wire_assign` (`M'`, Algorithm 4)
+//! and `greedy_assign` (`M''`, Algorithm 5).
+
+use crate::{Instance, Need};
+
+/// Result of assigning a run of bunches to one layer-pair with delay
+/// requirements (`wire_assign`, Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireAssignOutcome {
+    /// Whether all requested bunches fit and met their targets.
+    pub feasible: bool,
+    /// Repeater area consumed (the paper's `r_2`).
+    pub repeater_area: f64,
+    /// Repeater count consumed.
+    pub repeater_count: u64,
+    /// Wire area consumed in the pair.
+    pub wire_area: f64,
+}
+
+/// `wire_assign` / `M'` (Algorithm 4): assigns bunches
+/// `met_start..met_end` to pair `j`, all meeting their target delays,
+/// followed by bunches `met_end..extra_end` ignoring delay, given
+/// `wires_above` wires and `repeaters_above` repeaters already on higher
+/// pairs and at most `repeater_budget` repeater area for this pair.
+///
+/// Wires consume `l·(W_j+S_j)` of the pair's blocked capacity; repeaters
+/// consume budget only (their area lives in the device plane; their via
+/// blockage is charged to *lower* pairs, not this one).
+///
+/// # Panics
+///
+/// Panics if the bunch range is out of bounds or not ordered.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn wire_assign(
+    inst: &Instance,
+    j: usize,
+    met_start: usize,
+    met_end: usize,
+    extra_end: usize,
+    wires_above: u64,
+    repeaters_above: u64,
+    repeater_budget: f64,
+) -> WireAssignOutcome {
+    assert!(met_start <= met_end && met_end <= extra_end && extra_end <= inst.bunch_count());
+    let infeasible = WireAssignOutcome {
+        feasible: false,
+        repeater_area: 0.0,
+        repeater_count: 0,
+        wire_area: 0.0,
+    };
+    let capacity = inst.blocked_capacity(j, wires_above, repeaters_above);
+    let mut wire_area = 0.0;
+    let mut repeater_area = 0.0;
+    let mut repeater_count = 0u64;
+    for i in met_start..met_end {
+        wire_area += inst.bunch(i).wire_area[j];
+        if wire_area > capacity {
+            return infeasible;
+        }
+        match inst.bunch(i).need[j] {
+            Need::Unattainable => return infeasible,
+            Need::Unbuffered => {}
+            Need::Repeaters(per_wire) => {
+                let n = per_wire * inst.bunch(i).count;
+                repeater_count += n;
+                repeater_area += n as f64 * inst.pair(j).repeater_unit_area;
+                if repeater_area > repeater_budget {
+                    return infeasible;
+                }
+            }
+        }
+    }
+    for i in met_end..extra_end {
+        wire_area += inst.bunch(i).wire_area[j];
+        if wire_area > capacity {
+            return infeasible;
+        }
+    }
+    WireAssignOutcome {
+        feasible: true,
+        repeater_area,
+        repeater_count,
+        wire_area,
+    }
+}
+
+/// `greedy_assign` / `M''` (Algorithm 5): packs bunches
+/// `start_bunch..` into pairs `first_pair..` bottom-up, ignoring delay,
+/// given `wires_above` wires and `repeaters_above` repeaters on pairs
+/// above `first_pair`. Returns whether everything fits.
+///
+/// Faithful to the paper's accounting: every pair in the range is
+/// charged the via area of all wires/repeaters above the range
+/// (step 2), plus — incrementally — the via area of every wire assigned
+/// within the range so far, regardless of which pair it landed in
+/// (steps 9–12). The packing is optimal among contiguous assignments
+/// (paper Lemma 1: wires can only be moved *down*, which relaxes every
+/// capacity check).
+#[must_use]
+pub fn greedy_pack(
+    inst: &Instance,
+    start_bunch: usize,
+    first_pair: usize,
+    wires_above: u64,
+    repeaters_above: u64,
+) -> bool {
+    greedy_pack_plan(inst, start_bunch, first_pair, wires_above, repeaters_above).is_some()
+}
+
+/// Like [`greedy_pack`], but returns the packing itself: for each pair
+/// that received bunches, the `(pair, bunch_range)` it holds (pairs in
+/// top-down order, ranges contiguous and descending in length). Returns
+/// `None` when the tail does not fit.
+#[must_use]
+pub fn greedy_pack_plan(
+    inst: &Instance,
+    start_bunch: usize,
+    first_pair: usize,
+    wires_above: u64,
+    repeaters_above: u64,
+) -> Option<Vec<(usize, std::ops::Range<usize>)>> {
+    let n = inst.bunch_count();
+    if start_bunch >= n {
+        return Some(Vec::new());
+    }
+    let m = inst.pair_count();
+    if first_pair >= m {
+        return None;
+    }
+    // Next bunch to place, from the shortest upward.
+    let mut next: usize = n; // place bunch `next - 1`
+    let mut placed_wires: u64 = 0;
+    let mut plan = Vec::new();
+    for q in (first_pair..m).rev() {
+        let b_q = inst.blocked_capacity(q, wires_above, repeaters_above);
+        let mut a_w = 0.0;
+        let seg_end = next;
+        while next > start_bunch {
+            let bunch = inst.bunch(next - 1);
+            let a_v = ((placed_wires + bunch.count) * inst.vias_per_wire()) as f64
+                * inst.pair(q).via_area;
+            if a_w + bunch.wire_area[q] + a_v > b_q {
+                break;
+            }
+            a_w += bunch.wire_area[q];
+            placed_wires += bunch.count;
+            next -= 1;
+        }
+        if next < seg_end {
+            plan.push((q, next..seg_end));
+        }
+        if next == start_bunch {
+            plan.reverse();
+            return Some(plan);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BunchSolverSpec, Instance, PairSolverSpec};
+
+    fn pair(cap: f64, via: f64, rep: f64) -> PairSolverSpec {
+        PairSolverSpec {
+            capacity: cap,
+            via_area: via,
+            repeater_unit_area: rep,
+        }
+    }
+
+    fn bunch(length: u64, count: u64, areas: &[f64], needs: &[Need]) -> BunchSolverSpec {
+        BunchSolverSpec {
+            length,
+            count,
+            wire_area: areas.to_vec(),
+            need: needs.to_vec(),
+        }
+    }
+
+    fn two_pair_instance() -> Instance {
+        Instance::new(
+            vec![pair(100.0, 1.0, 2.0), pair(60.0, 0.5, 1.0)],
+            vec![
+                bunch(
+                    10,
+                    2,
+                    &[40.0, 40.0],
+                    &[Need::Repeaters(2), Need::Unattainable],
+                ),
+                bunch(5, 4, &[40.0, 40.0], &[Need::Unbuffered, Need::Repeaters(1)]),
+                bunch(2, 10, &[30.0, 30.0], &[Need::Unbuffered, Need::Unbuffered]),
+            ],
+            2,
+            100.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wire_assign_counts_repeaters() {
+        let inst = two_pair_instance();
+        // Bunch 0 (2 wires × 2 repeaters) met on pair 0.
+        let out = wire_assign(&inst, 0, 0, 1, 1, 0, 0, 100.0);
+        assert!(out.feasible);
+        assert_eq!(out.repeater_count, 4);
+        assert!((out.repeater_area - 8.0).abs() < 1e-12);
+        assert!((out.wire_area - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_assign_rejects_unattainable_met_wires() {
+        let inst = two_pair_instance();
+        // Bunch 0 cannot meet delay on pair 1.
+        let out = wire_assign(&inst, 1, 0, 1, 1, 0, 0, 100.0);
+        assert!(!out.feasible);
+    }
+
+    #[test]
+    fn wire_assign_allows_unattainable_extras() {
+        let inst = two_pair_instance();
+        // Bunch 0 as a delay-ignored extra on pair 1 is fine.
+        let out = wire_assign(&inst, 1, 0, 0, 1, 0, 0, 100.0);
+        assert!(out.feasible);
+        assert_eq!(out.repeater_count, 0);
+    }
+
+    #[test]
+    fn wire_assign_respects_capacity_and_budget() {
+        let inst = two_pair_instance();
+        // Pair 0 capacity 100: bunches 0+1+2 = 110 > 100 → infeasible.
+        assert!(!wire_assign(&inst, 0, 0, 3, 3, 0, 0, 1e9).feasible);
+        // Tight repeater budget: bunch 0 needs 8.0.
+        assert!(!wire_assign(&inst, 0, 0, 1, 1, 0, 0, 7.9).feasible);
+        assert!(wire_assign(&inst, 0, 0, 1, 1, 0, 0, 8.0).feasible);
+    }
+
+    #[test]
+    fn wire_assign_blockage_shrinks_capacity() {
+        let inst = two_pair_instance();
+        // Pair 1: capacity 60, via 0.5. With 20 wires above (×2 vias)
+        // and 40 repeaters above: 80 stacks × 0.5 = 40 blocked → 20 left.
+        // Bunch 2 needs 30 → infeasible.
+        assert!(!wire_assign(&inst, 1, 2, 3, 3, 20, 40, 100.0).feasible);
+        // Without blockage it fits.
+        assert!(wire_assign(&inst, 1, 2, 3, 3, 0, 0, 100.0).feasible);
+    }
+
+    #[test]
+    fn greedy_pack_trivial_cases() {
+        let inst = two_pair_instance();
+        // Nothing to place.
+        assert!(greedy_pack(&inst, 3, 0, 0, 0));
+        assert!(greedy_pack(&inst, 3, 2, 0, 0));
+        // Something to place but no pairs left.
+        assert!(!greedy_pack(&inst, 2, 2, 0, 0));
+    }
+
+    #[test]
+    fn greedy_pack_uses_both_pairs() {
+        let inst = two_pair_instance();
+        // Via charges make the full pack infeasible even across both
+        // pairs (pair 0 would need 40 + 40 + 32 of via charge > 100).
+        assert!(!greedy_pack(&inst, 0, 0, 0, 0));
+        assert!(!greedy_pack(&inst, 0, 1, 0, 0));
+        // Dropping the longest bunch, the rest fits across both pairs.
+        assert!(greedy_pack(&inst, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn greedy_pack_respects_blockage_from_above() {
+        let inst = two_pair_instance();
+        // Pack bunches 1.. into pair 1 only: areas 40 + 30 + vias.
+        // Unblocked: via charge grows to (14 wires × 2) × 0.5 = 14;
+        // 70 + 14 > 60 → must fail even unblocked.
+        assert!(!greedy_pack(&inst, 1, 1, 0, 0));
+        // Bunch 2 alone: 30 + 20×0.5·... = 30 + (10×2)×0.5 = 40 ≤ 60 → fits.
+        assert!(greedy_pack(&inst, 2, 1, 0, 0));
+        // Heavy blockage from above removes that slack.
+        assert!(!greedy_pack(&inst, 2, 1, 30, 10));
+    }
+
+    #[test]
+    fn greedy_pack_packs_bottom_up() {
+        // Two pairs; bottom pair takes the short bunch, top the long one.
+        let inst = Instance::new(
+            vec![pair(50.0, 0.0, 1.0), pair(35.0, 0.0, 1.0)],
+            vec![
+                bunch(9, 1, &[45.0, 45.0], &[Need::Unbuffered, Need::Unbuffered]),
+                bunch(3, 1, &[30.0, 30.0], &[Need::Unbuffered, Need::Unbuffered]),
+            ],
+            2,
+            0.0,
+        )
+        .unwrap();
+        // Short (30) → bottom (35 cap), long (45) → top (50 cap): feasible.
+        assert!(greedy_pack(&inst, 0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,414 @@
+//! The production rank solver.
+//!
+//! A reformulation of the paper's 4-D boolean DP (Algorithms 1–3) that
+//! exploits the *prefix structure* of the recurrence: in Equation (1)
+//! the reused subproblem is `M[i'_1, j, r_1, i'_1]` — its first and
+//! fourth indices are equal — so every wire on pairs `1..j` meets its
+//! target. Only the last "active" pair may hold a suffix of
+//! delay-failing wires, and everything below is packed delay-free by
+//! `greedy_assign`. The state therefore collapses to:
+//!
+//! > (pair `j`, delay-met bunch prefix `i'`, Pareto front of
+//! > (repeater area, repeater count))
+//!
+//! Repeater **area** is tracked because it is budgeted (`A_R`);
+//! repeater **count** is tracked because it drives via blockage on
+//! lower pairs (Eq. 5); per-pair repeater sizes differ, so neither
+//! subsumes the other and a small Pareto front of non-dominated
+//! `(area, count)` pairs is kept per state.
+//!
+//! Within a transition (assigning bunches `i1..i2` to pair `j+1`), the
+//! repeater demand of each wire is an independent function of its
+//! length and the pair (precomputed in the [`Instance`]), so segments
+//! are swept incrementally in `O(1)` per bunch. Overall complexity is
+//! `O(m·n²·F)` for `F` the maximum front size — polynomial, versus the
+//! paper's `O(m·n⁴·A_R³)` table — while returning the same optimum
+//! (property-checked against [`crate::exhaustive`] and
+//! [`crate::exact`]).
+
+use crate::assign::greedy_pack;
+use crate::result::Segment;
+use crate::{Instance, Solution};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Breadcrumb for solution reconstruction.
+#[derive(Debug)]
+struct PathNode {
+    pair: usize,
+    met_start: usize,
+    met_end: usize,
+    parent: Option<Rc<PathNode>>,
+}
+
+/// One non-dominated repeater-usage point of a DP state.
+#[derive(Debug, Clone)]
+struct FrontEntry {
+    area: f64,
+    count: u64,
+    path: Option<Rc<PathNode>>,
+}
+
+/// A Pareto front: sorted by ascending area, strictly descending count.
+#[derive(Debug, Clone, Default)]
+struct Front {
+    entries: Vec<FrontEntry>,
+}
+
+impl Front {
+    /// Inserts an entry unless dominated; prunes entries it dominates.
+    /// Returns whether the entry was kept.
+    fn insert(&mut self, e: FrontEntry) -> bool {
+        // Find insertion point by area.
+        let pos = self
+            .entries
+            .partition_point(|x| x.area < e.area || (x.area == e.area && x.count <= e.count));
+        // Dominated by a cheaper-or-equal predecessor?
+        if pos > 0 {
+            let p = &self.entries[pos - 1];
+            if p.area <= e.area && p.count <= e.count {
+                return false;
+            }
+        }
+        // Prune successors the new entry dominates.
+        let mut end = pos;
+        while end < self.entries.len()
+            && self.entries[end].area >= e.area
+            && self.entries[end].count >= e.count
+        {
+            end += 1;
+        }
+        self.entries.splice(pos..end, [e]);
+        true
+    }
+}
+
+fn reconstruct_segments(path: &Option<Rc<PathNode>>) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut cursor = path.as_ref();
+    while let Some(node) = cursor {
+        segments.push(Segment {
+            pair: node.pair,
+            met_start: node.met_start,
+            met_end: node.met_end,
+        });
+        cursor = node.parent.as_ref();
+    }
+    segments.reverse();
+    segments
+}
+
+/// Computes the rank of an instance (Definition 2) with the optimized
+/// prefix/Pareto dynamic program.
+///
+/// Returns a rank-0 [`Solution`] with `fully_assignable = false` when
+/// the WLD cannot be embedded at all (Definition 3).
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::{dp, toy};
+///
+/// let solution = dp::rank(&toy::figure2());
+/// assert_eq!(solution.rank_wires, 4);
+/// assert!(solution.fully_assignable);
+/// ```
+#[must_use]
+pub fn rank(inst: &Instance) -> Solution {
+    let n = inst.bunch_count();
+    let m = inst.pair_count();
+    let budget = inst.repeater_budget();
+
+    let mut best = Solution::zero(greedy_pack(inst, 0, 0, 0, 0));
+    let mut pack_memo: HashMap<(usize, usize, u64), bool> = HashMap::new();
+
+    // try_finalize: treat `pair` as the active pair, with delay-met
+    // prefix ending at `met_end` (costs already inside `entry`), the
+    // met segment having consumed `wire_area_used` of `cap`.
+    let mut try_finalize = |pair: usize,
+                            met_end: usize,
+                            wire_area_used: f64,
+                            cap: f64,
+                            entry: &FrontEntry,
+                            best: &mut Solution| {
+        let rank_wires = inst.wires_before(met_end);
+        let improves_rank = rank_wires > best.rank_wires;
+        // A successful finalize also proves Definition-3 assignability,
+        // which the Algorithm-5 base check may have missed (its via
+        // accounting differs slightly for the topmost pair).
+        let proves_assignable = !best.fully_assignable && rank_wires >= best.rank_wires;
+        if !improves_rank && !proves_assignable {
+            return;
+        }
+        // Max-fit extras: under the paper's via accounting, pushing as
+        // many delay-failing wires as fit into the active pair's
+        // leftover capacity weakly dominates any smaller choice (their
+        // via charge to lower pairs is identical either way, and they
+        // free capacity below).
+        let mut extras_end = met_end;
+        let mut area = wire_area_used;
+        while extras_end < n {
+            let next_area = area + inst.bunch(extras_end).wire_area[pair];
+            if next_area > cap {
+                break;
+            }
+            area = next_area;
+            extras_end += 1;
+        }
+        let wires_above = inst.wires_before(extras_end);
+        let key = (extras_end, pair + 1, entry.count);
+        let ok = *pack_memo
+            .entry(key)
+            .or_insert_with(|| greedy_pack(inst, extras_end, pair + 1, wires_above, entry.count));
+        if ok {
+            *best = Solution {
+                met_bunches: met_end,
+                rank_wires,
+                normalized: rank_wires as f64 / inst.total_wires() as f64,
+                fully_assignable: true,
+                repeater_area: entry.area,
+                repeater_count: entry.count,
+                segments: reconstruct_segments(&entry.path),
+                extras_end,
+                active_pair: pair,
+            };
+        }
+    };
+
+    // prev[p] = Pareto front of states with delay-met prefix `p` after
+    // some prefix of pairs. Start: nothing assigned.
+    let mut prev: Vec<Option<Front>> = vec![None; n + 1];
+    prev[0] = Some(Front {
+        entries: vec![FrontEntry {
+            area: 0.0,
+            count: 0,
+            path: None,
+        }],
+    });
+
+    for j in 0..m {
+        let mut next: Vec<Option<Front>> = vec![None; n + 1];
+        for i1 in 0..=n {
+            let Some(front) = prev[i1].take() else {
+                continue;
+            };
+            for entry in &front.entries {
+                let cap = inst.blocked_capacity(j, inst.wires_before(i1), entry.count);
+                // Pair j as active pair with an empty met segment.
+                try_finalize(j, i1, 0.0, cap, entry, &mut best);
+                // Pair j skipped entirely: carry the state forward.
+                next[i1]
+                    .get_or_insert_with(Front::default)
+                    .insert(entry.clone());
+                // Sweep delay-met extensions.
+                let mut wire_area = 0.0;
+                let mut rep_area = 0.0;
+                let mut rep_count = 0u64;
+                for i2 in i1..n {
+                    let b = inst.bunch(i2);
+                    if !b.need[j].attainable() {
+                        break;
+                    }
+                    wire_area += b.wire_area[j];
+                    if wire_area > cap {
+                        break;
+                    }
+                    let cnt = b.need[j].repeaters_per_wire() * b.count;
+                    rep_count += cnt;
+                    rep_area += cnt as f64 * inst.pair(j).repeater_unit_area;
+                    if entry.area + rep_area > budget {
+                        break;
+                    }
+                    let new_entry = FrontEntry {
+                        area: entry.area + rep_area,
+                        count: entry.count + rep_count,
+                        path: Some(Rc::new(PathNode {
+                            pair: j,
+                            met_start: i1,
+                            met_end: i2 + 1,
+                            parent: entry.path.clone(),
+                        })),
+                    };
+                    try_finalize(j, i2 + 1, wire_area, cap, &new_entry, &mut best);
+                    next[i2 + 1]
+                        .get_or_insert_with(Front::default)
+                        .insert(new_entry);
+                }
+            }
+        }
+        prev = next;
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BunchSolverSpec, Need, PairSolverSpec};
+
+    fn simple_pair(cap: f64, rep: f64) -> PairSolverSpec {
+        PairSolverSpec {
+            capacity: cap,
+            via_area: 0.0,
+            repeater_unit_area: rep,
+        }
+    }
+
+    fn b(length: u64, count: u64, areas: &[f64], needs: &[Need]) -> BunchSolverSpec {
+        BunchSolverSpec {
+            length,
+            count,
+            wire_area: areas.to_vec(),
+            need: needs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn everything_meets_unbuffered() {
+        let inst = Instance::new(
+            vec![simple_pair(100.0, 1.0)],
+            vec![
+                b(9, 2, &[20.0], &[Need::Unbuffered]),
+                b(4, 3, &[30.0], &[Need::Unbuffered]),
+            ],
+            2,
+            0.0,
+        )
+        .unwrap();
+        let s = rank(&inst);
+        assert_eq!(s.rank_wires, 5);
+        assert!((s.normalized - 1.0).abs() < 1e-12);
+        assert_eq!(s.repeater_count, 0);
+        assert!(s.fully_assignable);
+    }
+
+    #[test]
+    fn budget_limits_rank() {
+        // Each of 10 wires needs 1 repeater of area 1; budget 4 → rank 4.
+        let inst = Instance::new(
+            vec![simple_pair(1e9, 1.0)],
+            (0..10)
+                .map(|i| b(100 - i, 1, &[1.0], &[Need::Repeaters(1)]))
+                .collect(),
+            2,
+            4.0,
+        )
+        .unwrap();
+        let s = rank(&inst);
+        assert_eq!(s.rank_wires, 4);
+        assert_eq!(s.repeater_count, 4);
+        assert!((s.repeater_area - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unattainable_bunch_stops_the_prefix() {
+        let inst = Instance::new(
+            vec![simple_pair(1e9, 1.0)],
+            vec![
+                b(9, 5, &[5.0], &[Need::Unbuffered]),
+                b(8, 5, &[5.0], &[Need::Unattainable]),
+                b(7, 5, &[5.0], &[Need::Unbuffered]),
+            ],
+            2,
+            100.0,
+        )
+        .unwrap();
+        // Rank counts the leading prefix only: 5 wires.
+        let s = rank(&inst);
+        assert_eq!(s.rank_wires, 5);
+        assert!(s.fully_assignable);
+    }
+
+    #[test]
+    fn wld_that_does_not_fit_has_rank_zero() {
+        let inst = Instance::new(
+            vec![simple_pair(10.0, 1.0)],
+            vec![b(5, 4, &[20.0], &[Need::Unbuffered])],
+            2,
+            100.0,
+        )
+        .unwrap();
+        let s = rank(&inst);
+        assert_eq!(s.rank_wires, 0);
+        assert!(!s.fully_assignable);
+    }
+
+    #[test]
+    fn two_pairs_split_the_prefix() {
+        // Pair 0 fits one long bunch; pair 1 fits the short bunch.
+        let inst = Instance::new(
+            vec![simple_pair(40.0, 1.0), simple_pair(40.0, 1.0)],
+            vec![
+                b(10, 2, &[40.0, 40.0], &[Need::Unbuffered, Need::Unbuffered]),
+                b(5, 2, &[30.0, 30.0], &[Need::Unbuffered, Need::Unbuffered]),
+            ],
+            2,
+            0.0,
+        )
+        .unwrap();
+        let s = rank(&inst);
+        assert_eq!(s.rank_wires, 4);
+        assert_eq!(s.segments.len(), 2);
+    }
+
+    #[test]
+    fn figure2_counterexample_is_solved_optimally() {
+        let s = rank(&crate::toy::figure2());
+        assert_eq!(s.rank_wires, 4);
+        // Optimal: 1 wire up (4 repeaters) + 3 wires down (3 repeaters).
+        assert_eq!(s.repeater_count, 7);
+    }
+
+    #[test]
+    fn rank_is_monotone_in_budget() {
+        let make = |budget: f64| {
+            Instance::new(
+                vec![simple_pair(1e9, 1.0)],
+                (0..20)
+                    .map(|i| b(100 - i, 1, &[1.0], &[Need::Repeaters(2)]))
+                    .collect(),
+                2,
+                budget,
+            )
+            .unwrap()
+        };
+        let mut last = 0;
+        for budget in [0.0, 2.0, 5.0, 10.0, 40.0, 100.0] {
+            let r = rank(&make(budget)).rank_wires;
+            assert!(r >= last, "budget {budget}: {r} < {last}");
+            last = r;
+        }
+        assert_eq!(rank(&make(100.0)).rank_wires, 20);
+    }
+
+    #[test]
+    fn segments_cover_the_met_prefix_contiguously() {
+        let inst = crate::toy::figure2();
+        let s = rank(&inst);
+        let mut cursor = 0;
+        for seg in &s.segments {
+            assert_eq!(seg.met_start, cursor);
+            assert!(seg.met_end >= seg.met_start);
+            cursor = seg.met_end;
+        }
+        assert_eq!(cursor, s.met_bunches);
+        assert!(s.extras_end >= s.met_bunches);
+    }
+
+    #[test]
+    fn front_insert_maintains_pareto_invariant() {
+        let mut f = Front::default();
+        let e = |area: f64, count: u64| FrontEntry {
+            area,
+            count,
+            path: None,
+        };
+        assert!(f.insert(e(5.0, 10)));
+        assert!(f.insert(e(3.0, 20))); // incomparable: kept
+        assert!(!f.insert(e(6.0, 11))); // dominated by (5, 10)
+        assert!(f.insert(e(2.0, 5))); // dominates everything
+        assert_eq!(f.entries.len(), 1);
+        assert!((f.entries[0].area - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Errors for rank-problem construction.
+
+use std::fmt;
+
+/// Error raised while building or validating a rank problem or instance.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RankError {
+    /// The instance has no layer-pairs.
+    NoPairs,
+    /// The instance has no bunches.
+    NoBunches,
+    /// A bunch's per-pair vectors do not match the pair count.
+    PairArityMismatch {
+        /// Index of the offending bunch.
+        bunch: usize,
+    },
+    /// Bunch lengths are not non-increasing (longest-first is required).
+    NotSortedDescending {
+        /// Index of the first out-of-order bunch.
+        bunch: usize,
+    },
+    /// A numeric field that must be non-negative and finite was not.
+    InvalidNumber {
+        /// Which field was invalid.
+        field: &'static str,
+    },
+    /// The builder was given no wire-length distribution.
+    MissingWld,
+    /// A raw WLD was supplied without a gate count (needed to size the die).
+    MissingGateCount,
+    /// An underlying architecture error.
+    Arch(ia_arch::ArchError),
+    /// An underlying WLD error.
+    Wld(ia_wld::WldError),
+    /// The faithful 4-D DP requires repeater areas on an integer grid;
+    /// this instance is not representable.
+    NotQuantizable {
+        /// The offending repeater area.
+        area: f64,
+        /// The quantum that failed.
+        quantum: f64,
+    },
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankError::NoPairs => write!(f, "instance must have at least one layer-pair"),
+            RankError::NoBunches => write!(f, "instance must have at least one bunch"),
+            RankError::PairArityMismatch { bunch } => {
+                write!(f, "bunch {bunch} has per-pair data of the wrong arity")
+            }
+            RankError::NotSortedDescending { bunch } => {
+                write!(
+                    f,
+                    "bunch {bunch} is longer than its predecessor (need longest-first order)"
+                )
+            }
+            RankError::InvalidNumber { field } => {
+                write!(f, "field `{field}` must be finite and non-negative")
+            }
+            RankError::MissingWld => write!(f, "no wire-length distribution was provided"),
+            RankError::MissingGateCount => {
+                write!(f, "a raw WLD needs an explicit gate count to size the die")
+            }
+            RankError::Arch(e) => write!(f, "architecture error: {e}"),
+            RankError::Wld(e) => write!(f, "wld error: {e}"),
+            RankError::NotQuantizable { area, quantum } => {
+                write!(
+                    f,
+                    "repeater area {area} is not a multiple of quantum {quantum}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RankError::Arch(e) => Some(e),
+            RankError::Wld(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ia_arch::ArchError> for RankError {
+    fn from(e: ia_arch::ArchError) -> Self {
+        RankError::Arch(e)
+    }
+}
+
+impl From<ia_wld::WldError> for RankError {
+    fn from(e: ia_wld::WldError) -> Self {
+        RankError::Wld(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = RankError::Arch(ia_arch::ArchError::ZeroGates);
+        assert!(e.to_string().contains("architecture error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&RankError::NoPairs).is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: RankError = ia_wld::WldError::Empty.into();
+        assert!(matches!(e, RankError::Wld(_)));
+        let e: RankError = ia_arch::ArchError::EmptyArchitecture.into();
+        assert!(matches!(e, RankError::Arch(_)));
+    }
+}

@@ -1,0 +1,236 @@
+//! The paper's Algorithms 1–3, implemented literally.
+//!
+//! Builds the 4-dimensional boolean array `M[i, j, r, i']` of the paper
+//! (wires assigned, layer-pairs used, repeater-area bound, wires meeting
+//! delay) and populates it with the Equation (1) recurrence, using
+//! `wire_assign` (`M'`) and `greedy_assign` (`M''`) exactly as Figures
+//! 4–7 describe. Repeater area is discretized on the paper's integer
+//! grid `r = 0..A_R`.
+//!
+//! This implementation exists as a *faithful oracle*: its complexity is
+//! the paper's `O(m·n⁴·A_R³)`, so it only runs on small instances, and
+//! property tests pin [`crate::dp::rank`] (the optimized solver) to it.
+//!
+//! # Restrictions
+//!
+//! The paper measures repeater area in units and recovers repeater
+//! counts as `z_r = r / s_j` (Eq. 5). For the integer table to be exact
+//! we require every pair's repeater to occupy exactly one area quantum
+//! (`repeater_unit_area` equal across pairs); instances violating this
+//! are rejected with [`RankError::NotQuantizable`].
+
+use crate::assign::{greedy_pack, wire_assign};
+use crate::{Instance, RankError};
+
+/// Computes the rank (in wires) with the paper's literal 4-D DP.
+///
+/// # Errors
+///
+/// Returns [`RankError::NotQuantizable`] unless every pair's
+/// `repeater_unit_area` equals the same quantum and the budget is a
+/// (near-)integral number of quanta.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::{exact, toy};
+///
+/// assert_eq!(exact::rank_exact(&toy::figure2())?, 4);
+/// # Ok::<(), ia_rank::RankError>(())
+/// ```
+pub fn rank_exact(inst: &Instance) -> Result<u64, RankError> {
+    let n = inst.bunch_count();
+    let m = inst.pair_count();
+
+    let quantum = inst.pair(0).repeater_unit_area;
+    if !quantum.is_finite() || quantum <= 0.0 {
+        return Err(RankError::NotQuantizable {
+            area: quantum,
+            quantum,
+        });
+    }
+    for j in 0..m {
+        let u = inst.pair(j).repeater_unit_area;
+        if (u - quantum).abs() > 1e-9 * quantum {
+            return Err(RankError::NotQuantizable { area: u, quantum });
+        }
+    }
+    let r_max = (inst.repeater_budget() / quantum + 1e-9).floor() as usize;
+
+    // M[i][j][r][ip], flattened.
+    let dim_i = n + 1;
+    let dim_r = r_max + 1;
+    let dim_ip = n + 1;
+    let idx = |i: usize, j: usize, r: usize, ip: usize| ((i * m + j) * dim_r + r) * dim_ip + ip;
+    let mut table = vec![false; dim_i * m * dim_r * dim_ip];
+
+    // Initialize_M (Algorithm 2): layer-pair 0 takes the met prefix
+    // 0..ip plus extras ip..i; the remainder must greedy-pack below.
+    for ip in 0..=n {
+        for i in ip..=n {
+            for r in 0..=r_max {
+                let out = wire_assign(inst, 0, 0, ip, i, 0, 0, r as f64 * quantum);
+                if out.feasible && greedy_pack(inst, i, 1, inst.wires_before(i), out.repeater_count)
+                {
+                    table[idx(i, 0, r, ip)] = true;
+                }
+            }
+        }
+    }
+
+    // update_M (Algorithm 3): Equation (1).
+    for j in 1..m {
+        for i in 0..=n {
+            for ip in 0..=i {
+                'cell: for r in 0..=r_max {
+                    for i1 in 0..=ip {
+                        for r1 in 0..=r {
+                            // Term 1: M[i'_1, j, r_1, i'_1].
+                            if !table[idx(i1, j - 1, r1, i1)] {
+                                continue;
+                            }
+                            // Term 2: M' — wires i'_1..i to pair j+1,
+                            // prefix i'_1..i' meeting delay, blockage
+                            // from z_{r_1} repeaters above (Eq. 5).
+                            let out = wire_assign(
+                                inst,
+                                j,
+                                i1,
+                                ip,
+                                i,
+                                inst.wires_before(i1),
+                                r1 as u64,
+                                (r - r1) as f64 * quantum,
+                            );
+                            if !out.feasible {
+                                continue;
+                            }
+                            // Term 3: M'' — the rest below, blocked by
+                            // z_{r_1} + z_{r_2} repeaters.
+                            if greedy_pack(
+                                inst,
+                                i,
+                                j + 1,
+                                inst.wires_before(i),
+                                r1 as u64 + out.repeater_count,
+                            ) {
+                                table[idx(i, j, r, ip)] = true;
+                                continue 'cell;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Algorithm 1, steps 3–8: the largest i' with M[i, j, A_R, i'] = 1.
+    let mut best = 0usize;
+    for j in 0..m {
+        for i in 0..=n {
+            for ip in (best + 1..=i.min(n)).rev() {
+                if table[idx(i, j, r_max, ip)] {
+                    best = ip;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(inst.wires_before(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{toy, BunchSolverSpec, Instance, Need, PairSolverSpec};
+
+    #[test]
+    fn figure2_rank_is_four() {
+        assert_eq!(rank_exact(&toy::figure2()).unwrap(), 4);
+    }
+
+    #[test]
+    fn matches_dp_on_budget_family() {
+        for budget in [0.0, 1.0, 3.0, 4.0, 7.0, 10.0] {
+            let inst = toy::budget_limited(5, 2, budget);
+            assert_eq!(
+                rank_exact(&inst).unwrap(),
+                crate::dp::rank(&inst).rank_wires,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_mixed_repeater_unit_areas() {
+        let inst = Instance::new(
+            vec![
+                PairSolverSpec {
+                    capacity: 10.0,
+                    via_area: 0.0,
+                    repeater_unit_area: 1.0,
+                },
+                PairSolverSpec {
+                    capacity: 10.0,
+                    via_area: 0.0,
+                    repeater_unit_area: 2.0,
+                },
+            ],
+            vec![BunchSolverSpec {
+                length: 1,
+                count: 1,
+                wire_area: vec![1.0, 1.0],
+                need: vec![Need::Unbuffered, Need::Unbuffered],
+            }],
+            2,
+            4.0,
+        )
+        .unwrap();
+        assert!(matches!(
+            rank_exact(&inst),
+            Err(RankError::NotQuantizable { .. })
+        ));
+    }
+
+    #[test]
+    fn unassignable_has_rank_zero() {
+        let inst = Instance::new(
+            vec![PairSolverSpec {
+                capacity: 1.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            }],
+            vec![BunchSolverSpec {
+                length: 2,
+                count: 1,
+                wire_area: vec![5.0],
+                need: vec![Need::Unbuffered],
+            }],
+            2,
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(rank_exact(&inst).unwrap(), 0);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_figure2_budget_sweep() {
+        for budget in [0.0, 2.0, 4.0, 6.0, 7.0, 8.0, 12.0] {
+            let base = toy::figure2();
+            let inst = Instance::new(
+                (0..base.pair_count()).map(|j| *base.pair(j)).collect(),
+                (0..base.bunch_count())
+                    .map(|i| base.bunch(i).clone())
+                    .collect(),
+                base.vias_per_wire(),
+                budget,
+            )
+            .unwrap();
+            assert_eq!(
+                rank_exact(&inst).unwrap(),
+                crate::exhaustive::rank_exhaustive(&inst),
+                "budget {budget}"
+            );
+        }
+    }
+}

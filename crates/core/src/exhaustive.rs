@@ -1,0 +1,202 @@
+//! Brute-force rank computation for tiny instances.
+//!
+//! Enumerates every contiguous assignment of bunches to layer-pairs
+//! that respects the paper's ordering rules (longer wires on higher
+//! pairs; the delay-met wires form a global prefix; only the last
+//! "active" pair may hold delay-failing extras; everything deeper is
+//! packed delay-free by `greedy_assign`). Feasibility of each candidate
+//! is checked with the same primitives the DP uses
+//! ([`crate::assign::wire_assign`] and [`crate::assign::greedy_pack`]),
+//! but the *search* is exhaustive — no Pareto pruning, no max-fit
+//! extras heuristic, every repeater allocation implied by a cut vector
+//! is examined. This is the ground-truth oracle for property tests.
+
+use crate::assign::{greedy_pack, wire_assign};
+use crate::Instance;
+
+/// Computes the exact rank (in wires) by exhaustive enumeration.
+///
+/// Intended for instances with at most ~10 bunches and ~4 pairs; cost
+/// grows as `O(n^(m+1))`.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::{exhaustive, toy};
+///
+/// assert_eq!(exhaustive::rank_exhaustive(&toy::figure2()), 4);
+/// ```
+#[must_use]
+pub fn rank_exhaustive(inst: &Instance) -> u64 {
+    let m = inst.pair_count();
+    let mut best: u64 = 0;
+    // Note: rank 0 requires Definition-3 assignability, but any rank > 0
+    // implies it; rank 0 is reported regardless since `best` starts at 0
+    // and callers compare ranks, not assignability (the DP result carries
+    // the assignability flag).
+
+    // Recursively choose met segments for pairs 0..=j_active.
+    // cuts[t] = start of pair t's met segment; P = end of the last one.
+    fn recurse(
+        inst: &Instance,
+        j_active: usize,
+        pair: usize,
+        seg_start: usize,
+        rep_area_so_far: f64,
+        rep_count_so_far: u64,
+        best: &mut u64,
+    ) {
+        let n = inst.bunch_count();
+        // Choose this pair's met segment end.
+        for seg_end in seg_start..=n {
+            let out = wire_assign(
+                inst,
+                pair,
+                seg_start,
+                seg_end,
+                seg_end,
+                inst.wires_before(seg_start),
+                rep_count_so_far,
+                inst.repeater_budget() - rep_area_so_far,
+            );
+            if !out.feasible {
+                // Segments sweep cumulatively; a longer segment can only
+                // add constraints, so stop extending this pair.
+                if seg_end > seg_start {
+                    break;
+                }
+                continue;
+            }
+            let rep_area = rep_area_so_far + out.repeater_area;
+            let rep_count = rep_count_so_far + out.repeater_count;
+            if pair < j_active {
+                recurse(inst, j_active, pair + 1, seg_end, rep_area, rep_count, best);
+            } else {
+                // Active pair: try every extras extent.
+                let p = seg_end;
+                for extras_end in p..=n {
+                    let full = wire_assign(
+                        inst,
+                        pair,
+                        seg_start,
+                        seg_end,
+                        extras_end,
+                        inst.wires_before(seg_start),
+                        rep_count_so_far,
+                        inst.repeater_budget() - rep_area_so_far,
+                    );
+                    if !full.feasible {
+                        break;
+                    }
+                    if greedy_pack(
+                        inst,
+                        extras_end,
+                        pair + 1,
+                        inst.wires_before(extras_end),
+                        rep_count,
+                    ) {
+                        *best = (*best).max(inst.wires_before(p));
+                    }
+                }
+            }
+        }
+    }
+
+    for j_active in 0..m {
+        recurse(inst, j_active, 0, 0, 0.0, 0, &mut best);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{toy, BunchSolverSpec, Instance, Need, PairSolverSpec};
+
+    #[test]
+    fn matches_dp_on_figure2() {
+        let inst = toy::figure2();
+        assert_eq!(rank_exhaustive(&inst), crate::dp::rank(&inst).rank_wires);
+    }
+
+    #[test]
+    fn matches_dp_on_budget_limited_family() {
+        for budget in [0.0, 1.0, 2.5, 4.0, 9.0] {
+            let inst = toy::budget_limited(5, 2, budget);
+            assert_eq!(
+                rank_exhaustive(&inst),
+                crate::dp::rank(&inst).rank_wires,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn unassignable_instance_has_rank_zero() {
+        let inst = Instance::new(
+            vec![PairSolverSpec {
+                capacity: 1.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            }],
+            vec![BunchSolverSpec {
+                length: 4,
+                count: 2,
+                wire_area: vec![5.0],
+                need: vec![Need::Unbuffered],
+            }],
+            2,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(rank_exhaustive(&inst), 0);
+        assert_eq!(crate::dp::rank(&inst).rank_wires, 0);
+    }
+
+    #[test]
+    fn extras_in_active_pair_can_unlock_rank() {
+        // Two pairs. The met prefix is one bunch on pair 0; the second
+        // bunch cannot meet delay anywhere, and the bottom pair is too
+        // small for it — it only fits as an extra in pair 0.
+        let inst = Instance::new(
+            vec![
+                PairSolverSpec {
+                    capacity: 10.0,
+                    via_area: 0.0,
+                    repeater_unit_area: 1.0,
+                },
+                PairSolverSpec {
+                    capacity: 2.0,
+                    via_area: 0.0,
+                    repeater_unit_area: 1.0,
+                },
+            ],
+            vec![
+                BunchSolverSpec {
+                    length: 9,
+                    count: 1,
+                    wire_area: vec![4.0, 4.0],
+                    need: vec![Need::Unbuffered, Need::Unattainable],
+                },
+                BunchSolverSpec {
+                    length: 8,
+                    count: 1,
+                    wire_area: vec![5.0, 5.0],
+                    need: vec![Need::Unattainable, Need::Unattainable],
+                },
+                BunchSolverSpec {
+                    length: 1,
+                    count: 1,
+                    wire_area: vec![2.0, 2.0],
+                    need: vec![Need::Unbuffered, Need::Unbuffered],
+                },
+            ],
+            2,
+            0.0,
+        )
+        .unwrap();
+        // Pair 0: bunch 0 met + bunch 1 extra (9 ≤ 10); pair 1: bunch 2.
+        assert_eq!(rank_exhaustive(&inst), 1);
+        assert_eq!(crate::dp::rank(&inst).rank_wires, 1);
+    }
+}

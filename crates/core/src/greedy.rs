@@ -1,0 +1,212 @@
+//! The greedy top-down baseline (the strategy Figure 2 proves
+//! suboptimal).
+//!
+//! Greedy assignment fills layer-pairs top-down: each pair takes as many
+//! of the next-longest bunches as fit its blocked capacity, buffering
+//! every wire (longest first) while the shared repeater budget lasts.
+//! The greedy rank is the wire count before the first bunch that fails
+//! its target delay. Because greedy commits capacity and budget eagerly,
+//! it can strand the budget on slow upper pairs — the rank DP
+//! ([`crate::dp::rank`]) never does worse and often does strictly
+//! better.
+
+use crate::result::Segment;
+use crate::{Instance, Need, Solution};
+
+/// Computes the greedy top-down rank of an instance.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::{dp, greedy, toy};
+///
+/// let inst = toy::figure2();
+/// let g = greedy::rank_greedy(&inst);
+/// let d = dp::rank(&inst);
+/// assert!(g.rank_wires <= d.rank_wires);
+/// assert_eq!(g.rank_wires, 2);
+/// ```
+#[must_use]
+pub fn rank_greedy(inst: &Instance) -> Solution {
+    let n = inst.bunch_count();
+    let m = inst.pair_count();
+    let budget = inst.repeater_budget();
+
+    let mut idx = 0usize;
+    let mut rep_area = 0.0;
+    let mut rep_count = 0u64;
+    let mut first_fail: Option<usize> = None;
+    let mut segments = Vec::new();
+
+    for j in 0..m {
+        let wires_above = inst.wires_before(idx);
+        let mut cap = inst.blocked_capacity(j, wires_above, rep_count);
+        // Pairs that start after the first delay failure hold only
+        // delay-failing wires; Algorithm 5's accounting charges such
+        // pairs the via area of every wire at-or-below them (all wires
+        // not yet placed), exactly as the DP's tail packing does — so
+        // the greedy baseline stays comparable to (and dominated by)
+        // the DP under one accounting.
+        if first_fail.is_some() {
+            let at_or_below = inst.total_wires() - wires_above;
+            cap -= (at_or_below * inst.vias_per_wire()) as f64 * inst.pair(j).via_area;
+        }
+        let seg_start = idx;
+        let mut area = 0.0;
+        while idx < n {
+            let b = inst.bunch(idx);
+            if area + b.wire_area[j] > cap {
+                break;
+            }
+            area += b.wire_area[j];
+            if first_fail.is_none() {
+                match b.need[j] {
+                    Need::Unbuffered => {}
+                    Need::Repeaters(per_wire) => {
+                        let cnt = per_wire * b.count;
+                        let a = cnt as f64 * inst.pair(j).repeater_unit_area;
+                        if rep_area + a <= budget {
+                            rep_area += a;
+                            rep_count += cnt;
+                        } else {
+                            first_fail = Some(idx);
+                        }
+                    }
+                    Need::Unattainable => first_fail = Some(idx),
+                }
+            }
+            idx += 1;
+        }
+        if idx > seg_start {
+            segments.push(Segment {
+                pair: j,
+                met_start: seg_start,
+                met_end: idx,
+            });
+        }
+        if idx == n {
+            break;
+        }
+    }
+
+    if idx < n {
+        // Not all wires could be assigned: rank 0 (Definition 3).
+        return Solution::zero(false);
+    }
+
+    let met_bunches = first_fail.unwrap_or(n);
+    let rank_wires = inst.wires_before(met_bunches);
+    let active_pair = segments.last().map_or(0, |s: &Segment| s.pair);
+    Solution {
+        met_bunches,
+        rank_wires,
+        normalized: rank_wires as f64 / inst.total_wires() as f64,
+        fully_assignable: true,
+        repeater_area: rep_area,
+        repeater_count: rep_count,
+        segments,
+        extras_end: n,
+        active_pair,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{toy, BunchSolverSpec, PairSolverSpec};
+
+    #[test]
+    fn figure2_greedy_rank_is_two() {
+        let s = rank_greedy(&toy::figure2());
+        assert_eq!(s.rank_wires, 2);
+        // Greedy burned the whole budget on the upper pair.
+        assert!((s.repeater_area - 8.0).abs() < 1e-12);
+        assert!(s.fully_assignable);
+    }
+
+    #[test]
+    fn greedy_equals_dp_when_budget_is_ample() {
+        let inst = toy::budget_limited(6, 1, 100.0);
+        assert_eq!(rank_greedy(&inst).rank_wires, 6);
+        assert_eq!(crate::dp::rank(&inst).rank_wires, 6);
+    }
+
+    #[test]
+    fn greedy_never_exceeds_dp() {
+        for budget in [0.0, 1.0, 3.0, 7.0, 8.0, 20.0] {
+            let mut inst = toy::figure2();
+            // Rebuild with the adjusted budget.
+            inst = crate::Instance::new(
+                (0..inst.pair_count()).map(|j| *inst.pair(j)).collect(),
+                (0..inst.bunch_count())
+                    .map(|i| inst.bunch(i).clone())
+                    .collect(),
+                inst.vias_per_wire(),
+                budget,
+            )
+            .unwrap();
+            assert!(
+                rank_greedy(&inst).rank_wires <= crate::dp::rank(&inst).rank_wires,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_reports_unassignable_as_rank_zero() {
+        let inst = crate::Instance::new(
+            vec![PairSolverSpec {
+                capacity: 1.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            }],
+            vec![BunchSolverSpec {
+                length: 5,
+                count: 3,
+                wire_area: vec![10.0],
+                need: vec![Need::Unbuffered],
+            }],
+            2,
+            0.0,
+        )
+        .unwrap();
+        let s = rank_greedy(&inst);
+        assert_eq!(s.rank_wires, 0);
+        assert!(!s.fully_assignable);
+    }
+
+    #[test]
+    fn greedy_stops_rank_at_unattainable_bunch() {
+        let inst = crate::Instance::new(
+            vec![PairSolverSpec {
+                capacity: 100.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            }],
+            vec![
+                BunchSolverSpec {
+                    length: 9,
+                    count: 2,
+                    wire_area: vec![1.0],
+                    need: vec![Need::Unbuffered],
+                },
+                BunchSolverSpec {
+                    length: 8,
+                    count: 1,
+                    wire_area: vec![1.0],
+                    need: vec![Need::Unattainable],
+                },
+                BunchSolverSpec {
+                    length: 7,
+                    count: 5,
+                    wire_area: vec![1.0],
+                    need: vec![Need::Unbuffered],
+                },
+            ],
+            2,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(rank_greedy(&inst).rank_wires, 2);
+    }
+}

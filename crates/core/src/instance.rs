@@ -1,0 +1,383 @@
+//! The solver-level problem description.
+//!
+//! An [`Instance`] is everything the rank solvers need, with the physics
+//! already evaluated: per-(bunch, pair) wire areas, repeater
+//! requirements, per-pair capacities and via areas, and the repeater
+//! budget — all in one consistent (but otherwise arbitrary) area unit.
+//! The physics layer ([`crate::RankProblem`]) produces instances in m²;
+//! tests and the Figure 2 counterexample build them directly in
+//! convenient unit systems.
+
+use crate::RankError;
+use serde::{Deserialize, Serialize};
+
+/// What a wire needs, on a given layer-pair, to meet its target delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Need {
+    /// Meets the target with no repeaters.
+    Unbuffered,
+    /// Meets the target with this many repeaters (per wire) of the
+    /// pair's uniform size.
+    Repeaters(u64),
+    /// Cannot meet the target on this pair at any repeater count.
+    Unattainable,
+}
+
+impl Need {
+    /// Repeaters per wire demanded by this need (zero unless `Repeaters`).
+    #[must_use]
+    pub fn repeaters_per_wire(self) -> u64 {
+        match self {
+            Need::Repeaters(n) => n,
+            _ => 0,
+        }
+    }
+
+    /// Whether the target delay is attainable on this pair.
+    #[must_use]
+    pub fn attainable(self) -> bool {
+        !matches!(self, Need::Unattainable)
+    }
+}
+
+/// Solver-level description of one layer-pair (topmost first in the
+/// instance's pair list).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairSolverSpec {
+    /// Routing area available in the pair before via blockage (`A_d`).
+    pub capacity: f64,
+    /// Area blocked in this pair by one via stack landing on it (`v_a`).
+    pub via_area: f64,
+    /// Area of one repeater sized for this pair (`s_opt,j ×` unit area).
+    pub repeater_unit_area: f64,
+}
+
+/// Solver-level description of one bunch of identical-length wires
+/// (bunches are ordered longest-first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BunchSolverSpec {
+    /// Wire length (in any consistent unit; used only for order checks
+    /// and reporting).
+    pub length: u64,
+    /// Number of wires in the bunch.
+    pub count: u64,
+    /// Routing area the whole bunch consumes on each pair
+    /// (`count × l × (W_j + S_j)`).
+    pub wire_area: Vec<f64>,
+    /// What each wire of the bunch needs on each pair to meet delay.
+    pub need: Vec<Need>,
+}
+
+/// A complete solver instance.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::{BunchSolverSpec, Instance, Need, PairSolverSpec};
+///
+/// // One pair, one bunch of 3 wires that meet delay unbuffered.
+/// let inst = Instance::new(
+///     vec![PairSolverSpec { capacity: 100.0, via_area: 0.0, repeater_unit_area: 1.0 }],
+///     vec![BunchSolverSpec {
+///         length: 5,
+///         count: 3,
+///         wire_area: vec![30.0],
+///         need: vec![Need::Unbuffered],
+///     }],
+///     2,
+///     10.0,
+/// )?;
+/// assert_eq!(inst.total_wires(), 3);
+/// assert_eq!(ia_rank::dp::rank(&inst).rank_wires, 3);
+/// # Ok::<(), ia_rank::RankError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    pairs: Vec<PairSolverSpec>,
+    bunches: Vec<BunchSolverSpec>,
+    vias_per_wire: u64,
+    repeater_budget: f64,
+    /// Prefix sums: `wires_before[i]` = wires in bunches `0..i`.
+    wires_before: Vec<u64>,
+}
+
+impl Instance {
+    /// Builds and validates an instance.
+    ///
+    /// `pairs` are ordered topmost-first, `bunches` longest-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RankError`] if the instance is empty, per-pair arrays
+    /// have the wrong arity, bunch lengths are not non-increasing, or
+    /// any numeric field is negative or non-finite.
+    pub fn new(
+        pairs: Vec<PairSolverSpec>,
+        bunches: Vec<BunchSolverSpec>,
+        vias_per_wire: u64,
+        repeater_budget: f64,
+    ) -> Result<Self, RankError> {
+        if pairs.is_empty() {
+            return Err(RankError::NoPairs);
+        }
+        if bunches.is_empty() {
+            return Err(RankError::NoBunches);
+        }
+        if !repeater_budget.is_finite() || repeater_budget < 0.0 {
+            return Err(RankError::InvalidNumber {
+                field: "repeater_budget",
+            });
+        }
+        for p in &pairs {
+            for (field, v) in [
+                ("capacity", p.capacity),
+                ("via_area", p.via_area),
+                ("repeater_unit_area", p.repeater_unit_area),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(RankError::InvalidNumber { field });
+                }
+            }
+        }
+        for (i, b) in bunches.iter().enumerate() {
+            if b.wire_area.len() != pairs.len() || b.need.len() != pairs.len() {
+                return Err(RankError::PairArityMismatch { bunch: i });
+            }
+            if b.count == 0 {
+                return Err(RankError::InvalidNumber { field: "count" });
+            }
+            if b.wire_area.iter().any(|a| !a.is_finite() || *a < 0.0) {
+                return Err(RankError::InvalidNumber { field: "wire_area" });
+            }
+            if i > 0 && bunches[i - 1].length < b.length {
+                return Err(RankError::NotSortedDescending { bunch: i });
+            }
+        }
+        let mut wires_before = Vec::with_capacity(bunches.len() + 1);
+        let mut acc = 0u64;
+        wires_before.push(0);
+        for b in &bunches {
+            acc += b.count;
+            wires_before.push(acc);
+        }
+        Ok(Self {
+            pairs,
+            bunches,
+            vias_per_wire,
+            repeater_budget,
+            wires_before,
+        })
+    }
+
+    /// Number of layer-pairs (`m`).
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of bunches (`n` at bunch granularity).
+    #[must_use]
+    pub fn bunch_count(&self) -> usize {
+        self.bunches.len()
+    }
+
+    /// Total number of wires.
+    #[must_use]
+    pub fn total_wires(&self) -> u64 {
+        *self.wires_before.last().expect("prefix sums are non-empty")
+    }
+
+    /// Wires contained in bunches `0..i`.
+    #[must_use]
+    pub fn wires_before(&self, i: usize) -> u64 {
+        self.wires_before[i]
+    }
+
+    /// The pair at index `j` (0 = topmost).
+    #[must_use]
+    pub fn pair(&self, j: usize) -> &PairSolverSpec {
+        &self.pairs[j]
+    }
+
+    /// The bunch at index `i` (0 = longest).
+    #[must_use]
+    pub fn bunch(&self, i: usize) -> &BunchSolverSpec {
+        &self.bunches[i]
+    }
+
+    /// Via stacks per wire (`v`).
+    #[must_use]
+    pub fn vias_per_wire(&self) -> u64 {
+        self.vias_per_wire
+    }
+
+    /// The repeater-area budget (`A_R`).
+    #[must_use]
+    pub fn repeater_budget(&self) -> f64 {
+        self.repeater_budget
+    }
+
+    /// Repeaters the whole bunch `i` needs on pair `j` (count), or `None`
+    /// if the target is unattainable there.
+    #[must_use]
+    pub fn bunch_repeater_count(&self, i: usize, j: usize) -> Option<u64> {
+        match self.bunches[i].need[j] {
+            Need::Unbuffered => Some(0),
+            Need::Repeaters(n) => Some(n * self.bunches[i].count),
+            Need::Unattainable => None,
+        }
+    }
+
+    /// Repeater area the whole bunch `i` needs on pair `j`, or `None` if
+    /// unattainable.
+    #[must_use]
+    pub fn bunch_repeater_area(&self, i: usize, j: usize) -> Option<f64> {
+        self.bunch_repeater_count(i, j)
+            .map(|n| n as f64 * self.pairs[j].repeater_unit_area)
+    }
+
+    /// Routing capacity of pair `j` after subtracting via blockage from
+    /// `wires_above` wires and `repeaters_above` repeaters located on
+    /// higher pairs (Algorithm 4 step 1 / Algorithm 5 step 2).
+    #[must_use]
+    pub fn blocked_capacity(&self, j: usize, wires_above: u64, repeaters_above: u64) -> f64 {
+        let stacks = repeaters_above + self.vias_per_wire * wires_above;
+        self.pairs[j].capacity - stacks as f64 * self.pairs[j].via_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cap: f64) -> PairSolverSpec {
+        PairSolverSpec {
+            capacity: cap,
+            via_area: 0.5,
+            repeater_unit_area: 2.0,
+        }
+    }
+
+    fn bunch(length: u64, count: u64, area: f64, need: Need) -> BunchSolverSpec {
+        BunchSolverSpec {
+            length,
+            count,
+            wire_area: vec![area],
+            need: vec![need],
+        }
+    }
+
+    #[test]
+    fn prefix_sums_and_totals() {
+        let inst = Instance::new(
+            vec![pair(100.0)],
+            vec![
+                bunch(9, 4, 36.0, Need::Unbuffered),
+                bunch(5, 10, 50.0, Need::Repeaters(1)),
+            ],
+            2,
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(inst.total_wires(), 14);
+        assert_eq!(inst.wires_before(0), 0);
+        assert_eq!(inst.wires_before(1), 4);
+        assert_eq!(inst.wires_before(2), 14);
+    }
+
+    #[test]
+    fn repeater_cost_accounting() {
+        let inst = Instance::new(
+            vec![pair(100.0)],
+            vec![bunch(5, 10, 50.0, Need::Repeaters(3))],
+            2,
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(inst.bunch_repeater_count(0, 0), Some(30));
+        assert_eq!(inst.bunch_repeater_area(0, 0), Some(60.0));
+    }
+
+    #[test]
+    fn unattainable_bunch_has_no_cost() {
+        let inst = Instance::new(
+            vec![pair(100.0)],
+            vec![bunch(5, 10, 50.0, Need::Unattainable)],
+            2,
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(inst.bunch_repeater_count(0, 0), None);
+        assert_eq!(inst.bunch_repeater_area(0, 0), None);
+    }
+
+    #[test]
+    fn blocked_capacity_subtracts_via_stacks() {
+        let inst = Instance::new(
+            vec![pair(100.0)],
+            vec![bunch(5, 1, 5.0, Need::Unbuffered)],
+            2,
+            10.0,
+        )
+        .unwrap();
+        // 10 wires × 2 vias + 4 repeaters = 24 stacks × 0.5 area = 12.
+        assert!((inst.blocked_capacity(0, 10, 4) - 88.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        assert_eq!(
+            Instance::new(vec![], vec![bunch(1, 1, 1.0, Need::Unbuffered)], 2, 1.0).unwrap_err(),
+            RankError::NoPairs
+        );
+        assert_eq!(
+            Instance::new(vec![pair(1.0)], vec![], 2, 1.0).unwrap_err(),
+            RankError::NoBunches
+        );
+        // Ascending lengths are rejected.
+        let bad = Instance::new(
+            vec![pair(1.0)],
+            vec![
+                bunch(1, 1, 1.0, Need::Unbuffered),
+                bunch(5, 1, 5.0, Need::Unbuffered),
+            ],
+            2,
+            1.0,
+        );
+        assert_eq!(
+            bad.unwrap_err(),
+            RankError::NotSortedDescending { bunch: 1 }
+        );
+        // Wrong arity.
+        let two_pair_bunch = BunchSolverSpec {
+            length: 3,
+            count: 1,
+            wire_area: vec![1.0, 2.0],
+            need: vec![Need::Unbuffered, Need::Unbuffered],
+        };
+        assert_eq!(
+            Instance::new(vec![pair(1.0)], vec![two_pair_bunch], 2, 1.0).unwrap_err(),
+            RankError::PairArityMismatch { bunch: 0 }
+        );
+        // Negative budget.
+        assert!(matches!(
+            Instance::new(
+                vec![pair(1.0)],
+                vec![bunch(1, 1, 1.0, Need::Unbuffered)],
+                2,
+                -1.0
+            )
+            .unwrap_err(),
+            RankError::InvalidNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn need_helpers() {
+        assert_eq!(Need::Unbuffered.repeaters_per_wire(), 0);
+        assert_eq!(Need::Repeaters(7).repeaters_per_wire(), 7);
+        assert_eq!(Need::Unattainable.repeaters_per_wire(), 0);
+        assert!(Need::Unbuffered.attainable());
+        assert!(!Need::Unattainable.attainable());
+    }
+}

@@ -1,0 +1,339 @@
+//! Direct optimization of interconnect architectures by the rank
+//! metric — the future work announced in the paper's conclusions
+//! ("we are also pursuing direct optimization of interconnect
+//! architectures according to our proposed metric, with the goal of
+//! evaluating ITRS and foundry BEOL architectures").
+//!
+//! The optimizer enumerates candidate BEOL stacks (pair counts per
+//! tier, optionally widened semi-global/global pitches), evaluates each
+//! candidate's rank on the same design, and reports the full ranking
+//! plus the cost/quality Pareto front (layer-pairs are mask cost, rank
+//! is quality).
+
+use crate::{RankError, RankProblem, RankProblemBuilder};
+use ia_arch::{Architecture, LayerPair};
+use ia_tech::{TechnologyNode, WiringTier};
+use serde::{Deserialize, Serialize};
+use std::ops::RangeInclusive;
+
+/// The space of candidate stacks to enumerate.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::optimize::StackSearchSpace;
+///
+/// let space = StackSearchSpace::default();
+/// // The default space explores up to 6 pairs across the three tiers.
+/// assert_eq!(space.max_total_pairs, 6);
+/// assert!(space.candidates().count() > 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackSearchSpace {
+    /// Total layer-pair budget (mask-cost ceiling).
+    pub max_total_pairs: usize,
+    /// Global (`M_t`) pair counts to try.
+    pub global_pairs: RangeInclusive<usize>,
+    /// Semi-global (`M_x`) pair counts to try.
+    pub semi_global_pairs: RangeInclusive<usize>,
+    /// Local (`M1`) pair counts to try.
+    pub local_pairs: RangeInclusive<usize>,
+    /// Pitch-widening factors applied to the semi-global tier
+    /// (1.0 = minimum pitch). Wider wires have lower RC but fewer
+    /// tracks per pair.
+    pub semi_global_pitch_scales: Vec<f64>,
+}
+
+impl Default for StackSearchSpace {
+    fn default() -> Self {
+        Self {
+            max_total_pairs: 6,
+            global_pairs: 1..=2,
+            semi_global_pairs: 1..=4,
+            local_pairs: 0..=2,
+            semi_global_pitch_scales: vec![1.0],
+        }
+    }
+}
+
+/// One candidate stack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackCandidate {
+    /// Number of global pairs.
+    pub global: usize,
+    /// Number of semi-global pairs.
+    pub semi_global: usize,
+    /// Number of local pairs.
+    pub local: usize,
+    /// Pitch-widening factor of the semi-global tier.
+    pub semi_global_pitch_scale: f64,
+}
+
+impl StackCandidate {
+    /// Total layer-pairs of the candidate.
+    #[must_use]
+    pub fn total_pairs(&self) -> usize {
+        self.global + self.semi_global + self.local
+    }
+
+    /// Materializes the candidate as an [`Architecture`] on a node.
+    #[must_use]
+    pub fn build(&self, node: &TechnologyNode) -> Architecture {
+        let mut pairs = Vec::with_capacity(self.total_pairs());
+        for _ in 0..self.global {
+            pairs.push(LayerPair::from_tier(node, WiringTier::Global));
+        }
+        for _ in 0..self.semi_global {
+            let base = LayerPair::from_tier(node, WiringTier::SemiGlobal);
+            let scaled =
+                base.with_geometry(base.geometry().scaled_pitch(self.semi_global_pitch_scale));
+            pairs.push(scaled);
+        }
+        for _ in 0..self.local {
+            pairs.push(LayerPair::from_tier(node, WiringTier::Local));
+        }
+        Architecture::from_pairs(pairs).expect("candidate has at least one pair")
+    }
+}
+
+impl std::fmt::Display for StackCandidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}g+{}sg+{}l", self.global, self.semi_global, self.local)?;
+        if (self.semi_global_pitch_scale - 1.0).abs() > 1e-12 {
+            write!(f, " (sg pitch ×{:.2})", self.semi_global_pitch_scale)?;
+        }
+        Ok(())
+    }
+}
+
+impl StackSearchSpace {
+    /// Iterates the candidates of the space (non-empty stacks within the
+    /// pair budget).
+    pub fn candidates(&self) -> impl Iterator<Item = StackCandidate> + '_ {
+        let globals = self.global_pairs.clone();
+        globals.flat_map(move |g| {
+            self.semi_global_pairs.clone().flat_map(move |sg| {
+                self.local_pairs.clone().flat_map(move |l| {
+                    self.semi_global_pitch_scales
+                        .iter()
+                        .copied()
+                        .filter_map(move |scale| {
+                            let c = StackCandidate {
+                                global: g,
+                                semi_global: sg,
+                                local: l,
+                                semi_global_pitch_scale: scale,
+                            };
+                            (c.total_pairs() >= 1 && c.total_pairs() <= self.max_total_pairs)
+                                .then_some(c)
+                        })
+                })
+            })
+        })
+    }
+}
+
+/// The evaluated outcome of one candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackEvaluation {
+    /// The candidate configuration.
+    pub candidate: StackCandidate,
+    /// Rank achieved (0 if unroutable).
+    pub rank: u64,
+    /// Normalized rank.
+    pub normalized: f64,
+    /// Whether the whole WLD fit (Definition 3).
+    pub routable: bool,
+    /// Repeaters consumed by the winning embedding.
+    pub repeater_count: u64,
+}
+
+/// Enumerates and evaluates every candidate of `space` on `node`,
+/// configuring each rank problem with `configure` (which must at least
+/// supply a WLD). Returns evaluations sorted by descending rank, ties
+/// broken by fewer pairs (cheaper mask set first).
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from problem construction.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::optimize::{optimize_stack, StackSearchSpace};
+/// use ia_tech::presets;
+/// use ia_wld::WldSpec;
+///
+/// let node = presets::tsmc130();
+/// let space = StackSearchSpace {
+///     max_total_pairs: 3,
+///     global_pairs: 1..=1,
+///     semi_global_pairs: 1..=2,
+///     local_pairs: 0..=0,
+///     semi_global_pitch_scales: vec![1.0],
+/// };
+/// let spec = WldSpec::new(30_000)?;
+/// let ranked = optimize_stack(&node, &space, |b| {
+///     b.wld_spec(spec).bunch_size(3_000)
+/// })?;
+/// assert_eq!(ranked.len(), 2);
+/// assert!(ranked[0].rank >= ranked[1].rank);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize_stack<F>(
+    node: &TechnologyNode,
+    space: &StackSearchSpace,
+    configure: F,
+) -> Result<Vec<StackEvaluation>, RankError>
+where
+    F: for<'b> Fn(RankProblemBuilder<'b>) -> RankProblemBuilder<'b>,
+{
+    let mut evaluations = Vec::new();
+    for candidate in space.candidates() {
+        let architecture = candidate.build(node);
+        let problem = configure(RankProblem::builder(node, &architecture)).build()?;
+        let result = problem.rank();
+        evaluations.push(StackEvaluation {
+            candidate,
+            rank: result.rank(),
+            normalized: result.normalized(),
+            routable: result.fully_assignable(),
+            repeater_count: result.repeater_count(),
+        });
+    }
+    evaluations.sort_by(|a, b| {
+        b.rank
+            .cmp(&a.rank)
+            .then(a.candidate.total_pairs().cmp(&b.candidate.total_pairs()))
+    });
+    Ok(evaluations)
+}
+
+/// The cost/quality Pareto front of a set of evaluations: routable
+/// candidates with positive rank for which no other candidate achieves
+/// at least the same rank with fewer (or equal) layer-pairs. Ties on
+/// `(pairs, rank)` keep only the first entry in input order.
+#[must_use]
+pub fn pareto_front(evaluations: &[StackEvaluation]) -> Vec<StackEvaluation> {
+    let mut front: Vec<StackEvaluation> = Vec::new();
+    for e in evaluations {
+        if !e.routable || e.rank == 0 {
+            continue;
+        }
+        let dominated = evaluations.iter().any(|o| {
+            (o.rank > e.rank && o.candidate.total_pairs() <= e.candidate.total_pairs())
+                || (o.rank >= e.rank && o.candidate.total_pairs() < e.candidate.total_pairs())
+        });
+        let duplicate = front
+            .iter()
+            .any(|f| f.rank == e.rank && f.candidate.total_pairs() == e.candidate.total_pairs());
+        if !dominated && !duplicate {
+            front.push(e.clone());
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_tech::presets;
+    use ia_wld::WldSpec;
+
+    fn space() -> StackSearchSpace {
+        StackSearchSpace {
+            max_total_pairs: 4,
+            global_pairs: 1..=2,
+            semi_global_pairs: 1..=3,
+            local_pairs: 0..=1,
+            semi_global_pitch_scales: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn candidate_enumeration_respects_budget() {
+        for c in space().candidates() {
+            assert!(c.total_pairs() >= 1 && c.total_pairs() <= 4);
+        }
+        // 2 globals × 3 semi-globals × 2 locals = 12 raw combos, minus
+        // those exceeding 4 pairs (2g+3sg, 2g+3sg+1l, 1g+3sg+1l, 2g+2sg+1l).
+        assert_eq!(space().candidates().count(), 8);
+    }
+
+    #[test]
+    fn candidate_build_matches_counts() {
+        let node = presets::tsmc130();
+        let c = StackCandidate {
+            global: 1,
+            semi_global: 2,
+            local: 1,
+            semi_global_pitch_scale: 1.5,
+        };
+        let a = c.build(&node);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.pair(0).tier(), WiringTier::Global);
+        // Scaled pitch applied to semi-global pairs only.
+        let base = node.layer(WiringTier::SemiGlobal).pitch();
+        assert!((a.pair(1).wire_pitch() / base - 1.5).abs() < 1e-9);
+        assert_eq!(
+            a.pair(3).wire_pitch(),
+            node.layer(WiringTier::Local).pitch()
+        );
+    }
+
+    #[test]
+    fn optimizer_sorts_by_rank_then_cost() {
+        let node = presets::tsmc130();
+        let spec = WldSpec::new(30_000).unwrap();
+        let ranked = optimize_stack(&node, &space(), |b| b.wld_spec(spec).bunch_size(3_000))
+            .expect("optimization runs");
+        assert_eq!(ranked.len(), 8);
+        for w in ranked.windows(2) {
+            assert!(
+                w[0].rank > w[1].rank
+                    || (w[0].rank == w[1].rank
+                        && w[0].candidate.total_pairs() <= w[1].candidate.total_pairs())
+            );
+        }
+        // Adding pairs never hurts: the best candidate routes the WLD.
+        assert!(ranked[0].routable);
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated() {
+        let node = presets::tsmc130();
+        let spec = WldSpec::new(30_000).unwrap();
+        let ranked = optimize_stack(&node, &space(), |b| b.wld_spec(spec).bunch_size(3_000))
+            .expect("optimization runs");
+        let front = pareto_front(&ranked);
+        assert!(!front.is_empty());
+        for e in &front {
+            for o in &ranked {
+                let dominates = (o.rank > e.rank
+                    && o.candidate.total_pairs() <= e.candidate.total_pairs())
+                    || (o.rank >= e.rank && o.candidate.total_pairs() < e.candidate.total_pairs());
+                assert!(!dominates, "{e:?} dominated by {o:?}");
+            }
+        }
+        // The front is no larger than the distinct pair-count spectrum.
+        let mut sizes: Vec<usize> = front.iter().map(|e| e.candidate.total_pairs()).collect();
+        sizes.dedup();
+        assert_eq!(sizes.len(), front.len());
+    }
+
+    #[test]
+    fn display_formats_candidates() {
+        let c = StackCandidate {
+            global: 1,
+            semi_global: 2,
+            local: 0,
+            semi_global_pitch_scale: 1.0,
+        };
+        assert_eq!(c.to_string(), "1g+2sg+0l");
+        let wide = StackCandidate {
+            semi_global_pitch_scale: 2.0,
+            ..c
+        };
+        assert!(wide.to_string().contains("×2.00"));
+    }
+}

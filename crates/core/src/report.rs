@@ -1,0 +1,217 @@
+//! Per-pair utilization reporting for a solved instance.
+//!
+//! Reconstructs where every bunch of the winning assignment lives —
+//! delay-met segments, the active pair's extras, and the greedy-packed
+//! tail — and accounts each layer-pair's wire area, via blockage and
+//! repeater usage. This is the view a BEOL architect needs to see *why*
+//! the rank stopped where it did (capacity? budget? attainability?).
+
+use crate::assign::greedy_pack_plan;
+use crate::{Instance, Need, Solution};
+use serde::{Deserialize, Serialize};
+
+/// Utilization of one layer-pair under a winning assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairUsage {
+    /// Layer-pair index (0 = topmost).
+    pub pair: usize,
+    /// Bunches placed on this pair.
+    pub bunches: usize,
+    /// Wires placed on this pair.
+    pub wires: u64,
+    /// Wires on this pair that meet their target delay.
+    pub met_wires: u64,
+    /// Wire area consumed.
+    pub wire_area: f64,
+    /// Area blocked by vias from wires and repeaters above.
+    pub via_blockage: f64,
+    /// Raw capacity of the pair.
+    pub capacity: f64,
+    /// Repeaters inserted in this pair's wires.
+    pub repeaters: u64,
+    /// Repeater area consumed by this pair's wires.
+    pub repeater_area: f64,
+}
+
+impl PairUsage {
+    /// Fraction of the blocked capacity consumed by wire area.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let available = self.capacity - self.via_blockage;
+        if available <= 0.0 {
+            if self.wire_area > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.wire_area / available
+        }
+    }
+}
+
+/// Reconstructs per-pair utilization for a solution produced by
+/// [`crate::dp::rank`] on `inst`.
+///
+/// The tail (bunches `solution.extras_end..`) is re-packed with the
+/// same `greedy_assign` the solver used, so the report reflects the
+/// actual winning embedding. Returns one entry per layer-pair.
+///
+/// # Panics
+///
+/// Panics if `solution` does not belong to `inst` (inconsistent bunch
+/// indices), or if the solution claims feasibility but the tail no
+/// longer packs — both indicate API misuse.
+#[must_use]
+pub fn utilization(inst: &Instance, solution: &Solution) -> Vec<PairUsage> {
+    let m = inst.pair_count();
+    let mut usage: Vec<PairUsage> = (0..m)
+        .map(|j| PairUsage {
+            pair: j,
+            bunches: 0,
+            wires: 0,
+            met_wires: 0,
+            wire_area: 0.0,
+            via_blockage: 0.0,
+            capacity: inst.pair(j).capacity,
+            repeaters: 0,
+            repeater_area: 0.0,
+        })
+        .collect();
+
+    let add_bunch = |usage: &mut Vec<PairUsage>, j: usize, i: usize, met: bool| {
+        let b = inst.bunch(i);
+        let u = &mut usage[j];
+        u.bunches += 1;
+        u.wires += b.count;
+        u.wire_area += b.wire_area[j];
+        if met {
+            u.met_wires += b.count;
+            if let Need::Repeaters(per_wire) = b.need[j] {
+                let n = per_wire * b.count;
+                u.repeaters += n;
+                u.repeater_area += n as f64 * inst.pair(j).repeater_unit_area;
+            }
+        }
+    };
+
+    // Met segments and extras.
+    for seg in &solution.segments {
+        for i in seg.met_start..seg.met_end {
+            add_bunch(&mut usage, seg.pair, i, true);
+        }
+    }
+    for i in solution.met_bunches..solution.extras_end {
+        add_bunch(&mut usage, solution.active_pair, i, false);
+    }
+
+    // Tail: replay the greedy packing. The pure Definition-3 base case
+    // (nothing met, no extras recorded) packs the whole WLD from the
+    // topmost pair; otherwise the tail goes below the active pair.
+    let base_case =
+        solution.met_bunches == 0 && solution.extras_end == 0 && solution.segments.is_empty();
+    let tail_first_pair = if base_case {
+        0
+    } else {
+        solution.active_pair + 1
+    };
+    if solution.extras_end < inst.bunch_count() {
+        let wires_above = inst.wires_before(solution.extras_end);
+        let plan = greedy_pack_plan(
+            inst,
+            solution.extras_end,
+            tail_first_pair,
+            wires_above,
+            solution.repeater_count,
+        )
+        .expect("a feasible solution's tail must still pack");
+        for (j, range) in plan {
+            for i in range {
+                add_bunch(&mut usage, j, i, false);
+            }
+        }
+    }
+
+    // Via blockage per pair from everything above it.
+    let mut wires_above = 0u64;
+    let mut repeaters_above = 0u64;
+    for (j, u) in usage.iter_mut().enumerate() {
+        u.via_blockage =
+            (repeaters_above + inst.vias_per_wire() * wires_above) as f64 * inst.pair(j).via_area;
+        wires_above += u.wires;
+        repeaters_above += u.repeaters;
+    }
+    usage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dp, toy};
+
+    #[test]
+    fn figure2_utilization_matches_the_optimal_embedding() {
+        let inst = toy::figure2();
+        let s = dp::rank(&inst);
+        let usage = utilization(&inst, &s);
+        assert_eq!(usage.len(), 2);
+        // Optimal: 1 wire up (4 repeaters) + 3 wires down (3 repeaters).
+        assert_eq!(usage[0].wires, 1);
+        assert_eq!(usage[0].repeaters, 4);
+        assert_eq!(usage[1].wires, 3);
+        assert_eq!(usage[1].repeaters, 3);
+        // Everything is delay-met and every wire is placed.
+        assert_eq!(usage.iter().map(|u| u.met_wires).sum::<u64>(), 4);
+        assert_eq!(
+            usage.iter().map(|u| u.wires).sum::<u64>(),
+            inst.total_wires()
+        );
+        // Areas match the solution's accounting.
+        let total_rep: f64 = usage.iter().map(|u| u.repeater_area).sum();
+        assert!((total_rep - s.repeater_area).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_bounded_by_capacity() {
+        let inst = toy::figure2();
+        let s = dp::rank(&inst);
+        for u in utilization(&inst, &s) {
+            assert!(u.wire_area <= u.capacity - u.via_blockage + 1e-12);
+            assert!(u.utilization() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unmet_extras_are_counted_but_not_met() {
+        use crate::{BunchSolverSpec, Instance, Need, PairSolverSpec};
+        let inst = Instance::new(
+            vec![PairSolverSpec {
+                capacity: 10.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            }],
+            vec![
+                BunchSolverSpec {
+                    length: 9,
+                    count: 2,
+                    wire_area: vec![4.0],
+                    need: vec![Need::Unbuffered],
+                },
+                BunchSolverSpec {
+                    length: 5,
+                    count: 3,
+                    wire_area: vec![4.0],
+                    need: vec![Need::Unattainable],
+                },
+            ],
+            2,
+            0.0,
+        )
+        .expect("valid");
+        let s = dp::rank(&inst);
+        assert_eq!(s.rank_wires, 2);
+        let usage = utilization(&inst, &s);
+        assert_eq!(usage[0].wires, 5);
+        assert_eq!(usage[0].met_wires, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Solver and physics-level result types.
+
+use serde::{Deserialize, Serialize};
+
+/// One delay-met segment of the winning assignment: bunches
+/// `met_start..met_end` on layer-pair `pair`, all meeting their targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Layer-pair index (0 = topmost).
+    pub pair: usize,
+    /// First bunch of the segment (inclusive).
+    pub met_start: usize,
+    /// One past the last bunch of the segment.
+    pub met_end: usize,
+}
+
+/// Solver-level rank solution.
+///
+/// `rank_wires` counts **wires** (not bunches): the rank of the
+/// architecture per Definition 2, i.e. the size of the longest prefix of
+/// the WLD that meets target delay in the best feasible embedding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Number of leading bunches meeting their target delay.
+    pub met_bunches: usize,
+    /// Number of leading wires meeting their target delay — the rank.
+    pub rank_wires: u64,
+    /// `rank_wires / total_wires` (the paper's normalized rank).
+    pub normalized: f64,
+    /// Whether the whole WLD could be assigned to the architecture
+    /// (Definition 3: if not, the rank is 0).
+    pub fully_assignable: bool,
+    /// Repeater area consumed by the winning assignment.
+    pub repeater_area: f64,
+    /// Repeater count consumed by the winning assignment.
+    pub repeater_count: u64,
+    /// The delay-met segments, topmost pair first. The last segment's
+    /// pair is the "active" pair, which may also hold delay-failing
+    /// extras (`met_bunches..extras_end`).
+    pub segments: Vec<Segment>,
+    /// One past the last bunch placed (delay-ignored) in the active
+    /// pair; bunches `extras_end..` are packed into the remaining pairs
+    /// by `greedy_assign`.
+    pub extras_end: usize,
+    /// The pair holding the extras (equals the last segment's pair when
+    /// segments exist; meaningful for rank-0 solutions whose extras
+    /// were placed without any delay-met segment). For the pure
+    /// Definition-3 base case (`met_bunches == 0 && extras_end == 0 &&
+    /// segments.is_empty()`), the whole WLD is packed from the topmost
+    /// pair and this field is 0 by convention.
+    pub active_pair: usize,
+}
+
+impl Solution {
+    /// A rank-zero solution (no wire meets delay, or the WLD does not
+    /// fit per Definition 3).
+    #[must_use]
+    pub fn zero(fully_assignable: bool) -> Self {
+        Self {
+            met_bunches: 0,
+            rank_wires: 0,
+            normalized: 0.0,
+            fully_assignable,
+            repeater_area: 0.0,
+            repeater_count: 0,
+            segments: Vec::new(),
+            extras_end: 0,
+            active_pair: 0,
+        }
+    }
+}
+
+/// Physics-level rank result, wrapping a [`Solution`] with the problem's
+/// physical units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankResult {
+    solution: Solution,
+    total_wires: u64,
+    repeater_area: ia_units::Area,
+}
+
+impl RankResult {
+    pub(crate) fn new(solution: Solution, total_wires: u64) -> Self {
+        let repeater_area = ia_units::Area::from_square_meters(solution.repeater_area);
+        Self {
+            solution,
+            total_wires,
+            repeater_area,
+        }
+    }
+
+    /// The rank: number of longest wires meeting their target delay.
+    #[must_use]
+    pub fn rank(&self) -> u64 {
+        self.solution.rank_wires
+    }
+
+    /// Rank normalized by the total wire count (the numbers reported in
+    /// Table 4 of the paper).
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        self.solution.normalized
+    }
+
+    /// Whether the whole WLD fits the architecture (Definition 3).
+    #[must_use]
+    pub fn fully_assignable(&self) -> bool {
+        self.solution.fully_assignable
+    }
+
+    /// Total wires in the (coarsened) WLD.
+    #[must_use]
+    pub fn total_wires(&self) -> u64 {
+        self.total_wires
+    }
+
+    /// Repeater area consumed by the winning assignment.
+    #[must_use]
+    pub fn repeater_area(&self) -> ia_units::Area {
+        self.repeater_area
+    }
+
+    /// Repeater count consumed by the winning assignment.
+    #[must_use]
+    pub fn repeater_count(&self) -> u64 {
+        self.solution.repeater_count
+    }
+
+    /// The underlying solver solution (segments, extras, bunch counts).
+    #[must_use]
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+}
+
+impl std::fmt::Display for RankResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} of {} wires (normalized {:.6}){}",
+            self.rank(),
+            self.total_wires,
+            self.normalized(),
+            if self.fully_assignable() {
+                ""
+            } else {
+                " [WLD does not fit: rank forced to 0]"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_solution() {
+        let s = Solution::zero(false);
+        assert_eq!(s.rank_wires, 0);
+        assert!(!s.fully_assignable);
+        assert!(s.segments.is_empty());
+    }
+
+    #[test]
+    fn result_accessors_and_display() {
+        let mut s = Solution::zero(true);
+        s.rank_wires = 42;
+        s.normalized = 0.42;
+        s.repeater_area = 1e-9;
+        s.repeater_count = 7;
+        let r = RankResult::new(s, 100);
+        assert_eq!(r.rank(), 42);
+        assert_eq!(r.total_wires(), 100);
+        assert_eq!(r.repeater_count(), 7);
+        assert!((r.repeater_area().square_meters() - 1e-9).abs() < 1e-21);
+        let text = r.to_string();
+        assert!(text.contains("rank 42 of 100"));
+        assert!(!text.contains("does not fit"));
+    }
+
+    #[test]
+    fn display_flags_unassignable() {
+        let r = RankResult::new(Solution::zero(false), 10);
+        assert!(r.to_string().contains("does not fit"));
+    }
+}

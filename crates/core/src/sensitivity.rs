@@ -1,0 +1,256 @@
+//! Local sensitivity analysis of the rank to the Table 4 knobs.
+//!
+//! The paper's conclusions argue that no single lever (material,
+//! process, or design) can enable future designs alone — they must be
+//! *co-optimized*. This module quantifies that statement at any
+//! operating point: the relative rank gain per percent of improvement
+//! in each knob (ILD permittivity, Miller factor, clock, repeater
+//! fraction), estimated by symmetric finite differences on rebuilt
+//! problems.
+
+use crate::{RankError, RankProblemBuilder};
+use ia_units::{Frequency, Permittivity};
+use serde::{Deserialize, Serialize};
+
+/// The knobs of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Knob {
+    /// ILD permittivity `K` (improving = decreasing).
+    Permittivity,
+    /// Miller coupling factor `M` (improving = decreasing).
+    MillerFactor,
+    /// Target clock frequency (improving = decreasing — i.e. slack).
+    Clock,
+    /// Repeater-area fraction `R` (improving = increasing).
+    RepeaterFraction,
+}
+
+impl Knob {
+    /// All four knobs in Table 4 order.
+    pub const ALL: [Knob; 4] = [
+        Knob::Permittivity,
+        Knob::MillerFactor,
+        Knob::Clock,
+        Knob::RepeaterFraction,
+    ];
+}
+
+impl std::fmt::Display for Knob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Knob::Permittivity => write!(f, "K (ILD permittivity)"),
+            Knob::MillerFactor => write!(f, "M (Miller factor)"),
+            Knob::Clock => write!(f, "C (clock frequency)"),
+            Knob::RepeaterFraction => write!(f, "R (repeater fraction)"),
+        }
+    }
+}
+
+/// Sensitivity of the rank to one knob at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobSensitivity {
+    /// Which knob.
+    pub knob: Knob,
+    /// The operating-point value of the knob.
+    pub at: f64,
+    /// Normalized rank at the operating point.
+    pub baseline_normalized: f64,
+    /// Relative rank gain per percent of *improvement* of the knob
+    /// (elasticity): `(Δrank/rank) / (Δknob/knob) × sign(improvement)`.
+    /// Positive means improving the knob helps, as it should.
+    pub elasticity: f64,
+}
+
+/// The operating point at which to evaluate sensitivities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// ILD permittivity `K`.
+    pub permittivity: f64,
+    /// Miller coupling factor.
+    pub miller_factor: f64,
+    /// Clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Repeater-area fraction.
+    pub repeater_fraction: f64,
+}
+
+impl OperatingPoint {
+    /// The paper's Table 2 baseline.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self {
+            permittivity: 3.9,
+            miller_factor: 2.0,
+            clock_hz: 5.0e8,
+            repeater_fraction: 0.4,
+        }
+    }
+}
+
+fn knob_value(point: &OperatingPoint, knob: Knob) -> f64 {
+    match knob {
+        Knob::Permittivity => point.permittivity,
+        Knob::MillerFactor => point.miller_factor,
+        Knob::Clock => point.clock_hz,
+        Knob::RepeaterFraction => point.repeater_fraction,
+    }
+}
+
+/// Improving direction: −1 for knobs where smaller is better, +1 for
+/// the repeater fraction.
+fn improvement_sign(knob: Knob) -> f64 {
+    match knob {
+        Knob::Permittivity | Knob::MillerFactor | Knob::Clock => -1.0,
+        Knob::RepeaterFraction => 1.0,
+    }
+}
+
+fn apply<'a>(builder: RankProblemBuilder<'a>, point: &OperatingPoint) -> RankProblemBuilder<'a> {
+    builder
+        .permittivity(Permittivity::from_relative(point.permittivity))
+        .miller_factor(point.miller_factor)
+        .clock(Frequency::from_hertz(point.clock_hz))
+        .repeater_fraction(point.repeater_fraction)
+}
+
+/// Computes the normalized rank at an operating point.
+fn normalized_at(
+    builder: &RankProblemBuilder<'_>,
+    point: &OperatingPoint,
+) -> Result<f64, RankError> {
+    Ok(apply(builder.clone(), point).build()?.rank().normalized())
+}
+
+/// Estimates the rank's elasticity to every Table 4 knob at `point`,
+/// using symmetric finite differences of relative size `step`
+/// (e.g. 0.1 = ±10 %).
+///
+/// Because the rank moves in bunch-sized steps, use a `step` large
+/// enough to cross at least one bunch boundary at your problem scale
+/// (±10 % is a good default at the paper's 1M-gate scale).
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from rebuilding the problems.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ia_rank::sensitivity::{sensitivities, OperatingPoint};
+/// use ia_rank::RankProblem;
+/// use ia_arch::Architecture;
+/// use ia_tech::presets;
+/// use ia_wld::WldSpec;
+///
+/// let node = presets::tsmc130();
+/// let arch = Architecture::baseline(&node);
+/// let builder = RankProblem::builder(&node, &arch)
+///     .wld_spec(WldSpec::new(1_000_000)?)
+///     .bunch_size(10_000);
+/// let report = sensitivities(&builder, &OperatingPoint::paper_baseline(), 0.1)?;
+/// for s in &report {
+///     println!("{}: {:+.3}", s.knob, s.elasticity);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sensitivities(
+    builder: &RankProblemBuilder<'_>,
+    point: &OperatingPoint,
+    step: f64,
+) -> Result<Vec<KnobSensitivity>, RankError> {
+    let baseline = normalized_at(builder, point)?;
+    let mut out = Vec::with_capacity(Knob::ALL.len());
+    for knob in Knob::ALL {
+        let value = knob_value(point, knob);
+        let mut lo = *point;
+        let mut hi = *point;
+        let set = |p: &mut OperatingPoint, v: f64| match knob {
+            Knob::Permittivity => p.permittivity = v,
+            Knob::MillerFactor => p.miller_factor = v,
+            Knob::Clock => p.clock_hz = v,
+            Knob::RepeaterFraction => p.repeater_fraction = v,
+        };
+        set(&mut lo, value * (1.0 - step));
+        set(&mut hi, value * (1.0 + step));
+        let r_lo = normalized_at(builder, &lo)?;
+        let r_hi = normalized_at(builder, &hi)?;
+        // Relative rank change per relative knob change, oriented so
+        // that improving the knob gives a positive elasticity.
+        let d_rank = (r_hi - r_lo) / baseline.max(f64::MIN_POSITIVE);
+        let d_knob = 2.0 * step;
+        let elasticity = d_rank / d_knob * improvement_sign(knob);
+        out.push(KnobSensitivity {
+            knob,
+            at: value,
+            baseline_normalized: baseline,
+            elasticity,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RankProblem;
+    use ia_arch::Architecture;
+    use ia_tech::presets;
+    use ia_wld::WldSpec;
+
+    #[test]
+    fn knob_display_and_all() {
+        assert_eq!(Knob::ALL.len(), 4);
+        assert!(Knob::Permittivity.to_string().contains('K'));
+        assert!(Knob::RepeaterFraction.to_string().contains('R'));
+    }
+
+    #[test]
+    fn baseline_point_matches_table2() {
+        let p = OperatingPoint::paper_baseline();
+        assert!((p.permittivity - 3.9).abs() < 1e-12);
+        assert!((p.miller_factor - 2.0).abs() < 1e-12);
+        assert!((p.clock_hz - 5e8).abs() < 1e-3);
+        assert!((p.repeater_fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elasticities_have_the_expected_signs_at_scale() {
+        // 200k gates is enough for the budget-limited regime where all
+        // four knobs act in their paper direction.
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let builder = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(200_000).unwrap())
+            .bunch_size(5_000);
+        let report = sensitivities(&builder, &OperatingPoint::paper_baseline(), 0.15).unwrap();
+        assert_eq!(report.len(), 4);
+        for s in &report {
+            assert!(s.baseline_normalized > 0.0);
+            match s.knob {
+                // Material/coupling improvements always help (weakly).
+                Knob::Permittivity | Knob::MillerFactor => {
+                    assert!(s.elasticity >= 0.0, "{:?}: {}", s.knob, s.elasticity)
+                }
+                // Slower clocks can't hurt.
+                Knob::Clock => assert!(s.elasticity >= 0.0, "{}", s.elasticity),
+                // Repeater fraction interacts with die inflation; no
+                // sign guarantee off the paper's scale — just finite.
+                Knob::RepeaterFraction => assert!(s.elasticity.is_finite()),
+            }
+        }
+    }
+
+    #[test]
+    fn no_single_knob_dominates_completely() {
+        // The paper's co-optimization message: at the baseline, at
+        // least two knobs have non-zero leverage.
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let builder = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(200_000).unwrap())
+            .bunch_size(5_000);
+        let report = sensitivities(&builder, &OperatingPoint::paper_baseline(), 0.2).unwrap();
+        let active = report.iter().filter(|s| s.elasticity.abs() > 1e-6).count();
+        assert!(active >= 2, "report: {report:?}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Table 4 parameter sweeps and the K-vs-M equivalence analysis.
+
+use crate::{RankError, RankProblemBuilder};
+use ia_units::{Frequency, Permittivity};
+use serde::{Deserialize, Serialize};
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (K, M, Hz, or repeater fraction).
+    pub x: f64,
+    /// The rank, in wires.
+    pub rank: u64,
+    /// The normalized rank (rank / total wires) — Table 4's numbers.
+    pub normalized: f64,
+}
+
+/// The ILD-permittivity grid of Table 4's `K` column: 3.9 down to 1.8.
+pub const PAPER_K_VALUES: [f64; 22] = [
+    3.9, 3.8, 3.7, 3.6, 3.5, 3.4, 3.3, 3.2, 3.1, 3.0, 2.9, 2.8, 2.7, 2.6, 2.5, 2.4, 2.3, 2.2, 2.1,
+    2.0, 1.9, 1.8,
+];
+
+/// The Miller-factor grid of Table 4's `M` column: 2.0 down to 1.0.
+pub const PAPER_M_VALUES: [f64; 21] = [
+    2.00, 1.95, 1.90, 1.85, 1.80, 1.75, 1.70, 1.65, 1.60, 1.55, 1.50, 1.45, 1.40, 1.35, 1.30, 1.25,
+    1.20, 1.15, 1.10, 1.05, 1.00,
+];
+
+/// The clock grid of Table 4's `C` column, in hertz: 0.5 to 1.7 GHz.
+pub const PAPER_C_HERTZ: [f64; 13] = [
+    5.0e8, 6.0e8, 7.0e8, 8.0e8, 9.0e8, 1.0e9, 1.1e9, 1.2e9, 1.3e9, 1.4e9, 1.5e9, 1.6e9, 1.7e9,
+];
+
+/// The repeater-fraction grid of Table 4's `R` column: 0.1 to 0.5.
+pub const PAPER_R_VALUES: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+fn run_sweep<'a, F>(
+    builder: &RankProblemBuilder<'a>,
+    values: &[f64],
+    apply: F,
+) -> Result<Vec<SweepPoint>, RankError>
+where
+    F: Fn(RankProblemBuilder<'a>, f64) -> RankProblemBuilder<'a>,
+{
+    values
+        .iter()
+        .map(|&x| {
+            let problem = apply(builder.clone(), x).build()?;
+            let result = problem.rank();
+            Ok(SweepPoint {
+                x,
+                rank: result.rank(),
+                normalized: result.normalized(),
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the ILD permittivity `K` (Table 4, first column group).
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from rebuilding the problem.
+pub fn sweep_permittivity(
+    builder: &RankProblemBuilder<'_>,
+    values: &[f64],
+) -> Result<Vec<SweepPoint>, RankError> {
+    run_sweep(builder, values, |b, k| {
+        b.permittivity(Permittivity::from_relative(k))
+    })
+}
+
+/// Sweeps the Miller coupling factor `M` (Table 4, second column group).
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from rebuilding the problem.
+pub fn sweep_miller(
+    builder: &RankProblemBuilder<'_>,
+    values: &[f64],
+) -> Result<Vec<SweepPoint>, RankError> {
+    run_sweep(builder, values, |b, m| b.miller_factor(m))
+}
+
+/// Sweeps the target clock frequency `C` in hertz (Table 4, third
+/// column group).
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from rebuilding the problem.
+pub fn sweep_clock(
+    builder: &RankProblemBuilder<'_>,
+    hertz: &[f64],
+) -> Result<Vec<SweepPoint>, RankError> {
+    run_sweep(builder, hertz, |b, hz| b.clock(Frequency::from_hertz(hz)))
+}
+
+/// Sweeps the repeater-area fraction `R` (Table 4, fourth column group).
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from rebuilding the problem.
+pub fn sweep_repeater_fraction(
+    builder: &RankProblemBuilder<'_>,
+    fractions: &[f64],
+) -> Result<Vec<SweepPoint>, RankError> {
+    run_sweep(builder, fractions, |b, r| b.repeater_fraction(r))
+}
+
+/// Runs a sweep with one thread per value (scoped threads), preserving
+/// input order in the output. Each thread rebuilds and solves its own
+/// problem; the builder is cloned per thread. Useful for the full
+/// Table 4 grids on multi-core hosts.
+///
+/// # Errors
+///
+/// Propagates the first [`RankError`] encountered (by input order).
+pub fn sweep_parallel<'a, F>(
+    builder: &RankProblemBuilder<'a>,
+    values: &[f64],
+    apply: F,
+) -> Result<Vec<SweepPoint>, RankError>
+where
+    F: for<'b> Fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b> + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = values
+            .iter()
+            .map(|&x| {
+                let b = builder.clone();
+                let apply = &apply;
+                scope.spawn(move || -> Result<SweepPoint, RankError> {
+                    let problem = apply(b, x).build()?;
+                    let result = problem.rank();
+                    Ok(SweepPoint {
+                        x,
+                        rank: result.rank(),
+                        normalized: result.normalized(),
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
+/// A matched pair of parameter reductions achieving (approximately) the
+/// same normalized rank — the paper's §5.2 headline compares a 38 %
+/// reduction in `K` with a ~42 % reduction in `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceMatch {
+    /// Reduction of the first series' parameter, in percent of its
+    /// baseline (first point).
+    pub a_reduction_pct: f64,
+    /// Reduction of the second series' parameter achieving the nearest
+    /// normalized rank, in percent of its baseline.
+    pub b_reduction_pct: f64,
+    /// The normalized rank both reductions (approximately) achieve.
+    pub normalized_rank: f64,
+}
+
+/// For every non-baseline point of series `a`, finds the point of
+/// series `b` whose normalized rank is closest, and reports both as
+/// percentage reductions from their baselines (the first point of each
+/// series).
+///
+/// Returns an empty vector if either series has fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::sweep::{equivalent_reductions, SweepPoint};
+///
+/// let a = vec![
+///     SweepPoint { x: 4.0, rank: 10, normalized: 0.10 },
+///     SweepPoint { x: 2.0, rank: 20, normalized: 0.20 },
+/// ];
+/// let b = vec![
+///     SweepPoint { x: 2.0, rank: 10, normalized: 0.10 },
+///     SweepPoint { x: 1.5, rank: 19, normalized: 0.19 },
+///     SweepPoint { x: 1.0, rank: 30, normalized: 0.30 },
+/// ];
+/// let m = equivalent_reductions(&a, &b);
+/// assert_eq!(m.len(), 1);
+/// assert!((m[0].a_reduction_pct - 50.0).abs() < 1e-9); // 4.0 → 2.0
+/// assert!((m[0].b_reduction_pct - 25.0).abs() < 1e-9); // 2.0 → 1.5
+/// ```
+#[must_use]
+pub fn equivalent_reductions(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<EquivalenceMatch> {
+    if a.len() < 2 || b.len() < 2 {
+        return Vec::new();
+    }
+    let a0 = a[0].x;
+    let b0 = b[0].x;
+    a[1..]
+        .iter()
+        .map(|pa| {
+            let pb = b
+                .iter()
+                .min_by(|p, q| {
+                    (p.normalized - pa.normalized)
+                        .abs()
+                        .total_cmp(&(q.normalized - pa.normalized).abs())
+                })
+                .expect("series b is non-empty");
+            EquivalenceMatch {
+                a_reduction_pct: (1.0 - pa.x / a0) * 100.0,
+                b_reduction_pct: (1.0 - pb.x / b0) * 100.0,
+                normalized_rank: pa.normalized,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RankProblem;
+    use ia_arch::Architecture;
+    use ia_tech::presets;
+    use ia_wld::WldSpec;
+
+    #[test]
+    fn grids_match_paper_extents() {
+        assert!((PAPER_K_VALUES[0] - 3.9).abs() < 1e-12);
+        assert!((PAPER_K_VALUES[21] - 1.8).abs() < 1e-12);
+        assert!((PAPER_M_VALUES[0] - 2.0).abs() < 1e-12);
+        assert!((PAPER_M_VALUES[20] - 1.0).abs() < 1e-12);
+        assert!((PAPER_C_HERTZ[0] - 5e8).abs() < 1e-3);
+        assert!((PAPER_C_HERTZ[12] - 1.7e9).abs() < 1e-3);
+        assert_eq!(PAPER_R_VALUES.len(), 5);
+    }
+
+    #[test]
+    fn small_sweeps_are_monotone_in_the_expected_direction() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let base = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(20_000).unwrap())
+            .bunch_size(2_000);
+
+        // Lower K can only help (weakly).
+        let k = sweep_permittivity(&base, &[3.9, 2.7, 1.8]).unwrap();
+        assert!(k[0].rank <= k[1].rank && k[1].rank <= k[2].rank, "{k:?}");
+
+        // Lower M can only help (weakly).
+        let m = sweep_miller(&base, &[2.0, 1.5, 1.0]).unwrap();
+        assert!(m[0].rank <= m[1].rank && m[1].rank <= m[2].rank, "{m:?}");
+
+        // Faster clocks can only hurt (weakly).
+        let c = sweep_clock(&base, &[5e8, 1e9, 1.7e9]).unwrap();
+        assert!(c[0].rank >= c[1].rank && c[1].rank >= c[2].rank, "{c:?}");
+
+        // Larger repeater budget can only help (weakly).
+        let r = sweep_repeater_fraction(&base, &[0.1, 0.3, 0.5]).unwrap();
+        assert!(r[0].rank <= r[1].rank && r[1].rank <= r[2].rank, "{r:?}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let base = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(20_000).unwrap())
+            .bunch_size(2_000);
+        let values = [3.9, 3.0, 2.1];
+        let serial = sweep_permittivity(&base, &values).unwrap();
+        let parallel = sweep_parallel(&base, &values, |b, k| {
+            b.permittivity(Permittivity::from_relative(k))
+        })
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn equivalence_handles_degenerate_series() {
+        let p = SweepPoint {
+            x: 1.0,
+            rank: 1,
+            normalized: 0.1,
+        };
+        assert!(equivalent_reductions(&[p], &[p, p]).is_empty());
+        assert!(equivalent_reductions(&[p, p], &[p]).is_empty());
+    }
+}

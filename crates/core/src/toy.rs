@@ -1,0 +1,107 @@
+//! Hand-built instances from the paper, for tests, docs and benches.
+
+use crate::{BunchSolverSpec, Instance, Need, PairSolverSpec};
+
+/// The Figure 2 counterexample showing greedy top-down assignment is
+/// suboptimal.
+///
+/// Four equal-length wires, two layer-pairs, a budget of eight
+/// unit-area repeaters. The upper pair has much larger RC delay (each
+/// wire needs 4 repeaters there); the lower pair needs only 1 per wire
+/// but fits at most 3 wires. Greedy fills the upper pair with two wires
+/// and burns the whole budget on them (rank 2); the optimum puts one
+/// wire up and three down, using 7 repeaters (rank 4).
+///
+/// # Examples
+///
+/// ```
+/// use ia_rank::{dp, greedy, toy};
+///
+/// let inst = toy::figure2();
+/// assert_eq!(dp::rank(&inst).rank_wires, 4);
+/// assert_eq!(greedy::rank_greedy(&inst).rank_wires, 2);
+/// ```
+#[must_use]
+pub fn figure2() -> Instance {
+    let pairs = vec![
+        // Upper pair: slow (4 repeaters per wire), fits 2 wires.
+        PairSolverSpec {
+            capacity: 2.0,
+            via_area: 0.0,
+            repeater_unit_area: 1.0,
+        },
+        // Lower pair: fast (1 repeater per wire), fits 3 wires.
+        PairSolverSpec {
+            capacity: 3.0,
+            via_area: 0.0,
+            repeater_unit_area: 1.0,
+        },
+    ];
+    let bunches = (0..4)
+        .map(|_| BunchSolverSpec {
+            length: 10,
+            count: 1,
+            wire_area: vec![1.0, 1.0],
+            need: vec![Need::Repeaters(4), Need::Repeaters(1)],
+        })
+        .collect();
+    Instance::new(pairs, bunches, 2, 8.0).expect("figure 2 instance is valid")
+}
+
+/// A single-pair instance with `wires` unit-count bunches of descending
+/// length, each needing `repeaters_per_wire` unit-area repeaters, under
+/// the given budget. Useful for budget-scaling tests: the rank equals
+/// `min(wires, ⌊budget / repeaters_per_wire⌋)`.
+///
+/// # Panics
+///
+/// Panics if `wires == 0`.
+#[must_use]
+pub fn budget_limited(wires: u64, repeaters_per_wire: u64, budget: f64) -> Instance {
+    assert!(wires > 0);
+    let pairs = vec![PairSolverSpec {
+        capacity: 1e18, // effectively unconstrained
+        via_area: 0.0,
+        repeater_unit_area: 1.0,
+    }];
+    let bunches = (0..wires)
+        .map(|i| BunchSolverSpec {
+            length: wires + 1 - i,
+            count: 1,
+            wire_area: vec![1.0],
+            need: vec![Need::Repeaters(repeaters_per_wire)],
+        })
+        .collect();
+    Instance::new(pairs, bunches, 2, budget).expect("budget_limited instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let inst = figure2();
+        assert_eq!(inst.pair_count(), 2);
+        assert_eq!(inst.bunch_count(), 4);
+        assert_eq!(inst.total_wires(), 4);
+        assert!((inst.repeater_budget() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_limited_rank_formula() {
+        for (wires, per, budget, expect) in [
+            (10, 1, 4.0, 4),
+            (10, 2, 5.0, 2),
+            (5, 1, 100.0, 5),
+            (8, 3, 0.0, 0),
+        ] {
+            let inst = budget_limited(wires, per, budget);
+            assert_eq!(
+                crate::dp::rank(&inst).rank_wires,
+                expect,
+                "wires={wires} per={per} budget={budget}"
+            );
+        }
+    }
+}

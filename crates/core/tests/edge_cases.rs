@@ -1,0 +1,242 @@
+//! Edge-case and failure-injection tests for the rank solvers.
+
+use ia_rank::{dp, exact, exhaustive, greedy, BunchSolverSpec, Instance, Need, PairSolverSpec};
+
+fn pair(cap: f64, via: f64) -> PairSolverSpec {
+    PairSolverSpec {
+        capacity: cap,
+        via_area: via,
+        repeater_unit_area: 1.0,
+    }
+}
+
+fn bunch(length: u64, count: u64, areas: Vec<f64>, needs: Vec<Need>) -> BunchSolverSpec {
+    BunchSolverSpec {
+        length,
+        count,
+        wire_area: areas,
+        need: needs,
+    }
+}
+
+#[test]
+fn single_bunch_single_pair_all_outcomes() {
+    // Meets unbuffered.
+    let inst = Instance::new(
+        vec![pair(10.0, 0.0)],
+        vec![bunch(5, 3, vec![6.0], vec![Need::Unbuffered])],
+        2,
+        0.0,
+    )
+    .expect("valid");
+    assert_eq!(dp::rank(&inst).rank_wires, 3);
+
+    // Needs repeaters the budget covers exactly.
+    let inst = Instance::new(
+        vec![pair(10.0, 0.0)],
+        vec![bunch(5, 3, vec![6.0], vec![Need::Repeaters(2)])],
+        2,
+        6.0,
+    )
+    .expect("valid");
+    let s = dp::rank(&inst);
+    assert_eq!(s.rank_wires, 3);
+    assert_eq!(s.repeater_count, 6);
+    assert!((s.repeater_area - 6.0).abs() < 1e-12);
+
+    // Budget one unit short: the bunch is atomic, so rank 0.
+    let inst = Instance::new(
+        vec![pair(10.0, 0.0)],
+        vec![bunch(5, 3, vec![6.0], vec![Need::Repeaters(2)])],
+        2,
+        5.0,
+    )
+    .expect("valid");
+    assert_eq!(dp::rank(&inst).rank_wires, 0);
+    assert!(dp::rank(&inst).fully_assignable);
+
+    // Unattainable everywhere: assignable but rank 0.
+    let inst = Instance::new(
+        vec![pair(10.0, 0.0)],
+        vec![bunch(5, 3, vec![6.0], vec![Need::Unattainable])],
+        2,
+        100.0,
+    )
+    .expect("valid");
+    let s = dp::rank(&inst);
+    assert_eq!(s.rank_wires, 0);
+    assert!(s.fully_assignable);
+}
+
+#[test]
+fn capacity_exactly_equal_is_feasible() {
+    // Ties on the ≤ comparisons must be accepted (wire area == capacity).
+    let inst = Instance::new(
+        vec![pair(6.0, 0.0)],
+        vec![bunch(5, 3, vec![6.0], vec![Need::Unbuffered])],
+        2,
+        0.0,
+    )
+    .expect("valid");
+    assert_eq!(dp::rank(&inst).rank_wires, 3);
+    assert_eq!(exhaustive::rank_exhaustive(&inst), 3);
+}
+
+#[test]
+fn equal_length_bunches_allow_any_split() {
+    // Four equal-length bunches across two identical pairs: order
+    // constraints degenerate and the DP may split anywhere.
+    let inst = Instance::new(
+        vec![pair(2.0, 0.0), pair(2.0, 0.0)],
+        (0..4)
+            .map(|_| {
+                bunch(
+                    9,
+                    1,
+                    vec![1.0, 1.0],
+                    vec![Need::Unbuffered, Need::Unbuffered],
+                )
+            })
+            .collect(),
+        2,
+        0.0,
+    )
+    .expect("valid");
+    assert_eq!(dp::rank(&inst).rank_wires, 4);
+    assert_eq!(exhaustive::rank_exhaustive(&inst), 4);
+    assert_eq!(exact::rank_exact(&inst).expect("unit repeaters"), 4);
+}
+
+#[test]
+fn zero_capacity_pair_is_skipped() {
+    let inst = Instance::new(
+        vec![pair(0.0, 0.0), pair(10.0, 0.0)],
+        vec![bunch(
+            5,
+            2,
+            vec![4.0, 4.0],
+            vec![Need::Unbuffered, Need::Unbuffered],
+        )],
+        2,
+        0.0,
+    )
+    .expect("valid");
+    // Everything lands on the second pair.
+    let s = dp::rank(&inst);
+    assert_eq!(s.rank_wires, 2);
+    assert!(s
+        .segments
+        .iter()
+        .all(|seg| seg.pair == 1 || seg.met_start == seg.met_end));
+}
+
+#[test]
+fn huge_wire_counts_do_not_overflow() {
+    let inst = Instance::new(
+        vec![pair(1e30, 0.0)],
+        vec![
+            bunch(9, u64::MAX / 4, vec![1e20], vec![Need::Unbuffered]),
+            bunch(5, u64::MAX / 4, vec![1e20], vec![Need::Unbuffered]),
+        ],
+        2,
+        0.0,
+    )
+    .expect("valid");
+    let s = dp::rank(&inst);
+    assert_eq!(s.rank_wires, 2 * (u64::MAX / 4));
+    assert!((s.normalized - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn via_blockage_can_make_lower_pairs_useless() {
+    // The upper pair's wires and repeaters block the lower pair
+    // completely; the lower bunch no longer fits → rank 0 (Def. 3 not
+    // violated — greedy_pack from scratch can still re-order, so check
+    // the DP agrees with the oracle either way).
+    let inst = Instance::new(
+        vec![pair(10.0, 1.0), pair(10.0, 5.0)],
+        vec![
+            bunch(
+                9,
+                2,
+                vec![5.0, 5.0],
+                vec![Need::Repeaters(1), Need::Unattainable],
+            ),
+            bunch(
+                5,
+                1,
+                vec![4.0, 4.0],
+                vec![Need::Unbuffered, Need::Unbuffered],
+            ),
+        ],
+        2,
+        10.0,
+    )
+    .expect("valid");
+    assert_eq!(
+        dp::rank(&inst).rank_wires,
+        exhaustive::rank_exhaustive(&inst)
+    );
+}
+
+#[test]
+fn greedy_handles_unattainable_tail_gracefully() {
+    let inst = Instance::new(
+        vec![pair(100.0, 0.0)],
+        vec![
+            bunch(9, 1, vec![1.0], vec![Need::Unbuffered]),
+            bunch(8, 1, vec![1.0], vec![Need::Unattainable]),
+            bunch(7, 1, vec![1.0], vec![Need::Unattainable]),
+        ],
+        2,
+        100.0,
+    )
+    .expect("valid");
+    let g = greedy::rank_greedy(&inst);
+    assert_eq!(g.rank_wires, 1);
+    assert!(g.fully_assignable);
+    assert_eq!(g.extras_end, 3);
+}
+
+#[test]
+fn many_pairs_few_bunches() {
+    // More pairs than bunches: extra pairs are simply unused.
+    let pairs = (0..6).map(|_| pair(5.0, 0.1)).collect();
+    let inst = Instance::new(
+        pairs,
+        vec![bunch(3, 1, vec![2.0; 6], vec![Need::Unbuffered; 6])],
+        2,
+        0.0,
+    )
+    .expect("valid");
+    assert_eq!(dp::rank(&inst).rank_wires, 1);
+    assert_eq!(exhaustive::rank_exhaustive(&inst), 1);
+}
+
+#[test]
+fn zero_budget_still_allows_unbuffered_ranks() {
+    let inst = ia_rank::toy::budget_limited(5, 0, 0.0);
+    // With zero repeaters per wire needed... budget_limited always uses
+    // Repeaters(n); n = 0 means free.
+    assert_eq!(dp::rank(&inst).rank_wires, 5);
+}
+
+#[test]
+fn exact_dp_handles_zero_budget_grid() {
+    let inst = Instance::new(
+        vec![pair(10.0, 0.0)],
+        vec![bunch(5, 2, vec![4.0], vec![Need::Unbuffered])],
+        2,
+        0.0,
+    )
+    .expect("valid");
+    assert_eq!(exact::rank_exact(&inst).expect("unit repeaters"), 2);
+}
+
+#[test]
+fn results_are_deterministic() {
+    let inst = ia_rank::toy::figure2();
+    let a = dp::rank(&inst);
+    let b = dp::rank(&inst);
+    assert_eq!(a, b);
+}

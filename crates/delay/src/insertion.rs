@@ -1,0 +1,248 @@
+//! Repeater-insertion planning (Algorithm 4's inner loop, closed form).
+
+use crate::RepeatedWireModel;
+use ia_units::{Length, Time};
+use serde::{Deserialize, Serialize};
+
+/// The result of planning repeater insertion for one wire against a
+/// target delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InsertionOutcome {
+    /// The wire meets the target with no repeaters (min-size gate drive).
+    MeetsUnbuffered {
+        /// The unbuffered delay.
+        delay: Time,
+    },
+    /// The wire meets the target with `count` repeaters of the pair's
+    /// optimal size (the smallest such count).
+    Buffered {
+        /// Number of repeaters inserted.
+        count: u64,
+        /// The achieved delay with that count.
+        delay: Time,
+    },
+    /// No repeater count can meet the target (the optimally-buffered
+    /// delay still exceeds it). Algorithm 4's literal loop would burn
+    /// budget until exhaustion here; we detect the condition exactly and
+    /// fail the wire without consuming repeater area (see `DESIGN.md`).
+    Unattainable {
+        /// The best achievable delay (optimal count, optimal size).
+        best_delay: Time,
+        /// The repeater count achieving it.
+        best_count: u64,
+    },
+}
+
+impl InsertionOutcome {
+    /// Number of repeaters the plan consumes (zero unless `Buffered`).
+    #[must_use]
+    pub fn repeaters(&self) -> u64 {
+        match *self {
+            InsertionOutcome::Buffered { count, .. } => count,
+            _ => 0,
+        }
+    }
+
+    /// Whether the wire meets its target delay under this plan.
+    #[must_use]
+    pub fn meets_target(&self) -> bool {
+        !matches!(self, InsertionOutcome::Unattainable { .. })
+    }
+}
+
+/// Plans repeater insertion for a wire of length `l` against `target`,
+/// following the paper's policy (§4.1): repeaters of the layer-pair's
+/// uniform optimal size are inserted incrementally until the delay bound
+/// is met; insertion is abandoned if the bound is unreachable.
+///
+/// The incremental loop is solved in closed form: Eq. 3 is convex in the
+/// repeater count `η`, so the smallest feasible `η` is the lower root of
+/// `c1·η² − (d − c2·l)·η + c3·l² = 0`, rounded up (then verified against
+/// floating-point rounding).
+///
+/// # Examples
+///
+/// ```
+/// use ia_delay::{plan_insertion, InsertionOutcome, RepeatedWireModel, SwitchingConstants};
+/// use ia_rc::{ExtractionOptions, Extractor};
+/// use ia_tech::{presets, WiringTier};
+/// use ia_units::{Length, Time};
+///
+/// let node = presets::tsmc130();
+/// let ext = Extractor::new(&node, ExtractionOptions::default());
+/// let model = RepeatedWireModel::new(node.device(), ext.tier(WiringTier::Global),
+///                                    SwitchingConstants::default());
+/// let l = Length::from_millimeters(6.0);
+/// // A generous target needs no repeaters; a tight one needs a few.
+/// assert!(matches!(plan_insertion(&model, l, Time::from_nanoseconds(100.0)),
+///                  InsertionOutcome::MeetsUnbuffered { .. }));
+/// let tight = plan_insertion(&model, l, model.best_delay(l) * 1.2);
+/// assert!(matches!(tight, InsertionOutcome::Buffered { .. }));
+/// ```
+#[must_use]
+pub fn plan_insertion(model: &RepeatedWireModel, l: Length, target: Time) -> InsertionOutcome {
+    let unbuffered = model.unbuffered_delay(l);
+    if unbuffered <= target {
+        return InsertionOutcome::MeetsUnbuffered { delay: unbuffered };
+    }
+
+    let best_count = model.optimal_count(l);
+    let best_delay = model.total_delay(l, best_count);
+    if best_delay > target {
+        return InsertionOutcome::Unattainable {
+            best_delay,
+            best_count,
+        };
+    }
+
+    // Smallest η ≥ 1 with c1·η + c2·l + c3·l²/η ≤ d, i.e. the lower root
+    // of c1·η² − (d − c2·l)·η + c3·l² ≤ 0.
+    let c1 = model.intrinsic_stage_delay().seconds();
+    let c2 = model.drive_coefficient(model.optimal_size());
+    let c3_l2 = {
+        // Recover c3·l² from the model: D(η) − c1·η − c2·l = c3·l²/η at η = 1.
+        let d1 = model.total_delay(l, 1).seconds();
+        d1 - c1 - c2 * l.meters()
+    };
+    let g = target.seconds() - c2 * l.meters();
+    let disc = g * g - 4.0 * c1 * c3_l2;
+    let mut eta = if c1 == 0.0 {
+        // WireOnly charging: D(η) = c2·l + c3·l²/η, so the smallest
+        // feasible count is ⌈c3·l²/(d − c2·l)⌉.
+        if g > 0.0 {
+            ((c3_l2 / g).ceil().max(1.0)).min(best_count as f64) as u64
+        } else {
+            best_count
+        }
+    } else if disc >= 0.0 && g > 0.0 {
+        (((g - disc.sqrt()) / (2.0 * c1)).ceil().max(1.0)) as u64
+    } else {
+        best_count
+    };
+    // Guard against floating-point rounding at the root.
+    while model.total_delay(l, eta) > target && eta < best_count {
+        eta += 1;
+    }
+    while eta > 1 && model.total_delay(l, eta - 1) <= target {
+        eta -= 1;
+    }
+    InsertionOutcome::Buffered {
+        count: eta,
+        delay: model.total_delay(l, eta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingConstants;
+    use ia_rc::{ExtractionOptions, Extractor};
+    use ia_tech::{presets, WiringTier};
+
+    fn model(tier: WiringTier) -> RepeatedWireModel {
+        let node = presets::tsmc130();
+        let ext = Extractor::new(&node, ExtractionOptions::default());
+        RepeatedWireModel::new(node.device(), ext.tier(tier), SwitchingConstants::default())
+    }
+
+    #[test]
+    fn generous_target_needs_no_repeaters() {
+        let m = model(WiringTier::Global);
+        let out = plan_insertion(
+            &m,
+            Length::from_millimeters(1.0),
+            Time::from_nanoseconds(50.0),
+        );
+        assert!(matches!(out, InsertionOutcome::MeetsUnbuffered { .. }));
+        assert_eq!(out.repeaters(), 0);
+        assert!(out.meets_target());
+    }
+
+    #[test]
+    fn impossible_target_is_detected_without_burning_budget() {
+        let m = model(WiringTier::Local);
+        let out = plan_insertion(
+            &m,
+            Length::from_millimeters(10.0),
+            Time::from_picoseconds(1.0),
+        );
+        assert!(matches!(out, InsertionOutcome::Unattainable { .. }));
+        assert_eq!(out.repeaters(), 0);
+        assert!(!out.meets_target());
+    }
+
+    #[test]
+    fn buffered_count_is_minimal() {
+        let m = model(WiringTier::SemiGlobal);
+        let l = Length::from_millimeters(5.0);
+        // A target 30% above the optimum is feasible but tight.
+        let target = m.best_delay(l) * 1.3;
+        match plan_insertion(&m, l, target) {
+            InsertionOutcome::Buffered { count, delay } => {
+                assert!(delay <= target);
+                assert!(count >= 1);
+                if count > 1 {
+                    assert!(
+                        m.total_delay(l, count - 1) > target,
+                        "count {count} is not minimal"
+                    );
+                }
+            }
+            other => panic!("expected Buffered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_incremental_search() {
+        let m = model(WiringTier::SemiGlobal);
+        for l_mm in [0.5, 1.0, 2.0, 3.7, 5.0, 8.0] {
+            let l = Length::from_millimeters(l_mm);
+            for factor in [1.05, 1.2, 1.5, 2.0, 4.0] {
+                let target = m.best_delay(l) * factor;
+                let closed = plan_insertion(&m, l, target);
+                // Brute force: smallest η ≤ optimal count meeting target.
+                let mut brute = None;
+                if m.unbuffered_delay(l) <= target {
+                    brute = Some(0);
+                } else {
+                    for eta in 1..=m.optimal_count(l) {
+                        if m.total_delay(l, eta) <= target {
+                            brute = Some(eta);
+                            break;
+                        }
+                    }
+                }
+                match (closed, brute) {
+                    (InsertionOutcome::MeetsUnbuffered { .. }, Some(0)) => {}
+                    (InsertionOutcome::Buffered { count, .. }, Some(b)) => {
+                        assert_eq!(count, b, "l = {l_mm} mm, factor = {factor}")
+                    }
+                    (InsertionOutcome::Unattainable { .. }, None) => {}
+                    (c, b) => panic!("mismatch: {c:?} vs brute {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_optimum_target_is_attainable() {
+        let m = model(WiringTier::Global);
+        let l = Length::from_millimeters(7.0);
+        let out = plan_insertion(&m, l, m.best_delay(l));
+        assert!(out.meets_target());
+        assert_eq!(out.repeaters(), m.optimal_count(l));
+    }
+
+    #[test]
+    fn tighter_targets_need_monotonically_more_repeaters() {
+        let m = model(WiringTier::SemiGlobal);
+        let l = Length::from_millimeters(6.0);
+        let mut last = 0;
+        for factor in [4.0, 2.0, 1.5, 1.2, 1.05] {
+            let out = plan_insertion(&m, l, m.best_delay(l) * factor);
+            let n = out.repeaters();
+            assert!(n >= last, "factor {factor}: {n} < {last}");
+            last = n;
+        }
+    }
+}

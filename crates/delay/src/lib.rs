@@ -1,0 +1,47 @@
+//! Repeated-wire delay modeling and repeater insertion.
+//!
+//! Implements §4.1 of the paper:
+//!
+//! * the Otten–Brayton segment/total delay model (Eq. 2–3, ref \[15\]),
+//!   with switching constants `a = 0.4`, `b = 0.7` (footnote 5);
+//! * the optimal repeater size per layer-pair (Eq. 4, ref \[14\]):
+//!   `s_opt = √(c̄·r_o / (c_o·r̄))`;
+//! * the paper's repeater-insertion policy: repeaters of the layer-pair's
+//!   uniform size are added one at a time until the wire meets its target
+//!   delay or adding more stops helping;
+//! * the per-wire target-delay models: the paper's linear rule
+//!   `d_i = (l_i/l_max)·(1/f_c)` plus the alternatives the conclusions
+//!   call for (a floor for short wires, and a square-root profile).
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_delay::{RepeatedWireModel, SwitchingConstants};
+//! use ia_rc::{ExtractionOptions, Extractor};
+//! use ia_tech::{presets, WiringTier};
+//! use ia_units::{Length, Time};
+//!
+//! let node = presets::tsmc130();
+//! let ext = Extractor::new(&node, ExtractionOptions::default());
+//! let wire = ext.tier(WiringTier::SemiGlobal);
+//! let model = RepeatedWireModel::new(node.device(), wire, SwitchingConstants::default());
+//!
+//! let l = Length::from_millimeters(4.0);
+//! // Optimally buffered delay is far below the unbuffered delay:
+//! let unbuf = model.unbuffered_delay(l);
+//! let eta = model.optimal_count(l);
+//! let buf = model.total_delay(l, eta);
+//! assert!(buf < unbuf);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod insertion;
+mod model;
+pub mod sizing;
+mod target;
+
+pub use insertion::{plan_insertion, InsertionOutcome};
+pub use model::{RepeatedWireModel, StageCharging, SwitchingConstants};
+pub use target::TargetDelayModel;

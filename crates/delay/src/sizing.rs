@@ -1,0 +1,189 @@
+//! Repeater-sizing exploration around the Eq. 4 optimum.
+//!
+//! The paper fixes every repeater in a layer-pair at the delay-optimal
+//! size `s_opt` (Eq. 4). Real flows often down-size repeaters to save
+//! area when the wire has slack; this module quantifies that trade:
+//! delay and area as a function of size, the largest down-sizing that
+//! still meets a target, and the marginal delay cost of area savings.
+
+use crate::RepeatedWireModel;
+use ia_units::{Length, Time};
+use serde::{Deserialize, Serialize};
+
+/// One point of a sizing exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingPoint {
+    /// Repeater size as a multiple of the minimum inverter.
+    pub size: f64,
+    /// Total wire delay at this size (repeater count fixed).
+    pub delay: Time,
+    /// Repeater area in minimum-inverter units (`count × size`).
+    pub area_units: f64,
+}
+
+/// Sweeps repeater size over `factors × s_opt` for a wire of length `l`
+/// with a fixed repeater count `eta`, returning delay/area points.
+///
+/// # Panics
+///
+/// Panics if `eta == 0` or any factor is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use ia_delay::{sizing, RepeatedWireModel, SwitchingConstants};
+/// use ia_rc::{ExtractionOptions, Extractor};
+/// use ia_tech::{presets, WiringTier};
+/// use ia_units::Length;
+///
+/// let node = presets::tsmc130();
+/// let ext = Extractor::new(&node, ExtractionOptions::default());
+/// let model = RepeatedWireModel::new(node.device(), ext.tier(WiringTier::Global),
+///                                    SwitchingConstants::default());
+/// let l = Length::from_millimeters(5.0);
+/// let pts = sizing::size_sweep(&model, l, model.optimal_count(l), &[0.5, 1.0, 2.0]);
+/// // Eq. 4's s_opt (factor 1.0) minimizes delay on the sweep.
+/// assert!(pts[1].delay <= pts[0].delay);
+/// assert!(pts[1].delay <= pts[2].delay);
+/// ```
+#[must_use]
+pub fn size_sweep(
+    model: &RepeatedWireModel,
+    l: Length,
+    eta: u64,
+    factors: &[f64],
+) -> Vec<SizingPoint> {
+    assert!(eta >= 1, "eta must be at least 1");
+    let s_opt = model.optimal_size();
+    factors
+        .iter()
+        .map(|&f| {
+            assert!(f > 0.0, "size factors must be positive");
+            let size = s_opt * f;
+            SizingPoint {
+                size,
+                delay: model.total_delay_with_size(l, eta, size),
+                area_units: eta as f64 * size,
+            }
+        })
+        .collect()
+}
+
+/// The smallest repeater size (as a fraction of `s_opt`, via bisection)
+/// that still meets `target` for a wire of length `l` with `eta`
+/// repeaters, or `None` if even `s_opt` misses the target.
+///
+/// Down-sizing trades delay for area: the result tells how much of the
+/// Eq. 4 area is actually needed for a given slack.
+///
+/// # Panics
+///
+/// Panics if `eta == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ia_delay::{sizing, RepeatedWireModel, SwitchingConstants};
+/// use ia_rc::{ExtractionOptions, Extractor};
+/// use ia_tech::{presets, WiringTier};
+/// use ia_units::Length;
+///
+/// let node = presets::tsmc130();
+/// let ext = Extractor::new(&node, ExtractionOptions::default());
+/// let model = RepeatedWireModel::new(node.device(), ext.tier(WiringTier::SemiGlobal),
+///                                    SwitchingConstants::default());
+/// let l = Length::from_millimeters(4.0);
+/// let eta = model.optimal_count(l);
+/// // With 50% slack, much smaller repeaters suffice:
+/// let size = sizing::min_size_to_meet(&model, l, eta, model.total_delay(l, eta) * 1.5);
+/// assert!(size.expect("attainable") < model.optimal_size());
+/// ```
+#[must_use]
+pub fn min_size_to_meet(
+    model: &RepeatedWireModel,
+    l: Length,
+    eta: u64,
+    target: Time,
+) -> Option<f64> {
+    assert!(eta >= 1, "eta must be at least 1");
+    let s_opt = model.optimal_size();
+    if model.total_delay_with_size(l, eta, s_opt) > target {
+        return None;
+    }
+    // Delay is decreasing in size on (0, s_opt]; bisect the fraction.
+    let (mut lo, mut hi) = (1e-6_f64, 1.0_f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if model.total_delay_with_size(l, eta, s_opt * mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(s_opt * hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchingConstants;
+    use ia_rc::{ExtractionOptions, Extractor};
+    use ia_tech::{presets, WiringTier};
+
+    fn model() -> RepeatedWireModel {
+        let node = presets::tsmc130();
+        let ext = Extractor::new(&node, ExtractionOptions::default());
+        RepeatedWireModel::new(
+            node.device(),
+            ext.tier(WiringTier::SemiGlobal),
+            SwitchingConstants::default(),
+        )
+    }
+
+    #[test]
+    fn sweep_is_convex_around_s_opt() {
+        let m = model();
+        let l = Length::from_millimeters(5.0);
+        let eta = m.optimal_count(l);
+        let pts = size_sweep(&m, l, eta, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        let at_opt = pts[2].delay;
+        for p in &pts {
+            assert!(p.delay >= at_opt - Time::from_seconds(1e-18));
+        }
+        // Area scales linearly with size.
+        assert!((pts[4].area_units / pts[2].area_units - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_size_shrinks_with_slack() {
+        let m = model();
+        let l = Length::from_millimeters(4.0);
+        let eta = m.optimal_count(l);
+        let best = m.total_delay(l, eta);
+        let tight = min_size_to_meet(&m, l, eta, best * 1.05).expect("attainable");
+        let loose = min_size_to_meet(&m, l, eta, best * 2.0).expect("attainable");
+        assert!(loose < tight);
+        assert!(tight <= m.optimal_size());
+        // The found size actually meets the target.
+        assert!(m.total_delay_with_size(l, eta, loose) <= best * 2.0);
+    }
+
+    #[test]
+    fn unattainable_targets_return_none() {
+        let m = model();
+        let l = Length::from_millimeters(4.0);
+        let eta = m.optimal_count(l);
+        let best = m.total_delay(l, eta);
+        assert!(min_size_to_meet(&m, l, eta, best * 0.9).is_none());
+    }
+
+    #[test]
+    fn exact_optimum_is_attainable_at_s_opt() {
+        let m = model();
+        let l = Length::from_millimeters(6.0);
+        let eta = m.optimal_count(l);
+        let best = m.total_delay(l, eta);
+        let size = min_size_to_meet(&m, l, eta, best).expect("attainable at s_opt");
+        assert!((size / m.optimal_size() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-wire target-delay models.
+
+use ia_units::{Frequency, Length, Time};
+use serde::{Deserialize, Serialize};
+
+/// How a wire's target delay is derived from its length and the clock.
+///
+/// The paper (§4.1) uses the linear rule
+/// `d_i = (l_i / l_max) · (1/f_c)`: the longest wire gets one clock
+/// period and shorter wires get proportionally less. The conclusions
+/// note this is unreasonably harsh on short wires (actual delay grows
+/// quadratically while the target shrinks linearly) and announce a study
+/// of alternatives; the two extra variants implement that future work.
+///
+/// # Examples
+///
+/// ```
+/// use ia_delay::TargetDelayModel;
+/// use ia_units::{Frequency, Length, Time};
+///
+/// let clock = Frequency::from_megahertz(500.0);
+/// let l_max = Length::from_millimeters(4.0);
+/// let linear = TargetDelayModel::Linear;
+///
+/// // Longest wire gets the full 2 ns period:
+/// let d = linear.target(l_max, l_max, clock);
+/// assert!((d.nanoseconds() - 2.0).abs() < 1e-9);
+/// // Half-length wire gets half:
+/// let d = linear.target(l_max / 2.0, l_max, clock);
+/// assert!((d.nanoseconds() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TargetDelayModel {
+    /// The paper's rule: `d_i = (l_i/l_max)·(1/f_c)`.
+    Linear,
+    /// Linear with a floor: `d_i = max(floor, (l_i/l_max)·(1/f_c))` —
+    /// short wires are allowed at least `floor` (e.g. a few FO4), which
+    /// removes the paper's known artifact of undeliverable targets for
+    /// wires shorter than the intrinsic gate delay.
+    LinearWithFloor {
+        /// The minimum target delay granted to any wire.
+        floor: Time,
+    },
+    /// Square-root profile: `d_i = √(l_i/l_max)·(1/f_c)` — relaxes short
+    /// wires while keeping the longest wire at one period.
+    SquareRoot,
+}
+
+impl TargetDelayModel {
+    /// The target delay of a wire of length `l` in a WLD whose longest
+    /// wire is `l_max`, at target clock frequency `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l_max` is not positive.
+    #[must_use]
+    pub fn target(&self, l: Length, l_max: Length, clock: Frequency) -> Time {
+        assert!(l_max.meters() > 0.0, "l_max must be positive");
+        let period = clock.period();
+        let ratio = (l / l_max).clamp(0.0, 1.0);
+        match *self {
+            TargetDelayModel::Linear => period * ratio,
+            TargetDelayModel::LinearWithFloor { floor } => (period * ratio).max(floor),
+            TargetDelayModel::SquareRoot => period * ratio.sqrt(),
+        }
+    }
+}
+
+impl Default for TargetDelayModel {
+    /// The paper's linear rule.
+    fn default() -> Self {
+        TargetDelayModel::Linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLOCK: Frequency = Frequency::from_megahertz(500.0);
+
+    fn lmax() -> Length {
+        Length::from_millimeters(4.0)
+    }
+
+    #[test]
+    fn linear_is_proportional() {
+        let m = TargetDelayModel::Linear;
+        let quarter = m.target(lmax() / 4.0, lmax(), CLOCK);
+        assert!((quarter.nanoseconds() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longest_wire_always_gets_one_period() {
+        for m in [
+            TargetDelayModel::Linear,
+            TargetDelayModel::LinearWithFloor {
+                floor: Time::from_picoseconds(50.0),
+            },
+            TargetDelayModel::SquareRoot,
+        ] {
+            let d = m.target(lmax(), lmax(), CLOCK);
+            assert!((d.nanoseconds() - 2.0).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn floor_protects_short_wires() {
+        let floor = Time::from_picoseconds(60.0);
+        let m = TargetDelayModel::LinearWithFloor { floor };
+        let tiny = m.target(Length::from_micrometers(2.0), lmax(), CLOCK);
+        assert_eq!(tiny, floor);
+        // But long wires are unaffected.
+        let long = m.target(lmax() / 2.0, lmax(), CLOCK);
+        assert!((long.nanoseconds() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn square_root_is_between_linear_and_period_for_mid_wires() {
+        let lin = TargetDelayModel::Linear.target(lmax() / 4.0, lmax(), CLOCK);
+        let sqrt = TargetDelayModel::SquareRoot.target(lmax() / 4.0, lmax(), CLOCK);
+        assert!(sqrt > lin);
+        assert!(sqrt < CLOCK.period());
+        // √(1/4) = 1/2 of a period.
+        assert!((sqrt.nanoseconds() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_clock_tightens_every_target() {
+        let m = TargetDelayModel::Linear;
+        let slow = m.target(lmax() / 2.0, lmax(), Frequency::from_megahertz(500.0));
+        let fast = m.target(lmax() / 2.0, lmax(), Frequency::from_gigahertz(1.7));
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn overlong_wires_are_clamped_to_one_period() {
+        let m = TargetDelayModel::Linear;
+        let d = m.target(lmax() * 2.0, lmax(), CLOCK);
+        assert_eq!(d, CLOCK.period());
+    }
+
+    #[test]
+    #[should_panic(expected = "l_max must be positive")]
+    fn zero_lmax_panics() {
+        let _ = TargetDelayModel::Linear.target(lmax(), Length::ZERO, CLOCK);
+    }
+}

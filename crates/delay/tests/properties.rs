@@ -1,0 +1,153 @@
+//! Property tests for the delay model and repeater-insertion planning,
+//! over randomized wire electricals and device parameters.
+
+use ia_delay::{
+    plan_insertion, InsertionOutcome, RepeatedWireModel, StageCharging, SwitchingConstants,
+    TargetDelayModel,
+};
+use ia_rc::{CapacitanceBreakdown, ExtractionOptions, WireElectricals};
+use ia_tech::DeviceParameters;
+use ia_tech::LayerGeometry;
+use ia_units::{Area, Capacitance, Frequency, Length, Permittivity, Resistance, Time};
+use proptest::prelude::*;
+
+fn device_strategy() -> impl Strategy<Value = DeviceParameters> {
+    ((1.0f64..20.0), (0.5f64..4.0), (0.2f64..2.0)).prop_map(|(r_kohm, c_ff, a_um2)| {
+        DeviceParameters::new(
+            Resistance::from_kiloohms(r_kohm),
+            Capacitance::from_femtofarads(c_ff),
+            Capacitance::from_femtofarads(c_ff),
+            Area::from_square_micrometers(a_um2),
+        )
+        .expect("positive parameters")
+    })
+}
+
+fn wire_strategy() -> impl Strategy<Value = WireElectricals> {
+    // Build from a random plausible geometry so r̄/c̄ stay physical.
+    ((0.1f64..0.6), (0.1f64..0.6), (0.2f64..1.2)).prop_map(|(w, s, t)| {
+        let g = LayerGeometry::from_micrometers(w, s, t).expect("positive dims");
+        let breakdown = CapacitanceBreakdown::extract(
+            g,
+            Permittivity::SILICON_DIOXIDE,
+            &ExtractionOptions::default(),
+        );
+        WireElectricals {
+            resistance: ia_rc::resistance_per_length(ia_units::Resistivity::copper(), g),
+            capacitance: breakdown.total(),
+            capacitance_breakdown: breakdown,
+        }
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = RepeatedWireModel> {
+    (device_strategy(), wire_strategy())
+        .prop_map(|(d, w)| RepeatedWireModel::new(d, w, SwitchingConstants::paper()))
+}
+
+proptest! {
+    #[test]
+    fn optimal_count_is_a_local_minimum(model in model_strategy(), l_mm in 0.1f64..20.0) {
+        let l = Length::from_millimeters(l_mm);
+        let opt = model.optimal_count(l);
+        let best = model.total_delay(l, opt);
+        prop_assert!(best <= model.total_delay(l, opt + 1));
+        if opt > 1 {
+            prop_assert!(best <= model.total_delay(l, opt - 1));
+        }
+    }
+
+    #[test]
+    fn best_delay_is_global_minimum_on_a_grid(model in model_strategy(), l_mm in 0.1f64..10.0) {
+        let l = Length::from_millimeters(l_mm);
+        let best = model.best_delay(l);
+        for eta in 1..=(model.optimal_count(l) + 8) {
+            prop_assert!(model.total_delay(l, eta) >= best - Time::from_seconds(1e-18));
+        }
+    }
+
+    #[test]
+    fn insertion_plan_is_minimal_and_sufficient(
+        model in model_strategy(),
+        l_mm in 0.05f64..10.0,
+        slack in 1.01f64..10.0,
+    ) {
+        let l = Length::from_millimeters(l_mm);
+        let target = model.best_delay(l) * slack;
+        match plan_insertion(&model, l, target) {
+            InsertionOutcome::MeetsUnbuffered { delay } => {
+                prop_assert!(delay <= target);
+                prop_assert_eq!(delay, model.unbuffered_delay(l));
+            }
+            InsertionOutcome::Buffered { count, delay } => {
+                prop_assert!(delay <= target);
+                prop_assert!(model.unbuffered_delay(l) > target);
+                if count > 1 {
+                    prop_assert!(model.total_delay(l, count - 1) > target);
+                }
+            }
+            InsertionOutcome::Unattainable { .. } => {
+                // target ≥ best_delay × 1.01, so this cannot happen.
+                prop_assert!(false, "target above best delay declared unattainable");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_best_targets_are_unattainable(model in model_strategy(), l_mm in 0.1f64..10.0) {
+        let l = Length::from_millimeters(l_mm);
+        let target = model.best_delay(l) * 0.99;
+        let unattainable = matches!(
+            plan_insertion(&model, l, target),
+            InsertionOutcome::Unattainable { .. }
+        );
+        prop_assert!(unattainable);
+    }
+
+    #[test]
+    fn eq4_size_minimizes_the_drive_coefficient(model in model_strategy()) {
+        let s_opt = model.optimal_size();
+        let at_opt = model.drive_coefficient(s_opt);
+        for factor in [0.5, 0.8, 1.25, 2.0] {
+            prop_assert!(model.drive_coefficient(s_opt * factor) >= at_opt - 1e-18);
+        }
+    }
+
+    #[test]
+    fn wire_only_charging_lower_bounds_full(model in model_strategy(), l_mm in 0.1f64..10.0) {
+        let wire_only = RepeatedWireModel::with_charging(
+            model.device(),
+            model.wire(),
+            model.constants(),
+            StageCharging::WireOnly,
+        );
+        let l = Length::from_millimeters(l_mm);
+        for eta in [1u64, 2, 5, 17] {
+            prop_assert!(wire_only.total_delay(l, eta) <= model.total_delay(l, eta));
+        }
+        prop_assert_eq!(
+            wire_only.intrinsic_stage_delay(),
+            Time::from_seconds(0.0)
+        );
+    }
+
+    #[test]
+    fn target_models_are_monotone_in_length(
+        l_frac_a in 0.01f64..1.0,
+        l_frac_b in 0.01f64..1.0,
+        floor_ps in 1.0f64..100.0,
+    ) {
+        let l_max = Length::from_millimeters(4.0);
+        let clock = Frequency::from_megahertz(500.0);
+        let (lo, hi) = if l_frac_a <= l_frac_b { (l_frac_a, l_frac_b) } else { (l_frac_b, l_frac_a) };
+        for model in [
+            TargetDelayModel::Linear,
+            TargetDelayModel::LinearWithFloor { floor: Time::from_picoseconds(floor_ps) },
+            TargetDelayModel::SquareRoot,
+        ] {
+            let a = model.target(l_max * lo, l_max, clock);
+            let b = model.target(l_max * hi, l_max, clock);
+            prop_assert!(a <= b, "{model:?} not monotone");
+        }
+    }
+}

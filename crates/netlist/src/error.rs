@@ -1,0 +1,101 @@
+//! Errors for netlist parsing and extraction.
+
+use std::fmt;
+
+/// Error raised while parsing a placement or extracting a WLD from it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A cell name was defined twice.
+    DuplicateCell {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A net references a cell that was never defined.
+    UnknownCell {
+        /// The net doing the referencing.
+        net: String,
+        /// The missing cell.
+        cell: String,
+    },
+    /// A net has fewer than two distinct terminals.
+    DegenerateNet {
+        /// The offending net.
+        net: String,
+    },
+    /// The placement has no nets (nothing to extract).
+    Empty,
+    /// All extracted connections have zero length (all terminals of
+    /// every net share a location), so no valid WLD exists.
+    AllZeroLength,
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::DuplicateCell { name } => {
+                write!(f, "cell `{name}` is defined more than once")
+            }
+            NetlistError::UnknownCell { net, cell } => {
+                write!(f, "net `{net}` references undefined cell `{cell}`")
+            }
+            NetlistError::DegenerateNet { net } => {
+                write!(f, "net `{net}` needs a driver and at least one sink")
+            }
+            NetlistError::Empty => write!(f, "placement has no nets"),
+            NetlistError::AllZeroLength => {
+                write!(
+                    f,
+                    "every connection has zero length; no distribution to extract"
+                )
+            }
+            NetlistError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = NetlistError::UnknownCell {
+            net: "n1".into(),
+            cell: "ghost".into(),
+        };
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("ghost"));
+        assert!(NetlistError::Parse {
+            line: 7,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Placed-netlist parsing and wire-length extraction.
+//!
+//! The paper evaluates the rank metric on *stochastic* wire-length
+//! distributions (the Davis model, `ia-wld`); a real flow has placed
+//! netlists. This crate turns a placement into the same [`ia_wld::Wld`]
+//! the rank solver consumes:
+//!
+//! * [`Placement`] — cells at integer grid coordinates (gate pitches)
+//!   plus driver→sinks nets, with a tiny line-oriented text format
+//!   ([`Placement::parse`]) and a programmatic builder;
+//! * [`NetModel`] — how multi-terminal nets decompose into the
+//!   two-terminal connections the rank metric assigns: a **star**
+//!   (driver to each sink — the decomposition behind the Davis model's
+//!   fan-out factor) or one **HPWL** wire per net (half-perimeter
+//!   bounding box, the classical placement estimate);
+//! * [`Placement::to_wld`] — extraction into a validated [`ia_wld::Wld`].
+//!
+//! # Text format
+//!
+//! ```text
+//! # comment
+//! cell <name> <x> <y>          # grid coordinates in gate pitches
+//! net <name> <driver> <sink>...
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_netlist::{NetModel, Placement};
+//!
+//! let text = "
+//! cell a 0 0
+//! cell b 3 4
+//! cell c 0 9
+//! net n1 a b c
+//! ";
+//! let placement = Placement::parse(text)?;
+//! let wld = placement.to_wld(NetModel::Star)?;
+//! // a→b is |3|+|4| = 7, a→c is 9.
+//! assert_eq!(wld.total_wires(), 2);
+//! assert_eq!(wld.count_of(7), 1);
+//! assert_eq!(wld.count_of(9), 1);
+//! # Ok::<(), ia_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod placement;
+
+pub use error::NetlistError;
+pub use placement::{NetModel, Placement, PlacementStats};

@@ -1,0 +1,424 @@
+//! The placement container, its text format, and WLD extraction.
+
+use crate::NetlistError;
+use ia_wld::Wld;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a multi-terminal net decomposes into the two-terminal
+/// connections the rank metric assigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetModel {
+    /// One connection from the driver to each sink (the decomposition
+    /// behind the Davis model's fan-out factor `α = f.o./(f.o.+1)`).
+    Star,
+    /// One connection per net with length equal to the half-perimeter
+    /// of the terminals' bounding box (the classical placement-stage
+    /// wirelength estimate).
+    Hpwl,
+}
+
+impl std::fmt::Display for NetModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetModel::Star => write!(f, "star"),
+            NetModel::Hpwl => write!(f, "hpwl"),
+        }
+    }
+}
+
+/// One net: a driver and its sinks (cell indices into the placement).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Net {
+    name: String,
+    terminals: Vec<usize>, // first = driver
+}
+
+/// A placed netlist: named cells at integer grid coordinates (gate
+/// pitches) and driver→sinks nets.
+///
+/// Construct programmatically with [`Placement::add_cell`] /
+/// [`Placement::add_net`], or parse the text format with
+/// [`Placement::parse`] / [`Placement::read_file`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    names: BTreeMap<String, usize>,
+    positions: Vec<(i64, i64)>,
+    nets: Vec<Net>,
+}
+
+/// Summary statistics of a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementStats {
+    /// Number of cells.
+    pub cells: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Mean sinks per net.
+    pub mean_fanout: f64,
+    /// Half-perimeter of the whole placement's bounding box.
+    pub span: u64,
+}
+
+impl Placement {
+    /// Creates an empty placement.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cell at grid coordinates (in gate pitches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateCell`] if the name exists.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        x: i64,
+        y: i64,
+    ) -> Result<(), NetlistError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateCell { name });
+        }
+        self.names.insert(name, self.positions.len());
+        self.positions.push((x, y));
+        Ok(())
+    }
+
+    /// Adds a net from a driver to one or more sinks.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UnknownCell`] for unresolved names;
+    /// * [`NetlistError::DegenerateNet`] for fewer than two distinct
+    ///   terminals.
+    pub fn add_net<I, S>(
+        &mut self,
+        name: impl Into<String>,
+        terminals: I,
+    ) -> Result<(), NetlistError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let name = name.into();
+        let mut ids = Vec::new();
+        for t in terminals {
+            let cell = t.as_ref();
+            let id = *self
+                .names
+                .get(cell)
+                .ok_or_else(|| NetlistError::UnknownCell {
+                    net: name.clone(),
+                    cell: cell.to_owned(),
+                })?;
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        if ids.len() < 2 {
+            return Err(NetlistError::DegenerateNet { net: name });
+        }
+        self.nets.push(Net {
+            name,
+            terminals: ids,
+        });
+        Ok(())
+    }
+
+    /// Parses the line-oriented text format (see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Parse`] with a line number for malformed
+    /// input, plus any structural error from the `add_*` methods.
+    pub fn parse(text: &str) -> Result<Self, NetlistError> {
+        let mut placement = Self::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let keyword = fields.next().expect("non-empty line has a first token");
+            match keyword {
+                "cell" => {
+                    let (Some(name), Some(x), Some(y), None) =
+                        (fields.next(), fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(NetlistError::Parse {
+                            line: idx + 1,
+                            message: "expected `cell <name> <x> <y>`".to_owned(),
+                        });
+                    };
+                    let x: i64 = x.parse().map_err(|e| NetlistError::Parse {
+                        line: idx + 1,
+                        message: format!("bad x `{x}`: {e}"),
+                    })?;
+                    let y: i64 = y.parse().map_err(|e| NetlistError::Parse {
+                        line: idx + 1,
+                        message: format!("bad y `{y}`: {e}"),
+                    })?;
+                    placement.add_cell(name, x, y)?;
+                }
+                "net" => {
+                    let Some(name) = fields.next() else {
+                        return Err(NetlistError::Parse {
+                            line: idx + 1,
+                            message: "expected `net <name> <driver> <sink>...`".to_owned(),
+                        });
+                    };
+                    let terminals: Vec<&str> = fields.collect();
+                    if terminals.len() < 2 {
+                        return Err(NetlistError::Parse {
+                            line: idx + 1,
+                            message: "a net needs a driver and at least one sink".to_owned(),
+                        });
+                    }
+                    placement.add_net(name, terminals)?;
+                }
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: idx + 1,
+                        message: format!("unknown keyword `{other}` (expected `cell` or `net`)"),
+                    });
+                }
+            }
+        }
+        Ok(placement)
+    }
+
+    /// Reads and parses a placement file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Io`] for filesystem errors plus any parse
+    /// error.
+    pub fn read_file(path: &std::path::Path) -> Result<Self, NetlistError> {
+        let text = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> PlacementStats {
+        let sinks: usize = self.nets.iter().map(|n| n.terminals.len() - 1).sum();
+        let span = if self.positions.is_empty() {
+            0
+        } else {
+            let (min_x, max_x, min_y, max_y) = self.bbox(0..self.positions.len());
+            (max_x - min_x) as u64 + (max_y - min_y) as u64
+        };
+        PlacementStats {
+            cells: self.cell_count(),
+            nets: self.net_count(),
+            mean_fanout: if self.nets.is_empty() {
+                0.0
+            } else {
+                sinks as f64 / self.nets.len() as f64
+            },
+            span,
+        }
+    }
+
+    fn bbox(&self, ids: impl IntoIterator<Item = usize>) -> (i64, i64, i64, i64) {
+        let mut min_x = i64::MAX;
+        let mut max_x = i64::MIN;
+        let mut min_y = i64::MAX;
+        let mut max_y = i64::MIN;
+        for id in ids {
+            let (x, y) = self.positions[id];
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        (min_x, max_x, min_y, max_y)
+    }
+
+    /// Extracts the wire-length distribution (lengths in gate pitches)
+    /// under the given net model. Zero-length connections (coincident
+    /// terminals) are dropped, matching the Davis model's support
+    /// `l ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::Empty`] if the placement has no nets;
+    /// * [`NetlistError::AllZeroLength`] if nothing remains after
+    ///   dropping zero-length connections.
+    pub fn to_wld(&self, model: NetModel) -> Result<Wld, NetlistError> {
+        if self.nets.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for net in &self.nets {
+            match model {
+                NetModel::Star => {
+                    let (dx, dy) = self.positions[net.terminals[0]];
+                    for &sink in &net.terminals[1..] {
+                        let (sx, sy) = self.positions[sink];
+                        let l = dx.abs_diff(sx) + dy.abs_diff(sy);
+                        if l > 0 {
+                            *counts.entry(l).or_insert(0) += 1;
+                        }
+                    }
+                }
+                NetModel::Hpwl => {
+                    let (min_x, max_x, min_y, max_y) = self.bbox(net.terminals.iter().copied());
+                    let l = (max_x - min_x) as u64 + (max_y - min_y) as u64;
+                    if l > 0 {
+                        *counts.entry(l).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        if counts.is_empty() {
+            return Err(NetlistError::AllZeroLength);
+        }
+        Ok(Wld::from_pairs(counts).expect("positive lengths and counts form a valid WLD"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Placement {
+        Placement::parse(
+            "
+            # a 2×2 toy block
+            cell a 0 0
+            cell b 3 4
+            cell c 0 9
+            cell d 3 0
+            net n1 a b c
+            net n2 d b
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_stats() {
+        let p = sample();
+        assert_eq!(p.cell_count(), 4);
+        assert_eq!(p.net_count(), 2);
+        let s = p.stats();
+        assert!((s.mean_fanout - 1.5).abs() < 1e-12); // (2 + 1) / 2
+        assert_eq!(s.span, 3 + 9);
+    }
+
+    #[test]
+    fn star_extraction() {
+        let wld = sample().to_wld(NetModel::Star).unwrap();
+        // n1: a→b = 7, a→c = 9; n2: d→b = 4.
+        assert_eq!(wld.total_wires(), 3);
+        assert_eq!(wld.count_of(7), 1);
+        assert_eq!(wld.count_of(9), 1);
+        assert_eq!(wld.count_of(4), 1);
+    }
+
+    #[test]
+    fn hpwl_extraction() {
+        let wld = sample().to_wld(NetModel::Hpwl).unwrap();
+        // n1 bbox: x 0..3, y 0..9 → 12; n2 bbox: x 3..3, y 0..4 → 4.
+        assert_eq!(wld.total_wires(), 2);
+        assert_eq!(wld.count_of(12), 1);
+        assert_eq!(wld.count_of(4), 1);
+    }
+
+    #[test]
+    fn zero_length_connections_are_dropped() {
+        let mut p = Placement::new();
+        p.add_cell("a", 5, 5).unwrap();
+        p.add_cell("b", 5, 5).unwrap();
+        p.add_cell("c", 5, 6).unwrap();
+        p.add_net("n", ["a", "b", "c"]).unwrap();
+        let wld = p.to_wld(NetModel::Star).unwrap();
+        assert_eq!(wld.total_wires(), 1); // a→b dropped, a→c kept
+                                          // A net of fully coincident terminals alone is an error.
+        let mut q = Placement::new();
+        q.add_cell("a", 0, 0).unwrap();
+        q.add_cell("b", 0, 0).unwrap();
+        q.add_net("n", ["a", "b"]).unwrap();
+        assert_eq!(
+            q.to_wld(NetModel::Star).unwrap_err(),
+            NetlistError::AllZeroLength
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Placement::parse("cell a 0 zero").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+        let err = Placement::parse("cell a 0 0\nblob x").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+        let err = Placement::parse("cell a 0 0\nnet n a").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn structural_errors() {
+        let mut p = Placement::new();
+        p.add_cell("a", 0, 0).unwrap();
+        assert_eq!(
+            p.add_cell("a", 1, 1).unwrap_err(),
+            NetlistError::DuplicateCell { name: "a".into() }
+        );
+        assert!(matches!(
+            p.add_net("n", ["a", "ghost"]).unwrap_err(),
+            NetlistError::UnknownCell { .. }
+        ));
+        // Duplicate terminals collapse; a self-net is degenerate.
+        assert!(matches!(
+            p.add_net("n", ["a", "a"]).unwrap_err(),
+            NetlistError::DegenerateNet { .. }
+        ));
+        assert_eq!(
+            Placement::new().to_wld(NetModel::Star).unwrap_err(),
+            NetlistError::Empty
+        );
+    }
+
+    #[test]
+    fn star_matches_manual_count_on_a_grid() {
+        // 4×4 grid of cells, each driving its right neighbour.
+        let mut p = Placement::new();
+        for x in 0..4i64 {
+            for y in 0..4i64 {
+                p.add_cell(format!("c{x}_{y}"), x, y).unwrap();
+            }
+        }
+        for x in 0..3i64 {
+            for y in 0..4i64 {
+                p.add_net(
+                    format!("n{x}_{y}"),
+                    [format!("c{x}_{y}"), format!("c{}_{y}", x + 1)],
+                )
+                .unwrap();
+            }
+        }
+        let wld = p.to_wld(NetModel::Star).unwrap();
+        assert_eq!(wld.total_wires(), 12);
+        assert_eq!(wld.count_of(1), 12);
+        // Star and HPWL agree on two-terminal nets.
+        assert_eq!(p.to_wld(NetModel::Hpwl).unwrap(), wld);
+    }
+}

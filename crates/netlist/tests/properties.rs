@@ -1,0 +1,74 @@
+//! Property tests for netlist extraction invariants.
+
+use ia_netlist::{NetModel, NetlistError, Placement};
+use proptest::prelude::*;
+
+/// Random placement: 2..12 cells on a 32×32 grid, 1..10 three-terminal
+/// nets over random cells (degenerate nets are silently skipped).
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    let cells = proptest::collection::vec((0i64..32, 0i64..32), 2..12);
+    (
+        cells,
+        proptest::collection::vec((0usize..12, 0usize..12, 0usize..12), 1..10),
+    )
+        .prop_map(|(cells, raw_nets)| {
+            let mut p = Placement::new();
+            for (i, (x, y)) in cells.iter().enumerate() {
+                p.add_cell(format!("c{i}"), *x, *y).expect("unique names");
+            }
+            let n = cells.len();
+            for (idx, (a, b, c)) in raw_nets.iter().enumerate() {
+                let names = [
+                    format!("c{}", a % n),
+                    format!("c{}", b % n),
+                    format!("c{}", c % n),
+                ];
+                let _ = p.add_net(format!("n{idx}"), names);
+            }
+            p
+        })
+}
+
+proptest! {
+    #[test]
+    fn extraction_is_deterministic(p in placement_strategy()) {
+        prop_assume!(p.net_count() > 0);
+        prop_assert_eq!(p.to_wld(NetModel::Star), p.clone().to_wld(NetModel::Star));
+        prop_assert_eq!(p.to_wld(NetModel::Hpwl), p.clone().to_wld(NetModel::Hpwl));
+    }
+
+    #[test]
+    fn lengths_are_bounded_by_the_placement_span(p in placement_strategy()) {
+        prop_assume!(p.net_count() > 0);
+        for model in [NetModel::Star, NetModel::Hpwl] {
+            match p.to_wld(model) {
+                Ok(wld) => {
+                    prop_assert!(wld.longest().expect("non-empty") <= p.stats().span);
+                    prop_assert!(wld.total_wires() >= 1);
+                }
+                Err(e) => prop_assert_eq!(e, NetlistError::AllZeroLength),
+            }
+        }
+    }
+
+    #[test]
+    fn star_connection_count_is_bounded_by_sink_count(p in placement_strategy()) {
+        prop_assume!(p.net_count() > 0);
+        let Ok(star) = p.to_wld(NetModel::Star) else { return Ok(()); };
+        // Each 3-terminal net contributes at most 2 connections, and
+        // zero-length ones are dropped.
+        prop_assert!(star.total_wires() <= 2 * p.net_count() as u64);
+    }
+
+    #[test]
+    fn hpwl_totals_never_exceed_star_totals(p in placement_strategy()) {
+        prop_assume!(p.net_count() > 0);
+        let (Ok(star), Ok(hpwl)) = (p.to_wld(NetModel::Star), p.to_wld(NetModel::Hpwl)) else {
+            return Ok(());
+        };
+        // Per net, the bounding half-perimeter never exceeds the sum of
+        // driver→sink Manhattan distances, so the totals obey it too.
+        prop_assert!(hpwl.total_length() <= star.total_length());
+        prop_assert!(hpwl.total_wires() <= p.net_count() as u64);
+    }
+}

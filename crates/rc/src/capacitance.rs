@@ -1,0 +1,153 @@
+//! Wire capacitance per unit length, decomposed into plate, fringe and
+//! Miller-scaled coupling terms.
+
+use crate::ExtractionOptions;
+use ia_tech::LayerGeometry;
+use ia_units::{CapacitancePerLength, Permittivity};
+use serde::{Deserialize, Serialize};
+
+/// Dimensionless fringe allowance: `c_fringe = FRINGE_FACTOR × ε`
+/// per unit length (≈ 0.052 fF/µm at `K = 3.9`).
+pub const FRINGE_FACTOR: f64 = 1.5;
+
+/// Per-unit-length capacitance of a wire, split into its physical
+/// contributions.
+///
+/// `total()` is the paper's `c̄_j`. The split is retained because the
+/// Table 4 sweeps act on different terms: the ILD permittivity `K`
+/// scales every term, whereas the Miller factor `M` scales only
+/// [`CapacitanceBreakdown::coupling`].
+///
+/// # Examples
+///
+/// ```
+/// use ia_rc::{CapacitanceBreakdown, ExtractionOptions};
+/// use ia_tech::LayerGeometry;
+/// use ia_units::Permittivity;
+///
+/// let g = LayerGeometry::from_micrometers(0.2, 0.21, 0.34)?;
+/// let c = CapacitanceBreakdown::extract(g, Permittivity::SILICON_DIOXIDE,
+///                                       &ExtractionOptions::default());
+/// assert!(c.coupling > c.plate); // minimum-pitch wiring is coupling-dominated
+/// assert!((c.total() / (c.plate + c.fringe + c.coupling) - 1.0).abs() < 1e-12);
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct CapacitanceBreakdown {
+    /// Parallel-plate term to the layers above and below: `2·ε·W/H`.
+    pub plate: CapacitancePerLength,
+    /// Constant fringe allowance: `FRINGE_FACTOR·ε` (zero if disabled).
+    pub fringe: CapacitancePerLength,
+    /// Lateral coupling to both neighbours, Miller-scaled: `M·2·ε·T/S`.
+    pub coupling: CapacitancePerLength,
+}
+
+impl CapacitanceBreakdown {
+    /// Extracts the capacitance of a wire on the given layer geometry.
+    ///
+    /// `k` is the ILD permittivity actually in effect (any override from
+    /// the options must already have been applied by the caller; the
+    /// options contribute the Miller factor and the fringe switch here).
+    #[must_use]
+    pub fn extract(geometry: LayerGeometry, k: Permittivity, options: &ExtractionOptions) -> Self {
+        let eps = k.absolute_farads_per_meter();
+        let plate = 2.0 * eps * (geometry.width / geometry.ild_height);
+        let fringe = if options.include_fringe {
+            FRINGE_FACTOR * eps
+        } else {
+            0.0
+        };
+        let coupling = options.miller_factor * 2.0 * eps * (geometry.thickness / geometry.spacing);
+        Self {
+            plate: CapacitancePerLength::from_farads_per_meter(plate),
+            fringe: CapacitancePerLength::from_farads_per_meter(fringe),
+            coupling: CapacitancePerLength::from_farads_per_meter(coupling),
+        }
+    }
+
+    /// Total per-unit-length capacitance `c̄_j`.
+    #[must_use]
+    pub fn total(&self) -> CapacitancePerLength {
+        self.plate + self.fringe + self.coupling
+    }
+
+    /// Fraction of the total capacitance contributed by Miller-scaled
+    /// lateral coupling. This ratio governs how effective a Miller-factor
+    /// reduction is relative to a permittivity reduction.
+    #[must_use]
+    pub fn coupling_fraction(&self) -> f64 {
+        self.coupling / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> LayerGeometry {
+        LayerGeometry::from_micrometers(0.2, 0.21, 0.34).unwrap()
+    }
+
+    fn extract(opts: &ExtractionOptions) -> CapacitanceBreakdown {
+        CapacitanceBreakdown::extract(geo(), Permittivity::SILICON_DIOXIDE, opts)
+    }
+
+    #[test]
+    fn terms_match_hand_calculation() {
+        let c = extract(&ExtractionOptions::default());
+        let eps = Permittivity::SILICON_DIOXIDE.absolute_farads_per_meter();
+        // plate: 2ε × 0.2/0.34
+        assert!((c.plate.farads_per_meter() - 2.0 * eps * 0.2 / 0.34).abs() < 1e-18);
+        // fringe: 1.5ε
+        assert!((c.fringe.farads_per_meter() - 1.5 * eps).abs() < 1e-18);
+        // coupling: 2 (Miller) × 2ε × 0.34/0.21
+        assert!((c.coupling.farads_per_meter() - 2.0 * 2.0 * eps * 0.34 / 0.21).abs() < 1e-18);
+    }
+
+    #[test]
+    fn total_is_in_plausible_ff_per_um_range() {
+        let c = extract(&ExtractionOptions::default());
+        let ff_per_um = c.total().farads_per_meter() * 1e9;
+        // Dense 130 nm semi-global wiring: a few hundred aF/µm.
+        assert!(ff_per_um > 0.1 && ff_per_um < 1.0, "got {ff_per_um} fF/µm");
+    }
+
+    #[test]
+    fn permittivity_scales_every_term() {
+        let base = extract(&ExtractionOptions::default());
+        let lowk = CapacitanceBreakdown::extract(
+            geo(),
+            Permittivity::from_relative(3.9 / 2.0),
+            &ExtractionOptions::default(),
+        );
+        assert!((base.plate / lowk.plate - 2.0).abs() < 1e-9);
+        assert!((base.fringe / lowk.fringe - 2.0).abs() < 1e-9);
+        assert!((base.coupling / lowk.coupling - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miller_scales_only_coupling() {
+        let base = extract(&ExtractionOptions::default());
+        let shielded = extract(&ExtractionOptions::default().with_miller_factor(1.0));
+        assert_eq!(base.plate, shielded.plate);
+        assert_eq!(base.fringe, shielded.fringe);
+        assert!((base.coupling / shielded.coupling - 2.0).abs() < 1e-9);
+        assert!(shielded.coupling_fraction() < base.coupling_fraction());
+    }
+
+    #[test]
+    fn fringe_can_be_disabled() {
+        let c = extract(&ExtractionOptions::default().without_fringe());
+        assert_eq!(c.fringe, CapacitancePerLength::ZERO);
+        assert!(c.total() > CapacitancePerLength::ZERO);
+    }
+
+    #[test]
+    fn coupling_fraction_between_zero_and_one() {
+        let c = extract(&ExtractionOptions::default());
+        let f = c.coupling_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        // Dense minimum-pitch stack is coupling-dominated.
+        assert!(f > 0.5);
+    }
+}

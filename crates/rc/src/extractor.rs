@@ -1,0 +1,141 @@
+//! Tier-level extraction driver.
+
+use crate::{CapacitanceBreakdown, ExtractionOptions};
+use ia_tech::{TechnologyNode, WiringTier};
+use ia_units::{CapacitancePerLength, ResistancePerLength};
+use serde::{Deserialize, Serialize};
+
+/// Extracted per-unit-length electrical properties of wires on one tier:
+/// the paper's `(r̄_j, c̄_j)` pair for a layer-pair of that tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireElectricals {
+    /// Resistance per unit length `r̄_j`.
+    pub resistance: ResistancePerLength,
+    /// Total capacitance per unit length `c̄_j`.
+    pub capacitance: CapacitancePerLength,
+    /// Decomposition of `c̄_j` into plate / fringe / coupling terms.
+    pub capacitance_breakdown: CapacitanceBreakdown,
+}
+
+/// Extraction driver binding a technology node to a set of
+/// [`ExtractionOptions`].
+///
+/// # Examples
+///
+/// ```
+/// use ia_rc::{ExtractionOptions, Extractor};
+/// use ia_tech::{presets, WiringTier};
+///
+/// let node = presets::tsmc130();
+/// let base = Extractor::new(&node, ExtractionOptions::default());
+/// let shielded = Extractor::new(&node, ExtractionOptions::default().with_miller_factor(1.0));
+/// let tier = WiringTier::Global;
+/// assert!(shielded.tier(tier).capacitance < base.tier(tier).capacitance);
+/// assert_eq!(shielded.tier(tier).resistance, base.tier(tier).resistance);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Extractor<'a> {
+    node: &'a TechnologyNode,
+    options: ExtractionOptions,
+}
+
+impl<'a> Extractor<'a> {
+    /// Creates an extractor for the given node and options.
+    #[must_use]
+    pub fn new(node: &'a TechnologyNode, options: ExtractionOptions) -> Self {
+        Self { node, options }
+    }
+
+    /// The options in effect.
+    #[must_use]
+    pub fn options(&self) -> &ExtractionOptions {
+        &self.options
+    }
+
+    /// The effective ILD permittivity: the override if present, else the
+    /// node's material permittivity.
+    #[must_use]
+    pub fn permittivity(&self) -> ia_units::Permittivity {
+        self.options
+            .permittivity_override
+            .unwrap_or(self.node.material().ild_permittivity)
+    }
+
+    /// Extracts the wire electricals for layer-pairs of the given tier.
+    #[must_use]
+    pub fn tier(&self, tier: WiringTier) -> WireElectricals {
+        let geometry = self.node.layer(tier);
+        let resistance =
+            crate::resistance_per_length(self.node.material().conductor_resistivity, geometry);
+        let breakdown = CapacitanceBreakdown::extract(geometry, self.permittivity(), &self.options);
+        WireElectricals {
+            resistance,
+            capacitance: breakdown.total(),
+            capacitance_breakdown: breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_tech::presets;
+    use ia_units::Permittivity;
+
+    #[test]
+    fn global_tier_has_lowest_resistance() {
+        let node = presets::tsmc130();
+        let ext = Extractor::new(&node, ExtractionOptions::default());
+        let local = ext.tier(WiringTier::Local);
+        let semi = ext.tier(WiringTier::SemiGlobal);
+        let global = ext.tier(WiringTier::Global);
+        assert!(global.resistance < semi.resistance);
+        assert!(semi.resistance < local.resistance);
+    }
+
+    #[test]
+    fn permittivity_override_takes_effect() {
+        let node = presets::tsmc130();
+        let base = Extractor::new(&node, ExtractionOptions::default());
+        let lowk = Extractor::new(
+            &node,
+            ExtractionOptions::default().with_permittivity(Permittivity::from_relative(1.95)),
+        );
+        assert!((lowk.permittivity().relative() - 1.95).abs() < 1e-12);
+        let t = WiringTier::SemiGlobal;
+        // Halving K halves total capacitance.
+        assert!((base.tier(t).capacitance / lowk.tier(t).capacitance - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_override_uses_node_material() {
+        let node = presets::tsmc130();
+        let ext = Extractor::new(&node, ExtractionOptions::default());
+        assert_eq!(ext.permittivity(), node.material().ild_permittivity);
+    }
+
+    #[test]
+    fn rc_product_is_plausible_for_130nm_semi_global() {
+        let node = presets::tsmc130();
+        let ext = Extractor::new(&node, ExtractionOptions::default());
+        let e = ext.tier(WiringTier::SemiGlobal);
+        let r_per_um = e.resistance.ohms_per_meter() * 1e-6;
+        let c_ff_per_um = e.capacitance.farads_per_meter() * 1e9;
+        // Era-plausible orders of magnitude.
+        assert!(r_per_um > 0.1 && r_per_um < 1.0, "r̄ = {r_per_um} Ω/µm");
+        assert!(
+            c_ff_per_um > 0.1 && c_ff_per_um < 0.6,
+            "c̄ = {c_ff_per_um} fF/µm"
+        );
+    }
+
+    #[test]
+    fn breakdown_total_matches_capacitance_field() {
+        let node = presets::tsmc90();
+        let ext = Extractor::new(&node, ExtractionOptions::default());
+        for tier in WiringTier::ALL {
+            let e = ext.tier(tier);
+            assert_eq!(e.capacitance, e.capacitance_breakdown.total());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Extraction options: the analysis knobs swept by Table 4.
+
+use ia_units::Permittivity;
+use serde::{Deserialize, Serialize};
+
+/// Analysis-time knobs for RC extraction.
+///
+/// These are *design/analysis* parameters, distinct from the process
+/// description in [`ia_tech::TechnologyNode`]: the Miller coupling factor
+/// models the switching environment, and the permittivity override lets
+/// the Table 4 `K` sweep perturb the dielectric without rebuilding the
+/// node.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rc::ExtractionOptions;
+/// use ia_units::Permittivity;
+///
+/// let opts = ExtractionOptions::default()
+///     .with_miller_factor(1.5)
+///     .with_permittivity(Permittivity::from_relative(2.7));
+/// assert!((opts.miller_factor - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionOptions {
+    /// Miller coupling factor `M` applied to lateral coupling
+    /// capacitance. The paper's baseline is 2.0 (worst case); 1.0 models
+    /// double-sided shielding (footnote 8).
+    pub miller_factor: f64,
+    /// If set, overrides the node's ILD permittivity (the `K` sweep).
+    pub permittivity_override: Option<Permittivity>,
+    /// Whether to include the constant fringe term in `c̄`.
+    pub include_fringe: bool,
+}
+
+impl ExtractionOptions {
+    /// The paper's baseline: `M = 2`, node permittivity, fringe included.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            miller_factor: 2.0,
+            permittivity_override: None,
+            include_fringe: true,
+        }
+    }
+
+    /// Returns a copy with a different Miller factor (the `M` sweep).
+    #[must_use]
+    pub fn with_miller_factor(mut self, m: f64) -> Self {
+        self.miller_factor = m;
+        self
+    }
+
+    /// Returns a copy overriding the ILD permittivity (the `K` sweep).
+    #[must_use]
+    pub fn with_permittivity(mut self, k: Permittivity) -> Self {
+        self.permittivity_override = Some(k);
+        self
+    }
+
+    /// Returns a copy with the fringe term excluded.
+    #[must_use]
+    pub fn without_fringe(mut self) -> Self {
+        self.include_fringe = false;
+        self
+    }
+}
+
+impl Default for ExtractionOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_baseline() {
+        let o = ExtractionOptions::default();
+        assert!((o.miller_factor - 2.0).abs() < 1e-12);
+        assert!(o.permittivity_override.is_none());
+        assert!(o.include_fringe);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = ExtractionOptions::new()
+            .with_miller_factor(1.0)
+            .with_permittivity(Permittivity::VACUUM)
+            .without_fringe();
+        assert!((o.miller_factor - 1.0).abs() < 1e-12);
+        assert_eq!(o.permittivity_override, Some(Permittivity::VACUUM));
+        assert!(!o.include_fringe);
+    }
+}

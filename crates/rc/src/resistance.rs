@@ -1,0 +1,63 @@
+//! Wire resistance per unit length.
+
+use ia_tech::LayerGeometry;
+use ia_units::{ResistancePerLength, Resistivity};
+
+/// Resistance per unit length `r̄_j = ρ / (W_j × T_j)` of a wire on a
+/// layer with the given geometry.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rc::resistance_per_length;
+/// use ia_tech::LayerGeometry;
+/// use ia_units::Resistivity;
+///
+/// let g = LayerGeometry::from_micrometers(0.2, 0.21, 0.34)?;
+/// let r = resistance_per_length(Resistivity::copper(), g);
+/// // 2.2e-8 Ωm / (0.2µm × 0.34µm) ≈ 0.324 Ω/µm
+/// assert!((r.ohms_per_meter() * 1e-6 - 0.3235).abs() < 1e-3);
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[must_use]
+pub fn resistance_per_length(rho: Resistivity, geometry: LayerGeometry) -> ResistancePerLength {
+    rho.per_length(geometry.cross_section())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_units::Length;
+
+    fn geo(w: f64, t: f64) -> LayerGeometry {
+        LayerGeometry::new(
+            Length::from_micrometers(w),
+            Length::from_micrometers(0.2),
+            Length::from_micrometers(t),
+            Length::from_micrometers(t),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wider_wire_has_lower_resistance() {
+        let narrow = resistance_per_length(Resistivity::copper(), geo(0.2, 0.34));
+        let wide = resistance_per_length(Resistivity::copper(), geo(0.4, 0.34));
+        assert!(wide < narrow);
+        assert!((narrow / wide - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thicker_metal_has_lower_resistance() {
+        let thin = resistance_per_length(Resistivity::copper(), geo(0.2, 0.3));
+        let thick = resistance_per_length(Resistivity::copper(), geo(0.2, 0.6));
+        assert!((thin / thick - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistivity_scales_linearly() {
+        let cu = resistance_per_length(Resistivity::copper(), geo(0.2, 0.34));
+        let al = resistance_per_length(Resistivity::aluminum(), geo(0.2, 0.34));
+        assert!((al / cu - 3.3 / 2.2).abs() < 1e-9);
+    }
+}

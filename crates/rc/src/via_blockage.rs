@@ -1,0 +1,120 @@
+//! Via-blockage accounting.
+//!
+//! Wires and repeaters placed on upper layer-pairs connect down to the
+//! device layer through via stacks that consume routing area in every
+//! layer-pair they penetrate (paper footnote 1). The rank DP charges:
+//!
+//! * `v × v_a` per wire above (the paper's wire-via term, Algorithm 5
+//!   step 2: `v × i × v_a`), where `v` is the number of via stacks per
+//!   wire ([`DEFAULT_VIAS_PER_WIRE`]: one per terminal — the mid-wire
+//!   "L" turn via is already counted as part of the wire, §3), and
+//! * `v_a` per repeater above (Algorithm 5's `z_{r1} + z_{r2}` term).
+
+use ia_tech::ViaGeometry;
+use ia_units::Area;
+use serde::{Deserialize, Serialize};
+
+/// Number of through-via stacks contributed by one wire: its two
+/// terminals. The "L"-turn via stays within the wire's own layer-pair
+/// and is counted as part of the wire area (paper §3, assumption 2).
+pub const DEFAULT_VIAS_PER_WIRE: u64 = 2;
+
+/// Counts of blockage sources above a given layer-pair.
+///
+/// # Examples
+///
+/// ```
+/// use ia_rc::ViaUsage;
+/// use ia_tech::ViaGeometry;
+/// use ia_units::Length;
+///
+/// let via = ViaGeometry::new(Length::from_micrometers(0.26))?;
+/// let usage = ViaUsage { wires_above: 1000, repeaters_above: 50 };
+/// let blocked = usage.blocked_area(via, 2);
+/// let per_via = via.occupied_area();
+/// assert!((blocked / per_via - 2050.0).abs() < 1e-9);
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ViaUsage {
+    /// Wires assigned to layer-pairs above the pair being charged.
+    pub wires_above: u64,
+    /// Repeaters inserted in wires on layer-pairs above.
+    pub repeaters_above: u64,
+}
+
+impl ViaUsage {
+    /// No blockage (topmost layer-pair).
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            wires_above: 0,
+            repeaters_above: 0,
+        }
+    }
+
+    /// Total routing area blocked in a layer-pair penetrated by this
+    /// usage, given the via class landing on that pair and the number of
+    /// via stacks per wire.
+    #[must_use]
+    pub fn blocked_area(self, via: ViaGeometry, vias_per_wire: u64) -> Area {
+        let stacks = self.wires_above * vias_per_wire + self.repeaters_above;
+        via.occupied_area() * stacks as f64
+    }
+
+    /// Adds more blockage sources, returning the combined usage.
+    #[must_use]
+    pub fn plus(self, wires: u64, repeaters: u64) -> Self {
+        Self {
+            wires_above: self.wires_above + wires,
+            repeaters_above: self.repeaters_above + repeaters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_units::Length;
+
+    fn via() -> ViaGeometry {
+        ViaGeometry::new(Length::from_micrometers(0.2)).unwrap()
+    }
+
+    #[test]
+    fn none_blocks_nothing() {
+        assert_eq!(ViaUsage::none().blocked_area(via(), 2), Area::ZERO);
+    }
+
+    #[test]
+    fn blocked_area_counts_wires_and_repeaters() {
+        let u = ViaUsage {
+            wires_above: 10,
+            repeaters_above: 3,
+        };
+        let blocked = u.blocked_area(via(), DEFAULT_VIAS_PER_WIRE);
+        assert!((blocked / via().occupied_area() - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plus_accumulates() {
+        let u = ViaUsage::none().plus(5, 2).plus(1, 1);
+        assert_eq!(
+            u,
+            ViaUsage {
+                wires_above: 6,
+                repeaters_above: 3
+            }
+        );
+    }
+
+    #[test]
+    fn blockage_is_monotone_in_sources() {
+        let base = ViaUsage {
+            wires_above: 100,
+            repeaters_above: 10,
+        };
+        let more = base.plus(1, 0);
+        assert!(more.blocked_area(via(), 2) > base.blocked_area(via(), 2));
+    }
+}

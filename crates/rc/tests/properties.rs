@@ -1,0 +1,81 @@
+//! Property tests for the RC extraction scaling laws.
+
+use ia_rc::{CapacitanceBreakdown, ExtractionOptions};
+use ia_tech::LayerGeometry;
+use ia_units::Permittivity;
+use proptest::prelude::*;
+
+fn geometry() -> impl Strategy<Value = LayerGeometry> {
+    ((0.05f64..1.0), (0.05f64..1.0), (0.1f64..2.0), (0.1f64..2.0)).prop_map(|(w, s, t, h)| {
+        LayerGeometry::new(
+            ia_units::Length::from_micrometers(w),
+            ia_units::Length::from_micrometers(s),
+            ia_units::Length::from_micrometers(t),
+            ia_units::Length::from_micrometers(h),
+        )
+        .expect("positive dimensions")
+    })
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-30)
+}
+
+proptest! {
+    #[test]
+    fn permittivity_scales_total_capacitance_linearly(
+        g in geometry(),
+        k1 in 1.0f64..4.0,
+        k2 in 1.0f64..4.0,
+    ) {
+        let opts = ExtractionOptions::default();
+        let c1 = CapacitanceBreakdown::extract(g, Permittivity::from_relative(k1), &opts);
+        let c2 = CapacitanceBreakdown::extract(g, Permittivity::from_relative(k2), &opts);
+        prop_assert!(rel(c1.total() / c2.total(), k1 / k2) < 1e-9);
+        // The coupling fraction is K-invariant.
+        prop_assert!(rel(c1.coupling_fraction(), c2.coupling_fraction()) < 1e-9);
+    }
+
+    #[test]
+    fn miller_scales_only_coupling(
+        g in geometry(),
+        m1 in 1.0f64..2.0,
+        m2 in 1.0f64..2.0,
+    ) {
+        let k = Permittivity::SILICON_DIOXIDE;
+        let c1 = CapacitanceBreakdown::extract(g, k, &ExtractionOptions::default().with_miller_factor(m1));
+        let c2 = CapacitanceBreakdown::extract(g, k, &ExtractionOptions::default().with_miller_factor(m2));
+        prop_assert_eq!(c1.plate, c2.plate);
+        prop_assert_eq!(c1.fringe, c2.fringe);
+        prop_assert!(rel(c1.coupling / c2.coupling, m1 / m2) < 1e-9);
+        // A Miller reduction can never beat the same relative K
+        // reduction: ΔC(M)/C ≤ ΔC(K)/C for equal percentages.
+        if m1 > m2 {
+            let full_scale = m2 / m1;
+            let miller_ratio = c2.total() / c1.total();
+            prop_assert!(miller_ratio >= full_scale - 1e-12);
+        }
+    }
+
+    #[test]
+    fn tighter_spacing_increases_coupling(g in geometry()) {
+        let opts = ExtractionOptions::default();
+        let k = Permittivity::SILICON_DIOXIDE;
+        let dense = CapacitanceBreakdown::extract(g, k, &opts);
+        let sparse = CapacitanceBreakdown::extract(g.scaled_pitch(2.0), k, &opts);
+        // Doubling width and spacing doubles plate, halves... plate ∝ W:
+        prop_assert!(sparse.plate > dense.plate);
+        // Coupling ∝ 1/S with unchanged thickness:
+        prop_assert!(rel(dense.coupling / sparse.coupling, 2.0) < 1e-9);
+    }
+
+    #[test]
+    fn resistance_follows_geometry(g in geometry(), scale in 1.1f64..4.0) {
+        let rho = ia_units::Resistivity::copper();
+        let base = ia_rc::resistance_per_length(rho, g);
+        let mut wide = g;
+        wide.width = g.width * scale;
+        let wide_r = ia_rc::resistance_per_length(rho, wide);
+        prop_assert!(rel(base / wide_r, scale) < 1e-9);
+    }
+}

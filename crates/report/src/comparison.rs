@@ -1,0 +1,130 @@
+//! Paper-vs-measured comparison records.
+
+use serde::{Deserialize, Serialize};
+
+/// The direction a quantity is expected to move along a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// The quantity should not decrease along the sweep.
+    NonDecreasing,
+    /// The quantity should not increase along the sweep.
+    NonIncreasing,
+}
+
+impl Direction {
+    /// Checks a series against this direction, returning the index of
+    /// the first violating step, if any.
+    #[must_use]
+    pub fn first_violation(self, series: &[f64]) -> Option<usize> {
+        series.windows(2).position(|w| match self {
+            Direction::NonDecreasing => w[1] < w[0],
+            Direction::NonIncreasing => w[1] > w[0],
+        })
+    }
+}
+
+/// One paper-vs-measured record for `EXPERIMENTS.md`: an experiment id,
+/// the value the paper reports, the value we measured, and notes.
+///
+/// # Examples
+///
+/// ```
+/// use ia_report::Comparison;
+///
+/// let c = Comparison::new("Table 4 (K) baseline", 0.397288, 0.0032)
+///     .with_note("absolute scale differs; trend preserved");
+/// assert!(c.ratio() < 1.0);
+/// assert!(c.to_string().contains("Table 4"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Experiment identifier (e.g. `"Table 4 (K), K = 3.9"`).
+    pub experiment: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction measured.
+    pub measured: f64,
+    /// Free-form notes (substitutions, scale caveats).
+    pub note: String,
+}
+
+impl Comparison {
+    /// Creates a record with an empty note.
+    #[must_use]
+    pub fn new(experiment: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Self {
+            experiment: experiment.into(),
+            paper,
+            measured,
+            note: String::new(),
+        }
+    }
+
+    /// Attaches a note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    /// `measured / paper` (infinite if the paper value is zero and the
+    /// measured one is not).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.paper
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: paper {:.6}, measured {:.6} (×{:.3})",
+            self.experiment,
+            self.paper,
+            self.measured,
+            self.ratio()
+        )?;
+        if !self.note.is_empty() {
+            write!(f, " — {}", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_checks() {
+        assert_eq!(
+            Direction::NonDecreasing.first_violation(&[1.0, 2.0, 2.0, 3.0]),
+            None
+        );
+        assert_eq!(
+            Direction::NonDecreasing.first_violation(&[1.0, 2.0, 1.5]),
+            Some(1)
+        );
+        assert_eq!(
+            Direction::NonIncreasing.first_violation(&[3.0, 3.0, 1.0]),
+            None
+        );
+        assert_eq!(
+            Direction::NonIncreasing.first_violation(&[3.0, 4.0]),
+            Some(0)
+        );
+        assert_eq!(Direction::NonDecreasing.first_violation(&[]), None);
+    }
+
+    #[test]
+    fn comparison_ratio_and_display() {
+        let c = Comparison::new("Fig 2 greedy/dp", 2.0, 2.0);
+        assert!((c.ratio() - 1.0).abs() < 1e-12);
+        let shown = c.to_string();
+        assert!(shown.contains("paper 2.0"));
+        assert!(!shown.contains('—'));
+        let with = c.with_note("exact match");
+        assert!(with.to_string().contains("exact match"));
+    }
+}

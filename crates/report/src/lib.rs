@@ -1,0 +1,29 @@
+//! Experiment reporting: aligned text tables, CSV export, and
+//! paper-vs-measured comparison records.
+//!
+//! The benchmark binaries in `ia-bench` use this crate to print the
+//! regenerated Tables 3–4 and the Figure 2 comparison in the same shape
+//! the paper reports, and to record measured-vs-paper numbers for
+//! `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_report::Table;
+//!
+//! let mut t = Table::new(["K", "normalized rank"]);
+//! t.row(["3.90", "0.397288"]);
+//! t.row(["2.00", "0.547637"]);
+//! let text = t.render();
+//! assert!(text.contains("normalized rank"));
+//! assert!(text.lines().count() >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comparison;
+mod table;
+
+pub use comparison::{Comparison, Direction};
+pub use table::Table;

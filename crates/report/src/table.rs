@@ -1,0 +1,180 @@
+//! Aligned text tables and CSV rendering.
+
+/// A simple column-aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use ia_report::Table;
+///
+/// let mut t = Table::new(["parameter", "value"]);
+/// t.row(["K", "3.9"]);
+/// t.row(["Miller factor", "2"]);
+/// let text = t.render();
+/// let csv = t.to_csv();
+/// assert!(text.starts_with("parameter"));
+/// assert_eq!(csv.lines().next(), Some("parameter,value"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    #[must_use]
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the table with space-aligned columns and a rule under the
+    /// header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |row: &[String], out: &mut String| {
+            let mut first = true;
+            for (c, width) in widths.iter().enumerate() {
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                let cell = row.get(c).map_or("", String::as_str);
+                out.push_str(cell);
+                let pad = width.saturating_sub(cell.chars().count());
+                if c + 1 < cols {
+                    out.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let rule_width = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.extend(std::iter::repeat_n('-', rule_width));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (cells containing commas, quotes or
+    /// newlines are quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        std::iter::once(&self.header)
+            .chain(&self.rows)
+            .map(|row| row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = Table::new(["a", "long header"]);
+        t.row(["wide cell value", "x"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row start their second column at the same offset.
+        let h_off = lines[0].find("long header").unwrap();
+        let r_off = lines[2].find('x').unwrap();
+        assert_eq!(h_off, r_off);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert!(t.render().lines().count() == 3);
+        assert_eq!(t.to_csv().lines().nth(1), Some("1"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["x"]);
+        t.row(["a,b"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(["n"]);
+        t.row(["1"]);
+        assert_eq!(t.to_string(), t.render());
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

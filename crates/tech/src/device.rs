@@ -1,0 +1,168 @@
+//! Minimum-inverter device parameters (`r_o`, `c_o`, `c_p`).
+
+use crate::TechError;
+use ia_units::{Area, Capacitance, Resistance, Time};
+use serde::{Deserialize, Serialize};
+
+/// Electrical and layout parameters of a minimum-sized inverter.
+///
+/// These are the `r_o`, `c_o` and `c_p` of the paper's delay model
+/// (Eq. 2–3): output resistance, input capacitance and parasitic (drain)
+/// capacitance of a minimum-sized inverter. A repeater of size `s` has
+/// `R_tr = r_o / s`, `C_L = s·c_o` and parasitic `s·c_p`, which makes the
+/// intrinsic switching delay `b·r_o·(c_o + c_p)` independent of `s`.
+///
+/// `min_inverter_area` is the layout footprint of the size-1 inverter: the
+/// unit in which the paper measures repeater area (Eq. 5 divides repeater
+/// area by repeater size, i.e. works in multiples of this unit).
+///
+/// The paper does not print these values; the presets derive them from
+/// the usual FO4 ≈ `0.5 ns/µm × L_gate` rule of the era, split between
+/// `r_o·c_o` and the parasitic contribution. See `DESIGN.md`
+/// (Substitutions) for the calibration rationale.
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::DeviceParameters;
+/// use ia_units::{Area, Capacitance, Resistance};
+///
+/// let dev = DeviceParameters::new(
+///     Resistance::from_kiloohms(8.7),
+///     Capacitance::from_femtofarads(1.5),
+///     Capacitance::from_femtofarads(1.5),
+///     Area::from_square_micrometers(1.2),
+/// )?;
+/// // Intrinsic repeater delay term b·r_o·(c_o + c_p) with b = 0.7:
+/// let t = dev.intrinsic_delay(0.7);
+/// assert!((t.picoseconds() - 0.7 * 8700.0 * 3.0e-15 * 1e12).abs() < 1e-6);
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct DeviceParameters {
+    /// Output resistance `r_o` of the minimum-sized inverter.
+    pub output_resistance: Resistance,
+    /// Input capacitance `c_o` of the minimum-sized inverter.
+    pub input_capacitance: Capacitance,
+    /// Parasitic (drain) capacitance `c_p` of the minimum-sized inverter.
+    pub parasitic_capacitance: Capacitance,
+    /// Layout area of the minimum-sized inverter (the repeater area unit).
+    pub min_inverter_area: Area,
+}
+
+impl DeviceParameters {
+    /// Creates validated device parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::NonPositiveDevice`] if any parameter is not
+    /// strictly positive and finite.
+    pub fn new(
+        output_resistance: Resistance,
+        input_capacitance: Capacitance,
+        parasitic_capacitance: Capacitance,
+        min_inverter_area: Area,
+    ) -> Result<Self, TechError> {
+        let checks: [(&'static str, f64); 4] = [
+            ("r_o", output_resistance.ohms()),
+            ("c_o", input_capacitance.farads()),
+            ("c_p", parasitic_capacitance.farads()),
+            ("min_inverter_area", min_inverter_area.square_meters()),
+        ];
+        for (field, value) in checks {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(TechError::NonPositiveDevice { field, value });
+            }
+        }
+        Ok(Self {
+            output_resistance,
+            input_capacitance,
+            parasitic_capacitance,
+            min_inverter_area,
+        })
+    }
+
+    /// The size-independent intrinsic switching delay `b·r_o·(c_o + c_p)`
+    /// of one repeater stage, for switching constant `b`.
+    #[must_use]
+    pub fn intrinsic_delay(&self, b: f64) -> Time {
+        self.output_resistance * (self.input_capacitance + self.parasitic_capacitance) * b
+    }
+
+    /// The time constant `r_o·c_o` of the minimum inverter driving one
+    /// copy of itself (roughly FO4 / 5).
+    #[must_use]
+    pub fn tau(&self) -> Time {
+        self.output_resistance * self.input_capacitance
+    }
+
+    /// Layout area of a repeater of the given size multiple.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use ia_tech::presets;
+    /// let dev = presets::tsmc130().device();
+    /// let a60 = dev.repeater_area(60.0);
+    /// assert!((a60 / dev.min_inverter_area - 60.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn repeater_area(&self, size: f64) -> Area {
+        self.min_inverter_area * size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceParameters {
+        DeviceParameters::new(
+            Resistance::from_kiloohms(10.0),
+            Capacitance::from_femtofarads(2.0),
+            Capacitance::from_femtofarads(2.0),
+            Area::from_square_micrometers(1.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intrinsic_delay_uses_both_capacitances() {
+        let t = dev().intrinsic_delay(0.7);
+        // 0.7 × 10kΩ × 4fF = 28 ps
+        assert!((t.picoseconds() - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_is_ro_co() {
+        assert!((dev().tau().picoseconds() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeater_area_scales_linearly() {
+        let a = dev().repeater_area(37.5);
+        assert!((a.square_micrometers() - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_positive_parameters() {
+        let r = Resistance::from_kiloohms(10.0);
+        let c = Capacitance::from_femtofarads(2.0);
+        let a = Area::from_square_micrometers(1.0);
+        assert!(matches!(
+            DeviceParameters::new(Resistance::ZERO, c, c, a),
+            Err(TechError::NonPositiveDevice { field: "r_o", .. })
+        ));
+        assert!(matches!(
+            DeviceParameters::new(r, Capacitance::ZERO, c, a),
+            Err(TechError::NonPositiveDevice { field: "c_o", .. })
+        ));
+        assert!(matches!(
+            DeviceParameters::new(r, c, c, Area::ZERO),
+            Err(TechError::NonPositiveDevice {
+                field: "min_inverter_area",
+                ..
+            })
+        ));
+    }
+}

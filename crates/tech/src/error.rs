@@ -1,0 +1,85 @@
+//! Validation errors for technology descriptions.
+
+use std::fmt;
+
+/// Error raised when a technology description is physically inconsistent.
+///
+/// Returned by [`crate::TechnologyNodeBuilder::build`] and by the
+/// validating constructors of [`crate::LayerGeometry`],
+/// [`crate::ViaGeometry`] and [`crate::DeviceParameters`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// A geometric dimension that must be strictly positive was not.
+    NonPositiveDimension {
+        /// Which dimension was invalid (e.g. `"width"`).
+        field: &'static str,
+        /// The offending value, in metres.
+        meters: f64,
+    },
+    /// A device parameter that must be strictly positive was not.
+    NonPositiveDevice {
+        /// Which parameter was invalid (e.g. `"r_o"`).
+        field: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A required layer tier was missing when building a node.
+    MissingTier(crate::WiringTier),
+    /// The feature size was missing or non-positive when building a node.
+    InvalidFeatureSize,
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::NonPositiveDimension { field, meters } => {
+                write!(f, "dimension `{field}` must be positive, got {meters} m")
+            }
+            TechError::NonPositiveDevice { field, value } => {
+                write!(
+                    f,
+                    "device parameter `{field}` must be positive, got {value}"
+                )
+            }
+            TechError::MissingTier(tier) => {
+                write!(f, "layer geometry for tier {tier} was not provided")
+            }
+            TechError::InvalidFeatureSize => {
+                write!(f, "feature size must be provided and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WiringTier;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TechError::NonPositiveDimension {
+            field: "width",
+            meters: -1.0,
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension `width` must be positive, got -1 m"
+        );
+
+        let e = TechError::MissingTier(WiringTier::Global);
+        assert!(e.to_string().contains("global"));
+
+        let e = TechError::InvalidFeatureSize;
+        assert!(e.to_string().contains("feature size"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(TechError::InvalidFeatureSize);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-tier wiring geometry (Table 3 of the paper).
+
+use crate::TechError;
+use ia_units::{Area, Length};
+use serde::{Deserialize, Serialize};
+
+/// The three wiring tiers of a BEOL stack, in the paper's `M1 / M_x / M_t`
+/// terminology.
+///
+/// The rank metric assigns longer wires to higher tiers: global (`M_t`)
+/// layer-pairs sit on top, semi-global (`M_x`) pairs below them, local
+/// (`M_1`-class) pairs at the bottom.
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::WiringTier;
+///
+/// let tiers: Vec<_> = WiringTier::ALL.to_vec();
+/// assert_eq!(tiers, vec![WiringTier::Local, WiringTier::SemiGlobal, WiringTier::Global]);
+/// assert!(WiringTier::Global > WiringTier::Local);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WiringTier {
+    /// Local wiring (`M1` in Table 3): finest pitch, bottom of the stack.
+    Local,
+    /// Semi-global wiring (`M_x` in Table 3): intermediate pitch.
+    SemiGlobal,
+    /// Global wiring (`M_t` in Table 3): widest and thickest, top of the stack.
+    Global,
+}
+
+impl WiringTier {
+    /// All tiers, bottom-up.
+    pub const ALL: [WiringTier; 3] = [
+        WiringTier::Local,
+        WiringTier::SemiGlobal,
+        WiringTier::Global,
+    ];
+}
+
+impl std::fmt::Display for WiringTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WiringTier::Local => write!(f, "local"),
+            WiringTier::SemiGlobal => write!(f, "semi-global"),
+            WiringTier::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// Wiring geometry of one tier: the paper's `W_j`, `S_j`, metal thickness,
+/// and the ILD height separating consecutive layer-pairs.
+///
+/// All wires within a layer-pair share these values (paper §3,
+/// assumption 1). The ILD height is not printed in Table 3; following
+/// common aspect-ratio practice for the era, presets default it to the
+/// metal thickness unless overridden.
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::LayerGeometry;
+/// use ia_units::Length;
+///
+/// let g = LayerGeometry::new(
+///     Length::from_micrometers(0.2),
+///     Length::from_micrometers(0.21),
+///     Length::from_micrometers(0.34),
+///     Length::from_micrometers(0.34),
+/// )?;
+/// assert!((g.pitch().micrometers() - 0.41).abs() < 1e-9);
+/// assert!((g.aspect_ratio() - 1.7).abs() < 1e-9);
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LayerGeometry {
+    /// Minimum wire width `W_j`.
+    pub width: Length,
+    /// Minimum spacing `S_j` between adjacent wires.
+    pub spacing: Length,
+    /// Metal thickness.
+    pub thickness: Length,
+    /// Height of the inter-layer dielectric to the next layer-pair.
+    pub ild_height: Length,
+}
+
+impl LayerGeometry {
+    /// Creates a validated layer geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::NonPositiveDimension`] if any dimension is not
+    /// strictly positive or not finite.
+    pub fn new(
+        width: Length,
+        spacing: Length,
+        thickness: Length,
+        ild_height: Length,
+    ) -> Result<Self, TechError> {
+        for (field, value) in [
+            ("width", width),
+            ("spacing", spacing),
+            ("thickness", thickness),
+            ("ild_height", ild_height),
+        ] {
+            if !value.is_finite() || value.meters() <= 0.0 {
+                return Err(TechError::NonPositiveDimension {
+                    field,
+                    meters: value.meters(),
+                });
+            }
+        }
+        Ok(Self {
+            width,
+            spacing,
+            thickness,
+            ild_height,
+        })
+    }
+
+    /// Convenience constructor from micrometre values, with the ILD height
+    /// defaulted to the metal thickness.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LayerGeometry::new`].
+    pub fn from_micrometers(width: f64, spacing: f64, thickness: f64) -> Result<Self, TechError> {
+        Self::new(
+            Length::from_micrometers(width),
+            Length::from_micrometers(spacing),
+            Length::from_micrometers(thickness),
+            Length::from_micrometers(thickness),
+        )
+    }
+
+    /// Wire pitch `W_j + S_j` — the per-unit-length routing footprint used
+    /// by the wire-area accounting of Algorithms 4 and 5.
+    #[must_use]
+    pub fn pitch(self) -> Length {
+        self.width + self.spacing
+    }
+
+    /// Conductor cross-section `W_j × thickness`, which sets the wire
+    /// resistance per unit length.
+    #[must_use]
+    pub fn cross_section(self) -> Area {
+        self.width * self.thickness
+    }
+
+    /// Thickness-to-width aspect ratio of the conductor.
+    #[must_use]
+    pub fn aspect_ratio(self) -> f64 {
+        self.thickness / self.width
+    }
+
+    /// Returns a copy with a different ILD height.
+    #[must_use]
+    pub fn with_ild_height(mut self, ild_height: Length) -> Self {
+        self.ild_height = ild_height;
+        self
+    }
+
+    /// Returns a copy with width and spacing scaled by `factor`.
+    ///
+    /// Useful for exploring fat-wire variants of an architecture while
+    /// keeping the thickness (a deposition property) fixed.
+    #[must_use]
+    pub fn scaled_pitch(mut self, factor: f64) -> Self {
+        self.width = self.width * factor;
+        self.spacing = self.spacing * factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> LayerGeometry {
+        LayerGeometry::from_micrometers(0.2, 0.21, 0.34).unwrap()
+    }
+
+    #[test]
+    fn pitch_and_cross_section() {
+        let g = geo();
+        assert!((g.pitch().micrometers() - 0.41).abs() < 1e-12);
+        assert!((g.cross_section().square_micrometers() - 0.068).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_ild_height_is_thickness() {
+        let g = geo();
+        assert_eq!(g.ild_height, g.thickness);
+    }
+
+    #[test]
+    fn with_ild_height_overrides() {
+        let g = geo().with_ild_height(Length::from_micrometers(0.5));
+        assert!((g.ild_height.micrometers() - 0.5).abs() < 1e-12);
+        assert!((g.thickness.micrometers() - 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_pitch_scales_width_and_spacing_only() {
+        let g = geo().scaled_pitch(2.0);
+        assert!((g.width.micrometers() - 0.4).abs() < 1e-12);
+        assert!((g.spacing.micrometers() - 0.42).abs() < 1e-12);
+        assert!((g.thickness.micrometers() - 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_dimensions() {
+        let zero = Length::from_micrometers(0.0);
+        let ok = Length::from_micrometers(0.2);
+        let err = LayerGeometry::new(zero, ok, ok, ok).unwrap_err();
+        assert!(matches!(
+            err,
+            TechError::NonPositiveDimension { field: "width", .. }
+        ));
+        let err = LayerGeometry::new(ok, ok, Length::from_micrometers(-1.0), ok).unwrap_err();
+        assert!(matches!(
+            err,
+            TechError::NonPositiveDimension {
+                field: "thickness",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let nan = Length::from_meters(f64::NAN);
+        let ok = Length::from_micrometers(0.2);
+        assert!(LayerGeometry::new(ok, nan, ok, ok).is_err());
+    }
+
+    #[test]
+    fn tier_ordering_is_bottom_up() {
+        assert!(WiringTier::Local < WiringTier::SemiGlobal);
+        assert!(WiringTier::SemiGlobal < WiringTier::Global);
+    }
+
+    #[test]
+    fn tier_display() {
+        assert_eq!(WiringTier::SemiGlobal.to_string(), "semi-global");
+    }
+
+    #[test]
+    fn geometry_is_serializable() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<LayerGeometry>();
+        assert_serde::<WiringTier>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Technology-node modeling for interconnect architecture evaluation.
+//!
+//! This crate captures everything the DATE 2003 rank-metric paper takes
+//! from the process technology:
+//!
+//! * **Layer geometry** ([`LayerGeometry`]): minimum width, spacing, metal
+//!   thickness and inter-layer-dielectric height per wiring tier
+//!   (Table 3 of the paper).
+//! * **Via geometry** ([`ViaGeometry`]): minimum via widths per tier,
+//!   which drive the via-blockage accounting of the rank DP.
+//! * **Device parameters** ([`DeviceParameters`]): output resistance,
+//!   input and parasitic capacitance, and layout area of a minimum-sized
+//!   inverter — the `r_o`, `c_o`, `c_p` of the paper's delay model
+//!   (Eq. 2–3) and the unit in which repeater area is measured (Eq. 5).
+//! * **Material properties** ([`MaterialProperties`]): conductor
+//!   resistivity and ILD relative permittivity (the `K` axis of Table 4).
+//! * **Complete nodes** ([`TechnologyNode`]): the above bundled with the
+//!   feature size and the ITRS empirical gate pitch (`12.6 ×` node), plus
+//!   ready-made presets for the TSMC-style 180 nm, 130 nm and 90 nm
+//!   nodes used in the paper's experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_tech::{presets, WiringTier};
+//!
+//! let node = presets::tsmc130();
+//! assert_eq!(node.feature_size().nanometers().round() as u32, 130);
+//!
+//! let semi_global = node.layer(WiringTier::SemiGlobal);
+//! assert!((semi_global.width.micrometers() - 0.200).abs() < 1e-9);
+//! assert!((node.gate_pitch().micrometers() - 12.6 * 0.130).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod geometry;
+mod material;
+mod node;
+pub mod presets;
+mod via;
+
+pub use device::DeviceParameters;
+pub use error::TechError;
+pub use geometry::{LayerGeometry, WiringTier};
+pub use material::MaterialProperties;
+pub use node::{TechnologyNode, TechnologyNodeBuilder};
+pub use via::{ViaGeometry, ViaStack};

@@ -1,0 +1,98 @@
+//! Conductor and dielectric material properties.
+
+use ia_units::{Permittivity, Resistivity};
+use serde::{Deserialize, Serialize};
+
+/// Material properties of the BEOL: conductor resistivity and ILD
+/// relative permittivity.
+///
+/// The ILD permittivity is the `K` axis of Table 4 — the paper's baseline
+/// is SiO₂ (`K = 3.9`) swept down to 1.8 to model low-k adoption.
+/// Conductor resistivity defaults to damascene copper.
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::MaterialProperties;
+/// use ia_units::Permittivity;
+///
+/// let lowk = MaterialProperties::default().with_permittivity(Permittivity::from_relative(2.7));
+/// assert!((lowk.ild_permittivity.relative() - 2.7).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct MaterialProperties {
+    /// Bulk resistivity of the wiring conductor.
+    pub conductor_resistivity: Resistivity,
+    /// Relative permittivity `K` of the inter-layer dielectric.
+    pub ild_permittivity: Permittivity,
+}
+
+impl MaterialProperties {
+    /// Copper wiring with SiO₂ dielectric — the paper's baseline.
+    #[must_use]
+    pub fn copper_oxide() -> Self {
+        Self {
+            conductor_resistivity: Resistivity::copper(),
+            ild_permittivity: Permittivity::SILICON_DIOXIDE,
+        }
+    }
+
+    /// Aluminium wiring with SiO₂ dielectric (late-1990s stacks).
+    #[must_use]
+    pub fn aluminum_oxide() -> Self {
+        Self {
+            conductor_resistivity: Resistivity::aluminum(),
+            ild_permittivity: Permittivity::SILICON_DIOXIDE,
+        }
+    }
+
+    /// Returns a copy with a different ILD permittivity (the `K` sweep).
+    #[must_use]
+    pub fn with_permittivity(mut self, k: Permittivity) -> Self {
+        self.ild_permittivity = k;
+        self
+    }
+
+    /// Returns a copy with a different conductor resistivity.
+    #[must_use]
+    pub fn with_resistivity(mut self, rho: Resistivity) -> Self {
+        self.conductor_resistivity = rho;
+        self
+    }
+}
+
+impl Default for MaterialProperties {
+    /// Defaults to [`MaterialProperties::copper_oxide`].
+    fn default() -> Self {
+        Self::copper_oxide()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_copper_oxide() {
+        let m = MaterialProperties::default();
+        assert_eq!(m, MaterialProperties::copper_oxide());
+        assert!((m.ild_permittivity.relative() - 3.9).abs() < 1e-12);
+        assert!((m.conductor_resistivity.ohm_meters() - 2.2e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn aluminum_is_more_resistive_than_copper() {
+        let al = MaterialProperties::aluminum_oxide();
+        let cu = MaterialProperties::copper_oxide();
+        assert!(al.conductor_resistivity > cu.conductor_resistivity);
+    }
+
+    #[test]
+    fn builders_replace_single_fields() {
+        let m = MaterialProperties::default()
+            .with_permittivity(Permittivity::from_relative(2.0))
+            .with_resistivity(Resistivity::aluminum());
+        assert!((m.ild_permittivity.relative() - 2.0).abs() < 1e-12);
+        assert_eq!(m.conductor_resistivity, Resistivity::aluminum());
+    }
+}

@@ -1,0 +1,351 @@
+//! Complete technology-node descriptions.
+
+use crate::via::ViaStack;
+use crate::{
+    DeviceParameters, LayerGeometry, MaterialProperties, TechError, ViaGeometry, WiringTier,
+};
+use ia_units::Length;
+use serde::{Deserialize, Serialize};
+
+/// The ITRS empirical gate-pitch multiplier used by the paper:
+/// gate pitch = `12.6 ×` technology node (§5.2).
+pub const ITRS_GATE_PITCH_FACTOR: f64 = 12.6;
+
+/// A complete technology node: feature size, per-tier wiring and via
+/// geometry, device parameters, and material properties.
+///
+/// This is the immutable process description consumed by the RC
+/// extraction (`ia-rc`), the delay model (`ia-delay`) and the
+/// architecture builder (`ia-arch`). Construct one with
+/// [`TechnologyNodeBuilder`] or take a ready-made preset from
+/// [`crate::presets`].
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::{presets, WiringTier};
+///
+/// let node = presets::tsmc90();
+/// let gp = node.gate_pitch();
+/// assert!((gp.micrometers() - 12.6 * 0.09).abs() < 1e-9);
+/// assert!(node.layer(WiringTier::Global).width > node.layer(WiringTier::Local).width);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyNode {
+    name: String,
+    feature_size: Length,
+    gate_pitch_factor: f64,
+    local: LayerGeometry,
+    semi_global: LayerGeometry,
+    global: LayerGeometry,
+    vias: ViaStack,
+    device: DeviceParameters,
+    material: MaterialProperties,
+}
+
+impl TechnologyNode {
+    /// Human-readable node name (e.g. `"tsmc130"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Drawn feature size of the node (e.g. 130 nm).
+    #[must_use]
+    pub fn feature_size(&self) -> Length {
+        self.feature_size
+    }
+
+    /// The average gate pitch implied by the ITRS empirical rule
+    /// (`12.6 ×` node by default), before die-area inflation by the
+    /// repeater allocation. Used to size the die from the gate count.
+    #[must_use]
+    pub fn gate_pitch(&self) -> Length {
+        self.feature_size * self.gate_pitch_factor
+    }
+
+    /// Wiring geometry of the given tier (Table 3 row group).
+    #[must_use]
+    pub fn layer(&self, tier: WiringTier) -> LayerGeometry {
+        match tier {
+            WiringTier::Local => self.local,
+            WiringTier::SemiGlobal => self.semi_global,
+            WiringTier::Global => self.global,
+        }
+    }
+
+    /// Via geometry penetrating layer-pairs of the given tier.
+    #[must_use]
+    pub fn via(&self, tier: WiringTier) -> ViaGeometry {
+        self.vias.landing(tier)
+    }
+
+    /// Minimum-inverter device parameters.
+    #[must_use]
+    pub fn device(&self) -> DeviceParameters {
+        self.device
+    }
+
+    /// BEOL material properties.
+    #[must_use]
+    pub fn material(&self) -> MaterialProperties {
+        self.material
+    }
+
+    /// Returns a copy with different material properties.
+    ///
+    /// This is how the Table 4 `K` sweep perturbs a node without touching
+    /// its geometry.
+    #[must_use]
+    pub fn with_material(mut self, material: MaterialProperties) -> Self {
+        self.material = material;
+        self
+    }
+}
+
+/// Builder for [`TechnologyNode`].
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::{LayerGeometry, TechnologyNodeBuilder, DeviceParameters};
+/// use ia_units::{Area, Capacitance, Length, Resistance};
+///
+/// let layer = LayerGeometry::from_micrometers(0.2, 0.2, 0.35)?;
+/// let device = DeviceParameters::new(
+///     Resistance::from_kiloohms(9.0),
+///     Capacitance::from_femtofarads(1.5),
+///     Capacitance::from_femtofarads(1.5),
+///     Area::from_square_micrometers(1.2),
+/// )?;
+/// let node = TechnologyNodeBuilder::new("custom", Length::from_nanometers(130.0))
+///     .local(layer)
+///     .semi_global(layer)
+///     .global(layer)
+///     .via_width_micrometers(0.19, 0.26, 0.36)?
+///     .device(device)
+///     .build()?;
+/// assert_eq!(node.name(), "custom");
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyNodeBuilder {
+    name: String,
+    feature_size: Length,
+    gate_pitch_factor: f64,
+    local: Option<LayerGeometry>,
+    semi_global: Option<LayerGeometry>,
+    global: Option<LayerGeometry>,
+    vias: Option<ViaStack>,
+    device: Option<DeviceParameters>,
+    material: MaterialProperties,
+}
+
+impl TechnologyNodeBuilder {
+    /// Starts a builder for a node with the given name and feature size.
+    #[must_use]
+    pub fn new(name: impl Into<String>, feature_size: Length) -> Self {
+        Self {
+            name: name.into(),
+            feature_size,
+            gate_pitch_factor: ITRS_GATE_PITCH_FACTOR,
+            local: None,
+            semi_global: None,
+            global: None,
+            vias: None,
+            device: None,
+            material: MaterialProperties::default(),
+        }
+    }
+
+    /// Sets the local (`M1`) tier geometry.
+    #[must_use]
+    pub fn local(mut self, g: LayerGeometry) -> Self {
+        self.local = Some(g);
+        self
+    }
+
+    /// Sets the semi-global (`M_x`) tier geometry.
+    #[must_use]
+    pub fn semi_global(mut self, g: LayerGeometry) -> Self {
+        self.semi_global = Some(g);
+        self
+    }
+
+    /// Sets the global (`M_t`) tier geometry.
+    #[must_use]
+    pub fn global(mut self, g: LayerGeometry) -> Self {
+        self.global = Some(g);
+        self
+    }
+
+    /// Sets the three via widths (in micrometres) with default enclosure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::NonPositiveDimension`] for non-positive widths.
+    pub fn via_width_micrometers(
+        mut self,
+        local: f64,
+        semi_global: f64,
+        global: f64,
+    ) -> Result<Self, TechError> {
+        let v1 = ViaGeometry::new(Length::from_micrometers(local))?;
+        let vx = ViaGeometry::new(Length::from_micrometers(semi_global))?;
+        let vt = ViaGeometry::new(Length::from_micrometers(global))?;
+        self.vias = Some(ViaStack::new(v1, vx, vt));
+        Ok(self)
+    }
+
+    /// Sets the via stack directly.
+    #[must_use]
+    pub fn vias(mut self, vias: ViaStack) -> Self {
+        self.vias = Some(vias);
+        self
+    }
+
+    /// Sets the minimum-inverter device parameters.
+    #[must_use]
+    pub fn device(mut self, device: DeviceParameters) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Sets the material properties (defaults to copper + SiO₂).
+    #[must_use]
+    pub fn material(mut self, material: MaterialProperties) -> Self {
+        self.material = material;
+        self
+    }
+
+    /// Overrides the ITRS gate-pitch factor (defaults to `12.6`).
+    #[must_use]
+    pub fn gate_pitch_factor(mut self, factor: f64) -> Self {
+        self.gate_pitch_factor = factor;
+        self
+    }
+
+    /// Builds the node, validating completeness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::MissingTier`] if any tier geometry or the via
+    /// stack or device parameters were not provided, and
+    /// [`TechError::InvalidFeatureSize`] for a non-positive feature size
+    /// or gate-pitch factor.
+    pub fn build(self) -> Result<TechnologyNode, TechError> {
+        if !self.feature_size.is_finite()
+            || self.feature_size.meters() <= 0.0
+            || !self.gate_pitch_factor.is_finite()
+            || self.gate_pitch_factor <= 0.0
+        {
+            return Err(TechError::InvalidFeatureSize);
+        }
+        let local = self
+            .local
+            .ok_or(TechError::MissingTier(WiringTier::Local))?;
+        let semi_global = self
+            .semi_global
+            .ok_or(TechError::MissingTier(WiringTier::SemiGlobal))?;
+        let global = self
+            .global
+            .ok_or(TechError::MissingTier(WiringTier::Global))?;
+        let vias = self.vias.ok_or(TechError::MissingTier(WiringTier::Local))?;
+        let device = self.device.ok_or(TechError::InvalidFeatureSize)?;
+        Ok(TechnologyNode {
+            name: self.name,
+            feature_size: self.feature_size,
+            gate_pitch_factor: self.gate_pitch_factor,
+            local,
+            semi_global,
+            global,
+            vias,
+            device,
+            material: self.material,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_units::{Area, Capacitance, Resistance};
+
+    fn layer() -> LayerGeometry {
+        LayerGeometry::from_micrometers(0.2, 0.21, 0.34).unwrap()
+    }
+
+    fn device() -> DeviceParameters {
+        DeviceParameters::new(
+            Resistance::from_kiloohms(9.0),
+            Capacitance::from_femtofarads(1.5),
+            Capacitance::from_femtofarads(1.5),
+            Area::from_square_micrometers(1.2),
+        )
+        .unwrap()
+    }
+
+    fn builder() -> TechnologyNodeBuilder {
+        TechnologyNodeBuilder::new("t", Length::from_nanometers(130.0))
+            .local(layer())
+            .semi_global(layer())
+            .global(layer())
+            .via_width_micrometers(0.19, 0.26, 0.36)
+            .unwrap()
+            .device(device())
+    }
+
+    #[test]
+    fn builder_produces_consistent_node() {
+        let node = builder().build().unwrap();
+        assert_eq!(node.name(), "t");
+        assert!((node.gate_pitch().micrometers() - 12.6 * 0.13).abs() < 1e-9);
+        assert_eq!(node.layer(WiringTier::Local), layer());
+        assert_eq!(node.device(), device());
+    }
+
+    #[test]
+    fn missing_tier_is_rejected() {
+        let b = TechnologyNodeBuilder::new("t", Length::from_nanometers(130.0))
+            .local(layer())
+            .global(layer())
+            .via_width_micrometers(0.19, 0.26, 0.36)
+            .unwrap()
+            .device(device());
+        assert_eq!(
+            b.build().unwrap_err(),
+            TechError::MissingTier(WiringTier::SemiGlobal)
+        );
+    }
+
+    #[test]
+    fn invalid_feature_size_is_rejected() {
+        let b = TechnologyNodeBuilder::new("t", Length::ZERO)
+            .local(layer())
+            .semi_global(layer())
+            .global(layer())
+            .via_width_micrometers(0.19, 0.26, 0.36)
+            .unwrap()
+            .device(device());
+        assert_eq!(b.build().unwrap_err(), TechError::InvalidFeatureSize);
+    }
+
+    #[test]
+    fn gate_pitch_factor_override() {
+        let node = builder().gate_pitch_factor(10.0).build().unwrap();
+        assert!((node.gate_pitch().micrometers() - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_material_only_changes_material() {
+        let node = builder().build().unwrap();
+        let swapped = node
+            .clone()
+            .with_material(MaterialProperties::aluminum_oxide());
+        assert_eq!(
+            node.layer(WiringTier::Global),
+            swapped.layer(WiringTier::Global)
+        );
+        assert_eq!(swapped.material(), MaterialProperties::aluminum_oxide());
+    }
+}

@@ -1,0 +1,281 @@
+//! Ready-made technology nodes with the Table 3 parameters of the paper.
+//!
+//! Geometry values (widths, spacings, thicknesses, via widths) are taken
+//! verbatim from Table 3 ("Technology parameters used for study of
+//! variation of rank"), which the paper attributes to TSMC data for the
+//! 180 nm, 130 nm and 90 nm nodes. ILD heights are not printed in the
+//! paper; each tier defaults its ILD height to the tier's metal
+//! thickness (aspect-ratio-1 dielectric, typical of the era).
+//!
+//! Device parameters are *not* printed in the paper. They are derived
+//! from the classical FO4 rule of thumb (`FO4 ≈ 0.45 ns/µm × drawn
+//! length`) with `τ = r_o·c_o ≈ FO4/5`, an era-typical input capacitance
+//! per node, `c_p = c_o`, and a minimum-inverter footprint of `70 F²`.
+//! See `DESIGN.md` (Substitutions) for why the rank *trends* are
+//! insensitive to these absolute values.
+
+use crate::{DeviceParameters, LayerGeometry, TechnologyNode, TechnologyNodeBuilder};
+use ia_units::{Area, Capacitance, Length, Resistance};
+
+/// FO4 delay per drawn micrometre of gate length (ns/µm), era rule of thumb.
+const FO4_NS_PER_UM: f64 = 0.45;
+
+/// Minimum-inverter footprint in units of `F²` (feature size squared):
+/// the active-area convention of the repeater-insertion literature
+/// (≈ 50λ² = 12.5 F² for a minimum inverter), not a full standard-cell
+/// footprint. Repeater area budgets count active area (Eq. 5 measures
+/// repeater area in multiples of this unit).
+const MIN_INVERTER_F2: f64 = 12.5;
+
+/// Era-typical minimum-inverter input capacitance per node, femtofarads.
+fn input_capacitance_ff(node_nm: f64) -> f64 {
+    // Scales roughly linearly with feature size: ~2 fF at 180 nm.
+    2.0 * node_nm / 180.0
+}
+
+/// Derives the device parameters for a node from the documented rules.
+fn derived_device(node_nm: f64) -> DeviceParameters {
+    // FO4[ps] = 0.45 ns/µm × node[µm] × 1000 ps/ns; τ = r_o·c_o = FO4/5.
+    let fo4_ps = FO4_NS_PER_UM * (node_nm / 1000.0) * 1000.0;
+    let tau_ps = fo4_ps / 5.0;
+    let c_o_ff = input_capacitance_ff(node_nm);
+    let r_o_ohm = tau_ps * 1e-12 / (c_o_ff * 1e-15);
+    let f_um = node_nm / 1000.0;
+    DeviceParameters::new(
+        Resistance::from_ohms(r_o_ohm),
+        Capacitance::from_femtofarads(c_o_ff),
+        Capacitance::from_femtofarads(c_o_ff),
+        Area::from_square_micrometers(MIN_INVERTER_F2 * f_um * f_um),
+    )
+    .expect("derived device parameters are positive by construction")
+}
+
+fn layer(width_um: f64, spacing_um: f64, thickness_um: f64) -> LayerGeometry {
+    LayerGeometry::from_micrometers(width_um, spacing_um, thickness_um)
+        .expect("preset geometry values are positive")
+}
+
+/// The 180 nm node of Table 3 (6 metal layers: `x = 2..5`, `t = 6`).
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::{presets, WiringTier};
+/// let n = presets::tsmc180();
+/// assert!((n.layer(WiringTier::Global).thickness.micrometers() - 0.960).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn tsmc180() -> TechnologyNode {
+    TechnologyNodeBuilder::new("tsmc180", Length::from_nanometers(180.0))
+        .local(layer(0.230, 0.230, 0.483))
+        .semi_global(layer(0.280, 0.280, 0.588))
+        .global(layer(0.440, 0.460, 0.960))
+        .via_width_micrometers(0.260, 0.260, 0.360)
+        .expect("preset via widths are positive")
+        .device(derived_device(180.0))
+        .build()
+        .expect("preset node is complete")
+}
+
+/// The 130 nm node of Table 3 (7 metal layers: `x = 2..6`, `t = 7`) —
+/// the paper's headline experiment node.
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::{presets, WiringTier};
+/// let n = presets::tsmc130();
+/// assert!((n.layer(WiringTier::SemiGlobal).spacing.micrometers() - 0.210).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn tsmc130() -> TechnologyNode {
+    TechnologyNodeBuilder::new("tsmc130", Length::from_nanometers(130.0))
+        .local(layer(0.160, 0.180, 0.336))
+        .semi_global(layer(0.200, 0.210, 0.340))
+        .global(layer(0.440, 0.460, 1.020))
+        .via_width_micrometers(0.190, 0.260, 0.360)
+        .expect("preset via widths are positive")
+        .device(derived_device(130.0))
+        .build()
+        .expect("preset node is complete")
+}
+
+/// The 90 nm node of Table 3 (8 metal layers: `x = 2..7`, `t = 8`).
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::{presets, WiringTier};
+/// let n = presets::tsmc90();
+/// assert!((n.layer(WiringTier::Local).width.micrometers() - 0.120).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn tsmc90() -> TechnologyNode {
+    TechnologyNodeBuilder::new("tsmc90", Length::from_nanometers(90.0))
+        .local(layer(0.120, 0.120, 0.260))
+        .semi_global(layer(0.140, 0.140, 0.300))
+        .global(layer(0.420, 0.420, 0.880))
+        .via_width_micrometers(0.130, 0.130, 0.360)
+        .expect("preset via widths are positive")
+        .device(derived_device(90.0))
+        .build()
+        .expect("preset node is complete")
+}
+
+/// All three preset nodes, newest first.
+#[must_use]
+pub fn all() -> Vec<TechnologyNode> {
+    vec![tsmc90(), tsmc130(), tsmc180()]
+}
+
+/// Synthesizes a node at an arbitrary feature size by constant-field
+/// scaling of the 130 nm template: local and semi-global geometry scale
+/// linearly with the node, the global tier scales with the square root
+/// (top-metal dimensions historically shrank much slower — compare
+/// Table 3's `M_t` rows, nearly constant from 180 to 90 nm).
+///
+/// This supports ITRS-style trend studies between and beyond the
+/// published nodes; the three Table 3 presets remain the references.
+///
+/// # Panics
+///
+/// Panics if `node_nm` is not in `(10, 1000)`.
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::{presets, WiringTier};
+///
+/// let n65 = presets::scaled(65.0);
+/// let n130 = presets::tsmc130();
+/// assert!(n65.layer(WiringTier::Local).width < n130.layer(WiringTier::Local).width);
+/// assert!(n65.gate_pitch() < n130.gate_pitch());
+/// ```
+#[must_use]
+pub fn scaled(node_nm: f64) -> TechnologyNode {
+    assert!(
+        node_nm > 10.0 && node_nm < 1000.0,
+        "scaled() supports 10..1000 nm"
+    );
+    let s = node_nm / 130.0;
+    let sg = s.sqrt(); // global tier scales gently
+    let scale_layer = |g: LayerGeometry, f: f64| {
+        layer(
+            g.width.micrometers() * f,
+            g.spacing.micrometers() * f,
+            g.thickness.micrometers() * f,
+        )
+    };
+    let template = tsmc130();
+    TechnologyNodeBuilder::new(
+        format!("scaled{}", node_nm.round() as u64),
+        Length::from_nanometers(node_nm),
+    )
+    .local(scale_layer(template.layer(crate::WiringTier::Local), s))
+    .semi_global(scale_layer(
+        template.layer(crate::WiringTier::SemiGlobal),
+        s,
+    ))
+    .global(scale_layer(template.layer(crate::WiringTier::Global), sg))
+    .via_width_micrometers(0.19 * s, 0.26 * s, 0.36 * sg)
+    .expect("scaled via widths are positive")
+    .device(derived_device(node_nm))
+    .build()
+    .expect("scaled node is complete")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WiringTier;
+
+    #[test]
+    fn table3_values_are_reproduced() {
+        let n130 = tsmc130();
+        let m1 = n130.layer(WiringTier::Local);
+        assert!((m1.width.micrometers() - 0.160).abs() < 1e-9);
+        assert!((m1.spacing.micrometers() - 0.180).abs() < 1e-9);
+        assert!((m1.thickness.micrometers() - 0.336).abs() < 1e-9);
+        let mt = n130.layer(WiringTier::Global);
+        assert!((mt.thickness.micrometers() - 1.020).abs() < 1e-9);
+        assert!((n130.via(WiringTier::Local).width().micrometers() - 0.190).abs() < 1e-9);
+        assert!((n130.via(WiringTier::Global).width().micrometers() - 0.360).abs() < 1e-9);
+
+        let n180 = tsmc180();
+        assert!((n180.layer(WiringTier::SemiGlobal).thickness.micrometers() - 0.588).abs() < 1e-9);
+        let n90 = tsmc90();
+        assert!((n90.layer(WiringTier::Global).spacing.micrometers() - 0.420).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_parameters_scale_down_with_node() {
+        let d180 = tsmc180().device();
+        let d90 = tsmc90().device();
+        // Smaller node → faster device, smaller caps and area.
+        assert!(d90.tau() < d180.tau());
+        assert!(d90.input_capacitance < d180.input_capacitance);
+        assert!(d90.min_inverter_area < d180.min_inverter_area);
+    }
+
+    #[test]
+    fn device_tau_matches_fo4_rule() {
+        let d = tsmc130().device();
+        // FO4(130 nm) = 0.45 ns/µm × 0.13 µm = 58.5 ps, τ = FO4/5 = 11.7 ps.
+        assert!((d.tau().picoseconds() - 11.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn gate_pitch_follows_itrs_rule() {
+        for n in all() {
+            let expect = 12.6 * n.feature_size().micrometers();
+            assert!((n.gate_pitch().micrometers() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiers_are_monotone_in_pitch() {
+        for n in all() {
+            assert!(n.layer(WiringTier::Local).pitch() <= n.layer(WiringTier::SemiGlobal).pitch());
+            assert!(n.layer(WiringTier::SemiGlobal).pitch() <= n.layer(WiringTier::Global).pitch());
+        }
+    }
+
+    #[test]
+    fn scaled_node_interpolates_the_presets() {
+        let n130 = scaled(130.0);
+        let reference = tsmc130();
+        // At 130 nm the synthesizer reproduces the template geometry.
+        for tier in WiringTier::ALL {
+            let a = n130.layer(tier);
+            let b = reference.layer(tier);
+            assert!((a.width / b.width - 1.0).abs() < 1e-9, "{tier}");
+            assert!((a.thickness / b.thickness - 1.0).abs() < 1e-9, "{tier}");
+        }
+        // Scaling is monotone in the feature size.
+        let n65 = scaled(65.0);
+        let n250 = scaled(250.0);
+        for tier in WiringTier::ALL {
+            assert!(n65.layer(tier).pitch() < n130.layer(tier).pitch());
+            assert!(n130.layer(tier).pitch() < n250.layer(tier).pitch());
+        }
+        // The global tier shrinks more slowly than the local tier.
+        let local_ratio = n65.layer(WiringTier::Local).width / n130.layer(WiringTier::Local).width;
+        let global_ratio =
+            n65.layer(WiringTier::Global).width / n130.layer(WiringTier::Global).width;
+        assert!(global_ratio > local_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 10..1000")]
+    fn scaled_rejects_absurd_nodes() {
+        let _ = scaled(5.0);
+    }
+
+    #[test]
+    fn all_returns_three_distinct_nodes() {
+        let nodes = all();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].name(), "tsmc90");
+        assert_eq!(nodes[2].name(), "tsmc180");
+    }
+}

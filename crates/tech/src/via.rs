@@ -1,0 +1,170 @@
+//! Via geometry (the `V_1`, `V_{x-1}`, `V_{t-1}` rows of Table 3).
+
+use crate::{TechError, WiringTier};
+use ia_units::{Area, Length};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the vias landing on one wiring tier.
+///
+/// The rank DP charges via blockage area to lower layer-pairs for every
+/// wire and every repeater placed above them (paper footnote 1 and
+/// Algorithm 5). The blocked area per via is
+/// [`ViaGeometry::occupied_area`]: the drawn via scaled by an optional
+/// enclosure factor (the paper takes `v_a` directly from process
+/// parameters, so the default factor is 1.0; pass a larger factor to
+/// [`ViaGeometry::with_enclosure`] for pessimistic blockage studies).
+///
+/// # Examples
+///
+/// ```
+/// use ia_tech::ViaGeometry;
+/// use ia_units::Length;
+///
+/// let v = ViaGeometry::new(Length::from_micrometers(0.19))?;
+/// // Default: drawn via area.
+/// assert!((v.occupied_area().square_micrometers() - 0.19f64 * 0.19).abs() < 1e-9);
+/// # Ok::<(), ia_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ViaGeometry {
+    width: Length,
+    enclosure_factor: f64,
+}
+
+/// Default multiplicative enclosure on each side of a drawn via: the
+/// paper charges the drawn via area (Table 3 widths) directly.
+const DEFAULT_ENCLOSURE_FACTOR: f64 = 1.0;
+
+impl ViaGeometry {
+    /// Creates a via geometry with the default enclosure factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::NonPositiveDimension`] if the width is not
+    /// strictly positive and finite.
+    pub fn new(width: Length) -> Result<Self, TechError> {
+        Self::with_enclosure(width, DEFAULT_ENCLOSURE_FACTOR)
+    }
+
+    /// Creates a via geometry with an explicit enclosure factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::NonPositiveDimension`] if the width or the
+    /// factor is not strictly positive and finite.
+    pub fn with_enclosure(width: Length, enclosure_factor: f64) -> Result<Self, TechError> {
+        if !width.is_finite() || width.meters() <= 0.0 {
+            return Err(TechError::NonPositiveDimension {
+                field: "via width",
+                meters: width.meters(),
+            });
+        }
+        if !enclosure_factor.is_finite() || enclosure_factor <= 0.0 {
+            return Err(TechError::NonPositiveDimension {
+                field: "via enclosure factor",
+                meters: enclosure_factor,
+            });
+        }
+        Ok(Self {
+            width,
+            enclosure_factor,
+        })
+    }
+
+    /// Drawn via width.
+    #[must_use]
+    pub fn width(self) -> Length {
+        self.width
+    }
+
+    /// Enclosure factor applied to each side dimension.
+    #[must_use]
+    pub fn enclosure_factor(self) -> f64 {
+        self.enclosure_factor
+    }
+
+    /// Drawn via area (width squared).
+    #[must_use]
+    pub fn drawn_area(self) -> Area {
+        self.width.squared()
+    }
+
+    /// Routing area occupied by one via, including enclosure — the `v_a`
+    /// of the paper's via-blockage accounting.
+    #[must_use]
+    pub fn occupied_area(self) -> Area {
+        (self.width * self.enclosure_factor).squared()
+    }
+}
+
+/// Via widths for the three tiers of a node, as printed in Table 3.
+///
+/// `landing(tier)` gives the via class that penetrates layer-pairs of the
+/// given tier: `V_1` under local pairs, `V_{x-1}` under semi-global pairs,
+/// `V_{t-1}` under global pairs.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ViaStack {
+    local: ViaGeometry,
+    semi_global: ViaGeometry,
+    global: ViaGeometry,
+}
+
+impl ViaStack {
+    /// Creates a via stack from the three per-tier via geometries.
+    #[must_use]
+    pub fn new(local: ViaGeometry, semi_global: ViaGeometry, global: ViaGeometry) -> Self {
+        Self {
+            local,
+            semi_global,
+            global,
+        }
+    }
+
+    /// The via class penetrating layer-pairs of the given tier.
+    #[must_use]
+    pub fn landing(&self, tier: WiringTier) -> ViaGeometry {
+        match tier {
+            WiringTier::Local => self.local,
+            WiringTier::SemiGlobal => self.semi_global,
+            WiringTier::Global => self.global,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupied_area_includes_enclosure() {
+        let v = ViaGeometry::with_enclosure(Length::from_micrometers(0.26), 2.0).unwrap();
+        assert!((v.drawn_area().square_micrometers() - 0.0676).abs() < 1e-9);
+        assert!((v.occupied_area().square_micrometers() - 0.2704).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_enclosure_factor_is_drawn_area() {
+        let v = ViaGeometry::new(Length::from_micrometers(0.13)).unwrap();
+        assert!((v.enclosure_factor() - 1.0).abs() < 1e-12);
+        assert!((v.width().micrometers() - 0.13).abs() < 1e-12);
+        assert_eq!(v.occupied_area(), v.drawn_area());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ViaGeometry::new(Length::ZERO).is_err());
+        assert!(ViaGeometry::with_enclosure(Length::from_micrometers(0.1), 0.0).is_err());
+        assert!(ViaGeometry::with_enclosure(Length::from_micrometers(0.1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn stack_lookup_by_tier() {
+        let v1 = ViaGeometry::new(Length::from_micrometers(0.19)).unwrap();
+        let vx = ViaGeometry::new(Length::from_micrometers(0.26)).unwrap();
+        let vt = ViaGeometry::new(Length::from_micrometers(0.36)).unwrap();
+        let stack = ViaStack::new(v1, vx, vt);
+        assert_eq!(stack.landing(WiringTier::Local), v1);
+        assert_eq!(stack.landing(WiringTier::SemiGlobal), vx);
+        assert_eq!(stack.landing(WiringTier::Global), vt);
+    }
+}

@@ -1,0 +1,112 @@
+//! Planar area.
+
+quantity!(
+    /// A planar area, stored in square metres.
+    ///
+    /// Die area, wiring area per layer-pair, via blockage area, and
+    /// repeater area budgets are all [`Area`]s.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ia_units::{Area, Length};
+    ///
+    /// let die = Length::from_millimeters(10.0).squared();
+    /// let half: Area = die * 0.5;
+    /// assert!((half.square_millimeters() - 50.0).abs() < 1e-9);
+    /// ```
+    Area, base = "square metres",
+    from = from_square_meters, get = square_meters
+);
+
+impl Area {
+    /// Creates an area from square micrometres.
+    #[must_use]
+    pub const fn from_square_micrometers(um2: f64) -> Self {
+        Self::from_square_meters(um2 * 1e-12)
+    }
+
+    /// Creates an area from square millimetres.
+    #[must_use]
+    pub const fn from_square_millimeters(mm2: f64) -> Self {
+        Self::from_square_meters(mm2 * 1e-6)
+    }
+
+    /// Returns the area in square micrometres.
+    #[must_use]
+    pub const fn square_micrometers(self) -> f64 {
+        self.square_meters() * 1e12
+    }
+
+    /// Returns the area in square millimetres.
+    #[must_use]
+    pub const fn square_millimeters(self) -> f64 {
+        self.square_meters() * 1e6
+    }
+
+    /// Side length of a square with this area.
+    ///
+    /// Used to derive gate pitch and die edge from an area.
+    #[must_use]
+    pub fn side(self) -> crate::Length {
+        crate::Length::from_meters(self.square_meters().sqrt())
+    }
+}
+
+impl core::fmt::Display for Area {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m2 = self.square_meters().abs();
+        if m2 == 0.0 {
+            write!(f, "0 m²")
+        } else if m2 < 1e-6 {
+            write!(f, "{:.4} µm²", self.square_micrometers())
+        } else if m2 < 1.0 {
+            write!(f, "{:.4} mm²", self.square_millimeters())
+        } else {
+            write!(f, "{:.4} m²", self.square_meters())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Length;
+
+    #[test]
+    fn conversions_round_trip() {
+        let a = Area::from_square_micrometers(2.5e6);
+        assert!((a.square_millimeters() - 2.5).abs() < 1e-12);
+        assert!((a.square_meters() - 2.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn side_of_square() {
+        let a = Area::from_square_millimeters(4.0);
+        assert!((a.side().millimeters() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn side_round_trips_through_squared() {
+        let l = Length::from_micrometers(37.0);
+        assert!((l.squared().side() / l - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulation_with_sub_assign() {
+        let mut budget = Area::from_square_micrometers(100.0);
+        budget -= Area::from_square_micrometers(30.0);
+        budget -= Area::from_square_micrometers(20.0);
+        assert!((budget.square_micrometers() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_engineering_unit() {
+        assert_eq!(
+            Area::from_square_micrometers(12.0).to_string(),
+            "12.0000 µm²"
+        );
+        assert_eq!(Area::from_square_millimeters(3.0).to_string(), "3.0000 mm²");
+        assert_eq!(Area::ZERO.to_string(), "0 m²");
+    }
+}

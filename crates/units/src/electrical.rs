@@ -1,0 +1,301 @@
+//! Electrical quantities: resistance, capacitance, their per-length
+//! densities, bulk resistivity, and relative permittivity.
+
+use crate::{Length, Time};
+
+quantity!(
+    /// An electrical resistance, stored in ohms.
+    ///
+    /// Driver output resistances and total wire resistances are
+    /// [`Resistance`]s. Multiplying by a [`Capacitance`] yields a
+    /// [`Time`] (an RC constant).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ia_units::{Capacitance, Resistance};
+    ///
+    /// let rc = Resistance::from_kiloohms(10.0) * Capacitance::from_femtofarads(5.0);
+    /// assert!((rc.picoseconds() - 50.0).abs() < 1e-9);
+    /// ```
+    Resistance, base = "ohms",
+    from = from_ohms, get = ohms
+);
+
+quantity!(
+    /// An electrical capacitance, stored in farads.
+    ///
+    /// Gate input capacitances, load capacitances, and total wire
+    /// capacitances are [`Capacitance`]s.
+    ///
+    /// See [`Resistance`] for the RC-product relationship.
+    Capacitance, base = "farads",
+    from = from_farads, get = farads
+);
+
+quantity!(
+    /// Resistance per unit length of a wire, stored in ohms per metre.
+    ///
+    /// The paper's `r̄_j` for layer-pair `j`. Multiplying by a [`Length`]
+    /// yields a [`Resistance`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ia_units::{Length, ResistancePerLength};
+    ///
+    /// let r = ResistancePerLength::from_ohms_per_meter(400e3);
+    /// let total = r * Length::from_millimeters(1.0);
+    /// assert!((total.ohms() - 400.0).abs() < 1e-9);
+    /// ```
+    ResistancePerLength, base = "ohms per metre",
+    from = from_ohms_per_meter, get = ohms_per_meter
+);
+
+quantity!(
+    /// Capacitance per unit length of a wire, stored in farads per metre.
+    ///
+    /// The paper's `c̄_j` for layer-pair `j`.
+    ///
+    /// See [`ResistancePerLength`] for the per-length/total relationship.
+    CapacitancePerLength, base = "farads per metre",
+    from = from_farads_per_meter, get = farads_per_meter
+);
+
+quantity!(
+    /// Bulk resistivity of a conductor, stored in ohm-metres.
+    ///
+    /// Dividing by a cross-section [`crate::Area`] yields a
+    /// [`ResistancePerLength`].
+    Resistivity, base = "ohm-metres",
+    from = from_ohm_meters, get = ohm_meters
+);
+
+impl Resistance {
+    /// Creates a resistance from kilo-ohms.
+    #[must_use]
+    pub const fn from_kiloohms(kohm: f64) -> Self {
+        Self::from_ohms(kohm * 1e3)
+    }
+
+    /// Returns the resistance in kilo-ohms.
+    #[must_use]
+    pub const fn kiloohms(self) -> f64 {
+        self.ohms() * 1e-3
+    }
+}
+
+impl Capacitance {
+    /// Creates a capacitance from femtofarads.
+    #[must_use]
+    pub const fn from_femtofarads(ff: f64) -> Self {
+        Self::from_farads(ff * 1e-15)
+    }
+
+    /// Creates a capacitance from picofarads.
+    #[must_use]
+    pub const fn from_picofarads(pf: f64) -> Self {
+        Self::from_farads(pf * 1e-12)
+    }
+
+    /// Returns the capacitance in femtofarads.
+    #[must_use]
+    pub const fn femtofarads(self) -> f64 {
+        self.farads() * 1e15
+    }
+
+    /// Returns the capacitance in picofarads.
+    #[must_use]
+    pub const fn picofarads(self) -> f64 {
+        self.farads() * 1e12
+    }
+}
+
+impl Resistivity {
+    /// Bulk resistivity of copper at room temperature, ~2.2 µΩ·cm
+    /// (includes a typical damascene barrier penalty).
+    #[must_use]
+    pub const fn copper() -> Self {
+        Self::from_ohm_meters(2.2e-8)
+    }
+
+    /// Bulk resistivity of aluminium interconnect, ~3.3 µΩ·cm.
+    #[must_use]
+    pub const fn aluminum() -> Self {
+        Self::from_ohm_meters(3.3e-8)
+    }
+
+    /// Resistance per unit length for a wire of the given cross-section.
+    #[must_use]
+    pub fn per_length(self, cross_section: crate::Area) -> ResistancePerLength {
+        ResistancePerLength::from_ohms_per_meter(self.ohm_meters() / cross_section.square_meters())
+    }
+}
+
+// Resistance × Capacitance = Time (RC constant).
+dimensional!(mul: Resistance, Capacitance => Time;
+    ohms, farads, from_seconds, seconds, from_ohms, from_farads);
+
+// ResistancePerLength × Length = Resistance.
+dimensional!(mul: ResistancePerLength, Length => Resistance;
+    ohms_per_meter, meters, from_ohms, ohms, from_ohms_per_meter, from_meters);
+
+// CapacitancePerLength × Length = Capacitance.
+dimensional!(mul: CapacitancePerLength, Length => Capacitance;
+    farads_per_meter, meters, from_farads, farads, from_farads_per_meter, from_meters);
+
+/// Relative permittivity of a dielectric (dimensionless; the paper's `K`).
+///
+/// The baseline ILD in the paper uses `K = 3.9` (SiO₂); the `K` column of
+/// Table 4 sweeps this down to 1.8 (aggressive low-k).
+///
+/// # Examples
+///
+/// ```
+/// use ia_units::Permittivity;
+///
+/// let k = Permittivity::SILICON_DIOXIDE;
+/// assert!((k.relative() - 3.9).abs() < 1e-12);
+/// assert!(k.absolute_farads_per_meter() > 3.4e-11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Permittivity(f64);
+
+impl Permittivity {
+    /// Silicon dioxide, `K = 3.9` — the paper's baseline ILD.
+    pub const SILICON_DIOXIDE: Self = Self(3.9);
+
+    /// Vacuum, `K = 1` — the theoretical lower bound (air gaps).
+    pub const VACUUM: Self = Self(1.0);
+
+    /// Creates a permittivity from a relative (dimensionless) value.
+    #[must_use]
+    pub const fn from_relative(k: f64) -> Self {
+        Self(k)
+    }
+
+    /// The relative (dimensionless) permittivity `K`.
+    #[must_use]
+    pub const fn relative(self) -> f64 {
+        self.0
+    }
+
+    /// The absolute permittivity `K·ε₀` in farads per metre.
+    #[must_use]
+    pub const fn absolute_farads_per_meter(self) -> f64 {
+        self.0 * crate::EPSILON_0
+    }
+}
+
+impl Default for Permittivity {
+    fn default() -> Self {
+        Self::SILICON_DIOXIDE
+    }
+}
+
+impl core::fmt::Display for Permittivity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "K={:.3}", self.0)
+    }
+}
+
+impl core::fmt::Display for Resistance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let ohm = self.ohms().abs();
+        if ohm >= 1e3 {
+            write!(f, "{:.4} kΩ", self.kiloohms())
+        } else {
+            write!(f, "{:.4} Ω", self.ohms())
+        }
+    }
+}
+
+impl core::fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let fd = self.farads().abs();
+        if fd == 0.0 {
+            write!(f, "0 F")
+        } else if fd < 1e-12 {
+            write!(f, "{:.4} fF", self.femtofarads())
+        } else {
+            write!(f, "{:.4} pF", self.picofarads())
+        }
+    }
+}
+
+impl core::fmt::Display for ResistancePerLength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} Ω/µm", self.ohms_per_meter() * 1e-6)
+    }
+}
+
+impl core::fmt::Display for CapacitancePerLength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} fF/µm", self.farads_per_meter() * 1e9)
+    }
+}
+
+impl core::fmt::Display for Resistivity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} µΩ·cm", self.ohm_meters() * 1e8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Area;
+
+    #[test]
+    fn rc_product_is_time() {
+        let t = Resistance::from_ohms(1000.0) * Capacitance::from_femtofarads(1.0);
+        assert!((t.picoseconds() - 1.0).abs() < 1e-12);
+        // Commuted form.
+        let t2 = Capacitance::from_femtofarads(1.0) * Resistance::from_ohms(1000.0);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn time_divided_by_r_or_c() {
+        let t = Time::from_picoseconds(50.0);
+        let r = Resistance::from_kiloohms(10.0);
+        let c = t / r;
+        assert!((c.femtofarads() - 5.0).abs() < 1e-9);
+        let r2 = t / c;
+        assert!((r2.kiloohms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_length_scaling() {
+        let r = ResistancePerLength::from_ohms_per_meter(1e5);
+        let c = CapacitancePerLength::from_farads_per_meter(2e-10);
+        let l = Length::from_millimeters(2.0);
+        assert!(((r * l).ohms() - 200.0).abs() < 1e-9);
+        assert!(((c * l).picofarads() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistivity_over_cross_section() {
+        // Copper wire, 0.2µm × 0.34µm cross-section (130nm Mx-ish).
+        let xs = Area::from_square_micrometers(0.2 * 0.34);
+        let r = Resistivity::copper().per_length(xs);
+        // 2.2e-8 / 6.8e-14 ≈ 3.24e5 Ω/m ≈ 0.324 Ω/µm
+        assert!((r.ohms_per_meter() - 2.2e-8 / 6.8e-14).abs() < 1.0);
+    }
+
+    #[test]
+    fn permittivity_absolute() {
+        let k = Permittivity::from_relative(2.0);
+        assert!((k.absolute_farads_per_meter() - 2.0 * crate::EPSILON_0).abs() < 1e-24);
+        assert_eq!(Permittivity::default(), Permittivity::SILICON_DIOXIDE);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Resistance::from_kiloohms(9.0).to_string(), "9.0000 kΩ");
+        assert_eq!(Capacitance::from_femtofarads(3.0).to_string(), "3.0000 fF");
+        assert_eq!(Permittivity::SILICON_DIOXIDE.to_string(), "K=3.900");
+        assert_eq!(Resistivity::copper().to_string(), "2.2000 µΩ·cm");
+    }
+}

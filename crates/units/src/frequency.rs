@@ -1,0 +1,101 @@
+//! Clock frequency.
+
+quantity!(
+    /// A frequency, stored in hertz.
+    ///
+    /// Target clock frequencies (the `C` axis of Table 4 in the paper) are
+    /// [`Frequency`]s. The target delay of the longest wire in a
+    /// wire-length distribution equals the clock [`Frequency::period`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ia_units::Frequency;
+    ///
+    /// let f = Frequency::from_megahertz(500.0);
+    /// assert!((f.period().nanoseconds() - 2.0).abs() < 1e-12);
+    /// ```
+    Frequency, base = "hertz",
+    from = from_hertz, get = hertz
+);
+
+impl Frequency {
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub const fn from_megahertz(mhz: f64) -> Self {
+        Self::from_hertz(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub const fn from_gigahertz(ghz: f64) -> Self {
+        Self::from_hertz(ghz * 1e9)
+    }
+
+    /// Returns the frequency in megahertz.
+    #[must_use]
+    pub const fn megahertz(self) -> f64 {
+        self.hertz() * 1e-6
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[must_use]
+    pub const fn gigahertz(self) -> f64 {
+        self.hertz() * 1e-9
+    }
+
+    /// The period `1/f` of this frequency.
+    #[must_use]
+    pub fn period(self) -> crate::Time {
+        crate::Time::from_seconds(1.0 / self.hertz())
+    }
+}
+
+impl core::fmt::Display for Frequency {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let hz = self.hertz().abs();
+        if hz == 0.0 {
+            write!(f, "0 Hz")
+        } else if hz >= 1e9 {
+            write!(f, "{:.4} GHz", self.gigahertz())
+        } else if hz >= 1e6 {
+            write!(f, "{:.4} MHz", self.megahertz())
+        } else {
+            write!(f, "{:.4} Hz", self.hertz())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Time;
+
+    #[test]
+    fn period_round_trips() {
+        let f = Frequency::from_gigahertz(1.7);
+        let t = f.period();
+        assert!((t.frequency() / f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions() {
+        let f = Frequency::from_megahertz(500.0);
+        assert!((f.gigahertz() - 0.5).abs() < 1e-12);
+        assert!((f.hertz() - 5e8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn period_of_500mhz_is_2ns() {
+        assert_eq!(
+            Frequency::from_megahertz(500.0).period(),
+            Time::from_nanoseconds(2.0)
+        );
+    }
+
+    #[test]
+    fn display_picks_engineering_unit() {
+        assert_eq!(Frequency::from_megahertz(500.0).to_string(), "500.0000 MHz");
+        assert_eq!(Frequency::from_gigahertz(1.7).to_string(), "1.7000 GHz");
+    }
+}

@@ -1,0 +1,168 @@
+//! Linear dimension.
+
+use crate::Area;
+
+quantity!(
+    /// A linear dimension, stored in metres.
+    ///
+    /// Wire lengths, widths, spacings, thicknesses, ILD heights, and gate
+    /// pitches are all [`Length`]s. Multiplying two lengths yields an
+    /// [`Area`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ia_units::Length;
+    ///
+    /// let width = Length::from_micrometers(0.16);
+    /// let spacing = Length::from_micrometers(0.18);
+    /// let pitch = width + spacing;
+    /// assert!((pitch.micrometers() - 0.34).abs() < 1e-12);
+    /// ```
+    Length, base = "metres",
+    from = from_meters, get = meters
+);
+
+impl Length {
+    /// Creates a length from micrometres.
+    #[must_use]
+    pub const fn from_micrometers(um: f64) -> Self {
+        Self::from_meters(um * 1e-6)
+    }
+
+    /// Creates a length from nanometres.
+    #[must_use]
+    pub const fn from_nanometers(nm: f64) -> Self {
+        Self::from_meters(nm * 1e-9)
+    }
+
+    /// Creates a length from millimetres.
+    #[must_use]
+    pub const fn from_millimeters(mm: f64) -> Self {
+        Self::from_meters(mm * 1e-3)
+    }
+
+    /// Returns the length in micrometres.
+    #[must_use]
+    pub const fn micrometers(self) -> f64 {
+        self.meters() * 1e6
+    }
+
+    /// Returns the length in nanometres.
+    #[must_use]
+    pub const fn nanometers(self) -> f64 {
+        self.meters() * 1e9
+    }
+
+    /// Returns the length in millimetres.
+    #[must_use]
+    pub const fn millimeters(self) -> f64 {
+        self.meters() * 1e3
+    }
+
+    /// Returns the square of this length as an [`Area`].
+    #[must_use]
+    pub fn squared(self) -> Area {
+        Area::from_square_meters(self.meters() * self.meters())
+    }
+}
+
+impl core::ops::Mul for Length {
+    type Output = Area;
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_square_meters(self.meters() * rhs.meters())
+    }
+}
+
+impl core::ops::Div<Length> for Area {
+    type Output = Length;
+    fn div(self, rhs: Length) -> Length {
+        Length::from_meters(self.square_meters() / rhs.meters())
+    }
+}
+
+impl core::fmt::Display for Length {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = self.meters().abs();
+        if m == 0.0 {
+            write!(f, "0 m")
+        } else if m < 1e-6 {
+            write!(f, "{:.4} nm", self.nanometers())
+        } else if m < 1e-3 {
+            write!(f, "{:.4} µm", self.micrometers())
+        } else if m < 1.0 {
+            write!(f, "{:.4} mm", self.millimeters())
+        } else {
+            write!(f, "{:.4} m", self.meters())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let l = Length::from_micrometers(123.5);
+        assert!((l.meters() - 123.5e-6).abs() < 1e-18);
+        assert!((l.nanometers() - 123_500.0).abs() < 1e-6);
+        assert!((l.millimeters() - 0.1235).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_times_length_is_area() {
+        let a = Length::from_micrometers(2.0) * Length::from_micrometers(3.0);
+        assert!((a.square_micrometers() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_divided_by_length_is_length() {
+        let a = Area::from_square_micrometers(6.0);
+        let l = a / Length::from_micrometers(3.0);
+        assert!((l.micrometers() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_matches_self_multiplication() {
+        let l = Length::from_micrometers(7.5);
+        assert_eq!(l.squared(), l * l);
+    }
+
+    #[test]
+    fn arithmetic_and_ratio() {
+        let a = Length::from_micrometers(4.0);
+        let b = Length::from_micrometers(1.0);
+        assert!(((a - b).micrometers() - 3.0).abs() < 1e-12);
+        assert!(((a + b).micrometers() - 5.0).abs() < 1e-12);
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert!(((a * 2.0).micrometers() - 8.0).abs() < 1e-12);
+        assert!(((a / 2.0).micrometers() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_engineering_unit() {
+        assert_eq!(Length::from_nanometers(130.0).to_string(), "130.0000 nm");
+        assert_eq!(Length::from_micrometers(12.6).to_string(), "12.6000 µm");
+        assert_eq!(Length::from_millimeters(18.0).to_string(), "18.0000 mm");
+        assert_eq!(Length::from_meters(0.0).to_string(), "0 m");
+    }
+
+    #[test]
+    fn sum_of_lengths() {
+        let total: Length = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&um| Length::from_micrometers(um))
+            .sum();
+        assert!((total.micrometers() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_total_cmp() {
+        let a = Length::from_micrometers(1.0);
+        let b = Length::from_micrometers(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.total_cmp(&b), core::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed physical quantities for interconnect architecture modeling.
+//!
+//! Every model in the `interconnect-rank` workspace computes internally in
+//! SI units (metres, ohms, farads, seconds). This crate wraps those `f64`
+//! values in dimension-specific newtypes so that, e.g., a wire length can
+//! never be passed where a capacitance is expected, and so that the unit
+//! conversions at API boundaries (µm, fF, GHz, …) are explicit and
+//! centralized.
+//!
+//! The types intentionally implement only the arithmetic that is
+//! dimensionally meaningful: adding two [`Length`]s yields a [`Length`],
+//! multiplying two [`Length`]s yields an [`Area`], multiplying a
+//! [`Resistance`] by a [`Capacitance`] yields a [`Time`], and so on.
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_units::{Length, ResistancePerLength, CapacitancePerLength};
+//!
+//! let l = Length::from_micrometers(1000.0);
+//! let r = ResistancePerLength::from_ohms_per_meter(400e3);
+//! let c = CapacitancePerLength::from_farads_per_meter(200e-12);
+//!
+//! // Distributed RC constant of the wire:
+//! let tau = (r * l) * (c * l);
+//! assert!((tau.picoseconds() - 80.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod area;
+mod electrical;
+mod frequency;
+mod length;
+mod time;
+
+pub use area::Area;
+pub use electrical::{
+    Capacitance, CapacitancePerLength, Permittivity, Resistance, ResistancePerLength, Resistivity,
+};
+pub use frequency::Frequency;
+pub use length::Length;
+pub use time::Time;
+
+/// Vacuum permittivity, in farads per metre.
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_zero_is_the_codata_value() {
+        assert!((EPSILON_0 - 8.8541878128e-12).abs() < 1e-22);
+    }
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Length>();
+        assert_send_sync::<Area>();
+        assert_send_sync::<Time>();
+        assert_send_sync::<Frequency>();
+        assert_send_sync::<Resistance>();
+        assert_send_sync::<Capacitance>();
+        assert_send_sync::<ResistancePerLength>();
+        assert_send_sync::<CapacitancePerLength>();
+        assert_send_sync::<Resistivity>();
+        assert_send_sync::<Permittivity>();
+    }
+}

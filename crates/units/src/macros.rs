@@ -1,0 +1,165 @@
+//! Internal macro for defining quantity newtypes.
+//!
+//! Each quantity is a transparent wrapper over an `f64` stored in the
+//! quantity's SI base unit. The macro generates the constructors, the raw
+//! accessor, scalar arithmetic, same-dimension addition/subtraction, and
+//! the common derived traits. Dimension-crossing arithmetic (e.g.
+//! `Length * Length -> Area`) is written out by hand next to each type.
+
+/// Defines a quantity newtype over `f64` in a fixed SI base unit.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base_unit:literal,
+        from = $from:ident, get = $get:ident
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates the quantity from a value in ", $base_unit, " (the SI base unit).")]
+            #[must_use]
+            pub const fn $from(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the value in ", $base_unit, " (the SI base unit).")]
+            #[must_use]
+            pub const fn $get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the underlying value is finite (not NaN or ±∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of two quantities.
+            ///
+            /// NaN values propagate as in [`f64::min`].
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            ///
+            /// NaN values propagate as in [`f64::max`].
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Total ordering over the underlying `f64` (see [`f64::total_cmp`]).
+            #[must_use]
+            pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two same-dimension quantities is dimensionless.
+        impl core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+/// Implements `Mul`/`Div` relationships between distinct quantity types,
+/// in terms of their SI base-unit values.
+macro_rules! dimensional {
+    // $a * $b = $c  (and the commuted form, plus $c / $a = $b and $c / $b = $a)
+    (mul: $a:ty, $b:ty => $c:ty; $ga:ident, $gb:ident, $fc:ident, $gc:ident, $fa:ident, $fb:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            fn mul(self, rhs: $b) -> $c {
+                <$c>::$fc(self.$ga() * rhs.$gb())
+            }
+        }
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            fn mul(self, rhs: $a) -> $c {
+                <$c>::$fc(self.$gb() * rhs.$ga())
+            }
+        }
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            fn div(self, rhs: $a) -> $b {
+                <$b>::$fb(self.$gc() / rhs.$ga())
+            }
+        }
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            fn div(self, rhs: $b) -> $a {
+                <$a>::$fa(self.$gc() / rhs.$gb())
+            }
+        }
+    };
+}

@@ -1,0 +1,99 @@
+//! Delay / time.
+
+quantity!(
+    /// A time interval, stored in seconds.
+    ///
+    /// Wire delays, segment delays, and target delays are [`Time`]s.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ia_units::{Frequency, Time};
+    ///
+    /// let clock = Frequency::from_gigahertz(2.0);
+    /// assert!((clock.period().picoseconds() - 500.0).abs() < 1e-9);
+    /// ```
+    Time, base = "seconds",
+    from = from_seconds, get = seconds
+);
+
+impl Time {
+    /// Creates a time from picoseconds.
+    #[must_use]
+    pub const fn from_picoseconds(ps: f64) -> Self {
+        Self::from_seconds(ps * 1e-12)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[must_use]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Self::from_seconds(ns * 1e-9)
+    }
+
+    /// Returns the time in picoseconds.
+    #[must_use]
+    pub const fn picoseconds(self) -> f64 {
+        self.seconds() * 1e12
+    }
+
+    /// Returns the time in nanoseconds.
+    #[must_use]
+    pub const fn nanoseconds(self) -> f64 {
+        self.seconds() * 1e9
+    }
+
+    /// The frequency whose period is this time.
+    ///
+    /// Inverse of [`crate::Frequency::period`].
+    #[must_use]
+    pub fn frequency(self) -> crate::Frequency {
+        crate::Frequency::from_hertz(1.0 / self.seconds())
+    }
+}
+
+impl core::fmt::Display for Time {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = self.seconds().abs();
+        if s == 0.0 {
+            write!(f, "0 s")
+        } else if s < 1e-9 {
+            write!(f, "{:.4} ps", self.picoseconds())
+        } else if s < 1e-3 {
+            write!(f, "{:.4} ns", self.nanoseconds())
+        } else {
+            write!(f, "{:.4} s", self.seconds())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Time::from_picoseconds(250.0);
+        assert!((t.nanoseconds() - 0.25).abs() < 1e-12);
+        assert!((t.seconds() - 2.5e-10).abs() < 1e-22);
+    }
+
+    #[test]
+    fn frequency_inverse() {
+        let t = Time::from_nanoseconds(2.0);
+        assert!((t.frequency().megahertz() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_of_delays() {
+        let fast = Time::from_picoseconds(10.0);
+        let slow = Time::from_picoseconds(20.0);
+        assert!(fast < slow);
+        assert_eq!(fast.max(slow), slow);
+    }
+
+    #[test]
+    fn display_picks_engineering_unit() {
+        assert_eq!(Time::from_picoseconds(42.0).to_string(), "42.0000 ps");
+        assert_eq!(Time::from_nanoseconds(2.0).to_string(), "2.0000 ns");
+    }
+}

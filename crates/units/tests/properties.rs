@@ -1,0 +1,106 @@
+//! Property tests for the quantity arithmetic.
+
+use ia_units::{
+    Area, Capacitance, CapacitancePerLength, Frequency, Length, Resistance, ResistancePerLength,
+    Resistivity, Time,
+};
+use proptest::prelude::*;
+
+/// Positive, well-conditioned magnitudes (avoids denormals/overflow so
+/// relative comparisons are meaningful).
+fn mag() -> impl Strategy<Value = f64> {
+    (1e-3f64..1e3).prop_map(|x| x)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
+
+proptest! {
+    #[test]
+    fn addition_and_subtraction_are_inverse(a in mag(), b in mag()) {
+        let la = Length::from_micrometers(a);
+        let lb = Length::from_micrometers(b);
+        prop_assert!(close(((la + lb) - lb).micrometers(), a));
+    }
+
+    #[test]
+    fn scalar_scaling_round_trips(a in mag(), k in 1e-2f64..1e2) {
+        let t = Time::from_picoseconds(a);
+        prop_assert!(close(((t * k) / k).picoseconds(), a));
+    }
+
+    #[test]
+    fn length_squared_matches_area(a in mag()) {
+        let l = Length::from_micrometers(a);
+        prop_assert!(close(l.squared().square_micrometers(), a * a));
+        prop_assert!(close((l.squared() / l).micrometers(), a));
+    }
+
+    #[test]
+    fn rc_product_division_round_trips(r in mag(), c in mag()) {
+        let rr = Resistance::from_kiloohms(r);
+        let cc = Capacitance::from_femtofarads(c);
+        let t = rr * cc;
+        prop_assert!(close((t / rr).femtofarads(), c));
+        prop_assert!(close((t / cc).kiloohms(), r));
+    }
+
+    #[test]
+    fn per_length_scaling_round_trips(rho in mag(), l in mag()) {
+        let rpl = ResistancePerLength::from_ohms_per_meter(rho * 1e3);
+        let len = Length::from_millimeters(l);
+        let total = rpl * len;
+        prop_assert!(close((total / len).ohms_per_meter(), rho * 1e3));
+        prop_assert!(close((total / rpl).meters(), len.meters()));
+
+        let cpl = CapacitancePerLength::from_farads_per_meter(rho * 1e-12);
+        let c = cpl * len;
+        prop_assert!(close((c / len).farads_per_meter(), rho * 1e-12));
+    }
+
+    #[test]
+    fn frequency_period_is_involutive(f in mag()) {
+        let freq = Frequency::from_megahertz(f);
+        prop_assert!(close(freq.period().frequency().megahertz(), f));
+    }
+
+    #[test]
+    fn resistivity_per_length_is_consistent(rho in mag(), w in mag(), t in mag()) {
+        let r = Resistivity::from_ohm_meters(rho * 1e-8);
+        let xs = Length::from_micrometers(w) * Length::from_micrometers(t);
+        let rpl = r.per_length(xs);
+        prop_assert!(close(
+            rpl.ohms_per_meter(),
+            rho * 1e-8 / (w * t * 1e-12)
+        ));
+    }
+
+    #[test]
+    fn ordering_matches_raw_values(a in mag(), b in mag()) {
+        // Use the SI base-unit constructors (identity, no rounding) so
+        // ordering comparisons are exact.
+        let ta = Time::from_seconds(a);
+        let tb = Time::from_seconds(b);
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.max(tb).seconds(), a.max(b));
+        prop_assert_eq!(ta.min(tb).seconds(), a.min(b));
+    }
+
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(mag(), 0..20)) {
+        let total: Area = values
+            .iter()
+            .map(|&v| Area::from_square_micrometers(v))
+            .sum();
+        let expect: f64 = values.iter().sum();
+        prop_assert!(close(total.square_micrometers(), expect));
+    }
+
+    #[test]
+    fn same_dimension_ratio_is_dimensionless(a in mag(), b in mag()) {
+        let ra = Resistance::from_ohms(a);
+        let rb = Resistance::from_ohms(b);
+        prop_assert!(close(ra / rb, a / b));
+    }
+}

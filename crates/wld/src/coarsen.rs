@@ -1,0 +1,306 @@
+//! Instance-size reduction: bunching (§5.1) and binning (footnote 7).
+//!
+//! * **Bunching** splits the population at each wire length into bunches
+//!   of at most a fixed size. The rank DP then assigns whole bunches
+//!   instead of single wires. The rank error introduced is at most the
+//!   size of the largest bunch (§5.1), and the wire population is
+//!   preserved exactly.
+//! * **Binning** merges groups of near-equal lengths into a single
+//!   length equal to the (rounded) mean of the distinct lengths in the
+//!   group, preserving the total count. The paper describes binning as
+//!   orthogonal to bunching but reports results with bunching only; we
+//!   provide both and compare them in the coarsening ablation bench.
+
+use crate::{Wld, WldError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A bunch: `count` wires of identical `length` (in gate pitches),
+/// assigned to the architecture as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bunch {
+    /// Wire length of every member, in gate pitches.
+    pub length: u64,
+    /// Number of wires in the bunch.
+    pub count: u64,
+}
+
+/// A coarsened WLD: bunches ordered by **descending** length — the order
+/// in which the rank metric assigns them (longest first, paper §3).
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::{coarsen, Wld};
+///
+/// let wld = Wld::from_pairs([(5, 100), (9, 25)])?;
+/// let coarse = coarsen::bunch(&wld, 40)?;
+/// // 100 wires of length 5 → bunches of 40, 40, 20; 25 of length 9 → one bunch.
+/// let sizes: Vec<u64> = coarse.iter().map(|b| b.count).collect();
+/// assert_eq!(sizes, vec![25, 40, 40, 20]);
+/// assert_eq!(coarse.total_wires(), 125);
+/// # Ok::<(), ia_wld::WldError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoarseWld {
+    bunches: Vec<Bunch>,
+    total_wires: u64,
+}
+
+impl CoarseWld {
+    /// Number of bunches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bunches.len()
+    }
+
+    /// Whether there are no bunches.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bunches.is_empty()
+    }
+
+    /// Total number of wires across all bunches.
+    #[must_use]
+    pub fn total_wires(&self) -> u64 {
+        self.total_wires
+    }
+
+    /// The bunch at position `i` (0 = longest).
+    #[must_use]
+    pub fn bunch(&self, i: usize) -> Bunch {
+        self.bunches[i]
+    }
+
+    /// Iterates bunches in assignment order (descending length).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Bunch> + '_ {
+        self.bunches.iter()
+    }
+
+    /// Borrow the ordered bunches.
+    #[must_use]
+    pub fn bunches(&self) -> &[Bunch] {
+        &self.bunches
+    }
+
+    /// Number of wires contained in the first `k` bunches (the wire-level
+    /// rank corresponding to a bunch-level rank of `k`).
+    #[must_use]
+    pub fn wires_in_first(&self, k: usize) -> u64 {
+        self.bunches[..k.min(self.bunches.len())]
+            .iter()
+            .map(|b| b.count)
+            .sum()
+    }
+
+    /// The largest bunch size — the paper's bound on the rank error
+    /// introduced by bunching (§5.1).
+    #[must_use]
+    pub fn max_bunch_size(&self) -> u64 {
+        self.bunches.iter().map(|b| b.count).max().unwrap_or(0)
+    }
+}
+
+impl<'a> IntoIterator for &'a CoarseWld {
+    type Item = &'a Bunch;
+    type IntoIter = std::slice::Iter<'a, Bunch>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bunches.iter()
+    }
+}
+
+/// Bunches a distribution with the given maximum bunch size.
+///
+/// For each length, the population is split into `⌈count/size⌉` bunches
+/// of at most `size` wires (paper §5.1: 100 wires with bunch size 40 →
+/// bunches of 40, 40 and 20).
+///
+/// # Errors
+///
+/// Returns [`WldError::ZeroBunchSize`] if `size == 0`.
+pub fn bunch(wld: &Wld, size: u64) -> Result<CoarseWld, WldError> {
+    if size == 0 {
+        return Err(WldError::ZeroBunchSize);
+    }
+    let mut bunches = Vec::new();
+    for (length, mut count) in wld.iter_descending() {
+        while count > 0 {
+            let take = count.min(size);
+            bunches.push(Bunch {
+                length,
+                count: take,
+            });
+            count -= take;
+        }
+    }
+    Ok(CoarseWld {
+        bunches,
+        total_wires: wld.total_wires(),
+    })
+}
+
+/// Views a distribution as bunches without any grouping: one bunch per
+/// distinct length holding that length's whole population.
+///
+/// This is the coarsest faithful view (no rank error *within* a length:
+/// wires of equal length are interchangeable) and the natural input for
+/// small hand-built instances.
+#[must_use]
+pub fn per_length(wld: &Wld) -> CoarseWld {
+    let bunches = wld
+        .iter_descending()
+        .map(|(length, count)| Bunch { length, count })
+        .collect();
+    CoarseWld {
+        bunches,
+        total_wires: wld.total_wires(),
+    }
+}
+
+/// Bins a distribution: greedily groups ascending lengths whose spread
+/// (max − min) is at most `max_spread`, replacing each group by a single
+/// length equal to the rounded mean of the group's **distinct** lengths
+/// (matching the paper's footnote-7 example, where lengths 5996…6000
+/// collapse to 5998), with the group's total count.
+///
+/// If two groups round to the same representative length their counts
+/// are merged. The total wire count is always preserved.
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::{coarsen, Wld};
+///
+/// let wld = Wld::from_pairs([(5996, 3), (5997, 2), (5998, 2), (5999, 1), (6000, 1)])?;
+/// let binned = coarsen::bin(&wld, 4);
+/// assert_eq!(binned.entries(), &[(5998, 9)]);
+/// # Ok::<(), ia_wld::WldError>(())
+/// ```
+#[must_use]
+pub fn bin(wld: &Wld, max_spread: u64) -> Wld {
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut group: Vec<(u64, u64)> = Vec::new();
+
+    let flush = |group: &mut Vec<(u64, u64)>, merged: &mut BTreeMap<u64, u64>| {
+        if group.is_empty() {
+            return;
+        }
+        let mean_len = group.iter().map(|&(l, _)| l).sum::<u64>() as f64 / group.len() as f64;
+        let representative = mean_len.round().max(1.0) as u64;
+        let count: u64 = group.iter().map(|&(_, c)| c).sum();
+        *merged.entry(representative).or_insert(0) += count;
+        group.clear();
+    };
+
+    for (length, count) in wld.iter() {
+        if let Some(&(start, _)) = group.first() {
+            if length - start > max_spread {
+                flush(&mut group, &mut merged);
+            }
+        }
+        group.push((length, count));
+    }
+    flush(&mut group, &mut merged);
+
+    Wld::from_pairs(merged).expect("binning a valid distribution yields a valid distribution")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bunching_matches_paper_example() {
+        // §5.1: 100 identical wires, bunch size 40 → 40, 40, 20.
+        let wld = Wld::from_pairs([(7, 100)]).unwrap();
+        let c = bunch(&wld, 40).unwrap();
+        let sizes: Vec<u64> = c.iter().map(|b| b.count).collect();
+        assert_eq!(sizes, vec![40, 40, 20]);
+        assert!(c.iter().all(|b| b.length == 7));
+    }
+
+    #[test]
+    fn bunching_preserves_population_and_order() {
+        let wld = Wld::from_pairs([(1, 13), (4, 5), (9, 22)]).unwrap();
+        let c = bunch(&wld, 10).unwrap();
+        assert_eq!(c.total_wires(), 40);
+        // Descending by length.
+        let lengths: Vec<u64> = c.iter().map(|b| b.length).collect();
+        let mut sorted = lengths.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(lengths, sorted);
+        assert_eq!(c.max_bunch_size(), 10);
+    }
+
+    #[test]
+    fn zero_bunch_size_is_rejected() {
+        let wld = Wld::from_pairs([(1, 1)]).unwrap();
+        assert_eq!(bunch(&wld, 0).unwrap_err(), WldError::ZeroBunchSize);
+    }
+
+    #[test]
+    fn wires_in_first_is_cumulative() {
+        let wld = Wld::from_pairs([(2, 30), (5, 25)]).unwrap();
+        let c = bunch(&wld, 10).unwrap();
+        // Bunches: len5×10, len5×10, len5×5, len2×10, ...
+        assert_eq!(c.wires_in_first(0), 0);
+        assert_eq!(c.wires_in_first(1), 10);
+        assert_eq!(c.wires_in_first(3), 25);
+        assert_eq!(c.wires_in_first(100), 55);
+    }
+
+    #[test]
+    fn per_length_view_is_one_bunch_per_length() {
+        let wld = Wld::from_pairs([(2, 30), (5, 25)]).unwrap();
+        let c = per_length(&wld);
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.bunch(0),
+            Bunch {
+                length: 5,
+                count: 25
+            }
+        );
+        assert_eq!(
+            c.bunch(1),
+            Bunch {
+                length: 2,
+                count: 30
+            }
+        );
+    }
+
+    #[test]
+    fn binning_matches_paper_footnote_example() {
+        let wld = Wld::from_pairs([(5996, 3), (5997, 2), (5998, 2), (5999, 1), (6000, 1)]).unwrap();
+        let binned = bin(&wld, 4);
+        assert_eq!(binned.entries(), &[(5998, 9)]);
+    }
+
+    #[test]
+    fn binning_preserves_total_count() {
+        let wld = Wld::from_pairs([(1, 5), (2, 6), (3, 7), (50, 1), (52, 2)]).unwrap();
+        let binned = bin(&wld, 2);
+        assert_eq!(binned.total_wires(), wld.total_wires());
+        // Groups: {1,2,3} → 2 ×18, {50,52} → 51 ×3.
+        assert_eq!(binned.entries(), &[(2, 18), (51, 3)]);
+    }
+
+    #[test]
+    fn binning_with_zero_spread_is_identity() {
+        let wld = Wld::from_pairs([(1, 5), (3, 6), (9, 7)]).unwrap();
+        assert_eq!(bin(&wld, 0), wld);
+    }
+
+    #[test]
+    fn bunched_then_binned_composition() {
+        let wld = Wld::from_pairs([(10, 100), (11, 100), (30, 10)]).unwrap();
+        let binned = bin(&wld, 1);
+        let c = bunch(&binned, 50).unwrap();
+        assert_eq!(c.total_wires(), 210);
+        // Lengths 10 and 11 merged (spread 1) into one 200-wire length.
+        assert_eq!(binned.distinct_lengths(), 2);
+        assert_eq!(c.len(), 5); // 10 + 4×50
+    }
+}

@@ -1,0 +1,137 @@
+//! The Davis–De–Meindl closed-form wire-length density.
+//!
+//! Reference \[4\] of the paper: J. A. Davis, V. K. De, J. D. Meindl,
+//! *"A Stochastic Wire-Length Distribution for Gigascale Integration
+//! (GSI) — Part 1: Derivation and Validation"*, IEEE T-ED 45(3), 1998.
+//!
+//! For a square array of `N` gates the expected number of point-to-point
+//! connections of Manhattan length `l` (in gate pitches) is, up to the
+//! normalization constant `Γ`:
+//!
+//! ```text
+//! region I  (1 ≤ l < √N):     q(l) = (α·k/2)·(l³/3 − 2√N·l² + 2N·l)·l^(2p−4)
+//! region II (√N ≤ l ≤ 2√N):   q(l) = (α·k/6)·(2√N − l)³·l^(2p−4)
+//! ```
+//!
+//! `Γ` is fixed by requiring the density to integrate to the design's
+//! total interconnect count `I_total = α·k·N·(1 − N^(p−1))` (see
+//! [`crate::RentParameters::total_interconnects`]); we normalize the
+//! discrete sum numerically, which is equivalent to Davis's closed-form
+//! `Γ` up to the integration scheme and keeps count bookkeeping exact.
+
+use crate::RentParameters;
+
+/// Unnormalized Davis density `q(l)` at Manhattan length `l` (in gate
+/// pitches) for an `n`-gate square array.
+///
+/// Returns 0 outside the support `[1, 2√n]`.
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::{davis, RentParameters};
+///
+/// let rent = RentParameters::default();
+/// let near = davis::unnormalized_density(2.0, 1.0e6, &rent);
+/// let far = davis::unnormalized_density(200.0, 1.0e6, &rent);
+/// assert!(near > far); // short wires dominate
+/// ```
+#[must_use]
+pub fn unnormalized_density(l: f64, n: f64, rent: &RentParameters) -> f64 {
+    let sqrt_n = n.sqrt();
+    if l < 1.0 || l > 2.0 * sqrt_n {
+        return 0.0;
+    }
+    let ak = rent.alpha() * rent.k;
+    let tail = l.powf(2.0 * rent.p - 4.0);
+    if l < sqrt_n {
+        ak / 2.0 * (l * l * l / 3.0 - 2.0 * sqrt_n * l * l + 2.0 * n * l) * tail
+    } else {
+        let d = 2.0 * sqrt_n - l;
+        ak / 6.0 * d * d * d * tail
+    }
+}
+
+/// The expected count at every integer length `1..=2√n`, normalized so
+/// the counts sum to the Rent-derived total interconnect count.
+///
+/// Counts are real-valued; [`crate::WldSpec::generate`] rounds them to
+/// integers while preserving the total.
+#[must_use]
+pub fn normalized_counts(n: f64, rent: &RentParameters) -> Vec<f64> {
+    let l_max = (2.0 * n.sqrt()).floor() as usize;
+    let mut raw: Vec<f64> = (1..=l_max)
+        .map(|l| unnormalized_density(l as f64, n, rent))
+        .collect();
+    let total_raw: f64 = raw.iter().sum();
+    let target = rent.total_interconnects(n);
+    if total_raw > 0.0 {
+        let gamma = target / total_raw;
+        for q in &mut raw {
+            *q *= gamma;
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_zero_outside_support() {
+        let rent = RentParameters::default();
+        assert_eq!(unnormalized_density(0.5, 1e4, &rent), 0.0);
+        assert_eq!(unnormalized_density(201.0, 1e4, &rent), 0.0);
+        assert!(unnormalized_density(200.0, 1e4, &rent) >= 0.0);
+    }
+
+    #[test]
+    fn density_is_continuous_at_region_boundary() {
+        let rent = RentParameters::default();
+        let n = 1e4;
+        let sqrt_n = 100.0;
+        let below = unnormalized_density(sqrt_n - 1e-6, n, &rent);
+        let above = unnormalized_density(sqrt_n + 1e-6, n, &rent);
+        // Region I at l=√N: (αk/2)(l³/3 − 2l³ + 2l³) = (αk/2)(l³/3) = (αk/6)l³,
+        // which equals region II's (αk/6)(2√N−l)³ = (αk/6)(√N)³. Continuous.
+        assert!((below - above).abs() / below < 1e-4, "{below} vs {above}");
+    }
+
+    #[test]
+    fn density_vanishes_at_support_end() {
+        let rent = RentParameters::default();
+        let n = 1e4;
+        let at_end = unnormalized_density(2.0 * 100.0, n, &rent);
+        let mid = unnormalized_density(150.0, n, &rent);
+        assert!(at_end < mid * 1e-3);
+    }
+
+    #[test]
+    fn normalized_counts_sum_to_rent_total() {
+        let rent = RentParameters::default();
+        let n = 1e5;
+        let counts = normalized_counts(n, &rent);
+        let total: f64 = counts.iter().sum();
+        let target = rent.total_interconnects(n);
+        assert!((total / target - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_are_monotone_decreasing_in_region_one_tail() {
+        let rent = RentParameters::default();
+        let counts = normalized_counts(1e6, &rent);
+        // After the first few lengths the density decreases steadily
+        // through region I (the l^(2p-4) tail dominates).
+        for w in counts[2..900].windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn larger_designs_have_longer_support() {
+        let rent = RentParameters::default();
+        assert_eq!(normalized_counts(1e4, &rent).len(), 200);
+        assert_eq!(normalized_counts(1e6, &rent).len(), 2000);
+    }
+}

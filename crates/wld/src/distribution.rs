@@ -1,0 +1,271 @@
+//! The wire-length distribution container.
+
+use crate::{WldError, WldStats};
+use serde::{Deserialize, Serialize};
+
+/// A wire-length distribution: a validated multiset of wire lengths.
+///
+/// Lengths are expressed in **gate pitches** (the natural unit of the
+/// Davis model); the architecture layer (`ia-arch`) scales them to
+/// physical micrometres once the die has been sized. Entries are stored
+/// sorted by ascending length with strictly positive counts and no
+/// duplicate lengths.
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::Wld;
+///
+/// let wld = Wld::from_pairs([(1, 500), (10, 40), (100, 2)])?;
+/// assert_eq!(wld.total_wires(), 542);
+/// assert_eq!(wld.longest(), Some(100));
+/// // Iteration is ascending by length:
+/// let lengths: Vec<u64> = wld.iter().map(|(l, _)| l).collect();
+/// assert_eq!(lengths, vec![1, 10, 100]);
+/// # Ok::<(), ia_wld::WldError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wld {
+    /// `(length_in_pitches, count)`, ascending by length.
+    entries: Vec<(u64, u64)>,
+}
+
+impl Wld {
+    /// Builds a distribution from `(length, count)` pairs.
+    ///
+    /// Pairs may arrive in any order; they are sorted internally.
+    ///
+    /// # Errors
+    ///
+    /// * [`WldError::Empty`] for an empty input;
+    /// * [`WldError::ZeroLength`] for a zero length;
+    /// * [`WldError::ZeroCount`] for a zero count;
+    /// * [`WldError::DuplicateLength`] for repeated lengths.
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, WldError>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut entries: Vec<(u64, u64)> = pairs.into_iter().collect();
+        if entries.is_empty() {
+            return Err(WldError::Empty);
+        }
+        entries.sort_unstable();
+        for window in entries.windows(2) {
+            if window[0].0 == window[1].0 {
+                return Err(WldError::DuplicateLength {
+                    length: window[0].0,
+                });
+            }
+        }
+        for &(length, count) in &entries {
+            if length == 0 {
+                return Err(WldError::ZeroLength);
+            }
+            if count == 0 {
+                return Err(WldError::ZeroCount { length });
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Total number of wires.
+    #[must_use]
+    pub fn total_wires(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Total wire length, in gate pitches.
+    #[must_use]
+    pub fn total_length(&self) -> u64 {
+        self.entries.iter().map(|&(l, c)| l * c).sum()
+    }
+
+    /// Number of distinct lengths.
+    #[must_use]
+    pub fn distinct_lengths(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The longest wire length, or `None` if the distribution is empty
+    /// (which cannot happen for a constructed `Wld`, but mirrors the
+    /// slice API).
+    #[must_use]
+    pub fn longest(&self) -> Option<u64> {
+        self.entries.last().map(|&(l, _)| l)
+    }
+
+    /// The shortest wire length.
+    #[must_use]
+    pub fn shortest(&self) -> Option<u64> {
+        self.entries.first().map(|&(l, _)| l)
+    }
+
+    /// Count of wires with exactly the given length.
+    #[must_use]
+    pub fn count_of(&self, length: u64) -> u64 {
+        self.entries
+            .binary_search_by_key(&length, |&(l, _)| l)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Number of wires with length at least `length`.
+    #[must_use]
+    pub fn count_at_least(&self, length: u64) -> u64 {
+        self.entries
+            .iter()
+            .rev()
+            .take_while(|&&(l, _)| l >= length)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Iterates `(length, count)` in ascending length order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Iterates `(length, count)` in descending length order — the order
+    /// in which the rank metric assigns wires (longest first).
+    pub fn iter_descending(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().rev().copied()
+    }
+
+    /// Summary statistics of the distribution.
+    #[must_use]
+    pub fn stats(&self) -> WldStats {
+        WldStats::of(self)
+    }
+
+    /// Borrow the raw sorted entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
+    }
+
+    /// Superposes two distributions (counts of equal lengths add) —
+    /// e.g. to model two blocks sharing an interconnect stack.
+    #[must_use]
+    pub fn merge(&self, other: &Wld) -> Wld {
+        let mut counts: std::collections::BTreeMap<u64, u64> =
+            self.entries.iter().copied().collect();
+        for (l, c) in other.iter() {
+            *counts.entry(l).or_insert(0) += c;
+        }
+        Wld::from_pairs(counts).expect("merging two valid distributions is valid")
+    }
+
+    /// Scales every count by an integer factor (replicating a block
+    /// `factor` times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::ZeroCount`] semantics via construction if
+    /// `factor == 0` (an empty distribution is invalid).
+    pub fn scale_counts(&self, factor: u64) -> Result<Wld, WldError> {
+        Wld::from_pairs(self.entries.iter().map(|&(l, c)| (l, c * factor)))
+    }
+
+    /// Keeps only wires of length at most `max_length` (e.g. the local
+    /// sub-population), or `None` if nothing remains.
+    #[must_use]
+    pub fn truncate_at(&self, max_length: u64) -> Option<Wld> {
+        let pairs: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .copied()
+            .take_while(|&(l, _)| l <= max_length)
+            .collect();
+        Wld::from_pairs(pairs).ok()
+    }
+}
+
+impl<'a> IntoIterator for &'a Wld {
+    type Item = (u64, u64);
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, (u64, u64)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wld() -> Wld {
+        Wld::from_pairs([(10, 40), (1, 500), (100, 2)]).unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_and_validates() {
+        let w = wld();
+        assert_eq!(w.entries(), &[(1, 500), (10, 40), (100, 2)]);
+        assert_eq!(w.shortest(), Some(1));
+        assert_eq!(w.longest(), Some(100));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert_eq!(Wld::from_pairs([]).unwrap_err(), WldError::Empty);
+        assert_eq!(Wld::from_pairs([(0, 3)]).unwrap_err(), WldError::ZeroLength);
+        assert_eq!(
+            Wld::from_pairs([(5, 0)]).unwrap_err(),
+            WldError::ZeroCount { length: 5 }
+        );
+        assert_eq!(
+            Wld::from_pairs([(5, 1), (5, 2)]).unwrap_err(),
+            WldError::DuplicateLength { length: 5 }
+        );
+    }
+
+    #[test]
+    fn totals() {
+        let w = wld();
+        assert_eq!(w.total_wires(), 542);
+        assert_eq!(w.total_length(), 500 + 400 + 200);
+        assert_eq!(w.distinct_lengths(), 3);
+    }
+
+    #[test]
+    fn count_queries() {
+        let w = wld();
+        assert_eq!(w.count_of(10), 40);
+        assert_eq!(w.count_of(11), 0);
+        assert_eq!(w.count_at_least(10), 42);
+        assert_eq!(w.count_at_least(1), 542);
+        assert_eq!(w.count_at_least(101), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Wld::from_pairs([(1, 10), (5, 2)]).unwrap();
+        let b = Wld::from_pairs([(5, 3), (9, 1)]).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.entries(), &[(1, 10), (5, 5), (9, 1)]);
+        assert_eq!(m.total_wires(), a.total_wires() + b.total_wires());
+    }
+
+    #[test]
+    fn scale_counts_multiplies() {
+        let a = Wld::from_pairs([(1, 10), (5, 2)]).unwrap();
+        let s = a.scale_counts(3).unwrap();
+        assert_eq!(s.entries(), &[(1, 30), (5, 6)]);
+        assert!(a.scale_counts(0).is_err());
+    }
+
+    #[test]
+    fn truncate_keeps_short_wires() {
+        let a = Wld::from_pairs([(1, 10), (5, 2), (9, 4)]).unwrap();
+        let t = a.truncate_at(5).unwrap();
+        assert_eq!(t.entries(), &[(1, 10), (5, 2)]);
+        assert_eq!(a.truncate_at(100).unwrap(), a);
+        assert!(a.truncate_at(0).is_none());
+    }
+
+    #[test]
+    fn descending_iteration_for_rank_order() {
+        let order: Vec<u64> = wld().iter_descending().map(|(l, _)| l).collect();
+        assert_eq!(order, vec![100, 10, 1]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Errors for WLD construction and coarsening.
+
+use std::fmt;
+
+/// Error raised by WLD construction, generation, or coarsening.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WldError {
+    /// A wire length of zero was supplied (lengths are in gate pitches
+    /// and must be at least 1).
+    ZeroLength,
+    /// A wire count of zero was supplied for a length entry.
+    ZeroCount {
+        /// The length (in gate pitches) whose count was zero.
+        length: u64,
+    },
+    /// The same length appeared twice in the input.
+    DuplicateLength {
+        /// The duplicated length (in gate pitches).
+        length: u64,
+    },
+    /// The distribution is empty.
+    Empty,
+    /// The gate count of a specification was too small to generate a
+    /// meaningful distribution.
+    TooFewGates {
+        /// The offending gate count.
+        gates: u64,
+    },
+    /// A Rent or fan-out parameter was outside its valid range.
+    InvalidParameter {
+        /// Which parameter was invalid (e.g. `"rent_p"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A bunch size of zero was requested.
+    ZeroBunchSize,
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for WldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WldError::ZeroLength => write!(f, "wire lengths must be at least one gate pitch"),
+            WldError::ZeroCount { length } => {
+                write!(f, "wire count for length {length} must be positive")
+            }
+            WldError::DuplicateLength { length } => {
+                write!(f, "length {length} appears more than once in the input")
+            }
+            WldError::Empty => write!(f, "wire-length distribution is empty"),
+            WldError::TooFewGates { gates } => {
+                write!(f, "gate count {gates} is too small (need at least 16)")
+            }
+            WldError::InvalidParameter { field, value } => {
+                write!(f, "parameter `{field}` is out of range: {value}")
+            }
+            WldError::ZeroBunchSize => write!(f, "bunch size must be positive"),
+            WldError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            WldError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(WldError::ZeroLength.to_string().contains("gate pitch"));
+        assert!(WldError::DuplicateLength { length: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(WldError::InvalidParameter {
+            field: "rent_p",
+            value: 1.5
+        }
+        .to_string()
+        .contains("rent_p"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<WldError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text (CSV) interchange for wire-length distributions.
+//!
+//! The format is two integer columns, `length,count`, one entry per
+//! line, with optional `#` comments and an optional header line — easy
+//! to produce from a placed netlist or a spreadsheet, and stable enough
+//! to check into a repository next to an experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_wld::{io, Wld};
+//!
+//! let wld = Wld::from_pairs([(1, 500), (10, 40)])?;
+//! let text = io::to_csv(&wld);
+//! let back = io::from_csv(&text)?;
+//! assert_eq!(back, wld);
+//! # Ok::<(), ia_wld::WldError>(())
+//! ```
+
+use crate::{Wld, WldError};
+
+/// Serializes a distribution as `length,count` CSV with a header.
+#[must_use]
+pub fn to_csv(wld: &Wld) -> String {
+    let mut out = String::from("length,count\n");
+    for (length, count) in wld.iter() {
+        out.push_str(&format!("{length},{count}\n"));
+    }
+    out
+}
+
+/// Parses a `length,count` CSV (header line and `#` comments allowed).
+///
+/// # Errors
+///
+/// Returns [`WldError::Parse`] for malformed lines and any structural
+/// [`WldError`] from [`Wld::from_pairs`] (duplicates, zeros, empty).
+pub fn from_csv(text: &str) -> Result<Wld, WldError> {
+    let mut pairs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if idx == 0 && line.eq_ignore_ascii_case("length,count") {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let (Some(l), Some(c), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(WldError::Parse {
+                line: idx + 1,
+                message: "expected exactly two comma-separated fields".to_owned(),
+            });
+        };
+        let length: u64 = l.trim().parse().map_err(|e| WldError::Parse {
+            line: idx + 1,
+            message: format!("bad length `{l}`: {e}"),
+        })?;
+        let count: u64 = c.trim().parse().map_err(|e| WldError::Parse {
+            line: idx + 1,
+            message: format!("bad count `{c}`: {e}"),
+        })?;
+        pairs.push((length, count));
+    }
+    Wld::from_pairs(pairs)
+}
+
+/// Reads a distribution from a CSV file.
+///
+/// # Errors
+///
+/// Returns [`WldError::Io`] for filesystem errors and any parse error
+/// from [`from_csv`].
+pub fn read_csv_file(path: &std::path::Path) -> Result<Wld, WldError> {
+    let text = std::fs::read_to_string(path).map_err(|e| WldError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    from_csv(&text)
+}
+
+/// Writes a distribution to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`WldError::Io`] for filesystem errors.
+pub fn write_csv_file(wld: &Wld, path: &std::path::Path) -> Result<(), WldError> {
+    std::fs::write(path, to_csv(wld)).map_err(|e| WldError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_distribution() {
+        let wld = Wld::from_pairs([(1, 500), (10, 40), (100, 2)]).unwrap();
+        assert_eq!(from_csv(&to_csv(&wld)).unwrap(), wld);
+    }
+
+    #[test]
+    fn comments_blanks_and_header_are_tolerated() {
+        let text = "length,count\n# a comment\n\n 5 , 10 \n9,1\n";
+        let wld = from_csv(text).unwrap();
+        assert_eq!(wld.entries(), &[(5, 10), (9, 1)]);
+    }
+
+    #[test]
+    fn headerless_input_is_accepted() {
+        let wld = from_csv("3,7\n8,2\n").unwrap();
+        assert_eq!(wld.total_wires(), 9);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        let err = from_csv("length,count\n5,abc\n").unwrap_err();
+        match err {
+            WldError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("abc"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(matches!(
+            from_csv("1,2,3\n").unwrap_err(),
+            WldError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(from_csv("").unwrap_err(), WldError::Empty));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ia_wld_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wld.csv");
+        let wld = Wld::from_pairs([(2, 30), (7, 4)]).unwrap();
+        write_csv_file(&wld, &path).unwrap();
+        assert_eq!(read_csv_file(&path).unwrap(), wld);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = read_csv_file(std::path::Path::new("/nonexistent/wld.csv")).unwrap_err();
+        match err {
+            WldError::Io { path, .. } => assert!(path.contains("nonexistent")),
+            other => panic!("expected io error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Stochastic wire-length distributions and coarsening.
+//!
+//! The rank metric is always evaluated *with respect to a wire-length
+//! distribution* (WLD). The paper (footnote 2, §5.2) uses the stochastic
+//! WLD of Davis, De and Meindl ("A Stochastic Wire-Length Distribution
+//! for Gigascale Integration — Part 1", IEEE T-ED 45(3), 1998) with Rent
+//! parameter `p = 0.6`. This crate provides:
+//!
+//! * [`Wld`] — a validated multiset of wire lengths (in gate pitches)
+//!   with counts, the input to the rank computation;
+//! * [`WldSpec`] / [`davis`] — the Davis closed-form occupancy model that
+//!   generates a WLD from a gate count and Rent parameters;
+//! * [`RentParameters`] — Rent's-rule bookkeeping (terminals, total
+//!   point-to-point interconnect count);
+//! * [`coarsen`] — the paper's two instance-size reductions (§5.1 and
+//!   footnote 7): **bunching** (split each length's population into
+//!   bunches of at most a fixed size, assigned as units) and **binning**
+//!   (merge near-equal lengths into their mean);
+//! * [`WldStats`] — summary statistics used by the experiment reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ia_wld::WldSpec;
+//!
+//! // 1M-gate design with the paper's Rent exponent.
+//! let wld = WldSpec::new(1_000_000)?.generate();
+//! assert!(wld.total_wires() > 1_000_000);          // a few nets per gate
+//! assert!(wld.longest().unwrap() <= 2_000);        // ≤ 2√N gate pitches
+//! let coarse = ia_wld::coarsen::bunch(&wld, 10_000)?; // paper's bunch size
+//! assert_eq!(coarse.total_wires(), wld.total_wires());
+//! # Ok::<(), ia_wld::WldError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coarsen;
+pub mod davis;
+mod distribution;
+mod error;
+pub mod io;
+mod rent;
+mod spec;
+mod stats;
+
+pub use coarsen::{Bunch, CoarseWld};
+pub use distribution::Wld;
+pub use error::WldError;
+pub use rent::RentParameters;
+pub use spec::WldSpec;
+pub use stats::{percentile as stats_percentile, WldStats};

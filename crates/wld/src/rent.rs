@@ -1,0 +1,134 @@
+//! Rent's-rule bookkeeping.
+
+use crate::WldError;
+use serde::{Deserialize, Serialize};
+
+/// Rent's-rule parameters of a design: exponent `p`, coefficient `k`
+/// (average terminals per gate), and average net fan-out.
+///
+/// Rent's rule says a block of `N` gates exposes `T = k·N^p` terminals.
+/// Following Davis–De–Meindl, the total number of two-terminal
+/// connections in an `N`-gate design is
+/// `I_total = α·k·N·(1 − N^(p−1))` with `α = f.o./(f.o.+1)`.
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::RentParameters;
+///
+/// let rent = RentParameters::default(); // p = 0.6, k = 4, f.o. = 3
+/// assert!((rent.alpha() - 0.75).abs() < 1e-12);
+/// let t = rent.terminals(1_000_000.0);
+/// assert!((t - 4.0 * 1e6f64.powf(0.6)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RentParameters {
+    /// Rent exponent `p` (the paper uses 0.6).
+    pub p: f64,
+    /// Rent coefficient `k`: average terminals per gate.
+    pub k: f64,
+    /// Average net fan-out `f.o.`.
+    pub fanout: f64,
+}
+
+impl RentParameters {
+    /// Creates validated Rent parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::InvalidParameter`] if `p ∉ (0, 1)`, `k ≤ 0`,
+    /// or `fanout ≤ 0`, or if any value is not finite.
+    pub fn new(p: f64, k: f64, fanout: f64) -> Result<Self, WldError> {
+        if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+            return Err(WldError::InvalidParameter {
+                field: "rent_p",
+                value: p,
+            });
+        }
+        if !k.is_finite() || k <= 0.0 {
+            return Err(WldError::InvalidParameter {
+                field: "rent_k",
+                value: k,
+            });
+        }
+        if !fanout.is_finite() || fanout <= 0.0 {
+            return Err(WldError::InvalidParameter {
+                field: "fanout",
+                value: fanout,
+            });
+        }
+        Ok(Self { p, k, fanout })
+    }
+
+    /// Fraction `α = f.o./(f.o.+1)` converting terminal counts to
+    /// point-to-point connection counts.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.fanout / (self.fanout + 1.0)
+    }
+
+    /// Terminal count `k·N^p` of a block of `n` gates.
+    #[must_use]
+    pub fn terminals(&self, n: f64) -> f64 {
+        self.k * n.powf(self.p)
+    }
+
+    /// Total number of on-chip two-terminal connections of an `n`-gate
+    /// design: `α·k·n·(1 − n^(p−1))`.
+    #[must_use]
+    pub fn total_interconnects(&self, n: f64) -> f64 {
+        self.alpha() * self.k * n * (1.0 - n.powf(self.p - 1.0))
+    }
+}
+
+impl Default for RentParameters {
+    /// The paper's values: `p = 0.6`, with the customary `k = 4` and
+    /// `f.o. = 3` of the Davis model.
+    fn default() -> Self {
+        Self {
+            p: 0.6,
+            k: 4.0,
+            fanout: 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let r = RentParameters::default();
+        assert!((r.p - 0.6).abs() < 1e-12);
+        assert!((r.k - 4.0).abs() < 1e-12);
+        assert!((r.fanout - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(RentParameters::new(0.0, 4.0, 3.0).is_err());
+        assert!(RentParameters::new(1.0, 4.0, 3.0).is_err());
+        assert!(RentParameters::new(0.6, 0.0, 3.0).is_err());
+        assert!(RentParameters::new(0.6, 4.0, -1.0).is_err());
+        assert!(RentParameters::new(f64::NAN, 4.0, 3.0).is_err());
+        assert!(RentParameters::new(0.6, 4.0, 3.0).is_ok());
+    }
+
+    #[test]
+    fn total_interconnects_is_sub_linear_in_terminals_but_near_linear_in_gates() {
+        let r = RentParameters::default();
+        let i1 = r.total_interconnects(1e6);
+        let i4 = r.total_interconnects(4e6);
+        // Near-linear growth with gate count.
+        assert!(i4 / i1 > 3.9 && i4 / i1 < 4.1);
+        // About α·k ≈ 3 wires per gate for large N.
+        assert!(i1 / 1e6 > 2.5 && i1 / 1e6 < 3.0);
+    }
+
+    #[test]
+    fn alpha_approaches_one_for_large_fanout() {
+        let r = RentParameters::new(0.6, 4.0, 100.0).unwrap();
+        assert!(r.alpha() > 0.99);
+    }
+}

@@ -1,0 +1,150 @@
+//! Generator specification: gate count + Rent parameters → [`Wld`].
+
+use crate::{davis, RentParameters, Wld, WldError};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a design whose WLD is generated with the Davis model.
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::{RentParameters, WldSpec};
+///
+/// // The paper's 1M-gate design at p = 0.6:
+/// let spec = WldSpec::new(1_000_000)?;
+/// assert!((spec.rent().p - 0.6).abs() < 1e-12);
+///
+/// // A higher-connectivity variant:
+/// let spec = WldSpec::with_rent(250_000, RentParameters::new(0.7, 4.5, 3.0)?)?;
+/// let wld = spec.generate();
+/// assert!(wld.total_wires() > 0);
+/// # Ok::<(), ia_wld::WldError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WldSpec {
+    gates: u64,
+    rent: RentParameters,
+}
+
+impl WldSpec {
+    /// Creates a spec with the paper's default Rent parameters
+    /// (`p = 0.6`, `k = 4`, `f.o. = 3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::TooFewGates`] if `gates < 16` (the Davis model
+    /// needs a non-degenerate array).
+    pub fn new(gates: u64) -> Result<Self, WldError> {
+        Self::with_rent(gates, RentParameters::default())
+    }
+
+    /// Creates a spec with explicit Rent parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::TooFewGates`] if `gates < 16`.
+    pub fn with_rent(gates: u64, rent: RentParameters) -> Result<Self, WldError> {
+        if gates < 16 {
+            return Err(WldError::TooFewGates { gates });
+        }
+        Ok(Self { gates, rent })
+    }
+
+    /// The gate count.
+    #[must_use]
+    pub fn gates(&self) -> u64 {
+        self.gates
+    }
+
+    /// The Rent parameters.
+    #[must_use]
+    pub fn rent(&self) -> RentParameters {
+        self.rent
+    }
+
+    /// Generates the wire-length distribution.
+    ///
+    /// Counts are obtained by rounding the normalized Davis density at
+    /// each integer length; lengths whose expected count rounds to zero
+    /// are dropped (the far tail). The realized total therefore differs
+    /// from the Rent-derived expectation by at most half a wire per
+    /// distinct length.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a spec with ≥ 16 gates always yields at least one
+    /// length with a positive count.
+    #[must_use]
+    pub fn generate(&self) -> Wld {
+        let counts = davis::normalized_counts(self.gates as f64, &self.rent);
+        let pairs = counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &expected)| {
+                let count = expected.round() as u64;
+                (count > 0).then_some(((idx + 1) as u64, count))
+            })
+            .collect::<Vec<_>>();
+        Wld::from_pairs(pairs).expect("davis generation yields a non-empty valid distribution")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_few_gates_is_rejected() {
+        assert_eq!(
+            WldSpec::new(8).unwrap_err(),
+            WldError::TooFewGates { gates: 8 }
+        );
+        assert!(WldSpec::new(16).is_ok());
+    }
+
+    #[test]
+    fn generated_total_matches_rent_expectation() {
+        let spec = WldSpec::new(100_000).unwrap();
+        let wld = spec.generate();
+        let expected = spec.rent().total_interconnects(1e5);
+        let got = wld.total_wires() as f64;
+        assert!(
+            (got / expected - 1.0).abs() < 0.01,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn support_is_bounded_by_twice_sqrt_n() {
+        let wld = WldSpec::new(10_000).unwrap().generate();
+        assert!(wld.longest().unwrap() <= 200);
+        assert_eq!(wld.shortest(), Some(1));
+    }
+
+    #[test]
+    fn short_wires_dominate() {
+        let wld = WldSpec::new(10_000).unwrap().generate();
+        let below_10 = wld.total_wires() - wld.count_at_least(10);
+        assert!(below_10 as f64 / wld.total_wires() as f64 > 0.5);
+    }
+
+    #[test]
+    fn higher_rent_exponent_means_more_long_wires() {
+        let lo = WldSpec::with_rent(100_000, RentParameters::new(0.5, 4.0, 3.0).unwrap())
+            .unwrap()
+            .generate();
+        let hi = WldSpec::with_rent(100_000, RentParameters::new(0.7, 4.0, 3.0).unwrap())
+            .unwrap()
+            .generate();
+        let frac_lo = lo.count_at_least(50) as f64 / lo.total_wires() as f64;
+        let frac_hi = hi.count_at_least(50) as f64 / hi.total_wires() as f64;
+        assert!(frac_hi > frac_lo);
+    }
+
+    #[test]
+    fn million_gate_generation_is_fast_and_big() {
+        let wld = WldSpec::new(1_000_000).unwrap().generate();
+        assert!(wld.total_wires() > 2_000_000);
+        assert!(wld.distinct_lengths() > 1000);
+    }
+}

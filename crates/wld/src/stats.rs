@@ -1,0 +1,123 @@
+//! Summary statistics of a wire-length distribution.
+
+use crate::Wld;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a [`Wld`], used by experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::Wld;
+///
+/// let wld = Wld::from_pairs([(1, 3), (2, 1)])?;
+/// let s = wld.stats();
+/// assert_eq!(s.total_wires, 4);
+/// assert!((s.mean_length - 1.25).abs() < 1e-12);
+/// assert_eq!(s.median_length, 1);
+/// # Ok::<(), ia_wld::WldError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WldStats {
+    /// Total number of wires.
+    pub total_wires: u64,
+    /// Total wire length, in gate pitches.
+    pub total_length: u64,
+    /// Mean wire length, in gate pitches.
+    pub mean_length: f64,
+    /// Median wire length (lower median), in gate pitches.
+    pub median_length: u64,
+    /// Longest wire length, in gate pitches.
+    pub max_length: u64,
+    /// Number of distinct lengths.
+    pub distinct_lengths: usize,
+}
+
+impl WldStats {
+    /// Computes the statistics of a distribution.
+    #[must_use]
+    pub fn of(wld: &Wld) -> Self {
+        let total_wires = wld.total_wires();
+        let total_length = wld.total_length();
+        let median_length = percentile(wld, 0.5);
+        Self {
+            total_wires,
+            total_length,
+            mean_length: total_length as f64 / total_wires as f64,
+            median_length,
+            max_length: wld.longest().unwrap_or(0),
+            distinct_lengths: wld.distinct_lengths(),
+        }
+    }
+}
+
+/// The smallest length `l` such that at least `q` of the wire population
+/// has length ≤ `l` (a lower quantile; `q` is clamped to `[0, 1]`).
+///
+/// # Examples
+///
+/// ```
+/// use ia_wld::{stats_percentile, Wld};
+///
+/// let wld = Wld::from_pairs([(1, 90), (50, 9), (100, 1)])?;
+/// assert_eq!(stats_percentile(&wld, 0.5), 1);
+/// assert_eq!(stats_percentile(&wld, 0.95), 50);
+/// assert_eq!(stats_percentile(&wld, 1.0), 100);
+/// # Ok::<(), ia_wld::WldError>(())
+/// ```
+#[must_use]
+pub fn percentile(wld: &Wld, q: f64) -> u64 {
+    let q = q.clamp(0.0, 1.0);
+    let total = wld.total_wires();
+    let threshold = (q * total as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (length, count) in wld.iter() {
+        cumulative += count;
+        if cumulative >= threshold {
+            return length;
+        }
+    }
+    wld.longest().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wld() -> Wld {
+        Wld::from_pairs([(1, 90), (50, 9), (100, 1)]).unwrap()
+    }
+
+    #[test]
+    fn stats_of_mixed_distribution() {
+        let s = wld().stats();
+        assert_eq!(s.total_wires, 100);
+        assert_eq!(s.total_length, 90 + 450 + 100);
+        assert!((s.mean_length - 6.4).abs() < 1e-12);
+        assert_eq!(s.median_length, 1);
+        assert_eq!(s.max_length, 100);
+        assert_eq!(s.distinct_lengths, 3);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let w = wld();
+        assert_eq!(percentile(&w, 0.0), 1);
+        assert_eq!(percentile(&w, 0.90), 1);
+        assert_eq!(percentile(&w, 0.91), 50);
+        assert_eq!(percentile(&w, 0.99), 50);
+        assert_eq!(percentile(&w, 1.0), 100);
+        // Out-of-range q is clamped.
+        assert_eq!(percentile(&w, 2.0), 100);
+        assert_eq!(percentile(&w, -1.0), 1);
+    }
+
+    #[test]
+    fn single_entry_distribution() {
+        let w = Wld::from_pairs([(7, 3)]).unwrap();
+        let s = w.stats();
+        assert_eq!(s.median_length, 7);
+        assert_eq!(s.max_length, 7);
+        assert!((s.mean_length - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for WLD construction, generation and coarsening.
+
+use ia_wld::{coarsen, davis, RentParameters, Wld, WldSpec};
+use proptest::prelude::*;
+
+/// Random valid (length, count) pairs with unique lengths.
+fn wld_strategy() -> impl Strategy<Value = Wld> {
+    proptest::collection::btree_map(1u64..200, 1u64..5_000, 1..20)
+        .prop_map(|map| Wld::from_pairs(map).expect("unique positive pairs form a valid WLD"))
+}
+
+proptest! {
+    #[test]
+    fn bunching_preserves_population(wld in wld_strategy(), size in 1u64..3_000) {
+        let coarse = coarsen::bunch(&wld, size).expect("positive bunch size");
+        prop_assert_eq!(coarse.total_wires(), wld.total_wires());
+        prop_assert!(coarse.max_bunch_size() <= size);
+        // Assignment order is non-increasing in length.
+        for w in coarse.bunches().windows(2) {
+            prop_assert!(w[0].length >= w[1].length);
+        }
+        // Cumulative wire counts are consistent.
+        prop_assert_eq!(coarse.wires_in_first(coarse.len()), wld.total_wires());
+    }
+
+    #[test]
+    fn bunching_splits_each_length_correctly(wld in wld_strategy(), size in 1u64..3_000) {
+        let coarse = coarsen::bunch(&wld, size).expect("positive bunch size");
+        for (length, count) in wld.iter() {
+            let pieces: Vec<u64> = coarse
+                .bunches()
+                .iter()
+                .filter(|b| b.length == length)
+                .map(|b| b.count)
+                .collect();
+            prop_assert_eq!(pieces.iter().sum::<u64>(), count);
+            prop_assert_eq!(pieces.len() as u64, count.div_ceil(size));
+            // Only the final piece may be smaller than the bunch size.
+            for p in &pieces[..pieces.len() - 1] {
+                prop_assert_eq!(*p, size);
+            }
+        }
+    }
+
+    #[test]
+    fn per_length_view_is_lossless(wld in wld_strategy()) {
+        let coarse = coarsen::per_length(&wld);
+        prop_assert_eq!(coarse.len(), wld.distinct_lengths());
+        prop_assert_eq!(coarse.total_wires(), wld.total_wires());
+        let reconstructed: Vec<(u64, u64)> = coarse
+            .bunches()
+            .iter()
+            .rev()
+            .map(|b| (b.length, b.count))
+            .collect();
+        prop_assert_eq!(reconstructed.as_slice(), wld.entries());
+    }
+
+    #[test]
+    fn binning_preserves_population_and_respects_spread(
+        wld in wld_strategy(),
+        spread in 0u64..20,
+    ) {
+        let binned = coarsen::bin(&wld, spread);
+        prop_assert_eq!(binned.total_wires(), wld.total_wires());
+        // Every representative is within `spread` of some original
+        // length (the group it replaced).
+        for (rep, _) in binned.iter() {
+            let near = wld
+                .iter()
+                .any(|(l, _)| l.abs_diff(rep) <= spread.max(1));
+            prop_assert!(near, "representative {} has no nearby source", rep);
+        }
+        // Zero spread with no adjacent merging is the identity.
+        if spread == 0 {
+            prop_assert_eq!(&binned, &wld);
+        }
+    }
+
+    #[test]
+    fn binning_never_increases_distinct_lengths(wld in wld_strategy(), spread in 0u64..50) {
+        prop_assert!(coarsen::bin(&wld, spread).distinct_lengths() <= wld.distinct_lengths());
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(wld in wld_strategy(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(ia_wld::stats_percentile(&wld, lo) <= ia_wld::stats_percentile(&wld, hi));
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(wld in wld_strategy()) {
+        let s = wld.stats();
+        prop_assert_eq!(s.total_wires, wld.total_wires());
+        prop_assert!(s.median_length >= wld.shortest().expect("non-empty"));
+        prop_assert!(s.median_length <= s.max_length);
+        let mean_bound_lo = wld.shortest().expect("non-empty") as f64;
+        let mean_bound_hi = s.max_length as f64;
+        prop_assert!(s.mean_length >= mean_bound_lo && s.mean_length <= mean_bound_hi);
+    }
+
+    #[test]
+    fn davis_counts_are_nonnegative_and_supported(gates in 100u64..200_000) {
+        let rent = RentParameters::default();
+        let counts = davis::normalized_counts(gates as f64, &rent);
+        prop_assert_eq!(counts.len(), (2.0 * (gates as f64).sqrt()).floor() as usize);
+        prop_assert!(counts.iter().all(|&c| c >= 0.0 && c.is_finite()));
+    }
+
+    #[test]
+    fn generated_wld_total_tracks_rent(gates in 10_000u64..200_000) {
+        let spec = WldSpec::new(gates).expect("enough gates");
+        let wld = spec.generate();
+        let expect = spec.rent().total_interconnects(gates as f64);
+        let got = wld.total_wires() as f64;
+        prop_assert!((got / expect - 1.0).abs() < 0.02, "expected {} got {}", expect, got);
+    }
+}

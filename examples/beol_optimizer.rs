@@ -1,0 +1,65 @@
+//! Scenario: the paper's announced future work — *direct optimization
+//! of interconnect architectures according to the rank metric*. Given a
+//! mask-cost budget (total layer-pairs), find the BEOL stack that
+//! maximizes the rank of a 400k-gate design, including fat-wire
+//! variants of the semi-global tier.
+//!
+//! ```sh
+//! cargo run --release --example beol_optimizer
+//! ```
+
+use interconnect_rank::prelude::*;
+use interconnect_rank::rank::optimize::{optimize_stack, pareto_front, StackSearchSpace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let node = tech::presets::tsmc130();
+    let spec = wld::WldSpec::new(400_000)?;
+
+    let space = StackSearchSpace {
+        max_total_pairs: 5,
+        global_pairs: 1..=2,
+        semi_global_pairs: 1..=3,
+        local_pairs: 0..=1,
+        semi_global_pitch_scales: vec![1.0, 1.5],
+    };
+
+    println!("BEOL stack optimization, 400k gates @ 130 nm (paper future work)\n");
+    let ranked = optimize_stack(&node, &space, |b| b.wld_spec(spec).bunch_size(10_000))?;
+
+    println!(
+        "{:<28} {:>6} {:>10} {:>12} {:>10}",
+        "stack", "pairs", "rank", "normalized", "repeaters"
+    );
+    for e in &ranked {
+        println!(
+            "{:<28} {:>6} {:>10} {:>12.6} {:>10}",
+            e.candidate.to_string(),
+            e.candidate.total_pairs(),
+            if e.routable {
+                e.rank.to_string()
+            } else {
+                "unroutable".into()
+            },
+            e.normalized,
+            e.repeater_count,
+        );
+    }
+
+    println!("\nmask-cost / rank Pareto front:");
+    for e in pareto_front(&ranked) {
+        println!(
+            "  {} pairs: {} → rank {} ({:.4} normalized)",
+            e.candidate.total_pairs(),
+            e.candidate,
+            e.rank,
+            e.normalized
+        );
+    }
+
+    let best = &ranked[0];
+    println!(
+        "\n=> best stack within {} pairs: {} (rank {}, {:.4} normalized)",
+        space.max_total_pairs, best.candidate, best.rank, best.normalized
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Scenario: rank a *real* (here: synthetically generated) placed
+//! design instead of the stochastic Davis model — the netlist path a
+//! production flow would use. Generates a random placement whose nets
+//! connect nearby cells (Rent-like locality), extracts the WLD under
+//! both net models, and ranks both against the Davis prediction for the
+//! same gate count.
+//!
+//! ```sh
+//! cargo run --release --example placed_design
+//! ```
+
+use interconnect_rank::netlist::{NetModel, Placement};
+use interconnect_rank::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a synthetic placement: a `side × side` grid of cells, each
+/// driving a net to a few neighbours at geometrically distributed
+/// distances (short wires dominate, a long tail exists — the qualitative
+/// shape of a placed design).
+fn synthetic_placement(side: i64, seed: u64) -> Placement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Placement::new();
+    for x in 0..side {
+        for y in 0..side {
+            p.add_cell(format!("c{x}_{y}"), x, y).expect("unique names");
+        }
+    }
+    for x in 0..side {
+        for y in 0..side {
+            let fanout = rng.gen_range(1..=3);
+            let mut terminals = vec![format!("c{x}_{y}")];
+            for _ in 0..fanout {
+                // Geometric-ish hop distance, clamped to the die.
+                let mut hop = 1;
+                while hop < side / 2 && rng.gen_bool(0.5) {
+                    hop *= 2;
+                }
+                let tx = (x + rng.gen_range(-hop..=hop)).clamp(0, side - 1);
+                let ty = (y + rng.gen_range(-hop..=hop)).clamp(0, side - 1);
+                let name = format!("c{tx}_{ty}");
+                if !terminals.contains(&name) {
+                    terminals.push(name);
+                }
+            }
+            if terminals.len() >= 2 {
+                p.add_net(format!("n{x}_{y}"), terminals)
+                    .expect("valid net");
+            }
+        }
+    }
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 300i64; // 90k cells
+    let placement = synthetic_placement(side, 42);
+    let stats = placement.stats();
+    println!(
+        "synthetic placement: {} cells, {} nets, mean fanout {:.2}\n",
+        stats.cells, stats.nets, stats.mean_fanout
+    );
+
+    let node = tech::presets::tsmc130();
+    let architecture = arch::Architecture::baseline(&node);
+    let gates = stats.cells as u64;
+
+    let mut rows = Vec::new();
+    for model in [NetModel::Star, NetModel::Hpwl] {
+        let wld = placement.to_wld(model)?;
+        let s = wld.stats();
+        let problem = rank::RankProblem::builder(&node, &architecture)
+            .wld(wld)
+            .gates(gates)
+            .bunch_size(2_000)
+            .build()?;
+        let result = problem.rank();
+        rows.push((model.to_string(), s.total_wires, s.mean_length, result));
+    }
+    // Davis prediction at the same gate count for comparison.
+    let davis = rank::RankProblem::builder(&node, &architecture)
+        .wld_spec(wld::WldSpec::new(gates)?)
+        .bunch_size(2_000)
+        .build()?;
+    let davis_result = davis.rank();
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12}",
+        "source", "wires", "mean len", "rank", "normalized"
+    );
+    for (name, wires, mean, result) in &rows {
+        println!(
+            "{:<10} {:>10} {:>12.2} {:>10} {:>12.6}",
+            name,
+            wires,
+            mean,
+            result.rank(),
+            result.normalized()
+        );
+    }
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12.6}",
+        "davis",
+        davis_result.total_wires(),
+        "-",
+        davis_result.rank(),
+        davis_result.normalized()
+    );
+    println!(
+        "\nThe star model sees every driver→sink connection; HPWL collapses each\n\
+         net to one bounding-box wire (fewer, longer connections). The Davis\n\
+         row is the netlist-free early estimate the paper uses — once a real\n\
+         placement exists, the extracted models replace it on the same axis."
+    );
+    Ok(())
+}

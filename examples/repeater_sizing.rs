@@ -1,0 +1,65 @@
+//! Scenario: a timing engineer questions the Eq. 4 "always use s_opt"
+//! policy — on wires with slack, smaller repeaters save area. This
+//! example quantifies the trade on a 130 nm global wire: the delay/area
+//! curve around `s_opt`, and the smallest size meeting relaxed targets.
+//!
+//! ```sh
+//! cargo run --release --example repeater_sizing
+//! ```
+
+use interconnect_rank::delay::{sizing, RepeatedWireModel, SwitchingConstants};
+use interconnect_rank::prelude::*;
+use interconnect_rank::rc::{ExtractionOptions, Extractor};
+use interconnect_rank::tech::WiringTier;
+
+fn main() {
+    let node = tech::presets::tsmc130();
+    let extractor = Extractor::new(&node, ExtractionOptions::default());
+    let model = RepeatedWireModel::new(
+        node.device(),
+        extractor.tier(WiringTier::Global),
+        SwitchingConstants::default(),
+    );
+
+    let l = Length::from_millimeters(6.0);
+    let eta = model.optimal_count(l);
+    println!(
+        "6 mm global wire @ 130 nm: optimal count η* = {eta}, s_opt = {:.1}× min inverter\n",
+        model.optimal_size()
+    );
+
+    println!("delay/area vs repeater size (η = {eta} fixed):");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "size/s_opt", "delay (ps)", "area (units)"
+    );
+    for p in sizing::size_sweep(&model, l, eta, &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0]) {
+        println!(
+            "{:>10.2} {:>12.1} {:>14.1}",
+            p.size / model.optimal_size(),
+            p.delay.picoseconds(),
+            p.area_units
+        );
+    }
+
+    let best = model.best_delay(l);
+    println!("\nsmallest size meeting a relaxed target:");
+    for slack in [1.05, 1.2, 1.5, 2.0] {
+        let target = best * slack;
+        match sizing::min_size_to_meet(&model, l, eta, target) {
+            Some(size) => println!(
+                "  target = {:>6.1} ps (×{slack:.2}) -> size {:>5.1} ({:.0}% of s_opt, {:.0}% of the area)",
+                target.picoseconds(),
+                size,
+                100.0 * size / model.optimal_size(),
+                100.0 * size / model.optimal_size(),
+            ),
+            None => println!("  target ×{slack:.2}: unattainable"),
+        }
+    }
+    println!(
+        "\nWith 2× slack the Eq. 4 repeaters can shed most of their area — the\n\
+         rank metric's budget goes further than the worst-case sizing suggests\n\
+         (a refinement the paper's uniform-size assumption leaves on the table)."
+    );
+}

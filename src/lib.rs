@@ -1,0 +1,63 @@
+//! # interconnect-rank
+//!
+//! A faithful, production-quality reproduction of
+//! *"A Novel Metric for Interconnect Architecture Performance"*
+//! (Dasgupta, Kahng, Muddu — DATE 2003).
+//!
+//! The paper defines the **rank** of an interconnect architecture (IA)
+//! with respect to a wire-length distribution (WLD): the number of
+//! longest wires that can be embedded in the IA meeting their
+//! clock-derived target delays within a repeater-area budget, while the
+//! whole WLD still fits. This facade crate re-exports the workspace's
+//! public API under stable module names:
+//!
+//! * [`units`] — typed physical quantities.
+//! * [`tech`] — technology nodes (Table 3 presets, device parameters).
+//! * [`rc`] — parasitic RC extraction and via blockage.
+//! * [`wld`] — stochastic wire-length distributions and coarsening.
+//! * [`netlist`] — placed-netlist parsing and WLD extraction.
+//! * [`delay`] — the repeated-wire delay model and repeater insertion.
+//! * [`arch`] — interconnect architecture descriptions and die models.
+//! * [`rank`] — the rank metric itself: DP, greedy baseline, sweeps.
+//! * [`report`] — table rendering and experiment records.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use interconnect_rank::prelude::*;
+//!
+//! // 130 nm, 40k-gate design (small for doctest speed).
+//! let node = tech::presets::tsmc130();
+//! let spec = wld::WldSpec::new(40_000)?;
+//! let arch = arch::Architecture::baseline(&node);
+//! let problem = rank::RankProblem::builder(&node, &arch)
+//!     .wld_spec(spec)
+//!     .clock(Frequency::from_megahertz(500.0))
+//!     .bunch_size(2_000)
+//!     .build()?;
+//! let result = problem.rank();
+//! assert!(result.normalized() >= 0.0 && result.normalized() <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ia_arch as arch;
+pub use ia_delay as delay;
+pub use ia_netlist as netlist;
+pub use ia_rank as rank;
+pub use ia_rc as rc;
+pub use ia_report as report;
+pub use ia_tech as tech;
+pub use ia_units as units;
+pub use ia_wld as wld;
+
+/// Convenience prelude importing the most frequently used items.
+pub mod prelude {
+    pub use crate::{arch, delay, netlist, rank, rc, report, tech, units, wld};
+    pub use ia_units::{
+        Area, Capacitance, CapacitancePerLength, Frequency, Length, Permittivity, Resistance,
+        ResistancePerLength, Resistivity, Time,
+    };
+}

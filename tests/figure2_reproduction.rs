@@ -1,0 +1,107 @@
+//! Integration test pinning the paper's Figure 2 counterexample across
+//! all four solvers, plus budget perturbations around it.
+
+use interconnect_rank::rank::{dp, exact, exhaustive, greedy, toy, Instance};
+
+fn with_budget(base: &Instance, budget: f64) -> Instance {
+    Instance::new(
+        (0..base.pair_count()).map(|j| *base.pair(j)).collect(),
+        (0..base.bunch_count())
+            .map(|i| base.bunch(i).clone())
+            .collect(),
+        base.vias_per_wire(),
+        budget,
+    )
+    .expect("rebudgeted figure-2 instance is valid")
+}
+
+#[test]
+fn figure2_exactly_reproduces_the_paper() {
+    let inst = toy::figure2();
+    let greedy_solution = greedy::rank_greedy(&inst);
+    let dp_solution = dp::rank(&inst);
+
+    // Paper: greedy achieves rank 2, optimal achieves rank 4.
+    assert_eq!(greedy_solution.rank_wires, 2);
+    assert_eq!(dp_solution.rank_wires, 4);
+    assert_eq!(exhaustive::rank_exhaustive(&inst), 4);
+    assert_eq!(exact::rank_exact(&inst).expect("unit repeaters"), 4);
+
+    // Greedy burned the whole 8-repeater budget on the upper pair.
+    assert_eq!(greedy_solution.repeater_count, 8);
+    // The optimum uses 1 wire up (4 repeaters) + 3 down (3 repeaters).
+    assert_eq!(dp_solution.repeater_count, 7);
+    assert!(dp_solution.repeater_area <= inst.repeater_budget());
+}
+
+#[test]
+fn figure2_budget_sweep_is_consistent_across_solvers() {
+    let base = toy::figure2();
+    for budget in [0.0, 1.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 16.0] {
+        let inst = with_budget(&base, budget);
+        let d = dp::rank(&inst).rank_wires;
+        let e = exhaustive::rank_exhaustive(&inst);
+        let x = exact::rank_exact(&inst).expect("unit repeaters");
+        let g = greedy::rank_greedy(&inst).rank_wires;
+        assert_eq!(d, e, "budget {budget}");
+        assert_eq!(d, x, "budget {budget}");
+        assert!(g <= d, "budget {budget}");
+    }
+}
+
+#[test]
+fn figure2_rank_steps_up_with_budget() {
+    let base = toy::figure2();
+    // Optimal schedule: wires need 4 (up) / 1 (down) repeaters; the
+    // bottom pair holds at most 3 wires.
+    let expectations = [
+        (0.0, 0), // nothing can be buffered
+        (3.0, 0), // 3 repeaters: the 3 bottom wires meet, but wire 1
+        // (forced to the top pair) cannot → prefix rank 0
+        (7.0, 4),  // 4 (top wire) + 3 (bottom wires)
+        (20.0, 4), // saturated
+    ];
+    for (budget, expect) in expectations {
+        let inst = with_budget(&base, budget);
+        assert_eq!(dp::rank(&inst).rank_wires, expect, "budget {budget}");
+    }
+}
+
+#[test]
+fn greedy_gap_grows_with_upper_pair_cost() {
+    // The counterexample's greedy gap persists as the upper pair's
+    // repeater need grows: greedy keeps stuffing the top pair first.
+    // Budget = upper_need + 4 always admits the optimum (1 wire up at
+    // `upper_need` repeaters + 3 wires down at 1 each).
+    use interconnect_rank::rank::{BunchSolverSpec, Need, PairSolverSpec};
+    for upper_need in [4u64, 6, 8] {
+        let pairs = vec![
+            PairSolverSpec {
+                capacity: 2.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            },
+            PairSolverSpec {
+                capacity: 3.0,
+                via_area: 0.0,
+                repeater_unit_area: 1.0,
+            },
+        ];
+        let bunches = (0..4)
+            .map(|_| BunchSolverSpec {
+                length: 10,
+                count: 1,
+                wire_area: vec![1.0, 1.0],
+                need: vec![Need::Repeaters(upper_need), Need::Repeaters(1)],
+            })
+            .collect();
+        let inst = Instance::new(pairs, bunches, 2, upper_need as f64 + 4.0).expect("valid");
+        let g = greedy::rank_greedy(&inst).rank_wires;
+        let d = dp::rank(&inst).rank_wires;
+        assert_eq!(d, 4, "upper_need {upper_need}");
+        assert!(
+            g < d,
+            "upper_need {upper_need}: greedy {g} should trail dp {d}"
+        );
+    }
+}
