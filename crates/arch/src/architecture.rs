@@ -55,7 +55,7 @@ impl Architecture {
             .global_pairs(1)
             .semi_global_pairs(2)
             .build()
-            .expect("baseline stack is non-empty")
+            .expect("baseline stack is non-empty") // lint: no-panic (constant-shape stack)
     }
 
     /// The node's *full* foundry stack, pairing up every metal layer of
@@ -73,7 +73,7 @@ impl Architecture {
     #[must_use]
     pub fn full_stack(node: &TechnologyNode) -> Self {
         // Metal counts per Table 3's caption: node → total layers.
-        let nm = node.feature_size().nanometers().round() as u64;
+        let nm = ia_units::convert::f64_to_u64_saturating(node.feature_size().nanometers().round());
         let metals: usize = match nm {
             180 => 6,
             130 => 7,
@@ -90,7 +90,7 @@ impl Architecture {
             .semi_global_pairs(semi_global)
             .local_pairs(1)
             .build()
-            .expect("full stack is non-empty")
+            .expect("full stack is non-empty") // lint: no-panic (constant-shape stack)
     }
 
     /// Number of layer-pairs (`m` in the paper).

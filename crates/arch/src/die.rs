@@ -57,7 +57,7 @@ impl DieModel {
     pub fn new(
         node: &TechnologyNode,
         gates: u64,
-        repeater_fraction: f64,
+        repeater_fraction: f64, // lint: raw-f64 (dimensionless fraction, validated below)
     ) -> Result<Self, ArchError> {
         if gates == 0 {
             return Err(ArchError::ZeroGates);

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.row([
             s.knob.to_string(),
             format!("{:.3e}", s.at),
-            format!("{:+.3}", s.elasticity),
+            s.elasticity.to_string(),
         ]);
     }
     println!("{t}");

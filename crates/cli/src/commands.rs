@@ -163,7 +163,8 @@ pub fn cmd_rank(args: &ParsedArgs) -> Result<String, CliError> {
                 u.pair.to_string(),
                 u.wires.to_string(),
                 u.met_wires.to_string(),
-                format!("{:.1}", 100.0 * u.utilization()),
+                u.utilization()
+                    .map_or_else(|| "blocked".to_string(), |x| format!("{:.1}", 100.0 * x)),
                 u.repeaters.to_string(),
             ]);
         }

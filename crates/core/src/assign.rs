@@ -40,7 +40,7 @@ pub fn wire_assign(
     extra_end: usize,
     wires_above: u64,
     repeaters_above: u64,
-    repeater_budget: f64,
+    repeater_budget: f64, // lint: raw-f64 (solver-level exact arithmetic, validated upstream)
 ) -> WireAssignOutcome {
     assert!(met_start <= met_end && met_end <= extra_end && extra_end <= inst.bunch_count());
     let infeasible = WireAssignOutcome {

@@ -79,8 +79,50 @@ impl Front {
             end += 1;
         }
         self.entries.splice(pos..end, [e]);
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants();
         true
     }
+
+    /// Debug-checks the front's structural invariants: entries sorted
+    /// by strictly ascending area and strictly descending count (which
+    /// together imply pairwise non-domination), all values finite and
+    /// non-negative.
+    #[cfg(any(test, feature = "strict-invariants"))]
+    fn assert_invariants(&self) {
+        for e in &self.entries {
+            debug_assert!(
+                e.area.is_finite() && e.area >= 0.0,
+                "front entry area {} is not a finite non-negative value",
+                e.area
+            );
+        }
+        for w in self.entries.windows(2) {
+            debug_assert!(
+                w[0].area < w[1].area,
+                "front areas not strictly ascending: {} then {}",
+                w[0].area,
+                w[1].area
+            );
+            debug_assert!(
+                w[0].count > w[1].count,
+                "front counts not strictly descending: {} then {}",
+                w[0].count,
+                w[1].count
+            );
+        }
+    }
+}
+
+/// Rebuilds `inst` with the repeater budget zeroed, for the
+/// strict-invariants monotonicity cross-check.
+#[cfg(feature = "strict-invariants")]
+fn budget_free_variant(inst: &Instance) -> Option<Instance> {
+    let pairs = (0..inst.pair_count()).map(|j| *inst.pair(j)).collect();
+    let bunches = (0..inst.bunch_count())
+        .map(|i| inst.bunch(i).clone())
+        .collect();
+    Instance::new(pairs, bunches, inst.vias_per_wire(), 0.0).ok()
 }
 
 fn reconstruct_segments(path: &Option<Rc<PathNode>>) -> Vec<Segment> {
@@ -237,6 +279,39 @@ pub fn rank(inst: &Instance) -> Solution {
             }
         }
         prev = next;
+    }
+
+    #[cfg(feature = "strict-invariants")]
+    {
+        // Solution self-consistency: the reported rank counts exactly
+        // the wires of the met prefix, the repeater spend respects the
+        // budget, and the met segments tile the prefix contiguously.
+        debug_assert_eq!(best.rank_wires, inst.wires_before(best.met_bunches));
+        debug_assert!(
+            best.repeater_area <= budget * (1.0 + 1e-12) + 1e-12,
+            "repeater area {} exceeds the budget {budget}",
+            best.repeater_area
+        );
+        let mut cursor = 0;
+        for seg in &best.segments {
+            debug_assert_eq!(seg.met_start, cursor, "met segments must tile the prefix");
+            cursor = seg.met_end;
+        }
+        debug_assert_eq!(cursor, best.met_bunches);
+        // Definition 2's rank is monotone in the repeater budget: the
+        // same instance with the budget zeroed can never rank higher.
+        // (The zero-budget re-solve does not recurse further.)
+        if budget > 0.0 {
+            if let Some(free) = budget_free_variant(inst) {
+                let lower = rank(&free);
+                debug_assert!(
+                    lower.rank_wires <= best.rank_wires,
+                    "rank must be monotone in the budget: {} at zero budget vs {} at {budget}",
+                    lower.rank_wires,
+                    best.rank_wires
+                );
+            }
+        }
     }
 
     best
@@ -410,5 +485,73 @@ mod tests {
         assert!(f.insert(e(2.0, 5))); // dominates everything
         assert_eq!(f.entries.len(), 1);
         assert!((f.entries[0].area - 2.0).abs() < 1e-12);
+    }
+
+    mod front_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn points() -> impl Strategy<Value = Vec<(f64, u64)>> {
+            proptest::collection::vec((0.0f64..16.0, 0u64..16u64), 1..48)
+        }
+
+        proptest! {
+            #[test]
+            fn insert_preserves_sorting_and_nondomination(pts in points()) {
+                let mut f = Front::default();
+                for &(area, count) in &pts {
+                    f.insert(FrontEntry { area, count, path: None });
+                    f.assert_invariants();
+                }
+                // Sorted: strictly ascending area, strictly descending
+                // count — which implies pairwise non-domination.
+                for w in f.entries.windows(2) {
+                    prop_assert!(w[0].area < w[1].area);
+                    prop_assert!(w[0].count > w[1].count);
+                }
+                // No pair of survivors dominates one another.
+                for a in &f.entries {
+                    for b in &f.entries {
+                        let same = a.area == b.area && a.count == b.count;
+                        prop_assert!(
+                            same || !(a.area <= b.area && a.count <= b.count),
+                            "({}, {}) dominates ({}, {})",
+                            a.area, a.count, b.area, b.count
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn every_inserted_point_has_a_dominating_survivor(pts in points()) {
+                let mut f = Front::default();
+                for &(area, count) in &pts {
+                    f.insert(FrontEntry { area, count, path: None });
+                }
+                for &(area, count) in &pts {
+                    prop_assert!(
+                        f.entries.iter().any(|e| e.area <= area && e.count <= count),
+                        "({area}, {count}) lost without a dominating survivor"
+                    );
+                }
+            }
+
+            #[test]
+            fn reinserting_survivors_is_a_rejected_noop(pts in points()) {
+                let mut f = Front::default();
+                for &(area, count) in &pts {
+                    f.insert(FrontEntry { area, count, path: None });
+                }
+                let snapshot: Vec<(f64, u64)> =
+                    f.entries.iter().map(|e| (e.area, e.count)).collect();
+                for &(area, count) in &snapshot {
+                    let accepted = f.insert(FrontEntry { area, count, path: None });
+                    prop_assert!(!accepted, "re-inserting a survivor must be rejected");
+                }
+                let after: Vec<(f64, u64)> =
+                    f.entries.iter().map(|e| (e.area, e.count)).collect();
+                prop_assert_eq!(snapshot, after);
+            }
+        }
     }
 }

@@ -55,7 +55,9 @@ pub fn rank_exact(inst: &Instance) -> Result<u64, RankError> {
             return Err(RankError::NotQuantizable { area: u, quantum });
         }
     }
-    let r_max = (inst.repeater_budget() / quantum + 1e-9).floor() as usize;
+    let r_max = ia_units::convert::f64_to_usize_saturating(
+        (inst.repeater_budget() / quantum + 1e-9).floor(),
+    );
 
     // M[i][j][r][ip], flattened.
     let dim_i = n + 1;

@@ -21,6 +21,33 @@
 use crate::{Instance, Need, Solution};
 use serde::{Deserialize, Serialize};
 
+/// How far past the remaining repeater budget the frontier bunch's
+/// cheapest fix lies.
+///
+/// An explicit representation of what used to be an `f64::INFINITY`
+/// sentinel: when no budget remains at all, *any* positive need
+/// overruns by an unbounded factor and no finite ratio is meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Overrun {
+    /// `needed / remaining` with a positive remaining budget
+    /// (≥ 1 means strictly over budget).
+    Ratio(f64),
+    /// The remaining budget is zero: the overrun has no finite ratio.
+    Unbounded,
+}
+
+impl Overrun {
+    /// The finite overrun ratio, or `None` when the budget is fully
+    /// exhausted.
+    #[must_use]
+    pub fn ratio(self) -> Option<f64> {
+        match self {
+            Overrun::Ratio(r) => Some(r),
+            Overrun::Unbounded => None,
+        }
+    }
+}
+
 /// The binding constraint at the rank frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Frontier {
@@ -32,8 +59,8 @@ pub enum Frontier {
     Budget {
         /// Additional repeater area the frontier bunch would need on
         /// its cheapest admissible pair, relative to the remaining
-        /// budget (≥ 1 means strictly over budget).
-        overrun_ratio: f64,
+        /// budget.
+        overrun: Overrun,
     },
     /// The frontier bunch cannot meet its target on any admissible pair.
     Attainability,
@@ -47,10 +74,16 @@ impl std::fmt::Display for Frontier {
         match self {
             Frontier::Complete => write!(f, "complete: every wire meets its target"),
             Frontier::Unroutable => write!(f, "unroutable: the WLD does not fit (Definition 3)"),
-            Frontier::Budget { overrun_ratio } => write!(
-                f,
-                "repeater budget: the next bunch needs ×{overrun_ratio:.2} the remaining area"
-            ),
+            Frontier::Budget { overrun } => match overrun {
+                Overrun::Ratio(r) => write!(
+                    f,
+                    "repeater budget: the next bunch needs ×{r:.2} the remaining area"
+                ),
+                Overrun::Unbounded => write!(
+                    f,
+                    "repeater budget: exhausted — no area remains for the next bunch"
+                ),
+            },
             Frontier::Attainability => {
                 write!(
                     f,
@@ -78,7 +111,9 @@ impl std::fmt::Display for Frontier {
 /// let solution = dp::rank(&inst);
 /// assert_eq!(solution.rank_wires, 4);
 /// match explain::frontier(&inst, &solution) {
-///     explain::Frontier::Budget { overrun_ratio } => assert!(overrun_ratio >= 1.0),
+///     explain::Frontier::Budget { overrun } => {
+///         assert!(overrun.ratio().is_none_or(|r| r >= 1.0));
+///     }
 ///     other => panic!("expected a budget frontier, got {other:?}"),
 /// }
 /// ```
@@ -119,10 +154,10 @@ pub fn frontier(inst: &Instance, solution: &Solution) -> Frontier {
     let needed = cheapest_area.unwrap_or(0.0);
     if needed > remaining {
         return Frontier::Budget {
-            overrun_ratio: if remaining > 0.0 {
-                needed / remaining
+            overrun: if remaining > 0.0 {
+                Overrun::Ratio(needed / remaining)
             } else {
-                f64::INFINITY
+                Overrun::Unbounded
             },
         };
     }
@@ -183,9 +218,11 @@ mod tests {
         let s = dp::rank(&inst);
         assert_eq!(s.rank_wires, 3); // 3 wires × 2 repeaters = 6 ≤ 7
         match frontier(&inst, &s) {
-            Frontier::Budget { overrun_ratio } => {
+            Frontier::Budget {
+                overrun: Overrun::Ratio(r),
+            } => {
                 // Next wire needs 2 with 1 remaining: ×2.
-                assert!((overrun_ratio - 2.0).abs() < 1e-9);
+                assert!((r - 2.0).abs() < 1e-9);
             }
             other => panic!("expected budget, got {other:?}"),
         }
@@ -265,9 +302,16 @@ mod tests {
     fn display_strings_are_informative() {
         assert!(Frontier::Complete.to_string().contains("every wire"));
         assert!(Frontier::Unroutable.to_string().contains("Definition 3"));
-        assert!(Frontier::Budget { overrun_ratio: 2.0 }
-            .to_string()
-            .contains("×2.00"));
+        assert!(Frontier::Budget {
+            overrun: Overrun::Ratio(2.0)
+        }
+        .to_string()
+        .contains("×2.00"));
+        assert!(Frontier::Budget {
+            overrun: Overrun::Unbounded
+        }
+        .to_string()
+        .contains("exhausted"));
         assert!(Frontier::Attainability.to_string().contains("cannot meet"));
         assert!(Frontier::Capacity.to_string().contains("placed"));
     }

@@ -115,7 +115,7 @@ impl Instance {
         pairs: Vec<PairSolverSpec>,
         bunches: Vec<BunchSolverSpec>,
         vias_per_wire: u64,
-        repeater_budget: f64,
+        repeater_budget: f64, // lint: raw-f64 (solver-level exact arithmetic, validated below)
     ) -> Result<Self, RankError> {
         if pairs.is_empty() {
             return Err(RankError::NoPairs);
@@ -184,7 +184,7 @@ impl Instance {
     /// Total number of wires.
     #[must_use]
     pub fn total_wires(&self) -> u64 {
-        *self.wires_before.last().expect("prefix sums are non-empty")
+        self.wires_before.last().copied().unwrap_or(0)
     }
 
     /// Wires contained in bunches `0..i`.

@@ -77,6 +77,12 @@ impl StackCandidate {
     }
 
     /// Materializes the candidate as an [`Architecture`] on a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate has zero pairs in every tier; the
+    /// enumeration in [`optimize_stack`] never produces such a
+    /// candidate.
     #[must_use]
     pub fn build(&self, node: &TechnologyNode) -> Architecture {
         let mut pairs = Vec::with_capacity(self.total_pairs());
@@ -92,6 +98,7 @@ impl StackCandidate {
         for _ in 0..self.local {
             pairs.push(LayerPair::from_tier(node, WiringTier::Local));
         }
+        // lint: no-panic (documented API-misuse panic)
         Architecture::from_pairs(pairs).expect("candidate has at least one pair")
     }
 }

@@ -207,6 +207,7 @@ impl<'a> RankProblemBuilder<'a> {
 
     /// Repeater-area fraction of the die (the `R` axis of Table 4).
     #[must_use]
+    // lint: raw-f64 (dimensionless fraction)
     pub fn repeater_fraction(mut self, fraction: f64) -> Self {
         self.repeater_fraction = fraction;
         self
@@ -214,6 +215,7 @@ impl<'a> RankProblemBuilder<'a> {
 
     /// Miller coupling factor (the `M` axis of Table 4).
     #[must_use]
+    // lint: raw-f64 (dimensionless coupling factor)
     pub fn miller_factor(mut self, m: f64) -> Self {
         self.miller_factor = m;
         self
@@ -259,6 +261,7 @@ impl<'a> RankProblemBuilder<'a> {
     /// Fraction of each layer-pair's raw routing area usable for wires
     /// (defaults to 1.0, matching the paper's accounting).
     #[must_use]
+    // lint: raw-f64 (dimensionless fraction)
     pub fn wiring_efficiency(mut self, e: f64) -> Self {
         self.wiring_efficiency = e;
         self

@@ -35,17 +35,19 @@ pub struct PairUsage {
 
 impl PairUsage {
     /// Fraction of the blocked capacity consumed by wire area.
+    ///
+    /// Returns `None` when via blockage consumes the pair's entire
+    /// capacity while wire area is still charged to it — the fraction
+    /// has no finite value (this replaces an `f64::INFINITY`
+    /// sentinel). A fully blocked pair carrying no wires reports
+    /// `Some(0.0)`.
     #[must_use]
-    pub fn utilization(&self) -> f64 {
+    pub fn utilization(&self) -> Option<f64> {
         let available = self.capacity - self.via_blockage;
         if available <= 0.0 {
-            if self.wire_area > 0.0 {
-                f64::INFINITY
-            } else {
-                0.0
-            }
+            (self.wire_area <= 0.0).then_some(0.0)
         } else {
-            self.wire_area / available
+            Some(self.wire_area / available)
         }
     }
 }
@@ -124,6 +126,7 @@ pub fn utilization(inst: &Instance, solution: &Solution) -> Vec<PairUsage> {
             wires_above,
             solution.repeater_count,
         )
+        // lint: no-panic (documented API-misuse panic)
         .expect("a feasible solution's tail must still pack");
         for (j, range) in plan {
             for i in range {
@@ -177,7 +180,7 @@ mod tests {
         let s = dp::rank(&inst);
         for u in utilization(&inst, &s) {
             assert!(u.wire_area <= u.capacity - u.via_blockage + 1e-12);
-            assert!(u.utilization() <= 1.0 + 1e-12);
+            assert!(u.utilization().is_some_and(|x| x <= 1.0 + 1e-12));
         }
     }
 

@@ -46,6 +46,40 @@ impl std::fmt::Display for Knob {
     }
 }
 
+/// Rank elasticity to one knob: the relative rank gain per percent of
+/// *improvement*, `(Δrank/rank) / (Δknob/knob) × sign(improvement)`,
+/// or [`Elasticity::Undefined`] when the baseline rank is zero and a
+/// *relative* change has no meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Elasticity {
+    /// A finite elasticity; positive means improving the knob helps.
+    Finite(f64),
+    /// The baseline normalized rank is zero — no relative change can
+    /// be formed (this replaces a near-overflow `1/f64::MIN_POSITIVE`
+    /// division sentinel).
+    Undefined,
+}
+
+impl Elasticity {
+    /// The finite elasticity value, or `None` if undefined.
+    #[must_use]
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Elasticity::Finite(e) => Some(e),
+            Elasticity::Undefined => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Elasticity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Elasticity::Finite(e) => write!(f, "{e:+.3}"),
+            Elasticity::Undefined => write!(f, "undefined"),
+        }
+    }
+}
+
 /// Sensitivity of the rank to one knob at an operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct KnobSensitivity {
@@ -55,10 +89,8 @@ pub struct KnobSensitivity {
     pub at: f64,
     /// Normalized rank at the operating point.
     pub baseline_normalized: f64,
-    /// Relative rank gain per percent of *improvement* of the knob
-    /// (elasticity): `(Δrank/rank) / (Δknob/knob) × sign(improvement)`.
-    /// Positive means improving the knob helps, as it should.
-    pub elasticity: f64,
+    /// Relative rank gain per percent of *improvement* of the knob.
+    pub elasticity: Elasticity,
 }
 
 /// The operating point at which to evaluate sensitivities.
@@ -149,14 +181,14 @@ fn normalized_at(
 ///     .bunch_size(10_000);
 /// let report = sensitivities(&builder, &OperatingPoint::paper_baseline(), 0.1)?;
 /// for s in &report {
-///     println!("{}: {:+.3}", s.knob, s.elasticity);
+///     println!("{}: {}", s.knob, s.elasticity);
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn sensitivities(
     builder: &RankProblemBuilder<'_>,
     point: &OperatingPoint,
-    step: f64,
+    step: f64, // lint: raw-f64 (dimensionless relative step)
 ) -> Result<Vec<KnobSensitivity>, RankError> {
     let baseline = normalized_at(builder, point)?;
     let mut out = Vec::with_capacity(Knob::ALL.len());
@@ -175,10 +207,16 @@ pub fn sensitivities(
         let r_lo = normalized_at(builder, &lo)?;
         let r_hi = normalized_at(builder, &hi)?;
         // Relative rank change per relative knob change, oriented so
-        // that improving the knob gives a positive elasticity.
-        let d_rank = (r_hi - r_lo) / baseline.max(f64::MIN_POSITIVE);
-        let d_knob = 2.0 * step;
-        let elasticity = d_rank / d_knob * improvement_sign(knob);
+        // that improving the knob gives a positive elasticity. A zero
+        // baseline admits no relative change: report it as such
+        // instead of dividing by an epsilon.
+        let elasticity = if baseline > 0.0 {
+            let d_rank = (r_hi - r_lo) / baseline;
+            let d_knob = 2.0 * step;
+            Elasticity::Finite(d_rank / d_knob * improvement_sign(knob))
+        } else {
+            Elasticity::Undefined
+        };
         out.push(KnobSensitivity {
             knob,
             at: value,
@@ -226,16 +264,20 @@ mod tests {
         assert_eq!(report.len(), 4);
         for s in &report {
             assert!(s.baseline_normalized > 0.0);
+            let e = s
+                .elasticity
+                .value()
+                .expect("positive baseline has finite elasticity");
             match s.knob {
                 // Material/coupling improvements always help (weakly).
                 Knob::Permittivity | Knob::MillerFactor => {
-                    assert!(s.elasticity >= 0.0, "{:?}: {}", s.knob, s.elasticity)
+                    assert!(e >= 0.0, "{:?}: {e}", s.knob)
                 }
                 // Slower clocks can't hurt.
-                Knob::Clock => assert!(s.elasticity >= 0.0, "{}", s.elasticity),
+                Knob::Clock => assert!(e >= 0.0, "{e}"),
                 // Repeater fraction interacts with die inflation; no
                 // sign guarantee off the paper's scale — just finite.
-                Knob::RepeaterFraction => assert!(s.elasticity.is_finite()),
+                Knob::RepeaterFraction => assert!(e.is_finite()),
             }
         }
     }
@@ -250,7 +292,10 @@ mod tests {
             .wld_spec(WldSpec::new(200_000).unwrap())
             .bunch_size(5_000);
         let report = sensitivities(&builder, &OperatingPoint::paper_baseline(), 0.2).unwrap();
-        let active = report.iter().filter(|s| s.elasticity.abs() > 1e-6).count();
+        let active = report
+            .iter()
+            .filter(|s| s.elasticity.value().is_some_and(|e| e.abs() > 1e-6))
+            .count();
         assert!(active >= 2, "report: {report:?}");
     }
 }

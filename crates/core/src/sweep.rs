@@ -143,6 +143,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: no-panic (propagates worker panics)
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     })
@@ -198,20 +199,17 @@ pub fn equivalent_reductions(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<Equivale
     let b0 = b[0].x;
     a[1..]
         .iter()
-        .map(|pa| {
-            let pb = b
-                .iter()
-                .min_by(|p, q| {
-                    (p.normalized - pa.normalized)
-                        .abs()
-                        .total_cmp(&(q.normalized - pa.normalized).abs())
-                })
-                .expect("series b is non-empty");
-            EquivalenceMatch {
+        .filter_map(|pa| {
+            let pb = b.iter().min_by(|p, q| {
+                (p.normalized - pa.normalized)
+                    .abs()
+                    .total_cmp(&(q.normalized - pa.normalized).abs())
+            })?;
+            Some(EquivalenceMatch {
                 a_reduction_pct: (1.0 - pa.x / a0) * 100.0,
                 b_reduction_pct: (1.0 - pb.x / b0) * 100.0,
                 normalized_rank: pa.normalized,
-            }
+            })
         })
         .collect()
 }

@@ -45,6 +45,7 @@ pub fn figure2() -> Instance {
             need: vec![Need::Repeaters(4), Need::Repeaters(1)],
         })
         .collect();
+    // lint: no-panic (constant-input toy)
     Instance::new(pairs, bunches, 2, 8.0).expect("figure 2 instance is valid")
 }
 
@@ -57,6 +58,7 @@ pub fn figure2() -> Instance {
 ///
 /// Panics if `wires == 0`.
 #[must_use]
+// lint: raw-f64 (budget in repeater-area units)
 pub fn budget_limited(wires: u64, repeaters_per_wire: u64, budget: f64) -> Instance {
     assert!(wires > 0);
     let pairs = vec![PairSolverSpec {
@@ -72,6 +74,7 @@ pub fn budget_limited(wires: u64, repeaters_per_wire: u64, budget: f64) -> Insta
             need: vec![Need::Repeaters(repeaters_per_wire)],
         })
         .collect();
+    // lint: no-panic (shape fixed by construction)
     Instance::new(pairs, bunches, 2, budget).expect("budget_limited instance is valid")
 }
 

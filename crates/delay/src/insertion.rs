@@ -110,12 +110,14 @@ pub fn plan_insertion(model: &RepeatedWireModel, l: Length, target: Time) -> Ins
         // WireOnly charging: D(η) = c2·l + c3·l²/η, so the smallest
         // feasible count is ⌈c3·l²/(d − c2·l)⌉.
         if g > 0.0 {
-            ((c3_l2 / g).ceil().max(1.0)).min(best_count as f64) as u64
+            ia_units::convert::f64_to_u64_saturating(
+                ((c3_l2 / g).ceil().max(1.0)).min(best_count as f64),
+            )
         } else {
             best_count
         }
     } else if disc >= 0.0 && g > 0.0 {
-        (((g - disc.sqrt()) / (2.0 * c1)).ceil().max(1.0)) as u64
+        ia_units::convert::f64_to_u64_saturating(((g - disc.sqrt()) / (2.0 * c1)).ceil().max(1.0))
     } else {
         best_count
     };

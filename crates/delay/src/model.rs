@@ -170,6 +170,7 @@ impl RepeatedWireModel {
     /// The drive/load term coefficient `b·(c̄·r_o/s + r̄·c_o·s)` in
     /// seconds per metre, for repeater size `s`.
     #[must_use]
+    // lint: raw-f64 (dimensionless repeater size multiple)
     pub fn drive_coefficient(&self, s: f64) -> f64 {
         let r_o = self.device.output_resistance.ohms();
         let c_o = self.device.input_capacitance.farads();
@@ -186,6 +187,7 @@ impl RepeatedWireModel {
     /// Panics if `eta == 0` (use [`RepeatedWireModel::unbuffered_delay`]
     /// for unbuffered wires) or `s ≤ 0`.
     #[must_use]
+    // lint: raw-f64 (dimensionless repeater size multiple)
     pub fn total_delay_with_size(&self, l: Length, eta: u64, s: f64) -> Time {
         assert!(
             eta >= 1,
@@ -224,6 +226,7 @@ impl RepeatedWireModel {
     /// free, so more is always weakly better).
     pub fn optimal_count_real(&self, l: Length) -> f64 {
         if self.intrinsic_s == 0.0 {
+            // lint: nonfinite (documented WireOnly sentinel, callers branch on intrinsic_s)
             return f64::INFINITY;
         }
         l.meters() * (self.rc_s_per_m2 / self.intrinsic_s).sqrt()
@@ -244,10 +247,10 @@ impl RepeatedWireModel {
                 return 1;
             }
             let eta = (self.rc_s_per_m2 * lm * lm / (1e-3 * asymptote)).ceil();
-            return eta.clamp(1.0, 1e12) as u64;
+            return ia_units::convert::f64_to_u64_saturating(eta.clamp(1.0, 1e12));
         }
         let real = self.optimal_count_real(l);
-        let lo = real.floor().max(1.0) as u64;
+        let lo = ia_units::convert::f64_to_u64_saturating(real.floor().max(1.0));
         let hi = lo + 1;
         if self.total_delay(l, lo) <= self.total_delay(l, hi) {
             lo

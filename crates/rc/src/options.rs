@@ -47,6 +47,7 @@ impl ExtractionOptions {
 
     /// Returns a copy with a different Miller factor (the `M` sweep).
     #[must_use]
+    // lint: raw-f64 (dimensionless coupling factor)
     pub fn with_miller_factor(mut self, m: f64) -> Self {
         self.miller_factor = m;
         self

@@ -85,6 +85,7 @@ impl DeviceParameters {
     /// The size-independent intrinsic switching delay `b·r_o·(c_o + c_p)`
     /// of one repeater stage, for switching constant `b`.
     #[must_use]
+    // lint: raw-f64 (dimensionless switching constant)
     pub fn intrinsic_delay(&self, b: f64) -> Time {
         self.output_resistance * (self.input_capacitance + self.parasitic_capacitance) * b
     }
@@ -107,6 +108,7 @@ impl DeviceParameters {
     /// assert!((a60 / dev.min_inverter_area - 60.0).abs() < 1e-9);
     /// ```
     #[must_use]
+    // lint: raw-f64 (dimensionless size multiple)
     pub fn repeater_area(&self, size: f64) -> Area {
         self.min_inverter_area * size
     }

@@ -125,6 +125,7 @@ impl LayerGeometry {
     /// # Errors
     ///
     /// Same as [`LayerGeometry::new`].
+    // lint: raw-f64 (unit-boundary convenience constructor)
     pub fn from_micrometers(width: f64, spacing: f64, thickness: f64) -> Result<Self, TechError> {
         Self::new(
             Length::from_micrometers(width),
@@ -166,6 +167,7 @@ impl LayerGeometry {
     /// Useful for exploring fat-wire variants of an architecture while
     /// keeping the thickness (a deposition property) fixed.
     #[must_use]
+    // lint: raw-f64 (dimensionless pitch factor)
     pub fn scaled_pitch(mut self, factor: f64) -> Self {
         self.width = self.width * factor;
         self.spacing = self.spacing * factor;

@@ -184,6 +184,7 @@ impl TechnologyNodeBuilder {
     /// # Errors
     ///
     /// Returns [`TechError::NonPositiveDimension`] for non-positive widths.
+    // lint: raw-f64 (unit-boundary convenience builder)
     pub fn via_width_micrometers(
         mut self,
         local: f64,
@@ -220,6 +221,7 @@ impl TechnologyNodeBuilder {
 
     /// Overrides the ITRS gate-pitch factor (defaults to `12.6`).
     #[must_use]
+    // lint: raw-f64 (dimensionless ITRS factor)
     pub fn gate_pitch_factor(mut self, factor: f64) -> Self {
         self.gate_pitch_factor = factor;
         self

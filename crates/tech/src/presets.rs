@@ -47,12 +47,13 @@ fn derived_device(node_nm: f64) -> DeviceParameters {
         Capacitance::from_femtofarads(c_o_ff),
         Area::from_square_micrometers(MIN_INVERTER_F2 * f_um * f_um),
     )
+    // lint: no-panic (constant-input preset)
     .expect("derived device parameters are positive by construction")
 }
 
 fn layer(width_um: f64, spacing_um: f64, thickness_um: f64) -> LayerGeometry {
     LayerGeometry::from_micrometers(width_um, spacing_um, thickness_um)
-        .expect("preset geometry values are positive")
+        .expect("preset geometry values are positive") // lint: no-panic (constant-input preset)
 }
 
 /// The 180 nm node of Table 3 (6 metal layers: `x = 2..5`, `t = 6`).
@@ -71,10 +72,10 @@ pub fn tsmc180() -> TechnologyNode {
         .semi_global(layer(0.280, 0.280, 0.588))
         .global(layer(0.440, 0.460, 0.960))
         .via_width_micrometers(0.260, 0.260, 0.360)
-        .expect("preset via widths are positive")
+        .expect("preset via widths are positive") // lint: no-panic (constant-input preset)
         .device(derived_device(180.0))
         .build()
-        .expect("preset node is complete")
+        .expect("preset node is complete") // lint: no-panic (constant-input preset)
 }
 
 /// The 130 nm node of Table 3 (7 metal layers: `x = 2..6`, `t = 7`) —
@@ -94,10 +95,10 @@ pub fn tsmc130() -> TechnologyNode {
         .semi_global(layer(0.200, 0.210, 0.340))
         .global(layer(0.440, 0.460, 1.020))
         .via_width_micrometers(0.190, 0.260, 0.360)
-        .expect("preset via widths are positive")
+        .expect("preset via widths are positive") // lint: no-panic (constant-input preset)
         .device(derived_device(130.0))
         .build()
-        .expect("preset node is complete")
+        .expect("preset node is complete") // lint: no-panic (constant-input preset)
 }
 
 /// The 90 nm node of Table 3 (8 metal layers: `x = 2..7`, `t = 8`).
@@ -116,10 +117,10 @@ pub fn tsmc90() -> TechnologyNode {
         .semi_global(layer(0.140, 0.140, 0.300))
         .global(layer(0.420, 0.420, 0.880))
         .via_width_micrometers(0.130, 0.130, 0.360)
-        .expect("preset via widths are positive")
+        .expect("preset via widths are positive") // lint: no-panic (constant-input preset)
         .device(derived_device(90.0))
         .build()
-        .expect("preset node is complete")
+        .expect("preset node is complete") // lint: no-panic (constant-input preset)
 }
 
 /// All three preset nodes, newest first.
@@ -139,20 +140,22 @@ pub fn all() -> Vec<TechnologyNode> {
 ///
 /// # Panics
 ///
-/// Panics if `node_nm` is not in `(10, 1000)`.
+/// Panics if the feature size is not in `(10, 1000)` nanometres.
 ///
 /// # Examples
 ///
 /// ```
 /// use ia_tech::{presets, WiringTier};
+/// use ia_units::Length;
 ///
-/// let n65 = presets::scaled(65.0);
+/// let n65 = presets::scaled(Length::from_nanometers(65.0));
 /// let n130 = presets::tsmc130();
 /// assert!(n65.layer(WiringTier::Local).width < n130.layer(WiringTier::Local).width);
 /// assert!(n65.gate_pitch() < n130.gate_pitch());
 /// ```
 #[must_use]
-pub fn scaled(node_nm: f64) -> TechnologyNode {
+pub fn scaled(feature_size: Length) -> TechnologyNode {
+    let node_nm = feature_size.nanometers();
     assert!(
         node_nm > 10.0 && node_nm < 1000.0,
         "scaled() supports 10..1000 nm"
@@ -168,8 +171,11 @@ pub fn scaled(node_nm: f64) -> TechnologyNode {
     };
     let template = tsmc130();
     TechnologyNodeBuilder::new(
-        format!("scaled{}", node_nm.round() as u64),
-        Length::from_nanometers(node_nm),
+        format!(
+            "scaled{}",
+            ia_units::convert::f64_to_u64_saturating(node_nm.round())
+        ),
+        feature_size,
     )
     .local(scale_layer(template.layer(crate::WiringTier::Local), s))
     .semi_global(scale_layer(
@@ -178,10 +184,10 @@ pub fn scaled(node_nm: f64) -> TechnologyNode {
     ))
     .global(scale_layer(template.layer(crate::WiringTier::Global), sg))
     .via_width_micrometers(0.19 * s, 0.26 * s, 0.36 * sg)
-    .expect("scaled via widths are positive")
+    .expect("scaled via widths are positive") // lint: no-panic (validated scale factor)
     .device(derived_device(node_nm))
     .build()
-    .expect("scaled node is complete")
+    .expect("scaled node is complete") // lint: no-panic (validated scale factor)
 }
 
 #[cfg(test)]
@@ -242,7 +248,7 @@ mod tests {
 
     #[test]
     fn scaled_node_interpolates_the_presets() {
-        let n130 = scaled(130.0);
+        let n130 = scaled(Length::from_nanometers(130.0));
         let reference = tsmc130();
         // At 130 nm the synthesizer reproduces the template geometry.
         for tier in WiringTier::ALL {
@@ -252,8 +258,8 @@ mod tests {
             assert!((a.thickness / b.thickness - 1.0).abs() < 1e-9, "{tier}");
         }
         // Scaling is monotone in the feature size.
-        let n65 = scaled(65.0);
-        let n250 = scaled(250.0);
+        let n65 = scaled(Length::from_nanometers(65.0));
+        let n250 = scaled(Length::from_nanometers(250.0));
         for tier in WiringTier::ALL {
             assert!(n65.layer(tier).pitch() < n130.layer(tier).pitch());
             assert!(n130.layer(tier).pitch() < n250.layer(tier).pitch());
@@ -268,7 +274,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "supports 10..1000")]
     fn scaled_rejects_absurd_nodes() {
-        let _ = scaled(5.0);
+        let _ = scaled(Length::from_nanometers(5.0));
     }
 
     #[test]

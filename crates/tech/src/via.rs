@@ -52,6 +52,7 @@ impl ViaGeometry {
     ///
     /// Returns [`TechError::NonPositiveDimension`] if the width or the
     /// factor is not strictly positive and finite.
+    // lint: raw-f64 (dimensionless enclosure factor)
     pub fn with_enclosure(width: Length, enclosure_factor: f64) -> Result<Self, TechError> {
         if !width.is_finite() || width.meters() <= 0.0 {
             return Err(TechError::NonPositiveDimension {

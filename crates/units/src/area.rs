@@ -22,12 +22,14 @@ quantity!(
 impl Area {
     /// Creates an area from square micrometres.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_square_micrometers(um2: f64) -> Self {
         Self::from_square_meters(um2 * 1e-12)
     }
 
     /// Creates an area from square millimetres.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_square_millimeters(mm2: f64) -> Self {
         Self::from_square_meters(mm2 * 1e-6)
     }

@@ -1,0 +1,96 @@
+//! Checked float→integer conversions.
+//!
+//! The workspace lint (`ia-lint`, rule `float-cast`) bans bare `as`
+//! float→integer casts outside tests: `as` truncates silently and its
+//! saturation/NaN behavior is easy to misremember at a call site.
+//! These helpers are the single audited home of the cast — every model
+//! crate that quantizes a real-valued result (repeater counts, bin
+//! representatives, table dimensions) routes through them, so the
+//! rounding and out-of-range policy is written down exactly once.
+//!
+//! The saturating variants mirror the semantics of Rust's own `as`
+//! cast (truncate toward zero, clamp to the target range, NaN → 0) but
+//! say so in their name; the checked variant refuses non-finite and
+//! out-of-range inputs instead.
+
+/// Truncates `x` toward zero into a `u64`, saturating.
+///
+/// Negative and NaN inputs map to 0; values at or above `2⁶⁴` map to
+/// `u64::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use ia_units::convert::f64_to_u64_saturating;
+///
+/// assert_eq!(f64_to_u64_saturating(3.9), 3);
+/// assert_eq!(f64_to_u64_saturating(-1.0), 0);
+/// assert_eq!(f64_to_u64_saturating(f64::NAN), 0);
+/// assert_eq!(f64_to_u64_saturating(1e300), u64::MAX);
+/// ```
+#[must_use]
+// lint: raw-f64 (conversion boundary: the input is dimensionless by definition)
+pub fn f64_to_u64_saturating(x: f64) -> u64 {
+    x as u64 // lint: float-cast (the one audited cast site)
+}
+
+/// Truncates `x` toward zero into a `usize`, saturating.
+///
+/// Negative and NaN inputs map to 0; values beyond the `usize` range
+/// map to `usize::MAX`.
+#[must_use]
+// lint: raw-f64 (conversion boundary: the input is dimensionless by definition)
+pub fn f64_to_usize_saturating(x: f64) -> usize {
+    x as usize // lint: float-cast (the one audited cast site)
+}
+
+/// Converts `x` to a `u64` if it is finite, non-negative and within
+/// range; truncates toward zero.
+///
+/// # Examples
+///
+/// ```
+/// use ia_units::convert::f64_to_u64_checked;
+///
+/// assert_eq!(f64_to_u64_checked(7.2), Some(7));
+/// assert_eq!(f64_to_u64_checked(-0.5), None);
+/// assert_eq!(f64_to_u64_checked(f64::INFINITY), None);
+/// ```
+#[must_use]
+// lint: raw-f64 (conversion boundary: the input is dimensionless by definition)
+pub fn f64_to_u64_checked(x: f64) -> Option<u64> {
+    // is_finite also rejects NaN; u64::MAX as f64 rounds up to 2⁶⁴,
+    // so require strictly below it.
+    (x.is_finite() && x >= 0.0 && x < u64::MAX as f64).then(|| f64_to_u64_saturating(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_u64_matches_as_cast_semantics() {
+        for x in [0.0, 0.4, 0.6, 1.0, 1.5, 255.9, 1e18] {
+            assert_eq!(f64_to_u64_saturating(x), x as u64);
+        }
+        assert_eq!(f64_to_u64_saturating(-3.0), 0);
+        assert_eq!(f64_to_u64_saturating(f64::NEG_INFINITY), 0);
+        assert_eq!(f64_to_u64_saturating(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_usize_truncates_toward_zero() {
+        assert_eq!(f64_to_usize_saturating(9.99), 9);
+        assert_eq!(f64_to_usize_saturating(-9.99), 0);
+        assert_eq!(f64_to_usize_saturating(f64::NAN), 0);
+    }
+
+    #[test]
+    fn checked_rejects_nonfinite_and_negative() {
+        assert_eq!(f64_to_u64_checked(42.0), Some(42));
+        assert_eq!(f64_to_u64_checked(0.0), Some(0));
+        assert_eq!(f64_to_u64_checked(-1e-9), None);
+        assert_eq!(f64_to_u64_checked(f64::NAN), None);
+        assert_eq!(f64_to_u64_checked(2e19), None);
+    }
+}

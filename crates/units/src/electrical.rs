@@ -74,6 +74,7 @@ quantity!(
 impl Resistance {
     /// Creates a resistance from kilo-ohms.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_kiloohms(kohm: f64) -> Self {
         Self::from_ohms(kohm * 1e3)
     }
@@ -88,12 +89,14 @@ impl Resistance {
 impl Capacitance {
     /// Creates a capacitance from femtofarads.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_femtofarads(ff: f64) -> Self {
         Self::from_farads(ff * 1e-15)
     }
 
     /// Creates a capacitance from picofarads.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_picofarads(pf: f64) -> Self {
         Self::from_farads(pf * 1e-12)
     }
@@ -171,6 +174,7 @@ impl Permittivity {
 
     /// Creates a permittivity from a relative (dimensionless) value.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_relative(k: f64) -> Self {
         Self(k)
     }

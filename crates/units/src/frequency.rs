@@ -22,12 +22,14 @@ quantity!(
 impl Frequency {
     /// Creates a frequency from megahertz.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_megahertz(mhz: f64) -> Self {
         Self::from_hertz(mhz * 1e6)
     }
 
     /// Creates a frequency from gigahertz.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_gigahertz(ghz: f64) -> Self {
         Self::from_hertz(ghz * 1e9)
     }

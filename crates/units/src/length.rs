@@ -26,18 +26,21 @@ quantity!(
 impl Length {
     /// Creates a length from micrometres.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_micrometers(um: f64) -> Self {
         Self::from_meters(um * 1e-6)
     }
 
     /// Creates a length from nanometres.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_nanometers(nm: f64) -> Self {
         Self::from_meters(nm * 1e-9)
     }
 
     /// Creates a length from millimetres.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_millimeters(mm: f64) -> Self {
         Self::from_meters(mm * 1e-3)
     }

@@ -33,6 +33,7 @@
 mod macros;
 
 mod area;
+pub mod convert;
 mod electrical;
 mod frequency;
 mod length;

@@ -20,12 +20,14 @@ quantity!(
 impl Time {
     /// Creates a time from picoseconds.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_picoseconds(ps: f64) -> Self {
         Self::from_seconds(ps * 1e-12)
     }
 
     /// Creates a time from nanoseconds.
     #[must_use]
+    // lint: raw-f64 (unit-boundary constructor)
     pub const fn from_nanoseconds(ns: f64) -> Self {
         Self::from_seconds(ns * 1e-9)
     }

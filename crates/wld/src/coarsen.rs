@@ -187,7 +187,7 @@ pub fn bin(wld: &Wld, max_spread: u64) -> Wld {
             return;
         }
         let mean_len = group.iter().map(|&(l, _)| l).sum::<u64>() as f64 / group.len() as f64;
-        let representative = mean_len.round().max(1.0) as u64;
+        let representative = ia_units::convert::f64_to_u64_saturating(mean_len.round().max(1.0));
         let count: u64 = group.iter().map(|&(_, c)| c).sum();
         *merged.entry(representative).or_insert(0) += count;
         group.clear();
@@ -203,6 +203,7 @@ pub fn bin(wld: &Wld, max_spread: u64) -> Wld {
     }
     flush(&mut group, &mut merged);
 
+    // lint: no-panic (structure-preserving rebuild)
     Wld::from_pairs(merged).expect("binning a valid distribution yields a valid distribution")
 }
 

@@ -37,6 +37,7 @@ use crate::RentParameters;
 /// assert!(near > far); // short wires dominate
 /// ```
 #[must_use]
+// lint: raw-f64 (real-domain Davis integrand)
 pub fn unnormalized_density(l: f64, n: f64, rent: &RentParameters) -> f64 {
     let sqrt_n = n.sqrt();
     if l < 1.0 || l > 2.0 * sqrt_n {
@@ -58,8 +59,9 @@ pub fn unnormalized_density(l: f64, n: f64, rent: &RentParameters) -> f64 {
 /// Counts are real-valued; [`crate::WldSpec::generate`] rounds them to
 /// integers while preserving the total.
 #[must_use]
+// lint: raw-f64 (real-valued gate count, Davis closed form)
 pub fn normalized_counts(n: f64, rent: &RentParameters) -> Vec<f64> {
-    let l_max = (2.0 * n.sqrt()).floor() as usize;
+    let l_max = ia_units::convert::f64_to_usize_saturating((2.0 * n.sqrt()).floor());
     let mut raw: Vec<f64> = (1..=l_max)
         .map(|l| unnormalized_density(l as f64, n, rent))
         .collect();

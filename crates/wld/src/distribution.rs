@@ -152,6 +152,7 @@ impl Wld {
         for (l, c) in other.iter() {
             *counts.entry(l).or_insert(0) += c;
         }
+        // lint: no-panic (structure-preserving rebuild)
         Wld::from_pairs(counts).expect("merging two valid distributions is valid")
     }
 

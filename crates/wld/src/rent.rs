@@ -38,6 +38,7 @@ impl RentParameters {
     ///
     /// Returns [`WldError::InvalidParameter`] if `p ∉ (0, 1)`, `k ≤ 0`,
     /// or `fanout ≤ 0`, or if any value is not finite.
+    // lint: raw-f64 (dimensionless Rent constants)
     pub fn new(p: f64, k: f64, fanout: f64) -> Result<Self, WldError> {
         if !p.is_finite() || p <= 0.0 || p >= 1.0 {
             return Err(WldError::InvalidParameter {
@@ -69,6 +70,7 @@ impl RentParameters {
 
     /// Terminal count `k·N^p` of a block of `n` gates.
     #[must_use]
+    // lint: raw-f64 (real-valued gate count, Davis closed form)
     pub fn terminals(&self, n: f64) -> f64 {
         self.k * n.powf(self.p)
     }
@@ -76,6 +78,7 @@ impl RentParameters {
     /// Total number of on-chip two-terminal connections of an `n`-gate
     /// design: `α·k·n·(1 − n^(p−1))`.
     #[must_use]
+    // lint: raw-f64 (real-valued gate count, Davis closed form)
     pub fn total_interconnects(&self, n: f64) -> f64 {
         self.alpha() * self.k * n * (1.0 - n.powf(self.p - 1.0))
     }

@@ -81,10 +81,11 @@ impl WldSpec {
             .iter()
             .enumerate()
             .filter_map(|(idx, &expected)| {
-                let count = expected.round() as u64;
+                let count = ia_units::convert::f64_to_u64_saturating(expected.round());
                 (count > 0).then_some(((idx + 1) as u64, count))
             })
             .collect::<Vec<_>>();
+        // lint: no-panic (guaranteed by the validated >= 16 gate floor)
         Wld::from_pairs(pairs).expect("davis generation yields a non-empty valid distribution")
     }
 }

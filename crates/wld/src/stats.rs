@@ -66,10 +66,11 @@ impl WldStats {
 /// # Ok::<(), ia_wld::WldError>(())
 /// ```
 #[must_use]
+// lint: raw-f64 (dimensionless quantile)
 pub fn percentile(wld: &Wld, q: f64) -> u64 {
     let q = q.clamp(0.0, 1.0);
     let total = wld.total_wires();
-    let threshold = (q * total as f64).ceil().max(1.0) as u64;
+    let threshold = ia_units::convert::f64_to_u64_saturating((q * total as f64).ceil().max(1.0));
     let mut cumulative = 0u64;
     for (length, count) in wld.iter() {
         cumulative += count;

@@ -1,0 +1,83 @@
+//! Diagnostic records and output rendering (text and JSON).
+
+use std::path::PathBuf;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the linted root.
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name (`no-panic`, `raw-f64`, …).
+    pub rule: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    #[must_use]
+    pub fn new(file: PathBuf, line: usize, rule: &str, message: String) -> Self {
+        Diagnostic {
+            file,
+            line,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+}
+
+/// Renders diagnostics in the `file:line: rule: message` format.
+#[must_use]
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: {}: {}\n",
+            d.file.display(),
+            d.line,
+            d.rule,
+            d.message
+        ));
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array of objects with `file`, `line`,
+/// `rule` and `message` fields.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&d.file.display().to_string()),
+            d.line,
+            escape(&d.rule),
+            escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,211 @@
+//! `ia-lint`: a zero-dependency static-analysis pass for the
+//! interconnect-rank workspace.
+//!
+//! The rank solver's correctness rests on invariants that `rustc`
+//! cannot see: physical quantities must travel in `ia-units` newtypes,
+//! model crates must not panic on library paths, and non-finite
+//! sentinels must never escape unguarded. This pass walks the
+//! workspace source (std-only — the build environment has no network
+//! route to crates.io) and enforces five domain rules:
+//!
+//! * **L1 `crate-header`** — every lib crate declares
+//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! * **L2 `no-panic`** — no `.unwrap()` / `.expect(...)` / `panic!`
+//!   in non-test code of the model crates.
+//! * **L3 `raw-f64`** — no raw `f64` parameters in `pub fn`
+//!   signatures of the model crates; quantities use `ia-units`
+//!   newtypes.
+//! * **L4 `float-cast`** — no `as` float→int casts outside tests.
+//! * **L5 `nonfinite`** — every `f64::INFINITY` / `f64::NAN` literal
+//!   sits within three lines of an `is_finite` / `is_nan` /
+//!   `is_infinite` guard.
+//!
+//! Any rule can be waived on a specific line with a
+//! `// lint: <rule-name>` comment; see `docs/linting.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod rules;
+mod source;
+
+pub use diag::{render_json, render_text, Diagnostic};
+pub use source::SourceFile;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose public APIs model physical quantities; rules L2 and L3
+/// apply only to these.
+pub const MODEL_CRATES: &[&str] = &["units", "tech", "rc", "wld", "delay", "arch", "core"];
+
+/// Directory names never linted (third-party shims, build output).
+const SKIPPED_DIRS: &[&str] = &["vendor", "target", "xtask", ".git"];
+
+/// Directory names whose contents count as test code.
+const TEST_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+/// One crate discovered in the workspace tree.
+#[derive(Debug)]
+pub struct CrateSource {
+    /// Crate directory name (`core`, `units`, …) or the package name
+    /// for the workspace-root facade crate.
+    pub name: String,
+    /// `src/lib.rs` if the crate has a library target.
+    pub lib_root: Option<PathBuf>,
+    /// All `.rs` files under the crate, with their test-ness.
+    pub files: Vec<(PathBuf, bool)>,
+}
+
+impl CrateSource {
+    /// Whether rules L2/L3 apply to this crate.
+    #[must_use]
+    pub fn is_model_crate(&self) -> bool {
+        MODEL_CRATES.contains(&self.name.as_str())
+    }
+}
+
+/// Discovers the crates of the workspace rooted at `root`.
+///
+/// Recognized layout: `crates/<name>/` for member crates plus an
+/// optional root facade crate with `src/`. `vendor/`, `target/` and
+/// `xtask` are skipped.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walks.
+pub fn discover(root: &Path) -> io::Result<Vec<CrateSource>> {
+    let mut crates = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIPPED_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            if let Some(krate) = collect_crate(&dir, &name)? {
+                crates.push(krate);
+            }
+        }
+    }
+
+    // Workspace-root facade crate.
+    if root.join("src").is_dir() {
+        if let Some(mut krate) = collect_crate(root, "(root)")? {
+            // The root tests/, benches/ and examples/ belong to the
+            // facade crate and were collected by collect_crate.
+            krate.name = "(root)".to_string();
+            crates.push(krate);
+        }
+    }
+
+    Ok(crates)
+}
+
+/// Collects the `.rs` files of one crate directory.
+fn collect_crate(dir: &Path, name: &str) -> io::Result<Option<CrateSource>> {
+    let src = dir.join("src");
+    if !src.is_dir() {
+        return Ok(None);
+    }
+    let mut files = Vec::new();
+    walk_rs(&src, false, &mut files)?;
+    for test_dir in TEST_DIRS {
+        let d = dir.join(test_dir);
+        if d.is_dir() {
+            walk_rs(&d, true, &mut files)?;
+        }
+    }
+    files.sort();
+    let lib_root = src.join("lib.rs");
+    Ok(Some(CrateSource {
+        name: name.to_string(),
+        lib_root: lib_root.is_file().then_some(lib_root),
+        files,
+    }))
+}
+
+fn walk_rs(dir: &Path, in_tests: bool, out: &mut Vec<(PathBuf, bool)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let dir_name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIPPED_DIRS.contains(&dir_name.as_str()) {
+                continue;
+            }
+            walk_rs(&path, in_tests, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path, in_tests));
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root`, returning all diagnostics
+/// sorted by file and line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; unreadable files become diagnostics
+/// rather than aborting the pass.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for krate in discover(root)? {
+        lint_crate(root, &krate, &mut diags);
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+fn lint_crate(root: &Path, krate: &CrateSource, diags: &mut Vec<Diagnostic>) {
+    for (path, in_test_dir) in &krate.files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                diags.push(Diagnostic::new(
+                    rel,
+                    1,
+                    "io",
+                    format!("unreadable file: {e}"),
+                ));
+                continue;
+            }
+        };
+        let file = SourceFile::parse(&text);
+
+        let is_lib_root = krate.lib_root.as_deref() == Some(path.as_path());
+        if is_lib_root {
+            rules::check_crate_header(&rel, &file, diags);
+        }
+        if krate.is_model_crate() && !in_test_dir {
+            rules::check_no_panic(&rel, &file, &krate.name, diags);
+            rules::check_raw_f64(&rel, &file, &krate.name, diags);
+        }
+        if !in_test_dir {
+            rules::check_float_cast(&rel, &file, diags);
+            rules::check_nonfinite(&rel, &file, diags);
+        }
+    }
+}

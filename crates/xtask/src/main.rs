@@ -1,0 +1,94 @@
+//! `ia-lint` command-line entry point.
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! ```
+//!
+//! Exits 0 on a clean workspace, 1 when any rule fires, 2 on usage or
+//! I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ia-lint lint [--format text|json] [--root PATH]\n\
+         \n\
+         Walks the workspace source and enforces the domain rules\n\
+         L1 crate-header, L2 no-panic, L3 raw-f64, L4 float-cast,\n\
+         L5 nonfinite. See docs/linting.md."
+    );
+    ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p xtask`, the manifest dir is
+    // `<workspace>/crates/xtask`; fall back to the current directory
+    // for a standalone invocation.
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "text".to_string();
+    let mut root = default_root();
+    let mut command = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "lint" if command.is_none() => command = Some("lint"),
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => return usage(),
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    if command != Some("lint") {
+        return usage();
+    }
+
+    if !root.is_dir() {
+        eprintln!("ia-lint: root {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let diags = match xtask::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ia-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", xtask::render_json(&diags)),
+        _ => {
+            print!("{}", xtask::render_text(&diags));
+            if diags.is_empty() {
+                eprintln!("ia-lint: clean ({} rules)", 5);
+            } else {
+                eprintln!("ia-lint: {} finding(s)", diags.len());
+            }
+        }
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,273 @@
+//! The five lint rules (L1–L5). See the crate docs for the rationale
+//! behind each and `docs/linting.md` for the user-facing description.
+
+use crate::diag::Diagnostic;
+use crate::source::{is_float_literal, SourceFile};
+use std::path::Path;
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// L1 `crate-header`: a lib crate root must carry
+/// `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+pub fn check_crate_header(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let has = |needle: &str| {
+        file.code_lines
+            .iter()
+            .any(|l| l.replace(' ', "").contains(needle))
+    };
+    if !has("#![forbid(unsafe_code)]") {
+        diags.push(Diagnostic::new(
+            rel.to_path_buf(),
+            1,
+            "crate-header",
+            "lib crate must declare `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !has("#![warn(missing_docs)]") && !has("#![deny(missing_docs)]") {
+        diags.push(Diagnostic::new(
+            rel.to_path_buf(),
+            1,
+            "crate-header",
+            "lib crate must declare `#![warn(missing_docs)]`".to_string(),
+        ));
+    }
+}
+
+/// L2 `no-panic`: no `.unwrap()` / `.expect(...)` / `panic!` in
+/// non-test code of a model crate.
+pub fn check_no_panic(rel: &Path, file: &SourceFile, krate: &str, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test_code(t.line) || file.waived(t.line, "no-panic") {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "unwrap" | "expect" | "unwrap_err" | "expect_err"
+                if i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                format!("`.{}()`", t.text)
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|n| n.text == "!") =>
+            {
+                format!("`{}!`", t.text)
+            }
+            _ => continue,
+        };
+        diags.push(Diagnostic::new(
+            rel.to_path_buf(),
+            t.line,
+            "no-panic",
+            format!(
+                "{what} in non-test code of model crate `{krate}`; return a typed error \
+                 instead (waive with `// lint: no-panic`)"
+            ),
+        ));
+    }
+}
+
+/// L3 `raw-f64`: no raw `f64` parameters in `pub fn` signatures of a
+/// model crate — quantities must use `ia-units` newtypes.
+pub fn check_raw_f64(rel: &Path, file: &SourceFile, krate: &str, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `pub [(...)]? [const|async|unsafe|extern ".."]* fn name`.
+        if toks[i].text != "pub" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            // pub(crate) / pub(super) restriction: not a public API.
+            i = j;
+            continue;
+        }
+        while toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern"))
+        {
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|t| t.text != "fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[j].line;
+        let fn_name = toks.get(j + 1).map_or(String::new(), |t| t.text.clone());
+        // Skip generics to the parameter list.
+        let mut k = j + 2;
+        if toks.get(k).is_some_and(|t| t.text == "<") {
+            let mut depth = 0i64;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if toks.get(k).is_none_or(|t| t.text != "(") {
+            i = k;
+            continue;
+        }
+        // Scan the parameter list for `: f64` at top nesting depth.
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        while k < toks.len() {
+            let t = &toks[k];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ":" if depth == 1
+                    && angle == 0
+                    && toks.get(k.wrapping_sub(1)).is_some_and(|p| p.text != ":")
+                    && toks.get(k + 1).is_some_and(|n| n.text != ":") =>
+                {
+                    // Type position of a top-level parameter. Flag a
+                    // bare `f64` (allowing `&`/`mut` prefixes only).
+                    let mut ty = k + 1;
+                    while toks
+                        .get(ty)
+                        .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut" | "'"))
+                    {
+                        ty += 1;
+                    }
+                    let is_bare_f64 = toks.get(ty).is_some_and(|t| t.text == "f64")
+                        && toks
+                            .get(ty + 1)
+                            .is_none_or(|n| n.text == "," || n.text == ")");
+                    if is_bare_f64 {
+                        let line = toks[ty].line;
+                        if !file.in_test_code(line)
+                            && !file.waived(line, "raw-f64")
+                            && !file.waived(fn_line, "raw-f64")
+                        {
+                            diags.push(Diagnostic::new(
+                                rel.to_path_buf(),
+                                line,
+                                "raw-f64",
+                                format!(
+                                    "raw `f64` parameter in `pub fn {fn_name}` of model crate \
+                                     `{krate}`; use an `ia-units` newtype (waive with \
+                                     `// lint: raw-f64`)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+}
+
+/// L4 `float-cast`: no `as` float→int casts outside tests.
+///
+/// Textual heuristic: an `as <integer-type>` token pair is flagged when
+/// the cast source shows float provenance — the preceding token is a
+/// float literal, or the line up to the cast mentions `f64`/`f32` or a
+/// float-producing method (`floor`, `ceil`, `round`, `trunc`, `sqrt`,
+/// `ln`, `log2`, `exp`, `powi`, `powf`).
+pub fn check_float_cast(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    const FLOAT_METHODS: &[&str] = &[
+        ".floor", ".ceil", ".round", ".trunc", ".sqrt", ".ln", ".log2", ".exp", ".powi", ".powf",
+    ];
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "as" {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !INT_TYPES.contains(&target.text.as_str()) {
+            continue;
+        }
+        if file.in_test_code(t.line) || file.waived(t.line, "float-cast") {
+            continue;
+        }
+        let prev_is_float = i > 0 && is_float_literal(&toks[i - 1].text);
+        let line_text = file.code_line(t.line);
+        let line_has_float = line_text.contains("f64")
+            || line_text.contains("f32")
+            || FLOAT_METHODS.iter().any(|m| line_text.contains(m))
+            || toks[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.line == t.line)
+                .any(|p| is_float_literal(&p.text));
+        if prev_is_float || line_has_float {
+            diags.push(Diagnostic::new(
+                rel.to_path_buf(),
+                t.line,
+                "float-cast",
+                format!(
+                    "float→int `as {}` cast truncates silently; use a checked conversion \
+                     (waive with `// lint: float-cast`)",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L5 `nonfinite`: `f64::INFINITY` / `f64::NEG_INFINITY` / `f64::NAN`
+/// literals must sit within three lines of an `is_finite` / `is_nan` /
+/// `is_infinite` guard.
+pub fn check_nonfinite(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(t.text.as_str(), "INFINITY" | "NEG_INFINITY" | "NAN") {
+            continue;
+        }
+        // Require the `f64 :: :: <name>` path prefix.
+        let path_ok = i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && matches!(toks[i - 3].text.as_str(), "f64" | "f32");
+        if !path_ok {
+            continue;
+        }
+        if file.in_test_code(t.line) || file.waived(t.line, "nonfinite") {
+            continue;
+        }
+        let guarded = (t.line.saturating_sub(3)..=t.line + 3).any(|l| {
+            let text = file.code_line(l);
+            text.contains("is_finite") || text.contains("is_nan") || text.contains("is_infinite")
+        });
+        if !guarded {
+            diags.push(Diagnostic::new(
+                rel.to_path_buf(),
+                t.line,
+                "nonfinite",
+                format!(
+                    "`f64::{}` literal without an `is_finite`/`is_nan` guard within 3 lines; \
+                     map the sentinel to an explicit representation (waive with \
+                     `// lint: nonfinite`)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Lightweight Rust source model: comment/string stripping, waiver
+//! extraction, tokenizing and `#[cfg(test)]` span detection.
+//!
+//! This is not a real parser — it is a line-faithful lexer that is
+//! exact about the three things the rules need: which characters are
+//! code (not comments or string contents), which lines carry
+//! `// lint: <rule>` waivers, and which lines sit inside
+//! `#[cfg(test)]` items.
+
+use std::collections::HashSet;
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (identifier, number literal, or single punctuation
+    /// character; string literals collapse to `""`).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+/// A parsed source file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Per-line code text with comments removed and string literal
+    /// contents blanked (1-indexed via `line - 1`).
+    pub code_lines: Vec<String>,
+    /// Flat token stream of the code text.
+    pub tokens: Vec<Token>,
+    /// Lines carrying a `// lint: <rule>` waiver, keyed by rule name.
+    waivers: Vec<(usize, String)>,
+    /// 1-indexed lines inside `#[cfg(test)]` items.
+    test_lines: HashSet<usize>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a [`SourceFile`].
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let (code_lines, waivers) = strip(text);
+        let tokens = tokenize(&code_lines);
+        let test_lines = find_test_lines(&tokens);
+        SourceFile {
+            code_lines,
+            tokens,
+            waivers,
+            test_lines,
+        }
+    }
+
+    /// Whether `line` (1-indexed) carries a waiver for `rule`.
+    #[must_use]
+    pub fn waived(&self, line: usize, rule: &str) -> bool {
+        self.waivers
+            .iter()
+            .any(|(l, r)| *l == line && (r == rule || r == "all"))
+    }
+
+    /// Whether `line` (1-indexed) is inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// The code text of `line` (1-indexed), or `""` out of range.
+    #[must_use]
+    pub fn code_line(&self, line: usize) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.code_lines.get(i))
+            .map_or("", String::as_str)
+    }
+}
+
+/// Removes comments and string contents; collects waiver comments.
+#[allow(unused_assignments)] // the final flush's state reset is intentionally dead
+fn strip(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut waivers = Vec::new();
+    let mut cur = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut chars = text.chars().peekable();
+
+    macro_rules! flush_line {
+        ($line_no:expr) => {{
+            if state == State::LineComment {
+                if let Some(rule) = parse_waiver(&comment) {
+                    // A waiver comment on a line of its own covers the
+                    // next line (attribute style, rustfmt-stable);
+                    // a trailing waiver covers its own line.
+                    let target = if cur.trim().is_empty() {
+                        $line_no + 1
+                    } else {
+                        $line_no
+                    };
+                    waivers.push((target, rule));
+                }
+                comment.clear();
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+        }};
+    }
+
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            flush_line!(lines.len() + 1);
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    state = State::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    state = State::BlockComment(1);
+                }
+                '"' => {
+                    // Raw strings: r"..." / r#"..."# / br"..." handled
+                    // by lookbehind on the accumulated code text.
+                    cur.push('"');
+                    state = State::Str;
+                }
+                'r' | 'b' if is_raw_string_start(&mut chars, c) => {
+                    let mut hashes = 0u32;
+                    cur.push(c);
+                    while chars.peek() == Some(&'#') {
+                        chars.next();
+                        hashes += 1;
+                    }
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                        state = State::RawStr(hashes);
+                    } else {
+                        // `r#ident` raw identifier: emit the hashes back.
+                        for _ in 0..hashes {
+                            cur.push('#');
+                        }
+                    }
+                }
+                '\'' => {
+                    // Either a char literal or a lifetime. Lifetimes are
+                    // `'ident` not followed by a closing quote.
+                    cur.push('\'');
+                    let mut lookahead = chars.clone();
+                    match (lookahead.next(), lookahead.next()) {
+                        // 'x' style char literal (not '\'' escape).
+                        (Some(a), Some('\'')) if a != '\\' => state = State::Char,
+                        (Some('\\'), _) => state = State::Char,
+                        _ => {} // lifetime: keep lexing as code
+                    }
+                }
+                _ => cur.push(c),
+            },
+            State::LineComment => comment.push(c),
+            State::BlockComment(depth) => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    state = State::BlockComment(depth + 1);
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    cur.push('"');
+                    state = State::Code;
+                }
+                _ => {}
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut lookahead = chars.clone();
+                    let mut seen = 0u32;
+                    while seen < hashes && lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        cur.push('"');
+                        state = State::Code;
+                    }
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    chars.next();
+                } else if c == '\'' {
+                    cur.push('\'');
+                    state = State::Code;
+                }
+            }
+        }
+    }
+    flush_line!(lines.len() + 1);
+    (lines, waivers)
+}
+
+/// Peeks whether `r`/`b` starts a raw string (`r"`, `r#`, `br"`, …).
+fn is_raw_string_start(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, c: char) -> bool {
+    let mut lookahead = chars.clone();
+    if c == 'b' {
+        match lookahead.peek() {
+            Some('r') => {
+                lookahead.next();
+            }
+            Some('"') => return true, // b"..." byte string
+            _ => return false,
+        }
+    }
+    matches!(lookahead.peek(), Some('"' | '#'))
+}
+
+/// Parses `lint: <rule> [justification]` out of a line comment's text.
+/// Everything after the rule name is free-form justification.
+fn parse_waiver(comment: &str) -> Option<String> {
+    let trimmed = comment.trim_start_matches(['/', '!']).trim();
+    let rest = trimmed.strip_prefix("lint:")?;
+    let rule = rest.split_whitespace().next().unwrap_or("");
+    (!rule.is_empty()).then(|| rule.to_string())
+}
+
+/// Tokenizes stripped code lines into identifiers, number literals and
+/// single-character punctuation.
+fn tokenize(code_lines: &[String]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (idx, line) in code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: bytes[start..i].iter().collect(),
+                    line: line_no,
+                });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && i + 1 < bytes.len()
+                        && bytes[i + 1].is_ascii_digit()
+                        && bytes
+                            .get(i.wrapping_sub(1))
+                            .is_some_and(char::is_ascii_digit)
+                    {
+                        // Decimal point inside a float (not `1..10`).
+                        i += 1;
+                    } else if (d == '+' || d == '-') && matches!(bytes.get(i - 1), Some('e' | 'E'))
+                    {
+                        // Exponent sign.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    text: bytes[start..i].iter().collect(),
+                    line: line_no,
+                });
+            } else {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line: line_no,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Whether a token looks like a float literal (`1.5`, `1e3`, `2f64`).
+#[must_use]
+pub fn is_float_literal(text: &str) -> bool {
+    let Some(first) = text.chars().next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f64")
+        || text.ends_with("f32")
+        || text.contains(['e', 'E'])
+}
+
+/// Marks the 1-indexed lines belonging to `#[cfg(test)]` items.
+fn find_test_lines(tokens: &[Token]) -> HashSet<usize> {
+    let mut test_lines = HashSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the opening brace of the annotated item, then its
+            // matching close, marking every line in between.
+            let mut j = i;
+            let mut depth = 0i64;
+            let mut opened = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if !opened && depth == 0 && j > i + 5 => {
+                        // `#[cfg(test)] use ...;` — a single statement.
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = tokens.get(j).map_or(usize::MAX, |t| t.line);
+            for t in &tokens[i..=j.min(tokens.len() - 1)] {
+                test_lines.insert(t.line);
+            }
+            for line in tokens[i].line..=end_line.min(tokens[i].line + 100_000) {
+                test_lines.insert(line);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    test_lines
+}
+
+/// Matches `# [ cfg ( test ) ]` starting at token `i`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let texts: Vec<&str> = tokens[i..]
+        .iter()
+        .take(7)
+        .map(|t| t.text.as_str())
+        .collect();
+    texts == ["#", "[", "cfg", "(", "test", ")", "]"]
+}

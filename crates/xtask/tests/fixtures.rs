@@ -1,0 +1,140 @@
+//! Fixture tests for `ia-lint`: each tree under `tests/fixtures/`
+//! seeds exactly the violations one rule should catch (plus waived and
+//! test-code decoys that must stay silent), and the `clean` tree plus
+//! the real workspace must produce no findings at all.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{lint_workspace, Diagnostic};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    lint_workspace(&fixture(name)).expect("fixture tree is readable")
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let diags = lint_fixture("clean");
+    assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root).expect("workspace is readable");
+    assert!(diags.is_empty(), "workspace findings: {diags:?}");
+}
+
+#[test]
+fn l1_missing_headers_are_both_reported() {
+    let diags = lint_fixture("crate_header");
+    assert_eq!(diags.len(), 2, "got {diags:?}");
+    for d in &diags {
+        assert_eq!(d.file, Path::new("crates/demo/src/lib.rs"));
+        assert_eq!(d.line, 1);
+        assert_eq!(d.rule, "crate-header");
+    }
+    assert!(diags[0].message.contains("#![forbid(unsafe_code)]"));
+    assert!(diags[1].message.contains("#![warn(missing_docs)]"));
+}
+
+#[test]
+fn l2_panics_on_library_paths_are_reported() {
+    let diags = lint_fixture("no_panic");
+    assert_eq!(diags.len(), 2, "got {diags:?}");
+    assert_eq!(diags[0].file, Path::new("crates/core/src/lib.rs"));
+    assert_eq!(diags[0].line, 9);
+    assert_eq!(diags[0].rule, "no-panic");
+    assert!(diags[0].message.contains("`.unwrap()`"));
+    assert!(diags[0].message.contains("model crate `core`"));
+    assert_eq!(diags[1].line, 14);
+    assert!(diags[1].message.contains("`panic!`"));
+}
+
+#[test]
+fn l3_raw_f64_params_are_reported() {
+    let diags = lint_fixture("raw_f64");
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].file, Path::new("crates/tech/src/lib.rs"));
+    assert_eq!(diags[0].line, 8);
+    assert_eq!(diags[0].rule, "raw-f64");
+    assert!(diags[0].message.contains("`pub fn scale`"));
+    assert!(diags[0].message.contains("model crate `tech`"));
+}
+
+#[test]
+fn l4_float_casts_are_reported() {
+    let diags = lint_fixture("float_cast");
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].file, Path::new("crates/demo/src/lib.rs"));
+    assert_eq!(diags[0].line, 9);
+    assert_eq!(diags[0].rule, "float-cast");
+    assert!(diags[0].message.contains("`as u64`"));
+}
+
+#[test]
+fn l5_unguarded_nonfinite_literals_are_reported() {
+    let diags = lint_fixture("nonfinite");
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].file, Path::new("crates/demo/src/lib.rs"));
+    assert_eq!(diags[0].line, 9);
+    assert_eq!(diags[0].rule, "nonfinite");
+    assert!(diags[0].message.contains("`f64::INFINITY`"));
+}
+
+#[test]
+fn cli_exit_codes_and_text_format() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+
+    let clean = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("runs");
+    assert!(clean.status.success(), "clean fixture must exit 0");
+    assert!(String::from_utf8_lossy(&clean.stderr).contains("clean"));
+
+    let dirty = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(fixture("no_panic"))
+        .output()
+        .expect("runs");
+    assert_eq!(dirty.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:9: no-panic:"),
+        "text format is `file:line: rule: message`, got: {stdout}"
+    );
+
+    let usage = Command::new(bin).output().expect("runs");
+    assert_eq!(usage.status.code(), Some(2), "missing command must exit 2");
+
+    let missing = Command::new(bin)
+        .args(["lint", "--root", "/nonexistent/ia-lint-root"])
+        .output()
+        .expect("runs");
+    assert_eq!(missing.status.code(), Some(2), "missing root must exit 2");
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("not a directory"));
+}
+
+#[test]
+fn cli_json_format_lists_each_finding() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let out = Command::new(bin)
+        .args(["lint", "--format", "json", "--root"])
+        .arg(fixture("raw_f64"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.contains("\"rule\": \"raw-f64\""));
+    assert!(stdout.contains("\"line\": 8"));
+    assert!(stdout.contains("crates/tech/src/lib.rs"));
+}

@@ -1,0 +1,46 @@
+//! Clean fixture: a model crate that satisfies every rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Doubles a wire count. Integer parameters are always fine.
+#[must_use]
+pub fn double(wires: u64) -> u64 {
+    wires * 2
+}
+
+/// A waived boundary constructor: raw `f64` with justification.
+#[must_use]
+pub fn from_ratio(r: f64) -> u64 { // lint: raw-f64 (dimensionless fixture ratio)
+    if r.is_finite() && r > 0.0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// The standalone waiver form: the comment line covers the next line.
+#[must_use]
+// lint: raw-f64 (dimensionless fixture ratio)
+pub fn from_ratio_above(r: f64) -> u64 {
+    u64::from(r > 0.5)
+}
+
+/// A `lint: all` waiver silences every rule on the line.
+#[must_use]
+pub fn worst() -> f64 {
+    f64::INFINITY // lint: all (fixture sentinel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<u64> = Some(double(2));
+        assert_eq!(v.unwrap(), 4);
+        let n = 3.7_f64 as u64;
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture: lib crate missing both required header attributes.
+
+/// Nothing else is wrong with this crate.
+pub fn noop() {}

@@ -1,0 +1,22 @@
+//! Fixture: float→int `as` casts outside tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Truncating cast of a float expression: flagged.
+#[must_use]
+pub fn quantize(x: f64) -> u64 {
+    x.floor() as u64
+}
+
+/// Waived cast: not flagged.
+#[must_use]
+pub fn quantize_waived(x: f64) -> u64 {
+    x.floor() as u64 // lint: float-cast (fixture waiver)
+}
+
+/// Integer→integer casts are not the lint's business.
+#[must_use]
+pub fn widen(n: u32) -> u64 {
+    n as u64
+}

@@ -1,0 +1,30 @@
+//! Fixture: panics on library paths of a model crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Unwraps on a library path: flagged.
+#[must_use]
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+/// Panics on a library path: flagged.
+pub fn boom() {
+    panic!("should have been a typed error");
+}
+
+/// Waived expect: not flagged.
+#[must_use]
+pub fn checked(v: &[u64]) -> u64 {
+    *v.first().expect("fixture invariant") // lint: no-panic (fixture waiver)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

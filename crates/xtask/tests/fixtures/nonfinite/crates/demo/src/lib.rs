@@ -1,0 +1,26 @@
+//! Fixture: unguarded non-finite sentinels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Unguarded `f64::INFINITY` sentinel: flagged.
+#[must_use]
+pub fn worst_case() -> f64 {
+    f64::INFINITY
+}
+
+/// Guarded within three lines: not flagged.
+#[must_use]
+pub fn guarded(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Waived sentinel: not flagged.
+#[must_use]
+pub fn waived() -> f64 {
+    f64::NAN // lint: nonfinite (fixture waiver)
+}

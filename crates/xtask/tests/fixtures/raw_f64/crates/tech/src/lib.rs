@@ -1,0 +1,27 @@
+//! Fixture: raw `f64` parameters in a model crate's public API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Raw `f64` parameter: flagged.
+#[must_use]
+pub fn scale(factor: f64) -> f64 {
+    factor * 2.0
+}
+
+/// Waived raw `f64` parameter: not flagged.
+#[must_use]
+pub fn ratio(r: f64) -> f64 { // lint: raw-f64 (dimensionless fixture ratio)
+    r
+}
+
+/// Crate-private functions are not part of the public API: not flagged.
+pub(crate) fn internal(x: f64) -> f64 {
+    x
+}
+
+/// Return types and non-f64 parameters are fine.
+#[must_use]
+pub fn wires(count: u64) -> f64 {
+    count as f64
+}

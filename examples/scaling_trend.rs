@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "node", "die (mm²)", "rank", "normalized", "frontier"
     );
     for nm in [180.0, 150.0, 130.0, 110.0, 90.0, 65.0] {
-        let node = tech::presets::scaled(nm);
+        let node = tech::presets::scaled(units::Length::from_nanometers(nm));
         let architecture = arch::Architecture::baseline(&node);
         let problem = rank::RankProblem::builder(&node, &architecture)
             .wld_spec(spec)

@@ -116,7 +116,7 @@ fn sensitivity_report_covers_all_knobs_consistently() {
     let baseline = report[0].baseline_normalized;
     for s in &report {
         assert_eq!(s.baseline_normalized, baseline);
-        assert!(s.elasticity.is_finite());
+        assert!(s.elasticity.value().is_some_and(f64::is_finite));
     }
 }
 

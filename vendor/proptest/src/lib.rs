@@ -1,0 +1,429 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this std-only mini-implementation of the proptest
+//! API surface the tests actually use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection`] strategies, [`prop_oneof!`],
+//! [`strategy::Just`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the case index and seed;
+//!   inputs are reproduced by the deterministic per-test seed rather
+//!   than minimized.
+//! * **Deterministic.** The RNG seed is derived from the test name and
+//!   case index, so runs are reproducible without a regression file
+//!   (`.proptest-regressions` files are ignored).
+//! * `PROPTEST_CASES` in the environment overrides the case count,
+//!   exactly like real proptest.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case execution: configuration, RNG and error plumbing.
+
+    /// Error raised by a single test case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case's preconditions were not met (`prop_assume!`); the
+        /// case is discarded without counting as a failure.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection from a message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        fn env_cases() -> Option<u32> {
+            std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+        }
+
+        /// The effective case count (environment override included).
+        #[must_use]
+        pub fn effective_cases(&self) -> u32 {
+            Self::env_cases().unwrap_or(self.cases).max(1)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic xorshift64* RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds the RNG; a zero seed is remapped to a fixed constant.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            })
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform `u64` in `[lo, hi)`; `lo` when the range is empty.
+        pub fn gen_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            if hi <= lo {
+                return lo;
+            }
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        /// Uniform `i64` in `[lo, hi)`; `lo` when the range is empty.
+        pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
+            if hi <= lo {
+                return lo;
+            }
+            let span = hi.wrapping_sub(lo) as u64;
+            lo.wrapping_add((self.next_u64() % span) as i64)
+        }
+
+        /// Uniform `f64` in `[lo, hi)`.
+        pub fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + (hi - lo) * unit
+        }
+    }
+
+    /// Hashes a test name into a stable base seed.
+    #[must_use]
+    pub fn seed_for(name: &str, case: u64) -> u64 {
+        // FNV-1a over the name, mixed with the case index (splitmix64).
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = h.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (`Vec`, `BTreeMap`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            rng.gen_u64(self.min as u64, self.max as u64 + 1) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end.saturating_sub(1).max(r.start),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: (*r.end()).max(*r.start()),
+            }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy yielding `BTreeMap`s from key/value strategies.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy targeting sizes drawn from `size`.
+    ///
+    /// Key collisions are retried a bounded number of times, so the
+    /// resulting map may occasionally be smaller than requested when
+    /// the key space is nearly exhausted — same contract as proptest.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target.saturating_mul(10) + 16 {
+                attempts += 1;
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+use test_runner::{Config, TestCaseError};
+
+/// Drives one property test: generates `cases` inputs from `strategy`
+/// and runs `body` on each. Called by the [`proptest!`] expansion — not
+/// part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<S, F>(config: &Config, name: &str, strategy: S, body: F)
+where
+    S: strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = config.effective_cases();
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(cases) * 20 + 100;
+    let mut ran = 0u32;
+    let mut attempt = 0u64;
+    while ran < cases {
+        let seed = test_runner::seed_for(name, attempt);
+        attempt += 1;
+        let mut rng = test_runner::TestRng::from_seed(seed);
+        let value = strategy.generate(&mut rng);
+        match body(value) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest shim: test `{name}` rejected {rejected} inputs \
+                         (ran {ran}/{cases}); strategy preconditions are too strict"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest shim: test `{name}` failed at case {ran} (seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(
+                &config,
+                stringify!($name),
+                ($($strat,)+),
+                |($($pat,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    let _ = $body;
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Fallible assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            a,
+            b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            a
+        );
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Weighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this std-only shim covering the API surface the
+//! examples use: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool`. The
+//! generator is a deterministic xorshift64*, not a cryptographic or
+//! statistically rigorous source.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: raw 64-bit output.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampleable range, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+sample_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// User-facing random value methods.
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift64* generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(u64);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            })
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}

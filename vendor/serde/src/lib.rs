@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this std-only shim. The workspace only ever uses
+//! serde as a *capability marker* — `#[derive(Serialize, Deserialize)]`
+//! plus trait bounds — and never serializes through a real
+//! `Serializer`, so empty marker traits are a faithful stand-in. If a
+//! future change needs real serialization, replace this shim with the
+//! actual crates.io `serde` (the API surface used here is a strict
+//! subset).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Carries no methods: the workspace only uses it as a trait bound and
+/// as a derive target, never to drive an actual serializer.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+///
+/// Carries no methods for the same reason as [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

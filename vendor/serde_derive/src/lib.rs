@@ -1,0 +1,159 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses just enough of the item to recover its name and generic
+//! parameters, then emits an empty impl of the corresponding marker
+//! trait from the sibling `serde` shim. `#[serde(...)]` helper
+//! attributes are registered so existing annotations stay inert.
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name and generics of a struct/enum/union definition.
+struct ItemHead {
+    name: String,
+    /// Full generic parameter list (bounds included), without `<`/`>`.
+    params: String,
+    /// Parameter names only (for the type position), without `<`/`>`.
+    args: String,
+}
+
+/// Extracts the item name and generic parameters from a derive input.
+fn parse_head(input: TokenStream) -> ItemHead {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the attribute group (and `!` for inner attrs).
+                if let Some(TokenTree::Punct(bang)) = tokens.peek() {
+                    if bang.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => break name.to_string(),
+                        other => panic!("expected item name after `{word}`, got {other:?}"),
+                    }
+                }
+                // `pub`, `crate`, etc.: keep scanning.
+            }
+            Some(TokenTree::Group(_)) => {
+                // `pub(crate)` visibility restriction group.
+            }
+            Some(other) => panic!("unexpected token in derive input: {other}"),
+            None => panic!("no struct/enum found in derive input"),
+        }
+    };
+
+    // Collect generics if present: `<` ... matching `>`.
+    let mut params = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                params.push_str(&tt.to_string());
+                params.push(' ');
+            }
+        }
+    }
+
+    // Strip bounds/defaults from each top-level comma-separated param
+    // to obtain the type-position argument list.
+    let mut args = Vec::new();
+    for param in split_top_level(&params) {
+        let head = param.split([':', '=']).next().unwrap_or("").trim();
+        // `const N : usize` → argument is `N`.
+        let head = head.strip_prefix("const ").unwrap_or(head).trim();
+        if !head.is_empty() {
+            args.push(head.to_string());
+        }
+    }
+
+    ItemHead {
+        name,
+        params: params.trim().to_string(),
+        args: args.join(", "),
+    }
+}
+
+/// Splits a generic parameter list at top-level commas.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(ch);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn impl_for(head: &ItemHead, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let mut impl_params = String::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push_str(lt);
+    }
+    if !head.params.is_empty() {
+        if !impl_params.is_empty() {
+            impl_params.push_str(", ");
+        }
+        impl_params.push_str(&head.params);
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{impl_params}>")
+    };
+    let ty_generics = if head.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", head.args)
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {}{ty_generics} {{}}",
+        head.name
+    )
+    .parse()
+    .expect("generated impl is valid Rust")
+}
+
+/// Derives the `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for(&parse_head(input), "::serde::Serialize", None)
+}
+
+/// Derives the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for(&parse_head(input), "::serde::Deserialize<'de>", Some("'de"))
+}
