@@ -3,7 +3,8 @@
 //! results "for space reasons"; this binary fills in the other two).
 
 use ia_arch::Architecture;
-use ia_bench::baseline_builder;
+use ia_bench::{baseline_builder, BenchReport};
+use ia_obs::Stopwatch;
 use ia_report::Table;
 use ia_tech::presets;
 
@@ -13,6 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (presets::tsmc130(), 1_000_000),
         (presets::tsmc90(), 4_000_000),
     ];
+    let mut report = BenchReport::new("nodes");
 
     println!("Baseline rank across technology nodes (paper §5.2 experiment set)\n");
     let mut t = Table::new([
@@ -28,9 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (node, gates) in runs {
         let arch = Architecture::baseline(&node);
         let problem = baseline_builder(&node, &arch, gates).build()?;
-        let start = std::time::Instant::now();
+        ia_obs::reset();
+        let sw = Stopwatch::start();
         let r = problem.rank();
-        let elapsed = start.elapsed();
+        let wall_ns = sw.elapsed_ns();
+        report.case(
+            [("node", node.name().into()), ("gates", gates.into())],
+            wall_ns,
+        );
         let g = problem.greedy_rank();
         t.row([
             node.name().to_owned(),
@@ -40,10 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.6}", r.normalized()),
             g.rank().to_string(),
             format!("{:.2}", problem.die().die_area().square_millimeters()),
-            format!("{elapsed:.1?}"),
+            format!("{:.1?}", std::time::Duration::from_nanos(wall_ns)),
         ]);
     }
     println!("{t}");
     println!("(paper runtime bound: no rank computation exceeded 200 s on 2003 hardware)");
+    let path = report.write()?;
+    println!("wrote {}", path.display());
     Ok(())
 }

@@ -1,0 +1,68 @@
+//! Measures the cost of the instrumentation layer on the DP hot path.
+//!
+//! Runs the same budget-limited toy instance through `dp::rank` for a
+//! fixed number of iterations in two collector states:
+//!
+//! * **disabled** — the telemetry calls reduce to a relaxed atomic load
+//!   and a branch (the acceptance criterion: < 2 % overhead versus a
+//!   build with instrumentation compiled out);
+//! * **enabled** — the full counter/span recording cost, for context.
+//!
+//! Build the compiled-out baseline with
+//! `cargo run --release -p ia-bench --no-default-features --bin obs_overhead`
+//! and compare the disabled-case `wall_ns` of the two artifacts (the
+//! `telemetry_compiled` parameter records which build produced a file;
+//! set `IA_BENCH_OUT_DIR` to keep the two artifacts apart).
+
+use ia_bench::BenchReport;
+use ia_obs::Stopwatch;
+use ia_rank::{dp, toy};
+
+const ITERATIONS: u64 = 100;
+
+fn main() {
+    let inst = toy::budget_limited(400, 2, 300.0);
+    let telemetry_compiled = cfg!(feature = "telemetry");
+
+    println!(
+        "Instrumentation overhead, {ITERATIONS} iterations of dp::rank \
+         on budget_limited(400, 2, 300.0)"
+    );
+    println!("telemetry compiled in: {telemetry_compiled}\n");
+
+    let mut report = BenchReport::new("obs_overhead");
+    let mut checksum = 0u64;
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        ia_obs::set_enabled(enabled);
+        ia_obs::reset();
+        // Warm-up run so page faults and allocator growth are off the
+        // measured path.
+        checksum = checksum.wrapping_add(dp::rank(&inst).rank_wires);
+        let sw = Stopwatch::start();
+        for _ in 0..ITERATIONS {
+            checksum = checksum.wrapping_add(dp::rank(&inst).rank_wires);
+        }
+        let wall_ns = sw.elapsed_ns();
+        // Re-enable so the case captures the counters it accumulated.
+        ia_obs::set_enabled(true);
+        report.case(
+            [
+                ("collector", label.into()),
+                ("telemetry_compiled", telemetry_compiled.into()),
+                ("iterations", ITERATIONS.into()),
+            ],
+            wall_ns,
+        );
+        println!(
+            "collector {label:<8} : {:>12} ns total, {:>9} ns/iteration",
+            wall_ns,
+            wall_ns / ITERATIONS
+        );
+    }
+    ia_obs::set_enabled(true);
+    println!("\n(checksum {checksum}, ignore — defeats dead-code elimination)");
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+}

@@ -4,7 +4,8 @@
 //! improvements alone").
 
 use ia_arch::Architecture;
-use ia_bench::{baseline_builder, configured_gates};
+use ia_bench::{baseline_builder, configured_gates, BenchReport};
+use ia_obs::Stopwatch;
 use ia_rank::sensitivity::{sensitivities, OperatingPoint};
 use ia_report::Table;
 use ia_tech::presets;
@@ -18,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Rank elasticity at the Table 2 baseline, {gates} gates @ 130 nm");
     println!("(relative rank gain per percent of knob improvement, ±10% finite differences)\n");
 
+    let mut artifact = BenchReport::new("sensitivity");
+    let sw = Stopwatch::start();
     let report = sensitivities(&builder, &OperatingPoint::paper_baseline(), 0.1)?;
+    artifact.case(
+        [("gates", gates.into()), ("step", 0.1f64.into())],
+        sw.elapsed_ns(),
+    );
     let mut t = Table::new(["knob", "at", "elasticity"]);
     for s in &report {
         t.row([
@@ -36,5 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nNo single knob's elasticity dominates the sum of the others — the\n\
          co-optimization conclusion of the paper's §6 in one table."
     );
+    let path = artifact.write()?;
+    println!("wrote {}", path.display());
     Ok(())
 }

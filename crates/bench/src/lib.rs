@@ -9,10 +9,19 @@
 //! * `figure2` — the greedy-vs-DP counterexample (Figure 2);
 //! * `equivalence` — the §5.2 "38 % K ≡ ~42 % M" analysis;
 //! * `nodes` — the 180/130/90 nm baselines mentioned in §5.2;
-//! * `ablation` — bunch-size / binning sensitivity (§5.1, footnote 7).
+//! * `ablation` — bunch-size / binning sensitivity (§5.1, footnote 7);
+//! * `obs_overhead` — cost of the disabled instrumentation layer.
+//!
+//! Besides their human-readable tables, all binaries write a stable
+//! `BENCH_<name>.json` artifact (see [`report`]) that CI validates with
+//! `ia-lint check-bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::BenchReport;
 
 use ia_arch::Architecture;
 use ia_delay::TargetDelayModel;

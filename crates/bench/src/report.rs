@@ -1,0 +1,178 @@
+//! Stable machine-readable bench artifacts.
+//!
+//! Every bench binary writes a `BENCH_<name>.json` file next to its
+//! human-readable output so CI (and plotting scripts) can consume the
+//! measurements without scraping tables. The schema is part of the
+//! observability contract (see `docs/observability.md`):
+//!
+//! ```json
+//! {
+//!   "bench": "<name>",
+//!   "cases": [
+//!     {"params": {...}, "wall_ns": 123, "counters": {"dp.states": 4}}
+//!   ]
+//! }
+//! ```
+//!
+//! `params` values are strings, booleans or numbers; `wall_ns` is an
+//! exact unsigned integer; `counters` mirrors the collector's counter
+//! map at record time. `ia-lint check-bench FILE` validates emitted
+//! files against this schema.
+
+use ia_obs::json::JsonValue;
+use std::io;
+use std::path::PathBuf;
+
+/// Environment variable overriding where `BENCH_*.json` files land
+/// (default: the current directory).
+pub const OUT_DIR_ENV: &str = "IA_BENCH_OUT_DIR";
+
+/// Accumulates measured cases for one bench binary and writes the
+/// `BENCH_<name>.json` artifact.
+///
+/// Creating a report enables the global collector so solver counters
+/// flow into the cases; call [`ia_obs::reset`] between cases when
+/// per-case counters are wanted.
+///
+/// # Examples
+///
+/// ```
+/// use ia_bench::report::BenchReport;
+/// use ia_obs::Stopwatch;
+///
+/// let mut report = BenchReport::new("demo");
+/// let sw = Stopwatch::start();
+/// // ... run the measured work ...
+/// report.case([("gates", 1000u64.into())], sw.elapsed_ns());
+/// let doc = report.to_json_string();
+/// assert!(doc.starts_with("{\"bench\":\"demo\""));
+/// ```
+#[derive(Debug)]
+pub struct BenchReport {
+    bench: String,
+    cases: Vec<JsonValue>,
+}
+
+impl BenchReport {
+    /// Starts a report for the named bench and enables the collector.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        ia_obs::set_enabled(true);
+        Self {
+            bench: bench.to_owned(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Records one case: its parameters, the measured wall time, and
+    /// the collector's current counter map.
+    pub fn case<I>(&mut self, params: I, wall_ns: u64)
+    where
+        I: IntoIterator<Item = (&'static str, JsonValue)>,
+    {
+        let params: Vec<(String, JsonValue)> =
+            params.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let counters: Vec<(String, JsonValue)> = ia_obs::snapshot()
+            .counters
+            .into_iter()
+            .map(|(k, v)| (k, JsonValue::UInt(v)))
+            .collect();
+        self.cases.push(JsonValue::Obj(vec![
+            ("params".to_owned(), JsonValue::Obj(params)),
+            ("wall_ns".to_owned(), JsonValue::UInt(wall_ns)),
+            ("counters".to_owned(), JsonValue::Obj(counters)),
+        ]));
+    }
+
+    /// Number of recorded cases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether no case has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Renders the full artifact as compact single-line JSON.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        JsonValue::Obj(vec![
+            ("bench".to_owned(), JsonValue::Str(self.bench.clone())),
+            ("cases".to_owned(), JsonValue::Arr(self.cases.clone())),
+        ])
+        .render()
+    }
+
+    /// The artifact's file name, `BENCH_<name>.json`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.bench)
+    }
+
+    /// Writes the artifact into `IA_BENCH_OUT_DIR` (default: the
+    /// current directory) and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = std::env::var_os(OUT_DIR_ENV).map_or_else(|| PathBuf::from("."), PathBuf::from);
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_schema_shaped_json() {
+        let mut report = BenchReport::new("unit");
+        assert!(report.is_empty());
+        report.case(
+            [
+                ("gates", 1000u64.into()),
+                ("node", "tsmc130".into()),
+                ("full_scale", false.into()),
+            ],
+            42,
+        );
+        assert_eq!(report.len(), 1);
+        let doc = JsonValue::parse(&report.to_json_string()).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("unit"));
+        let cases = doc.get("cases").unwrap().as_array().unwrap();
+        assert_eq!(cases.len(), 1);
+        let case = &cases[0];
+        assert_eq!(case.get("wall_ns").unwrap().as_u64(), Some(42));
+        let params = case.get("params").unwrap();
+        assert_eq!(params.get("gates").unwrap().as_u64(), Some(1000));
+        assert_eq!(params.get("node").unwrap().as_str(), Some("tsmc130"));
+        assert!(case.get("counters").unwrap().as_object().is_some());
+    }
+
+    #[test]
+    fn report_captures_collector_counters() {
+        let mut report = BenchReport::new("counters");
+        ia_obs::reset();
+        ia_obs::counter_add("unit.test.bench_counter", 7);
+        report.case([("i", 0u64.into())], 1);
+        let doc = JsonValue::parse(&report.to_json_string()).unwrap();
+        let counters = doc.get("cases").unwrap().as_array().unwrap()[0]
+            .get("counters")
+            .unwrap();
+        assert_eq!(
+            counters.get("unit.test.bench_counter").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn file_name_is_stable() {
+        assert_eq!(BenchReport::new("table4").file_name(), "BENCH_table4.json");
+    }
+}

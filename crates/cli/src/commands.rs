@@ -41,6 +41,89 @@ fn domain<E: std::fmt::Display>(e: E) -> CliError {
     CliError::Domain(e.to_string())
 }
 
+/// Output format for the `--metrics` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable counter/span tables.
+    Text,
+    /// One compact JSON object, printed as the final stdout line so
+    /// scripts can `tail -n 1` it (the CI metrics check does exactly
+    /// that).
+    Json,
+}
+
+/// Telemetry-reporting flags shared by every subcommand.
+///
+/// Parsed **before** dispatch so `--metrics`/`--profile` count as
+/// consumed when the subcommand calls `reject_unknown`, and so the
+/// collector can be enabled before any instrumented code runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsOptions {
+    /// Requested snapshot format, if any.
+    pub format: Option<MetricsFormat>,
+    /// Whether to print the span-timing tree.
+    pub profile: bool,
+}
+
+impl MetricsOptions {
+    /// Reads `--metrics text|json` and `--profile` from the parsed args.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Domain`] for an unrecognised metrics format.
+    pub fn from_args(args: &ParsedArgs) -> Result<Self, CliError> {
+        let format = match args.get_str("metrics").as_deref() {
+            None => None,
+            Some("text") => Some(MetricsFormat::Text),
+            Some("json") => Some(MetricsFormat::Json),
+            Some(other) => {
+                return Err(CliError::Domain(format!(
+                    "unknown metrics format `{other}` (expected text or json)"
+                )))
+            }
+        };
+        let profile = args
+            .get_str("profile")
+            .is_some_and(|v| v == "true" || v == "1");
+        Ok(Self { format, profile })
+    }
+
+    /// Whether the collector must be enabled before dispatch.
+    #[must_use]
+    pub fn wants_collector(&self) -> bool {
+        self.format.is_some() || self.profile
+    }
+
+    /// Renders the current thread's collector snapshot according to the
+    /// requested options. Empty when neither flag was given. The JSON
+    /// form is always last so it stays the final stdout line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if !self.wants_collector() {
+            return String::new();
+        }
+        let snapshot = ia_obs::snapshot();
+        let mut out = String::new();
+        if self.profile {
+            out.push_str("\n-- profile --\n");
+            out.push_str(&snapshot.span_tree());
+        }
+        match self.format {
+            Some(MetricsFormat::Text) => {
+                out.push_str("\n-- metrics --\n");
+                out.push_str(&snapshot.to_text());
+            }
+            Some(MetricsFormat::Json) => {
+                out.push('\n');
+                out.push_str(&snapshot.to_json_string());
+                out.push('\n');
+            }
+            None => {}
+        }
+        out
+    }
+}
+
 /// Resolves `--net-model star|hpwl` (default star).
 fn resolve_net_model(args: &ParsedArgs) -> Result<NetModel, CliError> {
     match args
@@ -358,9 +441,17 @@ SHARED FLAGS (rank, sweep, optimize):
   --k F                    ILD permittivity override    [node default]
   --global/--semi-global/--local N   stack pair counts  [1/2/0]
 
+TELEMETRY FLAGS (any command):
+  --metrics text|json      print solver counters and span timings after
+                           the command output (json is one compact
+                           object on the final stdout line)
+  --profile                print the span-timing tree (--profile true
+                           also accepted)
+
 EXAMPLES:
   iarank rank --node 130 --gates 1000000 --detail true
-  iarank sweep --axis r --gates 400000
+  iarank rank --gates 400000 --metrics json
+  iarank sweep --axis r --gates 400000 --profile
   iarank wld --gates 250000 --out design.csv
   iarank optimize --node 90 --max-pairs 5 --gates 400000
 "
@@ -519,6 +610,82 @@ mod tests {
         assert!(err.to_string().contains("--in"));
         let err = run(&["netlist", "--in", "/nonexistent", "--net-model", "mesh"]).unwrap_err();
         assert!(err.to_string().contains("unknown net model"));
+    }
+
+    /// Mimics `main`'s flow for telemetry flags: metrics options are
+    /// parsed (and thereby consumed) before dispatch, and the collector
+    /// is enabled when requested. The flag is global but the collector
+    /// storage is thread-local, so enabling it here cannot perturb
+    /// other tests' assertions; it is intentionally never disabled.
+    fn run_with_metrics(tokens: &[&str]) -> (String, MetricsOptions) {
+        let args = ParsedArgs::parse(tokens.iter().copied()).unwrap();
+        let metrics = MetricsOptions::from_args(&args).unwrap();
+        if metrics.wants_collector() {
+            ia_obs::set_enabled(true);
+            ia_obs::reset();
+        }
+        let out = dispatch(&args).unwrap();
+        (out, metrics)
+    }
+
+    #[test]
+    fn metrics_json_is_final_line_with_dp_counters() {
+        let (_, metrics) = run_with_metrics(&[
+            "rank",
+            "--gates",
+            "30000",
+            "--bunch",
+            "3000",
+            "--metrics",
+            "json",
+        ]);
+        let rendered = metrics.render();
+        let last = rendered.lines().last().unwrap();
+        let doc = ia_obs::json::JsonValue::parse(last).unwrap();
+        let counters = doc.get("counters").unwrap();
+        assert!(counters.get("dp.states").unwrap().as_u64().unwrap() > 0);
+        assert!(counters.get("dp.front_max").unwrap().as_u64().unwrap() >= 1);
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.get("path").and_then(ia_obs::json::JsonValue::as_str) == Some("dp_solve")));
+    }
+
+    #[test]
+    fn metrics_text_and_profile_render_human_tables() {
+        let (_, metrics) = run_with_metrics(&[
+            "rank",
+            "--gates",
+            "30000",
+            "--bunch",
+            "3000",
+            "--metrics",
+            "text",
+            "--profile",
+            "true",
+        ]);
+        assert!(metrics.profile);
+        let rendered = metrics.render();
+        assert!(rendered.contains("-- profile --"));
+        assert!(rendered.contains("-- metrics --"));
+        assert!(rendered.contains("dp_solve"));
+        assert!(rendered.contains("dp.states"));
+    }
+
+    #[test]
+    fn metrics_format_is_validated() {
+        let args = ParsedArgs::parse(["rank", "--metrics", "xml"].iter().copied()).unwrap();
+        let err = MetricsOptions::from_args(&args).unwrap_err();
+        assert!(err.to_string().contains("unknown metrics format"));
+        assert!(matches!(err, CliError::Domain(_)));
+    }
+
+    #[test]
+    fn metrics_render_is_empty_without_flags() {
+        let args = ParsedArgs::parse(["rank"].iter().copied()).unwrap();
+        let metrics = MetricsOptions::from_args(&args).unwrap();
+        assert!(!metrics.wants_collector());
+        assert_eq!(metrics.render(), "");
     }
 
     #[test]

@@ -6,9 +6,21 @@ mod args;
 mod commands;
 
 use args::ParsedArgs;
+use commands::{CliError, MetricsOptions};
 
 fn main() {
-    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    // `--profile` is a boolean switch; rewrite the bare form into the
+    // `--profile=true` spelling the `--flag value` parser understands.
+    let tokens: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|t| {
+            if t == "--profile" {
+                "--profile=true".to_owned()
+            } else {
+                t
+            }
+        })
+        .collect();
     let parsed = match ParsedArgs::parse(tokens) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -17,8 +29,31 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Telemetry flags are read before dispatch so the subcommands'
+    // `reject_unknown` sees them as consumed and so the collector is
+    // live before any instrumented code runs.
+    let metrics = match MetricsOptions::from_args(&parsed) {
+        Ok(metrics) => metrics,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if metrics.wants_collector() {
+        ia_obs::set_enabled(true);
+    }
     match commands::dispatch(&parsed) {
-        Ok(output) => print!("{output}"),
+        Ok(output) => {
+            print!("{output}");
+            print!("{}", metrics.render());
+        }
+        // Usage is shown exactly for argument errors (exit 2); domain
+        // failures get the bare message (exit 1).
+        Err(CliError::Args(e)) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

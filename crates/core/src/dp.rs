@@ -28,6 +28,7 @@
 
 use crate::assign::greedy_pack;
 use crate::result::Segment;
+use crate::telemetry::{self, names};
 use crate::{Instance, Solution};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -78,8 +79,13 @@ impl Front {
         {
             end += 1;
         }
+        let pruned = (end - pos) as u64;
         self.entries.splice(pos..end, [e]);
-        #[cfg(feature = "strict-invariants")]
+        telemetry::counter_add(names::DP_FRONT_INSERTIONS, 1);
+        telemetry::counter_add(names::DP_FRONT_PRUNED, pruned);
+        telemetry::counter_max(names::DP_FRONT_MAX, self.entries.len() as u64);
+        telemetry::histogram_record(names::DP_FRONT_LEN, self.entries.len() as u64);
+        #[cfg(any(test, feature = "strict-invariants"))]
         self.assert_invariants();
         true
     }
@@ -90,6 +96,8 @@ impl Front {
     /// non-negative.
     #[cfg(any(test, feature = "strict-invariants"))]
     fn assert_invariants(&self) {
+        #[cfg(test)]
+        contract_probe::observe(self.entries.len() as u64);
         for e in &self.entries {
             debug_assert!(
                 e.area.is_finite() && e.area >= 0.0,
@@ -125,7 +133,29 @@ fn budget_free_variant(inst: &Instance) -> Option<Instance> {
     Instance::new(pairs, bunches, inst.vias_per_wire(), 0.0).ok()
 }
 
+/// Test-only probe: the largest front length the invariant contracts
+/// have observed on this thread. Lets tests cross-check the
+/// `dp.front_max` telemetry counter against an independent witness.
+#[cfg(test)]
+pub(crate) mod contract_probe {
+    use std::cell::Cell;
+
+    thread_local! {
+        static MAX_SEEN: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn observe(len: u64) {
+        MAX_SEEN.with(|m| m.set(m.get().max(len)));
+    }
+
+    /// Returns the maximum observed so far and resets the probe.
+    pub(crate) fn take() -> u64 {
+        MAX_SEEN.with(|m| m.replace(0))
+    }
+}
+
 fn reconstruct_segments(path: &Option<Rc<PathNode>>) -> Vec<Segment> {
+    let _span = telemetry::span(names::SPAN_RECONSTRUCT);
     let mut segments = Vec::new();
     let mut cursor = path.as_ref();
     while let Some(node) = cursor {
@@ -157,9 +187,12 @@ fn reconstruct_segments(path: &Option<Rc<PathNode>>) -> Vec<Segment> {
 /// ```
 #[must_use]
 pub fn rank(inst: &Instance) -> Solution {
+    let _solve_span = telemetry::span(names::SPAN_DP_SOLVE);
     let n = inst.bunch_count();
     let m = inst.pair_count();
     let budget = inst.repeater_budget();
+    telemetry::counter_add(names::INSTANCE_BUNCHES, n as u64);
+    telemetry::counter_add(names::INSTANCE_PAIRS, m as u64);
 
     let mut best = Solution::zero(greedy_pack(inst, 0, 0, 0, 0));
     let mut pack_memo: HashMap<(usize, usize, u64), bool> = HashMap::new();
@@ -199,9 +232,17 @@ pub fn rank(inst: &Instance) -> Solution {
         }
         let wires_above = inst.wires_before(extras_end);
         let key = (extras_end, pair + 1, entry.count);
-        let ok = *pack_memo
-            .entry(key)
-            .or_insert_with(|| greedy_pack(inst, extras_end, pair + 1, wires_above, entry.count));
+        let ok = match pack_memo.get(&key) {
+            Some(&cached) => {
+                telemetry::counter_add(names::DP_MEMO_HITS, 1);
+                cached
+            }
+            None => {
+                let computed = greedy_pack(inst, extras_end, pair + 1, wires_above, entry.count);
+                pack_memo.insert(key, computed);
+                computed
+            }
+        };
         if ok {
             *best = Solution {
                 met_bunches: met_end,
@@ -235,6 +276,7 @@ pub fn rank(inst: &Instance) -> Solution {
                 continue;
             };
             for entry in &front.entries {
+                telemetry::counter_add(names::DP_STATES, 1);
                 let cap = inst.blocked_capacity(j, inst.wires_before(i1), entry.count);
                 // Pair j as active pair with an empty met segment.
                 try_finalize(j, i1, 0.0, cap, entry, &mut best);
@@ -551,6 +593,40 @@ mod tests {
                 let after: Vec<(f64, u64)> =
                     f.entries.iter().map(|e| (e.area, e.count)).collect();
                 prop_assert_eq!(snapshot, after);
+            }
+        }
+    }
+
+    /// The telemetry counters must agree with the invariant contracts:
+    /// `dp.front_max` is recorded on every accepted insert, while the
+    /// contract probe sees every front the invariant checks visit — so
+    /// the counter can never exceed the probe's witness.
+    #[cfg(feature = "telemetry")]
+    mod telemetry_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn front_max_counter_never_exceeds_contract_witness(
+                wires in 1u64..32,
+                per in 1u64..4,
+                budget in 0.0f64..64.0,
+            ) {
+                ia_obs::set_enabled(true);
+                ia_obs::reset();
+                contract_probe::take();
+                let inst = crate::toy::budget_limited(wires, per, budget);
+                let _ = rank(&inst);
+                let counted = ia_obs::snapshot()
+                    .counter(names::DP_FRONT_MAX)
+                    .unwrap_or(0);
+                let observed = contract_probe::take();
+                prop_assert!(counted > 0, "at least one insert is always recorded");
+                prop_assert!(
+                    counted <= observed,
+                    "dp.front_max={counted} exceeds the contract-observed maximum {observed}"
+                );
             }
         }
     }

@@ -55,6 +55,7 @@ pub mod report;
 mod result;
 pub mod sensitivity;
 pub mod sweep;
+pub mod telemetry;
 pub mod toy;
 
 pub use error::RankError;

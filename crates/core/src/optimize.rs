@@ -195,8 +195,10 @@ pub fn optimize_stack<F>(
 where
     F: for<'b> Fn(RankProblemBuilder<'b>) -> RankProblemBuilder<'b>,
 {
+    let _span = crate::telemetry::span(crate::telemetry::names::SPAN_OPTIMIZE_STACK);
     let mut evaluations = Vec::new();
     for candidate in space.candidates() {
+        crate::telemetry::counter_add(crate::telemetry::names::OPTIMIZE_CANDIDATES, 1);
         let architecture = candidate.build(node);
         let problem = configure(RankProblem::builder(node, &architecture)).build()?;
         let result = problem.rank();

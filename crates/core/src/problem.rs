@@ -277,6 +277,7 @@ impl<'a> RankProblemBuilder<'a> {
     ///   fraction or gate count);
     /// * [`RankError::Wld`] for coarsening failures.
     pub fn build(self) -> Result<RankProblem, RankError> {
+        let _span = crate::telemetry::span(crate::telemetry::names::SPAN_INSTANCE_BUILD);
         let source = self.source.clone().ok_or(RankError::MissingWld)?;
         let gates = self.gates.ok_or(RankError::MissingGateCount)?;
         let coarse: CoarseWld = match source {

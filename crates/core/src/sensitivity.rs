@@ -190,6 +190,7 @@ pub fn sensitivities(
     point: &OperatingPoint,
     step: f64, // lint: raw-f64 (dimensionless relative step)
 ) -> Result<Vec<KnobSensitivity>, RankError> {
+    let _span = crate::telemetry::span(crate::telemetry::names::SPAN_SENSITIVITY);
     let baseline = normalized_at(builder, point)?;
     let mut out = Vec::with_capacity(Knob::ALL.len());
     for knob in Knob::ALL {

@@ -1,5 +1,6 @@
 //! Table 4 parameter sweeps and the K-vs-M equivalence analysis.
 
+use crate::telemetry::{self, names};
 use crate::{RankError, RankProblemBuilder};
 use ia_units::{Frequency, Permittivity};
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,7 @@ pub fn sweep_permittivity(
     builder: &RankProblemBuilder<'_>,
     values: &[f64],
 ) -> Result<Vec<SweepPoint>, RankError> {
+    let _span = telemetry::span(names::SPAN_SWEEP_PERMITTIVITY);
     run_sweep(builder, values, |b, k| {
         b.permittivity(Permittivity::from_relative(k))
     })
@@ -80,6 +82,7 @@ pub fn sweep_miller(
     builder: &RankProblemBuilder<'_>,
     values: &[f64],
 ) -> Result<Vec<SweepPoint>, RankError> {
+    let _span = telemetry::span(names::SPAN_SWEEP_MILLER);
     run_sweep(builder, values, |b, m| b.miller_factor(m))
 }
 
@@ -93,6 +96,7 @@ pub fn sweep_clock(
     builder: &RankProblemBuilder<'_>,
     hertz: &[f64],
 ) -> Result<Vec<SweepPoint>, RankError> {
+    let _span = telemetry::span(names::SPAN_SWEEP_CLOCK);
     run_sweep(builder, hertz, |b, hz| b.clock(Frequency::from_hertz(hz)))
 }
 
@@ -105,6 +109,7 @@ pub fn sweep_repeater_fraction(
     builder: &RankProblemBuilder<'_>,
     fractions: &[f64],
 ) -> Result<Vec<SweepPoint>, RankError> {
+    let _span = telemetry::span(names::SPAN_SWEEP_REPEATER_FRACTION);
     run_sweep(builder, fractions, |b, r| b.repeater_fraction(r))
 }
 
@@ -124,6 +129,7 @@ pub fn sweep_parallel<'a, F>(
 where
     F: for<'b> Fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b> + Sync,
 {
+    let _span = telemetry::span(names::SPAN_SWEEP_PARALLEL);
     std::thread::scope(|scope| {
         let handles: Vec<_> = values
             .iter()

@@ -1,0 +1,98 @@
+//! Solver telemetry: the counter/span name registry and the
+//! compile-out shim over [`ia_obs`].
+//!
+//! The solver records through this module, never through `ia_obs`
+//! directly, so the whole instrumentation layer can be compiled out by
+//! building `ia-rank` with `--no-default-features` (dropping the
+//! `telemetry` feature). With the feature on — the default — every
+//! call still costs only a relaxed atomic load and a branch until the
+//! collector is enabled (see `ia_obs::set_enabled`).
+//!
+//! [`names`] is the registry of every counter, histogram and span this
+//! crate records. The strings are **API**: external tooling keys on
+//! them, so renaming one is a breaking change. See
+//! `docs/observability.md` for the stability policy.
+
+/// The names of every counter, histogram and span recorded by this
+/// crate. Grouped by instrument kind; all values are stable API.
+pub mod names {
+    /// Counter: DP states expanded — one per `(pair, prefix, front
+    /// entry)` combination visited by the main loop. The measured `F`
+    /// factor of the documented `O(m·n²·F)` bound.
+    pub const DP_STATES: &str = "dp.states";
+    /// Counter: accepted Pareto-front insertions.
+    pub const DP_FRONT_INSERTIONS: &str = "dp.front_insertions";
+    /// Counter: front entries pruned because a new insertion dominated
+    /// them.
+    pub const DP_FRONT_PRUNED: &str = "dp.front_pruned";
+    /// High-water-mark counter: the largest Pareto front ever held by
+    /// one DP state.
+    pub const DP_FRONT_MAX: &str = "dp.front_max";
+    /// Counter: `greedy_pack` feasibility results served from the memo
+    /// instead of recomputed.
+    pub const DP_MEMO_HITS: &str = "dp.memo_hits";
+    /// Histogram: Pareto-front length after each accepted insertion
+    /// (log-scale buckets).
+    pub const DP_FRONT_LEN: &str = "dp.front_len";
+    /// Counter: bunches of the instance handed to the solver.
+    pub const INSTANCE_BUNCHES: &str = "instance.bunches";
+    /// Counter: layer-pairs of the instance handed to the solver.
+    pub const INSTANCE_PAIRS: &str = "instance.pairs";
+    /// Counter: candidate stacks evaluated by the optimizer.
+    pub const OPTIMIZE_CANDIDATES: &str = "optimize.candidates";
+
+    /// Span: the DP solve proper ([`crate::dp::rank`]).
+    pub const SPAN_DP_SOLVE: &str = "dp_solve";
+    /// Span: solution-path reconstruction (nested under
+    /// [`SPAN_DP_SOLVE`]).
+    pub const SPAN_RECONSTRUCT: &str = "reconstruct";
+    /// Span: lowering physics + WLD to a solver [`crate::Instance`]
+    /// (`RankProblemBuilder::build`).
+    pub const SPAN_INSTANCE_BUILD: &str = "instance_build";
+    /// Span: one permittivity (`K`) sweep.
+    pub const SPAN_SWEEP_PERMITTIVITY: &str = "sweep.permittivity";
+    /// Span: one Miller-factor (`M`) sweep.
+    pub const SPAN_SWEEP_MILLER: &str = "sweep.miller";
+    /// Span: one clock (`C`) sweep.
+    pub const SPAN_SWEEP_CLOCK: &str = "sweep.clock";
+    /// Span: one repeater-fraction (`R`) sweep.
+    pub const SPAN_SWEEP_REPEATER_FRACTION: &str = "sweep.repeater_fraction";
+    /// Span: a thread-per-value parallel sweep. Covers spawn-to-join on
+    /// the calling thread; the workers' own telemetry lands in their
+    /// thread-local collectors and is not merged (see the collector
+    /// model in `docs/observability.md`).
+    pub const SPAN_SWEEP_PARALLEL: &str = "sweep.parallel";
+    /// Span: one full sensitivity analysis (all four elasticities).
+    pub const SPAN_SENSITIVITY: &str = "sensitivity";
+    /// Span: one BEOL stack search.
+    pub const SPAN_OPTIMIZE_STACK: &str = "optimize_stack";
+}
+
+#[cfg(feature = "telemetry")]
+pub(crate) use ia_obs::{counter_add, counter_max, histogram_record, span};
+
+/// Inert stand-ins compiled when the `telemetry` feature is off: every
+/// recording call is an empty inlined function the optimizer erases.
+#[cfg(not(feature = "telemetry"))]
+mod noop {
+    /// Inert span guard (drop does nothing).
+    pub(crate) struct Span;
+
+    #[inline(always)]
+    pub(crate) fn counter_add(_name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn counter_max(_name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn histogram_record(_name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    #[must_use]
+    pub(crate) fn span(_name: &'static str) -> Span {
+        Span
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) use noop::{counter_add, counter_max, histogram_record, span};

@@ -1,0 +1,115 @@
+//! Solver telemetry is deterministic: the counters are pure functions
+//! of the instance, so solving the same instance twice must produce
+//! identical counter and histogram snapshots (span *timings* vary;
+//! span structure does not).
+
+#![cfg(feature = "telemetry")]
+
+use ia_rank::telemetry::names;
+use ia_rank::{dp, toy};
+
+#[test]
+fn solving_the_toy_instance_twice_yields_identical_counters() {
+    ia_obs::set_enabled(true);
+
+    ia_obs::reset();
+    let first_solution = dp::rank(&toy::figure2());
+    let first = ia_obs::snapshot();
+
+    ia_obs::reset();
+    let second_solution = dp::rank(&toy::figure2());
+    let second = ia_obs::snapshot();
+
+    assert_eq!(first_solution.rank_wires, second_solution.rank_wires);
+    assert_eq!(
+        first.counters, second.counters,
+        "counters are deterministic"
+    );
+    assert_eq!(
+        first.histograms, second.histograms,
+        "histograms are deterministic"
+    );
+
+    // The headline counters exist and are sane on this known instance.
+    let states = first.counter(names::DP_STATES).expect("dp.states recorded");
+    assert!(states > 0);
+    let front_max = first
+        .counter(names::DP_FRONT_MAX)
+        .expect("dp.front_max recorded");
+    assert!(front_max >= 1);
+    assert!(first.counter(names::DP_FRONT_INSERTIONS).is_some());
+    assert!(first.counter(names::DP_FRONT_PRUNED).is_some());
+
+    // Span structure (paths and call counts) is deterministic too.
+    let first_shape: Vec<(&String, u64)> = first
+        .spans
+        .iter()
+        .map(|(path, stat)| (path, stat.calls))
+        .collect();
+    let second_shape: Vec<(&String, u64)> = second
+        .spans
+        .iter()
+        .map(|(path, stat)| (path, stat.calls))
+        .collect();
+    assert_eq!(first_shape, second_shape);
+    assert!(
+        first.spans.contains_key(names::SPAN_DP_SOLVE),
+        "dp_solve span recorded: {:?}",
+        first.spans.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn reconstruct_span_nests_under_dp_solve() {
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    let solution = dp::rank(&toy::budget_limited(12, 2, 10.0));
+    assert!(
+        solution.rank_wires > 0,
+        "instance solves to a positive rank"
+    );
+    let snap = ia_obs::snapshot();
+    let nested = format!("{}/{}", names::SPAN_DP_SOLVE, names::SPAN_RECONSTRUCT);
+    assert!(
+        snap.spans.contains_key(&nested),
+        "expected `{nested}` in {:?}",
+        snap.spans.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        !snap.spans.contains_key(names::SPAN_RECONSTRUCT),
+        "reconstruct never runs outside the solve span"
+    );
+}
+
+#[test]
+fn memo_hits_are_counted() {
+    use ia_rank::{BunchSolverSpec, Instance, Need, PairSolverSpec};
+
+    // Equal-area unbuffered wires on one capacity-limited pair: every
+    // met prefix finalizes with the same (extras_end, pair, count)
+    // key, so all lookups after the first are memo hits.
+    let pairs = vec![PairSolverSpec {
+        capacity: 5.0,
+        via_area: 0.0,
+        repeater_unit_area: 1.0,
+    }];
+    let bunches = (0..8)
+        .map(|i| BunchSolverSpec {
+            length: 20 - i,
+            count: 1,
+            wire_area: vec![1.0],
+            need: vec![Need::Unbuffered],
+        })
+        .collect();
+    let inst = Instance::new(pairs, bunches, 2, 0.0).expect("valid instance");
+
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    let _ = dp::rank(&inst);
+    let snap = ia_obs::snapshot();
+    assert!(
+        snap.counter(names::DP_MEMO_HITS).unwrap_or(0) > 0,
+        "memo hits recorded: {:?}",
+        snap.counters
+    );
+}

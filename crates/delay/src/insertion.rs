@@ -81,6 +81,7 @@ impl InsertionOutcome {
 /// ```
 #[must_use]
 pub fn plan_insertion(model: &RepeatedWireModel, l: Length, target: Time) -> InsertionOutcome {
+    let _span = ia_obs::span("repeater_insertion");
     let unbuffered = model.unbuffered_delay(l);
     if unbuffered <= target {
         return InsertionOutcome::MeetsUnbuffered { delay: unbuffered };

@@ -1,0 +1,182 @@
+//! The global collector: one process-wide enabled flag and the
+//! recording primitives behind it.
+//!
+//! # Collector model
+//!
+//! The collector is *logically global, physically thread-local*: one
+//! [`AtomicBool`] gates every recording call, while the recorded data
+//! lives in thread-local storage. This keeps the hot path free of
+//! locks (the DP inner loop records a counter per state) and makes
+//! telemetry deterministic under `cargo test`'s parallel runner — a
+//! test only ever observes its own thread's recordings. The cost is
+//! that work on worker threads (e.g. `sweep_parallel`) reports into
+//! those threads' collectors and is not merged into the caller's
+//! snapshot; callers that need it must snapshot on the worker.
+//!
+//! When the flag is off (the default) every recording call is a
+//! relaxed atomic load and a branch — cheap enough to leave in release
+//! builds of the solver's innermost loops.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::export::{HistogramStat, Snapshot, SpanStat};
+use crate::histogram::{bucket_upper_bound, Histogram};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Per-thread recording storage.
+#[derive(Default)]
+pub(crate) struct Storage {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) spans: BTreeMap<String, SpanStat>,
+    pub(crate) histograms: BTreeMap<&'static str, Histogram>,
+    /// Stack of open span names on this thread; joined with `/` to
+    /// form the aggregation path.
+    pub(crate) stack: Vec<&'static str>,
+}
+
+thread_local! {
+    static STORAGE: RefCell<Storage> = RefCell::new(Storage::default());
+}
+
+pub(crate) fn with_storage<R>(f: impl FnOnce(&mut Storage) -> R) -> R {
+    STORAGE.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Whether the collector is recording. A relaxed atomic load; every
+/// instrumentation call starts with this check.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off process-wide. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Adds `delta` to the monotonic counter `name` (saturating).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_storage(|s| {
+        let slot = s.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    });
+}
+
+/// Raises the high-water-mark counter `name` to at least `value`.
+#[inline]
+pub fn counter_max(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_storage(|s| {
+        let slot = s.counters.entry(name).or_insert(0);
+        *slot = (*slot).max(value);
+    });
+}
+
+/// Records `value` into the log-scale histogram `name`.
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_storage(|s| s.histograms.entry(name).or_default().record(value));
+}
+
+/// Clears this thread's recorded counters, spans and histograms. The
+/// enabled flag is left untouched.
+pub fn reset() {
+    with_storage(|s| {
+        s.counters.clear();
+        s.spans.clear();
+        s.histograms.clear();
+        s.stack.clear();
+    });
+}
+
+/// Copies this thread's recorded data out as an immutable [`Snapshot`].
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    with_storage(|s| {
+        let counters = s
+            .counters
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect();
+        let spans = s
+            .spans
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let histograms = s
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, count)| **count > 0)
+                    .map(|(i, count)| (bucket_upper_bound(i), *count))
+                    .collect();
+                (
+                    (*k).to_string(),
+                    HistogramStat {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            spans,
+            histograms,
+        }
+    })
+}
+
+/// Handle to the process-global collector, for callers that prefer a
+/// namespaced API over the free functions.
+#[derive(Debug, Clone, Copy)]
+pub struct Collector;
+
+impl Collector {
+    /// Starts recording ([`set_enabled`]`(true)`).
+    pub fn enable() {
+        set_enabled(true);
+    }
+
+    /// Stops recording ([`set_enabled`]`(false)`).
+    pub fn disable() {
+        set_enabled(false);
+    }
+
+    /// Whether the collector is recording ([`enabled`]).
+    #[must_use]
+    pub fn is_enabled() -> bool {
+        enabled()
+    }
+
+    /// Clears this thread's recorded data ([`reset`]).
+    pub fn reset() {
+        reset();
+    }
+
+    /// Copies this thread's recorded data out ([`snapshot`]).
+    #[must_use]
+    pub fn snapshot() -> Snapshot {
+        snapshot()
+    }
+}

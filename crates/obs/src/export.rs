@@ -1,0 +1,336 @@
+//! Snapshot types and the text / JSON exporters.
+//!
+//! Field names in the JSON export are **stable API** — external
+//! tooling (CI schema checks, perf-trajectory scripts) parses them.
+//! See `docs/observability.md` for the schema and the name stability
+//! policy.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::JsonValue;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of times the span closed.
+    pub calls: u64,
+    /// Total time spent inside the span, in nanoseconds (saturating).
+    pub total_ns: u64,
+}
+
+/// Exported statistics for one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty log-scale buckets as `(inclusive upper bound, count)`,
+    /// in increasing bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// An immutable copy of the collector's recorded data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name (both monotonic and high-water-mark).
+    pub counters: BTreeMap<String, u64>,
+    /// Span statistics by `/`-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Histogram statistics by name.
+    pub histograms: BTreeMap<String, HistogramStat>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if it was ever recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The snapshot as a JSON tree with stable field names:
+    ///
+    /// ```json
+    /// {"counters": {"dp.states": 123},
+    ///  "spans": [{"path": "dp_solve", "calls": 1, "total_ns": 456}],
+    ///  "histograms": [{"name": "dp.front_len", "count": 9, "sum": 30,
+    ///                  "min": 1, "max": 7,
+    ///                  "buckets": [{"le": 7, "count": 9}]}]}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(path, stat)| {
+                JsonValue::Obj(vec![
+                    ("path".to_string(), JsonValue::Str(path.clone())),
+                    ("calls".to_string(), JsonValue::UInt(stat.calls)),
+                    ("total_ns".to_string(), JsonValue::UInt(stat.total_ns)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|(le, count)| {
+                        JsonValue::Obj(vec![
+                            ("le".to_string(), JsonValue::UInt(*le)),
+                            ("count".to_string(), JsonValue::UInt(*count)),
+                        ])
+                    })
+                    .collect();
+                JsonValue::Obj(vec![
+                    ("name".to_string(), JsonValue::Str(name.clone())),
+                    ("count".to_string(), JsonValue::UInt(h.count)),
+                    ("sum".to_string(), JsonValue::UInt(h.sum)),
+                    ("min".to_string(), JsonValue::UInt(h.min)),
+                    ("max".to_string(), JsonValue::UInt(h.max)),
+                    ("buckets".to_string(), JsonValue::Arr(buckets)),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("counters".to_string(), JsonValue::Obj(counters)),
+            ("spans".to_string(), JsonValue::Arr(spans)),
+            ("histograms".to_string(), JsonValue::Arr(histograms)),
+        ])
+    }
+
+    /// [`to_json`](Self::to_json) rendered as one compact line, so a
+    /// consumer can peel the snapshot off mixed stdout with `tail -1`.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// A human-readable multi-line rendering.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        out.push_str("spans:\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (path, stat) in &self.spans {
+            let _ = writeln!(
+                out,
+                "  {path}: calls={} total={}",
+                stat.calls,
+                fmt_ns(stat.total_ns)
+            );
+        }
+        out.push_str("histograms:\n");
+        if self.histograms.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, h) in &self.histograms {
+            let mean = if h.count == 0 {
+                0.0
+            } else {
+                h.sum as f64 / h.count as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {name}: count={} min={} max={} mean={mean:.2}",
+                h.count, h.min, h.max
+            );
+        }
+        out
+    }
+
+    /// The spans as an indented tree, one line per path, children
+    /// under their parents:
+    ///
+    /// ```text
+    /// span tree:
+    ///   dp_solve            calls=1  total=35.1ms
+    ///     reconstruct       calls=1  total=0.4ms
+    /// ```
+    #[must_use]
+    pub fn span_tree(&self) -> String {
+        let mut out = String::from("span tree:\n");
+        if self.spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+            return out;
+        }
+        // BTreeMap order visits parents before their children
+        // (`a` < `a/b`) and keeps siblings sorted.
+        let name_width = self
+            .spans
+            .keys()
+            .map(|path| {
+                let depth = path.matches('/').count();
+                let name_len = path.rsplit('/').next().map_or(0, str::len);
+                2 * depth + name_len
+            })
+            .max()
+            .unwrap_or(0);
+        for (path, stat) in &self.spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(
+                out,
+                "  {indent}{name:<width$}  calls={:<6} total={}",
+                stat.calls,
+                fmt_ns(stat.total_ns),
+                width = name_width - 2 * depth,
+            );
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds with a readable unit (ns / µs / ms / s).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("dp.states".to_string(), 42);
+        snap.counters.insert("dp.front_max".to_string(), 7);
+        snap.spans.insert(
+            "dp_solve".to_string(),
+            SpanStat {
+                calls: 1,
+                total_ns: 1_500_000,
+            },
+        );
+        snap.spans.insert(
+            "dp_solve/reconstruct".to_string(),
+            SpanStat {
+                calls: 2,
+                total_ns: 800,
+            },
+        );
+        snap.histograms.insert(
+            "dp.front_len".to_string(),
+            HistogramStat {
+                count: 3,
+                sum: 9,
+                min: 1,
+                max: 5,
+                buckets: vec![(1, 1), (7, 2)],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn json_export_uses_stable_field_names() {
+        let json = sample().to_json_string();
+        assert!(!json.contains('\n'), "compact export is one line");
+        let parsed = JsonValue::parse(&json).expect("export is valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("dp.states"))
+                .and_then(JsonValue::as_u64),
+            Some(42)
+        );
+        let spans = parsed
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .expect("spans array");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[0].get("path").and_then(JsonValue::as_str),
+            Some("dp_solve")
+        );
+        assert_eq!(spans[0].get("calls").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            spans[0].get("total_ns").and_then(JsonValue::as_u64),
+            Some(1_500_000)
+        );
+        let hists = parsed
+            .get("histograms")
+            .and_then(JsonValue::as_array)
+            .expect("histograms array");
+        assert_eq!(
+            hists[0].get("name").and_then(JsonValue::as_str),
+            Some("dp.front_len")
+        );
+        let buckets = hists[0]
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .expect("buckets");
+        assert_eq!(buckets[1].get("le").and_then(JsonValue::as_u64), Some(7));
+    }
+
+    #[test]
+    fn text_export_lists_every_section() {
+        let text = sample().to_text();
+        assert!(text.contains("dp.states = 42"));
+        assert!(text.contains("dp_solve: calls=1 total=1.5ms"));
+        assert!(text.contains("dp.front_len: count=3 min=1 max=5 mean=3.00"));
+        let empty = Snapshot::default().to_text();
+        assert!(empty.contains("counters:\n  (none)"));
+    }
+
+    #[test]
+    fn span_tree_indents_children_under_parents() {
+        let tree = sample().span_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "span tree:");
+        assert!(lines[1].trim_start().starts_with("dp_solve"));
+        assert!(
+            lines[2].starts_with("    reconstruct")
+                || lines[2].trim_start().starts_with("reconstruct")
+        );
+        let parent_indent = lines[1].len() - lines[1].trim_start().len();
+        let child_indent = lines[2].len() - lines[2].trim_start().len();
+        assert!(
+            child_indent > parent_indent,
+            "child is indented deeper:\n{tree}"
+        );
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.210s");
+    }
+}

@@ -1,0 +1,111 @@
+//! Fixed log-scale (power-of-two) histograms.
+//!
+//! A histogram buckets `u64` samples by bit length: bucket `b` holds
+//! the samples whose value needs exactly `b` bits (bucket 0 holds only
+//! zero, bucket 1 holds `1`, bucket 2 holds `2..=3`, bucket `b` holds
+//! `2^(b-1) ..= 2^b - 1`). The 65 buckets cover the full `u64` range
+//! with no configuration, recording is two integer ops, and the
+//! log-scale shape matches the quantities the solver tracks (front
+//! lengths, state counts) whose interesting variation is relative, not
+//! absolute.
+
+/// The number of bit-length buckets covering `u64` (0 through 64).
+pub const BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub(crate) struct Histogram {
+    pub(crate) count: u64,
+    pub(crate) sum: u64,
+    pub(crate) min: u64,
+    pub(crate) max: u64,
+    pub(crate) buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub(crate) fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+/// The bucket index (bit length) of `value`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value belonging to bucket `index` (its inclusive upper
+/// bound): `2^index - 1`, saturating at `u64::MAX` for bucket 64.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_maxima() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(8), 255);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 100, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_upper_bound(bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [5u64, 1, 9, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 24);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 9);
+        assert_eq!(h.buckets[bucket_index(9)], 2);
+        assert_eq!(h.buckets[bucket_index(1)], 1);
+    }
+}

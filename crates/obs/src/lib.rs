@@ -1,0 +1,51 @@
+//! # ia-obs
+//!
+//! Zero-dependency (std-only) instrumentation for the
+//! interconnect-rank workspace: a global collector behind a cheap
+//! enabled flag, RAII [`Span`] timers with parent nesting, monotonic
+//! counters, fixed log-scale histograms, and text/JSON exporters with
+//! stable field names.
+//!
+//! The rank solver's practical cost is governed by quantities the code
+//! alone cannot reveal — DP states explored, Pareto-front sizes, prune
+//! rates. This crate makes them measurable without making the solver
+//! slower when nobody is looking: with the collector disabled (the
+//! default) every instrumentation call is a relaxed atomic load and a
+//! branch.
+//!
+//! ```
+//! ia_obs::set_enabled(true);
+//! ia_obs::reset();
+//! {
+//!     let _solve = ia_obs::span("dp_solve");
+//!     ia_obs::counter_add("dp.states", 128);
+//!     ia_obs::counter_max("dp.front_max", 7);
+//!     ia_obs::histogram_record("dp.front_len", 7);
+//! }
+//! let snap = ia_obs::snapshot();
+//! assert_eq!(snap.counter("dp.states"), Some(128));
+//! println!("{}", snap.to_json_string());
+//! # ia_obs::set_enabled(false);
+//! ```
+//!
+//! The collector is logically global, physically thread-local: see
+//! [`collector`](self::set_enabled) and `docs/observability.md` for
+//! the model and the counter-name stability policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod export;
+mod histogram;
+pub mod json;
+mod span;
+mod stopwatch;
+
+pub use collector::{
+    counter_add, counter_max, enabled, histogram_record, reset, set_enabled, snapshot, Collector,
+};
+pub use export::{HistogramStat, Snapshot, SpanStat};
+pub use histogram::{bucket_index, bucket_upper_bound, BUCKETS};
+pub use span::{span, Span};
+pub use stopwatch::Stopwatch;

@@ -1,0 +1,50 @@
+//! RAII span timers with parent nesting.
+
+use std::time::Instant;
+
+use crate::collector::{enabled, with_storage};
+
+/// A running span timer. Created by [`span`]; records its elapsed time
+/// into the collector when dropped. When the collector is disabled at
+/// creation, the span is inert and drop does nothing.
+#[derive(Debug)]
+pub struct Span {
+    /// `(start, aggregation path)` when live; `None` when the
+    /// collector was disabled at creation.
+    active: Option<(Instant, String)>,
+}
+
+/// Opens a span named `name`, nested under any span currently open on
+/// this thread. Spans aggregate by their `/`-joined path: two calls to
+/// `span("reconstruct")` inside `span("dp_solve")` both accumulate
+/// into `dp_solve/reconstruct` (`calls` and `total_ns`).
+///
+/// Bind the result — `let _span = ia_obs::span("dp_solve");` — so it
+/// lives until the end of the scope being timed.
+#[must_use = "a span records on drop; bind it with `let _span = ...`"]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    let path = with_storage(|s| {
+        s.stack.push(name);
+        s.stack.join("/")
+    });
+    Span {
+        active: Some((Instant::now(), path)),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, path)) = self.active.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            with_storage(|s| {
+                s.stack.pop();
+                let stat = s.spans.entry(path).or_default();
+                stat.calls += 1;
+                stat.total_ns = stat.total_ns.saturating_add(ns);
+            });
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Wall-clock stopwatches for benchmark harnesses.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock stopwatch. Unlike [`span`](crate::span), a stopwatch
+/// measures unconditionally — it ignores the collector's enabled flag
+/// and stores nothing in the collector. It exists so benchmark bins
+/// have exactly one sanctioned way to measure wall time (ia-lint rule
+/// L6 `raw-timing` flags direct `Instant::now()` calls elsewhere).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since start (or the last [`lap`](Self::lap)).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (≈584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Returns the elapsed time and restarts the stopwatch, so
+    /// consecutive laps measure disjoint intervals.
+    pub fn lap(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.start = Instant::now();
+        elapsed
+    }
+
+    /// [`lap`](Self::lap) in saturating nanoseconds.
+    pub fn lap_ns(&mut self) -> u64 {
+        u64::try_from(self.lap().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}

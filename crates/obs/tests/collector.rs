@@ -1,0 +1,180 @@
+//! End-to-end tests of the collector: enabling, recording, nesting,
+//! snapshot extraction and the disabled fast path.
+//!
+//! The enabled flag is process-global while recordings are
+//! thread-local, and `cargo test` runs tests in parallel — so every
+//! test that *disables* the collector (or asserts nothing was
+//! recorded) must hold [`flag_lock`] to avoid racing tests that need
+//! it enabled.
+
+use std::sync::{Mutex, MutexGuard};
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+fn flag_lock() -> MutexGuard<'static, ()> {
+    FLAG_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn disabled_collector_records_nothing() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(false);
+    ia_obs::reset();
+    {
+        let _span = ia_obs::span("ignored");
+        ia_obs::counter_add("ignored.counter", 5);
+        ia_obs::counter_max("ignored.max", 5);
+        ia_obs::histogram_record("ignored.hist", 5);
+    }
+    let snap = ia_obs::snapshot();
+    assert!(snap.is_empty(), "disabled collector stored: {snap:?}");
+}
+
+#[test]
+fn enabling_mid_process_starts_recording() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(false);
+    assert!(!ia_obs::enabled());
+    ia_obs::Collector::enable();
+    assert!(ia_obs::Collector::is_enabled());
+    ia_obs::reset();
+    ia_obs::counter_add("late.counter", 1);
+    assert_eq!(ia_obs::snapshot().counter("late.counter"), Some(1));
+    ia_obs::Collector::disable();
+    assert!(!ia_obs::enabled());
+}
+
+#[test]
+fn counters_accumulate_and_track_maxima() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    ia_obs::counter_add("c.add", 3);
+    ia_obs::counter_add("c.add", 4);
+    ia_obs::counter_max("c.max", 10);
+    ia_obs::counter_max("c.max", 6);
+    let snap = ia_obs::snapshot();
+    assert_eq!(snap.counter("c.add"), Some(7));
+    assert_eq!(snap.counter("c.max"), Some(10));
+    assert_eq!(snap.counter("c.absent"), None);
+}
+
+#[test]
+fn nested_spans_aggregate_by_path() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    {
+        let _outer = ia_obs::span("outer");
+        for _ in 0..3 {
+            let _inner = ia_obs::span("inner");
+        }
+    }
+    {
+        let _lone = ia_obs::span("inner");
+    }
+    let snap = ia_obs::snapshot();
+    assert_eq!(snap.spans["outer"].calls, 1);
+    assert_eq!(snap.spans["outer/inner"].calls, 3);
+    assert_eq!(
+        snap.spans["inner"].calls, 1,
+        "top-level `inner` is a distinct path"
+    );
+    assert!(
+        snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns,
+        "a parent span covers its children: {:?}",
+        snap.spans
+    );
+}
+
+#[test]
+fn histograms_bucket_samples_log_scale() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    for v in [0u64, 1, 2, 3, 200] {
+        ia_obs::histogram_record("h", v);
+    }
+    let snap = ia_obs::snapshot();
+    let h = &snap.histograms["h"];
+    assert_eq!(h.count, 5);
+    assert_eq!(h.sum, 206);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, 200);
+    // Buckets: 0 → le 0; 1 → le 1; {2, 3} → le 3; 200 → le 255.
+    assert_eq!(h.buckets, vec![(0, 1), (1, 1), (3, 2), (255, 1)]);
+}
+
+#[test]
+fn reset_clears_data_but_not_the_flag() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    ia_obs::counter_add("r.c", 1);
+    ia_obs::reset();
+    assert!(ia_obs::enabled(), "reset leaves the flag alone");
+    assert!(ia_obs::snapshot().is_empty());
+}
+
+#[test]
+fn recordings_are_thread_local() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    ia_obs::counter_add("tl.here", 1);
+    std::thread::spawn(|| {
+        ia_obs::counter_add("tl.there", 1);
+        let there = ia_obs::snapshot();
+        assert_eq!(there.counter("tl.there"), Some(1));
+        assert_eq!(
+            there.counter("tl.here"),
+            None,
+            "other thread's data is invisible"
+        );
+    })
+    .join()
+    .expect("worker thread completes");
+    let here = ia_obs::snapshot();
+    assert_eq!(here.counter("tl.here"), Some(1));
+    assert_eq!(here.counter("tl.there"), None);
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    ia_obs::reset();
+    {
+        let _s = ia_obs::span("solve");
+        ia_obs::counter_add("j.states", 9);
+        ia_obs::histogram_record("j.front", 4);
+    }
+    let rendered = ia_obs::snapshot().to_json_string();
+    let parsed = ia_obs::json::JsonValue::parse(&rendered).expect("snapshot renders valid JSON");
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("j.states"))
+            .and_then(|v| v.as_u64()),
+        Some(9)
+    );
+    let spans = parsed
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .expect("spans");
+    assert_eq!(spans[0].get("path").and_then(|p| p.as_str()), Some("solve"));
+    assert!(spans[0].get("total_ns").and_then(|t| t.as_u64()).is_some());
+}
+
+#[test]
+fn stopwatch_measures_regardless_of_flag() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(false);
+    let mut sw = ia_obs::Stopwatch::start();
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    let first = sw.lap_ns();
+    assert!(first >= 1_000_000, "~2ms sleep measured, got {first}ns");
+    let second = sw.elapsed_ns();
+    assert!(second < first, "lap restarted the stopwatch");
+}

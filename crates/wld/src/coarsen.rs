@@ -120,6 +120,7 @@ impl<'a> IntoIterator for &'a CoarseWld {
 ///
 /// Returns [`WldError::ZeroBunchSize`] if `size == 0`.
 pub fn bunch(wld: &Wld, size: u64) -> Result<CoarseWld, WldError> {
+    let _span = ia_obs::span("coarsen.bunch");
     if size == 0 {
         return Err(WldError::ZeroBunchSize);
     }
@@ -148,6 +149,7 @@ pub fn bunch(wld: &Wld, size: u64) -> Result<CoarseWld, WldError> {
 /// small hand-built instances.
 #[must_use]
 pub fn per_length(wld: &Wld) -> CoarseWld {
+    let _span = ia_obs::span("coarsen.per_length");
     let bunches = wld
         .iter_descending()
         .map(|(length, count)| Bunch { length, count })
@@ -179,6 +181,7 @@ pub fn per_length(wld: &Wld) -> CoarseWld {
 /// ```
 #[must_use]
 pub fn bin(wld: &Wld, max_spread: u64) -> Wld {
+    let _span = ia_obs::span("coarsen.bin");
     let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
     let mut group: Vec<(u64, u64)> = Vec::new();
 

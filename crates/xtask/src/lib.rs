@@ -6,7 +6,7 @@
 //! model crates must not panic on library paths, and non-finite
 //! sentinels must never escape unguarded. This pass walks the
 //! workspace source (std-only — the build environment has no network
-//! route to crates.io) and enforces five domain rules:
+//! route to crates.io) and enforces six domain rules:
 //!
 //! * **L1 `crate-header`** — every lib crate declares
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
@@ -19,15 +19,24 @@
 //! * **L5 `nonfinite`** — every `f64::INFINITY` / `f64::NAN` literal
 //!   sits within three lines of an `is_finite` / `is_nan` /
 //!   `is_infinite` guard.
+//! * **L6 `raw-timing`** — no direct `Instant::now()` calls outside
+//!   `crates/obs` and test code; wall-clock measurement goes through
+//!   `ia_obs::Stopwatch` or spans.
 //!
 //! Any rule can be waived on a specific line with a
 //! `// lint: <rule-name>` comment; see `docs/linting.md`.
+//!
+//! Beyond linting, the binary also validates the observability
+//! artifacts the workspace emits: `check-metrics FILE` for the CLI's
+//! `--metrics json` snapshot and `check-bench FILE` for the bench
+//! harness's `BENCH_*.json` reports (see [`schema`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod diag;
 mod rules;
+pub mod schema;
 mod source;
 
 pub use diag::{render_json, render_text, Diagnostic};
@@ -206,6 +215,11 @@ fn lint_crate(root: &Path, krate: &CrateSource, diags: &mut Vec<Diagnostic>) {
         if !in_test_dir {
             rules::check_float_cast(&rel, &file, diags);
             rules::check_nonfinite(&rel, &file, diags);
+            // The observability crate is the one sanctioned home for
+            // raw clock reads; everything else goes through it.
+            if krate.name != "obs" {
+                rules::check_raw_timing(&rel, &file, diags);
+            }
         }
     }
 }

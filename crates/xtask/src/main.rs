@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! cargo run -p xtask -- check-metrics FILE
+//! cargo run -p xtask -- check-bench FILE
 //! ```
 //!
-//! Exits 0 on a clean workspace, 1 when any rule fires, 2 on usage or
-//! I/O errors.
+//! Exits 0 on a clean workspace / valid artifact, 1 when any rule
+//! fires or the artifact is malformed, 2 on usage or I/O errors.
 
 #![forbid(unsafe_code)]
 
@@ -15,12 +17,40 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ia-lint lint [--format text|json] [--root PATH]\n\
+         \x20      ia-lint check-metrics FILE\n\
+         \x20      ia-lint check-bench FILE\n\
          \n\
-         Walks the workspace source and enforces the domain rules\n\
+         lint walks the workspace source and enforces the domain rules\n\
          L1 crate-header, L2 no-panic, L3 raw-f64, L4 float-cast,\n\
-         L5 nonfinite. See docs/linting.md."
+         L5 nonfinite, L6 raw-timing. See docs/linting.md.\n\
+         \n\
+         check-metrics validates a CLI `--metrics json` snapshot;\n\
+         check-bench validates a bench `BENCH_*.json` report.\n\
+         See docs/observability.md."
     );
     ExitCode::from(2)
+}
+
+/// Runs a schema checker against a file, mapping I/O errors to exit 2
+/// and schema violations to exit 1.
+fn run_check(kind: &str, file: &str, check: fn(&str) -> Result<String, String>) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ia-lint: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check(&text) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(problem) => {
+            eprintln!("ia-lint: {kind} {file}: {problem}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn default_root() -> PathBuf {
@@ -38,6 +68,18 @@ fn main() -> ExitCode {
     let mut format = "text".to_string();
     let mut root = default_root();
     let mut command = None;
+
+    // The check-* subcommands take exactly one positional file.
+    match args.first().map(String::as_str) {
+        Some("check-metrics") if args.len() == 2 => {
+            return run_check("check-metrics", &args[1], xtask::schema::check_metrics);
+        }
+        Some("check-bench") if args.len() == 2 => {
+            return run_check("check-bench", &args[1], xtask::schema::check_bench);
+        }
+        Some("check-metrics" | "check-bench") => return usage(),
+        _ => {}
+    }
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,7 +121,7 @@ fn main() -> ExitCode {
         _ => {
             print!("{}", xtask::render_text(&diags));
             if diags.is_empty() {
-                eprintln!("ia-lint: clean ({} rules)", 5);
+                eprintln!("ia-lint: clean ({} rules)", 6);
             } else {
                 eprintln!("ia-lint: {} finding(s)", diags.len());
             }

@@ -1,4 +1,4 @@
-//! The five lint rules (L1–L5). See the crate docs for the rationale
+//! The six lint rules (L1–L6). See the crate docs for the rationale
 //! behind each and `docs/linting.md` for the user-facing description.
 
 use crate::diag::Diagnostic;
@@ -229,6 +229,38 @@ pub fn check_float_cast(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnosti
                 ),
             ));
         }
+    }
+}
+
+/// L6 `raw-timing`: no direct `Instant::now()` calls outside the
+/// observability crate and test code — wall-clock measurement goes
+/// through `ia_obs::Stopwatch` (benches) or `ia_obs::span` (library
+/// phases) so every timing artifact shares one clock discipline.
+pub fn check_raw_timing(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "Instant" {
+            continue;
+        }
+        // Match `Instant :: now (` (`::` lexes as two `:` tokens).
+        let is_now_call = toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+            && toks.get(i + 3).is_some_and(|n| n.text == "now")
+            && toks.get(i + 4).is_some_and(|p| p.text == "(");
+        if !is_now_call {
+            continue;
+        }
+        if file.in_test_code(t.line) || file.waived(t.line, "raw-timing") {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            rel.to_path_buf(),
+            t.line,
+            "raw-timing",
+            "`Instant::now()` outside `crates/obs`; measure with `ia_obs::Stopwatch` \
+             or a span (waive with `// lint: raw-timing`)"
+                .to_string(),
+        ));
     }
 }
 

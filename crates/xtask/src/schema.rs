@@ -1,0 +1,250 @@
+//! Schema validation for the observability artifacts.
+//!
+//! Two documents are part of the workspace's stable machine-readable
+//! surface (`docs/observability.md`):
+//!
+//! * the CLI's `--metrics json` snapshot
+//!   (`{"counters": {...}, "spans": [...], "histograms": [...]}`), and
+//! * the bench harness's `BENCH_<name>.json` reports
+//!   (`{"bench": "...", "cases": [{"params", "wall_ns", "counters"}]}`).
+//!
+//! CI runs `ia-lint check-metrics` / `ia-lint check-bench` on freshly
+//! emitted files so schema drift fails the build instead of silently
+//! breaking downstream consumers. Both checkers parse with the same
+//! [`ia_obs::json`] tree the exporters render from, so integers are
+//! checked exactly.
+
+use ia_obs::json::JsonValue;
+
+/// Requires `doc[key]` to be an object whose values are all exact
+/// unsigned integers (the shape of a counter map).
+fn expect_counter_map(doc: &JsonValue, key: &str, ctx: &str) -> Result<usize, String> {
+    let map = doc
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}` object"))?
+        .as_object()
+        .ok_or_else(|| format!("{ctx}: `{key}` must be an object"))?;
+    for (name, value) in map {
+        if value.as_u64().is_none() {
+            return Err(format!(
+                "{ctx}: `{key}.{name}` must be an unsigned integer, got {}",
+                value.render()
+            ));
+        }
+    }
+    Ok(map.len())
+}
+
+/// Requires `doc[key]` to be an exact unsigned integer.
+fn expect_u64(doc: &JsonValue, key: &str, ctx: &str) -> Result<u64, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: `{key}` must be an unsigned integer"))
+}
+
+/// Requires `doc[key]` to be a string.
+fn expect_str<'a>(doc: &'a JsonValue, key: &str, ctx: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `{key}` must be a string"))
+}
+
+/// Validates a CLI `--metrics json` snapshot document.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or parse
+/// error) found.
+pub fn check_metrics(text: &str) -> Result<String, String> {
+    let doc = JsonValue::parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let n_counters = expect_counter_map(&doc, "counters", "snapshot")?;
+
+    let spans = doc
+        .get("spans")
+        .ok_or("snapshot: missing `spans` array")?
+        .as_array()
+        .ok_or("snapshot: `spans` must be an array")?;
+    for (i, span) in spans.iter().enumerate() {
+        let ctx = format!("spans[{i}]");
+        let path = expect_str(span, "path", &ctx)?;
+        if path.is_empty() {
+            return Err(format!("{ctx}: `path` must be non-empty"));
+        }
+        let calls = expect_u64(span, "calls", &ctx)?;
+        if calls == 0 {
+            return Err(format!("{ctx}: `calls` must be positive"));
+        }
+        expect_u64(span, "total_ns", &ctx)?;
+    }
+
+    let histograms = doc
+        .get("histograms")
+        .ok_or("snapshot: missing `histograms` array")?
+        .as_array()
+        .ok_or("snapshot: `histograms` must be an array")?;
+    for (i, h) in histograms.iter().enumerate() {
+        let ctx = format!("histograms[{i}]");
+        expect_str(h, "name", &ctx)?;
+        for field in ["count", "sum", "min", "max"] {
+            expect_u64(h, field, &ctx)?;
+        }
+        let buckets = h
+            .get("buckets")
+            .ok_or_else(|| format!("{ctx}: missing `buckets` array"))?
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: `buckets` must be an array"))?;
+        for (j, bucket) in buckets.iter().enumerate() {
+            let bctx = format!("{ctx}.buckets[{j}]");
+            expect_u64(bucket, "le", &bctx)?;
+            expect_u64(bucket, "count", &bctx)?;
+        }
+    }
+
+    if n_counters == 0 && spans.is_empty() {
+        return Err("snapshot: no counters and no spans (was the collector enabled?)".to_owned());
+    }
+    Ok(format!(
+        "metrics snapshot OK: {n_counters} counters, {} spans, {} histograms",
+        spans.len(),
+        histograms.len()
+    ))
+}
+
+/// Validates a bench harness `BENCH_<name>.json` report.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or parse
+/// error) found.
+pub fn check_bench(text: &str) -> Result<String, String> {
+    let doc = JsonValue::parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let bench = expect_str(&doc, "bench", "report")?;
+    if bench.is_empty() {
+        return Err("report: `bench` must be non-empty".to_owned());
+    }
+    let cases = doc
+        .get("cases")
+        .ok_or("report: missing `cases` array")?
+        .as_array()
+        .ok_or("report: `cases` must be an array")?;
+    if cases.is_empty() {
+        return Err("report: `cases` must be non-empty".to_owned());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        let ctx = format!("cases[{i}]");
+        let params = case
+            .get("params")
+            .ok_or_else(|| format!("{ctx}: missing `params` object"))?
+            .as_object()
+            .ok_or_else(|| format!("{ctx}: `params` must be an object"))?;
+        for (name, value) in params {
+            if !matches!(
+                value,
+                JsonValue::Str(_) | JsonValue::Bool(_) | JsonValue::UInt(_) | JsonValue::Num(_)
+            ) {
+                return Err(format!(
+                    "{ctx}: `params.{name}` must be a string, boolean or number, got {}",
+                    value.render()
+                ));
+            }
+        }
+        expect_u64(case, "wall_ns", &ctx)?;
+        expect_counter_map(case, "counters", &ctx)?;
+    }
+    Ok(format!("bench report `{bench}` OK: {} cases", cases.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_METRICS: &str = r#"{"counters":{"dp.states":4,"dp.front_max":1},
+        "spans":[{"path":"dp_solve","calls":1,"total_ns":120}],
+        "histograms":[{"name":"dp.front_len","count":2,"sum":3,"min":1,"max":2,
+                       "buckets":[{"le":1,"count":1},{"le":3,"count":1}]}]}"#;
+
+    const GOOD_BENCH: &str = r#"{"bench":"figure2","cases":[
+        {"params":{"solver":"dp","gates":30000,"full":false},
+         "wall_ns":123,"counters":{"dp.states":4}}]}"#;
+
+    #[test]
+    fn good_metrics_passes() {
+        let summary = check_metrics(GOOD_METRICS).unwrap();
+        assert!(summary.contains("2 counters"));
+        assert!(summary.contains("1 spans"));
+    }
+
+    #[test]
+    fn good_bench_passes() {
+        let summary = check_bench(GOOD_BENCH).unwrap();
+        assert!(summary.contains("figure2"));
+        assert!(summary.contains("1 cases"));
+    }
+
+    #[test]
+    fn metrics_rejects_bad_shapes() {
+        assert!(check_metrics("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(
+            check_metrics(r#"{"counters":{},"spans":[],"histograms":[]}"#)
+                .unwrap_err()
+                .contains("collector enabled")
+        );
+        assert!(
+            check_metrics(r#"{"counters":{"x":1.5},"spans":[],"histograms":[]}"#)
+                .unwrap_err()
+                .contains("unsigned integer")
+        );
+        assert!(check_metrics(
+            r#"{"counters":{"x":1},"spans":[{"path":"","calls":1,"total_ns":0}],"histograms":[]}"#
+        )
+        .unwrap_err()
+        .contains("non-empty"));
+        assert!(check_metrics(
+            r#"{"counters":{"x":1},"spans":[{"path":"p","calls":0,"total_ns":0}],"histograms":[]}"#
+        )
+        .unwrap_err()
+        .contains("positive"));
+        assert!(check_metrics(r#"{"spans":[],"histograms":[]}"#)
+            .unwrap_err()
+            .contains("missing `counters`"));
+    }
+
+    #[test]
+    fn bench_rejects_bad_shapes() {
+        assert!(check_bench(r#"{"bench":"x","cases":[]}"#)
+            .unwrap_err()
+            .contains("non-empty"));
+        assert!(check_bench(r#"{"cases":[{}]}"#)
+            .unwrap_err()
+            .contains("missing `bench`"));
+        assert!(check_bench(
+            r#"{"bench":"x","cases":[{"params":{"a":[1]},"wall_ns":1,"counters":{}}]}"#
+        )
+        .unwrap_err()
+        .contains("params.a"));
+        assert!(
+            check_bench(r#"{"bench":"x","cases":[{"params":{},"counters":{}}]}"#)
+                .unwrap_err()
+                .contains("wall_ns")
+        );
+    }
+
+    #[test]
+    fn counter_values_survive_exactly_at_u64_scale() {
+        // 2^63 + 1 would corrupt through an f64 pipeline; the UInt
+        // variant must carry it bit-for-bit.
+        let big = u64::MAX - 1;
+        let doc = format!(
+            r#"{{"bench":"x","cases":[{{"params":{{}},"wall_ns":{big},"counters":{{"c":{big}}}}}]}}"#
+        );
+        check_bench(&doc).unwrap();
+    }
+}

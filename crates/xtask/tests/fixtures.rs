@@ -89,6 +89,27 @@ fn l5_unguarded_nonfinite_literals_are_reported() {
 }
 
 #[test]
+fn l6_raw_timing_is_reported() {
+    let diags = lint_fixture("raw_timing");
+    assert_eq!(diags.len(), 2, "got {diags:?}");
+    for d in &diags {
+        assert_eq!(d.file, Path::new("crates/demo/src/lib.rs"));
+        assert_eq!(d.rule, "raw-timing");
+        assert!(d.message.contains("ia_obs::Stopwatch"));
+    }
+    assert_eq!(diags[0].line, 11);
+    assert_eq!(diags[1].line, 18);
+}
+
+#[test]
+fn l6_exempts_the_obs_crate() {
+    // The same offending source under `crates/obs/` must be silent —
+    // the observability crate is the sanctioned home for clock reads.
+    let diags = lint_fixture("raw_timing_obs");
+    assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+}
+
+#[test]
 fn cli_exit_codes_and_text_format() {
     let bin = env!("CARGO_BIN_EXE_ia-lint");
 
@@ -121,6 +142,71 @@ fn cli_exit_codes_and_text_format() {
         .expect("runs");
     assert_eq!(missing.status.code(), Some(2), "missing root must exit 2");
     assert!(String::from_utf8_lossy(&missing.stderr).contains("not a directory"));
+}
+
+#[test]
+fn cli_schema_checkers_validate_artifacts() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let dir = std::env::temp_dir().join("ia_lint_schema_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let metrics = dir.join("metrics.json");
+    std::fs::write(
+        &metrics,
+        r#"{"counters":{"dp.states":4},"spans":[{"path":"dp_solve","calls":1,"total_ns":9}],"histograms":[]}"#,
+    )
+    .expect("writable");
+    let ok = Command::new(bin)
+        .arg("check-metrics")
+        .arg(&metrics)
+        .output()
+        .expect("runs");
+    assert!(ok.status.success(), "valid snapshot must exit 0");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("metrics snapshot OK"));
+
+    let bench = dir.join("BENCH_demo.json");
+    std::fs::write(
+        &bench,
+        r#"{"bench":"demo","cases":[{"params":{"gates":100},"wall_ns":5,"counters":{}}]}"#,
+    )
+    .expect("writable");
+    let ok = Command::new(bin)
+        .arg("check-bench")
+        .arg(&bench)
+        .output()
+        .expect("runs");
+    assert!(ok.status.success(), "valid report must exit 0");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("bench report `demo` OK"));
+
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, r#"{"bench":"demo","cases":[]}"#).expect("writable");
+    let err = Command::new(bin)
+        .arg("check-bench")
+        .arg(&bad)
+        .output()
+        .expect("runs");
+    assert_eq!(err.status.code(), Some(1), "schema violation must exit 1");
+    assert!(String::from_utf8_lossy(&err.stderr).contains("non-empty"));
+
+    let missing = Command::new(bin)
+        .args(["check-metrics", "/nonexistent/metrics.json"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "unreadable file must exit 2"
+    );
+
+    let no_file = Command::new(bin)
+        .arg("check-metrics")
+        .output()
+        .expect("runs");
+    assert_eq!(
+        no_file.status.code(),
+        Some(2),
+        "missing operand must exit 2"
+    );
 }
 
 #[test]

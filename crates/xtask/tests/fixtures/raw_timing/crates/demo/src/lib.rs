@@ -1,0 +1,44 @@
+//! Fixture: raw `Instant::now()` timing outside the obs crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Hand-rolled wall-clock read: flagged.
+#[must_use]
+pub fn measure() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+/// Fully-qualified form: flagged too.
+#[must_use]
+pub fn measure_qualified() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+/// Waived read: not flagged.
+#[must_use]
+pub fn measure_waived() -> u128 {
+    let start = Instant::now(); // lint: raw-timing (fixture waiver)
+    start.elapsed().as_nanos()
+}
+
+/// Mentioning the type without calling `now` is fine.
+#[must_use]
+pub fn label(_at: Instant) -> &'static str {
+    "Instant::elapsed is not a clock read"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_time_directly() {
+        let start = Instant::now();
+        assert!(measure() <= start.elapsed().as_nanos() + 1_000_000_000);
+    }
+}

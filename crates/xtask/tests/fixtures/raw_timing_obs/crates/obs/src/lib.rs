@@ -1,0 +1,12 @@
+//! Fixture: clock reads inside a crate named `obs` are sanctioned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// The obs crate may read the clock directly: not flagged.
+#[must_use]
+pub fn now_ns() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
