@@ -1,18 +1,23 @@
 //! Measures the cost of the instrumentation layer on the DP hot path.
 //!
 //! Runs the same budget-limited toy instance through `dp::rank` for a
-//! fixed number of iterations in two collector states:
+//! fixed number of iterations in three collector states:
 //!
-//! * **disabled** — the telemetry calls reduce to a relaxed atomic load
-//!   and a branch (the acceptance criterion: < 2 % overhead versus a
-//!   build with instrumentation compiled out);
-//! * **enabled** — the full counter/span recording cost, for context.
+//! * **disabled** — both flags off: the telemetry calls reduce to two
+//!   relaxed atomic loads and a branch (the acceptance criterion: < 2 %
+//!   overhead versus a build with instrumentation compiled out);
+//! * **enabled** — the full counter/span aggregation cost, for context;
+//! * **tracing** — aggregation plus per-event trace recording into the
+//!   bounded buffers, the most expensive configuration.
 //!
 //! Build the compiled-out baseline with
 //! `cargo run --release -p ia-bench --no-default-features --bin obs_overhead`
 //! and compare the disabled-case `wall_ns` of the two artifacts (the
 //! `telemetry_compiled` parameter records which build produced a file;
 //! set `IA_BENCH_OUT_DIR` to keep the two artifacts apart).
+//!
+//! Set `IA_BENCH_TRACE=1` to also write the tracing case's event
+//! buffer as `TRACE_obs_overhead.json` (Chrome trace-event format).
 
 use ia_bench::BenchReport;
 use ia_obs::Stopwatch;
@@ -31,9 +36,17 @@ fn main() {
     println!("telemetry compiled in: {telemetry_compiled}\n");
 
     let mut report = BenchReport::new("obs_overhead");
+    if std::env::var_os("IA_BENCH_TRACE").is_some() {
+        report = report.with_trace();
+    }
     let mut checksum = 0u64;
-    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+    for (label, enabled, traced) in [
+        ("disabled", false, false),
+        ("enabled", true, false),
+        ("tracing", true, true),
+    ] {
         ia_obs::set_enabled(enabled);
+        ia_obs::set_trace_enabled(traced);
         ia_obs::reset();
         // Warm-up run so page faults and allocator growth are off the
         // measured path.
@@ -60,6 +73,7 @@ fn main() {
         );
     }
     ia_obs::set_enabled(true);
+    ia_obs::set_trace_enabled(false);
     println!("\n(checksum {checksum}, ignore — defeats dead-code elimination)");
     match report.write() {
         Ok(path) => println!("wrote {}", path.display()),

@@ -51,6 +51,7 @@ pub const OUT_DIR_ENV: &str = "IA_BENCH_OUT_DIR";
 pub struct BenchReport {
     bench: String,
     cases: Vec<JsonValue>,
+    trace: bool,
 }
 
 impl BenchReport {
@@ -61,7 +62,27 @@ impl BenchReport {
         Self {
             bench: bench.to_owned(),
             cases: Vec::new(),
+            trace: false,
         }
+    }
+
+    /// Also record an event trace: enables tracing now, and [`write`]
+    /// additionally drains the buffered events into a
+    /// `TRACE_<name>.json` Chrome trace-event file referenced by the
+    /// artifact's top-level `"trace"` field.
+    ///
+    /// [`write`]: Self::write
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        ia_obs::set_trace_enabled(true);
+        self.trace = true;
+        self
+    }
+
+    /// The trace file name, `TRACE_<name>.json`.
+    #[must_use]
+    pub fn trace_file_name(&self) -> String {
+        format!("TRACE_{}.json", self.bench)
     }
 
     /// Records one case: its parameters, the measured wall time, and
@@ -96,14 +117,19 @@ impl BenchReport {
         self.cases.is_empty()
     }
 
-    /// Renders the full artifact as compact single-line JSON.
+    /// Renders the full artifact as compact single-line JSON. With
+    /// [`with_trace`](Self::with_trace) the object carries a `"trace"`
+    /// field naming the sibling trace file.
     #[must_use]
     pub fn to_json_string(&self) -> String {
-        JsonValue::Obj(vec![
+        let mut fields = vec![
             ("bench".to_owned(), JsonValue::Str(self.bench.clone())),
             ("cases".to_owned(), JsonValue::Arr(self.cases.clone())),
-        ])
-        .render()
+        ];
+        if self.trace {
+            fields.push(("trace".to_owned(), JsonValue::Str(self.trace_file_name())));
+        }
+        JsonValue::Obj(fields).render()
     }
 
     /// The artifact's file name, `BENCH_<name>.json`.
@@ -113,7 +139,9 @@ impl BenchReport {
     }
 
     /// Writes the artifact into `IA_BENCH_OUT_DIR` (default: the
-    /// current directory) and returns the path written.
+    /// current directory) and returns the path written. With
+    /// [`with_trace`](Self::with_trace) the buffered trace events are
+    /// drained and written alongside as `TRACE_<name>.json`.
     ///
     /// # Errors
     ///
@@ -122,6 +150,13 @@ impl BenchReport {
         let dir = std::env::var_os(OUT_DIR_ENV).map_or_else(|| PathBuf::from("."), PathBuf::from);
         let path = dir.join(self.file_name());
         std::fs::write(&path, self.to_json_string())?;
+        if self.trace {
+            let trace = ia_obs::drain_trace();
+            std::fs::write(
+                dir.join(self.trace_file_name()),
+                trace.to_chrome_json_string(&self.bench),
+            )?;
+        }
         Ok(path)
     }
 }
@@ -174,5 +209,33 @@ mod tests {
     #[test]
     fn file_name_is_stable() {
         assert_eq!(BenchReport::new("table4").file_name(), "BENCH_table4.json");
+    }
+
+    #[test]
+    fn with_trace_adds_the_trace_field_and_writes_the_file() {
+        let dir = std::env::temp_dir().join("ia_bench_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut report = BenchReport::new("traced").with_trace();
+        {
+            let _span = ia_obs::span("traced_work");
+        }
+        report.case([("i", 0u64.into())], 1);
+        let doc = JsonValue::parse(&report.to_json_string()).unwrap();
+        assert_eq!(
+            doc.get("trace").unwrap().as_str(),
+            Some("TRACE_traced.json")
+        );
+        // Write through the env-var path and check the sibling file.
+        std::env::set_var(OUT_DIR_ENV, &dir);
+        let written = report.write().unwrap();
+        std::env::remove_var(OUT_DIR_ENV);
+        assert!(written.ends_with("BENCH_traced.json"));
+        let trace_text = std::fs::read_to_string(dir.join("TRACE_traced.json")).unwrap();
+        let trace_doc = JsonValue::parse(&trace_text).unwrap();
+        assert!(
+            trace_doc.as_array().is_some_and(|a| !a.is_empty()),
+            "trace file holds the drained events: {trace_text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

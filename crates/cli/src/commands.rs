@@ -5,7 +5,7 @@ use ia_arch::{Architecture, ArchitectureBuilder};
 use ia_netlist::{NetModel, Placement};
 use ia_rank::optimize::{optimize_stack, pareto_front, StackSearchSpace};
 use ia_rank::sweep;
-use ia_rank::{explain, utilization, RankProblem, RankProblemBuilder};
+use ia_rank::{explain, utilization, RankError, RankProblem, RankProblemBuilder};
 use ia_report::Table;
 use ia_tech::TechnologyNode;
 use ia_units::{Frequency, Permittivity};
@@ -54,19 +54,23 @@ pub enum MetricsFormat {
 
 /// Telemetry-reporting flags shared by every subcommand.
 ///
-/// Parsed **before** dispatch so `--metrics`/`--profile` count as
-/// consumed when the subcommand calls `reject_unknown`, and so the
-/// collector can be enabled before any instrumented code runs.
-#[derive(Debug, Clone, Copy, Default)]
+/// Parsed **before** dispatch so `--metrics`/`--profile`/`--trace`
+/// count as consumed when the subcommand calls `reject_unknown`, and
+/// so the collector (and event tracer) can be enabled before any
+/// instrumented code runs.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsOptions {
     /// Requested snapshot format, if any.
     pub format: Option<MetricsFormat>,
     /// Whether to print the span-timing tree.
     pub profile: bool,
+    /// Path for the Chrome trace-event export, if `--trace` was given.
+    pub trace: Option<String>,
 }
 
 impl MetricsOptions {
-    /// Reads `--metrics text|json` and `--profile` from the parsed args.
+    /// Reads `--metrics text|json`, `--profile` and `--trace PATH`
+    /// from the parsed args.
     ///
     /// # Errors
     ///
@@ -85,13 +89,41 @@ impl MetricsOptions {
         let profile = args
             .get_str("profile")
             .is_some_and(|v| v == "true" || v == "1");
-        Ok(Self { format, profile })
+        let trace = args.get_str("trace");
+        Ok(Self {
+            format,
+            profile,
+            trace,
+        })
     }
 
     /// Whether the collector must be enabled before dispatch.
     #[must_use]
     pub fn wants_collector(&self) -> bool {
         self.format.is_some() || self.profile
+    }
+
+    /// Whether event tracing must be enabled before dispatch.
+    #[must_use]
+    pub fn wants_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains the buffered trace events and writes the Chrome
+    /// trace-event export to the `--trace` path. Returns the path
+    /// written, or `None` when `--trace` was not given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Domain`] when the file cannot be written.
+    pub fn write_trace(&self) -> Result<Option<String>, CliError> {
+        let Some(path) = &self.trace else {
+            return Ok(None);
+        };
+        let trace = ia_obs::drain_trace();
+        std::fs::write(path, trace.to_chrome_json_string("iarank"))
+            .map_err(|e| CliError::Domain(format!("cannot write trace {path}: {e}")))?;
+        Ok(Some(path.clone()))
     }
 
     /// Renders the current thread's collector snapshot according to the
@@ -257,7 +289,33 @@ pub fn cmd_rank(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `iarank sweep --axis k|m|c|r`: regenerate one Table 4 column.
+/// How one sweep axis rebuilds the problem for a swept value — a plain
+/// fn pointer so `cmd_sweep` can pick it by axis and hand it to either
+/// the serial or the thread-per-value parallel runner.
+type SweepApply = for<'b> fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b>;
+
+/// Serial per-axis sweep entry point (carries the axis' span name).
+type SweepSerial =
+    for<'b, 'c> fn(&'c RankProblemBuilder<'b>, &[f64]) -> Result<Vec<sweep::SweepPoint>, RankError>;
+
+fn apply_permittivity<'b>(b: RankProblemBuilder<'b>, k: f64) -> RankProblemBuilder<'b> {
+    b.permittivity(Permittivity::from_relative(k))
+}
+
+fn apply_miller<'b>(b: RankProblemBuilder<'b>, m: f64) -> RankProblemBuilder<'b> {
+    b.miller_factor(m)
+}
+
+fn apply_clock<'b>(b: RankProblemBuilder<'b>, hz: f64) -> RankProblemBuilder<'b> {
+    b.clock(Frequency::from_hertz(hz))
+}
+
+fn apply_repeater_fraction<'b>(b: RankProblemBuilder<'b>, r: f64) -> RankProblemBuilder<'b> {
+    b.repeater_fraction(r)
+}
+
+/// `iarank sweep --axis k|m|c|r [--parallel]`: regenerate one Table 4
+/// column, optionally with one worker thread per swept value.
 pub fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
     let node = resolve_node(args)?;
     let architecture = resolve_architecture(args, &node)?;
@@ -266,30 +324,47 @@ pub fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
         .get_str("axis")
         .unwrap_or_else(|| "k".to_owned())
         .to_ascii_lowercase();
+    let parallel = args
+        .get_str("parallel")
+        .is_some_and(|v| v == "true" || v == "1");
     args.reject_unknown()?;
 
-    let (label, points) = match axis.as_str() {
-        "k" => (
-            "K",
-            sweep::sweep_permittivity(&builder, &sweep::PAPER_K_VALUES).map_err(domain)?,
-        ),
-        "m" => (
-            "M",
-            sweep::sweep_miller(&builder, &sweep::PAPER_M_VALUES).map_err(domain)?,
-        ),
-        "c" => (
-            "C (Hz)",
-            sweep::sweep_clock(&builder, &sweep::PAPER_C_HERTZ).map_err(domain)?,
-        ),
-        "r" => (
-            "R",
-            sweep::sweep_repeater_fraction(&builder, &sweep::PAPER_R_VALUES).map_err(domain)?,
-        ),
-        other => {
-            return Err(CliError::Domain(format!(
-                "unknown axis `{other}` (expected k, m, c or r)"
-            )))
-        }
+    let (label, values, serial, apply): (&str, &[f64], SweepSerial, SweepApply) =
+        match axis.as_str() {
+            "k" => (
+                "K",
+                &sweep::PAPER_K_VALUES,
+                sweep::sweep_permittivity,
+                apply_permittivity,
+            ),
+            "m" => (
+                "M",
+                &sweep::PAPER_M_VALUES,
+                sweep::sweep_miller,
+                apply_miller,
+            ),
+            "c" => (
+                "C (Hz)",
+                &sweep::PAPER_C_HERTZ,
+                sweep::sweep_clock,
+                apply_clock,
+            ),
+            "r" => (
+                "R",
+                &sweep::PAPER_R_VALUES,
+                sweep::sweep_repeater_fraction,
+                apply_repeater_fraction,
+            ),
+            other => {
+                return Err(CliError::Domain(format!(
+                    "unknown axis `{other}` (expected k, m, c or r)"
+                )))
+            }
+        };
+    let points = if parallel {
+        sweep::sweep_parallel(&builder, values, apply).map_err(domain)?
+    } else {
+        serial(&builder, values).map_err(domain)?
     };
     let mut t = Table::new([label, "rank", "normalized"]);
     for p in &points {
@@ -422,7 +497,7 @@ USAGE:
 
 COMMANDS:
   rank       compute the rank of one configuration
-  sweep      regenerate a Table 4 column (--axis k|m|c|r)
+  sweep      regenerate a Table 4 column (--axis k|m|c|r [--parallel])
   wld        generate a Davis wire-length distribution as CSV
   netlist    extract a WLD from a placed netlist (--in FILE [--net-model star|hpwl])
   optimize   search BEOL stacks by rank within a pair budget
@@ -440,6 +515,9 @@ SHARED FLAGS (rank, sweep, optimize):
   --miller F               Miller coupling factor       [2.0]
   --k F                    ILD permittivity override    [node default]
   --global/--semi-global/--local N   stack pair counts  [1/2/0]
+  --parallel               (sweep only) one worker thread per swept
+                           value; worker telemetry is merged into the
+                           caller's snapshot and trace
 
 TELEMETRY FLAGS (any command):
   --metrics text|json      print solver counters and span timings after
@@ -447,11 +525,15 @@ TELEMETRY FLAGS (any command):
                            object on the final stdout line)
   --profile                print the span-timing tree (--profile true
                            also accepted)
+  --trace FILE.json        record span/counter events and write a
+                           Chrome trace-event file (open it at
+                           ui.perfetto.dev or chrome://tracing)
 
 EXAMPLES:
   iarank rank --node 130 --gates 1000000 --detail true
   iarank rank --gates 400000 --metrics json
   iarank sweep --axis r --gates 400000 --profile
+  iarank sweep --axis k --gates 400000 --parallel --trace sweep.json
   iarank wld --gates 250000 --out design.csv
   iarank optimize --node 90 --max-pairs 5 --gates 400000
 "
@@ -614,15 +696,20 @@ mod tests {
 
     /// Mimics `main`'s flow for telemetry flags: metrics options are
     /// parsed (and thereby consumed) before dispatch, and the collector
-    /// is enabled when requested. The flag is global but the collector
-    /// storage is thread-local, so enabling it here cannot perturb
-    /// other tests' assertions; it is intentionally never disabled.
+    /// (and tracer) are enabled when requested. The flags are global
+    /// but the collector storage is thread-local, so enabling them here
+    /// cannot perturb other tests' assertions; they are intentionally
+    /// never disabled.
     fn run_with_metrics(tokens: &[&str]) -> (String, MetricsOptions) {
         let args = ParsedArgs::parse(tokens.iter().copied()).unwrap();
         let metrics = MetricsOptions::from_args(&args).unwrap();
         if metrics.wants_collector() {
             ia_obs::set_enabled(true);
             ia_obs::reset();
+        }
+        if metrics.wants_trace() {
+            ia_obs::set_trace_enabled(true);
+            let _ = ia_obs::drain_trace();
         }
         let out = dispatch(&args).unwrap();
         (out, metrics)
@@ -670,6 +757,89 @@ mod tests {
         assert!(rendered.contains("-- metrics --"));
         assert!(rendered.contains("dp_solve"));
         assert!(rendered.contains("dp.states"));
+    }
+
+    #[test]
+    fn parallel_sweep_merges_worker_counters_into_snapshot() {
+        let (out, metrics) = run_with_metrics(&[
+            "sweep",
+            "--axis",
+            "r",
+            "--gates",
+            "30000",
+            "--bunch",
+            "3000",
+            "--parallel",
+            "true",
+            "--metrics",
+            "json",
+        ]);
+        assert!(out.lines().count() >= 7, "sweep table rendered: {out}");
+        let rendered = metrics.render();
+        let last = rendered.lines().last().unwrap();
+        let doc = ia_obs::json::JsonValue::parse(last).unwrap();
+        let counters = doc.get("counters").unwrap();
+        assert!(
+            counters.get("dp.states").unwrap().as_u64().unwrap() > 0,
+            "worker-thread DP counters reach the caller's snapshot: {last}"
+        );
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        let paths: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("path").and_then(ia_obs::json::JsonValue::as_str))
+            .collect();
+        assert!(paths.contains(&"sweep.parallel"), "{paths:?}");
+        assert!(paths.contains(&"dp_solve"), "{paths:?}");
+    }
+
+    #[test]
+    fn parallel_sweep_trace_has_worker_tracks() {
+        use ia_obs::json::JsonValue;
+        let dir = std::env::temp_dir().join("iarank_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep_trace.json");
+        let (_, metrics) = run_with_metrics(&[
+            "sweep",
+            "--axis",
+            "r",
+            "--gates",
+            "30000",
+            "--bunch",
+            "3000",
+            "--parallel",
+            "true",
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            metrics.write_trace().unwrap().as_deref(),
+            path.to_str(),
+            "write_trace reports the written path"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = JsonValue::parse(&text).expect("trace file is valid JSON");
+        let events = doc.as_array().expect("chrome trace is a JSON array");
+        let worker_tracks: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(JsonValue::as_str)
+                        .is_some_and(|n| n.starts_with("sweep.worker."))
+            })
+            .collect();
+        assert_eq!(worker_tracks.len(), 5, "one track per R value: {text}");
+        let span_tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(JsonValue::as_str), Some("B" | "E")))
+            .filter_map(|e| e.get("tid").and_then(JsonValue::as_u64))
+            .collect();
+        assert!(
+            span_tids.len() >= 6,
+            "caller + workers render as distinct tracks: {span_tids:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

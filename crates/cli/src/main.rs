@@ -9,16 +9,15 @@ use args::ParsedArgs;
 use commands::{CliError, MetricsOptions};
 
 fn main() {
-    // `--profile` is a boolean switch; rewrite the bare form into the
-    // `--profile=true` spelling the `--flag value` parser understands.
+    // `--profile` and `--parallel` are boolean switches; rewrite the
+    // bare forms into the `--flag=true` spelling the `--flag value`
+    // parser understands.
     let tokens: Vec<String> = std::env::args()
         .skip(1)
-        .map(|t| {
-            if t == "--profile" {
-                "--profile=true".to_owned()
-            } else {
-                t
-            }
+        .map(|t| match t.as_str() {
+            "--profile" => "--profile=true".to_owned(),
+            "--parallel" => "--parallel=true".to_owned(),
+            _ => t,
         })
         .collect();
     let parsed = match ParsedArgs::parse(tokens) {
@@ -42,10 +41,23 @@ fn main() {
     if metrics.wants_collector() {
         ia_obs::set_enabled(true);
     }
+    if metrics.wants_trace() {
+        ia_obs::set_trace_enabled(true);
+    }
     match commands::dispatch(&parsed) {
         Ok(output) => {
             print!("{output}");
             print!("{}", metrics.render());
+            // The trace goes to its own file; the confirmation goes to
+            // stderr so `--metrics json | tail -n 1` stays intact.
+            match metrics.write_trace() {
+                Ok(Some(path)) => eprintln!("trace written to {path}"),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         // Usage is shown exactly for argument errors (exit 2); domain
         // failures get the bare message (exit 1).

@@ -118,6 +118,12 @@ pub fn sweep_repeater_fraction(
 /// problem; the builder is cloned per thread. Useful for the full
 /// Table 4 grids on multi-core hosts.
 ///
+/// Every worker registers with a telemetry merge sink, and the sink is
+/// collected after the join — so with the collector (or tracing)
+/// enabled, the workers' counters, histograms and trace events appear
+/// in the caller's subsequent `ia_obs::snapshot()` /
+/// `ia_obs::drain_trace()` exactly as a serial sweep's would.
+///
 /// # Errors
 ///
 /// Propagates the first [`RankError`] encountered (by input order).
@@ -130,13 +136,18 @@ where
     F: for<'b> Fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b> + Sync,
 {
     let _span = telemetry::span(names::SPAN_SWEEP_PARALLEL);
-    std::thread::scope(|scope| {
+    let sink = telemetry::MergeSink::new();
+    let result = std::thread::scope(|scope| {
         let handles: Vec<_> = values
             .iter()
-            .map(|&x| {
+            .enumerate()
+            .map(|(i, &x)| {
                 let b = builder.clone();
                 let apply = &apply;
+                let sink = &sink;
                 scope.spawn(move || -> Result<SweepPoint, RankError> {
+                    let _worker =
+                        sink.register_worker(&format!("{}.{i}", names::SWEEP_WORKER_PREFIX));
                     let problem = apply(b, x).build()?;
                     let result = problem.rank();
                     Ok(SweepPoint {
@@ -152,7 +163,9 @@ where
             // lint: no-panic (propagates worker panics)
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
-    })
+    });
+    sink.collect();
+    result
 }
 
 /// A matched pair of parameter reductions achieving (approximately) the
@@ -278,6 +291,36 @@ mod tests {
         })
         .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn parallel_sweep_merges_worker_telemetry() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let base = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(20_000).unwrap())
+            .bunch_size(2_000);
+        ia_obs::set_enabled(true);
+        ia_obs::reset();
+        let _ = sweep_parallel(&base, &[3.9, 3.0, 2.1], |b, k| {
+            b.permittivity(Permittivity::from_relative(k))
+        })
+        .unwrap();
+        let snap = ia_obs::snapshot();
+        assert!(
+            snap.counter(names::DP_STATES).unwrap_or(0) > 0,
+            "worker DP counters merge into the caller's snapshot: {snap:?}"
+        );
+        assert_eq!(
+            snap.spans[names::SPAN_DP_SOLVE].calls,
+            3,
+            "one merged dp_solve span per worker"
+        );
+        assert!(
+            snap.spans.contains_key(names::SPAN_SWEEP_PARALLEL),
+            "the caller's own span is still there"
+        );
     }
 
     #[test]

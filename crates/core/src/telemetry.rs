@@ -58,10 +58,15 @@ pub mod names {
     /// Span: one repeater-fraction (`R`) sweep.
     pub const SPAN_SWEEP_REPEATER_FRACTION: &str = "sweep.repeater_fraction";
     /// Span: a thread-per-value parallel sweep. Covers spawn-to-join on
-    /// the calling thread; the workers' own telemetry lands in their
-    /// thread-local collectors and is not merged (see the collector
+    /// the calling thread; each worker registers with a merge sink, so
+    /// after the join the workers' counters, histograms and trace
+    /// events are folded into the caller's collector (see the collector
     /// model in `docs/observability.md`).
     pub const SPAN_SWEEP_PARALLEL: &str = "sweep.parallel";
+    /// Thread-name prefix for parallel-sweep workers; worker `i`
+    /// registers as `sweep.worker.<i>` and shows up under that track
+    /// name in trace exports.
+    pub const SWEEP_WORKER_PREFIX: &str = "sweep.worker";
     /// Span: one full sensitivity analysis (all four elasticities).
     pub const SPAN_SENSITIVITY: &str = "sensitivity";
     /// Span: one BEOL stack search.
@@ -69,7 +74,7 @@ pub mod names {
 }
 
 #[cfg(feature = "telemetry")]
-pub(crate) use ia_obs::{counter_add, counter_max, histogram_record, span};
+pub(crate) use ia_obs::{counter_add, counter_max, histogram_record, span, MergeSink};
 
 /// Inert stand-ins compiled when the `telemetry` feature is off: every
 /// recording call is an empty inlined function the optimizer erases.
@@ -77,6 +82,29 @@ pub(crate) use ia_obs::{counter_add, counter_max, histogram_record, span};
 mod noop {
     /// Inert span guard (drop does nothing).
     pub(crate) struct Span;
+
+    /// Inert worker-registration guard (drop does nothing).
+    pub(crate) struct WorkerGuard;
+
+    /// Inert merge sink mirroring `ia_obs::MergeSink`.
+    #[derive(Clone)]
+    pub(crate) struct MergeSink;
+
+    impl MergeSink {
+        #[inline(always)]
+        pub(crate) fn new() -> Self {
+            MergeSink
+        }
+
+        #[inline(always)]
+        #[must_use]
+        pub(crate) fn register_worker(&self, _name: &str) -> WorkerGuard {
+            WorkerGuard
+        }
+
+        #[inline(always)]
+        pub(crate) fn collect(&self) {}
+    }
 
     #[inline(always)]
     pub(crate) fn counter_add(_name: &'static str, _delta: u64) {}
@@ -95,4 +123,4 @@ mod noop {
 }
 
 #[cfg(not(feature = "telemetry"))]
-pub(crate) use noop::{counter_add, counter_max, histogram_record, span};
+pub(crate) use noop::{counter_add, counter_max, histogram_record, span, MergeSink};

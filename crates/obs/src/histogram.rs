@@ -48,6 +48,26 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
         self.buckets[bucket_index(value)] += 1;
     }
+
+    /// Folds another histogram into this one (used by the cross-thread
+    /// merge): counts and bucket tallies add, min/max widen.
+    pub(crate) fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (slot, more) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += more;
+        }
+    }
 }
 
 /// The bucket index (bit length) of `value`.
@@ -107,5 +127,29 @@ mod tests {
         assert_eq!(h.max, 9);
         assert_eq!(h.buckets[bucket_index(9)], 2);
         assert_eq!(h.buckets[bucket_index(1)], 1);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [5u64, 1, 9] {
+            left.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 200] {
+            right.record(v);
+            both.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count, both.count);
+        assert_eq!(left.sum, both.sum);
+        assert_eq!(left.min, both.min);
+        assert_eq!(left.max, both.max);
+        assert_eq!(left.buckets, both.buckets);
+        // Merging an empty histogram is a no-op.
+        left.merge(&Histogram::default());
+        assert_eq!(left.count, both.count);
     }
 }

@@ -508,4 +508,53 @@ mod tests {
         assert!(err.offset >= 4, "offset points at the bad token: {err}");
         assert!(err.to_string().contains("offset"));
     }
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        let rendered = JsonValue::Str("say \"hi\" \\ done".to_owned()).render();
+        assert_eq!(rendered, "\"say \\\"hi\\\" \\\\ done\"");
+    }
+
+    #[test]
+    fn escapes_named_control_characters() {
+        let rendered = JsonValue::Str("a\nb\rc\td".to_owned()).render();
+        assert_eq!(rendered, "\"a\\nb\\rc\\td\"");
+    }
+
+    #[test]
+    fn escapes_other_control_characters_as_u_sequences() {
+        let rendered = JsonValue::Str("\u{0}\u{1}\u{1f}".to_owned()).render();
+        assert_eq!(rendered, "\"\\u0000\\u0001\\u001f\"");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        // é (2-byte UTF-8), 漢 (3-byte), 😀 (4-byte, outside the BMP).
+        let s = "caf\u{e9} \u{6f22} \u{1f600}";
+        let rendered = JsonValue::Str(s.to_owned()).render();
+        assert_eq!(rendered, format!("\"{s}\""));
+    }
+
+    #[test]
+    fn escaping_round_trips_through_parse() {
+        let s = "quote \" back \\ nl \n tab \t nul \u{0} bell \u{7} caf\u{e9} \u{1f600}";
+        let rendered = JsonValue::Str(s.to_owned()).render();
+        let parsed = JsonValue::parse(&rendered).expect("rendered strings re-parse");
+        assert_eq!(parsed.as_str(), Some(s));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_as_object_keys() {
+        let doc = JsonValue::Obj(vec![(
+            "key \"with\"\nweirdness\\".to_owned(),
+            JsonValue::UInt(1),
+        )]);
+        let parsed = JsonValue::parse(&doc.render()).expect("object round-trips");
+        assert_eq!(
+            parsed
+                .get("key \"with\"\nweirdness\\")
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+    }
 }

@@ -30,7 +30,15 @@
 //!
 //! The collector is logically global, physically thread-local: see
 //! [`collector`](self::set_enabled) and `docs/observability.md` for
-//! the model and the counter-name stability policy.
+//! the model and the counter-name stability policy. Worker-thread
+//! telemetry is merged explicitly through a [`MergeSink`] at
+//! collection points.
+//!
+//! Beyond aggregates, the crate records *event-level traces* behind a
+//! second flag ([`set_trace_enabled`]): bounded per-thread buffers of
+//! timestamped span begin/end and counter events, drained with
+//! [`drain_trace`] and exported in the Chrome trace-event format
+//! ([`Trace::to_chrome_json`]) for `chrome://tracing` / Perfetto.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,11 +49,17 @@ mod histogram;
 pub mod json;
 mod span;
 mod stopwatch;
+mod trace;
 
 pub use collector::{
     counter_add, counter_max, enabled, histogram_record, reset, set_enabled, snapshot, Collector,
+    MergeSink, WorkerGuard,
 };
 pub use export::{HistogramStat, Snapshot, SpanStat};
 pub use histogram::{bucket_index, bucket_upper_bound, BUCKETS};
 pub use span::{span, Span};
 pub use stopwatch::Stopwatch;
+pub use trace::{
+    drain_trace, set_trace_capacity, set_trace_enabled, trace_enabled, Trace, TraceEvent,
+    TraceEventKind, DEFAULT_COUNTER_EVENT_CAPACITY, DEFAULT_SPAN_EVENT_CAPACITY,
+};

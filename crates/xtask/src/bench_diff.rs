@@ -1,0 +1,454 @@
+//! `bench-diff`: the regression gate comparing freshly emitted
+//! `BENCH_*.json` artifacts against a committed baseline directory.
+//!
+//! Matching is structural: artifacts pair by file name, cases within a
+//! report pair by their `params` object (key-sorted render), so
+//! reordering cases or adding new ones never mis-pairs measurements.
+//! Two tolerances drive the verdict:
+//!
+//! * `--tol-wall` (relative, default 3.0 = 300 %) bounds `wall_ns`
+//!   growth. Wall time on shared CI machines is noisy, so the default
+//!   is deliberately loose; local regression hunts pass a tight value.
+//!   Only slowdowns regress — a faster current run is reported as an
+//!   improvement, never an error.
+//! * `--tol-counter` (relative, default 0.0) bounds counter drift in
+//!   either direction. Solver counters (`dp.states`, visit counts …)
+//!   are deterministic for a fixed input, so the default demands exact
+//!   equality; any drift means the algorithm, not the machine, changed.
+//!
+//! Missing counterparts (a baseline case absent from the current run,
+//! or vice versa) are surfaced as notes rather than failures so a
+//! bench binary can grow cases without re-blessing everything — but a
+//! run that compares zero cases is an error, never a vacuous pass.
+
+use ia_obs::json::JsonValue;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Relative tolerances for [`diff_dirs`] / [`diff_reports`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Maximum allowed relative `wall_ns` growth (0.10 = +10 %).
+    pub tol_wall: f64,
+    /// Maximum allowed relative counter drift, either direction.
+    pub tol_counter: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            tol_wall: 3.0,
+            tol_counter: 0.0,
+        }
+    }
+}
+
+/// One out-of-tolerance measurement.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Bench name (the report's `bench` field).
+    pub bench: String,
+    /// The case's key-sorted `params` render.
+    pub case: String,
+    /// `wall_ns` or `counter <name>`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Current value.
+    pub current: u64,
+    /// Relative change, `(current - baseline) / baseline`.
+    pub rel_change: f64,
+}
+
+impl Finding {
+    fn render_line(&self) -> String {
+        format!(
+            "{} {}: {} {} -> {} ({:+.1}%)",
+            self.bench,
+            self.case,
+            self.metric,
+            self.baseline,
+            self.current,
+            self.rel_change * 100.0
+        )
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("bench".to_owned(), JsonValue::Str(self.bench.clone())),
+            ("case".to_owned(), JsonValue::Str(self.case.clone())),
+            ("metric".to_owned(), JsonValue::Str(self.metric.clone())),
+            ("baseline".to_owned(), JsonValue::UInt(self.baseline)),
+            ("current".to_owned(), JsonValue::UInt(self.current)),
+            ("rel_change".to_owned(), JsonValue::Num(self.rel_change)),
+        ])
+    }
+}
+
+/// Accumulated comparison outcome.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Number of (baseline, current) case pairs compared.
+    pub compared_cases: usize,
+    /// Out-of-tolerance slowdowns and counter drift — these gate.
+    pub regressions: Vec<Finding>,
+    /// Wall-time gains beyond the tolerance, for context only.
+    pub improvements: Vec<Finding>,
+    /// Non-gating observations (missing counterparts, new counters).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes (no regression found).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable multi-line summary.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "bench-diff: {} case(s) compared, {} regression(s), \
+             {} improvement(s), {} note(s)\n",
+            self.compared_cases,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.notes.len()
+        );
+        for f in &self.regressions {
+            let _ = writeln!(out, "REGRESSION {}", f.render_line());
+        }
+        for f in &self.improvements {
+            let _ = writeln!(out, "improvement {}", f.render_line());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Machine-readable single-line JSON report.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        JsonValue::Obj(vec![
+            (
+                "compared_cases".to_owned(),
+                JsonValue::UInt(self.compared_cases as u64),
+            ),
+            (
+                "regressions".to_owned(),
+                JsonValue::Arr(self.regressions.iter().map(Finding::to_json).collect()),
+            ),
+            (
+                "improvements".to_owned(),
+                JsonValue::Arr(self.improvements.iter().map(Finding::to_json).collect()),
+            ),
+            (
+                "notes".to_owned(),
+                JsonValue::Arr(
+                    self.notes
+                        .iter()
+                        .map(|n| JsonValue::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// The case's identity: its `params` object rendered with keys sorted.
+fn case_key(case: &JsonValue) -> Option<String> {
+    let params = case.get("params")?.as_object()?;
+    let mut pairs: Vec<(String, JsonValue)> = params.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Some(JsonValue::Obj(pairs).render())
+}
+
+/// Relative change with a zero-safe denominator: a counter appearing
+/// from zero reads as `current`× growth instead of dividing by zero.
+fn rel_change(baseline: u64, current: u64) -> f64 {
+    let base = if baseline == 0 { 1.0 } else { baseline as f64 };
+    (current as f64 - baseline as f64) / base
+}
+
+/// Compares one baseline report against its current counterpart,
+/// accumulating into `out`.
+///
+/// # Errors
+///
+/// Returns a description of the first parse or schema problem; both
+/// documents must satisfy [`check_bench`](crate::schema::check_bench)
+/// shape for the fields this comparison touches.
+pub fn diff_reports(
+    baseline: &str,
+    current: &str,
+    opts: &DiffOptions,
+    out: &mut DiffReport,
+) -> Result<(), String> {
+    let base = JsonValue::parse(baseline.trim()).map_err(|e| format!("baseline: {e}"))?;
+    let cur = JsonValue::parse(current.trim()).map_err(|e| format!("current: {e}"))?;
+    let bench = base
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .ok_or("baseline: missing `bench`")?
+        .to_owned();
+
+    let collect_cases =
+        |doc: &JsonValue, which: &str| -> Result<Vec<(String, JsonValue)>, String> {
+            doc.get("cases")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("{which}: missing `cases` array"))?
+                .iter()
+                .map(|case| {
+                    case_key(case)
+                        .map(|key| (key, case.clone()))
+                        .ok_or_else(|| format!("{which}: case without a `params` object"))
+                })
+                .collect()
+        };
+    let base_cases = collect_cases(&base, "baseline")?;
+    let cur_cases = collect_cases(&cur, "current")?;
+
+    for (key, base_case) in &base_cases {
+        let Some((_, cur_case)) = cur_cases.iter().find(|(k, _)| k == key) else {
+            out.notes.push(format!(
+                "{bench}: baseline case {key} missing from current run"
+            ));
+            continue;
+        };
+        out.compared_cases += 1;
+        let get_wall = |case: &JsonValue, which: &str| {
+            case.get("wall_ns")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{which}: case {key} missing `wall_ns`"))
+        };
+        let base_wall = get_wall(base_case, "baseline")?;
+        let cur_wall = get_wall(cur_case, "current")?;
+        let wall_rel = rel_change(base_wall, cur_wall);
+        let finding = |metric: String, b: u64, c: u64, rel: f64| Finding {
+            bench: bench.clone(),
+            case: key.clone(),
+            metric,
+            baseline: b,
+            current: c,
+            rel_change: rel,
+        };
+        if wall_rel > opts.tol_wall {
+            out.regressions
+                .push(finding("wall_ns".to_owned(), base_wall, cur_wall, wall_rel));
+        } else if -wall_rel > opts.tol_wall {
+            out.improvements
+                .push(finding("wall_ns".to_owned(), base_wall, cur_wall, wall_rel));
+        }
+
+        let counters = |case: &JsonValue| -> Vec<(String, u64)> {
+            case.get("counters")
+                .and_then(JsonValue::as_object)
+                .map(|obj| {
+                    obj.iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|u| (k.clone(), u)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let cur_counters = counters(cur_case);
+        for (name, base_value) in counters(base_case) {
+            let Some((_, cur_value)) = cur_counters.iter().find(|(k, _)| *k == name) else {
+                out.notes.push(format!(
+                    "{bench}: case {key} counter `{name}` missing from current run"
+                ));
+                continue;
+            };
+            let rel = rel_change(base_value, *cur_value);
+            if rel.abs() > opts.tol_counter {
+                out.regressions.push(finding(
+                    format!("counter `{name}`"),
+                    base_value,
+                    *cur_value,
+                    rel,
+                ));
+            }
+        }
+        for (name, _) in &cur_counters {
+            if !counters(base_case).iter().any(|(k, _)| k == name) {
+                out.notes.push(format!(
+                    "{bench}: case {key} grew a new counter `{name}` \
+                     (re-bless the baseline to gate it)"
+                ));
+            }
+        }
+    }
+    for (key, _) in &cur_cases {
+        if !base_cases.iter().any(|(k, _)| k == key) {
+            out.notes.push(format!(
+                "{bench}: current case {key} has no baseline \
+                 (re-bless to gate it)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compares every `BENCH_*.json` in `baseline_dir` against the file of
+/// the same name in `current_dir`.
+///
+/// # Errors
+///
+/// Fails on unreadable directories/files, malformed artifacts, a
+/// baseline directory without any `BENCH_*.json`, or a comparison that
+/// matched zero cases (a vacuous gate is treated as broken, not green).
+pub fn diff_dirs(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
+    let mut names: Vec<String> = fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_dir.display()))?
+        .filter_map(Result::ok)
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json artifacts in baseline {}",
+            baseline_dir.display()
+        ));
+    }
+    let mut report = DiffReport::default();
+    for name in names {
+        let base_path = baseline_dir.join(&name);
+        let cur_path = current_dir.join(&name);
+        let base_text = fs::read_to_string(&base_path)
+            .map_err(|e| format!("cannot read {}: {e}", base_path.display()))?;
+        if !cur_path.is_file() {
+            report
+                .notes
+                .push(format!("{name}: no current artifact to compare"));
+            continue;
+        }
+        let cur_text = fs::read_to_string(&cur_path)
+            .map_err(|e| format!("cannot read {}: {e}", cur_path.display()))?;
+        diff_reports(&base_text, &cur_text, opts, &mut report)
+            .map_err(|e| format!("{name}: {e}"))?;
+    }
+    if report.compared_cases == 0 {
+        return Err("no cases compared (every baseline case was missing a counterpart)".to_owned());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"bench":"demo","cases":[
+        {"params":{"gates":100,"solver":"dp"},"wall_ns":1000,
+         "counters":{"dp.states":40}},
+        {"params":{"gates":200,"solver":"dp"},"wall_ns":2000,
+         "counters":{"dp.states":80}}]}"#;
+
+    fn diff(current: &str, opts: &DiffOptions) -> DiffReport {
+        let mut report = DiffReport::default();
+        diff_reports(BASE, current, opts, &mut report).unwrap();
+        report
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let report = diff(BASE, &DiffOptions::default());
+        assert!(report.is_clean(), "{:?}", report.regressions);
+        assert_eq!(report.compared_cases, 2);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn a_twenty_percent_slowdown_trips_a_tight_wall_tolerance() {
+        let slow = BASE.replace("\"wall_ns\":1000", "\"wall_ns\":1200");
+        let opts = DiffOptions {
+            tol_wall: 0.1,
+            ..DiffOptions::default()
+        };
+        let report = diff(&slow, &opts);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert_eq!(report.regressions[0].metric, "wall_ns");
+        assert!((report.regressions[0].rel_change - 0.2).abs() < 1e-9);
+        // The default loose tolerance absorbs the same slowdown.
+        assert!(diff(&slow, &DiffOptions::default()).is_clean());
+    }
+
+    #[test]
+    fn counter_drift_regresses_in_both_directions_at_zero_tolerance() {
+        let opts = DiffOptions::default();
+        let up = BASE.replace("\"dp.states\":40", "\"dp.states\":41");
+        let report = diff(&up, &opts);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].metric, "counter `dp.states`");
+        let down = BASE.replace("\"dp.states\":40", "\"dp.states\":39");
+        assert_eq!(diff(&down, &opts).regressions.len(), 1);
+    }
+
+    #[test]
+    fn large_speedups_are_improvements_not_regressions() {
+        let fast = BASE
+            .replace("\"wall_ns\":1000", "\"wall_ns\":100")
+            .replace("\"wall_ns\":2000", "\"wall_ns\":200");
+        let opts = DiffOptions {
+            tol_wall: 0.5,
+            ..DiffOptions::default()
+        };
+        let report = diff(&fast, &opts);
+        assert!(report.is_clean());
+        assert_eq!(report.improvements.len(), 2);
+    }
+
+    #[test]
+    fn case_matching_survives_reordering_and_reports_missing_cases() {
+        let reordered = r#"{"bench":"demo","cases":[
+            {"params":{"solver":"dp","gates":200},"wall_ns":2000,
+             "counters":{"dp.states":80}},
+            {"params":{"solver":"dp","gates":100},"wall_ns":1000,
+             "counters":{"dp.states":40}}]}"#;
+        let report = diff(reordered, &DiffOptions::default());
+        assert!(report.is_clean(), "{:?}", report.regressions);
+        assert_eq!(report.compared_cases, 2);
+
+        let partial = r#"{"bench":"demo","cases":[
+            {"params":{"gates":100,"solver":"dp"},"wall_ns":1000,
+             "counters":{"dp.states":40}}]}"#;
+        let report = diff(partial, &DiffOptions::default());
+        assert!(report.is_clean());
+        assert_eq!(report.compared_cases, 1);
+        assert_eq!(report.notes.len(), 1);
+        assert!(report.notes[0].contains("missing from current run"));
+    }
+
+    #[test]
+    fn renders_text_and_json_reports() {
+        let slow = BASE.replace("\"dp.states\":40", "\"dp.states\":44");
+        let report = diff(&slow, &DiffOptions::default());
+        let text = report.render_text();
+        assert!(text.contains("REGRESSION demo"), "{text}");
+        assert!(text.contains("40 -> 44 (+10.0%)"), "{text}");
+        let doc = JsonValue::parse(&report.render_json()).unwrap();
+        assert_eq!(doc.get("compared_cases").unwrap().as_u64(), Some(2));
+        let regressions = doc.get("regressions").unwrap().as_array().unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].get("baseline").unwrap().as_u64(), Some(40));
+    }
+
+    #[test]
+    fn a_counter_appearing_from_zero_is_finite_drift() {
+        let base = r#"{"bench":"z","cases":[
+            {"params":{},"wall_ns":1,"counters":{"c":0}}]}"#;
+        let cur = r#"{"bench":"z","cases":[
+            {"params":{},"wall_ns":1,"counters":{"c":5}}]}"#;
+        let mut report = DiffReport::default();
+        diff_reports(base, cur, &DiffOptions::default(), &mut report).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].rel_change.is_finite());
+    }
+}

@@ -6,7 +6,7 @@
 //! model crates must not panic on library paths, and non-finite
 //! sentinels must never escape unguarded. This pass walks the
 //! workspace source (std-only — the build environment has no network
-//! route to crates.io) and enforces six domain rules:
+//! route to crates.io) and enforces seven domain rules:
 //!
 //! * **L1 `crate-header`** — every lib crate declares
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
@@ -22,18 +22,26 @@
 //! * **L6 `raw-timing`** — no direct `Instant::now()` calls outside
 //!   `crates/obs` and test code; wall-clock measurement goes through
 //!   `ia_obs::Stopwatch` or spans.
+//! * **L7 `thread-registration`** — `std::thread::spawn` /
+//!   `std::thread::scope` in non-test code of a model crate must pair
+//!   with an `ia_obs` worker registration (`register_worker`) so
+//!   cross-thread telemetry merges instead of vanishing.
 //!
 //! Any rule can be waived on a specific line with a
 //! `// lint: <rule-name>` comment; see `docs/linting.md`.
 //!
 //! Beyond linting, the binary also validates the observability
-//! artifacts the workspace emits: `check-metrics FILE` for the CLI's
-//! `--metrics json` snapshot and `check-bench FILE` for the bench
-//! harness's `BENCH_*.json` reports (see [`schema`]).
+//! artifacts the workspace emits — `check-metrics FILE` for the CLI's
+//! `--metrics json` snapshot, `check-bench FILE` for the bench
+//! harness's `BENCH_*.json` reports, `check-trace FILE` for Chrome
+//! trace-event exports (see [`schema`]) — and gates performance with
+//! `bench-diff`, comparing fresh bench artifacts against a committed
+//! baseline directory (see [`bench_diff`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_diff;
 mod diag;
 mod rules;
 pub mod schema;
@@ -211,6 +219,7 @@ fn lint_crate(root: &Path, krate: &CrateSource, diags: &mut Vec<Diagnostic>) {
         if krate.is_model_crate() && !in_test_dir {
             rules::check_no_panic(&rel, &file, &krate.name, diags);
             rules::check_raw_f64(&rel, &file, &krate.name, diags);
+            rules::check_thread_registration(&rel, &file, &krate.name, diags);
         }
         if !in_test_dir {
             rules::check_float_cast(&rel, &file, diags);

@@ -4,31 +4,114 @@
 //! cargo run -p xtask -- lint [--format text|json] [--root PATH]
 //! cargo run -p xtask -- check-metrics FILE
 //! cargo run -p xtask -- check-bench FILE
+//! cargo run -p xtask -- check-trace FILE
+//! cargo run -p xtask -- bench-diff --baseline DIR --current DIR
+//!                       [--tol-wall F] [--tol-counter F] [--json FILE]
 //! ```
 //!
-//! Exits 0 on a clean workspace / valid artifact, 1 when any rule
-//! fires or the artifact is malformed, 2 on usage or I/O errors.
+//! Exits 0 on a clean workspace / valid artifact / in-tolerance bench
+//! run, 1 when any rule fires, an artifact is malformed or a bench
+//! regression is found, 2 on usage or I/O errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::bench_diff::{diff_dirs, DiffOptions};
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ia-lint lint [--format text|json] [--root PATH]\n\
          \x20      ia-lint check-metrics FILE\n\
          \x20      ia-lint check-bench FILE\n\
+         \x20      ia-lint check-trace FILE\n\
+         \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
+         \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
          \n\
          lint walks the workspace source and enforces the domain rules\n\
          L1 crate-header, L2 no-panic, L3 raw-f64, L4 float-cast,\n\
-         L5 nonfinite, L6 raw-timing. See docs/linting.md.\n\
+         L5 nonfinite, L6 raw-timing, L7 thread-registration.\n\
+         See docs/linting.md.\n\
          \n\
          check-metrics validates a CLI `--metrics json` snapshot;\n\
-         check-bench validates a bench `BENCH_*.json` report.\n\
+         check-bench validates a bench `BENCH_*.json` report;\n\
+         check-trace validates a Chrome trace-event export.\n\
+         bench-diff compares the `BENCH_*.json` artifacts in --current\n\
+         against --baseline and exits 1 on any wall-time regression\n\
+         beyond --tol-wall (relative, default 3.0) or counter drift\n\
+         beyond --tol-counter (relative, default 0.0).\n\
          See docs/observability.md."
     );
     ExitCode::from(2)
+}
+
+/// Parses and runs `bench-diff` (arguments after the subcommand name).
+fn run_bench_diff(args: &[String]) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut opts = DiffOptions::default();
+    fn parse_tol(value: Option<&String>) -> Option<f64> {
+        value
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| *v >= 0.0 && v.is_finite())
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--current" => match it.next() {
+                Some(p) => current = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--tol-wall" => match parse_tol(it.next()) {
+                Some(v) => opts.tol_wall = v,
+                None => return usage(),
+            },
+            "--tol-counter" => match parse_tol(it.next()) {
+                Some(v) => opts.tol_counter = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        return usage();
+    };
+    for dir in [&baseline, &current] {
+        if !dir.is_dir() {
+            eprintln!("ia-lint: bench-diff: {} is not a directory", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    match diff_dirs(&baseline, &current, &opts) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if let Some(path) = json_out {
+                if let Err(e) = std::fs::write(&path, report.render_json()) {
+                    eprintln!("ia-lint: bench-diff: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ia-lint: bench-diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Runs a schema checker against a file, mapping I/O errors to exit 2
@@ -69,7 +152,8 @@ fn main() -> ExitCode {
     let mut root = default_root();
     let mut command = None;
 
-    // The check-* subcommands take exactly one positional file.
+    // The check-* subcommands take exactly one positional file;
+    // bench-diff owns its own flag parsing.
     match args.first().map(String::as_str) {
         Some("check-metrics") if args.len() == 2 => {
             return run_check("check-metrics", &args[1], xtask::schema::check_metrics);
@@ -77,7 +161,11 @@ fn main() -> ExitCode {
         Some("check-bench") if args.len() == 2 => {
             return run_check("check-bench", &args[1], xtask::schema::check_bench);
         }
-        Some("check-metrics" | "check-bench") => return usage(),
+        Some("check-trace") if args.len() == 2 => {
+            return run_check("check-trace", &args[1], xtask::schema::check_trace);
+        }
+        Some("check-metrics" | "check-bench" | "check-trace") => return usage(),
+        Some("bench-diff") => return run_bench_diff(&args[1..]),
         _ => {}
     }
 
@@ -121,7 +209,7 @@ fn main() -> ExitCode {
         _ => {
             print!("{}", xtask::render_text(&diags));
             if diags.is_empty() {
-                eprintln!("ia-lint: clean ({} rules)", 6);
+                eprintln!("ia-lint: clean ({} rules)", 7);
             } else {
                 eprintln!("ia-lint: {} finding(s)", diags.len());
             }

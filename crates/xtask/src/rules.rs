@@ -1,4 +1,4 @@
-//! The six lint rules (L1–L6). See the crate docs for the rationale
+//! The seven lint rules (L1–L7). See the crate docs for the rationale
 //! behind each and `docs/linting.md` for the user-facing description.
 
 use crate::diag::Diagnostic;
@@ -261,6 +261,58 @@ pub fn check_raw_timing(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnosti
              or a span (waive with `// lint: raw-timing`)"
                 .to_string(),
         ));
+    }
+}
+
+/// L7 `thread-registration`: `std::thread::spawn` / `std::thread::scope`
+/// in non-test code of a model crate must register its workers with the
+/// observability layer — a `register_worker` call within the following
+/// 25 lines — so worker-thread counters, spans and trace events merge
+/// back at collection points instead of dying with the thread-local
+/// storage (see `ia_obs::MergeSink`).
+pub fn check_thread_registration(
+    rel: &Path,
+    file: &SourceFile,
+    krate: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    /// How many lines below the `thread::...` call the registration
+    /// must appear (covers the spawned closure's opening statements).
+    const WINDOW: usize = 25;
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "thread" {
+            continue;
+        }
+        // Match `thread :: spawn (` / `thread :: scope (`
+        // (`::` lexes as two `:` tokens).
+        let entry = match (
+            toks.get(i + 1).map(|a| a.text.as_str()),
+            toks.get(i + 2).map(|b| b.text.as_str()),
+            toks.get(i + 3).map(|n| n.text.as_str()),
+            toks.get(i + 4).map(|p| p.text.as_str()),
+        ) {
+            (Some(":"), Some(":"), Some(entry @ ("spawn" | "scope")), Some("(")) => entry,
+            _ => continue,
+        };
+        if file.in_test_code(t.line) || file.waived(t.line, "thread-registration") {
+            continue;
+        }
+        let registered =
+            (t.line..=t.line + WINDOW).any(|l| file.code_line(l).contains("register_worker"));
+        if !registered {
+            diags.push(Diagnostic::new(
+                rel.to_path_buf(),
+                t.line,
+                "thread-registration",
+                format!(
+                    "`thread::{entry}` in non-test code of model crate `{krate}` without an \
+                     `ia_obs` worker registration (`register_worker`) within {WINDOW} lines; \
+                     worker telemetry would be lost at thread exit (waive with \
+                     `// lint: thread-registration`)"
+                ),
+            ));
+        }
     }
 }
 

@@ -1,20 +1,24 @@
 //! Schema validation for the observability artifacts.
 //!
-//! Two documents are part of the workspace's stable machine-readable
+//! Three documents are part of the workspace's stable machine-readable
 //! surface (`docs/observability.md`):
 //!
 //! * the CLI's `--metrics json` snapshot
-//!   (`{"counters": {...}, "spans": [...], "histograms": [...]}`), and
+//!   (`{"counters": {...}, "spans": [...], "histograms": [...]}`),
 //! * the bench harness's `BENCH_<name>.json` reports
-//!   (`{"bench": "...", "cases": [{"params", "wall_ns", "counters"}]}`).
+//!   (`{"bench": "...", "cases": [{"params", "wall_ns", "counters"}]}`,
+//!   optionally naming a sibling trace file in `"trace"`), and
+//! * the Chrome trace-event exports written by `--trace` /
+//!   `TRACE_<name>.json` (a JSON array of `B`/`E`/`C`/`M` events).
 //!
-//! CI runs `ia-lint check-metrics` / `ia-lint check-bench` on freshly
-//! emitted files so schema drift fails the build instead of silently
-//! breaking downstream consumers. Both checkers parse with the same
-//! [`ia_obs::json`] tree the exporters render from, so integers are
-//! checked exactly.
+//! CI runs `ia-lint check-metrics` / `ia-lint check-bench` /
+//! `ia-lint check-trace` on freshly emitted files so schema drift
+//! fails the build instead of silently breaking downstream consumers.
+//! The checkers parse with the same [`ia_obs::json`] tree the
+//! exporters render from, so integers are checked exactly.
 
 use ia_obs::json::JsonValue;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Requires `doc[key]` to be an object whose values are all exact
 /// unsigned integers (the shape of a counter map).
@@ -157,7 +161,130 @@ pub fn check_bench(text: &str) -> Result<String, String> {
         expect_u64(case, "wall_ns", &ctx)?;
         expect_counter_map(case, "counters", &ctx)?;
     }
-    Ok(format!("bench report `{bench}` OK: {} cases", cases.len()))
+    let mut traced = String::new();
+    if let Some(trace) = doc.get("trace") {
+        let file = trace
+            .as_str()
+            .ok_or("report: `trace` must be a string naming the sibling trace file")?;
+        if file.is_empty() {
+            return Err("report: `trace` must be non-empty".to_owned());
+        }
+        traced = format!(", trace `{file}`");
+    }
+    Ok(format!(
+        "bench report `{bench}` OK: {} cases{traced}",
+        cases.len()
+    ))
+}
+
+/// Validates a Chrome trace-event export (the `--trace FILE.json` /
+/// `TRACE_<name>.json` artifacts).
+///
+/// Checks the documented shape — a non-empty JSON array of events with
+/// `name`/`ph`/`pid`/`tid` fields, `ph` one of `B`/`E`/`C`/`M` — plus
+/// the exporter's ordering guarantees: timestamps (microseconds, `ts`)
+/// are non-negative and non-decreasing across the merged timeline, and
+/// every `E` event closes the innermost open `B` of the same name on
+/// its `(pid, tid)` track. Unclosed `B` events are tolerated (the
+/// drop-newest buffers may lose an `End`) and only counted in the
+/// summary; an unmatched `E` is a hard error because a surviving end
+/// always has its begin in-buffer.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or parse
+/// error) found.
+pub fn check_trace(text: &str) -> Result<String, String> {
+    let doc = JsonValue::parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .as_array()
+        .ok_or("trace: top level must be a JSON array of events")?;
+    if events.is_empty() {
+        return Err("trace: event array must be non-empty".to_owned());
+    }
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut tids: BTreeSet<u64> = BTreeSet::new();
+    let mut last_ts: Option<f64> = None;
+    let (mut n_spans, mut n_counters, mut n_meta) = (0usize, 0usize, 0usize);
+    for (i, event) in events.iter().enumerate() {
+        let ctx = format!("events[{i}]");
+        let name = expect_str(event, "name", &ctx)?;
+        if name.is_empty() {
+            return Err(format!("{ctx}: `name` must be non-empty"));
+        }
+        let ph = expect_str(event, "ph", &ctx)?;
+        let pid = expect_u64(event, "pid", &ctx)?;
+        let tid = expect_u64(event, "tid", &ctx)?;
+        if ph != "M" {
+            let ts = event
+                .get("ts")
+                .ok_or_else(|| format!("{ctx}: missing `ts`"))?
+                .as_f64()
+                .ok_or_else(|| format!("{ctx}: `ts` must be a number"))?;
+            if ts < 0.0 {
+                return Err(format!("{ctx}: `ts` must be non-negative, got {ts}"));
+            }
+            if last_ts.is_some_and(|prev| ts < prev) {
+                return Err(format!(
+                    "{ctx}: `ts` went backwards ({ts} after {}); the merged \
+                     timeline must be sorted",
+                    // The comparison above makes the unwrap unreachable.
+                    last_ts.unwrap_or(0.0)
+                ));
+            }
+            last_ts = Some(ts);
+            tids.insert(tid);
+            let cat = expect_str(event, "cat", &ctx)?;
+            let want_cat = if ph == "C" { "counter" } else { "span" };
+            if cat != want_cat {
+                return Err(format!(
+                    "{ctx}: `cat` must be `{want_cat}` for ph `{ph}`, got `{cat}`"
+                ));
+            }
+        }
+        match ph {
+            "M" => n_meta += 1,
+            "B" => {
+                n_spans += 1;
+                stacks.entry((pid, tid)).or_default().push(name.to_owned());
+            }
+            "E" => {
+                n_spans += 1;
+                let top = stacks.entry((pid, tid)).or_default().pop();
+                if top.as_deref() != Some(name) {
+                    return Err(format!(
+                        "{ctx}: end event `{name}` on tid {tid} does not close the \
+                         innermost open span ({})",
+                        top.map_or_else(|| "none open".to_owned(), |t| format!("`{t}`"))
+                    ));
+                }
+            }
+            "C" => {
+                n_counters += 1;
+                let value = event
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .ok_or_else(|| format!("{ctx}: counter event missing `args.value`"))?;
+                if value.as_u64().is_none() {
+                    return Err(format!(
+                        "{ctx}: `args.value` must be an unsigned integer, got {}",
+                        value.render()
+                    ));
+                }
+            }
+            other => {
+                return Err(format!("{ctx}: `ph` must be one of B/E/C/M, got `{other}`"));
+            }
+        }
+    }
+    let unclosed: usize = stacks.values().map(Vec::len).sum();
+    Ok(format!(
+        "trace OK: {n_spans} span events, {n_counters} counter events, \
+         {n_meta} metadata events, {} thread(s), {unclosed} unclosed span(s)",
+        tids.len()
+    ))
 }
 
 #[cfg(test)]
@@ -235,6 +362,79 @@ mod tests {
                 .unwrap_err()
                 .contains("wall_ns")
         );
+    }
+
+    #[test]
+    fn bench_accepts_and_validates_the_optional_trace_field() {
+        let traced = r#"{"bench":"x","cases":[
+            {"params":{},"wall_ns":1,"counters":{}}],"trace":"TRACE_x.json"}"#;
+        let summary = check_bench(traced).unwrap();
+        assert!(summary.contains("trace `TRACE_x.json`"));
+        let bad = r#"{"bench":"x","cases":[
+            {"params":{},"wall_ns":1,"counters":{}}],"trace":""}"#;
+        assert!(check_bench(bad).unwrap_err().contains("non-empty"));
+        let not_str = r#"{"bench":"x","cases":[
+            {"params":{},"wall_ns":1,"counters":{}}],"trace":7}"#;
+        assert!(check_bench(not_str).unwrap_err().contains("string"));
+    }
+
+    const GOOD_TRACE: &str = r#"[
+        {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"iarank"}},
+        {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"main"}},
+        {"name":"dp_solve","cat":"span","ph":"B","ts":0.5,"pid":1,"tid":1},
+        {"name":"dp.states","cat":"counter","ph":"C","ts":1.0,"pid":1,"tid":1,
+         "args":{"value":4}},
+        {"name":"dp_solve","cat":"span","ph":"E","ts":2.0,"pid":1,"tid":1}]"#;
+
+    #[test]
+    fn good_trace_passes() {
+        let summary = check_trace(GOOD_TRACE).unwrap();
+        assert!(summary.contains("2 span events"), "{summary}");
+        assert!(summary.contains("1 counter events"), "{summary}");
+        assert!(summary.contains("2 metadata events"), "{summary}");
+        assert!(summary.contains("0 unclosed"), "{summary}");
+    }
+
+    #[test]
+    fn trace_rejects_non_array_and_empty() {
+        assert!(check_trace(r#"{"a":1}"#).unwrap_err().contains("array"));
+        assert!(check_trace("[]").unwrap_err().contains("non-empty"));
+    }
+
+    #[test]
+    fn trace_rejects_unknown_phase_and_bad_counter() {
+        let bad_ph = r#"[{"name":"x","cat":"span","ph":"X","ts":1,"pid":1,"tid":1}]"#;
+        assert!(check_trace(bad_ph).unwrap_err().contains("B/E/C/M"));
+        let bad_counter = r#"[{"name":"c","cat":"counter","ph":"C","ts":1,"pid":1,"tid":1,
+            "args":{"value":-3}}]"#;
+        assert!(check_trace(bad_counter).unwrap_err().contains("args.value"));
+    }
+
+    #[test]
+    fn trace_rejects_unmatched_end_but_tolerates_unclosed_begin() {
+        let unmatched = r#"[
+            {"name":"a","cat":"span","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"b","cat":"span","ph":"E","ts":2,"pid":1,"tid":1}]"#;
+        let err = check_trace(unmatched).unwrap_err();
+        assert!(err.contains("does not close"), "{err}");
+        // An end on a different track must not consume track 1's begin.
+        let cross_track = r#"[
+            {"name":"a","cat":"span","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"a","cat":"span","ph":"E","ts":2,"pid":1,"tid":2}]"#;
+        assert!(check_trace(cross_track).unwrap_err().contains("none open"));
+        let unclosed = r#"[{"name":"a","cat":"span","ph":"B","ts":1,"pid":1,"tid":1}]"#;
+        let summary = check_trace(unclosed).unwrap();
+        assert!(summary.contains("1 unclosed"), "{summary}");
+    }
+
+    #[test]
+    fn trace_rejects_unsorted_timestamps() {
+        let backwards = r#"[
+            {"name":"a","cat":"span","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"a","cat":"span","ph":"E","ts":3,"pid":1,"tid":1}]"#;
+        assert!(check_trace(backwards)
+            .unwrap_err()
+            .contains("went backwards"));
     }
 
     #[test]

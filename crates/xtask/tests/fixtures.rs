@@ -110,6 +110,22 @@ fn l6_exempts_the_obs_crate() {
 }
 
 #[test]
+fn l7_unregistered_threads_are_reported() {
+    let diags = lint_fixture("thread_reg");
+    assert_eq!(diags.len(), 2, "got {diags:?}");
+    for d in &diags {
+        assert_eq!(d.file, Path::new("crates/core/src/lib.rs"));
+        assert_eq!(d.rule, "thread-registration");
+        assert!(d.message.contains("register_worker"));
+        assert!(d.message.contains("model crate `core`"));
+    }
+    assert_eq!(diags[0].line, 25);
+    assert!(diags[0].message.contains("`thread::spawn`"));
+    assert_eq!(diags[1].line, 31);
+    assert!(diags[1].message.contains("`thread::scope`"));
+}
+
+#[test]
 fn cli_exit_codes_and_text_format() {
     let bin = env!("CARGO_BIN_EXE_ia-lint");
 
@@ -207,6 +223,100 @@ fn cli_schema_checkers_validate_artifacts() {
         Some(2),
         "missing operand must exit 2"
     );
+}
+
+#[test]
+fn cli_check_trace_validates_trace_exports() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let dir = std::env::temp_dir().join("ia_lint_trace_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let good = dir.join("trace.json");
+    std::fs::write(
+        &good,
+        r#"[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"iarank"}},
+            {"name":"dp_solve","cat":"span","ph":"B","ts":1.5,"pid":1,"tid":1},
+            {"name":"dp_solve","cat":"span","ph":"E","ts":9.0,"pid":1,"tid":1}]"#,
+    )
+    .expect("writable");
+    let ok = Command::new(bin)
+        .arg("check-trace")
+        .arg(&good)
+        .output()
+        .expect("runs");
+    assert!(ok.status.success(), "valid trace must exit 0");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("trace OK"));
+
+    let bad = dir.join("bad_trace.json");
+    std::fs::write(
+        &bad,
+        r#"[{"name":"dp_solve","cat":"span","ph":"E","ts":1,"pid":1,"tid":1}]"#,
+    )
+    .expect("writable");
+    let err = Command::new(bin)
+        .arg("check-trace")
+        .arg(&bad)
+        .output()
+        .expect("runs");
+    assert_eq!(err.status.code(), Some(1), "unmatched end must exit 1");
+    assert!(String::from_utf8_lossy(&err.stderr).contains("does not close"));
+}
+
+#[test]
+fn cli_bench_diff_gates_on_the_fixture_regression() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let base = fixture("bench_diff/baseline");
+    let slow = fixture("bench_diff/slow");
+
+    // Self-comparison is clean at the default tolerances.
+    let clean = Command::new(bin)
+        .args(["bench-diff", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&base)
+        .output()
+        .expect("runs");
+    assert!(clean.status.success(), "self-compare must exit 0");
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("0 regression(s)"));
+
+    // The default loose wall tolerance absorbs the +20 % fixture.
+    let loose = Command::new(bin)
+        .args(["bench-diff", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&slow)
+        .output()
+        .expect("runs");
+    assert!(loose.status.success(), "+20% within tol 3.0 must exit 0");
+
+    // A tight tolerance catches it and the JSON report records it.
+    let json_path = std::env::temp_dir().join("ia_lint_bench_diff.json");
+    let tight = Command::new(bin)
+        .args(["bench-diff", "--tol-wall", "0.1", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&slow)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("runs");
+    assert_eq!(tight.status.code(), Some(1), "+20% at tol 0.1 must exit 1");
+    let stdout = String::from_utf8_lossy(&tight.stdout);
+    assert!(stdout.contains("REGRESSION demo"), "{stdout}");
+    assert!(stdout.contains("wall_ns 1000000 -> 1200000"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    assert!(json.contains("\"metric\":\"wall_ns\""), "{json}");
+    std::fs::remove_file(&json_path).ok();
+
+    // Usage and I/O errors exit 2.
+    let no_dirs = Command::new(bin).arg("bench-diff").output().expect("runs");
+    assert_eq!(no_dirs.status.code(), Some(2), "missing flags must exit 2");
+    let missing = Command::new(bin)
+        .args(["bench-diff", "--baseline", "/nonexistent/bench-baseline"])
+        .args(["--current", "/nonexistent/bench-current"])
+        .output()
+        .expect("runs");
+    assert_eq!(missing.status.code(), Some(2), "missing dirs must exit 2");
 }
 
 #[test]

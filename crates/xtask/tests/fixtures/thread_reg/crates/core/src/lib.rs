@@ -1,0 +1,46 @@
+//! Fixture: threads in a model crate with and without an `ia_obs`
+//! worker registration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Registered workers: not flagged.
+pub fn good_scope(sink: &ia_obs::MergeSink) {
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let _worker = sink.register_worker("fixture.worker");
+        });
+    });
+}
+
+/// Waived spawn: not flagged.
+pub fn waived_spawn() {
+    // lint: thread-registration (fixture: merged elsewhere)
+    let handle = std::thread::spawn(|| ());
+    drop(handle);
+}
+
+/// Spawns without registering: flagged.
+pub fn bad_spawn() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    drop(handle);
+}
+
+/// Scoped threads without registering: flagged.
+pub fn bad_scope(values: &[u64]) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = values
+            .iter()
+            .map(|v| scope.spawn(move || v + 1))
+            .collect();
+        handles.len() as u64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        std::thread::spawn(|| ()).join().ok();
+    }
+}
