@@ -1,0 +1,362 @@
+//! Serve-layer throughput: loopback clients against a live `ia-serve`
+//! server, measuring cold-miss versus cached-hit `/solve` latency,
+//! mixed concurrent traffic, and single-flight deduplication.
+//!
+//! Phases (each a `BENCH_serve_throughput.json` case):
+//!
+//! * **cold** — 8 distinct K-knob solves, serially: every request is a
+//!   cache miss and pays a full DP solve. Counters are captured and
+//!   gate exactly in CI (deterministic solver work).
+//! * **hot** — the same 8 requests, three passes, serially: pure cache
+//!   hits. Counters gate exactly.
+//! * **cold_p50/cold_p99/hot_p50/hot_p99** — per-request latency
+//!   percentiles carried in `wall_ns` (empty counters).
+//! * **mixed** — 16 concurrent clients, 12 cached + 4 fresh keys (75 %
+//!   hit rate by construction). Wall time only: queue-depth maxima are
+//!   timing-dependent, so counters are not recorded.
+//! * **burst** — 8 concurrent *identical* fresh requests; the bench
+//!   asserts exactly one reports a cache miss (single-flight dedup).
+//!
+//! The bench also enforces the serving-layer acceptance criterion in
+//! process: cached p50 must be at least 10x below cold-miss p50.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use ia_bench::BenchReport;
+use ia_obs::Stopwatch;
+use ia_rank::sweep::PAPER_K_VALUES;
+use ia_serve::{Server, ServerConfig};
+
+/// Problem size: large enough that a cold DP solve dwarfs HTTP
+/// overhead, small enough that 12 cold solves finish in seconds.
+const GATES: u64 = 100_000;
+const BUNCH: u64 = 5_000;
+
+/// Cold/hot working set: distinct K values from the paper's grid.
+const WORKING_SET: usize = 8;
+/// Mixed phase: total concurrent clients and how many hit fresh keys.
+const MIXED_CLIENTS: usize = 16;
+const MIXED_FRESH: usize = 4;
+/// Burst phase: identical concurrent requests.
+const BURST_CLIENTS: usize = 8;
+
+fn solve_body(k: f64) -> String {
+    format!(r#"{{"gates":{GATES},"bunch":{BUNCH},"k":{k}}}"#)
+}
+
+/// One blocking request/response exchange; returns (status, body).
+fn post_solve(addr: SocketAddr, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    let request = format!(
+        "POST /solve HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split("\r\n\r\n")
+        .nth(1)
+        .map(str::to_owned)
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn cache_outcome(body: &str) -> String {
+    ia_obs::json::JsonValue::parse(body)
+        .ok()
+        .and_then(|doc| doc.get("cache").and_then(|c| c.as_str().map(str::to_owned)))
+        .unwrap_or_default()
+}
+
+/// Waits until the server's merge sink has absorbed `expected` solve
+/// outcomes this phase and two consecutive peeks agree (worker flushes
+/// race the client's response read by a few microseconds).
+fn settle(server: &Server, expected: u64) {
+    let mut last = String::new();
+    for _ in 0..500 {
+        let snapshot = server.sink().peek_snapshot();
+        let outcomes = [
+            "serve.cache.hits",
+            "serve.cache.misses",
+            "serve.cache.shared",
+        ]
+        .iter()
+        .filter_map(|name| snapshot.counter(name))
+        .sum::<u64>();
+        let rendered = snapshot.to_json_string();
+        if outcomes >= expected && rendered == last {
+            return;
+        }
+        last = rendered;
+        thread::sleep(Duration::from_millis(5));
+    }
+    panic!("server telemetry never settled at {expected} outcomes");
+}
+
+/// Drains the server's pending telemetry into this thread, records the
+/// case, and clears the thread-local storage for the next phase.
+/// `with_counters` controls whether the drained counters make it into
+/// the artifact (concurrent phases have timing-dependent maxima).
+fn record_phase(
+    report: &mut BenchReport,
+    server: &Server,
+    params: Vec<(&'static str, ia_obs::json::JsonValue)>,
+    wall_ns: u64,
+    with_counters: bool,
+) {
+    ia_obs::reset();
+    if with_counters {
+        server.sink().collect();
+        report.case(params, wall_ns);
+    } else {
+        report.case(params, wall_ns);
+        server.sink().collect();
+    }
+    ia_obs::reset();
+}
+
+fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {
+    let index = (sorted_ns.len() * pct / 100).min(sorted_ns.len() - 1);
+    sorted_ns[index]
+}
+
+fn main() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        cache_entries: 256,
+        queue_depth: 64,
+        request_timeout: Duration::from_secs(60),
+        max_body_bytes: 64 * 1024,
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    println!(
+        "serve_throughput: gates={GATES} bunch={BUNCH}, {WORKING_SET}-key working set on {addr}"
+    );
+
+    let mut report = BenchReport::new("serve_throughput");
+    ia_obs::reset();
+
+    // ---- cold: every request is a miss and pays a DP solve ----
+    let mut cold_lat = Vec::with_capacity(WORKING_SET);
+    let cold_wall = Stopwatch::start();
+    for &k in &PAPER_K_VALUES[..WORKING_SET] {
+        let sw = Stopwatch::start();
+        let (status, body) = post_solve(addr, &solve_body(k));
+        cold_lat.push(sw.elapsed_ns());
+        assert_eq!(status, 200, "cold solve failed: {body}");
+        assert_eq!(cache_outcome(&body), "miss", "cold request must miss");
+    }
+    let cold_ns = cold_wall.elapsed_ns();
+    settle(&server, WORKING_SET as u64);
+    record_phase(
+        &mut report,
+        &server,
+        vec![
+            ("phase", "cold".into()),
+            ("requests", (WORKING_SET as u64).into()),
+        ],
+        cold_ns,
+        true,
+    );
+
+    // ---- hot: same keys, three passes, pure cache hits ----
+    let hot_requests = 3 * WORKING_SET;
+    let mut hot_lat = Vec::with_capacity(hot_requests);
+    let hot_wall = Stopwatch::start();
+    for _ in 0..3 {
+        for &k in &PAPER_K_VALUES[..WORKING_SET] {
+            let sw = Stopwatch::start();
+            let (status, body) = post_solve(addr, &solve_body(k));
+            hot_lat.push(sw.elapsed_ns());
+            assert_eq!(status, 200, "hot solve failed: {body}");
+            assert_eq!(cache_outcome(&body), "hit", "warm request must hit");
+        }
+    }
+    let hot_ns = hot_wall.elapsed_ns();
+    settle(&server, hot_requests as u64);
+    record_phase(
+        &mut report,
+        &server,
+        vec![
+            ("phase", "hot".into()),
+            ("requests", (hot_requests as u64).into()),
+        ],
+        hot_ns,
+        true,
+    );
+
+    // ---- latency percentiles (wall_ns carries the value) ----
+    cold_lat.sort_unstable();
+    hot_lat.sort_unstable();
+    let cold_p50 = percentile(&cold_lat, 50);
+    let cold_p99 = percentile(&cold_lat, 99);
+    let hot_p50 = percentile(&hot_lat, 50);
+    let hot_p99 = percentile(&hot_lat, 99);
+    for (phase, value) in [
+        ("cold_p50", cold_p50),
+        ("cold_p99", cold_p99),
+        ("hot_p50", hot_p50),
+        ("hot_p99", hot_p99),
+    ] {
+        record_phase(
+            &mut report,
+            &server,
+            vec![("phase", phase.into())],
+            value,
+            false,
+        );
+    }
+
+    // ---- mixed: concurrent cached + fresh traffic, 75 % hit rate ----
+    let cached = MIXED_CLIENTS - MIXED_FRESH;
+    let mixed_wall = Stopwatch::start();
+    let outcomes: Vec<String> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(MIXED_CLIENTS);
+        for i in 0..MIXED_CLIENTS {
+            // First `cached` clients cycle the warm working set; the
+            // rest take fresh grid points past it.
+            let k = if i < cached {
+                PAPER_K_VALUES[i % WORKING_SET]
+            } else {
+                PAPER_K_VALUES[WORKING_SET + (i - cached)]
+            };
+            handles.push(scope.spawn(move || {
+                let (status, body) = post_solve(addr, &solve_body(k));
+                assert_eq!(status, 200, "mixed solve failed: {body}");
+                cache_outcome(&body)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mixed client"))
+            .collect()
+    });
+    let mixed_ns = mixed_wall.elapsed_ns();
+    let hits = outcomes.iter().filter(|o| o.as_str() == "hit").count();
+    let misses = outcomes.iter().filter(|o| o.as_str() == "miss").count();
+    assert_eq!(hits, cached, "cached keys must hit");
+    assert_eq!(misses, MIXED_FRESH, "fresh keys must miss");
+    settle(&server, MIXED_CLIENTS as u64);
+    record_phase(
+        &mut report,
+        &server,
+        vec![
+            ("phase", "mixed".into()),
+            ("requests", (MIXED_CLIENTS as u64).into()),
+            (
+                "hit_rate_pct",
+                (100 * cached as u64 / MIXED_CLIENTS as u64).into(),
+            ),
+        ],
+        mixed_ns,
+        false,
+    );
+
+    // ---- burst: identical concurrent requests dedup to one solve ----
+    let burst_k = PAPER_K_VALUES[WORKING_SET + MIXED_FRESH];
+    let burst_wall = Stopwatch::start();
+    let outcomes: Vec<String> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..BURST_CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, body) = post_solve(addr, &solve_body(burst_k));
+                    assert_eq!(status, 200, "burst solve failed: {body}");
+                    cache_outcome(&body)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst client"))
+            .collect()
+    });
+    let burst_ns = burst_wall.elapsed_ns();
+    let burst_misses = outcomes.iter().filter(|o| o.as_str() == "miss").count();
+    assert_eq!(
+        burst_misses, 1,
+        "single-flight: exactly one of {BURST_CLIENTS} identical requests computes"
+    );
+    settle(&server, BURST_CLIENTS as u64);
+    record_phase(
+        &mut report,
+        &server,
+        vec![
+            ("phase", "burst".into()),
+            ("requests", (BURST_CLIENTS as u64).into()),
+        ],
+        burst_ns,
+        false,
+    );
+
+    server.shutdown();
+    let served = server.join();
+    ia_obs::reset();
+
+    // ---- human-readable summary ----
+    let total_requests = WORKING_SET + hot_requests + MIXED_CLIENTS + BURST_CLIENTS;
+    let rps = |n: usize, ns: u64| 1.0e9 * n as f64 / ns.max(1) as f64;
+    println!("\nphase   requests      wall_ms    req/s");
+    println!(
+        "cold    {:>8} {:>12.2} {:>8.1}",
+        WORKING_SET,
+        cold_ns as f64 / 1e6,
+        rps(WORKING_SET, cold_ns)
+    );
+    println!(
+        "hot     {:>8} {:>12.2} {:>8.1}",
+        hot_requests,
+        hot_ns as f64 / 1e6,
+        rps(hot_requests, hot_ns)
+    );
+    println!(
+        "mixed   {:>8} {:>12.2} {:>8.1}   (hit rate {}%)",
+        MIXED_CLIENTS,
+        mixed_ns as f64 / 1e6,
+        rps(MIXED_CLIENTS, mixed_ns),
+        100 * cached / MIXED_CLIENTS
+    );
+    println!(
+        "burst   {:>8} {:>12.2} {:>8.1}   (1 DP solve)",
+        BURST_CLIENTS,
+        burst_ns as f64 / 1e6,
+        rps(BURST_CLIENTS, burst_ns)
+    );
+    println!(
+        "\nlatency: cold p50 {:.2} ms  p99 {:.2} ms | hot p50 {:.3} ms  p99 {:.3} ms",
+        cold_p50 as f64 / 1e6,
+        cold_p99 as f64 / 1e6,
+        hot_p50 as f64 / 1e6,
+        hot_p99 as f64 / 1e6
+    );
+    println!("served {served} requests total ({total_requests} from bench clients)");
+
+    // Acceptance criterion: cached p50 at least 10x below cold p50.
+    assert!(
+        hot_p50.saturating_mul(10) <= cold_p50,
+        "cache speedup below 10x: hot p50 {hot_p50} ns vs cold p50 {cold_p50} ns"
+    );
+    println!(
+        "cache speedup p50: {:.1}x (acceptance floor 10x)",
+        cold_p50 as f64 / hot_p50.max(1) as f64
+    );
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+}

@@ -501,6 +501,7 @@ COMMANDS:
   wld        generate a Davis wire-length distribution as CSV
   netlist    extract a WLD from a placed netlist (--in FILE [--net-model star|hpwl])
   optimize   search BEOL stacks by rank within a pair budget
+  serve      run the rank service over HTTP (see docs/serving.md)
   help       show this text
 
 SHARED FLAGS (rank, sweep, optimize):
@@ -519,6 +520,13 @@ SHARED FLAGS (rank, sweep, optimize):
                            value; worker telemetry is merged into the
                            caller's snapshot and trace
 
+SERVE FLAGS:
+  --addr HOST:PORT         listen address (port 0 = ephemeral) [127.0.0.1:8080]
+  --workers N              worker-thread count           [4]
+  --cache-entries N        solve-cache capacity          [256]
+  --queue-depth N          accept-queue bound (429 past it) [64]
+  --request-timeout-ms N   per-request deadline          [10000]
+
 TELEMETRY FLAGS (any command):
   --metrics text|json      print solver counters and span timings after
                            the command output (json is one compact
@@ -536,8 +544,47 @@ EXAMPLES:
   iarank sweep --axis k --gates 400000 --parallel --trace sweep.json
   iarank wld --gates 250000 --out design.csv
   iarank optimize --node 90 --max-pairs 5 --gates 400000
+  iarank serve --addr 127.0.0.1:0 --workers 4 --cache-entries 512
 "
     .to_owned()
+}
+
+/// `iarank serve`: run the rank service until `POST /shutdown` (or a
+/// signal) stops it.
+///
+/// The listening address is printed (and flushed) *before* the call
+/// blocks, so scripts binding an ephemeral port (`--addr
+/// 127.0.0.1:0`) can parse the resolved port from the first stdout
+/// line. On graceful shutdown the worker threads' telemetry has been
+/// merged into this thread, so `--metrics`/`--trace` reports cover
+/// everything the server did.
+pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let addr = args
+        .get_str("addr")
+        .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
+    let workers = args.get("workers", 4usize)?;
+    let cache_entries = args.get("cache-entries", 256usize)?;
+    let queue_depth = args.get("queue-depth", 64usize)?;
+    let request_timeout_ms = args.get("request-timeout-ms", 10_000u64)?;
+    args.reject_unknown()?;
+
+    let config = ia_serve::ServerConfig {
+        addr,
+        workers,
+        cache_entries,
+        queue_depth,
+        request_timeout: std::time::Duration::from_millis(request_timeout_ms),
+        ..ia_serve::ServerConfig::default()
+    };
+    let server = ia_serve::Server::bind(config).map_err(domain)?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(stdout, "listening on {}", server.local_addr());
+        let _ = stdout.flush();
+    }
+    let served = server.join();
+    Ok(format!("served {served} requests"))
 }
 
 /// Dispatches a parsed command line.
@@ -553,6 +600,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("wld") => cmd_wld(args),
         Some("netlist") => cmd_netlist(args),
         Some("optimize") => cmd_optimize(args),
+        Some("serve") => cmd_serve(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError::Domain(format!(
             "unknown command `{other}` — try `iarank help`"
@@ -570,9 +618,17 @@ mod tests {
     }
 
     #[test]
+    fn serve_rejects_unknown_flags_before_binding() {
+        let err = run(&["serve", "--typo", "1"]).unwrap_err();
+        assert!(err.to_string().contains("typo"));
+        let err = run(&["serve", "--workers", "many"]).unwrap_err();
+        assert!(err.to_string().contains("workers"));
+    }
+
+    #[test]
     fn help_lists_all_commands() {
         let text = run(&["help"]).unwrap();
-        for cmd in ["rank", "sweep", "wld", "optimize"] {
+        for cmd in ["rank", "sweep", "wld", "optimize", "serve"] {
             assert!(text.contains(cmd));
         }
         assert_eq!(run(&[]).unwrap(), usage());

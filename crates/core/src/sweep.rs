@@ -1,7 +1,13 @@
 //! Table 4 parameter sweeps and the K-vs-M equivalence analysis.
+//!
+//! Sweeps can consult a caller-supplied [`PointCache`]: before
+//! rebuilding and solving a point, the runner asks the cache for a
+//! previously computed [`CachedSolve`] under a caller-derived
+//! content-address. `ia-serve` plugs its sharded LRU in here so HTTP
+//! sweep requests share entries with individual `/solve` requests.
 
 use crate::telemetry::{self, names};
-use crate::{RankError, RankProblemBuilder};
+use crate::{RankError, RankProblem, RankProblemBuilder, RankResult};
 use ia_units::{Frequency, Permittivity};
 use serde::{Deserialize, Serialize};
 
@@ -14,6 +20,122 @@ pub struct SweepPoint {
     pub rank: u64,
     /// The normalized rank (rank / total wires) — Table 4's numbers.
     pub normalized: f64,
+}
+
+/// A solved configuration's summary, rich enough to answer both a
+/// sweep point and a full solve query — the value type of the sweep
+/// [`PointCache`] (and of `ia-serve`'s solve cache, so the two share
+/// entries content-addressably).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachedSolve {
+    /// The rank, in wires.
+    pub rank: u64,
+    /// The normalized rank (rank / total wires).
+    pub normalized: f64,
+    /// Total wires in the distribution.
+    pub total_wires: u64,
+    /// Whether the whole distribution fit the architecture.
+    pub fully_assignable: bool,
+    /// Repeaters placed on the ranked wires.
+    pub repeater_count: u64,
+    /// Repeater area consumed, in square meters.
+    pub repeater_area_m2: f64,
+    /// The sized die area, in square meters.
+    pub die_area_m2: f64,
+}
+
+impl CachedSolve {
+    /// Summarizes a solved problem for caching.
+    #[must_use]
+    pub fn of(problem: &RankProblem, result: &RankResult) -> Self {
+        CachedSolve {
+            rank: result.rank(),
+            normalized: result.normalized(),
+            total_wires: result.total_wires(),
+            fully_assignable: result.fully_assignable(),
+            repeater_count: result.repeater_count(),
+            repeater_area_m2: result.repeater_area().square_meters(),
+            die_area_m2: problem.die().die_area().square_meters(),
+        }
+    }
+
+    /// The cached summary as a sweep point at swept value `x`.
+    #[must_use]
+    pub fn point(
+        &self,
+        x: f64, // lint: raw-f64 (the swept axis value, unit depends on the axis)
+    ) -> SweepPoint {
+        SweepPoint {
+            x,
+            rank: self.rank,
+            normalized: self.normalized,
+        }
+    }
+}
+
+/// A content-addressed store of solved points that sweep runners
+/// consult before rebuilding and re-solving a configuration.
+///
+/// The *caller* derives the key: [`key`](Self::key) maps a swept value
+/// to the content-address of the fully-bound problem it produces (or
+/// `None` to bypass the cache for that value). `Sync` because the
+/// thread-per-value parallel runner shares one cache across workers;
+/// lookups and stores may race, at worst costing a duplicate solve.
+pub trait PointCache: Sync {
+    /// The content-address of the problem produced by swept value `x`,
+    /// or `None` to solve uncached.
+    fn key(&self, x: f64) -> Option<u128>;
+
+    /// Fetches a previously stored solve under `key`.
+    fn lookup(&self, key: u128) -> Option<CachedSolve>;
+
+    /// Stores a freshly computed solve under `key`.
+    fn store(&self, key: u128, value: CachedSolve);
+}
+
+/// The no-op cache: every value solves fresh. Used by the plain sweep
+/// entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl PointCache for NoCache {
+    fn key(&self, _x: f64) -> Option<u128> {
+        None
+    }
+
+    fn lookup(&self, _key: u128) -> Option<CachedSolve> {
+        None
+    }
+
+    fn store(&self, _key: u128, _value: CachedSolve) {}
+}
+
+/// Solves one swept value through the cache: lookup under the
+/// caller-derived key, else build + rank + store.
+fn solve_point<'a, F>(
+    builder: &RankProblemBuilder<'a>,
+    x: f64,
+    apply: &F,
+    cache: &dyn PointCache,
+) -> Result<SweepPoint, RankError>
+where
+    F: Fn(RankProblemBuilder<'a>, f64) -> RankProblemBuilder<'a>,
+{
+    let key = cache.key(x);
+    if let Some(key) = key {
+        if let Some(cached) = cache.lookup(key) {
+            telemetry::counter_add(names::SWEEP_CACHE_HITS, 1);
+            return Ok(cached.point(x));
+        }
+    }
+    let problem = apply(builder.clone(), x).build()?;
+    let result = problem.rank();
+    let cached = CachedSolve::of(&problem, &result);
+    if let Some(key) = key {
+        telemetry::counter_add(names::SWEEP_CACHE_MISSES, 1);
+        cache.store(key, cached);
+    }
+    Ok(cached.point(x))
 }
 
 /// The ILD-permittivity grid of Table 4's `K` column: 3.9 down to 1.8.
@@ -44,17 +166,29 @@ fn run_sweep<'a, F>(
 where
     F: Fn(RankProblemBuilder<'a>, f64) -> RankProblemBuilder<'a>,
 {
+    sweep_cached(builder, values, apply, &NoCache)
+}
+
+/// Runs a serial sweep that consults `cache` before solving each value
+/// (see [`PointCache`]). Hits and misses are recorded under the
+/// `sweep.cache.*` counters; values the cache declines to key solve
+/// fresh without touching the counters.
+///
+/// # Errors
+///
+/// Propagates any [`RankError`] from rebuilding the problem.
+pub fn sweep_cached<'a, F>(
+    builder: &RankProblemBuilder<'a>,
+    values: &[f64],
+    apply: F,
+    cache: &dyn PointCache,
+) -> Result<Vec<SweepPoint>, RankError>
+where
+    F: Fn(RankProblemBuilder<'a>, f64) -> RankProblemBuilder<'a>,
+{
     values
         .iter()
-        .map(|&x| {
-            let problem = apply(builder.clone(), x).build()?;
-            let result = problem.rank();
-            Ok(SweepPoint {
-                x,
-                rank: result.rank(),
-                normalized: result.normalized(),
-            })
-        })
+        .map(|&x| solve_point(builder, x, &apply, cache))
         .collect()
 }
 
@@ -135,6 +269,25 @@ pub fn sweep_parallel<'a, F>(
 where
     F: for<'b> Fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b> + Sync,
 {
+    sweep_parallel_cached(builder, values, apply, &NoCache)
+}
+
+/// [`sweep_parallel`] with a shared [`PointCache`] consulted by every
+/// worker (the trait's `Sync` bound makes the sharing sound; racing
+/// workers at worst solve a value twice).
+///
+/// # Errors
+///
+/// Propagates the first [`RankError`] encountered (by input order).
+pub fn sweep_parallel_cached<'a, F>(
+    builder: &RankProblemBuilder<'a>,
+    values: &[f64],
+    apply: F,
+    cache: &dyn PointCache,
+) -> Result<Vec<SweepPoint>, RankError>
+where
+    F: for<'b> Fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b> + Sync,
+{
     let _span = telemetry::span(names::SPAN_SWEEP_PARALLEL);
     let sink = telemetry::MergeSink::new();
     let result = std::thread::scope(|scope| {
@@ -148,13 +301,7 @@ where
                 scope.spawn(move || -> Result<SweepPoint, RankError> {
                     let _worker =
                         sink.register_worker(&format!("{}.{i}", names::SWEEP_WORKER_PREFIX));
-                    let problem = apply(b, x).build()?;
-                    let result = problem.rank();
-                    Ok(SweepPoint {
-                        x,
-                        rank: result.rank(),
-                        normalized: result.normalized(),
-                    })
+                    solve_point(&b, x, apply, cache)
                 })
             })
             .collect();
@@ -275,6 +422,85 @@ mod tests {
         // Larger repeater budget can only help (weakly).
         let r = sweep_repeater_fraction(&base, &[0.1, 0.3, 0.5]).unwrap();
         assert!(r[0].rank <= r[1].rank && r[1].rank <= r[2].rank, "{r:?}");
+    }
+
+    fn apply_k(b: RankProblemBuilder<'_>, k: f64) -> RankProblemBuilder<'_> {
+        b.permittivity(Permittivity::from_relative(k))
+    }
+
+    /// A transparent test cache: keys every value by its bit pattern.
+    #[derive(Default)]
+    struct MapCache {
+        map: std::sync::Mutex<std::collections::BTreeMap<u128, CachedSolve>>,
+        stores: std::sync::atomic::AtomicU64,
+    }
+
+    impl PointCache for MapCache {
+        fn key(&self, x: f64) -> Option<u128> {
+            Some(u128::from(x.to_bits()))
+        }
+
+        fn lookup(&self, key: u128) -> Option<CachedSolve> {
+            self.map.lock().unwrap().get(&key).copied()
+        }
+
+        fn store(&self, key: u128, value: CachedSolve) {
+            self.stores
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.map.lock().unwrap().insert(key, value);
+        }
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_and_reuses_entries() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let base = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(20_000).unwrap())
+            .bunch_size(2_000);
+        let values = [3.9, 3.0, 2.1];
+        let plain = sweep_permittivity(&base, &values).unwrap();
+
+        let cache = MapCache::default();
+        let cold = sweep_cached(&base, &values, apply_k, &cache).unwrap();
+        assert_eq!(cold, plain, "the cache is transparent");
+        assert_eq!(cache.stores.load(std::sync::atomic::Ordering::Relaxed), 3);
+
+        // Second pass: everything answered from the cache, nothing stored.
+        let warm = sweep_cached(&base, &values, apply_k, &cache).unwrap();
+        assert_eq!(warm, plain);
+        assert_eq!(cache.stores.load(std::sync::atomic::Ordering::Relaxed), 3);
+
+        // The parallel runner shares the same entries.
+        let parallel = sweep_parallel_cached(&base, &values, apply_k, &cache).unwrap();
+        assert_eq!(parallel, plain);
+        assert_eq!(cache.stores.load(std::sync::atomic::Ordering::Relaxed), 3);
+
+        // Cached values carry the full solve summary.
+        let entry = cache
+            .lookup(cache.key(3.9).unwrap())
+            .expect("3.9 was stored");
+        assert_eq!(entry.rank, plain[0].rank);
+        assert!(entry.total_wires >= entry.rank);
+        assert!(entry.die_area_m2 > 0.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn cached_sweep_records_hit_and_miss_counters() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let base = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(20_000).unwrap())
+            .bunch_size(2_000);
+        let cache = MapCache::default();
+        ia_obs::set_enabled(true);
+        ia_obs::reset();
+        let _ = sweep_cached(&base, &[3.9, 3.0], apply_k, &cache).unwrap();
+        let _ = sweep_cached(&base, &[3.9, 3.0], apply_k, &cache).unwrap();
+        let snap = ia_obs::snapshot();
+        assert_eq!(snap.counter(names::SWEEP_CACHE_MISSES), Some(2));
+        assert_eq!(snap.counter(names::SWEEP_CACHE_HITS), Some(2));
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub mod names {
     pub const INSTANCE_PAIRS: &str = "instance.pairs";
     /// Counter: candidate stacks evaluated by the optimizer.
     pub const OPTIMIZE_CANDIDATES: &str = "optimize.candidates";
+    /// Counter: sweep points answered from a caller-supplied
+    /// [`crate::sweep::PointCache`] instead of re-solved.
+    pub const SWEEP_CACHE_HITS: &str = "sweep.cache.hits";
+    /// Counter: sweep points solved fresh and stored into a
+    /// caller-supplied [`crate::sweep::PointCache`].
+    pub const SWEEP_CACHE_MISSES: &str = "sweep.cache.misses";
 
     /// Span: the DP solve proper ([`crate::dp::rank`]).
     pub const SPAN_DP_SOLVE: &str = "dp_solve";

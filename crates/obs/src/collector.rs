@@ -245,51 +245,55 @@ pub fn reset() {
     });
 }
 
+/// Copies a storage's aggregated data out as an immutable [`Snapshot`]
+/// (shared by [`snapshot`] and [`MergeSink::peek_snapshot`]).
+fn storage_snapshot(s: &Storage) -> Snapshot {
+    let counters = s
+        .counters
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), *v))
+        .collect();
+    let spans = s
+        .spans
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let histograms = s
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, count)| **count > 0)
+                .map(|(i, count)| (bucket_upper_bound(i), *count))
+                .collect();
+            (
+                (*k).to_string(),
+                HistogramStat {
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets,
+                },
+            )
+        })
+        .collect();
+    Snapshot {
+        counters,
+        spans,
+        histograms,
+    }
+}
+
 /// Copies this thread's recorded data out as an immutable [`Snapshot`].
 /// Includes worker-thread data previously folded in via
 /// [`MergeSink::collect`].
 #[must_use]
 pub fn snapshot() -> Snapshot {
-    with_storage(|s| {
-        let counters = s
-            .counters
-            .iter()
-            .map(|(k, v)| ((*k).to_string(), *v))
-            .collect();
-        let spans = s
-            .spans
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        let histograms = s
-            .histograms
-            .iter()
-            .map(|(k, h)| {
-                let buckets = h
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, count)| **count > 0)
-                    .map(|(i, count)| (bucket_upper_bound(i), *count))
-                    .collect();
-                (
-                    (*k).to_string(),
-                    HistogramStat {
-                        count: h.count,
-                        sum: h.sum,
-                        min: h.min,
-                        max: h.max,
-                        buckets,
-                    },
-                )
-            })
-            .collect();
-        Snapshot {
-            counters,
-            spans,
-            histograms,
-        }
-    })
+    with_storage(|s| storage_snapshot(s))
 }
 
 /// A collection point for worker-thread telemetry.
@@ -364,6 +368,40 @@ impl MergeSink {
         };
         with_storage(|s| s.merge_from(pending));
     }
+
+    /// Flushes the calling thread's recorded data into the sink *now*,
+    /// without waiting for a [`WorkerGuard`] drop. The thread's track id
+    /// (and its track name, if any) stay local so it can keep recording.
+    ///
+    /// This is the heartbeat primitive for long-running worker threads —
+    /// a server worker flushes after each request so the sink's
+    /// [`peek_snapshot`](Self::peek_snapshot) stays current while the
+    /// worker lives.
+    pub fn flush_thread(&self) {
+        let flushed = with_storage(|s| {
+            let tid = s.tid;
+            let name = tid.and_then(|t| s.thread_names.get(&t).cloned());
+            let mut taken = std::mem::take(s);
+            taken.tid = tid;
+            s.tid = tid;
+            if let (Some(tid), Some(name)) = (tid, name) {
+                s.thread_names.insert(tid, name);
+            }
+            taken
+        });
+        let mut guard = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.merge_from(flushed);
+    }
+
+    /// Copies the sink's pending pile out as a [`Snapshot`] without
+    /// consuming it (unlike [`collect`](Self::collect)). Lets a
+    /// long-running process export cumulative metrics repeatedly while
+    /// its workers are still registered and flushing.
+    #[must_use]
+    pub fn peek_snapshot(&self) -> Snapshot {
+        let guard = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        storage_snapshot(&guard)
+    }
 }
 
 /// RAII registration handle returned by [`MergeSink::register_worker`].
@@ -375,24 +413,15 @@ pub struct WorkerGuard {
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
-        let flushed = with_storage(|s| {
-            let tid = s.tid;
-            let mut taken = std::mem::take(s);
-            taken.tid = tid;
-            // Keep the thread's identity local too, in case it records
-            // again after the flush.
-            s.tid = tid;
-            if let Some(tid) = tid {
+        self.sink.flush_thread();
+        // Keep the thread's registered identity local too, in case it
+        // records again after the flush (flush_thread only preserves a
+        // name that was still present, which a reset may have cleared).
+        with_storage(|s| {
+            if let Some(tid) = s.tid {
                 s.thread_names.insert(tid, self.name.clone());
             }
-            taken
         });
-        let mut guard = self
-            .sink
-            .pending
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        guard.merge_from(flushed);
     }
 }
 

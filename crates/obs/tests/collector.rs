@@ -168,6 +168,63 @@ fn snapshot_round_trips_through_json() {
 }
 
 #[test]
+fn flush_thread_is_repeatable_and_peek_is_non_destructive() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    let sink = ia_obs::MergeSink::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _worker = sink.register_worker("peek.worker");
+            // A long-lived worker flushes after each unit of work; the
+            // sink accumulates across flushes without the guard dropping.
+            ia_obs::counter_add("peek.requests", 1);
+            sink.flush_thread();
+            assert_eq!(sink.peek_snapshot().counter("peek.requests"), Some(1));
+            ia_obs::counter_add("peek.requests", 2);
+            sink.flush_thread();
+            let snap = sink.peek_snapshot();
+            assert_eq!(snap.counter("peek.requests"), Some(3));
+            assert!(
+                ia_obs::snapshot().is_empty(),
+                "flush_thread moved the worker's data out"
+            );
+            // Peeking again sees the same cumulative data.
+            assert_eq!(sink.peek_snapshot().counter("peek.requests"), Some(3));
+        });
+    });
+    // The guard's final drop-flush had nothing new; collect() still
+    // drains the pile into the caller as before.
+    ia_obs::reset();
+    sink.collect();
+    assert_eq!(ia_obs::snapshot().counter("peek.requests"), Some(3));
+    assert!(
+        sink.peek_snapshot().is_empty(),
+        "collect() drains what peek_snapshot only borrows"
+    );
+}
+
+#[test]
+fn flush_thread_merges_maxima_by_max() {
+    let _guard = flag_lock();
+    ia_obs::set_enabled(true);
+    let sink = ia_obs::MergeSink::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _worker = sink.register_worker("peek.max.worker");
+            ia_obs::counter_max("peek.depth_max", 5);
+            sink.flush_thread();
+            ia_obs::counter_max("peek.depth_max", 3);
+            sink.flush_thread();
+        });
+    });
+    assert_eq!(
+        sink.peek_snapshot().counter("peek.depth_max"),
+        Some(5),
+        "later flushes with smaller high-water marks do not regress the sink"
+    );
+}
+
+#[test]
 fn stopwatch_measures_regardless_of_flag() {
     let _guard = flag_lock();
     ia_obs::set_enabled(false);

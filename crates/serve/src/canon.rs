@@ -1,0 +1,94 @@
+//! Canonical content-addressing of fully-bound solve requests.
+//!
+//! The solve cache is keyed by *what will be solved*, not by the bytes
+//! of the HTTP request: a [`SolveRequest`](crate::api::SolveRequest)
+//! is first normalized into a canonical `field=value` string in a
+//! fixed field order (so JSON field reordering, optional-field
+//! spelling, and the `tsmc` node-name prefix cannot split the cache),
+//! and that string is hashed with 128-bit FNV-1a. Two requests collide
+//! only if every bound input — tech node, stack pair counts, WLD
+//! scale, clock, and the Table 4 K/M/R knobs — is bit-identical.
+
+use crate::api::SolveRequest;
+
+/// The FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// The FNV-1a 128-bit prime, 2^88 + 2^8 + 0x3b.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Hashes `bytes` with 128-bit FNV-1a.
+#[must_use]
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The content-address of a fully-bound solve request: the FNV-1a 128
+/// hash of its canonical rendering (see [`canonical_string`]).
+#[must_use]
+pub fn cache_key(request: &SolveRequest) -> u128 {
+    fnv1a_128(canonical_string(request).as_bytes())
+}
+
+/// Renders the request's bound inputs as `field=value` pairs in a
+/// fixed field order. Float knobs use Rust's shortest round-trip
+/// `Display` form, so distinct `f64` values always render distinctly.
+#[must_use]
+pub fn canonical_string(request: &SolveRequest) -> String {
+    let k = request
+        .k
+        .map_or_else(|| "default".to_owned(), |k| k.to_string());
+    format!(
+        "node={};gates={};bunch={};clock_mhz={};fraction={};miller={};k={};global={};semi_global={};local={}",
+        request.node.trim_start_matches("tsmc"),
+        request.gates,
+        request.bunch,
+        request.clock_mhz,
+        request.fraction,
+        request.miller,
+        k,
+        request.global,
+        request.semi_global,
+        request.local,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Empty input hashes to the offset basis by construction.
+        assert_eq!(fnv1a_128(b""), FNV_OFFSET);
+        // Any byte changes the hash.
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+        assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"));
+    }
+
+    #[test]
+    fn node_prefix_is_normalized() {
+        let mut a = SolveRequest::default();
+        a.node = "tsmc130".to_owned();
+        let mut b = SolveRequest::default();
+        b.node = "130".to_owned();
+        assert_eq!(cache_key(&a), cache_key(&b));
+    }
+
+    #[test]
+    fn knob_changes_change_the_key() {
+        let base = SolveRequest::default();
+        let key = cache_key(&base);
+        let mut m = base.clone();
+        m.miller = 1.95;
+        assert_ne!(cache_key(&m), key);
+        let mut k = base.clone();
+        k.k = Some(3.9);
+        assert_ne!(cache_key(&k), key, "explicit K is distinct from default");
+    }
+}

@@ -1,0 +1,283 @@
+//! Minimal HTTP/1.1 request parsing and response writing over
+//! `std::net::TcpStream`.
+//!
+//! The parser is deliberately small: one request per connection
+//! (`Connection: close`), headers capped at 8 KiB, bodies capped by
+//! the server's configured limit, and every read bounded by the
+//! request deadline so a slow-loris client (trickling one byte per
+//! poll) is cut off at the deadline rather than resetting a per-read
+//! timer forever.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ia_obs::Stopwatch;
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path, and raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, ...), upper-cased as sent.
+    pub method: String,
+    /// The request path, query string stripped.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Malformed request line, header, or framing → 400.
+    Malformed(String),
+    /// Head exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared body exceeds the configured limit → 413.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The deadline elapsed before a full request arrived → 408.
+    TimedOut,
+    /// The peer closed or the socket failed mid-request.
+    Disconnected,
+}
+
+impl ReadError {
+    /// The status code this read failure maps to (0 = no response —
+    /// the peer is gone).
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ReadError::Malformed(_) => 400,
+            ReadError::HeadTooLarge => 431,
+            ReadError::BodyTooLarge { .. } => 413,
+            ReadError::TimedOut => 408,
+            ReadError::Disconnected => 0,
+        }
+    }
+
+    /// The error message rendered into the JSON error body.
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            ReadError::Malformed(m) => m.clone(),
+            ReadError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            ReadError::BodyTooLarge { declared, limit } => {
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            ReadError::TimedOut => "timed out reading request".to_owned(),
+            ReadError::Disconnected => "client disconnected".to_owned(),
+        }
+    }
+}
+
+/// Remaining time before `deadline`, or `None` once it has elapsed.
+fn remaining(started: &Stopwatch, deadline: Duration) -> Option<Duration> {
+    deadline.checked_sub(started.elapsed())
+}
+
+/// Pulls more bytes from `stream` into `buf`, bounded by the deadline.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    started: &Stopwatch,
+    deadline: Duration,
+) -> Result<usize, ReadError> {
+    let left = remaining(started, deadline).ok_or(ReadError::TimedOut)?;
+    // set_read_timeout(Some(0)) is an error, so clamp to 1 ms.
+    let left = std::cmp::max(left, Duration::from_millis(1));
+    if stream.set_read_timeout(Some(left)).is_err() {
+        return Err(ReadError::Disconnected);
+    }
+    let mut chunk = [0u8; 2048];
+    match stream.read(&mut chunk) {
+        Ok(0) => Err(ReadError::Disconnected),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(n)
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(ReadError::TimedOut)
+        }
+        Err(_) => Err(ReadError::Disconnected),
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`, enforcing the head cap,
+/// `max_body` and the overall `deadline` measured from `started`
+/// (typically the accept time, so queue wait counts against it).
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] describing which limit was breached; the
+/// caller maps it to a status via [`ReadError::status`].
+pub fn read_request(
+    stream: &mut TcpStream,
+    started: &Stopwatch,
+    deadline: Duration,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadTooLarge);
+        }
+        fill(stream, &mut buf, started, deadline)?;
+    };
+
+    let head = String::from_utf8(buf[..head_end].to_vec())
+        .map_err(|_| ReadError::Malformed("request head is not UTF-8".to_owned()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request".to_owned()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::Malformed("missing method".to_owned()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".to_owned()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing HTTP version".to_owned()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("malformed header `{line}`")))?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let parsed = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| ReadError::Malformed("invalid Content-Length".to_owned()))?;
+            content_length = Some(parsed);
+        }
+    }
+
+    let declared = content_length.unwrap_or(0);
+    if declared > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+
+    let body_start = head_end + 4;
+    while buf.len() < body_start + declared {
+        fill(stream, &mut buf, started, deadline)?;
+    }
+    let body = buf[body_start..body_start + declared].to_vec();
+
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a one-shot JSON response and flushes. Write failures are
+/// swallowed — the peer may already be gone, and the server has
+/// nothing better to do with the error.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Renders `{"error": message}` with correct JSON string escaping.
+#[must_use]
+pub fn error_body(message: &str) -> String {
+    ia_obs::json::JsonValue::Obj(vec![(
+        "error".to_owned(),
+        ia_obs::json::JsonValue::Str(message.to_owned()),
+    )])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn read_error_status_mapping() {
+        assert_eq!(ReadError::Malformed("x".into()).status(), 400);
+        assert_eq!(ReadError::HeadTooLarge.status(), 431);
+        assert_eq!(
+            ReadError::BodyTooLarge {
+                declared: 9,
+                limit: 4
+            }
+            .status(),
+            413
+        );
+        assert_eq!(ReadError::TimedOut.status(), 408);
+        assert_eq!(ReadError::Disconnected.status(), 0);
+        assert!(ReadError::HeadTooLarge.message().contains("8192"));
+    }
+
+    #[test]
+    fn error_body_escapes_json() {
+        assert_eq!(error_body("no"), r#"{"error":"no"}"#);
+        assert!(error_body("a\"b").contains("\\\""));
+    }
+}

@@ -1,0 +1,41 @@
+//! # ia-serve
+//!
+//! Rank-as-a-service: a std-only HTTP/1.1 layer over the `ia-rank`
+//! solver, reproducing the paper's workflows (*A Novel Metric for
+//! Interconnect Architecture Performance*, DATE 2003) as network
+//! endpoints.
+//!
+//! The server (see [`Server`]) exposes:
+//!
+//! * `POST /solve` — rank one fully-bound configuration;
+//! * `POST /sweep` — Table 4 knob sweeps (serial or parallel);
+//! * `POST /sensitivity` — knob elasticities at an operating point;
+//! * `GET /healthz` — liveness plus queue/cache occupancy;
+//! * `GET /metrics` — the merged `ia-obs` telemetry snapshot;
+//! * `POST /shutdown` — graceful drain-then-exit.
+//!
+//! At its heart sits [`SolveCache`]: a sharded LRU keyed by a
+//! canonical content address of the fully-bound inputs (see
+//! [`canon`]), with single-flight deduplication so a burst of
+//! identical requests performs exactly one dynamic-programming solve.
+//! The same cache backs sweep points through `ia-rank`'s `PointCache`
+//! hook, so `/solve` and `/sweep` warm each other.
+//!
+//! Everything is plain `std`: `TcpListener`, a fixed worker pool, a
+//! bounded accept queue shedding load with `429`, and per-request
+//! deadlines measured from accept time. See `docs/serving.md` for the
+//! operational guide.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod canon;
+pub mod http;
+pub mod server;
+
+pub use api::{Axis, SensitivityRequest, SolveRequest, SweepRequest};
+pub use cache::{CacheOutcome, SolveCache};
+pub use canon::{cache_key, canonical_string, fnv1a_128};
+pub use server::{Server, ServerConfig};

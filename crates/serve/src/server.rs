@@ -1,0 +1,694 @@
+//! The HTTP server: acceptor thread, bounded connection queue, fixed
+//! worker pool, endpoint routing, and graceful drain-then-exit
+//! shutdown.
+//!
+//! Every thread the server spawns registers with an [`ia_obs`]
+//! [`MergeSink`] (lint rule L7) and flushes its thread-local telemetry
+//! after each request, so `GET /metrics` — which renders the sink's
+//! merged snapshot — always reflects work completed on *other*
+//! threads without tearing down the pool.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use ia_arch::ArchitectureBuilder;
+use ia_obs::json::JsonValue;
+use ia_obs::{counter_add, counter_max, histogram_record, MergeSink, Stopwatch};
+use ia_rank::sensitivity::sensitivities;
+use ia_rank::sweep::{self, CachedSolve, PointCache, SweepPoint};
+use ia_rank::{RankError, RankProblem, RankProblemBuilder};
+use ia_tech::TechnologyNode;
+use ia_units::{Frequency, Permittivity};
+use ia_wld::WldSpec;
+
+use crate::api::{
+    sensitivity_response, solve_response, sweep_response, Axis, SensitivityRequest, SolveRequest,
+    SweepRequest,
+};
+use crate::cache::{CacheOutcome, SolveCache};
+use crate::canon::cache_key;
+use crate::http::{self, error_body, Request};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// The listen address, e.g. `127.0.0.1:8080` (`:0` picks an
+    /// ephemeral port; read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Solve-cache capacity in entries.
+    pub cache_entries: usize,
+    /// Accepted-connection queue bound; connections beyond it are shed
+    /// with `429`.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from accept time (queue wait
+    /// counts against it).
+    pub request_timeout: Duration,
+    /// Request-body size ceiling; larger bodies are rejected with
+    /// `413`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            cache_entries: 256,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(10),
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct Conn {
+    stream: TcpStream,
+    /// Started at accept time — request reads, queue wait and compute
+    /// all count against the same deadline.
+    accepted: Stopwatch,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    local_addr: SocketAddr,
+    queue: Mutex<VecDeque<Conn>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    cache: SolveCache<CachedSolve>,
+    served: AtomicU64,
+    sink: MergeSink,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    /// Flips the stop flag, wakes every worker, and pokes the listener
+    /// with a throwaway connection so the blocking `accept` returns.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server: an acceptor plus `cfg.workers` worker threads.
+///
+/// Dropping the handle does not stop the server; call
+/// [`Server::shutdown`] (or `POST /shutdown`) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the acceptor and worker threads.
+    /// Enables the [`ia_obs`] collector so `/metrics` has data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        ia_obs::set_enabled(true);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = std::cmp::max(1, cfg.workers);
+        let shared = Arc::new(Shared {
+            cache: SolveCache::new(cfg.cache_entries),
+            cfg,
+            local_addr,
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            sink: MergeSink::new(),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                let _guard = shared.sink.register_worker("serve.acceptor");
+                accept_loop(&shared, &listener);
+            })
+        };
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(thread::spawn(move || {
+                let name = format!("serve.worker.{i}");
+                let _guard = shared.sink.register_worker(&name);
+                worker_loop(&shared);
+            }));
+        }
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The sink the server's threads merge telemetry into. Callers can
+    /// `collect()` it into their own thread-local storage after
+    /// [`Server::join`], or `peek_snapshot()` it at any time.
+    #[must_use]
+    pub fn sink(&self) -> &MergeSink {
+        &self.shared.sink
+    }
+
+    /// Begins a graceful shutdown: stop accepting, let workers drain
+    /// the queue and finish in-flight requests.
+    pub fn shutdown(&self) {
+        self.shared.request_stop();
+    }
+
+    /// Waits for the acceptor and all workers to exit, then merges
+    /// their telemetry into the calling thread's collector storage.
+    /// Returns the number of requests served.
+    #[must_use]
+    pub fn join(mut self) -> u64 {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.sink.collect();
+        self.shared.served.load(Ordering::SeqCst)
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        let accepted = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The shutdown poke (or a straggler); drop it unserved.
+            break;
+        }
+        let conn = Conn {
+            stream: accepted,
+            accepted: Stopwatch::start(),
+        };
+        let enqueued = {
+            let mut queue = lock(&shared.queue);
+            if queue.len() >= shared.cfg.queue_depth {
+                Err(conn)
+            } else {
+                queue.push_back(conn);
+                Ok(queue.len())
+            }
+        };
+        match enqueued {
+            Ok(depth) => {
+                counter_add("serve.queue.enqueued", 1);
+                counter_max(
+                    "serve.queue.depth_max",
+                    u64::try_from(depth).unwrap_or(u64::MAX),
+                );
+                shared.wake.notify_one();
+            }
+            Err(shed) => {
+                counter_add("serve.queue.shed", 1);
+                let mut stream = shed.stream;
+                http::write_response(&mut stream, 429, &error_body("server queue is full"));
+            }
+        }
+        shared.sink.flush_thread();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(conn) = conn else { break };
+        handle(shared, conn);
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        shared.sink.flush_thread();
+    }
+}
+
+fn handle(shared: &Shared, mut conn: Conn) {
+    counter_add("serve.requests", 1);
+    let request = match http::read_request(
+        &mut conn.stream,
+        &conn.accepted,
+        shared.cfg.request_timeout,
+        shared.cfg.max_body_bytes,
+    ) {
+        Ok(request) => request,
+        Err(e) => {
+            let status = e.status();
+            if status != 0 {
+                counter_add(status_counter(status), 1);
+                http::write_response(&mut conn.stream, status, &error_body(&e.message()));
+            }
+            return;
+        }
+    };
+    let (status, body) = route(shared, &request, &conn.accepted);
+    counter_add(status_counter(status), 1);
+    histogram_record(
+        latency_histogram(&request.path),
+        conn.accepted.elapsed_ns() / 1_000,
+    );
+    http::write_response(&mut conn.stream, status, &body);
+}
+
+fn route(shared: &Shared, request: &Request, started: &Stopwatch) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/solve") => solve_endpoint(shared, &request.body, started),
+        ("POST", "/sweep") => sweep_endpoint(shared, &request.body, started),
+        ("POST", "/sensitivity") => sensitivity_endpoint(shared, &request.body, started),
+        ("POST", "/shutdown") => {
+            shared.request_stop();
+            (200, r#"{"status":"shutting down"}"#.to_owned())
+        }
+        (_, "/healthz" | "/metrics" | "/solve" | "/sweep" | "/sensitivity" | "/shutdown") => (
+            405,
+            error_body(&format!(
+                "method {} not allowed for {}",
+                request.method, request.path
+            )),
+        ),
+        (_, path) => (404, error_body(&format!("no such route `{path}`"))),
+    }
+}
+
+fn status_counter(status: u16) -> &'static str {
+    match status {
+        200 => "serve.http.200",
+        400 => "serve.http.400",
+        404 => "serve.http.404",
+        405 => "serve.http.405",
+        408 => "serve.http.408",
+        413 => "serve.http.413",
+        429 => "serve.http.429",
+        431 => "serve.http.431",
+        500 => "serve.http.500",
+        503 => "serve.http.503",
+        _ => "serve.http.other",
+    }
+}
+
+fn latency_histogram(path: &str) -> &'static str {
+    match path {
+        "/solve" => "serve.latency_us.solve",
+        "/sweep" => "serve.latency_us.sweep",
+        "/sensitivity" => "serve.latency_us.sensitivity",
+        "/healthz" => "serve.latency_us.healthz",
+        "/metrics" => "serve.latency_us.metrics",
+        _ => "serve.latency_us.other",
+    }
+}
+
+fn healthz(shared: &Shared) -> (u16, String) {
+    let queued = lock(&shared.queue).len();
+    let body = JsonValue::Obj(vec![
+        ("status".to_owned(), JsonValue::Str("ok".to_owned())),
+        (
+            "workers".to_owned(),
+            JsonValue::UInt(u64::try_from(std::cmp::max(1, shared.cfg.workers)).unwrap_or(0)),
+        ),
+        (
+            "queue_depth".to_owned(),
+            JsonValue::UInt(u64::try_from(queued).unwrap_or(0)),
+        ),
+        (
+            "cache_entries".to_owned(),
+            JsonValue::UInt(u64::try_from(shared.cache.len()).unwrap_or(0)),
+        ),
+    ]);
+    (200, body.render())
+}
+
+fn metrics(shared: &Shared) -> (u16, String) {
+    // Fold this worker's own telemetry in first so the snapshot also
+    // covers requests it has served since its last flush.
+    shared.sink.flush_thread();
+    (200, shared.sink.peek_snapshot().to_json_string())
+}
+
+/// Parses a JSON body, mapping UTF-8 and JSON failures to 400.
+fn parse_body(body: &[u8]) -> Result<JsonValue, (u16, String)> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| (400, error_body("request body is not UTF-8")))?;
+    JsonValue::parse(text).map_err(|e| (400, error_body(&format!("malformed JSON: {e}"))))
+}
+
+fn over_deadline(shared: &Shared, started: &Stopwatch) -> bool {
+    started.elapsed() >= shared.cfg.request_timeout
+}
+
+fn solve_endpoint(shared: &Shared, body: &[u8], started: &Stopwatch) -> (u16, String) {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(err) => return err,
+    };
+    let request = match SolveRequest::from_json(&doc) {
+        Ok(request) => request,
+        Err(e) => return (400, error_body(&e.0)),
+    };
+    if over_deadline(shared, started) {
+        return (503, error_body("deadline exceeded before solve"));
+    }
+    let key = cache_key(&request);
+    match shared.cache.get_or_compute(key, || solve(&request)) {
+        Ok((value, outcome, evicted)) => {
+            counter_add(outcome_counter(outcome), 1);
+            if evicted > 0 {
+                counter_add("serve.cache.evictions", evicted);
+            }
+            if over_deadline(shared, started) {
+                return (503, error_body("deadline exceeded during solve"));
+            }
+            (200, solve_response(&value, outcome.label()).render())
+        }
+        Err(message) => (400, error_body(&message)),
+    }
+}
+
+fn outcome_counter(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::Hit => "serve.cache.hits",
+        CacheOutcome::Miss => "serve.cache.misses",
+        CacheOutcome::Shared => "serve.cache.shared",
+    }
+}
+
+/// [`PointCache`] adapter: sweep points read and write the server's
+/// solve cache under the same content addresses `/solve` uses, so a
+/// sweep warms the point solves and vice versa.
+struct ServeSweepCache<'s> {
+    cache: &'s SolveCache<CachedSolve>,
+    base: SolveRequest,
+    axis: Axis,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PointCache for ServeSweepCache<'_> {
+    fn key(&self, x: f64) -> Option<u128> {
+        Some(cache_key(&self.base.with_axis(self.axis, x)))
+    }
+
+    fn lookup(&self, key: u128) -> Option<CachedSolve> {
+        let value = self.cache.lookup(key);
+        if value.is_some() {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+        }
+        value
+    }
+
+    fn store(&self, key: u128, value: CachedSolve) {
+        let evicted = self.cache.insert(key, value);
+        if evicted > 0 {
+            counter_add("serve.cache.evictions", evicted);
+        }
+    }
+}
+
+fn apply_k(b: RankProblemBuilder<'_>, x: f64) -> RankProblemBuilder<'_> {
+    b.permittivity(Permittivity::from_relative(x))
+}
+
+fn apply_m(b: RankProblemBuilder<'_>, x: f64) -> RankProblemBuilder<'_> {
+    b.miller_factor(x)
+}
+
+fn apply_c(b: RankProblemBuilder<'_>, x: f64) -> RankProblemBuilder<'_> {
+    b.clock(Frequency::from_hertz(x))
+}
+
+fn apply_r(b: RankProblemBuilder<'_>, x: f64) -> RankProblemBuilder<'_> {
+    b.repeater_fraction(x)
+}
+
+/// A higher-ranked apply so one fn-pointer type serves both the serial
+/// and the parallel sweep entry points.
+type ApplyFn = for<'b> fn(RankProblemBuilder<'b>, f64) -> RankProblemBuilder<'b>;
+
+fn axis_apply(axis: Axis) -> ApplyFn {
+    match axis {
+        Axis::K => apply_k,
+        Axis::M => apply_m,
+        Axis::C => apply_c,
+        Axis::R => apply_r,
+    }
+}
+
+fn run_axis(
+    parallel: bool,
+    builder: &RankProblemBuilder<'_>,
+    values: &[f64],
+    apply: ApplyFn,
+    cache: &dyn PointCache,
+) -> Result<Vec<SweepPoint>, RankError> {
+    if parallel {
+        sweep::sweep_parallel_cached(builder, values, apply, cache)
+    } else {
+        sweep::sweep_cached(builder, values, apply, cache)
+    }
+}
+
+fn sweep_endpoint(shared: &Shared, body: &[u8], started: &Stopwatch) -> (u16, String) {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(err) => return err,
+    };
+    let request = match SweepRequest::from_json(&doc) {
+        Ok(request) => request,
+        Err(e) => return (400, error_body(&e.0)),
+    };
+    if over_deadline(shared, started) {
+        return (503, error_body("deadline exceeded before sweep"));
+    }
+    let bound = match bind_problem(&request.base) {
+        Ok(bound) => bound,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let values = request
+        .values
+        .clone()
+        .unwrap_or_else(|| request.axis.paper_values().to_vec());
+    let adapter = ServeSweepCache {
+        cache: &shared.cache,
+        base: request.base.clone(),
+        axis: request.axis,
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    };
+    let builder = match bound.builder() {
+        Ok(builder) => builder,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let points = match run_axis(
+        request.parallel,
+        &builder,
+        &values,
+        axis_apply(request.axis),
+        &adapter,
+    ) {
+        Ok(points) => points,
+        Err(e) => return (400, error_body(&format!("{e}"))),
+    };
+    if over_deadline(shared, started) {
+        return (503, error_body("deadline exceeded during sweep"));
+    }
+    let hits = adapter.hits.load(Ordering::SeqCst);
+    let misses = adapter.misses.load(Ordering::SeqCst);
+    (
+        200,
+        sweep_response(request.axis, &points, hits, misses).render(),
+    )
+}
+
+fn sensitivity_endpoint(shared: &Shared, body: &[u8], started: &Stopwatch) -> (u16, String) {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(err) => return err,
+    };
+    let request = match SensitivityRequest::from_json(&doc) {
+        Ok(request) => request,
+        Err(e) => return (400, error_body(&e.0)),
+    };
+    if over_deadline(shared, started) {
+        return (503, error_body("deadline exceeded before sensitivity"));
+    }
+    let bound = match bind_problem(&request.base) {
+        Ok(bound) => bound,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let builder = match bound.builder() {
+        Ok(builder) => builder,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let point = request.base.operating_point();
+    match sensitivities(&builder, &point, request.step) {
+        Ok(report) => {
+            if over_deadline(shared, started) {
+                return (503, error_body("deadline exceeded during sensitivity"));
+            }
+            (200, sensitivity_response(&report).render())
+        }
+        Err(e) => (400, error_body(&format!("{e}"))),
+    }
+}
+
+/// A solve request's resolved tech node and architecture. The builder
+/// borrows both, so they live in one struct the handler keeps on its
+/// stack for the request's duration.
+struct BoundProblem {
+    request: SolveRequest,
+    node: TechnologyNode,
+    architecture: ia_arch::Architecture,
+}
+
+impl BoundProblem {
+    fn builder(&self) -> Result<RankProblemBuilder<'_>, String> {
+        let spec = WldSpec::new(self.request.gates).map_err(|e| format!("{e}"))?;
+        let mut builder = RankProblem::builder(&self.node, &self.architecture)
+            .wld_spec(spec)
+            .bunch_size(self.request.bunch)
+            .clock(Frequency::from_megahertz(self.request.clock_mhz))
+            .repeater_fraction(self.request.fraction)
+            .miller_factor(self.request.miller);
+        if let Some(k) = self.request.k {
+            builder = builder.permittivity(Permittivity::from_relative(k));
+        }
+        Ok(builder)
+    }
+}
+
+fn resolve_node(name: &str) -> Result<TechnologyNode, String> {
+    match name.trim_start_matches("tsmc") {
+        "90" => Ok(ia_tech::presets::tsmc90()),
+        "130" => Ok(ia_tech::presets::tsmc130()),
+        "180" => Ok(ia_tech::presets::tsmc180()),
+        other => Err(format!("unknown node `{other}` (expected 90, 130 or 180)")),
+    }
+}
+
+fn pairs(count: u64, knob: &str) -> Result<usize, String> {
+    usize::try_from(count).map_err(|_| format!("`{knob}` is out of range"))
+}
+
+fn bind_problem(request: &SolveRequest) -> Result<BoundProblem, String> {
+    let node = resolve_node(&request.node)?;
+    let architecture = ArchitectureBuilder::new(&node)
+        .global_pairs(pairs(request.global, "global")?)
+        .semi_global_pairs(pairs(request.semi_global, "semi_global")?)
+        .local_pairs(pairs(request.local, "local")?)
+        .build()
+        .map_err(|e| format!("{e}"))?;
+    Ok(BoundProblem {
+        request: request.clone(),
+        node,
+        architecture,
+    })
+}
+
+/// Solves one fully-bound request from scratch — the cache-miss path
+/// of `POST /solve`.
+pub(crate) fn solve(request: &SolveRequest) -> Result<CachedSolve, String> {
+    let bound = bind_problem(request)?;
+    let problem = bound.builder()?.build().map_err(|e| format!("{e}"))?;
+    let result = problem.rank();
+    Ok(CachedSolve::of(&problem, &result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request() -> SolveRequest {
+        let mut request = SolveRequest::default();
+        request.gates = 20_000;
+        request.bunch = 2_000;
+        request
+    }
+
+    #[test]
+    fn solve_produces_a_consistent_summary() {
+        let request = small_request();
+        let summary = solve(&request).unwrap();
+        assert!(summary.rank > 0);
+        assert!(summary.rank <= summary.total_wires);
+        assert!(summary.normalized > 0.0 && summary.normalized <= 1.0);
+        // Deterministic: same request, same summary.
+        assert_eq!(solve(&request).unwrap(), summary);
+    }
+
+    #[test]
+    fn solve_rejects_unknown_node() {
+        let mut request = small_request();
+        request.node = "65".to_owned();
+        let message = solve(&request).unwrap_err();
+        assert!(message.contains("unknown node"));
+    }
+
+    #[test]
+    fn status_and_latency_names_are_total() {
+        assert_eq!(status_counter(200), "serve.http.200");
+        assert_eq!(status_counter(418), "serve.http.other");
+        assert_eq!(latency_histogram("/solve"), "serve.latency_us.solve");
+        assert_eq!(latency_histogram("/nope"), "serve.latency_us.other");
+    }
+
+    #[test]
+    fn sweep_axis_apply_matches_direct_binding() {
+        // Applying the K axis and binding k directly must agree.
+        let request = small_request();
+        let bound = bind_problem(&request).unwrap();
+        let builder = bound.builder().unwrap();
+        let applied = apply_k(builder, 2.7).build().unwrap();
+        let mut direct = request.clone();
+        direct.k = Some(2.7);
+        let direct_solve = solve(&direct).unwrap();
+        let applied_result = applied.rank();
+        assert_eq!(applied_result.rank(), direct_solve.rank);
+    }
+}

@@ -54,9 +54,14 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose public APIs model physical quantities; rules L2 and L3
-/// apply only to these.
-pub const MODEL_CRATES: &[&str] = &["units", "tech", "rc", "wld", "delay", "arch", "core"];
+/// Crates whose public APIs model physical quantities, plus the
+/// serving layer that exposes them; rules L2, L3 and L7 apply only to
+/// these. `serve` is held to the model-crate bar — waiver-free — so
+/// the request path cannot panic and every worker thread feeds the
+/// metrics endpoint.
+pub const MODEL_CRATES: &[&str] = &[
+    "units", "tech", "rc", "wld", "delay", "arch", "core", "serve",
+];
 
 /// Directory names never linted (third-party shims, build output).
 const SKIPPED_DIRS: &[&str] = &["vendor", "target", "xtask", ".git"];

@@ -112,7 +112,7 @@ fn l6_exempts_the_obs_crate() {
 #[test]
 fn l7_unregistered_threads_are_reported() {
     let diags = lint_fixture("thread_reg");
-    assert_eq!(diags.len(), 2, "got {diags:?}");
+    assert_eq!(diags.len(), 3, "got {diags:?}");
     for d in &diags {
         assert_eq!(d.file, Path::new("crates/core/src/lib.rs"));
         assert_eq!(d.rule, "thread-registration");
@@ -123,6 +123,9 @@ fn l7_unregistered_threads_are_reported() {
     assert!(diags[0].message.contains("`thread::spawn`"));
     assert_eq!(diags[1].line, 31);
     assert!(diags[1].message.contains("`thread::scope`"));
+    // The serve-style pool: registered loop silent, bare loop flagged.
+    assert_eq!(diags[2].line, 52);
+    assert!(diags[2].message.contains("`thread::spawn`"));
 }
 
 #[test]

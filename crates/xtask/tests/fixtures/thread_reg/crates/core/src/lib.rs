@@ -44,3 +44,48 @@ mod tests {
         std::thread::spawn(|| ()).join().ok();
     }
 }
+
+/// Serve-style worker pool without registration: flagged.
+pub fn bad_worker_pool(workers: usize) {
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        handles.push(std::thread::spawn(|| ()));
+    }
+    for handle in handles {
+        drop(handle);
+    }
+}
+
+// Padding: keeps the registered pool below both the `bad_scope` and
+// `bad_worker_pool` L7 windows (25 lines past each `thread::` call),
+// so neither is accidentally rescued by the registration that follows.
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+/// Serve-style worker pool, every thread registered: not flagged.
+pub fn good_worker_pool(sink: &'static ia_obs::MergeSink, workers: usize) {
+    let mut handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        handles.push(std::thread::spawn(move || {
+            let name = format!("fixture.pool.{i}");
+            let _worker = sink.register_worker(&name);
+        }));
+    }
+    for handle in handles {
+        drop(handle);
+    }
+}
