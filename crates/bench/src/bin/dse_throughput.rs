@@ -1,0 +1,182 @@
+//! Exploration-engine throughput: a grid run into a fresh on-disk run
+//! store versus resuming it, plus an adaptive-refinement run and the
+//! report pass.
+//!
+//! Phases (each a `BENCH_dse_throughput.json` case):
+//!
+//! * **cold** — a 12-point `m`×`c` grid solved fresh into a new run
+//!   store, 4 workers. Counters are captured and gate exactly in CI
+//!   (deterministic solver work: `dse.points.solved`, `dp.*`).
+//! * **resume** — the same run resumed: every point answered from the
+//!   store, zero DP work. Counters gate exactly.
+//! * **report** — rendering the Table-4-style report from the
+//!   completed store (replays the expansion at `budget: 0`).
+//! * **adaptive** — a one-axis adaptive run that bisects the clock
+//!   cliff; point count is deterministic, so counters gate exactly.
+//!
+//! The bench also enforces the resumability acceptance criterion in
+//! process: the resume must complete with zero fresh solves, and the
+//! reports from the interrupted-then-resumed store and a straight run
+//! must be byte-identical.
+
+use ia_bench::BenchReport;
+use ia_dse::{ExperimentSpec, RunOptions};
+use ia_obs::Stopwatch;
+
+/// Problem size: large enough that a fresh DP solve dwarfs store I/O,
+/// small enough that the 12-point cold grid finishes in seconds.
+const GATES: u64 = 100_000;
+const BUNCH: u64 = 5_000;
+
+fn grid_spec() -> ExperimentSpec {
+    let text = format!(
+        r#"{{"name": "bench-grid",
+            "base": {{"gates": {GATES}, "bunch": {BUNCH}}},
+            "axes": [{{"knob": "m", "values": [1.5, 2.0, 2.5, 3.0]}},
+                     {{"knob": "c", "values": [250.0, 500.0, 750.0]}}],
+            "workers": 4}}"#
+    );
+    ExperimentSpec::parse_str(&text).expect("grid spec parses")
+}
+
+fn adaptive_spec() -> ExperimentSpec {
+    let text = format!(
+        r#"{{"name": "bench-adaptive",
+            "base": {{"gates": {GATES}, "bunch": {BUNCH}}},
+            "axes": [{{"knob": "c", "values": [200.0, 1000.0, 2000.0, 3000.0]}}],
+            "strategy": {{"adaptive": {{"threshold": 0.1, "max_rounds": 3}}}},
+            "workers": 4}}"#
+    );
+    ExperimentSpec::parse_str(&text).expect("adaptive spec parses")
+}
+
+fn scratch() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ia-dse-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let runs_root = scratch();
+    let spec = grid_spec();
+    println!(
+        "dse_throughput: gates={GATES} bunch={BUNCH}, 12-point grid into {}",
+        runs_root.display()
+    );
+
+    let mut report = BenchReport::new("dse_throughput");
+
+    // ---- cold: every point is a fresh DP solve + store append ----
+    ia_obs::reset();
+    let cold_wall = Stopwatch::start();
+    let cold = ia_dse::run(&spec, &runs_root, &RunOptions::default()).expect("cold run");
+    let cold_ns = cold_wall.elapsed_ns();
+    assert!(cold.complete, "cold grid must complete");
+    assert_eq!(cold.solved, 12, "cold grid solves every point");
+    report.case(
+        [("phase", "cold".into()), ("points", 12u64.into())],
+        cold_ns,
+    );
+
+    // ---- resume: the whole grid answered from the run store ----
+    let run_dir = runs_root.join(spec.run_id());
+    ia_obs::reset();
+    let resume_wall = Stopwatch::start();
+    let resumed = ia_dse::resume(&run_dir, &RunOptions::default()).expect("resume");
+    let resume_ns = resume_wall.elapsed_ns();
+    assert!(resumed.complete);
+    assert_eq!(resumed.solved, 0, "resume must re-solve nothing");
+    assert_eq!(resumed.cached, 12, "resume answers from the store");
+    report.case(
+        [("phase", "resume".into()), ("points", 12u64.into())],
+        resume_ns,
+    );
+
+    // ---- report: render the comparison tables from the store ----
+    ia_obs::reset();
+    let report_wall = Stopwatch::start();
+    let straight_report = ia_dse::report::for_run(&run_dir).expect("report");
+    let report_ns = report_wall.elapsed_ns();
+    assert!(straight_report.contains("pareto front"));
+    report.case(
+        [("phase", "report".into()), ("points", 12u64.into())],
+        report_ns,
+    );
+
+    // Resumability acceptance: interrupt a second store mid-run, resume
+    // it, and require a byte-identical report to the straight run.
+    let interrupted_root = scratch().with_extension("interrupted");
+    let partial = ia_dse::run(
+        &spec,
+        &interrupted_root,
+        &RunOptions {
+            budget: Some(5),
+            ..RunOptions::default()
+        },
+    )
+    .expect("interrupted run");
+    assert!(!partial.complete);
+    let interrupted_dir = interrupted_root.join(spec.run_id());
+    let finished =
+        ia_dse::resume(&interrupted_dir, &RunOptions::default()).expect("resume interrupted");
+    assert!(finished.complete);
+    assert_eq!(finished.solved, 7, "only the missing points are solved");
+    let resumed_report = ia_dse::report::for_run(&interrupted_dir).expect("resumed report");
+    assert_eq!(
+        straight_report, resumed_report,
+        "interrupted+resumed report must be byte-identical to the straight run"
+    );
+
+    // ---- adaptive: cliff bisection over the clock axis ----
+    let adaptive = adaptive_spec();
+    ia_obs::reset();
+    let adaptive_wall = Stopwatch::start();
+    let refined = ia_dse::run(&adaptive, &runs_root, &RunOptions::default()).expect("adaptive");
+    let adaptive_ns = adaptive_wall.elapsed_ns();
+    assert!(refined.complete);
+    assert!(
+        refined.total_points > 4,
+        "refinement must add points beyond the seed grid, got {}",
+        refined.total_points
+    );
+    report.case(
+        [
+            ("phase", "adaptive".into()),
+            ("points", (refined.total_points as u64).into()),
+            ("rounds", refined.rounds.into()),
+        ],
+        adaptive_ns,
+    );
+    ia_obs::reset();
+
+    // ---- human-readable summary ----
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("\nphase     points      wall_ms");
+    println!("cold      {:>6} {:>12.2}", 12, ms(cold_ns));
+    println!("resume    {:>6} {:>12.2}", 12, ms(resume_ns));
+    println!("report    {:>6} {:>12.2}", 12, ms(report_ns));
+    println!(
+        "adaptive  {:>6} {:>12.2}   ({} rounds)",
+        refined.total_points,
+        ms(adaptive_ns),
+        refined.rounds
+    );
+    println!(
+        "\nresume speedup: {:.1}x (store lookups vs fresh DP solves)",
+        cold_ns as f64 / resume_ns.max(1) as f64
+    );
+
+    // Acceptance: resuming a finished run must beat solving it fresh.
+    assert!(
+        resume_ns.saturating_mul(2) <= cold_ns,
+        "resume not at least 2x faster than cold: {resume_ns} ns vs {cold_ns} ns"
+    );
+
+    let _ = std::fs::remove_dir_all(&runs_root);
+    let _ = std::fs::remove_dir_all(&interrupted_root);
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+}

@@ -7,14 +7,21 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand plus `--flag value` options.
+/// Parsed command line: a command, an optional sub-action, plus
+/// `--flag value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedArgs {
-    /// The subcommand (first positional argument).
+    /// The command (first positional argument).
     pub command: Option<String>,
+    /// The sub-action (second positional argument, e.g. `dse run`).
+    /// Commands that take one read it via [`ParsedArgs::subcommand`];
+    /// for every other command `reject_unknown` reports it as a stray
+    /// positional.
+    subcommand: Option<String>,
     /// Flag values keyed by flag name (without the `--`).
     options: BTreeMap<String, String>,
     consumed: std::cell::RefCell<Vec<String>>,
+    consumed_subcommand: std::cell::Cell<bool>,
 }
 
 /// Error raised by argument parsing or validation.
@@ -79,6 +86,7 @@ impl ParsedArgs {
         S: Into<String>,
     {
         let mut command = None;
+        let mut subcommand = None;
         let mut options = BTreeMap::new();
         let mut iter = tokens.into_iter().map(Into::into).peekable();
         while let Some(tok) = iter.next() {
@@ -96,15 +104,27 @@ impl ParsedArgs {
                 }
             } else if command.is_none() {
                 command = Some(tok);
+            } else if subcommand.is_none() {
+                subcommand = Some(tok);
             } else {
                 return Err(ArgsError::UnexpectedPositional(tok));
             }
         }
         Ok(Self {
             command,
+            subcommand,
             options,
             consumed: std::cell::RefCell::new(Vec::new()),
+            consumed_subcommand: std::cell::Cell::new(false),
         })
+    }
+
+    /// Fetches the sub-action (second positional), marking it
+    /// consumed so `reject_unknown` accepts it.
+    #[must_use]
+    pub fn subcommand(&self) -> Option<&str> {
+        self.consumed_subcommand.set(true);
+        self.subcommand.as_deref()
     }
 
     /// Fetches and parses a flag, or returns `default` if absent.
@@ -140,6 +160,11 @@ impl ParsedArgs {
     ///
     /// Returns [`ArgsError::UnknownFlags`] listing the strays.
     pub fn reject_unknown(&self) -> Result<(), ArgsError> {
+        if let Some(sub) = &self.subcommand {
+            if !self.consumed_subcommand.get() {
+                return Err(ArgsError::UnexpectedPositional(sub.clone()));
+            }
+        }
         let consumed = self.consumed.borrow();
         let unknown: Vec<String> = self
             .options
@@ -200,10 +225,27 @@ mod tests {
 
     #[test]
     fn stray_positionals_are_rejected() {
+        // A third positional fails at parse time.
         assert!(matches!(
-            ParsedArgs::parse(["rank", "oops"]).unwrap_err(),
+            ParsedArgs::parse(["dse", "run", "oops"]).unwrap_err(),
             ArgsError::UnexpectedPositional(_)
         ));
+        // A second positional parses (it may be a sub-action) but is
+        // rejected by commands that never read it.
+        let a = ParsedArgs::parse(["rank", "oops"]).unwrap();
+        assert!(matches!(
+            a.reject_unknown().unwrap_err(),
+            ArgsError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn subcommand_is_accepted_once_consumed() {
+        let a = ParsedArgs::parse(["dse", "run", "--spec", "x.toml"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("dse"));
+        assert_eq!(a.subcommand(), Some("run"));
+        let _ = a.get_str("spec");
+        a.reject_unknown().unwrap();
     }
 
     #[test]

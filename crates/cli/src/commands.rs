@@ -486,6 +486,104 @@ pub fn cmd_optimize(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Formats a dse run outcome as the `dse run`/`dse resume` status
+/// block. The first line is `run: <dir>` so scripts (and the CI smoke
+/// job) can scrape the run directory.
+fn dse_status(outcome: &ia_dse::RunOutcome) -> String {
+    let mut out = format!("run: {}\n", outcome.run_dir);
+    out.push_str(&format!("run id: {}\n", outcome.run_id));
+    out.push_str(&format!(
+        "points: {} total, {} solved, {} cached, {} skipped ({} rounds)\n",
+        outcome.total_points, outcome.solved, outcome.cached, outcome.skipped, outcome.rounds
+    ));
+    if outcome.complete {
+        out.push_str("status: complete\n");
+    } else {
+        out.push_str(&format!(
+            "status: incomplete — continue with `iarank dse resume --run {}`\n",
+            outcome.run_dir
+        ));
+    }
+    out
+}
+
+/// `iarank dse run|resume|report`: declarative design-space
+/// exploration over a resumable on-disk run store (see docs/dse.md).
+pub fn cmd_dse(args: &ParsedArgs) -> Result<String, CliError> {
+    let Some(action) = args.subcommand().map(str::to_owned) else {
+        return Err(CliError::Domain(
+            "`dse` needs an action: run, resume or report".to_owned(),
+        ));
+    };
+    match action.as_str() {
+        "run" => {
+            let Some(spec_path) = args.get_str("spec") else {
+                return Err(CliError::Domain("`dse run` needs `--spec FILE`".to_owned()));
+            };
+            let runs = args.get_str("runs").unwrap_or_else(|| "runs".to_owned());
+            let workers = args.get_str("workers");
+            let max_points = args.get_str("max-points");
+            args.reject_unknown()?;
+            let text = std::fs::read_to_string(&spec_path)
+                .map_err(|e| CliError::Domain(format!("cannot read spec {spec_path}: {e}")))?;
+            let spec = ia_dse::ExperimentSpec::parse_str(&text).map_err(domain)?;
+            let opts = dse_options(workers, max_points)?;
+            let outcome = ia_dse::run(&spec, std::path::Path::new(&runs), &opts).map_err(domain)?;
+            Ok(dse_status(&outcome))
+        }
+        "resume" => {
+            let Some(run_dir) = args.get_str("run") else {
+                return Err(CliError::Domain(
+                    "`dse resume` needs `--run DIR`".to_owned(),
+                ));
+            };
+            let workers = args.get_str("workers");
+            let max_points = args.get_str("max-points");
+            args.reject_unknown()?;
+            let opts = dse_options(workers, max_points)?;
+            let outcome = ia_dse::resume(std::path::Path::new(&run_dir), &opts).map_err(domain)?;
+            Ok(dse_status(&outcome))
+        }
+        "report" => {
+            let Some(run_dir) = args.get_str("run") else {
+                return Err(CliError::Domain(
+                    "`dse report` needs `--run DIR`".to_owned(),
+                ));
+            };
+            args.reject_unknown()?;
+            // The report is a pure function of the persisted run: an
+            // interrupted-then-resumed run prints byte-identically to
+            // an uninterrupted one. Nothing is appended here.
+            ia_dse::report::for_run(std::path::Path::new(&run_dir)).map_err(domain)
+        }
+        other => Err(CliError::Domain(format!(
+            "unknown dse action `{other}` (expected run, resume or report)"
+        ))),
+    }
+}
+
+/// Parses the optional `--workers`/`--max-points` overrides into
+/// engine options.
+fn dse_options(
+    workers: Option<String>,
+    max_points: Option<String>,
+) -> Result<ia_dse::RunOptions<'static>, CliError> {
+    let mut opts = ia_dse::RunOptions::default();
+    if let Some(raw) = workers {
+        opts.workers = Some(
+            raw.parse::<usize>()
+                .map_err(|e| CliError::Domain(format!("bad --workers value `{raw}`: {e}")))?,
+        );
+    }
+    if let Some(raw) = max_points {
+        opts.budget = Some(
+            raw.parse::<u64>()
+                .map_err(|e| CliError::Domain(format!("bad --max-points value `{raw}`: {e}")))?,
+        );
+    }
+    Ok(opts)
+}
+
 /// The `--help` text.
 #[must_use]
 pub fn usage() -> String {
@@ -502,6 +600,8 @@ COMMANDS:
   netlist    extract a WLD from a placed netlist (--in FILE [--net-model star|hpwl])
   optimize   search BEOL stacks by rank within a pair budget
   serve      run the rank service over HTTP (see docs/serving.md)
+  dse        declarative design-space exploration (see docs/dse.md):
+             dse run --spec FILE | dse resume --run DIR | dse report --run DIR
   help       show this text
 
 SHARED FLAGS (rank, sweep, optimize):
@@ -519,6 +619,15 @@ SHARED FLAGS (rank, sweep, optimize):
   --parallel               (sweep only) one worker thread per swept
                            value; worker telemetry is merged into the
                            caller's snapshot and trace
+
+DSE FLAGS:
+  --spec FILE              experiment spec, TOML or JSON (dse run)
+  --runs DIR               run-store root directory       [runs]
+  --run DIR                an existing run directory (resume, report)
+  --workers N              worker-thread override         [spec value]
+  --max-points N           fresh-solve budget for this invocation; the
+                           run stops incomplete when it is reached and
+                           `dse resume` continues it
 
 SERVE FLAGS:
   --addr HOST:PORT         listen address (port 0 = ephemeral) [127.0.0.1:8080]
@@ -545,6 +654,8 @@ EXAMPLES:
   iarank wld --gates 250000 --out design.csv
   iarank optimize --node 90 --max-pairs 5 --gates 400000
   iarank serve --addr 127.0.0.1:0 --workers 4 --cache-entries 512
+  iarank dse run --spec grid.toml --runs runs --metrics json
+  iarank dse report --run runs/1a2b3c4d5e6f7a8b
 "
     .to_owned()
 }
@@ -601,6 +712,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("netlist") => cmd_netlist(args),
         Some("optimize") => cmd_optimize(args),
         Some("serve") => cmd_serve(args),
+        Some("dse") => cmd_dse(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError::Domain(format!(
             "unknown command `{other}` — try `iarank help`"
@@ -912,6 +1024,84 @@ mod tests {
         let metrics = MetricsOptions::from_args(&args).unwrap();
         assert!(!metrics.wants_collector());
         assert_eq!(metrics.render(), "");
+    }
+
+    #[test]
+    fn dse_run_interrupt_resume_report_round_trip() {
+        let dir = std::env::temp_dir().join(format!("iarank_dse_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("grid.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-smoke\"\n\n[base]\ngates = 20000\nbunch = 2000\n\n[[axes]]\nknob = \"m\"\nvalues = [1.5, 2.0, 2.5]\n",
+        )
+        .unwrap();
+        let runs = dir.join("runs");
+
+        // Interrupted run: only one fresh solve allowed.
+        let out = run(&[
+            "dse",
+            "run",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--runs",
+            runs.to_str().unwrap(),
+            "--max-points",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("1 solved"));
+        assert!(out.contains("status: incomplete"));
+        let run_dir = out
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("run: "))
+            .unwrap()
+            .to_owned();
+
+        // Resume finishes without re-solving the persisted point.
+        let out = run(&["dse", "resume", "--run", &run_dir]).unwrap();
+        assert!(out.contains("2 solved"));
+        assert!(out.contains("1 cached"));
+        assert!(out.contains("status: complete"));
+
+        // The report matches an uninterrupted run byte for byte.
+        let resumed_report = run(&["dse", "report", "--run", &run_dir]).unwrap();
+        let runs2 = dir.join("runs2");
+        let out = run(&[
+            "dse",
+            "run",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--runs",
+            runs2.to_str().unwrap(),
+        ])
+        .unwrap();
+        let straight_dir = out
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("run: "))
+            .unwrap()
+            .to_owned();
+        let straight_report = run(&["dse", "report", "--run", &straight_dir]).unwrap();
+        assert_eq!(resumed_report, straight_report);
+        assert!(resumed_report.contains("== dse report: cli-smoke =="));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dse_validates_its_arguments() {
+        let err = run(&["dse"]).unwrap_err();
+        assert!(err.to_string().contains("needs an action"));
+        let err = run(&["dse", "explode"]).unwrap_err();
+        assert!(err.to_string().contains("unknown dse action"));
+        let err = run(&["dse", "run"]).unwrap_err();
+        assert!(err.to_string().contains("--spec"));
+        let err = run(&["dse", "resume"]).unwrap_err();
+        assert!(err.to_string().contains("--run"));
+        let err = run(&["dse", "report", "--run", "/nonexistent-run"]).unwrap_err();
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

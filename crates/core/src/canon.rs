@@ -1,0 +1,306 @@
+//! Canonical content-addressing and binding of fully-bound solve
+//! configurations — shared by `ia-serve` and `ia-dse`.
+//!
+//! A solve is cached by *what will be solved*, not by how the request
+//! was spelled: a [`BoundConfig`] is normalized into a canonical
+//! `field=value` string in a fixed field order (so field reordering,
+//! optional-field spelling, and the `tsmc` node-name prefix cannot
+//! split the cache), and that string is hashed with 128-bit FNV-1a.
+//! Two configurations collide only if every bound input — tech node,
+//! stack pair counts, WLD scale, clock, and the Table 4 K/M/R knobs —
+//! is bit-identical.
+//!
+//! Both the HTTP serving layer and the design-space-exploration engine
+//! key their caches and run stores through this module, so a point
+//! solved by one is a content-addressed hit for the other and the two
+//! layers cannot drift.
+
+use ia_arch::{Architecture, ArchitectureBuilder};
+use ia_tech::TechnologyNode;
+use ia_units::{Frequency, Permittivity};
+use ia_wld::WldSpec;
+
+use crate::sweep::CachedSolve;
+use crate::{RankProblem, RankProblemBuilder};
+
+/// The FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// The FNV-1a 128-bit prime, 2^88 + 2^8 + 0x3b.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Hashes `bytes` with 128-bit FNV-1a.
+#[must_use]
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The fully-bound inputs of one rank computation: technology node,
+/// design scale, clock, the paper's Table 4 knobs, and the layer-pair
+/// stack. This is the unit of content addressing — the serve layer's
+/// `SolveRequest` and the dse engine's experiment points both lower to
+/// this struct before hashing, binding, or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundConfig {
+    /// Technology node preset: `90`, `130` or `180` (a `tsmc` prefix
+    /// is accepted and normalized away).
+    pub node: String,
+    /// Design gate count (sizes the Davis WLD and the die).
+    pub gates: u64,
+    /// Coarsening bunch size.
+    pub bunch: u64,
+    /// Target clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Repeater area fraction `R`.
+    pub fraction: f64,
+    /// Miller coupling factor `M`.
+    pub miller: f64,
+    /// ILD permittivity `K` override (`None` = node default).
+    pub k: Option<f64>,
+    /// Global layer-pair count.
+    pub global: u64,
+    /// Semi-global layer-pair count.
+    pub semi_global: u64,
+    /// Local layer-pair count.
+    pub local: u64,
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig {
+            node: "130".to_owned(),
+            gates: 1_000_000,
+            bunch: 10_000,
+            clock_mhz: 500.0,
+            fraction: 0.4,
+            miller: 2.0,
+            k: None,
+            global: 1,
+            semi_global: 2,
+            local: 0,
+        }
+    }
+}
+
+impl BoundConfig {
+    /// Renders the bound inputs as `field=value` pairs in a fixed
+    /// field order. Float knobs use Rust's shortest round-trip
+    /// `Display` form, so distinct `f64` values always render
+    /// distinctly.
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        let k = self
+            .k
+            .map_or_else(|| "default".to_owned(), |k| k.to_string());
+        format!(
+            "node={};gates={};bunch={};clock_mhz={};fraction={};miller={};k={};global={};semi_global={};local={}",
+            self.node.trim_start_matches("tsmc"),
+            self.gates,
+            self.bunch,
+            self.clock_mhz,
+            self.fraction,
+            self.miller,
+            k,
+            self.global,
+            self.semi_global,
+            self.local,
+        )
+    }
+
+    /// The content-address of this configuration: the FNV-1a 128 hash
+    /// of its canonical rendering.
+    #[must_use]
+    pub fn cache_key(&self) -> u128 {
+        fnv1a_128(self.canonical_string().as_bytes())
+    }
+
+    /// Resolves the node preset and builds the layer-pair stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] for an unknown node name, a pair count
+    /// that does not fit `usize`, or an invalid architecture.
+    pub fn bind(&self) -> Result<BoundProblem, BindError> {
+        let node = resolve_node(&self.node)?;
+        let architecture = ArchitectureBuilder::new(&node)
+            .global_pairs(pairs(self.global, "global")?)
+            .semi_global_pairs(pairs(self.semi_global, "semi_global")?)
+            .local_pairs(pairs(self.local, "local")?)
+            .build()
+            .map_err(|e| BindError::Invalid(e.to_string()))?;
+        Ok(BoundProblem {
+            config: self.clone(),
+            node,
+            architecture,
+        })
+    }
+
+    /// Binds and solves this configuration from scratch — the
+    /// cache-miss path of every cached layer above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] when binding or problem construction
+    /// fails.
+    pub fn solve(&self) -> Result<CachedSolve, BindError> {
+        let bound = self.bind()?;
+        let problem = bound
+            .builder()?
+            .build()
+            .map_err(|e| BindError::Invalid(e.to_string()))?;
+        let result = problem.rank();
+        Ok(CachedSolve::of(&problem, &result))
+    }
+}
+
+/// A configuration with its resolved tech node and architecture. The
+/// [`RankProblemBuilder`] borrows both, so they live in one struct the
+/// caller keeps on its stack for the solve's duration.
+#[derive(Debug)]
+pub struct BoundProblem {
+    /// The configuration this binding came from.
+    pub config: BoundConfig,
+    /// The resolved technology node preset.
+    pub node: TechnologyNode,
+    /// The built layer-pair stack.
+    pub architecture: Architecture,
+}
+
+impl BoundProblem {
+    /// Starts a [`RankProblemBuilder`] with every knob of the
+    /// configuration applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] when the WLD spec rejects the gate count.
+    pub fn builder(&self) -> Result<RankProblemBuilder<'_>, BindError> {
+        let spec =
+            WldSpec::new(self.config.gates).map_err(|e| BindError::Invalid(e.to_string()))?;
+        let mut builder = RankProblem::builder(&self.node, &self.architecture)
+            .wld_spec(spec)
+            .bunch_size(self.config.bunch)
+            .clock(Frequency::from_megahertz(self.config.clock_mhz))
+            .repeater_fraction(self.config.fraction)
+            .miller_factor(self.config.miller);
+        if let Some(k) = self.config.k {
+            builder = builder.permittivity(Permittivity::from_relative(k));
+        }
+        Ok(builder)
+    }
+}
+
+/// A binding failure: the configuration names an unknown node, an
+/// out-of-range pair count, or inputs one of the model layers rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// The node preset name is not `90`, `130` or `180`.
+    UnknownNode(String),
+    /// The named layer-pair count does not fit `usize`.
+    OutOfRange(&'static str),
+    /// A model layer (WLD, architecture, problem builder) rejected the
+    /// bound inputs; carries that layer's message verbatim.
+    Invalid(String),
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::UnknownNode(name) => {
+                write!(f, "unknown node `{name}` (expected 90, 130 or 180)")
+            }
+            BindError::OutOfRange(knob) => write!(f, "`{knob}` is out of range"),
+            BindError::Invalid(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+fn resolve_node(name: &str) -> Result<TechnologyNode, BindError> {
+    match name.trim_start_matches("tsmc") {
+        "90" => Ok(ia_tech::presets::tsmc90()),
+        "130" => Ok(ia_tech::presets::tsmc130()),
+        "180" => Ok(ia_tech::presets::tsmc180()),
+        other => Err(BindError::UnknownNode(other.to_owned())),
+    }
+}
+
+fn pairs(count: u64, knob: &'static str) -> Result<usize, BindError> {
+    usize::try_from(count).map_err(|_| BindError::OutOfRange(knob))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Empty input hashes to the offset basis by construction.
+        assert_eq!(fnv1a_128(b""), FNV_OFFSET);
+        // Any byte changes the hash.
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+        assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"));
+    }
+
+    #[test]
+    fn default_canonical_string_is_pinned() {
+        // The exact rendering is a stability contract: it feeds the
+        // on-disk run store and the serve cache across versions.
+        assert_eq!(
+            BoundConfig::default().canonical_string(),
+            "node=130;gates=1000000;bunch=10000;clock_mhz=500;fraction=0.4;\
+             miller=2;k=default;global=1;semi_global=2;local=0"
+        );
+    }
+
+    #[test]
+    fn node_prefix_is_normalized() {
+        let mut a = BoundConfig::default();
+        a.node = "tsmc130".to_owned();
+        assert_eq!(a.cache_key(), BoundConfig::default().cache_key());
+    }
+
+    #[test]
+    fn knob_changes_change_the_key() {
+        let base = BoundConfig::default();
+        let key = base.cache_key();
+        let mut m = base.clone();
+        m.miller = 1.95;
+        assert_ne!(m.cache_key(), key);
+        let mut k = base.clone();
+        k.k = Some(3.9);
+        assert_ne!(k.cache_key(), key, "explicit K is distinct from default");
+    }
+
+    #[test]
+    fn bind_reports_unknown_node_and_bad_pairs() {
+        let mut config = BoundConfig::default();
+        config.node = "65".to_owned();
+        let err = config
+            .bind()
+            .map(|_| ())
+            .expect_err("node must be rejected");
+        assert_eq!(
+            err.to_string(),
+            "unknown node `65` (expected 90, 130 or 180)"
+        );
+    }
+
+    #[test]
+    fn solve_produces_a_consistent_summary() {
+        let mut config = BoundConfig::default();
+        config.gates = 20_000;
+        config.bunch = 2_000;
+        let summary = config.solve().expect("solves");
+        assert!(summary.rank > 0);
+        assert!(summary.rank <= summary.total_wires);
+        assert!(summary.normalized > 0.0 && summary.normalized <= 1.0);
+        // Deterministic: same configuration, same summary.
+        assert_eq!(config.solve().expect("solves"), summary);
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod canon;
 pub mod dp;
 mod error;
 pub mod exact;

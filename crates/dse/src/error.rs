@@ -1,0 +1,65 @@
+//! The exploration engine's error type.
+
+use ia_rank::canon::BindError;
+
+/// Anything that can go wrong between parsing a spec and finishing a
+/// run: spec validation, configuration binding, run-store I/O, a
+/// corrupt store, or a lost worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DseError {
+    /// The experiment spec is malformed or inconsistent.
+    Spec(String),
+    /// A point's configuration failed to bind or solve.
+    Bind(BindError),
+    /// A run-store filesystem operation failed.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying I/O message.
+        message: String,
+    },
+    /// The run store exists but its contents are not readable as a
+    /// run (bad manifest, mid-file log corruption, spec mismatch).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// What failed to parse or validate.
+        message: String,
+    },
+    /// A scheduler worker thread panicked (solver panics are bugs —
+    /// the workspace lint bans panics on library paths — so this is
+    /// surfaced loudly instead of silently dropping points).
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for DseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseError::Spec(message) => write!(f, "invalid spec: {message}"),
+            DseError::Bind(e) => write!(f, "{e}"),
+            DseError::Io { path, message } => write!(f, "{path}: {message}"),
+            DseError::Corrupt { path, message } => {
+                write!(f, "corrupt run store at {path}: {message}")
+            }
+            DseError::WorkerPanicked => write!(f, "a dse worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
+
+impl From<BindError> for DseError {
+    fn from(e: BindError) -> Self {
+        DseError::Bind(e)
+    }
+}
+
+impl DseError {
+    /// Wraps an I/O error with the path it happened on.
+    pub(crate) fn io(path: &std::path::Path, e: &std::io::Error) -> Self {
+        DseError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Pareto-front extraction and rank-cliff detection.
+//!
+//! The exploration objective is two-dimensional: **maximize** the
+//! normalized rank (fraction of the wire-length distribution the
+//! architecture can carry at speed) while **minimizing** the repeater
+//! area spent to get there. [`pareto_front`] returns the
+//! non-dominated subset of a solved point set under that objective.
+//!
+//! A *rank cliff* is a pair of adjacent values on one axis whose best
+//! achievable normalized rank differs by more than a threshold — the
+//! signature of an architectural capacity edge (e.g. the clock
+//! frequency at which global wires stop being assignable). The
+//! adaptive-refinement strategy bisects exactly these intervals.
+
+use ia_rank::sweep::CachedSolve;
+
+/// A detected rank cliff on one spec axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cliff {
+    /// Index of the axis (in spec order) the cliff sits on.
+    pub axis: usize,
+    /// The lower adjacent axis value.
+    pub lo: f64,
+    /// The upper adjacent axis value.
+    pub hi: f64,
+    /// Signed change in best normalized rank from `lo` to `hi`
+    /// (negative when rank falls as the axis value rises).
+    pub drop: f64,
+}
+
+/// Returns the indices of the Pareto-optimal points: those not
+/// dominated by any other point under (normalized rank ↑, repeater
+/// area ↓). Indices come back sorted by repeater area ascending, so
+/// the front reads as an efficiency frontier.
+#[must_use]
+pub fn pareto_front(solves: &[CachedSolve]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..solves.len()).collect();
+    order.sort_by(|&a, &b| {
+        solves[a]
+            .repeater_area_m2
+            .total_cmp(&solves[b].repeater_area_m2)
+            .then(solves[b].normalized.total_cmp(&solves[a].normalized))
+    });
+    let mut front = Vec::new();
+    let mut best = f64::MIN;
+    for index in order {
+        if solves[index].normalized > best {
+            best = solves[index].normalized;
+            front.push(index);
+        }
+    }
+    front
+}
+
+/// Scans every axis for adjacent value pairs whose best normalized
+/// rank changes by more than `threshold`.
+///
+/// `coords[i]` are the axis coordinates of `solves[i]`; both slices
+/// must be aligned and contain only completed points. For each axis,
+/// the points are grouped by their coordinate on that axis and the
+/// **best** (maximum) normalized rank per group is compared between
+/// neighbouring values.
+pub(crate) fn detect_cliffs(
+    coords: &[&[f64]],
+    solves: &[CachedSolve],
+    axis_count: usize,
+    threshold: f64,
+) -> Vec<Cliff> {
+    let mut cliffs = Vec::new();
+    for axis in 0..axis_count {
+        // Group by coordinate value: (value, best normalized).
+        let mut groups: Vec<(f64, f64)> = Vec::new();
+        for (point_coords, solve) in coords.iter().zip(solves) {
+            let Some(&value) = point_coords.get(axis) else {
+                continue;
+            };
+            match groups.iter_mut().find(|(v, _)| v.total_cmp(&value).is_eq()) {
+                Some((_, best)) => {
+                    if solve.normalized > *best {
+                        *best = solve.normalized;
+                    }
+                }
+                None => groups.push((value, solve.normalized)),
+            }
+        }
+        groups.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in groups.windows(2) {
+            let (lo, lo_best) = pair[0];
+            let (hi, hi_best) = pair[1];
+            let drop = hi_best - lo_best;
+            if drop.abs() > threshold {
+                cliffs.push(Cliff { axis, lo, hi, drop });
+            }
+        }
+    }
+    cliffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(normalized: f64, area: f64) -> CachedSolve {
+        CachedSolve {
+            rank: 0,
+            normalized,
+            total_wires: 1,
+            fully_assignable: true,
+            repeater_count: 0,
+            repeater_area_m2: area,
+            die_area_m2: 1.0e-4,
+        }
+    }
+
+    #[test]
+    fn front_keeps_only_non_dominated_points() {
+        let solves = vec![
+            solve(0.5, 1.0), // on the front (cheapest)
+            solve(0.4, 2.0), // dominated by 0 (more area, less rank)
+            solve(0.8, 3.0), // on the front
+            solve(0.8, 4.0), // dominated by 2 (same rank, more area)
+            solve(0.9, 5.0), // on the front
+        ];
+        assert_eq!(pareto_front(&solves), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn front_of_equal_points_keeps_one() {
+        let solves = vec![solve(0.7, 2.0), solve(0.7, 2.0)];
+        assert_eq!(pareto_front(&solves).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_an_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn cliffs_flag_only_large_adjacent_drops() {
+        // One axis with values 1, 2, 3: rank falls gently 0.9 → 0.8,
+        // then off a cliff 0.8 → 0.2.
+        let coords: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let views: Vec<&[f64]> = coords.iter().map(Vec::as_slice).collect();
+        let solves = vec![solve(0.9, 1.0), solve(0.8, 1.0), solve(0.2, 1.0)];
+        let cliffs = detect_cliffs(&views, &solves, 1, 0.25);
+        assert_eq!(cliffs.len(), 1);
+        assert_eq!(cliffs[0].axis, 0);
+        assert_eq!(cliffs[0].lo, 2.0);
+        assert_eq!(cliffs[0].hi, 3.0);
+        assert!((cliffs[0].drop + 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cliffs_use_the_best_rank_per_axis_value() {
+        // Two axes; on axis 0 the value 2.0 appears twice with ranks
+        // 0.1 and 0.85 — the best (0.85) is what counts, so no cliff.
+        let coords: Vec<Vec<f64>> = vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![2.0, 1.0]];
+        let views: Vec<&[f64]> = coords.iter().map(Vec::as_slice).collect();
+        let solves = vec![solve(0.9, 1.0), solve(0.1, 1.0), solve(0.85, 1.0)];
+        let cliffs = detect_cliffs(&views, &solves, 2, 0.25);
+        assert!(
+            cliffs.iter().all(|c| c.axis != 0),
+            "axis 0 has no cliff once the best rank per value is used"
+        );
+        // Axis 1 (values 0.0 and 1.0, bests 0.9 and 0.85) is also calm.
+        assert!(cliffs.is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! The bounded parallel point executor.
+//!
+//! A fixed set of scoped worker threads drains one shared work queue
+//! (a mutex-guarded deque — deliberately not a channel: the queue is
+//! bounded by construction at the expanded point count, and scoped
+//! threads are joined before `execute` returns, both of which lint
+//! rule L8 enforces for this crate). Each worker checks the
+//! [`PointCache`] first — in a store-backed run that is the resume
+//! path — and only solves on a miss, within an optional fresh-solve
+//! budget. Every worker registers with an [`ia_obs::MergeSink`]
+//! (rule L7), so `dse.points.*` counters and `dse.point` spans merge
+//! into the caller's snapshot.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use ia_obs::{counter_add, MergeSink};
+use ia_rank::sweep::{CachedSolve, PointCache};
+
+use crate::error::DseError;
+use crate::names;
+use crate::point::Point;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Execution knobs for one scheduler round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker-thread count (clamped to at least 1 and at most the
+    /// point count).
+    pub workers: usize,
+    /// Ceiling on **fresh solves** this round; cache hits are free.
+    /// When the budget runs out the remaining points are skipped —
+    /// the deterministic "kill" lever the resume tests and the CI
+    /// smoke job use.
+    pub budget: Option<u64>,
+}
+
+/// What one scheduler round did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Per-point results, aligned with the input slice; `None` =
+    /// skipped (budget or cancellation).
+    pub results: Vec<Option<CachedSolve>>,
+    /// Points solved fresh this round.
+    pub solved: u64,
+    /// Points answered by the cache this round.
+    pub cached: u64,
+    /// Points left unsolved this round.
+    pub skipped: u64,
+}
+
+/// Shared worker state for one round.
+struct Round<'a> {
+    points: &'a [Point],
+    cache: &'a dyn PointCache,
+    queue: Mutex<VecDeque<usize>>,
+    results: Mutex<Vec<Option<CachedSolve>>>,
+    solved: AtomicU64,
+    cached: AtomicU64,
+    budget: Option<u64>,
+    budget_used: AtomicU64,
+    cancel: Option<&'a AtomicBool>,
+    progress: Option<&'a AtomicU64>,
+    halt: AtomicBool,
+    error: Mutex<Option<DseError>>,
+}
+
+impl Round<'_> {
+    fn halted(&self) -> bool {
+        self.halt.load(Ordering::SeqCst)
+            || self.cancel.is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// Claims one unit of fresh-solve budget, if any remains.
+    fn admit(&self) -> bool {
+        self.budget_used
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |used| {
+                match self.budget {
+                    Some(budget) if used >= budget => None,
+                    _ => Some(used + 1),
+                }
+            })
+            .is_ok()
+    }
+
+    fn record(&self, index: usize, value: CachedSolve) {
+        if let Some(slot) = lock(&self.results).get_mut(index) {
+            *slot = Some(value);
+        }
+        if let Some(progress) = self.progress {
+            progress.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn fail(&self, error: DseError) {
+        lock(&self.error).get_or_insert(error);
+        self.halt.store(true, Ordering::SeqCst);
+    }
+}
+
+fn drain(round: &Round<'_>) {
+    loop {
+        if round.halted() {
+            return;
+        }
+        let Some(index) = lock(&round.queue).pop_front() else {
+            return;
+        };
+        let Some(point) = round.points.get(index) else {
+            return;
+        };
+        let key = point.key();
+        if let Some(hit) = round.cache.lookup(key) {
+            round.cached.fetch_add(1, Ordering::SeqCst);
+            counter_add(names::POINTS_CACHED, 1);
+            round.record(index, hit);
+            continue;
+        }
+        if !round.admit() {
+            // Budget exhausted: hand the point back for the skip
+            // count and retire this worker.
+            lock(&round.queue).push_front(index);
+            return;
+        }
+        let outcome = {
+            let _span = ia_obs::span(names::SPAN_POINT);
+            point.config.solve()
+        };
+        match outcome {
+            Ok(value) => {
+                round.cache.store(key, value);
+                round.solved.fetch_add(1, Ordering::SeqCst);
+                counter_add(names::POINTS_SOLVED, 1);
+                round.record(index, value);
+            }
+            Err(e) => {
+                round.fail(DseError::Bind(e));
+                return;
+            }
+        }
+    }
+}
+
+/// Executes `points` against `cache` on a bounded worker pool.
+///
+/// `cancel` (when given) stops the round cooperatively between
+/// points — the graceful-drain hook for `ia-serve` jobs; `progress`
+/// (when given) is incremented once per completed point for live
+/// status reads.
+///
+/// # Errors
+///
+/// Returns the first point's [`DseError`] (binding/solve failure), or
+/// [`DseError::WorkerPanicked`] if a worker died.
+pub fn execute(
+    points: &[Point],
+    cache: &dyn PointCache,
+    opts: &ExecOptions,
+    cancel: Option<&AtomicBool>,
+    progress: Option<&AtomicU64>,
+) -> Result<ExecOutcome, DseError> {
+    let round = Round {
+        points,
+        cache,
+        queue: Mutex::new((0..points.len()).collect()),
+        results: Mutex::new(vec![None; points.len()]),
+        solved: AtomicU64::new(0),
+        cached: AtomicU64::new(0),
+        budget: opts.budget,
+        budget_used: AtomicU64::new(0),
+        cancel,
+        progress,
+        halt: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+    let workers = opts.workers.clamp(1, points.len().max(1));
+    let sink = MergeSink::new();
+    let mut panicked = false;
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let round = &round;
+            let sink = &sink;
+            handles.push(scope.spawn(move || {
+                let _guard = sink.register_worker(&format!("{}{i}", names::WORKER_PREFIX));
+                drain(round);
+            }));
+        }
+        for handle in handles {
+            if handle.join().is_err() {
+                panicked = true;
+            }
+        }
+    });
+    // Merge the workers' counters and spans into the caller's
+    // thread-local collector before reporting anything.
+    sink.collect();
+    if panicked {
+        return Err(DseError::WorkerPanicked);
+    }
+    if let Some(error) = lock(&round.error).take() {
+        return Err(error);
+    }
+    let skipped = u64::try_from(lock(&round.queue).len()).unwrap_or(u64::MAX);
+    if skipped > 0 {
+        counter_add(names::POINTS_SKIPPED, skipped);
+    }
+    let results = lock(&round.results).clone();
+    Ok(ExecOutcome {
+        results,
+        solved: round.solved.load(Ordering::SeqCst),
+        cached: round.cached.load(Ordering::SeqCst),
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::expand;
+    use crate::spec::ExperimentSpec;
+    use std::collections::BTreeMap;
+
+    /// A plain in-memory cache for scheduler tests.
+    #[derive(Default)]
+    struct MapCache {
+        map: Mutex<BTreeMap<u128, CachedSolve>>,
+    }
+
+    impl PointCache for MapCache {
+        fn key(&self, _x: f64) -> Option<u128> {
+            None
+        }
+        fn lookup(&self, key: u128) -> Option<CachedSolve> {
+            lock(&self.map).get(&key).copied()
+        }
+        fn store(&self, key: u128, value: CachedSolve) {
+            lock(&self.map).insert(key, value);
+        }
+    }
+
+    fn points() -> Vec<Point> {
+        let spec = ExperimentSpec::parse_str(
+            r#"{"name": "sched", "base": {"gates": 20000, "bunch": 2000},
+                "axes": [{"knob": "m", "values": [1.5, 2.0, 2.5, 3.0]}]}"#,
+        )
+        .unwrap();
+        expand(&spec).unwrap()
+    }
+
+    #[test]
+    fn executes_all_points_and_reuses_the_cache() {
+        let points = points();
+        let cache = MapCache::default();
+        let opts = ExecOptions {
+            workers: 3,
+            budget: None,
+        };
+        let first = execute(&points, &cache, &opts, None, None).unwrap();
+        assert_eq!(first.solved, 4);
+        assert_eq!(first.cached, 0);
+        assert_eq!(first.skipped, 0);
+        assert!(first.results.iter().all(Option::is_some));
+
+        let second = execute(&points, &cache, &opts, None, None).unwrap();
+        assert_eq!(second.solved, 0);
+        assert_eq!(second.cached, 4);
+        assert_eq!(second.results, first.results);
+    }
+
+    #[test]
+    fn budget_stops_fresh_solves_but_not_cache_hits() {
+        let points = points();
+        let cache = MapCache::default();
+        let budgeted = ExecOptions {
+            workers: 1,
+            budget: Some(2),
+        };
+        let first = execute(&points, &cache, &budgeted, None, None).unwrap();
+        assert_eq!(first.solved, 2);
+        assert_eq!(first.skipped, 2);
+
+        // Resuming under the same budget finishes: the two completed
+        // points are free hits, the remaining two consume the budget.
+        let second = execute(&points, &cache, &budgeted, None, None).unwrap();
+        assert_eq!(second.cached, 2);
+        assert_eq!(second.solved, 2);
+        assert_eq!(second.skipped, 0);
+    }
+
+    #[test]
+    fn cancellation_skips_the_remainder() {
+        let points = points();
+        let cache = MapCache::default();
+        let cancel = AtomicBool::new(true);
+        let outcome = execute(
+            &points,
+            &cache,
+            &ExecOptions {
+                workers: 2,
+                budget: None,
+            },
+            Some(&cancel),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.solved, 0);
+        assert_eq!(outcome.skipped, 4);
+    }
+
+    #[test]
+    fn a_failing_point_surfaces_its_bind_error() {
+        let spec = ExperimentSpec::parse_str(
+            r#"{"name": "bad", "base": {"node": "65", "gates": 20000, "bunch": 2000}}"#,
+        )
+        .unwrap();
+        let points = expand(&spec).unwrap();
+        let cache = MapCache::default();
+        let err = execute(
+            &points,
+            &cache,
+            &ExecOptions {
+                workers: 1,
+                budget: None,
+            },
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown node"));
+    }
+}

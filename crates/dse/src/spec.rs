@@ -1,0 +1,1052 @@
+//! The declarative experiment spec: what to explore, how, and within
+//! what budget.
+//!
+//! A spec names a base [`BoundConfig`], a list of axes (each a
+//! canonical knob plus the values to visit), a search [`Strategy`],
+//! and optional budgets. Specs parse from JSON or from a small TOML
+//! subset (tables, array-of-tables, scalars, and single-line arrays —
+//! exactly what experiment files need; see `docs/dse.md`), and render
+//! back to one canonical JSON form whose 128-bit FNV-1a hash is the
+//! **run id**: the same spec always maps to the same
+//! `runs/<run_id>/` directory, which is what makes `dse run` on an
+//! interrupted spec a resume instead of a restart.
+
+use ia_obs::json::JsonValue;
+use ia_rank::canon::{fnv1a_128, BoundConfig};
+use ia_rank::sweep;
+use ia_units::convert::f64_to_u64_checked;
+
+use crate::error::DseError;
+
+/// Hard ceiling on the expanded point count of any one spec; a spec
+/// whose grid multiplies out beyond this is rejected at parse time
+/// rather than melting the machine.
+pub const MAX_EXPANDED_POINTS: u64 = 1_000_000;
+
+fn bad(message: impl Into<String>) -> DseError {
+    DseError::Spec(message.into())
+}
+
+/// A knob an axis can sweep: the paper's four Table 4 knobs plus the
+/// design-scale and stack knobs of the canonical configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// ILD permittivity `K`.
+    K,
+    /// Miller coupling factor `M`.
+    M,
+    /// Clock frequency `C`, in **MHz** (matching the base
+    /// configuration's `clock_mhz` field, unlike the serve `/sweep`
+    /// axis which is in hertz).
+    C,
+    /// Repeater area fraction `R`.
+    R,
+    /// Design gate count.
+    Gates,
+    /// Coarsening bunch size.
+    Bunch,
+    /// Global layer-pair count.
+    Global,
+    /// Semi-global layer-pair count.
+    SemiGlobal,
+    /// Local layer-pair count.
+    Local,
+}
+
+impl Knob {
+    /// Parses a spec's `knob` field (canonical labels, any case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] for an unknown knob name.
+    pub fn parse(text: &str) -> Result<Self, DseError> {
+        match text.to_ascii_lowercase().as_str() {
+            "k" => Ok(Knob::K),
+            "m" => Ok(Knob::M),
+            "c" => Ok(Knob::C),
+            "r" => Ok(Knob::R),
+            "gates" => Ok(Knob::Gates),
+            "bunch" => Ok(Knob::Bunch),
+            "global" => Ok(Knob::Global),
+            "semi_global" => Ok(Knob::SemiGlobal),
+            "local" => Ok(Knob::Local),
+            other => Err(bad(format!(
+                "unknown knob `{other}` (expected k, m, c, r, gates, bunch, \
+                 global, semi_global or local)"
+            ))),
+        }
+    }
+
+    /// The knob's canonical spec/report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Knob::K => "k",
+            Knob::M => "m",
+            Knob::C => "c",
+            Knob::R => "r",
+            Knob::Gates => "gates",
+            Knob::Bunch => "bunch",
+            Knob::Global => "global",
+            Knob::SemiGlobal => "semi_global",
+            Knob::Local => "local",
+        }
+    }
+
+    /// Whether the knob only takes non-negative integer values.
+    #[must_use]
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            Knob::Gates | Knob::Bunch | Knob::Global | Knob::SemiGlobal | Knob::Local
+        )
+    }
+
+    /// The paper's published grid for the four Table 4 knobs (`c` in
+    /// MHz), used when an axis lists no values; the scale/stack knobs
+    /// have no published grid and must list values explicitly.
+    #[must_use]
+    pub fn default_values(self) -> Option<Vec<f64>> {
+        match self {
+            Knob::K => Some(sweep::PAPER_K_VALUES.to_vec()),
+            Knob::M => Some(sweep::PAPER_M_VALUES.to_vec()),
+            Knob::C => Some(sweep::PAPER_C_HERTZ.iter().map(|hz| hz / 1.0e6).collect()),
+            Knob::R => Some(sweep::PAPER_R_VALUES.to_vec()),
+            _ => None,
+        }
+    }
+
+    /// Rebinds this knob to `x` in `config` — the bridge between an
+    /// axis coordinate and the content-addressed configuration.
+    pub(crate) fn apply(self, config: &mut BoundConfig, x: f64) -> Result<(), DseError> {
+        if !x.is_finite() {
+            return Err(bad(format!("axis `{}` value must be finite", self.label())));
+        }
+        match self {
+            Knob::K => config.k = Some(x),
+            Knob::M => config.miller = x,
+            Knob::C => config.clock_mhz = x,
+            Knob::R => config.fraction = x,
+            Knob::Gates => config.gates = self.count(x)?,
+            Knob::Bunch => config.bunch = self.count(x)?,
+            Knob::Global => config.global = self.count(x)?,
+            Knob::SemiGlobal => config.semi_global = self.count(x)?,
+            Knob::Local => config.local = self.count(x)?,
+        }
+        Ok(())
+    }
+
+    fn count(self, x: f64) -> Result<u64, DseError> {
+        f64_to_u64_checked(x)
+            .filter(|_| x.fract() == 0.0)
+            .ok_or_else(|| {
+                bad(format!(
+                    "axis `{}` value {x} is not a non-negative integer",
+                    self.label()
+                ))
+            })
+    }
+}
+
+/// One axis of the exploration: a knob and the values to visit,
+/// sorted ascending and deduplicated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSpec {
+    /// The knob this axis rebinds.
+    pub knob: Knob,
+    /// The coordinates to visit (ascending, distinct, finite).
+    pub values: Vec<f64>,
+}
+
+impl AxisSpec {
+    /// Builds a validated axis: values are checked finite (and
+    /// integral for integer knobs), sorted and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] for an empty or non-finite value
+    /// list, or fractional values on an integer knob.
+    pub fn new(knob: Knob, values: Vec<f64>) -> Result<Self, DseError> {
+        if values.is_empty() {
+            return Err(bad(format!("axis `{}` lists no values", knob.label())));
+        }
+        let mut checked = BoundConfig::default();
+        for &x in &values {
+            // Validates finiteness and integrality via the same path
+            // expansion uses, so parse-time acceptance is execution-
+            // time acceptance.
+            knob.apply(&mut checked, x)?;
+        }
+        let mut values = values;
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        Ok(AxisSpec { knob, values })
+    }
+}
+
+/// How the point set is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// The full cartesian product of every axis' values.
+    Grid,
+    /// A seeded uniform sample of distinct grid points.
+    Random {
+        /// How many distinct points to draw.
+        points: u64,
+        /// Deterministic sampling seed.
+        seed: u64,
+    },
+    /// Grid, then repeated bisection of axis intervals across which
+    /// the best normalized rank drops by more than `threshold`.
+    Adaptive {
+        /// Normalized-rank drop that marks a cliff (in `(0, 1]`).
+        threshold: f64,
+        /// Refinement rounds after the initial grid (at least 1).
+        max_rounds: u64,
+    },
+}
+
+impl Strategy {
+    /// The strategy's report label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Grid => "grid",
+            Strategy::Random { .. } => "random",
+            Strategy::Adaptive { .. } => "adaptive",
+        }
+    }
+}
+
+/// A parsed, validated experiment spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Human-readable experiment name (reports, manifests).
+    pub name: String,
+    /// The configuration every point starts from.
+    pub base: BoundConfig,
+    /// The axes to explore (empty = solve the base point alone).
+    pub axes: Vec<AxisSpec>,
+    /// The search strategy.
+    pub strategy: Strategy,
+    /// Optional ceiling on the total expanded point count.
+    pub max_points: Option<u64>,
+    /// Scheduler worker threads.
+    pub workers: u64,
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from text — JSON if it starts with `{`, the TOML
+    /// subset otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] with a parse or validation message.
+    pub fn parse_str(text: &str) -> Result<Self, DseError> {
+        let doc = if text.trim_start().starts_with('{') {
+            JsonValue::parse(text).map_err(|e| bad(format!("malformed JSON: {e}")))?
+        } else {
+            toml_subset::parse(text).map_err(bad)?
+        };
+        Self::from_json(&doc)
+    }
+
+    /// Parses a spec from a JSON document. Unknown fields are
+    /// rejected at every level, mirroring the serve API's strictness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] for missing/mistyped/unknown fields
+    /// or inconsistent budgets.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, DseError> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| bad("spec must be an object"))?;
+        let mut name = None;
+        let mut base = BoundConfig::default();
+        let mut axes = Vec::new();
+        let mut strategy = Strategy::Grid;
+        let mut max_points = None;
+        let mut workers = 4u64;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "name" => {
+                    name = Some(
+                        value
+                            .as_str()
+                            .ok_or_else(|| bad("`name` must be a string"))?
+                            .to_owned(),
+                    );
+                }
+                "base" => {
+                    let fields = value
+                        .as_object()
+                        .ok_or_else(|| bad("`base` must be an object"))?;
+                    for (field, field_value) in fields {
+                        apply_config_field(&mut base, field, field_value)?;
+                    }
+                }
+                "axes" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| bad("`axes` must be an array"))?;
+                    for item in items {
+                        axes.push(parse_axis(item)?);
+                    }
+                }
+                "strategy" => strategy = parse_strategy(value)?,
+                "max_points" => {
+                    // `null` means "no cap" — the canonical rendering
+                    // (and hence the manifest) writes it explicitly.
+                    if matches!(value, JsonValue::Null) {
+                        continue;
+                    }
+                    let n = value
+                        .as_u64()
+                        .ok_or_else(|| bad("`max_points` must be a non-negative integer"))?;
+                    if n == 0 {
+                        return Err(bad("`max_points` must be at least 1"));
+                    }
+                    max_points = Some(n);
+                }
+                "workers" => {
+                    workers = value
+                        .as_u64()
+                        .ok_or_else(|| bad("`workers` must be a non-negative integer"))?;
+                    if workers == 0 {
+                        return Err(bad("`workers` must be at least 1"));
+                    }
+                }
+                other => return Err(bad(format!("unknown field `{other}`"))),
+            }
+        }
+        let spec = ExperimentSpec {
+            name: name.ok_or_else(|| bad("missing required field `name`"))?,
+            base,
+            axes,
+            strategy,
+            max_points,
+            workers,
+        };
+        let grid = spec.grid_size()?;
+        if let Strategy::Random { points, .. } = spec.strategy {
+            if points > grid {
+                return Err(bad(format!(
+                    "random strategy asks for {points} points but the grid only has {grid}"
+                )));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The full cartesian-product size of the axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] when the product overflows or
+    /// exceeds [`MAX_EXPANDED_POINTS`].
+    pub fn grid_size(&self) -> Result<u64, DseError> {
+        let mut total = 1u64;
+        for axis in &self.axes {
+            let len = u64::try_from(axis.values.len()).map_err(|_| bad("axis too long"))?;
+            total = total
+                .checked_mul(len)
+                .filter(|&t| t <= MAX_EXPANDED_POINTS)
+                .ok_or_else(|| {
+                    bad(format!(
+                        "grid multiplies out beyond {MAX_EXPANDED_POINTS} points"
+                    ))
+                })?;
+        }
+        Ok(total)
+    }
+
+    /// Renders the spec in its canonical JSON form — fixed key order,
+    /// canonical knob labels — the form that is hashed and stored in
+    /// the run manifest.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let axes = self
+            .axes
+            .iter()
+            .map(|axis| {
+                JsonValue::Obj(vec![
+                    (
+                        "knob".to_owned(),
+                        JsonValue::Str(axis.knob.label().to_owned()),
+                    ),
+                    (
+                        "values".to_owned(),
+                        JsonValue::Arr(axis.values.iter().map(|&v| JsonValue::Num(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let strategy = match &self.strategy {
+            Strategy::Grid => JsonValue::Str("grid".to_owned()),
+            Strategy::Random { points, seed } => JsonValue::Obj(vec![(
+                "random".to_owned(),
+                JsonValue::Obj(vec![
+                    ("points".to_owned(), JsonValue::UInt(*points)),
+                    ("seed".to_owned(), JsonValue::UInt(*seed)),
+                ]),
+            )]),
+            Strategy::Adaptive {
+                threshold,
+                max_rounds,
+            } => JsonValue::Obj(vec![(
+                "adaptive".to_owned(),
+                JsonValue::Obj(vec![
+                    ("max_rounds".to_owned(), JsonValue::UInt(*max_rounds)),
+                    ("threshold".to_owned(), JsonValue::Num(*threshold)),
+                ]),
+            )]),
+        };
+        let max_points = self.max_points.map_or(JsonValue::Null, JsonValue::UInt);
+        JsonValue::Obj(vec![
+            ("axes".to_owned(), JsonValue::Arr(axes)),
+            ("base".to_owned(), config_to_json(&self.base)),
+            ("max_points".to_owned(), max_points),
+            ("name".to_owned(), JsonValue::Str(self.name.clone())),
+            ("strategy".to_owned(), strategy),
+            ("workers".to_owned(), JsonValue::UInt(self.workers)),
+        ])
+    }
+
+    /// The 128-bit content hash of the canonical spec rendering.
+    #[must_use]
+    pub fn spec_hash(&self) -> u128 {
+        fnv1a_128(self.to_json().render().as_bytes())
+    }
+
+    /// The run id: the first 16 hex digits of [`Self::spec_hash`].
+    /// The same spec always maps to the same `runs/<run_id>/`
+    /// directory, which is what makes re-running an interrupted spec
+    /// a resume.
+    #[must_use]
+    pub fn run_id(&self) -> String {
+        let hex = format!("{:032x}", self.spec_hash());
+        hex.chars().take(16).collect()
+    }
+}
+
+/// Renders a configuration in canonical JSON field order.
+#[must_use]
+pub fn config_to_json(config: &BoundConfig) -> JsonValue {
+    let k = config.k.map_or(JsonValue::Null, JsonValue::Num);
+    JsonValue::Obj(vec![
+        ("bunch".to_owned(), JsonValue::UInt(config.bunch)),
+        ("clock_mhz".to_owned(), JsonValue::Num(config.clock_mhz)),
+        ("fraction".to_owned(), JsonValue::Num(config.fraction)),
+        ("gates".to_owned(), JsonValue::UInt(config.gates)),
+        ("global".to_owned(), JsonValue::UInt(config.global)),
+        ("k".to_owned(), k),
+        ("local".to_owned(), JsonValue::UInt(config.local)),
+        ("miller".to_owned(), JsonValue::Num(config.miller)),
+        ("node".to_owned(), JsonValue::Str(config.node.clone())),
+        (
+            "semi_global".to_owned(),
+            JsonValue::UInt(config.semi_global),
+        ),
+    ])
+}
+
+/// Applies one `base` field, with the serve API's strict typing.
+pub(crate) fn apply_config_field(
+    config: &mut BoundConfig,
+    key: &str,
+    value: &JsonValue,
+) -> Result<(), DseError> {
+    let as_u64 = |v: &JsonValue| -> Option<u64> { v.as_u64() };
+    match key {
+        "node" => {
+            config.node = value
+                .as_str()
+                .ok_or_else(|| bad("`node` must be a string"))?
+                .to_owned();
+        }
+        "gates" => {
+            config.gates =
+                as_u64(value).ok_or_else(|| bad("`gates` must be a non-negative integer"))?;
+        }
+        "bunch" => {
+            config.bunch =
+                as_u64(value).ok_or_else(|| bad("`bunch` must be a non-negative integer"))?;
+        }
+        "clock_mhz" => {
+            config.clock_mhz = value
+                .as_f64()
+                .ok_or_else(|| bad("`clock_mhz` must be a number"))?;
+        }
+        "fraction" => {
+            config.fraction = value
+                .as_f64()
+                .ok_or_else(|| bad("`fraction` must be a number"))?;
+        }
+        "miller" => {
+            config.miller = value
+                .as_f64()
+                .ok_or_else(|| bad("`miller` must be a number"))?;
+        }
+        "k" => {
+            config.k = match value {
+                JsonValue::Null => None,
+                other => Some(other.as_f64().ok_or_else(|| bad("`k` must be a number"))?),
+            };
+        }
+        "global" => {
+            config.global =
+                as_u64(value).ok_or_else(|| bad("`global` must be a non-negative integer"))?;
+        }
+        "semi_global" => {
+            config.semi_global =
+                as_u64(value).ok_or_else(|| bad("`semi_global` must be a non-negative integer"))?;
+        }
+        "local" => {
+            config.local =
+                as_u64(value).ok_or_else(|| bad("`local` must be a non-negative integer"))?;
+        }
+        other => return Err(bad(format!("unknown field `{other}` in `base`"))),
+    }
+    Ok(())
+}
+
+fn parse_axis(doc: &JsonValue) -> Result<AxisSpec, DseError> {
+    let pairs = doc
+        .as_object()
+        .ok_or_else(|| bad("each axis must be an object"))?;
+    let mut knob = None;
+    let mut values: Option<Vec<f64>> = None;
+    let mut min = None;
+    let mut max = None;
+    let mut steps = None;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "knob" => {
+                let text = value
+                    .as_str()
+                    .ok_or_else(|| bad("axis `knob` must be a string"))?;
+                knob = Some(Knob::parse(text)?);
+            }
+            "values" => {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| bad("axis `values` must be an array of numbers"))?;
+                let parsed: Option<Vec<f64>> = items.iter().map(JsonValue::as_f64).collect();
+                values = Some(parsed.ok_or_else(|| bad("axis `values` must be numbers"))?);
+            }
+            "min" => {
+                min = Some(
+                    value
+                        .as_f64()
+                        .ok_or_else(|| bad("axis `min` must be a number"))?,
+                )
+            }
+            "max" => {
+                max = Some(
+                    value
+                        .as_f64()
+                        .ok_or_else(|| bad("axis `max` must be a number"))?,
+                )
+            }
+            "steps" => {
+                steps = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| bad("axis `steps` must be a non-negative integer"))?,
+                );
+            }
+            other => return Err(bad(format!("unknown field `{other}` in axis"))),
+        }
+    }
+    let knob = knob.ok_or_else(|| bad("axis is missing required field `knob`"))?;
+    let range = (min, max, steps);
+    let values = match (values, range) {
+        (Some(values), (None, None, None)) => values,
+        (None, (Some(min), Some(max), Some(steps))) => linspace(knob, min, max, steps)?,
+        (None, (None, None, None)) => knob.default_values().ok_or_else(|| {
+            bad(format!(
+                "axis `{}` has no published grid; list `values` or a `min`/`max`/`steps` range",
+                knob.label()
+            ))
+        })?,
+        _ => {
+            return Err(bad(format!(
+                "axis `{}` must give either `values` or all of `min`/`max`/`steps`",
+                knob.label()
+            )))
+        }
+    };
+    AxisSpec::new(knob, values)
+}
+
+fn linspace(knob: Knob, min: f64, max: f64, steps: u64) -> Result<Vec<f64>, DseError> {
+    if !(min.is_finite() && max.is_finite() && min < max) {
+        return Err(bad(format!(
+            "axis `{}` range needs finite `min` < `max`",
+            knob.label()
+        )));
+    }
+    if steps < 2 {
+        return Err(bad(format!(
+            "axis `{}` range needs `steps` >= 2",
+            knob.label()
+        )));
+    }
+    let last = (steps - 1) as f64;
+    let mut values = Vec::new();
+    for i in 0..steps {
+        let x = min + (max - min) * (i as f64) / last;
+        values.push(if knob.is_integer() { x.round() } else { x });
+    }
+    Ok(values)
+}
+
+fn parse_strategy(doc: &JsonValue) -> Result<Strategy, DseError> {
+    if let Some(text) = doc.as_str() {
+        return match text {
+            "grid" => Ok(Strategy::Grid),
+            other => Err(bad(format!(
+                "unknown strategy `{other}` (expected grid, or a random/adaptive table)"
+            ))),
+        };
+    }
+    let pairs = doc
+        .as_object()
+        .ok_or_else(|| bad("`strategy` must be \"grid\" or an object"))?;
+    if pairs.len() != 1 {
+        return Err(bad("`strategy` object must have exactly one key"));
+    }
+    let (kind, body) = &pairs[0];
+    let fields = body
+        .as_object()
+        .ok_or_else(|| bad(format!("`strategy.{kind}` must be an object")))?;
+    match kind.as_str() {
+        "random" => {
+            let mut points = None;
+            let mut seed = 0u64;
+            for (key, value) in fields {
+                match key.as_str() {
+                    "points" => {
+                        points = Some(value.as_u64().ok_or_else(|| {
+                            bad("`strategy.random.points` must be a non-negative integer")
+                        })?);
+                    }
+                    "seed" => {
+                        seed = value.as_u64().ok_or_else(|| {
+                            bad("`strategy.random.seed` must be a non-negative integer")
+                        })?;
+                    }
+                    other => {
+                        return Err(bad(format!("unknown field `{other}` in `strategy.random`")))
+                    }
+                }
+            }
+            let points = points.ok_or_else(|| bad("`strategy.random` needs a `points` count"))?;
+            if points == 0 {
+                return Err(bad("`strategy.random.points` must be at least 1"));
+            }
+            Ok(Strategy::Random { points, seed })
+        }
+        "adaptive" => {
+            let mut threshold = None;
+            let mut max_rounds = 3u64;
+            for (key, value) in fields {
+                match key.as_str() {
+                    "threshold" => {
+                        threshold = Some(value.as_f64().ok_or_else(|| {
+                            bad("`strategy.adaptive.threshold` must be a number")
+                        })?);
+                    }
+                    "max_rounds" => {
+                        max_rounds = value.as_u64().ok_or_else(|| {
+                            bad("`strategy.adaptive.max_rounds` must be a non-negative integer")
+                        })?;
+                        if max_rounds == 0 {
+                            return Err(bad("`strategy.adaptive.max_rounds` must be at least 1"));
+                        }
+                    }
+                    other => {
+                        return Err(bad(format!(
+                            "unknown field `{other}` in `strategy.adaptive`"
+                        )))
+                    }
+                }
+            }
+            let threshold =
+                threshold.ok_or_else(|| bad("`strategy.adaptive` needs a `threshold`"))?;
+            if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) {
+                return Err(bad("`strategy.adaptive.threshold` must be in (0, 1]"));
+            }
+            Ok(Strategy::Adaptive {
+                threshold,
+                max_rounds,
+            })
+        }
+        other => Err(bad(format!(
+            "unknown strategy `{other}` (expected random or adaptive)"
+        ))),
+    }
+}
+
+/// A minimal TOML-subset parser producing a [`JsonValue`] tree, so
+/// TOML and JSON specs share one validation path.
+///
+/// Supported: `key = value` pairs, `[table]` and `[[array-of-table]]`
+/// headers with dotted paths, `#` comments, and as values: quoted
+/// strings (`\\` and `\"` escapes), booleans, integers, floats, and
+/// single-line arrays of scalars. That is the whole grammar an
+/// experiment file needs; anything else is a parse error, never a
+/// silent misread.
+mod toml_subset {
+    use ia_obs::json::JsonValue;
+
+    pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut root = JsonValue::Obj(Vec::new());
+        // The table the next `key = value` lines land in.
+        let mut current: Vec<String> = Vec::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_owned();
+            let context = |message: String| format!("TOML line {}: {message}", index + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(path) = line
+                .strip_prefix("[[")
+                .and_then(|rest| rest.strip_suffix("]]"))
+            {
+                let path = split_path(path).map_err(&context)?;
+                push_table_array(&mut root, &path).map_err(&context)?;
+                current = path;
+            } else if let Some(path) = line
+                .strip_prefix('[')
+                .and_then(|rest| rest.strip_suffix(']'))
+            {
+                let path = split_path(path).map_err(&context)?;
+                navigate(&mut root, &path, true).map_err(&context)?;
+                current = path;
+            } else if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                if !is_bare_key(key) {
+                    return Err(context(format!("invalid key `{key}`")));
+                }
+                let value = parse_value(value.trim()).map_err(&context)?;
+                let table = navigate(&mut root, &current, false).map_err(&context)?;
+                insert(table, key, value).map_err(&context)?;
+            } else {
+                return Err(context(format!("cannot parse `{line}`")));
+            }
+        }
+        Ok(root)
+    }
+
+    fn strip_comment(line: &str) -> &str {
+        // A `#` inside a quoted string would be misread, but the spec
+        // grammar has no string values containing `#`; keep it simple
+        // and split on the first `#` outside quotes.
+        let mut in_string = false;
+        for (i, c) in line.char_indices() {
+            match c {
+                '"' => in_string = !in_string,
+                '#' if !in_string => return &line[..i],
+                _ => {}
+            }
+        }
+        line
+    }
+
+    fn is_bare_key(key: &str) -> bool {
+        !key.is_empty()
+            && key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }
+
+    fn split_path(path: &str) -> Result<Vec<String>, String> {
+        let parts: Vec<String> = path
+            .trim()
+            .split('.')
+            .map(|p| p.trim().to_owned())
+            .collect();
+        if parts.iter().any(|p| !is_bare_key(p)) {
+            return Err(format!("invalid table path `{path}`"));
+        }
+        Ok(parts)
+    }
+
+    /// Walks (creating if asked) nested objects along `path`; a path
+    /// segment landing on an array-of-tables descends into its last
+    /// element.
+    fn navigate<'a>(
+        root: &'a mut JsonValue,
+        path: &[String],
+        create: bool,
+    ) -> Result<&'a mut JsonValue, String> {
+        let mut node = root;
+        for seg in path {
+            let JsonValue::Obj(pairs) = node else {
+                return Err(format!("`{seg}` is not a table"));
+            };
+            if !pairs.iter().any(|(k, _)| k == seg) {
+                if !create {
+                    return Err(format!("unknown table `{seg}`"));
+                }
+                pairs.push((seg.clone(), JsonValue::Obj(Vec::new())));
+            }
+            let entry = pairs
+                .iter_mut()
+                .find(|(k, _)| k == seg)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("unknown table `{seg}`"))?;
+            node = match entry {
+                JsonValue::Arr(items) => items
+                    .last_mut()
+                    .ok_or_else(|| format!("empty table array `{seg}`"))?,
+                other => other,
+            };
+        }
+        Ok(node)
+    }
+
+    fn push_table_array(root: &mut JsonValue, path: &[String]) -> Result<(), String> {
+        let Some((last, parents)) = path.split_last() else {
+            return Err("empty table-array path".to_owned());
+        };
+        let parent = navigate(root, parents, true)?;
+        let JsonValue::Obj(pairs) = parent else {
+            return Err(format!("`{last}` is not inside a table"));
+        };
+        if !pairs.iter().any(|(k, _)| k == last) {
+            pairs.push((last.clone(), JsonValue::Arr(Vec::new())));
+        }
+        let entry = pairs
+            .iter_mut()
+            .find(|(k, _)| k == last)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("unknown table `{last}`"))?;
+        let JsonValue::Arr(items) = entry else {
+            return Err(format!("`{last}` is already a non-array value"));
+        };
+        items.push(JsonValue::Obj(Vec::new()));
+        Ok(())
+    }
+
+    fn insert(table: &mut JsonValue, key: &str, value: JsonValue) -> Result<(), String> {
+        let JsonValue::Obj(pairs) = table else {
+            return Err(format!("cannot set `{key}` on a non-table"));
+        };
+        if pairs.iter().any(|(k, _)| k == key) {
+            return Err(format!("duplicate key `{key}`"));
+        }
+        pairs.push((key.to_owned(), value));
+        Ok(())
+    }
+
+    fn parse_value(text: &str) -> Result<JsonValue, String> {
+        if text.starts_with('"') {
+            return parse_string(text).map(JsonValue::Str);
+        }
+        if let Some(body) = text.strip_prefix('[') {
+            let body = body
+                .strip_suffix(']')
+                .ok_or_else(|| format!("unterminated array `{text}`"))?
+                .trim();
+            let mut items = Vec::new();
+            if !body.is_empty() {
+                for part in body.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        return Err(format!("empty array element in `{text}`"));
+                    }
+                    items.push(parse_value(part)?);
+                }
+            }
+            return Ok(JsonValue::Arr(items));
+        }
+        match text {
+            "true" => return Ok(JsonValue::Bool(true)),
+            "false" => return Ok(JsonValue::Bool(false)),
+            _ => {}
+        }
+        let plain = text.replace('_', "");
+        if plain.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = plain.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        match plain.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(JsonValue::Num(x)),
+            _ => Err(format!("cannot parse value `{text}`")),
+        }
+    }
+
+    fn parse_string(text: &str) -> Result<String, String> {
+        let mut out = String::new();
+        let mut chars = text.chars();
+        if chars.next() != Some('"') {
+            return Err(format!("expected a quoted string, got `{text}`"));
+        }
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => return Err(format!("unsupported escape `\\{other:?}`")),
+                },
+                other => out.push(other),
+            }
+        }
+        if !closed || chars.next().is_some() {
+            return Err(format!("malformed string `{text}`"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML_SPEC: &str = r#"
+# A two-axis grid over permittivity and Miller factor.
+name = "tiny"
+strategy = "grid"
+workers = 2
+
+[base]
+gates = 30_000
+bunch = 3000
+node = "130"
+
+[[axes]]
+knob = "k"
+values = [2.7, 3.9, 7.0]
+
+[[axes]]
+knob = "m"
+min = 1.0
+max = 3.0
+steps = 3
+"#;
+
+    #[test]
+    fn toml_and_json_specs_parse_identically() {
+        let toml = ExperimentSpec::parse_str(TOML_SPEC).unwrap();
+        let json = ExperimentSpec::parse_str(
+            r#"{
+                "name": "tiny", "strategy": "grid", "workers": 2,
+                "base": {"gates": 30000, "bunch": 3000, "node": "130"},
+                "axes": [
+                    {"knob": "k", "values": [2.7, 3.9, 7.0]},
+                    {"knob": "m", "min": 1.0, "max": 3.0, "steps": 3}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(toml, json);
+        assert_eq!(toml.run_id(), json.run_id());
+        assert_eq!(toml.grid_size().unwrap(), 9);
+        assert_eq!(toml.axes[1].values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn run_id_is_content_addressed() {
+        let a = ExperimentSpec::parse_str(TOML_SPEC).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.run_id(), b.run_id());
+        b.base.gates = 31_000;
+        assert_ne!(a.run_id(), b.run_id());
+        assert_eq!(a.run_id().len(), 16);
+    }
+
+    #[test]
+    fn axis_defaults_follow_the_paper_grids() {
+        let spec =
+            ExperimentSpec::parse_str(r#"{"name": "defaults", "axes": [{"knob": "c"}]}"#).unwrap();
+        assert_eq!(spec.axes[0].values.len(), 13);
+        // Published in hertz, spec'd in MHz.
+        assert!(spec.axes[0].values.iter().all(|&mhz| mhz < 100_000.0));
+        let err =
+            ExperimentSpec::parse_str(r#"{"name": "x", "axes": [{"knob": "gates"}]}"#).unwrap_err();
+        assert!(err.to_string().contains("no published grid"));
+    }
+
+    #[test]
+    fn unknown_fields_and_knobs_are_rejected() {
+        for bad_spec in [
+            r#"{"name": "x", "axs": []}"#,
+            r#"{"name": "x", "axes": [{"knob": "q"}]}"#,
+            r#"{"name": "x", "base": {"gaets": 1}}"#,
+            r#"{"name": "x", "strategy": "genetic"}"#,
+            r#"{"axes": []}"#,
+        ] {
+            assert!(ExperimentSpec::parse_str(bad_spec).is_err(), "{bad_spec}");
+        }
+    }
+
+    #[test]
+    fn integer_knobs_reject_fractional_values() {
+        let err = ExperimentSpec::parse_str(
+            r#"{"name": "x", "axes": [{"knob": "gates", "values": [100.5]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not a non-negative integer"));
+    }
+
+    #[test]
+    fn strategies_parse_and_validate() {
+        let random = ExperimentSpec::parse_str(
+            r#"{"name": "x", "axes": [{"knob": "r", "values": [0.1, 0.4]}],
+                "strategy": {"random": {"points": 2, "seed": 7}}}"#,
+        )
+        .unwrap();
+        assert_eq!(random.strategy, Strategy::Random { points: 2, seed: 7 });
+        let adaptive = ExperimentSpec::parse_str(
+            r#"{"name": "x", "axes": [{"knob": "k", "values": [2.0, 4.0]}],
+                "strategy": {"adaptive": {"threshold": 0.1}}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            adaptive.strategy,
+            Strategy::Adaptive {
+                threshold: 0.1,
+                max_rounds: 3
+            }
+        );
+        // More random points than grid points cannot be satisfied.
+        assert!(ExperimentSpec::parse_str(
+            r#"{"name": "x", "axes": [{"knob": "r", "values": [0.1]}],
+                "strategy": {"random": {"points": 5}}}"#,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn grid_cap_rejects_explosions() {
+        let spec = ExperimentSpec::parse_str(
+            r#"{"name": "x", "axes": [
+                {"knob": "gates", "min": 1000.0, "max": 1000000.0, "steps": 1001},
+                {"knob": "bunch", "min": 100.0, "max": 10000.0, "steps": 1001},
+                {"knob": "global", "min": 1.0, "max": 3.0, "steps": 3}
+            ]}"#,
+        );
+        assert!(spec.is_err());
+    }
+
+    #[test]
+    fn toml_rejects_what_it_does_not_support() {
+        for bad_toml in [
+            "name = \"x\"\nname = \"y\"", // duplicate key
+            "key",                        // no assignment
+            "a = [1, ",                   // unterminated array
+            "s = \"unterminated",         // unterminated string
+        ] {
+            assert!(ExperimentSpec::parse_str(bad_toml).is_err(), "{bad_toml}");
+        }
+    }
+}

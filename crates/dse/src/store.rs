@@ -1,0 +1,455 @@
+//! The resumable on-disk run store: `runs/<run_id>/`.
+//!
+//! Layout:
+//!
+//! * `manifest.json` — format version, experiment name, run id, and
+//!   the spec in canonical JSON (the manifest *is* the resume spec —
+//!   `dse resume` needs nothing but the directory).
+//! * `results.jsonl` — append-only, one completed point per line:
+//!   `{"key": "<32-hex content address>", "solve": {...}}`. Every
+//!   append is flushed, so a killed run loses at most the line being
+//!   written; on load a truncated **final** line is tolerated (the
+//!   point simply re-solves), while corruption anywhere else is a
+//!   loud [`DseError::Corrupt`] — resumability must never silently
+//!   drop completed work.
+//!
+//! The store doubles as a [`PointCache`]: the scheduler's cache hook
+//! reads previously-completed points from it and appends fresh
+//! solves to it, which is the whole resume mechanism — there is no
+//! separate checkpointing path to get out of sync.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use ia_obs::json::JsonValue;
+use ia_rank::sweep::{CachedSolve, PointCache};
+
+use crate::error::DseError;
+use crate::spec::ExperimentSpec;
+
+/// Manifest schema version.
+const FORMAT: u64 = 1;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One run directory with its append-only results log held open.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    log: Mutex<BufWriter<File>>,
+}
+
+impl RunStore {
+    /// Opens (or creates) the run directory for `spec` under
+    /// `runs_root`, returning the store and the already-completed
+    /// points. A fresh run gets a new manifest; an existing directory
+    /// is validated against the spec's content hash, so two different
+    /// specs can never share (and corrupt) one store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] for filesystem failures and
+    /// [`DseError::Corrupt`] for a manifest/spec mismatch or an
+    /// unreadable log.
+    pub fn open_or_create(
+        runs_root: &Path,
+        spec: &ExperimentSpec,
+    ) -> Result<(RunStore, BTreeMap<u128, CachedSolve>), DseError> {
+        let dir = runs_root.join(spec.run_id());
+        let manifest_path = dir.join("manifest.json");
+        if manifest_path.is_file() {
+            let stored = read_manifest(&manifest_path)?;
+            if stored.spec_hash() != spec.spec_hash() {
+                return Err(DseError::Corrupt {
+                    path: manifest_path.display().to_string(),
+                    message: "existing run was created from a different spec".to_owned(),
+                });
+            }
+        } else {
+            fs::create_dir_all(&dir).map_err(|e| DseError::io(&dir, &e))?;
+            write_manifest(&manifest_path, spec)?;
+        }
+        let completed = load_results(&dir.join("results.jsonl"))?;
+        let store = RunStore::open_log(dir)?;
+        Ok((store, completed))
+    }
+
+    /// Opens an existing run directory for resumption, recovering the
+    /// spec from the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] / [`DseError::Corrupt`] when the
+    /// directory is not a readable run store.
+    pub fn open(
+        run_dir: &Path,
+    ) -> Result<(RunStore, ExperimentSpec, BTreeMap<u128, CachedSolve>), DseError> {
+        let spec = read_manifest(&run_dir.join("manifest.json"))?;
+        let completed = load_results(&run_dir.join("results.jsonl"))?;
+        let store = RunStore::open_log(run_dir.to_path_buf())?;
+        Ok((store, spec, completed))
+    }
+
+    fn open_log(dir: PathBuf) -> Result<RunStore, DseError> {
+        let path = dir.join("results.jsonl");
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| DseError::io(&path, &e))?;
+        Ok(RunStore {
+            dir,
+            log: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The run directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one completed point and flushes it to disk, so a kill
+    /// after this call never loses the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] when the write or flush fails.
+    pub fn append(&self, key: u128, solve: &CachedSolve) -> Result<(), DseError> {
+        let line = JsonValue::Obj(vec![
+            ("key".to_owned(), JsonValue::Str(format!("{key:032x}"))),
+            ("solve".to_owned(), solve_to_json(solve)),
+        ])
+        .render();
+        let path = self.dir.join("results.jsonl");
+        let mut log = lock(&self.log);
+        log.write_all(line.as_bytes())
+            .and_then(|()| log.write_all(b"\n"))
+            .and_then(|()| log.flush())
+            .map_err(|e| DseError::io(&path, &e))
+    }
+}
+
+/// A [`PointCache`] over the run store plus an in-memory index of
+/// completed points: lookups answer from the index, stores append to
+/// disk first and then publish to the index. Disk failures are
+/// latched (the cache hook cannot return errors) and surfaced by the
+/// engine after the round via [`StoreCache::take_error`].
+#[derive(Debug)]
+pub struct StoreCache<'s> {
+    store: &'s RunStore,
+    completed: Mutex<BTreeMap<u128, CachedSolve>>,
+    write_error: Mutex<Option<DseError>>,
+}
+
+impl<'s> StoreCache<'s> {
+    /// Wraps a store and the completed points loaded from it.
+    #[must_use]
+    pub fn new(store: &'s RunStore, completed: BTreeMap<u128, CachedSolve>) -> Self {
+        StoreCache {
+            store,
+            completed: Mutex::new(completed),
+            write_error: Mutex::new(None),
+        }
+    }
+
+    /// The first append failure recorded during execution, if any.
+    pub fn take_error(&self) -> Option<DseError> {
+        lock(&self.write_error).take()
+    }
+}
+
+impl PointCache for StoreCache<'_> {
+    fn key(&self, _x: f64) -> Option<u128> {
+        // The 1-D sweep entry point is unused: dse points carry their
+        // own multi-axis content address.
+        None
+    }
+
+    fn lookup(&self, key: u128) -> Option<CachedSolve> {
+        lock(&self.completed).get(&key).copied()
+    }
+
+    fn store(&self, key: u128, value: CachedSolve) {
+        if let Err(e) = self.store.append(key, &value) {
+            let mut slot = lock(&self.write_error);
+            slot.get_or_insert(e);
+        }
+        lock(&self.completed).insert(key, value);
+    }
+}
+
+/// Renders a solve summary in canonical JSON field order. Floats use
+/// the shortest round-trip form, so a load-after-store is
+/// bit-identical.
+#[must_use]
+pub fn solve_to_json(solve: &CachedSolve) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("die_area_m2".to_owned(), JsonValue::Num(solve.die_area_m2)),
+        (
+            "fully_assignable".to_owned(),
+            JsonValue::Bool(solve.fully_assignable),
+        ),
+        ("normalized".to_owned(), JsonValue::Num(solve.normalized)),
+        ("rank".to_owned(), JsonValue::UInt(solve.rank)),
+        (
+            "repeater_area_m2".to_owned(),
+            JsonValue::Num(solve.repeater_area_m2),
+        ),
+        (
+            "repeater_count".to_owned(),
+            JsonValue::UInt(solve.repeater_count),
+        ),
+        ("total_wires".to_owned(), JsonValue::UInt(solve.total_wires)),
+    ])
+}
+
+/// Parses a solve summary rendered by [`solve_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn solve_from_json(doc: &JsonValue) -> Result<CachedSolve, String> {
+    let need_u64 = |field: &str| {
+        doc.get(field)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing or mistyped `{field}`"))
+    };
+    let need_f64 = |field: &str| {
+        doc.get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("missing or mistyped `{field}`"))
+    };
+    let fully_assignable = match doc.get("fully_assignable") {
+        Some(JsonValue::Bool(b)) => *b,
+        _ => return Err("missing or mistyped `fully_assignable`".to_owned()),
+    };
+    Ok(CachedSolve {
+        rank: need_u64("rank")?,
+        normalized: need_f64("normalized")?,
+        total_wires: need_u64("total_wires")?,
+        fully_assignable,
+        repeater_count: need_u64("repeater_count")?,
+        repeater_area_m2: need_f64("repeater_area_m2")?,
+        die_area_m2: need_f64("die_area_m2")?,
+    })
+}
+
+fn write_manifest(path: &Path, spec: &ExperimentSpec) -> Result<(), DseError> {
+    let doc = JsonValue::Obj(vec![
+        ("format".to_owned(), JsonValue::UInt(FORMAT)),
+        ("name".to_owned(), JsonValue::Str(spec.name.clone())),
+        ("run_id".to_owned(), JsonValue::Str(spec.run_id())),
+        ("spec".to_owned(), spec.to_json()),
+        (
+            "spec_hash".to_owned(),
+            JsonValue::Str(format!("{:032x}", spec.spec_hash())),
+        ),
+    ]);
+    fs::write(path, doc.render()).map_err(|e| DseError::io(path, &e))
+}
+
+fn read_manifest(path: &Path) -> Result<ExperimentSpec, DseError> {
+    let corrupt = |message: String| DseError::Corrupt {
+        path: path.display().to_string(),
+        message,
+    };
+    let text = fs::read_to_string(path).map_err(|e| DseError::io(path, &e))?;
+    let doc = JsonValue::parse(&text).map_err(|e| corrupt(format!("bad manifest JSON: {e}")))?;
+    let format = doc
+        .get("format")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| corrupt("manifest has no `format`".to_owned()))?;
+    if format != FORMAT {
+        return Err(corrupt(format!(
+            "manifest format {format} is not the supported {FORMAT}"
+        )));
+    }
+    let spec_doc = doc
+        .get("spec")
+        .ok_or_else(|| corrupt("manifest has no `spec`".to_owned()))?;
+    let spec = ExperimentSpec::from_json(spec_doc).map_err(|e| corrupt(e.to_string()))?;
+    let stored_hash = doc
+        .get("spec_hash")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    if stored_hash != format!("{:032x}", spec.spec_hash()) {
+        return Err(corrupt("manifest spec hash mismatch".to_owned()));
+    }
+    Ok(spec)
+}
+
+fn load_results(path: &Path) -> Result<BTreeMap<u128, CachedSolve>, DseError> {
+    let mut completed = BTreeMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(completed),
+        Err(e) => return Err(DseError::io(path, &e)),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    for (index, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_result_line(line) {
+            Ok((key, solve)) => {
+                completed.insert(key, solve);
+            }
+            // A torn final line is the expected shape of a kill
+            // mid-append: drop it (the point re-solves). Anything
+            // earlier means real corruption.
+            Err(_) if index + 1 == lines.len() => {}
+            Err(message) => {
+                return Err(DseError::Corrupt {
+                    path: path.display().to_string(),
+                    message: format!("line {}: {message}", index + 1),
+                });
+            }
+        }
+    }
+    Ok(completed)
+}
+
+fn parse_result_line(line: &str) -> Result<(u128, CachedSolve), String> {
+    let doc = JsonValue::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let key_hex = doc
+        .get("key")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing `key`".to_owned())?;
+    let key = u128::from_str_radix(key_hex, 16).map_err(|e| format!("bad key: {e}"))?;
+    let solve_doc = doc
+        .get("solve")
+        .ok_or_else(|| "missing `solve`".to_owned())?;
+    let solve = solve_from_json(solve_doc)?;
+    Ok((key, solve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::parse_str(
+            r#"{"name": "store-test", "axes": [{"knob": "m", "values": [1.5, 2.5]}]}"#,
+        )
+        .unwrap()
+    }
+
+    fn solve(rank: u64) -> CachedSolve {
+        CachedSolve {
+            rank,
+            normalized: 0.125,
+            total_wires: rank * 8,
+            fully_assignable: true,
+            repeater_count: 3,
+            repeater_area_m2: 1.5e-7,
+            die_area_m2: 2.0e-4,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ia-dse-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn solve_roundtrips_bit_identically() {
+        let original = solve(11);
+        let rendered = solve_to_json(&original).render();
+        let parsed = solve_from_json(&JsonValue::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_points() {
+        let root = tmp_dir("reopen");
+        let spec = spec();
+        let (store, completed) = RunStore::open_or_create(&root, &spec).unwrap();
+        assert!(completed.is_empty());
+        store.append(42, &solve(5)).unwrap();
+        store.append(43, &solve(6)).unwrap();
+        let run_dir = store.dir().to_path_buf();
+        drop(store);
+
+        let (_, reopened_spec, completed) = RunStore::open(&run_dir).unwrap();
+        assert_eq!(reopened_spec, spec);
+        assert_eq!(completed.len(), 2);
+        assert_eq!(completed.get(&42).unwrap().rank, 5);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_mid_file_corruption_is_not() {
+        let root = tmp_dir("torn");
+        let spec = spec();
+        let (store, _) = RunStore::open_or_create(&root, &spec).unwrap();
+        store.append(1, &solve(5)).unwrap();
+        let log = store.dir().join("results.jsonl");
+        let run_dir = store.dir().to_path_buf();
+        drop(store);
+
+        // Simulate a kill mid-append: a torn trailing line.
+        let mut text = fs::read_to_string(&log).unwrap();
+        text.push_str("{\"key\":\"02\",\"solve\":{\"rank\"");
+        fs::write(&log, &text).unwrap();
+        let (_, _, completed) = RunStore::open(&run_dir).unwrap();
+        assert_eq!(completed.len(), 1);
+
+        // The same torn bytes mid-file are corruption.
+        let torn_then_good = format!(
+            "{}\n{}",
+            "{\"key\":\"02\",\"solve\":{\"rank\"",
+            JsonValue::Obj(vec![
+                ("key".to_owned(), JsonValue::Str(format!("{:032x}", 3u128))),
+                ("solve".to_owned(), solve_to_json(&solve(9))),
+            ])
+            .render()
+        );
+        fs::write(&log, torn_then_good).unwrap();
+        let err = RunStore::open(&run_dir).unwrap_err();
+        assert!(matches!(err, DseError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_different_spec_cannot_reuse_a_run_directory() {
+        let root = tmp_dir("mismatch");
+        let spec = spec();
+        let (store, _) = RunStore::open_or_create(&root, &spec).unwrap();
+        let run_dir = store.dir().to_path_buf();
+        drop(store);
+
+        // Forge a manifest whose spec differs from its recorded hash.
+        let manifest = run_dir.join("manifest.json");
+        let text = fs::read_to_string(&manifest)
+            .unwrap()
+            .replace("store-test", "forged-name");
+        fs::write(&manifest, text).unwrap();
+        assert!(matches!(
+            RunStore::open(&run_dir).unwrap_err(),
+            DseError::Corrupt { .. }
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_cache_latches_append_failures() {
+        let root = tmp_dir("latch");
+        let spec = spec();
+        let (store, completed) = RunStore::open_or_create(&root, &spec).unwrap();
+        let cache = StoreCache::new(&store, completed);
+        assert!(cache.lookup(7).is_none());
+        cache.store(7, solve(4));
+        assert_eq!(cache.lookup(7).unwrap().rank, 4);
+        assert!(cache.take_error().is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

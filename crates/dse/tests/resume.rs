@@ -1,0 +1,96 @@
+//! The resumability proof: an interrupted run, resumed, re-solves
+//! nothing (asserted through telemetry counters, down to the DP
+//! solver) and converges to the same points, the same Pareto front,
+//! and a byte-identical report as a run that was never interrupted.
+
+use ia_dse::{names, pareto_front, ExperimentSpec, RunOptions};
+
+const SPEC: &str = r#"{"name": "resume-proof",
+    "base": {"gates": 20000, "bunch": 2000},
+    "axes": [{"knob": "m", "values": [1.5, 2.0, 2.5]},
+             {"knob": "c", "values": [400.0, 800.0]}],
+    "workers": 2}"#;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ia-dse-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One sequential test so the thread-local telemetry this asserts on
+/// is never shared with a concurrently running test.
+#[test]
+fn interrupted_plus_resume_matches_a_straight_run_with_zero_resolves() {
+    let spec = ExperimentSpec::parse_str(SPEC).expect("spec parses");
+    ia_obs::set_enabled(true);
+
+    // The reference: a run that is never interrupted.
+    let straight_root = scratch("straight");
+    let straight = ia_dse::run(&spec, &straight_root, &RunOptions::default()).expect("straight");
+    assert!(straight.complete);
+    assert_eq!(straight.solved, 6);
+
+    // The interrupted run: a fresh-solve budget of 2 stands in for a
+    // kill — the process stops with 4 of 6 points never attempted,
+    // and only what finished is on disk.
+    let resumed_root = scratch("resumed");
+    let interrupted = ia_dse::run(
+        &spec,
+        &resumed_root,
+        &RunOptions {
+            budget: Some(2),
+            ..RunOptions::default()
+        },
+    )
+    .expect("interrupted");
+    assert!(!interrupted.complete);
+    assert_eq!(interrupted.solved, 2);
+    assert_eq!(interrupted.skipped, 4);
+
+    // Resume: only the 4 missing points are solved fresh; the 2
+    // persisted ones come back as cache hits from the run store.
+    ia_obs::reset();
+    let run_dir = resumed_root.join(spec.run_id());
+    let resumed = ia_dse::resume(&run_dir, &RunOptions::default()).expect("resume");
+    assert!(resumed.complete);
+    assert_eq!(resumed.solved, 4);
+    assert_eq!(resumed.cached, 2);
+    let counters = ia_obs::snapshot();
+    assert_eq!(counters.counter(names::POINTS_SOLVED), Some(4));
+    assert_eq!(counters.counter(names::POINTS_CACHED), Some(2));
+
+    // Resuming a complete run re-solves nothing at all: no dse solve
+    // counter ticks and no DP solver activity whatsoever.
+    ia_obs::reset();
+    let settled = ia_dse::resume(&run_dir, &RunOptions::default()).expect("settled resume");
+    assert!(settled.complete);
+    assert_eq!(settled.solved, 0);
+    assert_eq!(settled.cached, 6);
+    let counters = ia_obs::snapshot();
+    assert_eq!(counters.counter(names::POINTS_SOLVED), None);
+    assert_eq!(counters.counter(names::POINTS_CACHED), Some(6));
+    assert_eq!(counters.counter("dp.states"), None, "zero re-solves");
+
+    // Identical outcomes: same points in the same order, the same
+    // Pareto front, and byte-identical reports.
+    let straight_keys: Vec<u128> = straight.points.iter().map(|p| p.key).collect();
+    let resumed_keys: Vec<u128> = resumed.points.iter().map(|p| p.key).collect();
+    assert_eq!(straight_keys, resumed_keys);
+
+    let front = |outcome: &ia_dse::RunOutcome| -> Vec<u128> {
+        let solves: Vec<_> = outcome.points.iter().map(|p| p.solve).collect();
+        pareto_front(&solves)
+            .into_iter()
+            .map(|i| outcome.points[i].key)
+            .collect()
+    };
+    assert_eq!(front(&straight), front(&resumed));
+
+    let straight_report =
+        ia_dse::report::for_run(&straight_root.join(spec.run_id())).expect("straight report");
+    let resumed_report = ia_dse::report::for_run(&run_dir).expect("resumed report");
+    assert_eq!(straight_report, resumed_report, "byte-identical reports");
+
+    let _ = std::fs::remove_dir_all(&straight_root);
+    let _ = std::fs::remove_dir_all(&resumed_root);
+}

@@ -1,0 +1,129 @@
+//! A deterministic multi-section text document builder.
+//!
+//! [`Document`] composes a titled report out of prose lines and
+//! [`Table`]s. Rendering is a pure function of the pushed content —
+//! no timestamps, no ambient state — so two documents built from the
+//! same data render byte-identically; the dse resume proof depends on
+//! exactly that property.
+
+use crate::Table;
+
+/// One block of a document.
+#[derive(Debug, Clone)]
+enum Block {
+    /// A section heading.
+    Heading(String),
+    /// One line of prose.
+    Text(String),
+    /// An aligned table.
+    Table(Table),
+}
+
+/// A titled, append-only text document.
+///
+/// # Examples
+///
+/// ```
+/// use ia_report::{Document, Table};
+///
+/// let mut doc = Document::new("demo");
+/// doc.line("one line of prose");
+/// doc.section("numbers");
+/// let mut t = Table::new(["k", "v"]);
+/// t.row(["a", "1"]);
+/// doc.table(t);
+/// let text = doc.render();
+/// assert!(text.starts_with("== demo =="));
+/// assert!(text.contains("-- numbers --"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Document {
+    title: String,
+    blocks: Vec<Block>,
+}
+
+impl Document {
+    /// Starts a document with the given title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Document {
+            title: title.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Appends one line of prose.
+    pub fn line(&mut self, text: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Text(text.into()));
+        self
+    }
+
+    /// Starts a new titled section.
+    pub fn section(&mut self, title: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Heading(title.into()));
+        self
+    }
+
+    /// Appends a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.blocks.push(Block::Table(table));
+        self
+    }
+
+    /// Renders the document: `== title ==`, then each block in push
+    /// order, with a blank line before every section heading and
+    /// table. Ends with a single trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        for block in &self.blocks {
+            match block {
+                Block::Heading(title) => {
+                    out.push('\n');
+                    out.push_str(&format!("-- {title} --\n"));
+                }
+                Block::Text(text) => {
+                    out.push_str(text);
+                    out.push('\n');
+                }
+                Block::Table(table) => {
+                    out.push('\n');
+                    out.push_str(&table.render());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_sections_and_tables_in_order() {
+        let mut doc = Document::new("run");
+        doc.line("spec: x");
+        doc.section("points");
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        doc.table(t);
+        let text = doc.render();
+        let title_at = text.find("== run ==").unwrap();
+        let line_at = text.find("spec: x").unwrap();
+        let section_at = text.find("-- points --").unwrap();
+        let cell_at = text.find('1').unwrap();
+        assert!(title_at < line_at && line_at < section_at && section_at < cell_at);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut doc = Document::new("same");
+            doc.section("s").line("body");
+            doc.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 
 mod comparison;
+mod document;
 mod table;
 
 pub use comparison::{Comparison, Direction};
+pub use document::Document;
 pub use table::Table;

@@ -9,6 +9,7 @@
 //! a typoed knob cannot silently alias a differently-bound request.
 
 use ia_obs::json::JsonValue;
+use ia_rank::canon::BoundConfig;
 use ia_rank::sensitivity::{Elasticity, Knob, KnobSensitivity, OperatingPoint};
 use ia_rank::sweep::{self, CachedSolve, SweepPoint};
 use ia_report::Table;
@@ -134,6 +135,25 @@ impl SolveRequest {
             other => return Err(bad(format!("unknown field `{other}`"))),
         }
         Ok(())
+    }
+
+    /// Lowers the request to the shared canonical configuration —
+    /// the single bridge between the HTTP surface and the content
+    /// addressing / binding layer in `ia_rank::canon`.
+    #[must_use]
+    pub fn to_config(&self) -> BoundConfig {
+        BoundConfig {
+            node: self.node.clone(),
+            gates: self.gates,
+            bunch: self.bunch,
+            clock_mhz: self.clock_mhz,
+            fraction: self.fraction,
+            miller: self.miller,
+            k: self.k,
+            global: self.global,
+            semi_global: self.semi_global,
+            local: self.local,
+        }
     }
 
     /// The request with one sweep axis rebound to `x` — the bridge

@@ -2,37 +2,23 @@
 //!
 //! The solve cache is keyed by *what will be solved*, not by the bytes
 //! of the HTTP request: a [`SolveRequest`](crate::api::SolveRequest)
-//! is first normalized into a canonical `field=value` string in a
-//! fixed field order (so JSON field reordering, optional-field
-//! spelling, and the `tsmc` node-name prefix cannot split the cache),
-//! and that string is hashed with 128-bit FNV-1a. Two requests collide
-//! only if every bound input — tech node, stack pair counts, WLD
-//! scale, clock, and the Table 4 K/M/R knobs — is bit-identical.
+//! lowers to the shared [`ia_rank::canon::BoundConfig`] and is hashed
+//! by that module's canonical rendering — the same content addresses
+//! the `ia-dse` run store uses, so the serving layer and the
+//! exploration engine cannot drift apart. See `ia_rank::canon` for the
+//! canonical-string format and its stability contract; this module
+//! keeps the request-typed entry points the HTTP layer and its tests
+//! use.
 
 use crate::api::SolveRequest;
 
-/// The FNV-1a 128-bit offset basis.
-const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-
-/// The FNV-1a 128-bit prime, 2^88 + 2^8 + 0x3b.
-const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-
-/// Hashes `bytes` with 128-bit FNV-1a.
-#[must_use]
-pub fn fnv1a_128(bytes: &[u8]) -> u128 {
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= u128::from(b);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
+pub use ia_rank::canon::fnv1a_128;
 
 /// The content-address of a fully-bound solve request: the FNV-1a 128
 /// hash of its canonical rendering (see [`canonical_string`]).
 #[must_use]
 pub fn cache_key(request: &SolveRequest) -> u128 {
-    fnv1a_128(canonical_string(request).as_bytes())
+    request.to_config().cache_key()
 }
 
 /// Renders the request's bound inputs as `field=value` pairs in a
@@ -40,22 +26,7 @@ pub fn cache_key(request: &SolveRequest) -> u128 {
 /// `Display` form, so distinct `f64` values always render distinctly.
 #[must_use]
 pub fn canonical_string(request: &SolveRequest) -> String {
-    let k = request
-        .k
-        .map_or_else(|| "default".to_owned(), |k| k.to_string());
-    format!(
-        "node={};gates={};bunch={};clock_mhz={};fraction={};miller={};k={};global={};semi_global={};local={}",
-        request.node.trim_start_matches("tsmc"),
-        request.gates,
-        request.bunch,
-        request.clock_mhz,
-        request.fraction,
-        request.miller,
-        k,
-        request.global,
-        request.semi_global,
-        request.local,
-    )
+    request.to_config().canonical_string()
 }
 
 #[cfg(test)]
@@ -64,9 +35,8 @@ mod tests {
 
     #[test]
     fn fnv_vectors_are_stable() {
-        // Empty input hashes to the offset basis by construction.
-        assert_eq!(fnv1a_128(b""), FNV_OFFSET);
-        // Any byte changes the hash.
+        // Any byte changes the hash (the full vector suite lives with
+        // the shared implementation in `ia_rank::canon`).
         assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
         assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"));
     }
@@ -90,5 +60,19 @@ mod tests {
         let mut k = base.clone();
         k.k = Some(3.9);
         assert_ne!(cache_key(&k), key, "explicit K is distinct from default");
+    }
+
+    #[test]
+    fn request_and_config_share_one_address_space() {
+        // A request and the config it lowers to hash identically, so
+        // serve-cached points are dse-run-store hits and vice versa.
+        let mut request = SolveRequest::default();
+        request.gates = 30_000;
+        request.k = Some(2.7);
+        assert_eq!(cache_key(&request), request.to_config().cache_key());
+        assert_eq!(
+            canonical_string(&request),
+            request.to_config().canonical_string()
+        );
     }
 }

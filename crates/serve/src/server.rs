@@ -8,7 +8,7 @@
 //! merged snapshot — always reflects work completed on *other*
 //! threads without tearing down the pool.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,15 +16,14 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use ia_arch::ArchitectureBuilder;
+use ia_dse::{ExperimentSpec, RunOptions, RunOutcome};
 use ia_obs::json::JsonValue;
 use ia_obs::{counter_add, counter_max, histogram_record, MergeSink, Stopwatch};
+use ia_rank::canon::BoundProblem;
 use ia_rank::sensitivity::sensitivities;
 use ia_rank::sweep::{self, CachedSolve, PointCache, SweepPoint};
-use ia_rank::{RankError, RankProblem, RankProblemBuilder};
-use ia_tech::TechnologyNode;
+use ia_rank::{RankError, RankProblemBuilder};
 use ia_units::{Frequency, Permittivity};
-use ia_wld::WldSpec;
 
 use crate::api::{
     sensitivity_response, solve_response, sweep_response, Axis, SensitivityRequest, SolveRequest,
@@ -76,6 +75,19 @@ struct Conn {
     accepted: Stopwatch,
 }
 
+/// Where an asynchronous dse job stands.
+enum JobPhase {
+    Running,
+    Done(JsonValue),
+    Failed(String),
+}
+
+/// Shared state of one `POST /dse` job.
+struct JobState {
+    progress: AtomicU64,
+    phase: Mutex<JobPhase>,
+}
+
 struct Shared {
     cfg: ServerConfig,
     local_addr: SocketAddr,
@@ -85,6 +97,14 @@ struct Shared {
     cache: SolveCache<CachedSolve>,
     served: AtomicU64,
     sink: MergeSink,
+    /// Asynchronous dse jobs by id; entries survive completion so
+    /// `GET /dse/<id>` can read results until the server exits.
+    jobs: Mutex<BTreeMap<u64, Arc<JobState>>>,
+    next_job: AtomicU64,
+    /// Job threads, joined (after the worker pool) by [`Server::join`].
+    /// Jobs observe the stop flag as a cancel signal, so a graceful
+    /// drain stops them at the next point boundary.
+    job_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -133,6 +153,9 @@ impl Server {
             stop: AtomicBool::new(false),
             served: AtomicU64::new(0),
             sink: MergeSink::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_job: AtomicU64::new(0),
+            job_handles: Mutex::new(Vec::new()),
         });
 
         let acceptor = {
@@ -180,9 +203,9 @@ impl Server {
         self.shared.request_stop();
     }
 
-    /// Waits for the acceptor and all workers to exit, then merges
-    /// their telemetry into the calling thread's collector storage.
-    /// Returns the number of requests served.
+    /// Waits for the acceptor, all workers, and any dse job threads
+    /// to exit, then merges their telemetry into the calling thread's
+    /// collector storage. Returns the number of requests served.
     #[must_use]
     pub fn join(mut self) -> u64 {
         if let Some(acceptor) = self.acceptor.take() {
@@ -190,6 +213,12 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Jobs see the stop flag as their cancel signal, so after the
+        // drain they stop at the next point boundary.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.shared.job_handles));
+        for handle in handles {
+            let _ = handle.join();
         }
         self.shared.sink.collect();
         self.shared.served.load(Ordering::SeqCst)
@@ -243,7 +272,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let conn = {
             let mut queue = lock(&shared.queue);
@@ -267,7 +296,7 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle(shared: &Shared, mut conn: Conn) {
+fn handle(shared: &Arc<Shared>, mut conn: Conn) {
     counter_add("serve.requests", 1);
     let request = match http::read_request(
         &mut conn.stream,
@@ -294,18 +323,25 @@ fn handle(shared: &Shared, mut conn: Conn) {
     http::write_response(&mut conn.stream, status, &body);
 }
 
-fn route(shared: &Shared, request: &Request, started: &Stopwatch) -> (u16, String) {
+fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics(shared),
         ("POST", "/solve") => solve_endpoint(shared, &request.body, started),
         ("POST", "/sweep") => sweep_endpoint(shared, &request.body, started),
         ("POST", "/sensitivity") => sensitivity_endpoint(shared, &request.body, started),
+        ("POST", "/dse") => dse_endpoint(shared, &request.body),
+        ("GET", path) if path.strip_prefix("/dse/").is_some() => {
+            dse_status_endpoint(shared, path.trim_start_matches("/dse/"))
+        }
         ("POST", "/shutdown") => {
             shared.request_stop();
             (200, r#"{"status":"shutting down"}"#.to_owned())
         }
-        (_, "/healthz" | "/metrics" | "/solve" | "/sweep" | "/sensitivity" | "/shutdown") => (
+        (
+            _,
+            "/healthz" | "/metrics" | "/solve" | "/sweep" | "/sensitivity" | "/dse" | "/shutdown",
+        ) => (
             405,
             error_body(&format!(
                 "method {} not allowed for {}",
@@ -319,6 +355,7 @@ fn route(shared: &Shared, request: &Request, started: &Stopwatch) -> (u16, Strin
 fn status_counter(status: u16) -> &'static str {
     match status {
         200 => "serve.http.200",
+        202 => "serve.http.202",
         400 => "serve.http.400",
         404 => "serve.http.404",
         405 => "serve.http.405",
@@ -339,6 +376,7 @@ fn latency_histogram(path: &str) -> &'static str {
         "/sensitivity" => "serve.latency_us.sensitivity",
         "/healthz" => "serve.latency_us.healthz",
         "/metrics" => "serve.latency_us.metrics",
+        path if path == "/dse" || path.starts_with("/dse/") => "serve.latency_us.dse",
         _ => "serve.latency_us.other",
     }
 }
@@ -367,7 +405,50 @@ fn metrics(shared: &Shared) -> (u16, String) {
     // Fold this worker's own telemetry in first so the snapshot also
     // covers requests it has served since its last flush.
     shared.sink.flush_thread();
-    (200, shared.sink.peek_snapshot().to_json_string())
+    let mut doc = shared.sink.peek_snapshot().to_json();
+    if let JsonValue::Obj(fields) = &mut doc {
+        let rates = derived_rates(fields);
+        if !rates.is_empty() {
+            fields.push(("derived".to_owned(), JsonValue::Obj(rates)));
+        }
+    }
+    (200, doc.render())
+}
+
+/// Computes the derived cache hit rates from the raw counters: the
+/// server's own `/solve` cache (a `shared` outcome waited on another
+/// request's compute, so it counts as a hit) and the point cache the
+/// sweep/dse engines consult. Rates appear only once the matching
+/// lookups have happened.
+fn derived_rates(fields: &[(String, JsonValue)]) -> Vec<(String, JsonValue)> {
+    let counter = |name: &str| -> u64 {
+        fields
+            .iter()
+            .find(|(key, _)| key == "counters")
+            .and_then(|(_, counters)| counters.get(name))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let ratio =
+        |hits: u64, lookups: u64| -> JsonValue { JsonValue::Num(hits as f64 / lookups as f64) };
+    let mut rates = Vec::new();
+    let solve_hits = counter("serve.cache.hits") + counter("serve.cache.shared");
+    let solve_lookups = solve_hits + counter("serve.cache.misses");
+    if solve_lookups > 0 {
+        rates.push((
+            "serve.cache.hit_rate".to_owned(),
+            ratio(solve_hits, solve_lookups),
+        ));
+    }
+    let sweep_hits = counter("sweep.cache.hits");
+    let sweep_lookups = sweep_hits + counter("sweep.cache.misses");
+    if sweep_lookups > 0 {
+        rates.push((
+            "sweep.cache.hit_rate".to_owned(),
+            ratio(sweep_hits, sweep_lookups),
+        ));
+    }
+    rates
 }
 
 /// Parses a JSON body, mapping UTF-8 and JSON failures to 400.
@@ -523,7 +604,7 @@ fn sweep_endpoint(shared: &Shared, body: &[u8], started: &Stopwatch) -> (u16, St
     };
     let builder = match bound.builder() {
         Ok(builder) => builder,
-        Err(message) => return (400, error_body(&message)),
+        Err(e) => return (400, error_body(&e.to_string())),
     };
     let points = match run_axis(
         request.parallel,
@@ -564,7 +645,7 @@ fn sensitivity_endpoint(shared: &Shared, body: &[u8], started: &Stopwatch) -> (u
     };
     let builder = match bound.builder() {
         Ok(builder) => builder,
-        Err(message) => return (400, error_body(&message)),
+        Err(e) => return (400, error_body(&e.to_string())),
     };
     let point = request.base.operating_point();
     match sensitivities(&builder, &point, request.step) {
@@ -578,66 +659,161 @@ fn sensitivity_endpoint(shared: &Shared, body: &[u8], started: &Stopwatch) -> (u
     }
 }
 
-/// A solve request's resolved tech node and architecture. The builder
-/// borrows both, so they live in one struct the handler keeps on its
-/// stack for the request's duration.
-struct BoundProblem {
-    request: SolveRequest,
-    node: TechnologyNode,
-    architecture: ia_arch::Architecture,
+/// [`PointCache`] adapter for dse jobs: exploration points read and
+/// write the server's solve cache under the same content addresses
+/// `/solve` and `/sweep` use, so a dse run warms the service and vice
+/// versa.
+struct ServeDseCache<'s> {
+    cache: &'s SolveCache<CachedSolve>,
 }
 
-impl BoundProblem {
-    fn builder(&self) -> Result<RankProblemBuilder<'_>, String> {
-        let spec = WldSpec::new(self.request.gates).map_err(|e| format!("{e}"))?;
-        let mut builder = RankProblem::builder(&self.node, &self.architecture)
-            .wld_spec(spec)
-            .bunch_size(self.request.bunch)
-            .clock(Frequency::from_megahertz(self.request.clock_mhz))
-            .repeater_fraction(self.request.fraction)
-            .miller_factor(self.request.miller);
-        if let Some(k) = self.request.k {
-            builder = builder.permittivity(Permittivity::from_relative(k));
+impl PointCache for ServeDseCache<'_> {
+    fn key(&self, _x: f64) -> Option<u128> {
+        // dse points carry their own canonical addresses.
+        None
+    }
+
+    fn lookup(&self, key: u128) -> Option<CachedSolve> {
+        self.cache.lookup(key)
+    }
+
+    fn store(&self, key: u128, value: CachedSolve) {
+        let evicted = self.cache.insert(key, value);
+        if evicted > 0 {
+            counter_add("serve.cache.evictions", evicted);
         }
-        Ok(builder)
     }
 }
 
-fn resolve_node(name: &str) -> Result<TechnologyNode, String> {
-    match name.trim_start_matches("tsmc") {
-        "90" => Ok(ia_tech::presets::tsmc90()),
-        "130" => Ok(ia_tech::presets::tsmc130()),
-        "180" => Ok(ia_tech::presets::tsmc180()),
-        other => Err(format!("unknown node `{other}` (expected 90, 130 or 180)")),
+/// `POST /dse`: parse an experiment spec, start an asynchronous
+/// exploration job against the shared solve cache, and return its id.
+fn dse_endpoint(shared: &Arc<Shared>, body: &[u8]) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return (400, error_body("request body is not UTF-8"));
+    };
+    let spec = match ExperimentSpec::parse_str(text) {
+        Ok(spec) => spec,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    if shared.stop.load(Ordering::SeqCst) {
+        return (503, error_body("server is shutting down"));
     }
+    let id = shared.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+    let state = Arc::new(JobState {
+        progress: AtomicU64::new(0),
+        phase: Mutex::new(JobPhase::Running),
+    });
+    lock(&shared.jobs).insert(id, Arc::clone(&state));
+    let job_shared = Arc::clone(shared);
+    let handle = thread::spawn(move || {
+        let _guard = job_shared.sink.register_worker(&format!("serve.dse.{id}"));
+        run_dse_job(&job_shared, &state, &spec);
+    });
+    lock(&shared.job_handles).push(handle);
+    counter_add("serve.dse.jobs", 1);
+    let body = JsonValue::Obj(vec![
+        ("job".to_owned(), JsonValue::UInt(id)),
+        ("status".to_owned(), JsonValue::Str("running".to_owned())),
+    ]);
+    (202, body.render())
 }
 
-fn pairs(count: u64, knob: &str) -> Result<usize, String> {
-    usize::try_from(count).map_err(|_| format!("`{knob}` is out of range"))
+/// Executes one dse job on its own thread. The server's stop flag is
+/// the cancel signal, so a graceful drain stops the job at the next
+/// point boundary and its partial result is still readable.
+fn run_dse_job(shared: &Shared, state: &JobState, spec: &ExperimentSpec) {
+    let cache = ServeDseCache {
+        cache: &shared.cache,
+    };
+    let opts = RunOptions {
+        cancel: Some(&shared.stop),
+        progress: Some(&state.progress),
+        ..RunOptions::default()
+    };
+    let phase = match ia_dse::explore(spec, &cache, &opts) {
+        Ok(outcome) => JobPhase::Done(dse_result_json(&outcome)),
+        Err(e) => JobPhase::Failed(e.to_string()),
+    };
+    *lock(&state.phase) = phase;
+    shared.sink.flush_thread();
 }
 
+/// Renders a finished job's outcome: the execution counts plus every
+/// completed point with its coordinates and solved metrics.
+fn dse_result_json(outcome: &RunOutcome) -> JsonValue {
+    let points: Vec<JsonValue> = outcome
+        .points
+        .iter()
+        .map(|point| {
+            JsonValue::Obj(vec![
+                (
+                    "coords".to_owned(),
+                    JsonValue::Arr(point.coords.iter().map(|&x| JsonValue::Num(x)).collect()),
+                ),
+                (
+                    "key".to_owned(),
+                    JsonValue::Str(format!("{:032x}", point.key)),
+                ),
+                (
+                    "solve".to_owned(),
+                    ia_dse::store::solve_to_json(&point.solve),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "total_points".to_owned(),
+            JsonValue::UInt(outcome.total_points),
+        ),
+        ("solved".to_owned(), JsonValue::UInt(outcome.solved)),
+        ("cached".to_owned(), JsonValue::UInt(outcome.cached)),
+        ("skipped".to_owned(), JsonValue::UInt(outcome.skipped)),
+        ("rounds".to_owned(), JsonValue::UInt(outcome.rounds)),
+        ("complete".to_owned(), JsonValue::Bool(outcome.complete)),
+        ("points".to_owned(), JsonValue::Arr(points)),
+    ])
+}
+
+/// `GET /dse/<id>`: report a job's progress or final result.
+fn dse_status_endpoint(shared: &Shared, id_text: &str) -> (u16, String) {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (400, error_body(&format!("bad job id `{id_text}`")));
+    };
+    let Some(state) = lock(&shared.jobs).get(&id).cloned() else {
+        return (404, error_body(&format!("no such dse job {id}")));
+    };
+    let progress = state.progress.load(Ordering::SeqCst);
+    let mut fields = vec![("job".to_owned(), JsonValue::UInt(id))];
+    match &*lock(&state.phase) {
+        JobPhase::Running => {
+            fields.push(("status".to_owned(), JsonValue::Str("running".to_owned())));
+            fields.push(("progress".to_owned(), JsonValue::UInt(progress)));
+        }
+        JobPhase::Done(result) => {
+            fields.push(("status".to_owned(), JsonValue::Str("done".to_owned())));
+            fields.push(("progress".to_owned(), JsonValue::UInt(progress)));
+            fields.push(("result".to_owned(), result.clone()));
+        }
+        JobPhase::Failed(message) => {
+            fields.push(("status".to_owned(), JsonValue::Str("failed".to_owned())));
+            fields.push(("error".to_owned(), JsonValue::Str(message.clone())));
+        }
+    }
+    (200, JsonValue::Obj(fields).render())
+}
+
+/// Binds a request's tech node and architecture through the shared
+/// `ia_rank::canon` layer, mapping [`ia_rank::canon::BindError`] to
+/// the 400-body message string.
 fn bind_problem(request: &SolveRequest) -> Result<BoundProblem, String> {
-    let node = resolve_node(&request.node)?;
-    let architecture = ArchitectureBuilder::new(&node)
-        .global_pairs(pairs(request.global, "global")?)
-        .semi_global_pairs(pairs(request.semi_global, "semi_global")?)
-        .local_pairs(pairs(request.local, "local")?)
-        .build()
-        .map_err(|e| format!("{e}"))?;
-    Ok(BoundProblem {
-        request: request.clone(),
-        node,
-        architecture,
-    })
+    request.to_config().bind().map_err(|e| e.to_string())
 }
 
 /// Solves one fully-bound request from scratch — the cache-miss path
 /// of `POST /solve`.
 pub(crate) fn solve(request: &SolveRequest) -> Result<CachedSolve, String> {
-    let bound = bind_problem(request)?;
-    let problem = bound.builder()?.build().map_err(|e| format!("{e}"))?;
-    let result = problem.rank();
-    Ok(CachedSolve::of(&problem, &result))
+    request.to_config().solve().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

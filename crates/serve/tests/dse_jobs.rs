@@ -1,0 +1,228 @@
+//! End-to-end tests for the asynchronous `/dse` job API and the
+//! derived `/metrics` cache rates, against a live loopback server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use ia_obs::json::JsonValue;
+use ia_serve::{Server, ServerConfig};
+
+fn start(workers: usize) -> Server {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        cache_entries: 128,
+        queue_depth: 32,
+        request_timeout: Duration::from_millis(10_000),
+        max_body_bytes: 64 * 1024,
+    })
+    .expect("bind ephemeral port")
+}
+
+fn exchange(addr: SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split("\r\n\r\n")
+        .nth(1)
+        .map(str::to_owned)
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn request_bytes(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    exchange(addr, &request_bytes("POST", path, body))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    exchange(addr, &request_bytes("GET", path, ""))
+}
+
+const SMALL_SPEC: &str = r#"{"name": "serve-job",
+    "base": {"gates": 20000, "bunch": 2000},
+    "axes": [{"knob": "m", "values": [1.5, 2.0, 2.5]}],
+    "workers": 2}"#;
+
+/// Submits a job and returns its id.
+fn submit(addr: SocketAddr, spec: &str) -> u64 {
+    let (status, body) = post(addr, "/dse", spec);
+    assert_eq!(status, 202, "body: {body}");
+    let doc = JsonValue::parse(&body).expect("job JSON");
+    assert_eq!(
+        doc.get("status").and_then(JsonValue::as_str),
+        Some("running")
+    );
+    doc.get("job").and_then(JsonValue::as_u64).expect("job id")
+}
+
+/// Polls a job until it leaves the running state (bounded wait).
+fn await_job(addr: SocketAddr, id: u64) -> JsonValue {
+    for _ in 0..600 {
+        let (status, body) = get(addr, &format!("/dse/{id}"));
+        assert_eq!(status, 200, "body: {body}");
+        let doc = JsonValue::parse(&body).expect("status JSON");
+        if doc.get("status").and_then(JsonValue::as_str) != Some("running") {
+            return doc;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job {id} never finished");
+}
+
+#[test]
+fn dse_job_runs_to_completion_and_reports_points() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let id = submit(addr, SMALL_SPEC);
+    let doc = await_job(addr, id);
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("done"));
+    let result = doc.get("result").expect("result object");
+    assert_eq!(result.get("solved").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(result.get("complete"), Some(&JsonValue::Bool(true)));
+    let points = result
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .expect("points");
+    assert_eq!(points.len(), 3);
+    let first = &points[0];
+    assert!(first
+        .get("solve")
+        .and_then(|s| s.get("normalized"))
+        .is_some());
+    assert_eq!(
+        first.get("key").and_then(JsonValue::as_str).map(str::len),
+        Some(32),
+        "keys are 128-bit hex content addresses"
+    );
+
+    // Resubmitting the same spec is answered entirely from the shared
+    // solve cache: zero fresh solves.
+    let id = submit(addr, SMALL_SPEC);
+    let doc = await_job(addr, id);
+    let result = doc.get("result").expect("result object");
+    assert_eq!(result.get("solved").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(result.get("cached").and_then(JsonValue::as_u64), Some(3));
+
+    server.shutdown();
+    let _ = server.join();
+}
+
+#[test]
+fn dse_job_shares_content_addresses_with_solve() {
+    let server = start(2);
+    let addr = server.local_addr();
+    // Solve one configuration directly...
+    let (status, _) = post(
+        addr,
+        "/solve",
+        r#"{"gates":20000,"bunch":2000,"miller":1.5}"#,
+    );
+    assert_eq!(status, 200);
+    // ...then explore a grid containing it: exactly that point is a
+    // cache hit.
+    let id = submit(addr, SMALL_SPEC);
+    let doc = await_job(addr, id);
+    let result = doc.get("result").expect("result object");
+    assert_eq!(result.get("cached").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(result.get("solved").and_then(JsonValue::as_u64), Some(2));
+    server.shutdown();
+    let _ = server.join();
+}
+
+#[test]
+fn dse_validation_and_status_errors() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (status, body) = post(addr, "/dse", "{not json");
+    assert_eq!(status, 400, "body: {body}");
+    let (status, body) = post(addr, "/dse", r#"{"axes": []}"#);
+    assert_eq!(status, 400, "a spec needs a name: {body}");
+    let (status, body) = get(addr, "/dse/999");
+    assert_eq!(status, 404, "body: {body}");
+    let (status, body) = get(addr, "/dse/banana");
+    assert_eq!(status, 400, "body: {body}");
+    let (status, _) = get(addr, "/dse");
+    assert_eq!(status, 405, "GET on the submit route");
+    server.shutdown();
+    let _ = server.join();
+}
+
+#[test]
+fn metrics_report_derived_cache_hit_rates() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let body = r#"{"gates":20000,"bunch":2000}"#;
+    let (status, _) = post(addr, "/solve", body);
+    assert_eq!(status, 200);
+    let (status, _) = post(addr, "/solve", body);
+    assert_eq!(status, 200);
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(&metrics).expect("metrics JSON");
+    let rate = doc
+        .get("derived")
+        .and_then(|d| d.get("serve.cache.hit_rate"))
+        .and_then(JsonValue::as_f64)
+        .expect("derived hit rate present after lookups");
+    assert!((rate - 0.5).abs() < 1e-9, "1 hit / 2 lookups: {rate}");
+    // The raw counters stay alongside the derived rate.
+    let counters = doc.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("serve.cache.hits").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        counters
+            .get("serve.cache.misses")
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    server.shutdown();
+    let _ = server.join();
+}
+
+#[test]
+fn shutdown_drains_a_running_job_gracefully() {
+    let server = start(2);
+    let addr = server.local_addr();
+    // A slightly larger grid so the job is plausibly still running
+    // when the drain starts; either way join() must not hang and the
+    // job must settle.
+    let spec = r#"{"name": "serve-drain",
+        "base": {"gates": 20000, "bunch": 2000},
+        "axes": [{"knob": "m", "values": [1.1, 1.3, 1.5, 1.7, 1.9, 2.1, 2.3, 2.5]}],
+        "workers": 1}"#;
+    let id = submit(addr, spec);
+    let (status, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    let _ = server.join();
+    // After join the job thread has exited; its counters merged into
+    // this thread's collector (enabled by Server::bind).
+    let snapshot = ia_obs::snapshot();
+    let json = snapshot.to_json_string();
+    assert!(
+        json.contains("dse.points.") || json.contains("dse.rounds"),
+        "job telemetry merged on drain (job {id}): {json}"
+    );
+}

@@ -6,7 +6,7 @@
 //! model crates must not panic on library paths, and non-finite
 //! sentinels must never escape unguarded. This pass walks the
 //! workspace source (std-only — the build environment has no network
-//! route to crates.io) and enforces seven domain rules:
+//! route to crates.io) and enforces eight domain rules:
 //!
 //! * **L1 `crate-header`** — every lib crate declares
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
@@ -26,6 +26,10 @@
 //!   `std::thread::scope` in non-test code of a model crate must pair
 //!   with an `ia_obs` worker registration (`register_worker`) so
 //!   cross-thread telemetry merges instead of vanishing.
+//! * **L8 `bounded-concurrency`** — scheduler code in a model crate
+//!   must not create unbounded `mpsc::channel()`s or discard a
+//!   `thread::spawn` `JoinHandle`; queues must backpressure and
+//!   workers must be joinable at shutdown.
 //!
 //! Any rule can be waived on a specific line with a
 //! `// lint: <rule-name>` comment; see `docs/linting.md`.
@@ -55,12 +59,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose public APIs model physical quantities, plus the
-/// serving layer that exposes them; rules L2, L3 and L7 apply only to
-/// these. `serve` is held to the model-crate bar — waiver-free — so
-/// the request path cannot panic and every worker thread feeds the
-/// metrics endpoint.
+/// serving and exploration layers that expose them; rules L2, L3, L7
+/// and L8 apply only to these. `serve` and `dse` are held to the
+/// model-crate bar — waiver-free — so the request path cannot panic,
+/// every worker thread feeds the metrics endpoint, and the dse
+/// scheduler cannot leak queues or threads.
 pub const MODEL_CRATES: &[&str] = &[
-    "units", "tech", "rc", "wld", "delay", "arch", "core", "serve",
+    "units", "tech", "rc", "wld", "delay", "arch", "core", "serve", "dse",
 ];
 
 /// Directory names never linted (third-party shims, build output).
@@ -225,6 +230,7 @@ fn lint_crate(root: &Path, krate: &CrateSource, diags: &mut Vec<Diagnostic>) {
             rules::check_no_panic(&rel, &file, &krate.name, diags);
             rules::check_raw_f64(&rel, &file, &krate.name, diags);
             rules::check_thread_registration(&rel, &file, &krate.name, diags);
+            rules::check_bounded_concurrency(&rel, &file, &krate.name, diags);
         }
         if !in_test_dir {
             rules::check_float_cast(&rel, &file, diags);

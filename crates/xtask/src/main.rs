@@ -5,6 +5,7 @@
 //! cargo run -p xtask -- check-metrics FILE
 //! cargo run -p xtask -- check-bench FILE
 //! cargo run -p xtask -- check-trace FILE
+//! cargo run -p xtask -- check-spec FILE
 //! cargo run -p xtask -- bench-diff --baseline DIR --current DIR
 //!                       [--tol-wall F] [--tol-counter F] [--json FILE]
 //! ```
@@ -26,17 +27,20 @@ fn usage() -> ExitCode {
          \x20      ia-lint check-metrics FILE\n\
          \x20      ia-lint check-bench FILE\n\
          \x20      ia-lint check-trace FILE\n\
+         \x20      ia-lint check-spec FILE\n\
          \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
          \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
          \n\
          lint walks the workspace source and enforces the domain rules\n\
          L1 crate-header, L2 no-panic, L3 raw-f64, L4 float-cast,\n\
-         L5 nonfinite, L6 raw-timing, L7 thread-registration.\n\
+         L5 nonfinite, L6 raw-timing, L7 thread-registration,\n\
+         L8 bounded-concurrency.\n\
          See docs/linting.md.\n\
          \n\
          check-metrics validates a CLI `--metrics json` snapshot;\n\
          check-bench validates a bench `BENCH_*.json` report;\n\
-         check-trace validates a Chrome trace-event export.\n\
+         check-trace validates a Chrome trace-event export;\n\
+         check-spec validates an ia-dse experiment spec (TOML/JSON).\n\
          bench-diff compares the `BENCH_*.json` artifacts in --current\n\
          against --baseline and exits 1 on any wall-time regression\n\
          beyond --tol-wall (relative, default 3.0) or counter drift\n\
@@ -164,7 +168,10 @@ fn main() -> ExitCode {
         Some("check-trace") if args.len() == 2 => {
             return run_check("check-trace", &args[1], xtask::schema::check_trace);
         }
-        Some("check-metrics" | "check-bench" | "check-trace") => return usage(),
+        Some("check-spec") if args.len() == 2 => {
+            return run_check("check-spec", &args[1], xtask::schema::check_spec);
+        }
+        Some("check-metrics" | "check-bench" | "check-trace" | "check-spec") => return usage(),
         Some("bench-diff") => return run_bench_diff(&args[1..]),
         _ => {}
     }
@@ -209,7 +216,7 @@ fn main() -> ExitCode {
         _ => {
             print!("{}", xtask::render_text(&diags));
             if diags.is_empty() {
-                eprintln!("ia-lint: clean ({} rules)", 7);
+                eprintln!("ia-lint: clean ({} rules)", 8);
             } else {
                 eprintln!("ia-lint: {} finding(s)", diags.len());
             }

@@ -1,4 +1,4 @@
-//! The seven lint rules (L1–L7). See the crate docs for the rationale
+//! The eight lint rules (L1–L8). See the crate docs for the rationale
 //! behind each and `docs/linting.md` for the user-facing description.
 
 use crate::diag::Diagnostic;
@@ -312,6 +312,128 @@ pub fn check_thread_registration(
                      `// lint: thread-registration`)"
                 ),
             ));
+        }
+    }
+}
+
+/// L8 `bounded-concurrency`: scheduler code in a model crate must not
+/// leak concurrency resources — no unbounded `mpsc::channel()` (a
+/// producer outrunning a consumer grows the queue without limit; use
+/// `mpsc::sync_channel` or an explicit work queue), and no discarded
+/// `thread::spawn` `JoinHandle` (an unjoined worker outlives shutdown
+/// and its telemetry, error, or partial write is lost).
+pub fn check_bounded_concurrency(
+    rel: &Path,
+    file: &SourceFile,
+    krate: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test_code(t.line) || file.waived(t.line, "bounded-concurrency") {
+            continue;
+        }
+        // Unbounded channel: `mpsc :: channel [::<T>] (` (`::` lexes
+        // as two `:` tokens). `sync_channel` is bounded and silent.
+        if t.text == "mpsc"
+            && toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+            && toks.get(i + 3).is_some_and(|n| n.text == "channel")
+        {
+            // Step over an optional turbofish to the call paren.
+            let mut p = i + 4;
+            if toks.get(p).is_some_and(|a| a.text == ":")
+                && toks.get(p + 1).is_some_and(|b| b.text == ":")
+                && toks.get(p + 2).is_some_and(|c| c.text == "<")
+            {
+                let mut angle = 0i64;
+                p += 2;
+                while p < toks.len() {
+                    match toks[p].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => {
+                            angle -= 1;
+                            if angle == 0 {
+                                p += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    p += 1;
+                }
+            }
+            if toks.get(p).is_none_or(|t| t.text != "(") {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                rel.to_path_buf(),
+                t.line,
+                "bounded-concurrency",
+                format!(
+                    "unbounded `mpsc::channel()` in non-test code of model crate `{krate}`; \
+                     use `mpsc::sync_channel` or a bounded work queue so producers \
+                     backpressure (waive with `// lint: bounded-concurrency`)"
+                ),
+            ));
+        }
+        // Discarded spawn handle: a `thread :: spawn ( … ) ;` whole
+        // statement (nothing consumes the returned handle), or the
+        // handle bound to `_`. A handle that is named, pushed, block-
+        // valued, or returned is fine.
+        if t.text == "thread"
+            && toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+            && toks.get(i + 3).is_some_and(|n| n.text == "spawn")
+            && toks.get(i + 4).is_some_and(|p| p.text == "(")
+        {
+            // Step over a `std ::` path prefix to the true context.
+            let mut before = i;
+            if i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && toks[i - 3].text == "std"
+            {
+                before = i - 3;
+            }
+            let statement_position = match before.checked_sub(1).and_then(|p| toks.get(p)) {
+                None => true,
+                Some(prev) => matches!(prev.text.as_str(), ";" | "{" | "}"),
+            };
+            // Walk to the matching close paren of the spawn call; the
+            // handle is dropped only when a `;` follows immediately.
+            let mut depth = 0i64;
+            let mut k = i + 4;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let dropped_on_the_floor =
+                statement_position && toks.get(k + 1).is_some_and(|n| n.text == ";");
+            let bound_to_underscore =
+                before >= 2 && toks[before - 1].text == "=" && toks[before - 2].text == "_";
+            if dropped_on_the_floor || bound_to_underscore {
+                diags.push(Diagnostic::new(
+                    rel.to_path_buf(),
+                    t.line,
+                    "bounded-concurrency",
+                    format!(
+                        "`thread::spawn` with a discarded `JoinHandle` in non-test code of \
+                         model crate `{krate}`; keep the handle and join it on shutdown so \
+                         the worker cannot outlive the scheduler (waive with \
+                         `// lint: bounded-concurrency`)"
+                    ),
+                ));
+            }
         }
     }
 }

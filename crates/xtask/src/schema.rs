@@ -287,6 +287,27 @@ pub fn check_trace(text: &str) -> Result<String, String> {
     ))
 }
 
+/// Validates an `ia-dse` experiment spec (TOML subset or JSON) by
+/// running it through the same parser the engine uses, so the
+/// validator cannot drift from what `iarank dse run` accepts.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns the engine's own parse/validation message on a bad spec.
+pub fn check_spec(text: &str) -> Result<String, String> {
+    let spec = ia_dse::ExperimentSpec::parse_str(text).map_err(|e| e.to_string())?;
+    let grid = spec.grid_size().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "experiment spec `{}` OK: {} axes, {grid} grid point(s), strategy {}, run id {}",
+        spec.name,
+        spec.axes.len(),
+        spec.strategy.label(),
+        spec.run_id()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

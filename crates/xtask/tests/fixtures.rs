@@ -129,6 +129,78 @@ fn l7_unregistered_threads_are_reported() {
 }
 
 #[test]
+fn l8_leaked_concurrency_resources_are_reported() {
+    let diags = lint_fixture("bounded_conc");
+    assert_eq!(diags.len(), 3, "got {diags:?}");
+    for d in &diags {
+        assert_eq!(d.file, Path::new("crates/dse/src/lib.rs"));
+        assert_eq!(d.rule, "bounded-concurrency");
+        assert!(d.message.contains("model crate `dse`"));
+    }
+    assert_eq!(diags[0].line, 9);
+    assert!(diags[0].message.contains("unbounded `mpsc::channel()`"));
+    assert_eq!(diags[1].line, 32);
+    assert!(diags[1].message.contains("discarded `JoinHandle`"));
+    assert_eq!(diags[2].line, 38);
+    assert!(diags[2].message.contains("discarded `JoinHandle`"));
+}
+
+#[test]
+fn cli_check_spec_validates_experiment_specs() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let dir = std::env::temp_dir().join("ia_lint_spec_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let good = dir.join("spec.toml");
+    std::fs::write(
+        &good,
+        "name = \"lint-spec\"\n\n[base]\ngates = 20000\nbunch = 2000\n\n\
+         [[axes]]\nknob = \"m\"\nvalues = [1.5, 2.0]\n",
+    )
+    .expect("writable");
+    let ok = Command::new(bin)
+        .arg("check-spec")
+        .arg(&good)
+        .output()
+        .expect("runs");
+    assert!(
+        ok.status.success(),
+        "valid spec must exit 0: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(
+        stdout.contains("experiment spec `lint-spec` OK"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("2 grid point(s)"), "{stdout}");
+
+    let bad = dir.join("bad_spec.json");
+    std::fs::write(
+        &bad,
+        r#"{"name": "x", "axes": [{"knob": "warp", "values": [1]}]}"#,
+    )
+    .expect("writable");
+    let err = Command::new(bin)
+        .arg("check-spec")
+        .arg(&bad)
+        .output()
+        .expect("runs");
+    assert_eq!(err.status.code(), Some(1), "unknown knob must exit 1");
+    assert!(String::from_utf8_lossy(&err.stderr).contains("invalid spec"));
+
+    let missing = Command::new(bin)
+        .args(["check-spec", "/nonexistent/spec.toml"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "unreadable file must exit 2"
+    );
+}
+
+#[test]
 fn cli_exit_codes_and_text_format() {
     let bin = env!("CARGO_BIN_EXE_ia-lint");
 

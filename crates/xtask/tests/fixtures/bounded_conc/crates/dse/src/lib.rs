@@ -1,0 +1,76 @@
+//! Fixture: concurrency resources in a model crate that leak (or
+//! don't) — unbounded channels and dropped spawn handles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Unbounded channel: flagged.
+pub fn bad_channel() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    tx.send(1).ok();
+    rx.recv().ok();
+}
+
+/// Bounded channel: not flagged.
+pub fn good_channel() {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(4);
+    tx.send(1).ok();
+    rx.recv().ok();
+}
+
+/// Waived unbounded channel: not flagged.
+pub fn waived_channel() {
+    // lint: bounded-concurrency (fixture: drained before return)
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    tx.send(1).ok();
+    rx.recv().ok();
+}
+
+/// Spawn whose handle hits the floor: flagged.
+pub fn bad_fire_and_forget() {
+    // lint: thread-registration (fixture: exercising L8 only)
+    std::thread::spawn(|| ());
+}
+
+/// Spawn bound to `_`, which also drops the handle: flagged.
+pub fn bad_underscore_bind() {
+    // lint: thread-registration (fixture: exercising L8 only)
+    let _ = std::thread::spawn(|| ());
+}
+
+/// Named handle, joined: not flagged (by L8; L7 has its own say).
+pub fn good_joined_spawn() {
+    // lint: thread-registration (fixture: exercising L8 only)
+    let handle = std::thread::spawn(|| ());
+    handle.join().ok();
+}
+
+/// Handle kept as the block's value: not flagged.
+pub fn good_block_value() {
+    let handle = {
+        let noop = ();
+        std::thread::spawn(move || noop) // lint: thread-registration
+    };
+    handle.join().ok();
+}
+
+/// Handles pushed into a pool: not flagged.
+pub fn good_pool(workers: usize) {
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        // lint: thread-registration (fixture: exercising L8 only)
+        handles.push(std::thread::spawn(|| ()));
+    }
+    for handle in handles {
+        handle.join().ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let (_tx, _rx) = std::sync::mpsc::channel::<u64>();
+        std::thread::spawn(|| ());
+    }
+}
