@@ -260,8 +260,10 @@ mod tests {
 
     #[test]
     fn node_prefix_is_normalized() {
-        let mut a = BoundConfig::default();
-        a.node = "tsmc130".to_owned();
+        let a = BoundConfig {
+            node: "tsmc130".to_owned(),
+            ..BoundConfig::default()
+        };
         assert_eq!(a.cache_key(), BoundConfig::default().cache_key());
     }
 
@@ -279,8 +281,10 @@ mod tests {
 
     #[test]
     fn bind_reports_unknown_node_and_bad_pairs() {
-        let mut config = BoundConfig::default();
-        config.node = "65".to_owned();
+        let config = BoundConfig {
+            node: "65".to_owned(),
+            ..BoundConfig::default()
+        };
         let err = config
             .bind()
             .map(|_| ())
@@ -293,9 +297,11 @@ mod tests {
 
     #[test]
     fn solve_produces_a_consistent_summary() {
-        let mut config = BoundConfig::default();
-        config.gates = 20_000;
-        config.bunch = 2_000;
+        let config = BoundConfig {
+            gates: 20_000,
+            bunch: 2_000,
+            ..BoundConfig::default()
+        };
         let summary = config.solve().expect("solves");
         assert!(summary.rank > 0);
         assert!(summary.rank <= summary.total_wires);

@@ -23,10 +23,12 @@ fn flag_lock() -> MutexGuard<'static, ()> {
 
 /// Restores global trace state on drop so a failing assertion cannot
 /// poison the other tests' environment.
-struct TraceGuard(MutexGuard<'static, ()>);
+struct TraceGuard {
+    _lock: MutexGuard<'static, ()>,
+}
 
 fn trace_guard() -> TraceGuard {
-    let guard = TraceGuard(flag_lock());
+    let guard = TraceGuard { _lock: flag_lock() };
     ia_obs::set_enabled(false);
     ia_obs::set_trace_enabled(false);
     ia_obs::set_trace_capacity(

@@ -43,10 +43,14 @@ mod tests {
 
     #[test]
     fn node_prefix_is_normalized() {
-        let mut a = SolveRequest::default();
-        a.node = "tsmc130".to_owned();
-        let mut b = SolveRequest::default();
-        b.node = "130".to_owned();
+        let a = SolveRequest {
+            node: "tsmc130".to_owned(),
+            ..SolveRequest::default()
+        };
+        let b = SolveRequest {
+            node: "130".to_owned(),
+            ..SolveRequest::default()
+        };
         assert_eq!(cache_key(&a), cache_key(&b));
     }
 
@@ -66,9 +70,11 @@ mod tests {
     fn request_and_config_share_one_address_space() {
         // A request and the config it lowers to hash identically, so
         // serve-cached points are dse-run-store hits and vice versa.
-        let mut request = SolveRequest::default();
-        request.gates = 30_000;
-        request.k = Some(2.7);
+        let request = SolveRequest {
+            gates: 30_000,
+            k: Some(2.7),
+            ..SolveRequest::default()
+        };
         assert_eq!(cache_key(&request), request.to_config().cache_key());
         assert_eq!(
             canonical_string(&request),

@@ -821,10 +821,11 @@ mod tests {
     use super::*;
 
     fn small_request() -> SolveRequest {
-        let mut request = SolveRequest::default();
-        request.gates = 20_000;
-        request.bunch = 2_000;
-        request
+        SolveRequest {
+            gates: 20_000,
+            bunch: 2_000,
+            ..SolveRequest::default()
+        }
     }
 
     #[test]

@@ -47,11 +47,13 @@ fn every_table4_grid_point_has_a_distinct_key() {
         for &m in grid(Axis::M) {
             for &c in grid(Axis::C) {
                 for &r in grid(Axis::R) {
-                    let mut request = SolveRequest::default();
-                    request.k = Some(k);
-                    request.miller = m;
-                    request.clock_mhz = c / 1.0e6;
-                    request.fraction = r;
+                    let request = SolveRequest {
+                        k: Some(k),
+                        miller: m,
+                        clock_mhz: c / 1.0e6,
+                        fraction: r,
+                        ..SolveRequest::default()
+                    };
                     assert!(
                         seen.insert(cache_key(&request)),
                         "key collision at K={k} M={m} C={c} R={r}"
@@ -116,10 +118,12 @@ proptest! {
         bunch in 1u64..100_000,
         pairs in 0u64..4,
     ) {
-        let mut base = SolveRequest::default();
-        base.gates = gates;
-        base.bunch = bunch;
-        base.global = pairs;
+        let base = SolveRequest {
+            gates,
+            bunch,
+            global: pairs,
+            ..SolveRequest::default()
+        };
         let key = cache_key(&base);
 
         let mut more_gates = base.clone();

@@ -13,6 +13,10 @@ pub struct Diagnostic {
     pub rule: String,
     /// Human-readable message.
     pub message: String,
+    /// Additional lines (beyond `line`) where a waiver for this rule
+    /// also suppresses the finding — e.g. the `fn` line for a
+    /// `raw-f64` parameter flagged on the parameter's own line.
+    pub waiver_lines: Vec<usize>,
 }
 
 impl Diagnostic {
@@ -24,7 +28,15 @@ impl Diagnostic {
             line,
             rule: rule.to_string(),
             message,
+            waiver_lines: Vec::new(),
         }
+    }
+
+    /// Marks `line` as an additional waiver location for this finding.
+    #[must_use]
+    pub fn also_waivable_at(mut self, line: usize) -> Self {
+        self.waiver_lines.push(line);
+        self
     }
 }
 
@@ -66,7 +78,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
 }
 
 /// Escapes a string for embedding in a JSON literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

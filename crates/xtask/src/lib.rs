@@ -6,7 +6,7 @@
 //! model crates must not panic on library paths, and non-finite
 //! sentinels must never escape unguarded. This pass walks the
 //! workspace source (std-only — the build environment has no network
-//! route to crates.io) and enforces eight domain rules:
+//! route to crates.io) and enforces eleven domain rules:
 //!
 //! * **L1 `crate-header`** — every lib crate declares
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
@@ -31,8 +31,28 @@
 //!   `thread::spawn` `JoinHandle`; queues must backpressure and
 //!   workers must be joinable at shutdown.
 //!
+//! Three rules reason across files over a workspace program model
+//! ([`model`]) of functions, lock sites, call edges and the crate
+//! dependency graph (see [`analysis`]):
+//!
+//! * **L9 `lock-discipline`** — no mutex/rwlock guard held across
+//!   blocking work (I/O, sleeps, the DP solve entry points), directly
+//!   or through a resolved call, and no lock pair acquired in both
+//!   orders anywhere in the workspace.
+//! * **L10 `deterministic-iteration`** — no `HashMap`/`HashSet`
+//!   iteration feeding a serialization, hashing or report path
+//!   without an intervening sort.
+//! * **L11 `crate-layering`** — crate dependencies (manifests and
+//!   `use` paths) descend strictly in the intended crate DAG.
+//!
 //! Any rule can be waived on a specific line with a
-//! `// lint: <rule-name>` comment; see `docs/linting.md`.
+//! `// lint: <rule-name>` comment; see `docs/linting.md`. Waivers are
+//! applied centrally: rules report every candidate site, and the pass
+//! filters suppressed findings afterwards — which lets it audit the
+//! waivers themselves. A waiver that no longer suppresses anything is
+//! reported as `stale-waiver` (disable with
+//! [`LintOptions::allow_stale_waivers`] while migrating), so waivers
+//! cannot silently outlive the code they excused.
 //!
 //! Beyond linting, the binary also validates the observability
 //! artifacts the workspace emits — `check-metrics FILE` for the CLI's
@@ -45,14 +65,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod bench_diff;
 mod diag;
+pub mod model;
+pub mod registry;
 mod rules;
+pub mod sarif;
 pub mod schema;
 mod source;
 
 pub use diag::{render_json, render_text, Diagnostic};
-pub use source::SourceFile;
+pub use sarif::render_sarif;
+pub use source::{SourceFile, Waiver};
 
 use std::fs;
 use std::io;
@@ -189,57 +214,126 @@ fn walk_rs(dir: &Path, in_tests: bool, out: &mut Vec<(PathBuf, bool)>) -> io::Re
     Ok(())
 }
 
-/// Lints the workspace rooted at `root`, returning all diagnostics
-/// sorted by file and line.
+/// Options for a lint pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Skip the stale-waiver audit: `// lint:` comments that suppress
+    /// nothing are tolerated instead of reported. Off by default —
+    /// a waiver that outlived its finding is dead weight that hides
+    /// future findings on the same line.
+    pub allow_stale_waivers: bool,
+}
+
+/// Lints the workspace rooted at `root` with default options,
+/// returning all diagnostics sorted by file and line.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors; unreadable files become diagnostics
 /// rather than aborting the pass.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    for krate in discover(root)? {
-        lint_crate(root, &krate, &mut diags);
+    lint_workspace_opts(root, LintOptions::default())
+}
+
+/// Lints the workspace rooted at `root`, returning all diagnostics
+/// sorted by file and line.
+///
+/// Rules report every candidate site unconditionally; waivers are
+/// applied centrally afterwards so unused waivers can be audited
+/// (see [`LintOptions::allow_stale_waivers`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; unreadable files become diagnostics
+/// rather than aborting the pass.
+pub fn lint_workspace_opts(root: &Path, opts: LintOptions) -> io::Result<Vec<Diagnostic>> {
+    let crates = discover(root)?;
+    let (workspace, mut raw) = model::WorkspaceModel::build(root, &crates);
+
+    for mf in &workspace.files {
+        let (rel, file) = (&mf.rel, &mf.source);
+        if mf.is_lib_root {
+            rules::check_crate_header(rel, file, &mut raw);
+        }
+        if mf.is_model && !mf.in_test_dir {
+            rules::check_no_panic(rel, file, &mf.krate, &mut raw);
+            rules::check_raw_f64(rel, file, &mf.krate, &mut raw);
+            rules::check_thread_registration(rel, file, &mf.krate, &mut raw);
+            rules::check_bounded_concurrency(rel, file, &mf.krate, &mut raw);
+        }
+        if !mf.in_test_dir {
+            rules::check_float_cast(rel, file, &mut raw);
+            rules::check_nonfinite(rel, file, &mut raw);
+            // The observability crate is the one sanctioned home for
+            // raw clock reads; everything else goes through it.
+            if mf.krate != "obs" {
+                rules::check_raw_timing(rel, file, &mut raw);
+            }
+        }
     }
+
+    analysis::check_lock_discipline(&workspace, &mut raw);
+    analysis::check_deterministic_iteration(&workspace, &mut raw);
+    analysis::check_crate_layering(&workspace, &mut raw);
+
+    let mut diags = apply_waivers(&workspace.files, raw, opts.allow_stale_waivers);
     diags.sort();
+    diags.dedup();
     Ok(diags)
 }
 
-fn lint_crate(root: &Path, krate: &CrateSource, diags: &mut Vec<Diagnostic>) {
-    for (path, in_test_dir) in &krate.files {
-        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
-        let text = match fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                diags.push(Diagnostic::new(
-                    rel,
-                    1,
-                    "io",
-                    format!("unreadable file: {e}"),
-                ));
-                continue;
-            }
-        };
-        let file = SourceFile::parse(&text);
+/// Filters waived findings out of `raw`, tracking which waivers
+/// earned their keep; unless `allow_stale`, every unused waiver
+/// becomes a `stale-waiver` diagnostic at its comment line.
+fn apply_waivers(
+    files: &[model::ModelFile],
+    raw: Vec<Diagnostic>,
+    allow_stale: bool,
+) -> Vec<Diagnostic> {
+    let by_rel: std::collections::BTreeMap<&Path, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, mf)| (mf.rel.as_path(), i))
+        .collect();
+    let mut used: Vec<Vec<bool>> = files
+        .iter()
+        .map(|mf| vec![false; mf.source.waivers().len()])
+        .collect();
 
-        let is_lib_root = krate.lib_root.as_deref() == Some(path.as_path());
-        if is_lib_root {
-            rules::check_crate_header(&rel, &file, diags);
+    let mut out = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        if let Some(&fi) = by_rel.get(d.file.as_path()) {
+            for (wi, w) in files[fi].source.waivers().iter().enumerate() {
+                let on_line = w.target_line == d.line || d.waiver_lines.contains(&w.target_line);
+                if on_line && (w.rule == d.rule || w.rule == "all") {
+                    used[fi][wi] = true;
+                    suppressed = true;
+                }
+            }
         }
-        if krate.is_model_crate() && !in_test_dir {
-            rules::check_no_panic(&rel, &file, &krate.name, diags);
-            rules::check_raw_f64(&rel, &file, &krate.name, diags);
-            rules::check_thread_registration(&rel, &file, &krate.name, diags);
-            rules::check_bounded_concurrency(&rel, &file, &krate.name, diags);
+        if !suppressed {
+            out.push(d);
         }
-        if !in_test_dir {
-            rules::check_float_cast(&rel, &file, diags);
-            rules::check_nonfinite(&rel, &file, diags);
-            // The observability crate is the one sanctioned home for
-            // raw clock reads; everything else goes through it.
-            if krate.name != "obs" {
-                rules::check_raw_timing(&rel, &file, diags);
+    }
+
+    if !allow_stale {
+        for (fi, mf) in files.iter().enumerate() {
+            for (wi, w) in mf.source.waivers().iter().enumerate() {
+                if !used[fi][wi] {
+                    out.push(Diagnostic::new(
+                        mf.rel.clone(),
+                        w.comment_line,
+                        "stale-waiver",
+                        format!(
+                            "`// lint: {}` waiver suppresses no finding; remove it (or run \
+                             with --allow-stale-waivers while migrating)",
+                            w.rule
+                        ),
+                    ));
+                }
             }
         }
     }
+    out
 }

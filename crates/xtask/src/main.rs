@@ -1,11 +1,13 @@
 //! `ia-lint` command-line entry point.
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! cargo run -p xtask -- lint [--format text|json|sarif] [--root PATH]
+//!                       [--allow-stale-waivers]
 //! cargo run -p xtask -- check-metrics FILE
 //! cargo run -p xtask -- check-bench FILE
 //! cargo run -p xtask -- check-trace FILE
 //! cargo run -p xtask -- check-spec FILE
+//! cargo run -p xtask -- check-sarif FILE
 //! cargo run -p xtask -- bench-diff --baseline DIR --current DIR
 //!                       [--tol-wall F] [--tol-counter F] [--json FILE]
 //! ```
@@ -23,29 +25,33 @@ use xtask::bench_diff::{diff_dirs, DiffOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ia-lint lint [--format text|json] [--root PATH]\n\
+        "usage: ia-lint lint [--format text|json|sarif] [--root PATH]\n\
+         \x20                [--allow-stale-waivers]\n\
          \x20      ia-lint check-metrics FILE\n\
          \x20      ia-lint check-bench FILE\n\
          \x20      ia-lint check-trace FILE\n\
          \x20      ia-lint check-spec FILE\n\
+         \x20      ia-lint check-sarif FILE\n\
          \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
          \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
          \n\
          lint walks the workspace source and enforces the domain rules\n\
-         L1 crate-header, L2 no-panic, L3 raw-f64, L4 float-cast,\n\
-         L5 nonfinite, L6 raw-timing, L7 thread-registration,\n\
-         L8 bounded-concurrency.\n\
-         See docs/linting.md.\n\
+         {}.\n\
+         Unused `// lint:` waivers are reported as stale-waiver unless\n\
+         --allow-stale-waivers is given. See docs/linting.md.\n\
          \n\
          check-metrics validates a CLI `--metrics json` snapshot;\n\
          check-bench validates a bench `BENCH_*.json` report;\n\
          check-trace validates a Chrome trace-event export;\n\
-         check-spec validates an ia-dse experiment spec (TOML/JSON).\n\
+         check-spec validates an ia-dse experiment spec (TOML/JSON);\n\
+         check-sarif validates a SARIF 2.1.0 log like `lint --format\n\
+         sarif` emits.\n\
          bench-diff compares the `BENCH_*.json` artifacts in --current\n\
          against --baseline and exits 1 on any wall-time regression\n\
          beyond --tol-wall (relative, default 3.0) or counter drift\n\
          beyond --tol-counter (relative, default 0.0).\n\
-         See docs/observability.md."
+         See docs/observability.md.",
+        xtask::registry::usage_list()
     );
     ExitCode::from(2)
 }
@@ -171,23 +177,30 @@ fn main() -> ExitCode {
         Some("check-spec") if args.len() == 2 => {
             return run_check("check-spec", &args[1], xtask::schema::check_spec);
         }
-        Some("check-metrics" | "check-bench" | "check-trace" | "check-spec") => return usage(),
+        Some("check-sarif") if args.len() == 2 => {
+            return run_check("check-sarif", &args[1], xtask::schema::check_sarif);
+        }
+        Some("check-metrics" | "check-bench" | "check-trace" | "check-spec" | "check-sarif") => {
+            return usage()
+        }
         Some("bench-diff") => return run_bench_diff(&args[1..]),
         _ => {}
     }
 
+    let mut opts = xtask::LintOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "lint" if command.is_none() => command = Some("lint"),
             "--format" => match it.next() {
-                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                Some(f) if f == "text" || f == "json" || f == "sarif" => format = f.clone(),
                 _ => return usage(),
             },
             "--root" => match it.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage(),
             },
+            "--allow-stale-waivers" => opts.allow_stale_waivers = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -203,7 +216,7 @@ fn main() -> ExitCode {
         eprintln!("ia-lint: root {} is not a directory", root.display());
         return ExitCode::from(2);
     }
-    let diags = match xtask::lint_workspace(&root) {
+    let diags = match xtask::lint_workspace_opts(&root, opts) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("ia-lint: cannot walk {}: {e}", root.display());
@@ -213,10 +226,11 @@ fn main() -> ExitCode {
 
     match format.as_str() {
         "json" => print!("{}", xtask::render_json(&diags)),
+        "sarif" => print!("{}", xtask::render_sarif(&diags)),
         _ => {
             print!("{}", xtask::render_text(&diags));
             if diags.is_empty() {
-                eprintln!("ia-lint: clean ({} rules)", 8);
+                eprintln!("ia-lint: clean ({} rules)", xtask::registry::RULES.len());
             } else {
                 eprintln!("ia-lint: {} finding(s)", diags.len());
             }

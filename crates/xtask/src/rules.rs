@@ -1,5 +1,11 @@
-//! The eight lint rules (L1–L8). See the crate docs for the rationale
-//! behind each and `docs/linting.md` for the user-facing description.
+//! The per-file lint rules (L1–L8). See the crate docs for the
+//! rationale behind each and `docs/linting.md` for the user-facing
+//! description. The workspace-level rules (L9–L11) live in
+//! [`crate::analysis`].
+//!
+//! Rules emit findings unconditionally (test code aside); waivers are
+//! applied centrally in `lib.rs` so the stale-waiver audit can tell
+//! which `// lint:` comments actually suppressed something.
 
 use crate::diag::Diagnostic;
 use crate::source::{is_float_literal, SourceFile};
@@ -40,7 +46,7 @@ pub fn check_crate_header(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnos
 pub fn check_no_panic(rel: &Path, file: &SourceFile, krate: &str, diags: &mut Vec<Diagnostic>) {
     let toks = &file.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if file.in_test_code(t.line) || file.waived(t.line, "no-panic") {
+        if file.in_test_code(t.line) {
             continue;
         }
         let what = match t.text.as_str() {
@@ -157,20 +163,22 @@ pub fn check_raw_f64(rel: &Path, file: &SourceFile, krate: &str, diags: &mut Vec
                             .is_none_or(|n| n.text == "," || n.text == ")");
                     if is_bare_f64 {
                         let line = toks[ty].line;
-                        if !file.in_test_code(line)
-                            && !file.waived(line, "raw-f64")
-                            && !file.waived(fn_line, "raw-f64")
-                        {
-                            diags.push(Diagnostic::new(
-                                rel.to_path_buf(),
-                                line,
-                                "raw-f64",
-                                format!(
-                                    "raw `f64` parameter in `pub fn {fn_name}` of model crate \
-                                     `{krate}`; use an `ia-units` newtype (waive with \
-                                     `// lint: raw-f64`)"
-                                ),
-                            ));
+                        if !file.in_test_code(line) {
+                            diags.push(
+                                Diagnostic::new(
+                                    rel.to_path_buf(),
+                                    line,
+                                    "raw-f64",
+                                    format!(
+                                        "raw `f64` parameter in `pub fn {fn_name}` of model \
+                                         crate `{krate}`; use an `ia-units` newtype (waive \
+                                         with `// lint: raw-f64`)"
+                                    ),
+                                )
+                                // A waiver on the `fn` line covers every
+                                // parameter of a multi-line signature.
+                                .also_waivable_at(fn_line),
+                            );
                         }
                     }
                 }
@@ -204,7 +212,7 @@ pub fn check_float_cast(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnosti
         if !INT_TYPES.contains(&target.text.as_str()) {
             continue;
         }
-        if file.in_test_code(t.line) || file.waived(t.line, "float-cast") {
+        if file.in_test_code(t.line) {
             continue;
         }
         let prev_is_float = i > 0 && is_float_literal(&toks[i - 1].text);
@@ -250,7 +258,7 @@ pub fn check_raw_timing(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnosti
         if !is_now_call {
             continue;
         }
-        if file.in_test_code(t.line) || file.waived(t.line, "raw-timing") {
+        if file.in_test_code(t.line) {
             continue;
         }
         diags.push(Diagnostic::new(
@@ -295,7 +303,7 @@ pub fn check_thread_registration(
             (Some(":"), Some(":"), Some(entry @ ("spawn" | "scope")), Some("(")) => entry,
             _ => continue,
         };
-        if file.in_test_code(t.line) || file.waived(t.line, "thread-registration") {
+        if file.in_test_code(t.line) {
             continue;
         }
         let registered =
@@ -330,7 +338,7 @@ pub fn check_bounded_concurrency(
 ) {
     let toks = &file.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if file.in_test_code(t.line) || file.waived(t.line, "bounded-concurrency") {
+        if file.in_test_code(t.line) {
             continue;
         }
         // Unbounded channel: `mpsc :: channel [::<T>] (` (`::` lexes
@@ -455,7 +463,7 @@ pub fn check_nonfinite(rel: &Path, file: &SourceFile, diags: &mut Vec<Diagnostic
         if !path_ok {
             continue;
         }
-        if file.in_test_code(t.line) || file.waived(t.line, "nonfinite") {
+        if file.in_test_code(t.line) {
             continue;
         }
         let guarded = (t.line.saturating_sub(3)..=t.line + 3).any(|l| {

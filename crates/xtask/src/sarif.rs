@@ -1,0 +1,64 @@
+//! SARIF 2.1.0 rendering for lint diagnostics.
+//!
+//! The output follows the minimal static-analysis interchange shape
+//! GitHub code scanning and editors consume: one run, the `ia-lint`
+//! driver with its rule table from [`crate::registry`], and one
+//! result per diagnostic with a physical location. `check-sarif` in
+//! [`crate::schema`] validates this same shape, so the emitter and
+//! the validator cannot drift apart silently.
+
+use crate::diag::{escape, Diagnostic};
+use crate::registry;
+
+/// The SARIF 2.1.0 schema URI stamped into the log.
+pub const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders diagnostics as a SARIF 2.1.0 log.
+#[must_use]
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": \"{SCHEMA_URI}\",\n"));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"ia-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    let rules: Vec<_> = registry::RULES
+        .iter()
+        .chain(registry::META_RULES.iter())
+        .collect();
+    for (i, rule) in rules.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            escape(rule.name),
+            escape(rule.id),
+            escape(rule.summary),
+            if i + 1 < rules.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        // SARIF URIs use forward slashes regardless of platform.
+        let uri = d
+            .file
+            .display()
+            .to_string()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [\
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            escape(&d.rule),
+            escape(&d.message),
+            escape(&uri),
+            d.line,
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}

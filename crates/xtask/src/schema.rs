@@ -287,6 +287,124 @@ pub fn check_trace(text: &str) -> Result<String, String> {
     ))
 }
 
+/// Validates a SARIF 2.1.0 log of the shape `ia-lint lint --format
+/// sarif` emits: `version` 2.1.0, at least one run with a named
+/// driver and a rule table, and every result carrying a resolvable
+/// `ruleId`, a `message.text` and a physical location with a
+/// positive `startLine`.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or parse
+/// error) found.
+pub fn check_sarif(text: &str) -> Result<String, String> {
+    let doc = JsonValue::parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = expect_str(&doc, "version", "log")?;
+    if version != "2.1.0" {
+        return Err(format!("log: `version` must be `2.1.0`, got `{version}`"));
+    }
+    if let Some(schema) = doc.get("$schema") {
+        if schema.as_str().is_none() {
+            return Err("log: `$schema` must be a string".to_owned());
+        }
+    }
+    let runs = doc
+        .get("runs")
+        .ok_or("log: missing `runs` array")?
+        .as_array()
+        .ok_or("log: `runs` must be an array")?;
+    if runs.is_empty() {
+        return Err("log: `runs` must be non-empty".to_owned());
+    }
+    let (mut n_rules, mut n_results) = (0usize, 0usize);
+    for (r, run) in runs.iter().enumerate() {
+        let ctx = format!("runs[{r}]");
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or_else(|| format!("{ctx}: missing `tool.driver`"))?;
+        let name = expect_str(driver, "name", &format!("{ctx}.tool.driver"))?;
+        if name.is_empty() {
+            return Err(format!("{ctx}: `tool.driver.name` must be non-empty"));
+        }
+        let rules = driver
+            .get("rules")
+            .ok_or_else(|| format!("{ctx}: missing `tool.driver.rules` array"))?
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: `tool.driver.rules` must be an array"))?;
+        let mut ids: BTreeSet<&str> = BTreeSet::new();
+        for (i, rule) in rules.iter().enumerate() {
+            let rctx = format!("{ctx}.tool.driver.rules[{i}]");
+            let id = expect_str(rule, "id", &rctx)?;
+            if !ids.insert(id) {
+                return Err(format!("{rctx}: duplicate rule id `{id}`"));
+            }
+        }
+        n_rules += ids.len();
+        let results = run
+            .get("results")
+            .ok_or_else(|| format!("{ctx}: missing `results` array"))?
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: `results` must be an array"))?;
+        for (i, result) in results.iter().enumerate() {
+            let rctx = format!("{ctx}.results[{i}]");
+            let rule_id = expect_str(result, "ruleId", &rctx)?;
+            if !ids.contains(rule_id) {
+                return Err(format!(
+                    "{rctx}: `ruleId` `{rule_id}` does not resolve in `tool.driver.rules`"
+                ));
+            }
+            let message = expect_str(
+                result
+                    .get("message")
+                    .ok_or_else(|| format!("{rctx}: missing `message`"))?,
+                "text",
+                &format!("{rctx}.message"),
+            )?;
+            if message.is_empty() {
+                return Err(format!("{rctx}: `message.text` must be non-empty"));
+            }
+            let locations = result
+                .get("locations")
+                .ok_or_else(|| format!("{rctx}: missing `locations` array"))?
+                .as_array()
+                .ok_or_else(|| format!("{rctx}: `locations` must be an array"))?;
+            if locations.is_empty() {
+                return Err(format!("{rctx}: `locations` must be non-empty"));
+            }
+            for (l, loc) in locations.iter().enumerate() {
+                let lctx = format!("{rctx}.locations[{l}]");
+                let phys = loc
+                    .get("physicalLocation")
+                    .ok_or_else(|| format!("{lctx}: missing `physicalLocation`"))?;
+                let uri = expect_str(
+                    phys.get("artifactLocation")
+                        .ok_or_else(|| format!("{lctx}: missing `artifactLocation`"))?,
+                    "uri",
+                    &format!("{lctx}.artifactLocation"),
+                )?;
+                if uri.is_empty() {
+                    return Err(format!("{lctx}: `artifactLocation.uri` must be non-empty"));
+                }
+                let region = phys
+                    .get("region")
+                    .ok_or_else(|| format!("{lctx}: missing `region`"))?;
+                let start = expect_u64(region, "startLine", &format!("{lctx}.region"))?;
+                if start == 0 {
+                    return Err(format!("{lctx}: `region.startLine` must be positive"));
+                }
+            }
+        }
+        n_results += results.len();
+    }
+    Ok(format!(
+        "SARIF log OK: {} run(s), {n_rules} rules, {n_results} result(s)",
+        runs.len()
+    ))
+}
+
 /// Validates an `ia-dse` experiment spec (TOML subset or JSON) by
 /// running it through the same parser the engine uses, so the
 /// validator cannot drift from what `iarank dse run` accepts.
@@ -456,6 +574,73 @@ mod tests {
         assert!(check_trace(backwards)
             .unwrap_err()
             .contains("went backwards"));
+    }
+
+    #[test]
+    fn emitted_sarif_validates_empty_and_nonempty() {
+        use crate::diag::Diagnostic;
+        use std::path::PathBuf;
+
+        let clean = crate::sarif::render_sarif(&[]);
+        let summary = check_sarif(&clean).unwrap();
+        assert!(summary.contains("0 result(s)"), "{summary}");
+
+        let diags = vec![
+            Diagnostic::new(
+                PathBuf::from("crates/core/src/dp.rs"),
+                12,
+                "no-panic",
+                "`.unwrap()` in non-test code".to_owned(),
+            ),
+            Diagnostic::new(
+                PathBuf::from("crates/serve/src/lib.rs"),
+                3,
+                "lock-discipline",
+                "guard held across `\"blocking\"` I/O".to_owned(),
+            ),
+        ];
+        let log = crate::sarif::render_sarif(&diags);
+        let summary = check_sarif(&log).unwrap();
+        assert!(summary.contains("1 run(s)"), "{summary}");
+        assert!(summary.contains("2 result(s)"), "{summary}");
+        // Every rule in the registry is exported to the driver table.
+        let n_rules = crate::registry::RULES.len() + crate::registry::META_RULES.len();
+        assert!(summary.contains(&format!("{n_rules} rules")), "{summary}");
+    }
+
+    #[test]
+    fn sarif_rejects_bad_shapes() {
+        assert!(check_sarif("not json").unwrap_err().contains("invalid JSON"));
+        assert!(check_sarif(r#"{"version":"2.0.0","runs":[]}"#)
+            .unwrap_err()
+            .contains("2.1.0"));
+        assert!(check_sarif(r#"{"version":"2.1.0","runs":[]}"#)
+            .unwrap_err()
+            .contains("non-empty"));
+        // A result whose ruleId is missing from the driver table.
+        let unresolved = r#"{"version":"2.1.0","runs":[{
+            "tool":{"driver":{"name":"ia-lint","rules":[{"id":"no-panic"}]}},
+            "results":[{"ruleId":"ghost","level":"error",
+              "message":{"text":"m"},
+              "locations":[{"physicalLocation":{
+                "artifactLocation":{"uri":"a.rs"},
+                "region":{"startLine":1}}}]}]}]}"#;
+        assert!(check_sarif(unresolved)
+            .unwrap_err()
+            .contains("does not resolve"));
+        // startLine must be 1-indexed.
+        let zero_line = r#"{"version":"2.1.0","runs":[{
+            "tool":{"driver":{"name":"ia-lint","rules":[{"id":"no-panic"}]}},
+            "results":[{"ruleId":"no-panic","level":"error",
+              "message":{"text":"m"},
+              "locations":[{"physicalLocation":{
+                "artifactLocation":{"uri":"a.rs"},
+                "region":{"startLine":0}}}]}]}]}"#;
+        assert!(check_sarif(zero_line).unwrap_err().contains("positive"));
+        let dup = r#"{"version":"2.1.0","runs":[{
+            "tool":{"driver":{"name":"ia-lint","rules":[{"id":"x"},{"id":"x"}]}},
+            "results":[]}]}"#;
+        assert!(check_sarif(dup).unwrap_err().contains("duplicate"));
     }
 
     #[test]

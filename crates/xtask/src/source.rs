@@ -19,6 +19,19 @@ pub struct Token {
     pub line: usize,
 }
 
+/// One `// lint: <rule>` waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-indexed line whose findings the waiver suppresses (the
+    /// comment's own line for trailing waivers, the next line for
+    /// standalone attribute-style waivers).
+    pub target_line: usize,
+    /// 1-indexed line the comment itself sits on.
+    pub comment_line: usize,
+    /// Waived rule name, or `all`.
+    pub rule: String,
+}
+
 /// A parsed source file ready for rule checks.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -27,8 +40,8 @@ pub struct SourceFile {
     pub code_lines: Vec<String>,
     /// Flat token stream of the code text.
     pub tokens: Vec<Token>,
-    /// Lines carrying a `// lint: <rule>` waiver, keyed by rule name.
-    waivers: Vec<(usize, String)>,
+    /// The file's `// lint: <rule>` waiver comments.
+    waivers: Vec<Waiver>,
     /// 1-indexed lines inside `#[cfg(test)]` items.
     test_lines: HashSet<usize>,
 }
@@ -53,7 +66,13 @@ impl SourceFile {
     pub fn waived(&self, line: usize, rule: &str) -> bool {
         self.waivers
             .iter()
-            .any(|(l, r)| *l == line && (r == rule || r == "all"))
+            .any(|w| w.target_line == line && (w.rule == rule || w.rule == "all"))
+    }
+
+    /// All waiver comments in the file, in source order.
+    #[must_use]
+    pub fn waivers(&self) -> &[Waiver] {
+        &self.waivers
     }
 
     /// Whether `line` (1-indexed) is inside a `#[cfg(test)]` item.
@@ -73,7 +92,7 @@ impl SourceFile {
 
 /// Removes comments and string contents; collects waiver comments.
 #[allow(unused_assignments)] // the final flush's state reset is intentionally dead
-fn strip(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
+fn strip(text: &str) -> (Vec<String>, Vec<Waiver>) {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -103,7 +122,11 @@ fn strip(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
                     } else {
                         $line_no
                     };
-                    waivers.push((target, rule));
+                    waivers.push(Waiver {
+                        target_line: target,
+                        comment_line: $line_no,
+                        rule,
+                    });
                 }
                 comment.clear();
                 state = State::Code;
@@ -273,13 +296,16 @@ fn tokenize(code_lines: &[String]) -> Vec<Token> {
                     if d.is_alphanumeric() || d == '_' {
                         i += 1;
                     } else if d == '.'
-                        && i + 1 < bytes.len()
-                        && bytes[i + 1].is_ascii_digit()
                         && bytes
                             .get(i.wrapping_sub(1))
                             .is_some_and(char::is_ascii_digit)
+                        && bytes
+                            .get(i + 1)
+                            .is_none_or(|n| !(*n == '.' || *n == '_' || n.is_alphabetic()))
                     {
-                        // Decimal point inside a float (not `1..10`).
+                        // Decimal point inside (`1.5`) or trailing
+                        // (`1.`) a float — but not a range (`1..10`)
+                        // or an integer method call (`1.max(2)`).
                         i += 1;
                     } else if (d == '+' || d == '-') && matches!(bytes.get(i - 1), Some('e' | 'E'))
                     {

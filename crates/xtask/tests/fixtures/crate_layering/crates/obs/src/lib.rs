@@ -1,0 +1,10 @@
+//! Fixture: the observability leaf reaching up the stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Calls into the HTTP layer from the leaf.
+#[must_use]
+pub fn service() -> &'static str {
+    ia_serve::NAME
+}

@@ -1,0 +1,10 @@
+//! Fixture: a model crate reaching into the product layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Names the exploration engine from a model crate.
+#[must_use]
+pub fn engine() -> &'static str {
+    ia_dse::ENGINE
+}

@@ -1,0 +1,10 @@
+//! Fixture: a product crate depending down the stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Names the solver crate it drives.
+#[must_use]
+pub fn solver() -> &'static str {
+    ia_rank::NAME
+}

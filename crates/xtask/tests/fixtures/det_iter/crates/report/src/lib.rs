@@ -1,0 +1,58 @@
+//! Fixture: hash-map iteration order leaking into emitted bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Renders counters in iteration order: flagged.
+#[must_use]
+pub fn render_unsorted(counters: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in counters {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}
+
+/// Leaks order through a helper that serializes: flagged.
+#[must_use]
+pub fn render_via_helper(counters: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in counters.iter() {
+        emit_line(&mut out, name, *value);
+    }
+    out
+}
+
+fn emit_line(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("{name}={value}\n"));
+}
+
+/// Sorts the keys first: not flagged.
+#[must_use]
+pub fn render_sorted(counters: &HashMap<String, u64>) -> String {
+    let mut names: Vec<&String> = counters.keys().collect();
+    names.sort();
+    let mut out = String::new();
+    for name in &names {
+        out.push_str(name);
+    }
+    out
+}
+
+/// Order-insensitive aggregation: not flagged.
+#[must_use]
+pub fn total(counters: &HashMap<String, u64>) -> u64 {
+    counters.values().sum()
+}
+
+/// Waived: not reported.
+#[must_use]
+pub fn render_waived(counters: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in counters { // lint: deterministic-iteration (fixture waiver)
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}

@@ -1,0 +1,34 @@
+//! Fixture: deterministic iteration — no findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Sorts hash-map keys before rendering.
+#[must_use]
+pub fn render_sorted(counters: &HashMap<String, u64>) -> String {
+    let mut names: Vec<&String> = counters.keys().collect();
+    names.sort();
+    let mut out = String::new();
+    for name in &names {
+        out.push_str(name);
+    }
+    out
+}
+
+/// A `BTreeMap` already iterates in key order.
+#[must_use]
+pub fn render_tree(ordered: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in ordered {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}
+
+/// Order-insensitive reduction.
+#[must_use]
+pub fn total(counters: &HashMap<String, u64>) -> u64 {
+    counters.values().sum()
+}

@@ -20,3 +20,17 @@ pub fn quantize_waived(x: f64) -> u64 {
 pub fn widen(n: u32) -> u64 {
     n as u64
 }
+
+/// Trailing-dot literal: `1.` is still a float; the cast is flagged.
+#[must_use]
+pub fn unit_scale() -> u64 {
+    1. as u64
+}
+
+/// Integer ranges stay integer ranges (`1..10` is not `1.` + `.10`),
+/// and a method call on an integer literal is not a float either.
+#[must_use]
+pub fn range_len() -> u64 {
+    let n = (1..10).count() as u64;
+    n + 1.max(0) as u64
+}

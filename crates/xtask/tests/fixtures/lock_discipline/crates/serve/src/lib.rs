@@ -1,0 +1,90 @@
+//! Fixture: guards held across blocking work and lock pairs taken
+//! in both orders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Shared serving state.
+pub struct Shared {
+    /// Pending request lines.
+    pub queue: Mutex<Vec<String>>,
+    /// In-memory append log.
+    pub log: Mutex<Vec<u8>>,
+}
+
+/// Locks a mutex, tolerating poison.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Holds the queue guard across file I/O: flagged.
+pub fn held_across_io(s: &Shared) {
+    let queue = lock(&s.queue);
+    fs::write("out.txt", queue.join(",")).ok();
+}
+
+/// Blocks through a helper while holding the guard: flagged.
+pub fn persist_under_guard(s: &Shared) {
+    let queue = lock(&s.queue);
+    persist(&queue);
+}
+
+/// Writes entries to disk.
+fn persist(entries: &[String]) {
+    fs::write("out.txt", entries.join(",")).ok();
+}
+
+/// Takes `queue` then `log`: one half of an inconsistent pair.
+pub fn queue_then_log(s: &Shared) {
+    let queue = lock(&s.queue);
+    let mut log = lock(&s.log);
+    log.extend(queue.join(",").into_bytes());
+}
+
+/// Takes `log` then `queue`: the other half; both inner acquisition
+/// sites are flagged.
+pub fn log_then_queue(s: &Shared) {
+    let mut log = lock(&s.log);
+    let queue = lock(&s.queue);
+    log.extend(queue.join(",").into_bytes());
+}
+
+/// Drops the guard before blocking: not flagged.
+pub fn drop_before_io(s: &Shared) {
+    let queue = lock(&s.queue);
+    let joined = queue.join(",");
+    drop(queue);
+    fs::write("out.txt", joined).ok();
+}
+
+/// Flushing the guarded writer itself is the lock doing its job.
+pub fn flush_own(s: &Shared) {
+    let mut log = lock(&s.log);
+    log.flush().ok();
+}
+
+/// Waived: not reported.
+pub fn waived_io(s: &Shared) {
+    let queue = lock(&s.queue);
+    // lint: lock-discipline (fixture: exercising the waiver)
+    fs::write("waived.txt", queue.join(",")).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s = Shared {
+            queue: Mutex::new(Vec::new()),
+            log: Mutex::new(Vec::new()),
+        };
+        let queue = lock(&s.queue);
+        fs::write("test.txt", queue.join(",")).ok();
+    }
+}

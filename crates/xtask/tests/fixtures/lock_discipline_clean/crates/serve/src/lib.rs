@@ -1,0 +1,56 @@
+//! Fixture: disciplined lock usage — no findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Shared serving state.
+pub struct Shared {
+    /// Pending request lines.
+    pub queue: Mutex<Vec<String>>,
+    /// In-memory append log.
+    pub log: Mutex<Vec<u8>>,
+}
+
+/// Locks a mutex, tolerating poison.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Copies under a scoped guard, then does the I/O guard-free.
+pub fn drain_then_write(s: &Shared) {
+    let joined = { lock(&s.queue).join(",") };
+    fs::write("out.txt", joined).ok();
+}
+
+/// Consistent `queue` then `log` order.
+pub fn enqueue(s: &Shared, line: String) {
+    let mut queue = lock(&s.queue);
+    queue.push(line);
+    let mut log = lock(&s.log);
+    log.extend(queue.join(",").into_bytes());
+}
+
+/// The same order again: consistent, no finding.
+pub fn snapshot(s: &Shared) -> usize {
+    let queue = lock(&s.queue);
+    let log = lock(&s.log);
+    queue.len() + log.len()
+}
+
+/// Flushing the guarded writer itself stays silent.
+pub fn flush_log(s: &Shared) {
+    let mut log = lock(&s.log);
+    log.flush().ok();
+}
+
+/// Dropping the guard before blocking stays silent.
+pub fn rotate(s: &Shared) {
+    let log = lock(&s.log);
+    let bytes = log.clone();
+    drop(log);
+    fs::write("log.txt", bytes).ok();
+}

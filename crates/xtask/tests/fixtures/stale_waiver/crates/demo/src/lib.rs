@@ -1,0 +1,16 @@
+//! Fixture: one stale waiver, one used waiver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Integer widening: there is nothing here for the waiver to waive.
+#[must_use]
+pub fn widen(n: u32) -> u64 {
+    n as u64 // lint: float-cast (stale: an integer→integer cast)
+}
+
+/// A waiver that suppresses a real finding stays silent.
+#[must_use]
+pub fn quantize(x: f64) -> u64 {
+    x.floor() as u64 // lint: float-cast (used)
+}

@@ -1,0 +1,173 @@
+//! Property tests for the lint source model: comment/string stripping and
+//! waiver collection over randomly assembled Rust-ish files.
+
+use proptest::prelude::*;
+use xtask::SourceFile;
+
+/// Marker that only ever appears inside string literals or comments in the
+/// generated sources, so it must never survive into `code_lines`.
+const SECRET: &str = "SECRET_PAYLOAD";
+
+/// One generated source line, described abstractly so the test body can
+/// compute the expected waiver set alongside the rendered text.
+#[derive(Debug, Clone)]
+enum Line {
+    /// Plain code from a fixed pool (no comments, no strings).
+    Code(usize),
+    /// A line whose only occurrence of [`SECRET`] is inside a literal or
+    /// comment that the stripper must remove.
+    Secret(usize),
+    /// `let x = 0; // lint: <rule> why` — waives its own line.
+    TrailingWaiver(usize),
+    /// `// lint: <rule> why` on a line of its own — waives the next line.
+    StandaloneWaiver(usize),
+}
+
+const CODE_POOL: &[&str] = &[
+    "let total = base + delta;",
+    "fn helper(n: u64) -> u64 {",
+    "    queue.push(item);",
+    "}",
+    "",
+    "    let mass = spec.mass();",
+];
+
+const RULE_POOL: &[&str] = &["float-cast", "lock-discipline", "unit-suffix", "all"];
+
+/// Renderings of [`SECRET`] that stripping must erase: plain, escaped,
+/// raw and byte strings, plus line and block comments. The raw-string
+/// variant smuggles in a `// lint:` marker to check that waivers inside
+/// string literals are never honoured.
+const SECRET_POOL: &[&str] = &[
+    "let s = \"SECRET_PAYLOAD\";",
+    "let e = \"esc \\\" SECRET_PAYLOAD \\\" end\";",
+    "let r = r#\"SECRET_PAYLOAD // lint: all smuggled\"#;",
+    "let b = b\"SECRET_PAYLOAD\";",
+    "// SECRET_PAYLOAD in a comment",
+    "/* SECRET_PAYLOAD */ let z = 3;",
+];
+
+fn line_strategy() -> impl Strategy<Value = Line> {
+    prop_oneof![
+        (0..CODE_POOL.len()).prop_map(Line::Code),
+        (0..SECRET_POOL.len()).prop_map(Line::Secret),
+        (0..RULE_POOL.len()).prop_map(Line::TrailingWaiver),
+        (0..RULE_POOL.len()).prop_map(Line::StandaloneWaiver),
+    ]
+}
+
+fn file_strategy() -> impl Strategy<Value = Vec<Line>> {
+    proptest::collection::vec(line_strategy(), 1..40)
+}
+
+/// Renders the abstract lines to source text and the expected waiver set
+/// as `(comment_line, target_line, rule)` triples, mirroring the documented
+/// placement rules (trailing covers its own line, standalone the next).
+fn render(lines: &[Line]) -> (String, Vec<(usize, usize, &'static str)>) {
+    let mut text = Vec::new();
+    let mut expected = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        match line {
+            Line::Code(i) => text.push(CODE_POOL[*i].to_string()),
+            Line::Secret(i) => text.push(SECRET_POOL[*i].to_string()),
+            Line::TrailingWaiver(i) => {
+                let rule = RULE_POOL[*i];
+                text.push(format!("let waived = 0; // lint: {rule} generated"));
+                expected.push((line_no, line_no, rule));
+            }
+            Line::StandaloneWaiver(i) => {
+                let rule = RULE_POOL[*i];
+                text.push(format!("// lint: {rule} generated"));
+                expected.push((line_no, line_no + 1, rule));
+            }
+        }
+    }
+    (text.join("\n"), expected)
+}
+
+proptest! {
+    #[test]
+    fn strip_preserves_line_count(lines in file_strategy()) {
+        let (text, _) = render(&lines);
+        let sf = SourceFile::parse(&text);
+        prop_assert_eq!(sf.code_lines.len(), text.split('\n').count());
+        prop_assert_eq!(sf.code_lines.len(), lines.len());
+        // Every token cites a line inside the file.
+        for tok in &sf.tokens {
+            prop_assert!(tok.line >= 1 && tok.line <= lines.len());
+        }
+    }
+
+    #[test]
+    fn string_and_comment_contents_never_reach_code_lines(lines in file_strategy()) {
+        let (text, _) = render(&lines);
+        let sf = SourceFile::parse(&text);
+        for (idx, code) in sf.code_lines.iter().enumerate() {
+            prop_assert!(
+                !code.contains(SECRET),
+                "line {} leaked literal contents: {:?}",
+                idx + 1,
+                code
+            );
+        }
+        // The stripped text still carries the surrounding code.
+        for (idx, line) in lines.iter().enumerate() {
+            if matches!(line, Line::Secret(5)) {
+                prop_assert!(sf.code_lines[idx].contains("let z = 3;"));
+            }
+        }
+    }
+
+    #[test]
+    fn waivers_cover_exactly_the_documented_lines(lines in file_strategy()) {
+        let (text, expected) = render(&lines);
+        let sf = SourceFile::parse(&text);
+        let got: Vec<(usize, usize, String)> = sf
+            .waivers()
+            .iter()
+            .map(|w| (w.comment_line, w.target_line, w.rule.clone()))
+            .collect();
+        let want: Vec<(usize, usize, String)> = expected
+            .iter()
+            .map(|(c, t, r)| (*c, *t, (*r).to_string()))
+            .collect();
+        prop_assert_eq!(got, want);
+        for (_, target, rule) in &expected {
+            prop_assert!(sf.waived(*target, rule));
+            // `lint: all` covers any rule on its target line.
+            if *rule == "all" {
+                prop_assert!(sf.waived(*target, "float-cast"));
+            }
+        }
+    }
+
+    #[test]
+    fn waiver_reflow_round_trips(rules in proptest::collection::vec(0..RULE_POOL.len(), 1..12)) {
+        // The same logical waiver set rendered trailing vs. attribute-style
+        // (as rustfmt reflows long lines) must waive the same statements.
+        let trailing: Vec<Line> = rules.iter().map(|r| Line::TrailingWaiver(*r)).collect();
+        let standalone: Vec<Line> = rules.iter().map(|r| Line::StandaloneWaiver(*r)).collect();
+        let (t_text, _) = render(&trailing);
+        // Attribute style needs the waived statement on the following line.
+        let s_text: String = standalone
+            .iter()
+            .map(|line| {
+                let Line::StandaloneWaiver(i) = line else { unreachable!() };
+                format!("// lint: {} generated\nlet waived = 0;\n", RULE_POOL[*i])
+            })
+            .collect();
+        let t_sf = SourceFile::parse(&t_text);
+        let s_sf = SourceFile::parse(&s_text);
+        prop_assert_eq!(t_sf.waivers().len(), rules.len());
+        prop_assert_eq!(s_sf.waivers().len(), rules.len());
+        for (idx, r) in rules.iter().enumerate() {
+            let rule = RULE_POOL[*r];
+            // Trailing file: statement k sits on line k+1.
+            prop_assert!(t_sf.waived(idx + 1, rule));
+            // Reflowed file: statement k sits on line 2k+2.
+            prop_assert!(s_sf.waived(2 * idx + 2, rule));
+            prop_assert_eq!(s_sf.waivers()[idx].comment_line, 2 * idx + 1);
+        }
+    }
+}
