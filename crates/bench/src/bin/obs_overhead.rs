@@ -10,6 +10,14 @@
 //! * **tracing** — aggregation plus per-event trace recording into the
 //!   bounded buffers, the most expensive configuration.
 //!
+//! A second sweep measures the structured-logging call path
+//! (`ia_obs::log`) in isolation: **log-disabled** (the level gate is a
+//! relaxed load and a branch — the price every ungated call site
+//! pays), **log-enabled** (record construction into the bounded
+//! thread-local buffer), and **log-rate-limited** (a `RateLimit`
+//! admitting a 64-record burst per second, the recommended hot-path
+//! configuration).
+//!
 //! Build the compiled-out baseline with
 //! `cargo run --release -p ia-bench --no-default-features --bin obs_overhead`
 //! and compare the disabled-case `wall_ns` of the two artifacts (the
@@ -20,10 +28,13 @@
 //! buffer as `TRACE_obs_overhead.json` (Chrome trace-event format).
 
 use ia_bench::BenchReport;
-use ia_obs::Stopwatch;
+use ia_obs::json::JsonValue;
+use ia_obs::log::{log, log_limited, RateLimit};
+use ia_obs::{LogLevel, Stopwatch};
 use ia_rank::{dp, toy};
 
 const ITERATIONS: u64 = 100;
+const LOG_CALLS: u64 = 100_000;
 
 fn main() {
     let inst = toy::budget_limited(400, 2, 300.0);
@@ -74,6 +85,59 @@ fn main() {
     }
     ia_obs::set_enabled(true);
     ia_obs::set_trace_enabled(false);
+
+    println!("\nStructured logging, {LOG_CALLS} calls per case");
+    // A burst of 64 records per second: the recommended hot-path
+    // configuration (each case finishes well inside one window, so the
+    // admitted count is deterministic).
+    static LIMIT: RateLimit = RateLimit::new(64, 1_000_000_000);
+    for (label, level, limited) in [
+        ("log-disabled", None, false),
+        ("log-enabled", Some(LogLevel::Debug), false),
+        ("log-rate-limited", Some(LogLevel::Debug), true),
+    ] {
+        ia_obs::reset();
+        let _ = ia_obs::drain_logs();
+        ia_obs::set_log_level(level);
+        let sw = Stopwatch::start();
+        for i in 0..LOG_CALLS {
+            let fields = vec![("i", JsonValue::UInt(i))];
+            if limited {
+                log_limited(
+                    &LIMIT,
+                    LogLevel::Debug,
+                    "bench.obs_overhead",
+                    "bench record",
+                    fields,
+                );
+            } else {
+                log(
+                    LogLevel::Debug,
+                    "bench.obs_overhead",
+                    "bench record",
+                    fields,
+                );
+            }
+        }
+        let wall_ns = sw.elapsed_ns();
+        let batch = ia_obs::drain_logs();
+        report.case(
+            [
+                ("collector", label.into()),
+                ("telemetry_compiled", telemetry_compiled.into()),
+                ("calls", LOG_CALLS.into()),
+            ],
+            wall_ns,
+        );
+        println!(
+            "{label:<16} : {:>12} ns total, {:>6} ns/call, {} record(s) retained",
+            wall_ns,
+            wall_ns / LOG_CALLS,
+            batch.records.len()
+        );
+    }
+    ia_obs::set_log_level(None);
+
     println!("\n(checksum {checksum}, ignore — defeats dead-code elimination)");
     match report.write() {
         Ok(path) => println!("wrote {}", path.display()),

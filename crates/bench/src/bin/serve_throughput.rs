@@ -141,6 +141,7 @@ fn main() {
         queue_depth: 64,
         request_timeout: Duration::from_secs(60),
         max_body_bytes: 64 * 1024,
+        ..ServerConfig::default()
     })
     .expect("bind loopback server");
     let addr = server.local_addr();

@@ -66,15 +66,21 @@ pub struct MetricsOptions {
     pub profile: bool,
     /// Path for the Chrome trace-event export, if `--trace` was given.
     pub trace: Option<String>,
+    /// Structured-log verbosity ceiling, if `--log-level` was given.
+    pub log_level: Option<ia_obs::LogLevel>,
+    /// JSON-lines destination for structured logs, if `--log-file`
+    /// was given (implies `--log-level info` unless set explicitly).
+    pub log_file: Option<String>,
 }
 
 impl MetricsOptions {
-    /// Reads `--metrics text|json`, `--profile` and `--trace PATH`
-    /// from the parsed args.
+    /// Reads `--metrics text|json`, `--profile`, `--trace PATH`,
+    /// `--log-level LEVEL` and `--log-file PATH` from the parsed args.
     ///
     /// # Errors
     ///
-    /// Returns [`CliError::Domain`] for an unrecognised metrics format.
+    /// Returns [`CliError::Domain`] for an unrecognised metrics format
+    /// or log level.
     pub fn from_args(args: &ParsedArgs) -> Result<Self, CliError> {
         let format = match args.get_str("metrics").as_deref() {
             None => None,
@@ -90,10 +96,21 @@ impl MetricsOptions {
             .get_str("profile")
             .is_some_and(|v| v == "true" || v == "1");
         let trace = args.get_str("trace");
+        let log_file = args.get_str("log-file");
+        let log_level = match args.get_str("log-level").as_deref() {
+            None => log_file.as_ref().map(|_| ia_obs::LogLevel::Info),
+            Some(raw) => Some(ia_obs::LogLevel::parse(raw).ok_or_else(|| {
+                CliError::Domain(format!(
+                    "unknown log level `{raw}` (expected error, warn, info, debug or trace)"
+                ))
+            })?),
+        };
         Ok(Self {
             format,
             profile,
             trace,
+            log_level,
+            log_file,
         })
     }
 
@@ -107,6 +124,37 @@ impl MetricsOptions {
     #[must_use]
     pub fn wants_trace(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Whether structured logging must be enabled before dispatch.
+    #[must_use]
+    pub fn wants_logging(&self) -> bool {
+        self.log_level.is_some()
+    }
+
+    /// Drains the structured log records buffered during the command
+    /// and appends them (JSON lines) to the `--log-file` path.
+    /// Returns the path written, or `None` when no file was requested
+    /// or nothing was logged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Domain`] when the file cannot be written.
+    pub fn write_logs(&self) -> Result<Option<String>, CliError> {
+        if !self.wants_logging() {
+            return Ok(None);
+        }
+        let batch = ia_obs::drain_logs();
+        let Some(path) = &self.log_file else {
+            return Ok(None);
+        };
+        if batch.records.is_empty() {
+            return Ok(None);
+        }
+        batch
+            .append_to(std::path::Path::new(path))
+            .map_err(|e| CliError::Domain(format!("cannot write log file {path}: {e}")))?;
+        Ok(Some(path.clone()))
     }
 
     /// Drains the buffered trace events and writes the Chrome
@@ -635,6 +683,8 @@ SERVE FLAGS:
   --cache-entries N        solve-cache capacity          [256]
   --queue-depth N          accept-queue bound (429 past it) [64]
   --request-timeout-ms N   per-request deadline          [10000]
+  --diag-dir DIR           where diagnostic bundles land [.]
+  --flight-interval-ms N   flight-recorder snapshot period [500]
 
 TELEMETRY FLAGS (any command):
   --metrics text|json      print solver counters and span timings after
@@ -645,6 +695,11 @@ TELEMETRY FLAGS (any command):
   --trace FILE.json        record span/counter events and write a
                            Chrome trace-event file (open it at
                            ui.perfetto.dev or chrome://tracing)
+  --log-level LEVEL        enable structured logging at error|warn|
+                           info|debug|trace
+  --log-file FILE.jsonl    append structured log records as JSON lines
+                           (implies --log-level info; under `serve`
+                           the server appends continuously)
 
 EXAMPLES:
   iarank rank --node 130 --gates 1000000 --detail true
@@ -677,6 +732,9 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     let cache_entries = args.get("cache-entries", 256usize)?;
     let queue_depth = args.get("queue-depth", 64usize)?;
     let request_timeout_ms = args.get("request-timeout-ms", 10_000u64)?;
+    let log_file = args.get_str("log-file");
+    let diag_dir = args.get_str("diag-dir").unwrap_or_else(|| ".".to_owned());
+    let flight_interval_ms = args.get("flight-interval-ms", 500u64)?;
     args.reject_unknown()?;
 
     let config = ia_serve::ServerConfig {
@@ -685,6 +743,9 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         cache_entries,
         queue_depth,
         request_timeout: std::time::Duration::from_millis(request_timeout_ms),
+        log_file: log_file.map(std::path::PathBuf::from),
+        diag_dir: std::path::PathBuf::from(diag_dir),
+        flight_interval: std::time::Duration::from_millis(flight_interval_ms),
         ..ia_serve::ServerConfig::default()
     };
     let server = ia_serve::Server::bind(config).map_err(domain)?;
@@ -694,6 +755,23 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(stdout, "listening on {}", server.local_addr());
         let _ = stdout.flush();
     }
+    // On SIGTERM, write a diagnostic bundle and exit 143 (128 + 15)
+    // without waiting for in-flight work — the flight recorder's job
+    // is to preserve the evidence, not to drain gracefully (that is
+    // `POST /shutdown`). The handler itself only sets a flag; this
+    // watcher thread does the I/O.
+    crate::signal::install_sigterm();
+    let diagnostics = server.diagnostics();
+    std::thread::spawn(move || loop {
+        if crate::signal::sigterm_received() {
+            match diagnostics.dump("sigterm") {
+                Ok(path) => eprintln!("sigterm: diagnostic bundle written to {}", path.display()),
+                Err(e) => eprintln!("sigterm: failed to write diagnostic bundle: {e}"),
+            }
+            std::process::exit(143);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
     let served = server.join();
     Ok(format!("served {served} requests"))
 }

@@ -1,0 +1,57 @@
+//! Minimal SIGTERM observation for `iarank serve`.
+//!
+//! The workspace is std-only, and std exposes no signal API, so the
+//! handler is installed through the one C function the platform
+//! already links: `signal(2)`. The handler body is a single relaxed
+//! atomic store — the only kind of work that is async-signal-safe —
+//! and [`sigterm_received`] is polled from an ordinary watcher thread
+//! that does the real shutdown work (writing the diagnostic bundle).
+//!
+//! On non-Unix targets installation is a no-op and the flag never
+//! fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; read by the watcher thread.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, TERM};
+
+    /// `SIGTERM` on every Unix platform the toolchain targets.
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // Async-signal-safe: nothing but the atomic store.
+        TERM.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the C standard library's handler
+        // registration; the handler only performs an atomic store.
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGTERM handler (idempotent; no-op off Unix).
+pub fn install_sigterm() {
+    imp::install();
+}
+
+/// Whether a SIGTERM has arrived since [`install_sigterm`].
+#[must_use]
+pub fn sigterm_received() -> bool {
+    TERM.load(Ordering::Relaxed)
+}

@@ -17,7 +17,9 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64};
 
-use ia_obs::counter_add;
+use ia_obs::json::JsonValue;
+use ia_obs::log::{self as obs_log, LogLevel};
+use ia_obs::{counter_add, Stopwatch};
 use ia_rank::sweep::{CachedSolve, PointCache};
 
 use crate::error::DseError;
@@ -59,6 +61,26 @@ pub struct SolvedPoint {
     pub solve: CachedSolve,
 }
 
+/// Phase timings for one exploration round, as reported in run
+/// results (`rounds_detail` in `ia-serve`'s job JSON) and the
+/// per-round `dse.round` log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTiming {
+    /// Zero-based round index.
+    pub round: u64,
+    /// Points scheduled for execution this round.
+    pub points: u64,
+    /// Points solved fresh this round.
+    pub solved: u64,
+    /// Points answered by the cache this round.
+    pub cached: u64,
+    /// Wall time spent in the execute phase (scheduler), nanoseconds.
+    pub execute_ns: u64,
+    /// Wall time spent in the refine phase (cliff detection and grid
+    /// bisection), nanoseconds.
+    pub refine_ns: u64,
+}
+
 /// What an engine invocation accomplished.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
@@ -76,6 +98,8 @@ pub struct RunOutcome {
     pub skipped: u64,
     /// Refinement rounds executed.
     pub rounds: u64,
+    /// Phase timings for each executed round, in round order.
+    pub round_timings: Vec<RoundTiming>,
     /// Whether every expanded point completed and refinement ran to
     /// convergence.
     pub complete: bool,
@@ -152,12 +176,15 @@ pub fn explore(
     let mut cached = 0u64;
     let mut skipped = 0u64;
     let mut rounds = 0u64;
+    let mut round_timings: Vec<RoundTiming> = Vec::new();
     let mut converged = false;
 
     for round in 0..max_rounds {
         rounds += 1;
         counter_add(names::ROUNDS, 1);
+        let round_points = u64::try_from(pending.len()).unwrap_or(u64::MAX);
         let budget = opts.budget.map(|b| b.saturating_sub(solved));
+        let execute_watch = Stopwatch::start();
         let exec = execute(
             &pending,
             cache,
@@ -165,6 +192,7 @@ pub fn explore(
             opts.cancel,
             opts.progress,
         )?;
+        let execute_ns = execute_watch.elapsed_ns();
         solved += exec.solved;
         cached += exec.cached;
         skipped = exec.skipped;
@@ -180,53 +208,86 @@ pub fn explore(
                 );
             }
         }
-        if skipped > 0 {
-            // Budget exhausted or cancelled: stop without refining so
-            // a resume continues from exactly this frontier.
-            break;
-        }
-        if round + 1 == max_rounds {
-            // The strategy's refinement budget is spent; the run is
-            // as complete as the spec asked it to be.
-            converged = true;
-            break;
-        }
 
-        // Adaptive refinement: bisect every cliff interval.
-        let done: Vec<&SolvedPoint> = completed.values().collect();
-        let coords: Vec<&[f64]> = done.iter().map(|p| p.coords.as_slice()).collect();
-        let solves: Vec<CachedSolve> = done.iter().map(|p| p.solve).collect();
-        let cliffs = detect_cliffs(&coords, &solves, spec.axes.len(), threshold);
-        let mut grew = false;
-        for cliff in &cliffs {
-            let Some(axis) = spec.axes.get(cliff.axis) else {
-                continue;
-            };
-            let Some(values) = axis_values.get_mut(cliff.axis) else {
-                continue;
-            };
-            if let Some(mid) = midpoint(cliff.lo, cliff.hi, axis.knob.is_integer()) {
-                if !values.iter().any(|v| v.total_cmp(&mid).is_eq()) {
-                    values.push(mid);
-                    values.sort_by(f64::total_cmp);
-                    grew = true;
+        // The refine phase: decide whether (and where) the grid grows.
+        // The labeled block keeps the loop's exit conditions in one
+        // place while still timing the phase on every path out.
+        let refine_watch = Stopwatch::start();
+        let stop = 'refine: {
+            if skipped > 0 {
+                // Budget exhausted or cancelled: stop without refining
+                // so a resume continues from exactly this frontier.
+                break 'refine true;
+            }
+            if round + 1 == max_rounds {
+                // The strategy's refinement budget is spent; the run
+                // is as complete as the spec asked it to be.
+                converged = true;
+                break 'refine true;
+            }
+
+            // Adaptive refinement: bisect every cliff interval.
+            let done: Vec<&SolvedPoint> = completed.values().collect();
+            let coords: Vec<&[f64]> = done.iter().map(|p| p.coords.as_slice()).collect();
+            let solves: Vec<CachedSolve> = done.iter().map(|p| p.solve).collect();
+            let cliffs = detect_cliffs(&coords, &solves, spec.axes.len(), threshold);
+            let mut grew = false;
+            for cliff in &cliffs {
+                let Some(axis) = spec.axes.get(cliff.axis) else {
+                    continue;
+                };
+                let Some(values) = axis_values.get_mut(cliff.axis) else {
+                    continue;
+                };
+                if let Some(mid) = midpoint(cliff.lo, cliff.hi, axis.knob.is_integer()) {
+                    if !values.iter().any(|v| v.total_cmp(&mid).is_eq()) {
+                        values.push(mid);
+                        values.sort_by(f64::total_cmp);
+                        grew = true;
+                    }
                 }
             }
-        }
-        if !grew {
-            converged = true;
+            if !grew {
+                converged = true;
+                break 'refine true;
+            }
+            let views: Vec<&[f64]> = axis_values.iter().map(Vec::as_slice).collect();
+            let mut refined = expand_product(spec, &views)?;
+            refined.retain(|p| !completed.contains_key(&p.key()));
+            apply_cap(spec, &mut refined, completed.len());
+            total_points = completed.len() + refined.len();
+            if refined.is_empty() {
+                converged = true;
+                break 'refine true;
+            }
+            pending = refined;
+            false
+        };
+        let timing = RoundTiming {
+            round,
+            points: round_points,
+            solved: exec.solved,
+            cached: exec.cached,
+            execute_ns,
+            refine_ns: refine_watch.elapsed_ns(),
+        };
+        obs_log::log(
+            LogLevel::Debug,
+            "dse.round",
+            "round executed",
+            vec![
+                ("round", JsonValue::UInt(timing.round)),
+                ("points", JsonValue::UInt(timing.points)),
+                ("solved", JsonValue::UInt(timing.solved)),
+                ("cached", JsonValue::UInt(timing.cached)),
+                ("execute_ns", JsonValue::UInt(timing.execute_ns)),
+                ("refine_ns", JsonValue::UInt(timing.refine_ns)),
+            ],
+        );
+        round_timings.push(timing);
+        if stop {
             break;
         }
-        let views: Vec<&[f64]> = axis_values.iter().map(Vec::as_slice).collect();
-        let mut refined = expand_product(spec, &views)?;
-        refined.retain(|p| !completed.contains_key(&p.key()));
-        apply_cap(spec, &mut refined, completed.len());
-        total_points = completed.len() + refined.len();
-        if refined.is_empty() {
-            converged = true;
-            break;
-        }
-        pending = refined;
     }
 
     let mut points: Vec<SolvedPoint> = completed.into_values().collect();
@@ -248,6 +309,7 @@ pub fn explore(
         cached,
         skipped,
         rounds,
+        round_timings,
         complete: skipped == 0 && converged,
         points,
     })
@@ -289,13 +351,41 @@ fn finish(
     completed: BTreeMap<u128, CachedSolve>,
     opts: &RunOptions<'_>,
 ) -> Result<RunOutcome, DseError> {
+    // Correlate the whole invocation — per-round records, scheduler
+    // worker records, trace events — on the content-addressed run id.
+    let run_id = spec.run_id();
+    let _ctx = ia_obs::push_context(obs_log::context_for(&run_id));
+    obs_log::log(
+        LogLevel::Info,
+        "dse.run",
+        "run started",
+        vec![
+            ("run_id", JsonValue::Str(run_id.clone())),
+            (
+                "resumed_points",
+                JsonValue::UInt(u64::try_from(completed.len()).unwrap_or(u64::MAX)),
+            ),
+        ],
+    );
     let cache = StoreCache::new(store, completed);
     let mut outcome = explore(spec, &cache, opts)?;
     if let Some(error) = cache.take_error() {
         return Err(error);
     }
-    outcome.run_id = spec.run_id();
+    outcome.run_id = run_id;
     outcome.run_dir = store.dir().display().to_string();
+    obs_log::log(
+        LogLevel::Info,
+        "dse.run",
+        "run finished",
+        vec![
+            ("run_id", JsonValue::Str(outcome.run_id.clone())),
+            ("solved", JsonValue::UInt(outcome.solved)),
+            ("cached", JsonValue::UInt(outcome.cached)),
+            ("skipped", JsonValue::UInt(outcome.skipped)),
+            ("complete", JsonValue::Bool(outcome.complete)),
+        ],
+    );
     Ok(outcome)
 }
 

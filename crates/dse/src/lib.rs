@@ -48,7 +48,7 @@ pub mod scheduler;
 pub mod spec;
 pub mod store;
 
-pub use engine::{explore, resume, run, RunOptions, RunOutcome, SolvedPoint};
+pub use engine::{explore, resume, run, RoundTiming, RunOptions, RunOutcome, SolvedPoint};
 pub use error::DseError;
 pub use pareto::{pareto_front, Cliff};
 pub use point::Point;

@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread;
 
+use ia_obs::json::JsonValue;
+use ia_obs::log::{self as obs_log, LogLevel, RateLimit};
 use ia_obs::{counter_add, MergeSink};
 use ia_rank::sweep::{CachedSolve, PointCache};
 
@@ -136,6 +138,19 @@ fn drain(round: &Round<'_>) {
                 round.cache.store(key, value);
                 round.solved.fetch_add(1, Ordering::SeqCst);
                 counter_add(names::POINTS_SOLVED, 1);
+                // Rate-limited so a dense grid logs a sample of its
+                // points, not all of them.
+                static POINT_LOG: RateLimit = RateLimit::new(256, 1_000_000_000);
+                obs_log::log_limited(
+                    &POINT_LOG,
+                    LogLevel::Debug,
+                    "dse.point",
+                    "point solved",
+                    vec![
+                        ("key", JsonValue::Str(format!("{key:032x}"))),
+                        ("rank", JsonValue::UInt(value.rank)),
+                    ],
+                );
                 round.record(index, value);
             }
             Err(e) => {
@@ -180,6 +195,9 @@ pub fn execute(
     };
     let workers = opts.workers.clamp(1, points.len().max(1));
     let sink = MergeSink::new();
+    // The correlation context is thread-local; carry the caller's into
+    // every worker so per-point records correlate to the run.
+    let ctx = ia_obs::current_context();
     let mut panicked = false;
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
@@ -188,6 +206,7 @@ pub fn execute(
             let sink = &sink;
             handles.push(scope.spawn(move || {
                 let _guard = sink.register_worker(&format!("{}{i}", names::WORKER_PREFIX));
+                let _ctx = ia_obs::push_context(ctx);
                 drain(round);
             }));
         }

@@ -1,0 +1,331 @@
+//! The flight recorder: a fixed-size in-memory ring of periodic metric
+//! snapshots plus the most recent log records, and the deterministic
+//! diagnostic bundle built from them.
+//!
+//! A long-running process ticks [`FlightRecorder::record_frame`] on an
+//! interval and feeds drained log records through
+//! [`FlightRecorder::record_events`]. Both rings drop **oldest-first**
+//! (unlike the per-thread trace buffers, which keep their chronological
+//! prefix): a flight recorder's whole point is the recent past. The
+//! recorder answers two questions after the fact:
+//!
+//! - *"what changed just now?"* — [`FlightRecorder::statz`] renders
+//!   counter deltas between the last `k` consecutive frames;
+//! - *"what was going on when it died?"* — [`FlightRecorder::bundle`]
+//!   renders every retained frame, the recent log records, a final
+//!   live snapshot, and the effective configuration as one
+//!   deterministic JSON document (schema `ia-flight-v1`), written to
+//!   disk on panic, SIGTERM, or an explicit `POST /debug/dump`.
+//!
+//! The recorder is internally locked and safe to share (`&self`
+//! methods) between a ticker thread, request handlers, and a signal
+//! watcher; none of its paths touch the lock-free recording hot path.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+use crate::export::Snapshot;
+use crate::json::JsonValue;
+use crate::log::LogRecord;
+
+/// One retained metrics frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Monotonically increasing frame number (never reused, so deltas
+    /// stay attributable after the ring wraps).
+    seq: u64,
+    /// Nanoseconds since the trace epoch when the frame was taken.
+    ts_ns: u64,
+    snapshot: Snapshot,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    frames: VecDeque<Frame>,
+    events: VecDeque<LogRecord>,
+    next_seq: u64,
+    dropped_events: u64,
+}
+
+/// Fixed-size ring of metric snapshots and recent log records. See the
+/// module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+    max_frames: usize,
+    max_events: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `max_frames` snapshots and
+    /// `max_events` log records (each at least 1).
+    #[must_use]
+    pub fn new(max_frames: usize, max_events: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(Inner::default()),
+            max_frames: max_frames.max(1),
+            max_events: max_events.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends a metrics frame taken at `ts_ns`, evicting the oldest
+    /// frame once the ring is full. Returns the frame's sequence
+    /// number.
+    pub fn record_frame(&self, ts_ns: u64, snapshot: Snapshot) -> u64 {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.frames.len() == self.max_frames {
+            inner.frames.pop_front();
+        }
+        inner.frames.push_back(Frame {
+            seq,
+            ts_ns,
+            snapshot,
+        });
+        seq
+    }
+
+    /// Appends drained log records to the event ring, evicting the
+    /// oldest records once full.
+    pub fn record_events(&self, records: impl IntoIterator<Item = LogRecord>) {
+        let mut inner = self.lock();
+        for record in records {
+            if inner.events.len() == self.max_events {
+                inner.events.pop_front();
+                inner.dropped_events += 1;
+            }
+            inner.events.push_back(record);
+        }
+    }
+
+    /// Number of frames currently retained.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.lock().frames.len()
+    }
+
+    /// The retained log records, oldest first.
+    #[must_use]
+    pub fn recent_events(&self) -> Vec<LogRecord> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Renders the last-`k` frame-to-frame counter deltas as a JSON
+    /// document (schema `ia-statz-v1`):
+    ///
+    /// ```json
+    /// {"schema": "ia-statz-v1", "frames": 12, "events": 40,
+    ///  "deltas": [{"seq": 11, "ts_ns": 900, "dt_ns": 100,
+    ///              "counters": {"serve.requests": 3}}]}
+    /// ```
+    ///
+    /// Each delta compares one frame against its predecessor (so `k`
+    /// deltas need `k + 1` retained frames); zero deltas are omitted,
+    /// and counters that went *down* (high-water marks after a reset)
+    /// are reported with their new absolute value instead.
+    #[must_use]
+    pub fn statz(&self, last_k: usize) -> JsonValue {
+        let inner = self.lock();
+        let frames: Vec<&Frame> = inner.frames.iter().collect();
+        let mut deltas = Vec::new();
+        let start = frames.len().saturating_sub(last_k + 1);
+        for pair in frames[start..].windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            let mut counters = Vec::new();
+            for (name, value) in &next.snapshot.counters {
+                let before = prev.snapshot.counter(name).unwrap_or(0);
+                if *value > before {
+                    counters.push((name.clone(), JsonValue::UInt(*value - before)));
+                } else if *value < before {
+                    counters.push((name.clone(), JsonValue::UInt(*value)));
+                }
+            }
+            if counters.is_empty() {
+                continue;
+            }
+            deltas.push(JsonValue::Obj(vec![
+                ("seq".to_owned(), JsonValue::UInt(next.seq)),
+                ("ts_ns".to_owned(), JsonValue::UInt(next.ts_ns)),
+                (
+                    "dt_ns".to_owned(),
+                    JsonValue::UInt(next.ts_ns.saturating_sub(prev.ts_ns)),
+                ),
+                ("counters".to_owned(), JsonValue::Obj(counters)),
+            ]));
+        }
+        JsonValue::Obj(vec![
+            (
+                "schema".to_owned(),
+                JsonValue::Str("ia-statz-v1".to_owned()),
+            ),
+            (
+                "frames".to_owned(),
+                JsonValue::UInt(inner.frames.len() as u64),
+            ),
+            (
+                "events".to_owned(),
+                JsonValue::UInt(inner.events.len() as u64),
+            ),
+            ("deltas".to_owned(), JsonValue::Arr(deltas)),
+        ])
+    }
+
+    /// Renders the diagnostic bundle (schema `ia-flight-v1`): the dump
+    /// reason, the effective configuration, a final live `snapshot`,
+    /// every retained frame, and the recent log records — all with
+    /// deterministic field order so bundles diff cleanly.
+    #[must_use]
+    pub fn bundle(&self, reason: &str, config: JsonValue, snapshot: &Snapshot) -> JsonValue {
+        let inner = self.lock();
+        let frames = inner
+            .frames
+            .iter()
+            .map(|f| {
+                JsonValue::Obj(vec![
+                    ("seq".to_owned(), JsonValue::UInt(f.seq)),
+                    ("ts_ns".to_owned(), JsonValue::UInt(f.ts_ns)),
+                    ("snapshot".to_owned(), f.snapshot.to_json()),
+                ])
+            })
+            .collect();
+        let events = inner.events.iter().map(LogRecord::to_json).collect();
+        JsonValue::Obj(vec![
+            (
+                "schema".to_owned(),
+                JsonValue::Str("ia-flight-v1".to_owned()),
+            ),
+            ("reason".to_owned(), JsonValue::Str(reason.to_owned())),
+            ("config".to_owned(), config),
+            ("snapshot".to_owned(), snapshot.to_json()),
+            ("frames".to_owned(), JsonValue::Arr(frames)),
+            ("events".to_owned(), JsonValue::Arr(events)),
+            (
+                "dropped_events".to_owned(),
+                JsonValue::UInt(inner.dropped_events),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogLevel;
+
+    fn snap(requests: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("serve.requests".to_owned(), requests);
+        s
+    }
+
+    fn rec(ts_ns: u64, message: &str) -> LogRecord {
+        LogRecord {
+            ts_ns,
+            tid: 1,
+            level: LogLevel::Info,
+            target: "t",
+            message: message.to_owned(),
+            fields: vec![],
+            ctx: 0,
+            suppressed: 0,
+        }
+    }
+
+    #[test]
+    fn frame_ring_drops_oldest_and_keeps_seq() {
+        let flight = FlightRecorder::new(2, 4);
+        assert_eq!(flight.record_frame(10, snap(1)), 0);
+        assert_eq!(flight.record_frame(20, snap(2)), 1);
+        assert_eq!(flight.record_frame(30, snap(3)), 2);
+        assert_eq!(flight.frames(), 2, "oldest frame evicted");
+        let statz = flight.statz(8);
+        let deltas = statz.get("deltas").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(deltas.len(), 1, "only frames 1→2 remain comparable");
+        assert_eq!(deltas[0].get("seq").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn event_ring_drops_oldest() {
+        let flight = FlightRecorder::new(2, 2);
+        flight.record_events([rec(1, "a"), rec(2, "b"), rec(3, "c")]);
+        let events = flight.recent_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "b");
+        assert_eq!(events[1].message, "c");
+    }
+
+    #[test]
+    fn statz_reports_deltas_and_skips_quiet_frames() {
+        let flight = FlightRecorder::new(8, 4);
+        flight.record_frame(100, snap(5));
+        flight.record_frame(200, snap(5));
+        flight.record_frame(300, snap(9));
+        let statz = flight.statz(2);
+        assert_eq!(
+            statz.get("schema").and_then(JsonValue::as_str),
+            Some("ia-statz-v1")
+        );
+        assert_eq!(statz.get("frames").and_then(JsonValue::as_u64), Some(3));
+        let deltas = statz.get("deltas").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(deltas.len(), 1, "the quiet 0→1 window is omitted");
+        let delta = &deltas[0];
+        assert_eq!(delta.get("dt_ns").and_then(JsonValue::as_u64), Some(100));
+        assert_eq!(
+            delta
+                .get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(JsonValue::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn bundle_is_deterministic_and_parseable() {
+        let flight = FlightRecorder::new(4, 4);
+        flight.record_frame(100, snap(1));
+        flight.record_events([rec(50, "hello")]);
+        let config = JsonValue::Obj(vec![("workers".to_owned(), JsonValue::UInt(4))]);
+        let first = flight.bundle("sigterm", config.clone(), &snap(2)).render();
+        let second = flight.bundle("sigterm", config, &snap(2)).render();
+        assert_eq!(first, second, "bundles render byte-identically");
+        let doc = JsonValue::parse(&first).expect("bundle parses");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("ia-flight-v1")
+        );
+        assert_eq!(
+            doc.get("reason").and_then(JsonValue::as_str),
+            Some("sigterm")
+        );
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("workers"))
+                .and_then(JsonValue::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("snapshot")
+                .and_then(|s| s.get("counters"))
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("frames")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("events")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+}

@@ -39,14 +39,29 @@
 //! timestamped span begin/end and counter events, drained with
 //! [`drain_trace`] and exported in the Chrome trace-event format
 //! ([`Trace::to_chrome_json`]) for `chrome://tracing` / Perfetto.
+//!
+//! The telemetry plane on top of the collector:
+//!
+//! - [`log`](self::log) — structured, leveled, bounded JSON-lines
+//!   logging riding the same per-thread storage and [`MergeSink`]
+//!   merge, with per-call-site rate limiting and an ambient
+//!   correlation context stamped onto records and trace events;
+//! - [`prometheus`] — the Prometheus text exposition (0.0.4) view of a
+//!   [`Snapshot`];
+//! - [`flight`] — a fixed-size flight recorder of periodic snapshots
+//!   and recent log records, rendered as `/statz` deltas or an
+//!   on-disk diagnostic bundle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collector;
 mod export;
+pub mod flight;
 mod histogram;
 pub mod json;
+pub mod log;
+pub mod prometheus;
 mod span;
 mod stopwatch;
 mod trace;
@@ -56,10 +71,15 @@ pub use collector::{
     MergeSink, WorkerGuard,
 };
 pub use export::{HistogramStat, Snapshot, SpanStat};
+pub use flight::FlightRecorder;
 pub use histogram::{bucket_index, bucket_upper_bound, BUCKETS};
+pub use log::{
+    current_context, drain_logs, log_enabled, push_context, set_log_level, ContextGuard, LogBatch,
+    LogLevel, LogRecord, RateLimit,
+};
 pub use span::{span, Span};
 pub use stopwatch::Stopwatch;
 pub use trace::{
-    drain_trace, set_trace_capacity, set_trace_enabled, trace_enabled, Trace, TraceEvent,
-    TraceEventKind, DEFAULT_COUNTER_EVENT_CAPACITY, DEFAULT_SPAN_EVENT_CAPACITY,
+    drain_trace, epoch_now_ns, set_trace_capacity, set_trace_enabled, trace_enabled, Trace,
+    TraceEvent, TraceEventKind, DEFAULT_COUNTER_EVENT_CAPACITY, DEFAULT_SPAN_EVENT_CAPACITY,
 };

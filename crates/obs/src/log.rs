@@ -1,0 +1,564 @@
+//! Structured, leveled, bounded JSON-lines logging.
+//!
+//! Log records ride the same per-thread storage as counters and trace
+//! events: a recording call is a relaxed level check plus a push into a
+//! bounded thread-local buffer — no locks, no I/O. Records flow to the
+//! process edge exactly like the rest of the telemetry: a
+//! [`crate::MergeSink`] folds worker buffers into the caller's storage
+//! (or a long-running server drains the sink's pending pile with
+//! [`crate::MergeSink::drain_pending_logs`]), and [`drain_logs`] moves
+//! the merged records out as a [`LogBatch`] whose [`LogBatch::to_jsonl`]
+//! renders one JSON object per line.
+//!
+//! # Levels
+//!
+//! Logging is **off by default**. [`set_log_level`] turns it on at a
+//! severity ceiling; a record is admitted iff its level is at or above
+//! the ceiling's severity ([`LogLevel::Error`] is most severe). The
+//! check is one relaxed atomic load, mirroring the collector and trace
+//! flags.
+//!
+//! # Correlation context
+//!
+//! Each thread carries an ambient correlation context — a `u64` set
+//! with [`push_context`] (RAII; the guard restores the previous value).
+//! Every log record and trace event captures the context at recording
+//! time, so a server can stamp a request id on everything a request
+//! touches and a DSE run can stamp its run id hash across scheduler
+//! workers. `0` means "no context" and is omitted from rendered output.
+//!
+//! # Rate limiting
+//!
+//! Hot call sites embed a `static` [`RateLimit`] and log through
+//! [`log_limited`]. The limiter admits a burst of records per time
+//! window and counts what it suppressed; the next admitted record
+//! carries the suppressed count so the stream stays honest about its
+//! gaps. Counting is approximate under contention (relaxed atomics) —
+//! by design, the limiter must stay off the lock-free hot path.
+//!
+//! # Bounds and drop semantics
+//!
+//! Per-thread buffers hold at most [`DEFAULT_LOG_CAPACITY`] records
+//! (tune with [`set_log_capacity`]). Like trace buffers, overflow drops
+//! **newest-first** and counts the drops; the count surfaces on the
+//! drained [`LogBatch::dropped`].
+
+use std::cell::Cell;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::collector::with_storage;
+use crate::json::JsonValue;
+use crate::trace::now_ns;
+
+/// Severity levels, most severe first. The numeric discriminant is the
+/// severity rank used by the level ceiling ([`set_log_level`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// The operation failed.
+    Error = 1,
+    /// Something surprising that did not fail the operation.
+    Warn = 2,
+    /// Normal operational milestones (one per request, round, run).
+    Info = 3,
+    /// Per-item detail (one per point, per cache probe).
+    Debug = 4,
+    /// Maximum verbosity.
+    Trace = 5,
+}
+
+impl LogLevel {
+    /// The lowercase name rendered into log records.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name (the `--log-level` flag vocabulary).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<LogLevel> {
+        match text {
+            "error" => Some(LogLevel::Error),
+            "warn" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            "trace" => Some(LogLevel::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_rank(rank: usize) -> Option<LogLevel> {
+        match rank {
+            1 => Some(LogLevel::Error),
+            2 => Some(LogLevel::Warn),
+            3 => Some(LogLevel::Info),
+            4 => Some(LogLevel::Debug),
+            5 => Some(LogLevel::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = logging off; otherwise the admitted-severity ceiling's rank.
+static LOG_LEVEL: AtomicUsize = AtomicUsize::new(0);
+
+/// Default per-thread log-record buffer capacity.
+pub const DEFAULT_LOG_CAPACITY: usize = 1 << 14;
+
+static LOG_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_LOG_CAPACITY);
+
+/// Sets the process-wide log level ceiling; `None` turns logging off
+/// (the default).
+pub fn set_log_level(level: Option<LogLevel>) {
+    LOG_LEVEL.store(level.map_or(0, |l| l as usize), Ordering::Relaxed);
+}
+
+/// The current process-wide log level, if logging is on.
+#[must_use]
+pub fn log_level() -> Option<LogLevel> {
+    LogLevel::from_rank(LOG_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a record at `level` would currently be admitted. One
+/// relaxed atomic load — cheap enough to gate `format!` work behind.
+#[inline]
+#[must_use]
+pub fn log_enabled(level: LogLevel) -> bool {
+    (level as usize) <= LOG_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Sets the per-thread log-record buffer capacity. Applies to records
+/// recorded after the call.
+pub fn set_log_capacity(records: usize) {
+    LOG_CAPACITY.store(records, Ordering::Relaxed);
+}
+
+pub(crate) fn log_capacity() -> usize {
+    LOG_CAPACITY.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static CONTEXT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's ambient correlation context (`0` = none).
+#[inline]
+#[must_use]
+pub fn current_context() -> u64 {
+    CONTEXT.with(Cell::get)
+}
+
+/// Sets the calling thread's correlation context for the guard's
+/// lifetime; the previous context is restored on drop, so scopes nest.
+#[must_use = "the context lasts only while the guard is alive; bind it with `let _ctx = ...`"]
+pub fn push_context(ctx: u64) -> ContextGuard {
+    let prev = CONTEXT.with(|c| c.replace(ctx));
+    ContextGuard { prev }
+}
+
+/// RAII handle returned by [`push_context`].
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: u64,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Derives a correlation context from a string id (a DSE run id, a
+/// cache key) as its 64-bit FNV-1a hash — deterministic, and non-zero
+/// for every input including the empty string.
+#[must_use]
+pub fn context_for(id: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if hash == 0 {
+        1
+    } else {
+        hash
+    }
+}
+
+/// Renders a context as the 16-hex-digit form used in rendered records
+/// and the `x-request-id` header.
+#[must_use]
+pub fn context_hex(ctx: u64) -> String {
+    format!("{ctx:016x}")
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Nanoseconds since the trace epoch (same clock as trace events).
+    pub ts_ns: u64,
+    /// The recording thread's track id (shared with trace events).
+    pub tid: u64,
+    /// Severity.
+    pub level: LogLevel,
+    /// The subsystem that logged, dotted lowercase (`serve.request`,
+    /// `dse.round`).
+    pub target: &'static str,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// Structured payload, in recording order.
+    pub fields: Vec<(&'static str, JsonValue)>,
+    /// Correlation context captured at recording time (`0` = none).
+    pub ctx: u64,
+    /// Records suppressed by this call site's [`RateLimit`] since the
+    /// previous admitted record.
+    pub suppressed: u64,
+}
+
+impl LogRecord {
+    /// Renders the record as a JSON object with a stable field order:
+    /// `ts_ns`, `level`, `target`, `msg`, `tid`, then `ctx` (16 hex
+    /// digits, only when non-zero), `suppressed` (only when non-zero),
+    /// and `fields` (only when non-empty).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = vec![
+            ("ts_ns".to_owned(), JsonValue::UInt(self.ts_ns)),
+            (
+                "level".to_owned(),
+                JsonValue::Str(self.level.as_str().to_owned()),
+            ),
+            ("target".to_owned(), JsonValue::Str(self.target.to_owned())),
+            ("msg".to_owned(), JsonValue::Str(self.message.clone())),
+            ("tid".to_owned(), JsonValue::UInt(self.tid)),
+        ];
+        if self.ctx != 0 {
+            obj.push(("ctx".to_owned(), JsonValue::Str(context_hex(self.ctx))));
+        }
+        if self.suppressed > 0 {
+            obj.push(("suppressed".to_owned(), JsonValue::UInt(self.suppressed)));
+        }
+        if !self.fields.is_empty() {
+            let fields = self
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect();
+            obj.push(("fields".to_owned(), JsonValue::Obj(fields)));
+        }
+        JsonValue::Obj(obj)
+    }
+}
+
+/// A per-call-site rate limiter: admits `burst` records per
+/// `window_ns` window and counts the rest. `const`-constructible so
+/// call sites can embed one in a `static`. Counting is approximate
+/// under cross-thread contention (relaxed atomics, no locks).
+#[derive(Debug)]
+pub struct RateLimit {
+    burst: u64,
+    window_ns: u64,
+    window: AtomicU64,
+    admitted: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl RateLimit {
+    /// A limiter admitting `burst` records per `window_ns` nanoseconds.
+    /// A zero `window_ns` means one unbounded window.
+    #[must_use]
+    pub const fn new(burst: u64, window_ns: u64) -> RateLimit {
+        RateLimit {
+            burst,
+            window_ns,
+            window: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a record at `now_ns` is admitted; on admission, returns
+    /// the number of records suppressed since the last admission.
+    pub fn admit(&self, now_ns: u64) -> Option<u64> {
+        let window = now_ns.checked_div(self.window_ns).unwrap_or(0);
+        if self.window.swap(window, Ordering::Relaxed) != window {
+            self.admitted.store(0, Ordering::Relaxed);
+        }
+        if self.admitted.fetch_add(1, Ordering::Relaxed) < self.burst {
+            Some(self.suppressed.swap(0, Ordering::Relaxed))
+        } else {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+fn record(
+    level: LogLevel,
+    target: &'static str,
+    message: &str,
+    fields: Vec<(&'static str, JsonValue)>,
+    suppressed: u64,
+) {
+    let ts_ns = now_ns();
+    let ctx = current_context();
+    with_storage(|s| {
+        let tid = s.ensure_tid();
+        s.push_log_record(LogRecord {
+            ts_ns,
+            tid,
+            level,
+            target,
+            message: message.to_owned(),
+            fields,
+            ctx,
+            suppressed,
+        });
+    });
+}
+
+/// Records a structured log record if `level` is admitted by the
+/// current ceiling. Callers formatting an expensive `message` should
+/// gate on [`log_enabled`] first.
+#[inline]
+pub fn log(
+    level: LogLevel,
+    target: &'static str,
+    message: &str,
+    fields: Vec<(&'static str, JsonValue)>,
+) {
+    if !log_enabled(level) {
+        return;
+    }
+    record(level, target, message, fields, 0);
+}
+
+/// [`log`] through a per-call-site [`RateLimit`]: suppressed records
+/// only bump the limiter's counter, and an admitted record reports how
+/// many were suppressed before it.
+#[inline]
+pub fn log_limited(
+    limit: &RateLimit,
+    level: LogLevel,
+    target: &'static str,
+    message: &str,
+    fields: Vec<(&'static str, JsonValue)>,
+) {
+    if !log_enabled(level) {
+        return;
+    }
+    if let Some(suppressed) = limit.admit(now_ns()) {
+        record(level, target, message, fields, suppressed);
+    }
+}
+
+/// A drained batch of log records plus drop accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogBatch {
+    /// Records sorted by `(ts_ns, tid)`; ties within one thread keep
+    /// recording order.
+    pub records: Vec<LogRecord>,
+    /// Records dropped because a per-thread buffer was full.
+    pub dropped: u64,
+}
+
+impl LogBatch {
+    /// Whether the batch carries neither records nor drops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.dropped == 0
+    }
+
+    /// Renders the batch as JSON lines — one object per record, each
+    /// terminated by a newline (empty string for an empty batch).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&rec.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Appends the batch to a JSON-lines file, creating it if needed.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from opening or writing the file.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        if self.records.is_empty() {
+            return Ok(());
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+/// Moves the calling thread's buffered log records out as a
+/// [`LogBatch`] — including anything merged from worker threads via
+/// [`MergeSink::collect`](crate::MergeSink::collect) — and clears the
+/// buffer (drop counts included).
+#[must_use]
+pub fn drain_logs() -> LogBatch {
+    with_storage(|s| {
+        let mut records = std::mem::take(&mut s.log_records);
+        records.sort_by_key(|r| (r.ts_ns, r.tid));
+        let batch = LogBatch {
+            records,
+            dropped: s.dropped_log_records,
+        };
+        s.dropped_log_records = 0;
+        s.merged_log_records = 0;
+        batch
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reset_logging() {
+        set_log_level(None);
+        let _ = drain_logs();
+    }
+
+    #[test]
+    fn disabled_by_default_and_level_ceiling_filters() {
+        reset_logging();
+        log(LogLevel::Error, "t", "dropped silently", vec![]);
+        assert!(drain_logs().is_empty(), "off by default");
+
+        set_log_level(Some(LogLevel::Warn));
+        assert!(log_enabled(LogLevel::Error));
+        assert!(log_enabled(LogLevel::Warn));
+        assert!(!log_enabled(LogLevel::Info));
+        log(LogLevel::Info, "t", "below ceiling", vec![]);
+        log(LogLevel::Warn, "t", "at ceiling", vec![]);
+        let batch = drain_logs();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].message, "at ceiling");
+        reset_logging();
+    }
+
+    #[test]
+    fn record_renders_stable_jsonl() {
+        let rec = LogRecord {
+            ts_ns: 42,
+            tid: 3,
+            level: LogLevel::Info,
+            target: "serve.request",
+            message: "request".to_owned(),
+            fields: vec![("status", JsonValue::UInt(200))],
+            ctx: 0x00ab,
+            suppressed: 2,
+        }
+        .to_json()
+        .render();
+        assert_eq!(
+            rec,
+            "{\"ts_ns\":42,\"level\":\"info\",\"target\":\"serve.request\",\
+             \"msg\":\"request\",\"tid\":3,\"ctx\":\"00000000000000ab\",\
+             \"suppressed\":2,\"fields\":{\"status\":200}}"
+        );
+    }
+
+    #[test]
+    fn zero_ctx_and_suppressed_are_omitted() {
+        let rec = LogRecord {
+            ts_ns: 1,
+            tid: 1,
+            level: LogLevel::Debug,
+            target: "t",
+            message: "m".to_owned(),
+            fields: vec![],
+            ctx: 0,
+            suppressed: 0,
+        }
+        .to_json()
+        .render();
+        assert!(!rec.contains("ctx"), "{rec}");
+        assert!(!rec.contains("suppressed"), "{rec}");
+        assert!(!rec.contains("fields"), "{rec}");
+    }
+
+    #[test]
+    fn context_guard_nests_and_restores() {
+        assert_eq!(current_context(), 0);
+        {
+            let _outer = push_context(7);
+            assert_eq!(current_context(), 7);
+            {
+                let _inner = push_context(9);
+                assert_eq!(current_context(), 9);
+            }
+            assert_eq!(current_context(), 7);
+        }
+        assert_eq!(current_context(), 0);
+    }
+
+    #[test]
+    fn records_capture_ambient_context() {
+        reset_logging();
+        set_log_level(Some(LogLevel::Info));
+        let _ctx = push_context(0xfeed);
+        log(LogLevel::Info, "t", "stamped", vec![]);
+        let batch = drain_logs();
+        assert_eq!(batch.records[0].ctx, 0xfeed);
+        reset_logging();
+    }
+
+    #[test]
+    fn context_for_is_deterministic_and_nonzero() {
+        assert_eq!(context_for("run-1"), context_for("run-1"));
+        assert_ne!(context_for("run-1"), context_for("run-2"));
+        assert_ne!(context_for(""), 0);
+    }
+
+    #[test]
+    fn rate_limit_admits_burst_and_reports_suppressed() {
+        let limit = RateLimit::new(2, 1_000);
+        assert_eq!(limit.admit(0), Some(0));
+        assert_eq!(limit.admit(1), Some(0));
+        assert_eq!(limit.admit(2), None);
+        assert_eq!(limit.admit(3), None);
+        // Next window: admitted again, carrying the suppressed count.
+        assert_eq!(limit.admit(1_000), Some(2));
+        assert_eq!(limit.admit(1_001), Some(0));
+    }
+
+    #[test]
+    fn log_limited_counts_suppressed_records() {
+        reset_logging();
+        set_log_level(Some(LogLevel::Info));
+        static LIMIT: RateLimit = RateLimit::new(1, 0);
+        for _ in 0..5 {
+            log_limited(&LIMIT, LogLevel::Info, "t", "tick", vec![]);
+        }
+        let batch = drain_logs();
+        assert_eq!(batch.records.len(), 1, "burst of 1 in one window");
+        assert_eq!(batch.records[0].suppressed, 0);
+        reset_logging();
+    }
+
+    #[test]
+    fn batch_to_jsonl_is_one_line_per_record() {
+        reset_logging();
+        set_log_level(Some(LogLevel::Info));
+        log(LogLevel::Info, "t", "a", vec![]);
+        log(LogLevel::Info, "t", "b", vec![]);
+        let text = drain_logs().to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        reset_logging();
+    }
+}

@@ -1,0 +1,254 @@
+//! Prometheus text exposition (format version 0.0.4) rendered from a
+//! [`Snapshot`].
+//!
+//! The JSON tree at `/metrics` stays the source of exact `u64` truth;
+//! this module is the scrape-friendly view. [`PromWriter`] is a small
+//! line writer that keeps the format honest (one `# TYPE` per family,
+//! escaped label values, cumulative histogram buckets ending in
+//! `+Inf`), and [`render_snapshot`] maps the collector's data model
+//! onto it:
+//!
+//! - counters → `<prefix>_<name>` with `.` sanitized to `_`;
+//! - span stats → `<prefix>_span_calls_total` / `<prefix>_span_ns_total`,
+//!   labeled by span path;
+//! - histograms → native Prometheus histograms. The collector's
+//!   log-scale buckets store per-bucket counts with inclusive upper
+//!   bounds; the exposition needs *cumulative* counts per `le` bound,
+//!   so the writer folds the running sum and closes with the mandatory
+//!   `+Inf` bucket equal to the sample count.
+//!
+//! Values render as exact integers (the collector is integer-only), so
+//! nothing is lost to `f64` formatting below 2^53; above that, scrape
+//! consumers were going to round anyway.
+
+use std::fmt::Write as _;
+
+use crate::export::{HistogramStat, Snapshot};
+
+/// Maps a collector name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_:]`, not starting with a digit): every other character
+/// becomes `_`.
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn render_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (name, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}=\"{}\"", escape_label_value(value));
+    }
+    out.push('}');
+}
+
+/// An exposition-format text writer. Families are announced once via
+/// [`family`](Self::family); samples reference the announced name.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Announces a metric family: a `# HELP` line and a `# TYPE` line.
+    /// `kind` is one of `counter`, `gauge`, `histogram`, `untyped`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one sample line with an exact integer value.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        render_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Writes a full histogram series (`_bucket` lines with cumulative
+    /// counts per `le`, the `+Inf` bucket, `_sum`, `_count`) for an
+    /// already-announced `histogram` family. `labels` are attached to
+    /// every line, before the `le` label.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], stat: &HistogramStat) {
+        let mut cumulative = 0u64;
+        for (upper, count) in &stat.buckets {
+            cumulative = cumulative.saturating_add(*count);
+            let le = upper.to_string();
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample(&format!("{name}_bucket"), &with_le, cumulative);
+        }
+        let mut inf: Vec<(&str, &str)> = labels.to_vec();
+        inf.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &inf, stat.count);
+        self.sample(&format!("{name}_sum"), labels, stat.sum);
+        self.sample(&format!("{name}_count"), labels, stat.count);
+    }
+
+    /// The accumulated exposition text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a whole [`Snapshot`] in the exposition format under a
+/// metric-name `prefix` (e.g. `iarank`). See the module docs for the
+/// mapping.
+#[must_use]
+pub fn render_snapshot(snapshot: &Snapshot, prefix: &str) -> String {
+    let mut w = PromWriter::new();
+    for (name, value) in &snapshot.counters {
+        let metric = format!("{prefix}_{}", sanitize_metric_name(name));
+        w.family(&metric, "counter", &format!("Collector counter `{name}`."));
+        w.sample(&metric, &[], *value);
+    }
+    if !snapshot.spans.is_empty() {
+        let calls = format!("{prefix}_span_calls_total");
+        w.family(&calls, "counter", "Span completions by span path.");
+        for (path, stat) in &snapshot.spans {
+            w.sample(&calls, &[("path", path)], stat.calls);
+        }
+        let total = format!("{prefix}_span_ns_total");
+        w.family(
+            &total,
+            "counter",
+            "Nanoseconds spent in spans by span path.",
+        );
+        for (path, stat) in &snapshot.spans {
+            w.sample(&total, &[("path", path)], stat.total_ns);
+        }
+    }
+    for (name, stat) in &snapshot.histograms {
+        let metric = format!("{prefix}_{}", sanitize_metric_name(name));
+        w.family(
+            &metric,
+            "histogram",
+            &format!("Collector histogram `{name}` (log-scale buckets)."),
+        );
+        w.histogram(&metric, &[], stat);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::SpanStat;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(
+            sanitize_metric_name("serve.latency_us.solve"),
+            "serve_latency_us_solve"
+        );
+        assert_eq!(sanitize_metric_name("2fast"), "_2fast");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let stat = HistogramStat {
+            count: 6,
+            sum: 40,
+            min: 1,
+            max: 15,
+            buckets: vec![(1, 1), (7, 2), (15, 3)],
+        };
+        let mut w = PromWriter::new();
+        w.family("h", "histogram", "test");
+        w.histogram("h", &[("endpoint", "solve")], &stat);
+        let text = w.finish();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[2], "h_bucket{endpoint=\"solve\",le=\"1\"} 1");
+        assert_eq!(lines[3], "h_bucket{endpoint=\"solve\",le=\"7\"} 3");
+        assert_eq!(lines[4], "h_bucket{endpoint=\"solve\",le=\"15\"} 6");
+        assert_eq!(lines[5], "h_bucket{endpoint=\"solve\",le=\"+Inf\"} 6");
+        assert_eq!(lines[6], "h_sum{endpoint=\"solve\"} 40");
+        assert_eq!(lines[7], "h_count{endpoint=\"solve\"} 6");
+    }
+
+    #[test]
+    fn snapshot_render_announces_every_family() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("dp.states".to_owned(), 42);
+        snap.spans.insert(
+            "dp_solve".to_owned(),
+            SpanStat {
+                calls: 2,
+                total_ns: 900,
+            },
+        );
+        snap.histograms.insert(
+            "dp.front_len".to_owned(),
+            HistogramStat {
+                count: 1,
+                sum: 3,
+                min: 3,
+                max: 3,
+                buckets: vec![(3, 1)],
+            },
+        );
+        let text = render_snapshot(&snap, "iarank");
+        assert!(text.contains("# TYPE iarank_dp_states counter"));
+        assert!(text.contains("iarank_dp_states 42"));
+        assert!(text.contains("# TYPE iarank_span_calls_total counter"));
+        assert!(text.contains("iarank_span_calls_total{path=\"dp_solve\"} 2"));
+        assert!(text.contains("iarank_span_ns_total{path=\"dp_solve\"} 900"));
+        assert!(text.contains("# TYPE iarank_dp_front_len histogram"));
+        assert!(text.contains("iarank_dp_front_len_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("iarank_dp_front_len_count 1"));
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -100,6 +100,15 @@ pub(crate) fn now_ns() -> u64 {
     u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Nanoseconds of monotonic time since the trace epoch — the clock
+/// trace events and log records are stamped with. Public so external
+/// tickers (e.g. a server's flight recorder) can put their own frames
+/// on the same timeline.
+#[must_use]
+pub fn epoch_now_ns() -> u64 {
+    now_ns()
+}
+
 /// What one trace event records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TraceEventKind {
@@ -126,6 +135,10 @@ pub struct TraceEvent {
     /// Registry-assigned thread track id (stable per thread for the
     /// process lifetime, starting at 1).
     pub tid: u64,
+    /// Correlation context ambient on the recording thread (see
+    /// [`crate::log::push_context`]); `0` means none. The Chrome
+    /// export surfaces a non-zero context as `args.request_id`.
+    pub ctx: u64,
     /// What happened.
     pub kind: TraceEventKind,
 }
@@ -223,11 +236,18 @@ impl Trace {
                 ("pid".to_owned(), JsonValue::UInt(1)),
                 ("tid".to_owned(), JsonValue::UInt(event.tid)),
             ];
+            let mut arg_fields = Vec::new();
             if let Some(total) = args {
-                obj.push((
-                    "args".to_owned(),
-                    JsonValue::Obj(vec![("value".to_owned(), JsonValue::UInt(total))]),
+                arg_fields.push(("value".to_owned(), JsonValue::UInt(total)));
+            }
+            if event.ctx != 0 {
+                arg_fields.push((
+                    "request_id".to_owned(),
+                    JsonValue::Str(crate::log::context_hex(event.ctx)),
                 ));
+            }
+            if !arg_fields.is_empty() {
+                obj.push(("args".to_owned(), JsonValue::Obj(arg_fields)));
             }
             out.push(JsonValue::Obj(obj));
         }
@@ -290,7 +310,35 @@ mod tests {
     use super::*;
 
     fn ev(ts_ns: u64, tid: u64, kind: TraceEventKind) -> TraceEvent {
-        TraceEvent { ts_ns, tid, kind }
+        TraceEvent {
+            ts_ns,
+            tid,
+            ctx: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn chrome_export_carries_request_id_for_contextful_events() {
+        let trace = Trace {
+            events: vec![TraceEvent {
+                ts_ns: 1000,
+                tid: 1,
+                ctx: 0xbeef,
+                kind: TraceEventKind::Begin("serve.request"),
+            }],
+            thread_names: BTreeMap::from([(1, "w".to_owned())]),
+            ..Trace::default()
+        };
+        let doc = trace.to_chrome_json("t");
+        let event = &doc.as_array().unwrap()[2];
+        assert_eq!(
+            event
+                .get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(JsonValue::as_str),
+            Some("000000000000beef")
+        );
     }
 
     #[test]

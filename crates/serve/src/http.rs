@@ -17,15 +17,41 @@ use ia_obs::Stopwatch;
 /// Maximum bytes of request line + headers.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed request: method, path, and raw body bytes.
+/// A parsed request: method, path, headers, and raw body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The request method (`GET`, `POST`, ...), upper-cased as sent.
     pub method: String,
     /// The request path, query string stripped.
     pub path: String,
+    /// Headers as `(name, value)` pairs in arrival order, names
+    /// lower-cased and both sides trimmed.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of the first header named `name` (lower-case).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the `Accept` header asks for plain text (any `text/plain`
+    /// member, with or without parameters). Absent or wildcard accepts
+    /// keep the JSON default.
+    #[must_use]
+    pub fn accepts_plain_text(&self) -> bool {
+        self.header("accept").is_some_and(|accept| {
+            accept
+                .split(',')
+                .any(|member| member.trim().split(';').next().unwrap_or("") == "text/plain")
+        })
+    }
 }
 
 /// Why a request could not be read.
@@ -165,6 +191,7 @@ pub fn read_request(
     }
 
     let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -172,13 +199,15 @@ pub fn read_request(
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| ReadError::Malformed(format!("malformed header `{line}`")))?;
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
             let parsed = value
-                .trim()
                 .parse::<usize>()
                 .map_err(|_| ReadError::Malformed("invalid Content-Length".to_owned()))?;
             content_length = Some(parsed);
         }
+        headers.push((name, value));
     }
 
     let declared = content_length.unwrap_or(0);
@@ -199,6 +228,7 @@ pub fn read_request(
     Ok(Request {
         method: method.to_owned(),
         path,
+        headers,
         body,
     })
 }
@@ -210,6 +240,7 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -223,18 +254,78 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
+/// A one-shot response: status, content type, extra headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers appended after the standard set. Names and values
+    /// must already be valid header text.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A `text/plain` response (the Prometheus exposition uses
+    /// `text/plain; version=0.0.4`).
+    #[must_use]
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Returns the response with an extra header appended.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+}
+
 /// Writes a one-shot JSON response and flushes. Write failures are
 /// swallowed — the peer may already be gone, and the server has
 /// nothing better to do with the error.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        status,
-        status_text(status),
-        body.len(),
+    write(stream, &Response::json(status, body.to_owned()));
+}
+
+/// Writes any [`Response`] and flushes, with the same swallowed-error
+/// policy as [`write_response`].
+pub fn write(stream: &mut TcpStream, response: &Response) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
     let _ = stream.flush();
 }
 
@@ -279,5 +370,54 @@ mod tests {
     fn error_body_escapes_json() {
         assert_eq!(error_body("no"), r#"{"error":"no"}"#);
         assert!(error_body("a\"b").contains("\\\""));
+    }
+
+    fn request_with_accept(accept: Option<&str>) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: "/metrics".to_owned(),
+            headers: accept
+                .map(|v| vec![("accept".to_owned(), v.to_owned())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accept_negotiation_recognizes_text_plain() {
+        assert!(request_with_accept(Some("text/plain")).accepts_plain_text());
+        assert!(request_with_accept(Some("text/plain; version=0.0.4")).accepts_plain_text());
+        assert!(
+            request_with_accept(Some("application/json, text/plain;q=0.5")).accepts_plain_text()
+        );
+        assert!(!request_with_accept(Some("application/json")).accepts_plain_text());
+        assert!(!request_with_accept(Some("*/*")).accepts_plain_text());
+        assert!(!request_with_accept(None).accepts_plain_text());
+    }
+
+    #[test]
+    fn header_lookup_is_case_normalized_first_wins() {
+        let req = Request {
+            method: "GET".to_owned(),
+            path: "/".to_owned(),
+            headers: vec![
+                ("x-thing".to_owned(), "a".to_owned()),
+                ("x-thing".to_owned(), "b".to_owned()),
+            ],
+            body: Vec::new(),
+        };
+        assert_eq!(req.header("x-thing"), Some("a"));
+        assert_eq!(req.header("missing"), None);
+    }
+
+    #[test]
+    fn response_builder_attaches_headers() {
+        let resp = Response::json(200, "{}".to_owned()).with_header("x-request-id", "00ab");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        assert_eq!(
+            resp.headers,
+            vec![("x-request-id".to_owned(), "00ab".to_owned())]
+        );
     }
 }

@@ -7,10 +7,27 @@
 //! after each request, so `GET /metrics` — which renders the sink's
 //! merged snapshot — always reflects work completed on *other*
 //! threads without tearing down the pool.
+//!
+//! # Telemetry plane
+//!
+//! Every request is assigned a **request id**, echoed back as the
+//! `x-request-id` header and pushed as the worker's ambient
+//! correlation context ([`ia_obs::push_context`]) for the request's
+//! lifetime — so every log record, span and trace event the request
+//! produces carries it. A **flight ticker** thread periodically drains
+//! the sink's pending log records (appending them to the configured
+//! log file) and snapshots the merged metrics into a fixed-size
+//! [`FlightRecorder`] ring; `GET /statz` renders the last-k counter
+//! deltas, and a deterministic diagnostic bundle is written on a
+//! request-handler panic, via `POST /debug/dump`, or by an embedding
+//! process (SIGTERM) through the [`Diagnostics`] handle. `GET
+//! /metrics` content-negotiates between the exact-`u64` JSON tree and
+//! the Prometheus 0.0.4 text exposition (`Accept: text/plain`).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -18,7 +35,11 @@ use std::time::Duration;
 
 use ia_dse::{ExperimentSpec, RunOptions, RunOutcome};
 use ia_obs::json::JsonValue;
-use ia_obs::{counter_add, counter_max, histogram_record, MergeSink, Stopwatch};
+use ia_obs::log::{self as obs_log, LogLevel, RateLimit};
+use ia_obs::prometheus::PromWriter;
+use ia_obs::{
+    counter_add, counter_max, histogram_record, FlightRecorder, MergeSink, Snapshot, Stopwatch,
+};
 use ia_rank::canon::BoundProblem;
 use ia_rank::sensitivity::sensitivities;
 use ia_rank::sweep::{self, CachedSolve, PointCache, SweepPoint};
@@ -52,6 +73,17 @@ pub struct ServerConfig {
     /// Request-body size ceiling; larger bodies are rejected with
     /// `413`.
     pub max_body_bytes: usize,
+    /// JSON-lines file the flight ticker appends drained log records
+    /// to (`None` keeps records in memory only).
+    pub log_file: Option<PathBuf>,
+    /// Directory diagnostic bundles are written into.
+    pub diag_dir: PathBuf,
+    /// Metric-snapshot frames the flight recorder retains.
+    pub flight_frames: usize,
+    /// Log records the flight recorder retains.
+    pub flight_events: usize,
+    /// How often the flight ticker snapshots metrics and drains logs.
+    pub flight_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +95,11 @@ impl Default for ServerConfig {
             queue_depth: 64,
             request_timeout: Duration::from_secs(10),
             max_body_bytes: 64 * 1024,
+            log_file: None,
+            diag_dir: PathBuf::from("."),
+            flight_frames: 64,
+            flight_events: 256,
+            flight_interval: Duration::from_millis(500),
         }
     }
 }
@@ -105,6 +142,17 @@ struct Shared {
     /// Jobs observe the stop flag as a cancel signal, so a graceful
     /// drain stops them at the next point boundary.
     job_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Request ids handed out per accepted request, starting at 1.
+    next_request: AtomicU64,
+    /// The flight recorder fed by the ticker thread (and on demand by
+    /// `/statz` and bundle dumps).
+    flight: FlightRecorder,
+    /// Ticker parking spot; `request_stop` notifies it so shutdown is
+    /// not delayed by a full flight interval.
+    tick: Mutex<()>,
+    tick_wake: Condvar,
+    /// Bundle sequence numbers, so repeated dumps never overwrite.
+    next_dump: AtomicU64,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -117,6 +165,7 @@ impl Shared {
     fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.wake.notify_all();
+        self.tick_wake.notify_all();
         let _ = TcpStream::connect(self.local_addr);
     }
 }
@@ -130,6 +179,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -146,6 +196,7 @@ impl Server {
         let worker_count = std::cmp::max(1, cfg.workers);
         let shared = Arc::new(Shared {
             cache: SolveCache::new(cfg.cache_entries),
+            flight: FlightRecorder::new(cfg.flight_frames, cfg.flight_events),
             cfg,
             local_addr,
             queue: Mutex::new(VecDeque::new()),
@@ -156,6 +207,10 @@ impl Server {
             jobs: Mutex::new(BTreeMap::new()),
             next_job: AtomicU64::new(0),
             job_handles: Mutex::new(Vec::new()),
+            next_request: AtomicU64::new(0),
+            tick: Mutex::new(()),
+            tick_wake: Condvar::new(),
+            next_dump: AtomicU64::new(0),
         });
 
         let acceptor = {
@@ -176,10 +231,19 @@ impl Server {
             }));
         }
 
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                let _guard = shared.sink.register_worker("serve.flight");
+                ticker_loop(&shared);
+            })
+        };
+
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
             workers,
+            ticker: Some(ticker),
         })
     }
 
@@ -203,9 +267,21 @@ impl Server {
         self.shared.request_stop();
     }
 
-    /// Waits for the acceptor, all workers, and any dse job threads
-    /// to exit, then merges their telemetry into the calling thread's
-    /// collector storage. Returns the number of requests served.
+    /// A cloneable handle for out-of-band diagnostics — dumping a
+    /// bundle from a signal-watcher thread, or reading the flight
+    /// recorder after the fact. Stays valid after [`Server::join`]
+    /// consumes the server.
+    #[must_use]
+    pub fn diagnostics(&self) -> Diagnostics {
+        Diagnostics {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Waits for the acceptor, all workers, the flight ticker, and any
+    /// dse job threads to exit, then merges their telemetry into the
+    /// calling thread's collector storage. Returns the number of
+    /// requests served.
     #[must_use]
     pub fn join(mut self) -> u64 {
         if let Some(acceptor) = self.acceptor.take() {
@@ -213,6 +289,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
         }
         // Jobs see the stop flag as their cancel signal, so after the
         // drain they stop at the next point boundary.
@@ -222,6 +301,33 @@ impl Server {
         }
         self.shared.sink.collect();
         self.shared.served.load(Ordering::SeqCst)
+    }
+}
+
+/// Out-of-band diagnostics handle (see [`Server::diagnostics`]).
+#[derive(Clone)]
+pub struct Diagnostics {
+    shared: Arc<Shared>,
+}
+
+impl Diagnostics {
+    /// Drains pending telemetry into the flight recorder and writes a
+    /// diagnostic bundle tagged with `reason` into the configured
+    /// `diag_dir`, returning its path. This is what a SIGTERM watcher
+    /// calls before exiting.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors creating or writing the bundle.
+    pub fn dump(&self, reason: &str) -> io::Result<PathBuf> {
+        dump_bundle(&self.shared, reason)
+    }
+
+    /// The log records currently retained by the flight recorder
+    /// (oldest first), after draining pending telemetry into it.
+    #[must_use]
+    pub fn recent_events(&self) -> Vec<ia_obs::LogRecord> {
+        pump_flight(&self.shared);
+        self.shared.flight.recent_events()
     }
 }
 
@@ -296,8 +402,104 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Drains the sink's pending log records (appending to the configured
+/// log file), feeds them to the flight recorder, and snapshots the
+/// merged metrics as a new frame.
+fn pump_flight(shared: &Shared) {
+    let batch = shared.sink.drain_pending_logs();
+    if let Some(path) = &shared.cfg.log_file {
+        if batch.append_to(path).is_err() {
+            counter_add("serve.log.write_errors", 1);
+        }
+    }
+    if batch.dropped > 0 {
+        counter_add("serve.log.dropped", batch.dropped);
+    }
+    shared.flight.record_events(batch.records);
+    shared
+        .flight
+        .record_frame(ia_obs::epoch_now_ns(), shared.sink.peek_snapshot());
+}
+
+/// The flight ticker: pump on every interval until shutdown, then one
+/// final pump so the last frame covers the drain.
+fn ticker_loop(shared: &Shared) {
+    loop {
+        {
+            let guard = lock(&shared.tick);
+            let _ = shared
+                .tick_wake
+                .wait_timeout(guard, shared.cfg.flight_interval)
+                .map(|(g, _)| drop(g));
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        pump_flight(shared);
+    }
+    pump_flight(shared);
+}
+
+/// Renders the effective server configuration for diagnostic bundles.
+fn config_json(cfg: &ServerConfig) -> JsonValue {
+    let u = |n: usize| JsonValue::UInt(u64::try_from(n).unwrap_or(u64::MAX));
+    JsonValue::Obj(vec![
+        ("addr".to_owned(), JsonValue::Str(cfg.addr.clone())),
+        ("workers".to_owned(), u(cfg.workers)),
+        ("cache_entries".to_owned(), u(cfg.cache_entries)),
+        ("queue_depth".to_owned(), u(cfg.queue_depth)),
+        (
+            "request_timeout_ms".to_owned(),
+            JsonValue::UInt(u64::try_from(cfg.request_timeout.as_millis()).unwrap_or(u64::MAX)),
+        ),
+        ("max_body_bytes".to_owned(), u(cfg.max_body_bytes)),
+        (
+            "log_file".to_owned(),
+            cfg.log_file
+                .as_ref()
+                .map_or(JsonValue::Null, |p| JsonValue::Str(p.display().to_string())),
+        ),
+        (
+            "diag_dir".to_owned(),
+            JsonValue::Str(cfg.diag_dir.display().to_string()),
+        ),
+        ("flight_frames".to_owned(), u(cfg.flight_frames)),
+        ("flight_events".to_owned(), u(cfg.flight_events)),
+        (
+            "flight_interval_ms".to_owned(),
+            JsonValue::UInt(u64::try_from(cfg.flight_interval.as_millis()).unwrap_or(u64::MAX)),
+        ),
+    ])
+}
+
+/// Writes a diagnostic bundle (`ia-flight-v1`: reason, effective
+/// config, live snapshot, retained frames, recent log records) to
+/// `diag_dir/iarank-diag-<reason>-<n>.json` and returns the path.
+fn dump_bundle(shared: &Shared, reason: &str) -> io::Result<PathBuf> {
+    shared.sink.flush_thread();
+    pump_flight(shared);
+    let snapshot = shared.sink.peek_snapshot();
+    let bundle = shared
+        .flight
+        .bundle(reason, config_json(&shared.cfg), &snapshot);
+    let n = shared.next_dump.fetch_add(1, Ordering::SeqCst);
+    std::fs::create_dir_all(&shared.cfg.diag_dir)?;
+    let path = shared
+        .cfg
+        .diag_dir
+        .join(format!("iarank-diag-{reason}-{n}.json"));
+    let mut text = bundle.render();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    counter_add("serve.diag.bundles", 1);
+    Ok(path)
+}
+
 fn handle(shared: &Arc<Shared>, mut conn: Conn) {
     counter_add("serve.requests", 1);
+    let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst) + 1;
+    let request_hex = obs_log::context_hex(request_id);
+    let _ctx = ia_obs::push_context(request_id);
     let request = match http::read_request(
         &mut conn.stream,
         &conn.accepted,
@@ -309,46 +511,134 @@ fn handle(shared: &Arc<Shared>, mut conn: Conn) {
             let status = e.status();
             if status != 0 {
                 counter_add(status_counter(status), 1);
-                http::write_response(&mut conn.stream, status, &error_body(&e.message()));
+                static READ_ERROR_LOG: RateLimit = RateLimit::new(256, 1_000_000_000);
+                obs_log::log_limited(
+                    &READ_ERROR_LOG,
+                    LogLevel::Warn,
+                    "serve.request",
+                    &e.message(),
+                    vec![("status", JsonValue::UInt(u64::from(status)))],
+                );
+                let response = http::Response::json(status, error_body(&e.message()))
+                    .with_header("x-request-id", &request_hex);
+                http::write(&mut conn.stream, &response);
             }
             return;
         }
     };
-    let (status, body) = route(shared, &request, &conn.accepted);
-    counter_add(status_counter(status), 1);
-    histogram_record(
-        latency_histogram(&request.path),
-        conn.accepted.elapsed_ns() / 1_000,
+    let outcome = {
+        let _span = ia_obs::span("serve.request");
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            route(shared, &request, &conn.accepted)
+        }))
+    };
+    let response = match outcome {
+        Ok(response) => response,
+        Err(_) => {
+            counter_add("serve.panics", 1);
+            let bundle = dump_bundle(shared, "panic")
+                .map_or(JsonValue::Null, |p| JsonValue::Str(p.display().to_string()));
+            obs_log::log(
+                LogLevel::Error,
+                "serve.request",
+                "request handler panicked",
+                vec![
+                    ("path", JsonValue::Str(request.path.clone())),
+                    ("bundle", bundle),
+                ],
+            );
+            http::Response::json(500, error_body("request handler panicked"))
+        }
+    };
+    counter_add(status_counter(response.status), 1);
+    let latency_us = conn.accepted.elapsed_ns() / 1_000;
+    histogram_record(latency_histogram(&request.path), latency_us);
+    static REQUEST_LOG: RateLimit = RateLimit::new(1024, 1_000_000_000);
+    obs_log::log_limited(
+        &REQUEST_LOG,
+        LogLevel::Info,
+        "serve.request",
+        "request",
+        vec![
+            ("method", JsonValue::Str(request.method.clone())),
+            ("path", JsonValue::Str(request.path.clone())),
+            ("status", JsonValue::UInt(u64::from(response.status))),
+            ("latency_us", JsonValue::UInt(latency_us)),
+        ],
     );
-    http::write_response(&mut conn.stream, status, &body);
+    let response = response.with_header("x-request-id", &request_hex);
+    http::write(&mut conn.stream, &response);
 }
 
-fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> (u16, String) {
+fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> http::Response {
+    let json = |(status, body): (u16, String)| http::Response::json(status, body);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => metrics(shared),
-        ("POST", "/solve") => solve_endpoint(shared, &request.body, started),
-        ("POST", "/sweep") => sweep_endpoint(shared, &request.body, started),
-        ("POST", "/sensitivity") => sensitivity_endpoint(shared, &request.body, started),
-        ("POST", "/dse") => dse_endpoint(shared, &request.body),
-        ("GET", path) if path.strip_prefix("/dse/").is_some() => {
-            dse_status_endpoint(shared, path.trim_start_matches("/dse/"))
+        ("GET", "/healthz") => json(healthz(shared)),
+        ("GET", "/metrics") => metrics(shared, request),
+        ("GET", "/statz") => statz(shared),
+        ("POST", "/debug/dump") => debug_dump(shared),
+        ("POST", "/debug/panic") => {
+            // Deliberate fault injection so the panic → bundle → 500
+            // path stays testable end to end. `panic_any` (rather than
+            // the `panic!` macro) keeps the request path clean under
+            // the no-panic lint, which targets *accidental* panics;
+            // the worker's catch_unwind turns this into a 500 plus an
+            // on-disk bundle.
+            std::panic::panic_any("deliberate panic via /debug/panic")
         }
+        ("POST", "/solve") => json(solve_endpoint(shared, &request.body, started)),
+        ("POST", "/sweep") => json(sweep_endpoint(shared, &request.body, started)),
+        ("POST", "/sensitivity") => json(sensitivity_endpoint(shared, &request.body, started)),
+        ("POST", "/dse") => json(dse_endpoint(shared, &request.body)),
+        ("GET", path) if path.strip_prefix("/dse/").is_some() => json(dse_status_endpoint(
+            shared,
+            path.trim_start_matches("/dse/"),
+        )),
         ("POST", "/shutdown") => {
             shared.request_stop();
-            (200, r#"{"status":"shutting down"}"#.to_owned())
+            json((200, r#"{"status":"shutting down"}"#.to_owned()))
         }
         (
             _,
-            "/healthz" | "/metrics" | "/solve" | "/sweep" | "/sensitivity" | "/dse" | "/shutdown",
-        ) => (
+            "/healthz" | "/metrics" | "/statz" | "/debug/dump" | "/debug/panic" | "/solve"
+            | "/sweep" | "/sensitivity" | "/dse" | "/shutdown",
+        ) => json((
             405,
             error_body(&format!(
                 "method {} not allowed for {}",
                 request.method, request.path
             )),
+        )),
+        (_, path) => json((404, error_body(&format!("no such route `{path}`")))),
+    }
+}
+
+/// `GET /statz`: the flight recorder's last-k counter deltas, after an
+/// on-demand pump so the newest frame is current.
+fn statz(shared: &Shared) -> http::Response {
+    shared.sink.flush_thread();
+    pump_flight(shared);
+    http::Response::json(200, shared.flight.statz(STATZ_LAST_K).render())
+}
+
+/// Deltas rendered by `GET /statz`.
+const STATZ_LAST_K: usize = 16;
+
+/// `POST /debug/dump`: write a diagnostic bundle now and report where.
+fn debug_dump(shared: &Shared) -> http::Response {
+    match dump_bundle(shared, "request") {
+        Ok(path) => http::Response::json(
+            200,
+            JsonValue::Obj(vec![
+                ("status".to_owned(), JsonValue::Str("dumped".to_owned())),
+                (
+                    "path".to_owned(),
+                    JsonValue::Str(path.display().to_string()),
+                ),
+            ])
+            .render(),
         ),
-        (_, path) => (404, error_body(&format!("no such route `{path}`"))),
+        Err(e) => http::Response::json(500, error_body(&format!("failed to write bundle: {e}"))),
     }
 }
 
@@ -401,18 +691,107 @@ fn healthz(shared: &Shared) -> (u16, String) {
     (200, body.render())
 }
 
-fn metrics(shared: &Shared) -> (u16, String) {
+fn metrics(shared: &Shared, request: &Request) -> http::Response {
     // Fold this worker's own telemetry in first so the snapshot also
     // covers requests it has served since its last flush.
     shared.sink.flush_thread();
-    let mut doc = shared.sink.peek_snapshot().to_json();
+    let snapshot = shared.sink.peek_snapshot();
+    if request.accepts_plain_text() {
+        return http::Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            render_prometheus(&snapshot),
+        );
+    }
+    let mut doc = snapshot.to_json();
     if let JsonValue::Obj(fields) = &mut doc {
         let rates = derived_rates(fields);
         if !rates.is_empty() {
             fields.push(("derived".to_owned(), JsonValue::Obj(rates)));
         }
     }
-    (200, doc.render())
+    http::Response::json(200, doc.render())
+}
+
+/// Renders the Prometheus text-exposition view of a snapshot: RED
+/// series first (per-endpoint request totals and duration histograms
+/// from the `serve.latency_us.*` histograms, per-status-class response
+/// totals from the `serve.http.*` counters), then the generic
+/// `iarank_*` families for every counter, span, and histogram.
+fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut w = PromWriter::new();
+    let endpoints: Vec<(&str, &ia_obs::HistogramStat)> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, stat)| {
+            name.strip_prefix("serve.latency_us.")
+                .map(|endpoint| (endpoint, stat))
+        })
+        .collect();
+    if !endpoints.is_empty() {
+        w.family(
+            "iarank_http_requests_total",
+            "counter",
+            "HTTP requests served, by endpoint.",
+        );
+        for (endpoint, stat) in &endpoints {
+            w.sample(
+                "iarank_http_requests_total",
+                &[("endpoint", endpoint)],
+                stat.count,
+            );
+        }
+    }
+    let classes: Vec<(&str, u64)> = snapshot
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            name.strip_prefix("serve.http.").map(|code| {
+                let class = match code.as_bytes().first() {
+                    Some(b'2') => "2xx",
+                    Some(b'3') => "3xx",
+                    Some(b'4') => "4xx",
+                    Some(b'5') => "5xx",
+                    _ => "other",
+                };
+                (class, *value)
+            })
+        })
+        .collect();
+    if !classes.is_empty() {
+        w.family(
+            "iarank_http_responses_total",
+            "counter",
+            "HTTP responses sent, by status class.",
+        );
+        let mut totals: Vec<(&str, u64)> = Vec::new();
+        for (class, value) in classes {
+            match totals.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, total)) => *total += value,
+                None => totals.push((class, value)),
+            }
+        }
+        for (class, total) in totals {
+            w.sample("iarank_http_responses_total", &[("class", class)], total);
+        }
+    }
+    if !endpoints.is_empty() {
+        w.family(
+            "iarank_http_request_duration_us",
+            "histogram",
+            "HTTP request duration in microseconds, by endpoint.",
+        );
+        for (endpoint, stat) in &endpoints {
+            w.histogram(
+                "iarank_http_request_duration_us",
+                &[("endpoint", endpoint)],
+                stat,
+            );
+        }
+    }
+    let mut out = w.finish();
+    out.push_str(&ia_obs::prometheus::render_snapshot(snapshot, "iarank"));
+    out
 }
 
 /// Computes the derived cache hit rates from the raw counters: the
@@ -722,6 +1101,17 @@ fn dse_endpoint(shared: &Arc<Shared>, body: &[u8]) -> (u16, String) {
 /// the cancel signal, so a graceful drain stops the job at the next
 /// point boundary and its partial result is still readable.
 fn run_dse_job(shared: &Shared, state: &JobState, spec: &ExperimentSpec) {
+    // Correlate everything this job logs or traces on the spec's
+    // content-addressed run id, not the transient HTTP request id — the
+    // same spec resubmitted later correlates to the same stream.
+    let run_id = spec.run_id();
+    let _ctx = ia_obs::push_context(obs_log::context_for(&run_id));
+    obs_log::log(
+        LogLevel::Info,
+        "serve.dse.job",
+        "dse job started",
+        vec![("run_id", JsonValue::Str(run_id.clone()))],
+    );
     let cache = ServeDseCache {
         cache: &shared.cache,
     };
@@ -731,16 +1121,41 @@ fn run_dse_job(shared: &Shared, state: &JobState, spec: &ExperimentSpec) {
         ..RunOptions::default()
     };
     let phase = match ia_dse::explore(spec, &cache, &opts) {
-        Ok(outcome) => JobPhase::Done(dse_result_json(&outcome)),
-        Err(e) => JobPhase::Failed(e.to_string()),
+        Ok(outcome) => {
+            obs_log::log(
+                LogLevel::Info,
+                "serve.dse.job",
+                "dse job finished",
+                vec![
+                    ("run_id", JsonValue::Str(run_id.clone())),
+                    ("solved", JsonValue::UInt(outcome.solved)),
+                    ("cached", JsonValue::UInt(outcome.cached)),
+                    ("rounds", JsonValue::UInt(outcome.rounds)),
+                ],
+            );
+            JobPhase::Done(dse_result_json(&run_id, &outcome))
+        }
+        Err(e) => {
+            obs_log::log(
+                LogLevel::Error,
+                "serve.dse.job",
+                "dse job failed",
+                vec![
+                    ("run_id", JsonValue::Str(run_id.clone())),
+                    ("error", JsonValue::Str(e.to_string())),
+                ],
+            );
+            JobPhase::Failed(e.to_string())
+        }
     };
     *lock(&state.phase) = phase;
     shared.sink.flush_thread();
 }
 
-/// Renders a finished job's outcome: the execution counts plus every
-/// completed point with its coordinates and solved metrics.
-fn dse_result_json(outcome: &RunOutcome) -> JsonValue {
+/// Renders a finished job's outcome: the run id the job correlates on,
+/// the execution counts, per-round phase timings, and every completed
+/// point with its coordinates and solved metrics.
+fn dse_result_json(run_id: &str, outcome: &RunOutcome) -> JsonValue {
     let points: Vec<JsonValue> = outcome
         .points
         .iter()
@@ -761,7 +1176,22 @@ fn dse_result_json(outcome: &RunOutcome) -> JsonValue {
             ])
         })
         .collect();
+    let rounds_detail: Vec<JsonValue> = outcome
+        .round_timings
+        .iter()
+        .map(|t| {
+            JsonValue::Obj(vec![
+                ("round".to_owned(), JsonValue::UInt(t.round)),
+                ("points".to_owned(), JsonValue::UInt(t.points)),
+                ("solved".to_owned(), JsonValue::UInt(t.solved)),
+                ("cached".to_owned(), JsonValue::UInt(t.cached)),
+                ("execute_ns".to_owned(), JsonValue::UInt(t.execute_ns)),
+                ("refine_ns".to_owned(), JsonValue::UInt(t.refine_ns)),
+            ])
+        })
+        .collect();
     JsonValue::Obj(vec![
+        ("run_id".to_owned(), JsonValue::Str(run_id.to_owned())),
         (
             "total_points".to_owned(),
             JsonValue::UInt(outcome.total_points),
@@ -771,6 +1201,7 @@ fn dse_result_json(outcome: &RunOutcome) -> JsonValue {
         ("skipped".to_owned(), JsonValue::UInt(outcome.skipped)),
         ("rounds".to_owned(), JsonValue::UInt(outcome.rounds)),
         ("complete".to_owned(), JsonValue::Bool(outcome.complete)),
+        ("rounds_detail".to_owned(), JsonValue::Arr(rounds_detail)),
         ("points".to_owned(), JsonValue::Arr(points)),
     ])
 }
@@ -853,6 +1284,40 @@ mod tests {
         assert_eq!(status_counter(418), "serve.http.other");
         assert_eq!(latency_histogram("/solve"), "serve.latency_us.solve");
         assert_eq!(latency_histogram("/nope"), "serve.latency_us.other");
+    }
+
+    #[test]
+    fn derived_rates_stay_absent_until_a_lookup_happens() {
+        // A cold server has zero cache lookups; emitting a 0/0 rate
+        // would put a NaN on the JSON surface, so the keys must be
+        // absent entirely.
+        assert!(derived_rates(&[]).is_empty());
+        let cold = vec![("counters".to_owned(), JsonValue::Obj(Vec::new()))];
+        assert!(derived_rates(&cold).is_empty());
+        // Only misses: the rate exists and is exactly zero.
+        let misses = vec![(
+            "counters".to_owned(),
+            JsonValue::Obj(vec![("serve.cache.misses".to_owned(), JsonValue::UInt(3))]),
+        )];
+        let rates = derived_rates(&misses);
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "serve.cache.hit_rate");
+        assert!(matches!(rates[0].1, JsonValue::Num(r) if r == 0.0));
+        // Hits and shared waits both count as hits.
+        let mixed = vec![(
+            "counters".to_owned(),
+            JsonValue::Obj(vec![
+                ("serve.cache.hits".to_owned(), JsonValue::UInt(1)),
+                ("serve.cache.shared".to_owned(), JsonValue::UInt(1)),
+                ("serve.cache.misses".to_owned(), JsonValue::UInt(2)),
+                ("sweep.cache.hits".to_owned(), JsonValue::UInt(4)),
+                ("sweep.cache.misses".to_owned(), JsonValue::UInt(0)),
+            ]),
+        )];
+        let rates = derived_rates(&mixed);
+        assert_eq!(rates.len(), 2);
+        assert!(matches!(rates[0].1, JsonValue::Num(r) if (r - 0.5).abs() < 1e-12));
+        assert!(matches!(rates[1].1, JsonValue::Num(r) if r == 1.0));
     }
 
     #[test]

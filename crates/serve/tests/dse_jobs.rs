@@ -17,6 +17,7 @@ fn start(workers: usize) -> Server {
         queue_depth: 32,
         request_timeout: Duration::from_millis(10_000),
         max_body_bytes: 64 * 1024,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
 }

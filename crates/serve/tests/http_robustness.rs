@@ -19,6 +19,7 @@ fn start(workers: usize, timeout_ms: u64) -> Server {
         queue_depth: 32,
         request_timeout: Duration::from_millis(timeout_ms),
         max_body_bytes: 64 * 1024,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
 }

@@ -1,0 +1,404 @@
+//! End-to-end tests for the telemetry plane: request-id correlation
+//! through logs and spans, the Prometheus text exposition, `/statz`,
+//! and the flight-recorder diagnostic bundles.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+use ia_obs::json::JsonValue;
+use ia_obs::log::{context_for, context_hex};
+use ia_obs::LogLevel;
+use ia_serve::{Server, ServerConfig};
+
+/// A scratch directory unique to one test, wiped on creation.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ia-serve-telemetry-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn start(workers: usize, dir: &std::path::Path) -> Server {
+    // Debug everywhere: the level knob is process-global and Debug is
+    // the lowest level any test needs, so concurrent tests cannot
+    // suppress each other's records.
+    ia_obs::set_log_level(Some(LogLevel::Debug));
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        request_timeout: Duration::from_millis(10_000),
+        log_file: Some(dir.join("serve.log")),
+        diag_dir: dir.to_path_buf(),
+        flight_interval: Duration::from_millis(25),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// One HTTP exchange; returns status, lowercased headers, and body.
+fn exchange(addr: SocketAddr, bytes: &[u8]) -> (u16, BTreeMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    (status, headers, body.to_owned())
+}
+
+fn request_bytes(method: &str, path: &str, body: &str, extra: &[(&str, &str)]) -> Vec<u8> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    head.into_bytes()
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, BTreeMap<String, String>, String) {
+    exchange(addr, &request_bytes("POST", path, body, &[]))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, BTreeMap<String, String>, String) {
+    exchange(addr, &request_bytes("GET", path, "", &[]))
+}
+
+/// Parses the JSON-lines log file into records.
+fn read_log(path: &std::path::Path) -> Vec<JsonValue> {
+    let text = std::fs::read_to_string(path).expect("read log file");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| JsonValue::parse(l).expect("log line parses"))
+        .collect()
+}
+
+fn is_request_hex(id: &str) -> bool {
+    id.len() == 16 && id.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+#[test]
+fn concurrent_solves_correlate_logs_and_spans_with_request_ids() {
+    let dir = temp_dir("solve-correlation");
+    ia_obs::set_trace_enabled(true);
+    let server = start(4, &dir);
+    let addr = server.local_addr();
+
+    // Eight distinct configurations so every request computes (no
+    // single-flight collapsing) across the four workers.
+    let ids: Vec<String> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = format!(
+                        r#"{{"gates":20000,"bunch":2000,"miller":{}}}"#,
+                        1.1 + 0.1 * i as f64
+                    );
+                    let (status, headers, body) = post(addr, "/solve", &body);
+                    assert_eq!(status, 200, "body: {body}");
+                    headers.get("x-request-id").expect("request id").clone()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    for id in &ids {
+        assert!(is_request_hex(id), "malformed request id `{id}`");
+    }
+    let distinct: std::collections::BTreeSet<&String> = ids.iter().collect();
+    assert_eq!(distinct.len(), ids.len(), "request ids must be unique");
+
+    // Give the last workers a moment to flush, then pump the flight
+    // recorder (which also appends the log file).
+    thread::sleep(Duration::from_millis(200));
+    let diagnostics = server.diagnostics();
+    let events = diagnostics.recent_events();
+    server.shutdown();
+    let _ = server.join();
+
+    // Every response's id shows up as the `ctx` of a request log
+    // record, and every request record carries *some* ctx.
+    let request_ctxs: std::collections::BTreeSet<String> = events
+        .iter()
+        .filter(|r| r.target == "serve.request")
+        .map(|r| {
+            assert_ne!(r.ctx, 0, "request record without correlation: {r:?}");
+            context_hex(r.ctx)
+        })
+        .collect();
+    for id in &ids {
+        assert!(
+            request_ctxs.contains(id),
+            "request {id} left no correlated log record; saw {request_ctxs:?}"
+        );
+    }
+    // The on-disk JSON lines carry the same correlation.
+    let on_disk = read_log(&dir.join("serve.log"));
+    let disk_ctxs: std::collections::BTreeSet<String> = on_disk
+        .iter()
+        .filter(|r| r.get("target").and_then(JsonValue::as_str) == Some("serve.request"))
+        .filter_map(|r| r.get("ctx").and_then(JsonValue::as_str).map(str::to_owned))
+        .collect();
+    for id in &ids {
+        assert!(disk_ctxs.contains(id), "request {id} missing from log file");
+    }
+
+    // Spans recorded during the requests carry the same ids: after
+    // join() the server's telemetry merged into this thread.
+    let trace = ia_obs::drain_trace();
+    let span_ctxs: std::collections::BTreeSet<String> = trace
+        .events
+        .iter()
+        .filter(|e| e.ctx != 0)
+        .map(|e| context_hex(e.ctx))
+        .collect();
+    for id in &ids {
+        assert!(
+            span_ctxs.contains(id),
+            "request {id} left no correlated span; saw {span_ctxs:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_negotiates_prometheus_text_exposition() {
+    let dir = temp_dir("prometheus");
+    let server = start(2, &dir);
+    let addr = server.local_addr();
+    let (status, _, _) = post(addr, "/solve", r#"{"gates":20000,"bunch":2000}"#);
+    assert_eq!(status, 200);
+
+    let (status, headers, body) = exchange(
+        addr,
+        &request_bytes("GET", "/metrics", "", &[("Accept", "text/plain")]),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(
+        body.contains("# TYPE iarank_http_requests_total counter"),
+        "{body}"
+    );
+    assert!(
+        body.contains("iarank_http_requests_total{endpoint=\"solve\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("# TYPE iarank_http_request_duration_us histogram"),
+        "{body}"
+    );
+    assert!(body.contains("le=\"+Inf\""), "{body}");
+    assert!(
+        body.contains("iarank_http_request_duration_us_count{endpoint=\"solve\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("iarank_http_responses_total{class=\"2xx\"} 1"),
+        "{body}"
+    );
+
+    // Without the Accept header the JSON tree is unchanged.
+    let (status, headers, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json")
+    );
+    let doc = JsonValue::parse(&body).expect("metrics JSON");
+    assert!(doc.get("counters").is_some());
+
+    server.shutdown();
+    let _ = server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn statz_reports_flight_recorder_deltas() {
+    let dir = temp_dir("statz");
+    let server = start(1, &dir);
+    let addr = server.local_addr();
+    let (status, _, _) = post(addr, "/solve", r#"{"gates":20000,"bunch":2000}"#);
+    assert_eq!(status, 200);
+    let (status, _, body) = get(addr, "/statz");
+    assert_eq!(status, 200, "body: {body}");
+    let doc = JsonValue::parse(&body).expect("statz JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("ia-statz-v1")
+    );
+    // /statz pumps a frame itself, so at least one is retained.
+    assert!(doc.get("frames").and_then(JsonValue::as_u64) >= Some(1));
+    assert!(doc.get("deltas").and_then(JsonValue::as_array).is_some());
+    server.shutdown();
+    let _ = server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn debug_dump_and_panicking_handler_write_parseable_bundles() {
+    let dir = temp_dir("bundles");
+    let server = start(2, &dir);
+    let addr = server.local_addr();
+    let (status, _, _) = post(addr, "/solve", r#"{"gates":20000,"bunch":2000}"#);
+    assert_eq!(status, 200);
+
+    // An explicit dump names its file and leaves it parseable.
+    let (status, _, body) = post(addr, "/debug/dump", "");
+    assert_eq!(status, 200, "body: {body}");
+    let doc = JsonValue::parse(&body).expect("dump response JSON");
+    assert_eq!(
+        doc.get("status").and_then(JsonValue::as_str),
+        Some("dumped")
+    );
+    let path = doc
+        .get("path")
+        .and_then(JsonValue::as_str)
+        .expect("bundle path");
+    let bundle =
+        JsonValue::parse(&std::fs::read_to_string(path).expect("read bundle")).expect("parses");
+    assert_eq!(
+        bundle.get("schema").and_then(JsonValue::as_str),
+        Some("ia-flight-v1")
+    );
+    assert_eq!(
+        bundle.get("reason").and_then(JsonValue::as_str),
+        Some("request")
+    );
+    assert!(bundle
+        .get("config")
+        .and_then(|c| c.get("workers"))
+        .is_some());
+    assert!(bundle.get("snapshot").is_some());
+
+    // A panicking handler is caught, answers 500 with a request id,
+    // and leaves a bundle tagged `panic` behind.
+    let (status, headers, _) = post(addr, "/debug/panic", "");
+    assert_eq!(status, 500);
+    assert!(headers.contains_key("x-request-id"));
+    let panic_bundle = std::fs::read_dir(&dir)
+        .expect("read diag dir")
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().contains("-panic-"))
+        .expect("panic bundle on disk");
+    let bundle = JsonValue::parse(&std::fs::read_to_string(panic_bundle.path()).expect("read"))
+        .expect("panic bundle parses");
+    assert_eq!(
+        bundle.get("reason").and_then(JsonValue::as_str),
+        Some("panic")
+    );
+
+    // The server keeps serving after the panic.
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+    let _ = server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dse_jobs_correlate_on_the_run_id() {
+    let dir = temp_dir("dse-correlation");
+    let server = start(2, &dir);
+    let addr = server.local_addr();
+    let spec = r#"{"name": "serve-telemetry",
+        "base": {"gates": 20000, "bunch": 2000},
+        "axes": [{"knob": "m", "values": [1.5, 2.0, 2.5]}],
+        "workers": 2}"#;
+    let (status, _, body) = post(addr, "/dse", spec);
+    assert_eq!(status, 202, "body: {body}");
+    let id = JsonValue::parse(&body)
+        .ok()
+        .and_then(|d| d.get("job").and_then(JsonValue::as_u64))
+        .expect("job id");
+
+    let mut result = None;
+    for _ in 0..600 {
+        let (status, _, body) = get(addr, &format!("/dse/{id}"));
+        assert_eq!(status, 200, "body: {body}");
+        let doc = JsonValue::parse(&body).expect("status JSON");
+        if doc.get("status").and_then(JsonValue::as_str) != Some("running") {
+            result = Some(doc);
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let doc = result.expect("job finished");
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("done"));
+    let result = doc.get("result").expect("result object");
+
+    // The result names its content-addressed run id and per-round
+    // phase timings.
+    let run_id = result
+        .get("run_id")
+        .and_then(JsonValue::as_str)
+        .expect("run id");
+    assert!(is_request_hex(run_id), "malformed run id `{run_id}`");
+    let rounds = result
+        .get("rounds_detail")
+        .and_then(JsonValue::as_array)
+        .expect("rounds_detail");
+    assert!(!rounds.is_empty());
+    for round in rounds {
+        for field in [
+            "round",
+            "points",
+            "solved",
+            "cached",
+            "execute_ns",
+            "refine_ns",
+        ] {
+            assert!(
+                round.get(field).and_then(JsonValue::as_u64).is_some(),
+                "round missing `{field}`: {}",
+                round.render()
+            );
+        }
+    }
+
+    // The job's log records — including those from scheduler worker
+    // threads — carry the run id's correlation context.
+    thread::sleep(Duration::from_millis(200));
+    let events = server.diagnostics().recent_events();
+    server.shutdown();
+    let _ = server.join();
+    let want = context_hex(context_for(run_id));
+    let job_records: Vec<_> = events
+        .iter()
+        .filter(|r| r.target.starts_with("dse.") || r.target == "serve.dse.job")
+        .collect();
+    assert!(!job_records.is_empty(), "no dse log records retained");
+    for record in &job_records {
+        assert_eq!(
+            context_hex(record.ctx),
+            want,
+            "uncorrelated dse record: {record:?}"
+        );
+    }
+    assert!(
+        job_records.iter().any(|r| r.target == "dse.point"),
+        "scheduler worker records missing: {job_records:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -443,11 +443,8 @@ pub fn check_deterministic_iteration(model: &WorkspaceModel, diags: &mut Vec<Dia
             continue;
         }
         let toks = &mf.source.tokens;
-        let calls: BTreeMap<usize, &str> = f
-            .calls
-            .iter()
-            .map(|c| (c.tok, c.callee.as_str()))
-            .collect();
+        let calls: BTreeMap<usize, &str> =
+            f.calls.iter().map(|c| (c.tok, c.callee.as_str())).collect();
         let (bs, be) = f.body;
         for k in bs..=be {
             let t = &toks[k];
@@ -534,27 +531,26 @@ pub fn check_crate_layering(model: &WorkspaceModel, diags: &mut Vec<Diagnostic>)
         if lf > lt {
             continue;
         }
-        let message = if PAPER_MODEL.contains(&d.from.as_str())
-            && PRODUCT_LAYERS.contains(&d.to.as_str())
-        {
-            format!(
-                "model crate `{}` must not depend on product-layer crate `{}`; the paper \
+        let message =
+            if PAPER_MODEL.contains(&d.from.as_str()) && PRODUCT_LAYERS.contains(&d.to.as_str()) {
+                format!(
+                    "model crate `{}` must not depend on product-layer crate `{}`; the paper \
                  model stays below `serve`/`dse`/`cli` in the crate DAG",
-                d.from, d.to
-            )
-        } else if d.from == "obs" {
-            format!(
-                "`obs` is the observability leaf below the model crates and must not \
+                    d.from, d.to
+                )
+            } else if d.from == "obs" {
+                format!(
+                    "`obs` is the observability leaf below the model crates and must not \
                  depend on workspace crate `{}`",
-                d.to
-            )
-        } else {
-            format!(
-                "crate `{}` (layer {lf}) must not depend on `{}` (layer {lt}); dependency \
+                    d.to
+                )
+            } else {
+                format!(
+                    "crate `{}` (layer {lf}) must not depend on `{}` (layer {lt}); dependency \
                  edges must descend strictly in the intended crate DAG (see docs/linting.md)",
-                d.from, d.to
-            )
-        };
+                    d.from, d.to
+                )
+            };
         diags.push(Diagnostic::new(
             d.file.clone(),
             d.line,

@@ -6,7 +6,7 @@
 //! model crates must not panic on library paths, and non-finite
 //! sentinels must never escape unguarded. This pass walks the
 //! workspace source (std-only — the build environment has no network
-//! route to crates.io) and enforces eleven domain rules:
+//! route to crates.io) and enforces twelve domain rules:
 //!
 //! * **L1 `crate-header`** — every lib crate declares
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
@@ -30,6 +30,10 @@
 //!   must not create unbounded `mpsc::channel()`s or discard a
 //!   `thread::spawn` `JoinHandle`; queues must backpressure and
 //!   workers must be joinable at shutdown.
+//! * **L12 `no-raw-logging`** — no `println!` / `eprintln!` /
+//!   `print!` / `eprint!` / `dbg!` in non-test library code outside
+//!   the CLI and bench binaries; diagnostics go through
+//!   `ia_obs::log` so they are leveled, bounded and correlated.
 //!
 //! Three rules reason across files over a workspace program model
 //! ([`model`]) of functions, lock sites, call edges and the crate
@@ -268,6 +272,12 @@ pub fn lint_workspace_opts(root: &Path, opts: LintOptions) -> io::Result<Vec<Dia
             // raw clock reads; everything else goes through it.
             if mf.krate != "obs" {
                 rules::check_raw_timing(rel, file, &mut raw);
+            }
+            // The CLI owns the process's stdout/stderr and the bench
+            // binaries print their own reports; everything else logs
+            // through `ia_obs::log`.
+            if mf.krate != "cli" && mf.krate != "bench" {
+                rules::check_no_raw_logging(rel, file, &mf.krate, &mut raw);
             }
         }
     }

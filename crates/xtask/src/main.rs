@@ -8,6 +8,8 @@
 //! cargo run -p xtask -- check-trace FILE
 //! cargo run -p xtask -- check-spec FILE
 //! cargo run -p xtask -- check-sarif FILE
+//! cargo run -p xtask -- check-logs FILE
+//! cargo run -p xtask -- check-prom FILE
 //! cargo run -p xtask -- bench-diff --baseline DIR --current DIR
 //!                       [--tol-wall F] [--tol-counter F] [--json FILE]
 //! ```
@@ -32,6 +34,8 @@ fn usage() -> ExitCode {
          \x20      ia-lint check-trace FILE\n\
          \x20      ia-lint check-spec FILE\n\
          \x20      ia-lint check-sarif FILE\n\
+         \x20      ia-lint check-logs FILE\n\
+         \x20      ia-lint check-prom FILE\n\
          \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
          \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
          \n\
@@ -45,7 +49,11 @@ fn usage() -> ExitCode {
          check-trace validates a Chrome trace-event export;\n\
          check-spec validates an ia-dse experiment spec (TOML/JSON);\n\
          check-sarif validates a SARIF 2.1.0 log like `lint --format\n\
-         sarif` emits.\n\
+         sarif` emits;\n\
+         check-logs validates a structured JSON-lines log file like\n\
+         `--log-file` appends;\n\
+         check-prom validates a Prometheus 0.0.4 text exposition like\n\
+         `GET /metrics` serves under `Accept: text/plain`.\n\
          bench-diff compares the `BENCH_*.json` artifacts in --current\n\
          against --baseline and exits 1 on any wall-time regression\n\
          beyond --tol-wall (relative, default 3.0) or counter drift\n\
@@ -180,9 +188,16 @@ fn main() -> ExitCode {
         Some("check-sarif") if args.len() == 2 => {
             return run_check("check-sarif", &args[1], xtask::schema::check_sarif);
         }
-        Some("check-metrics" | "check-bench" | "check-trace" | "check-spec" | "check-sarif") => {
-            return usage()
+        Some("check-logs") if args.len() == 2 => {
+            return run_check("check-logs", &args[1], xtask::schema::check_logs);
         }
+        Some("check-prom") if args.len() == 2 => {
+            return run_check("check-prom", &args[1], xtask::schema::check_prom);
+        }
+        Some(
+            "check-metrics" | "check-bench" | "check-trace" | "check-spec" | "check-sarif"
+            | "check-logs" | "check-prom",
+        ) => return usage(),
         Some("bench-diff") => return run_bench_diff(&args[1..]),
         _ => {}
     }

@@ -156,7 +156,12 @@ impl WorkspaceModel {
                         source: SourceFile::parse(&text),
                     }),
                     Err(e) => {
-                        diags.push(Diagnostic::new(rel, 1, "io", format!("unreadable file: {e}")));
+                        diags.push(Diagnostic::new(
+                            rel,
+                            1,
+                            "io",
+                            format!("unreadable file: {e}"),
+                        ));
                     }
                 }
             }

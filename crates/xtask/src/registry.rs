@@ -71,7 +71,14 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "L11",
         name: "crate-layering",
-        summary: "crate dependencies follow the intended DAG (model below serve/dse/cli; obs a leaf)",
+        summary:
+            "crate dependencies follow the intended DAG (model below serve/dse/cli; obs a leaf)",
+    },
+    Rule {
+        id: "L12",
+        name: "no-raw-logging",
+        summary:
+            "no println!/eprintln!/dbg! outside the CLI and bench binaries; log via ia_obs::log",
     },
 ];
 

@@ -446,6 +446,45 @@ pub fn check_bounded_concurrency(
     }
 }
 
+/// L12 `no-raw-logging`: no `println!` / `eprintln!` / `print!` /
+/// `eprint!` / `dbg!` in non-test library code — diagnostics go
+/// through `ia_obs::log` so they are leveled, bounded, rate-limited
+/// and correlated. The CLI binary (the process's actual stdout/stderr
+/// owner) and the bench report binaries are exempt.
+pub fn check_no_raw_logging(
+    rel: &Path,
+    file: &SourceFile,
+    krate: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(
+            t.text.as_str(),
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+        ) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "!") {
+            continue;
+        }
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            rel.to_path_buf(),
+            t.line,
+            "no-raw-logging",
+            format!(
+                "`{}!` in non-test code of crate `{krate}`; emit a structured record via \
+                 `ia_obs::log` so it is leveled, bounded and correlated (waive with \
+                 `// lint: no-raw-logging`)",
+                t.text
+            ),
+        ));
+    }
+}
+
 /// L5 `nonfinite`: `f64::INFINITY` / `f64::NEG_INFINITY` / `f64::NAN`
 /// literals must sit within three lines of an `is_finite` / `is_nan` /
 /// `is_infinite` guard.

@@ -1,21 +1,26 @@
 //! Schema validation for the observability artifacts.
 //!
-//! Three documents are part of the workspace's stable machine-readable
+//! Five documents are part of the workspace's stable machine-readable
 //! surface (`docs/observability.md`):
 //!
 //! * the CLI's `--metrics json` snapshot
 //!   (`{"counters": {...}, "spans": [...], "histograms": [...]}`),
 //! * the bench harness's `BENCH_<name>.json` reports
 //!   (`{"bench": "...", "cases": [{"params", "wall_ns", "counters"}]}`,
-//!   optionally naming a sibling trace file in `"trace"`), and
+//!   optionally naming a sibling trace file in `"trace"`),
 //! * the Chrome trace-event exports written by `--trace` /
-//!   `TRACE_<name>.json` (a JSON array of `B`/`E`/`C`/`M` events).
+//!   `TRACE_<name>.json` (a JSON array of `B`/`E`/`C`/`M` events),
+//! * the structured log files written by `--log-file` and the serve
+//!   flight pump (JSON lines, one [`ia_obs::log::LogRecord`] per
+//!   line), and
+//! * the Prometheus 0.0.4 text exposition served by `GET /metrics`
+//!   under `Accept: text/plain`.
 //!
-//! CI runs `ia-lint check-metrics` / `ia-lint check-bench` /
-//! `ia-lint check-trace` on freshly emitted files so schema drift
-//! fails the build instead of silently breaking downstream consumers.
-//! The checkers parse with the same [`ia_obs::json`] tree the
-//! exporters render from, so integers are checked exactly.
+//! CI runs `ia-lint check-metrics` / `check-bench` / `check-trace` /
+//! `check-logs` / `check-prom` on freshly emitted files so schema
+//! drift fails the build instead of silently breaking downstream
+//! consumers. The JSON checkers parse with the same [`ia_obs::json`]
+//! tree the exporters render from, so integers are checked exactly.
 
 use ia_obs::json::JsonValue;
 use std::collections::{BTreeMap, BTreeSet};
@@ -426,6 +431,285 @@ pub fn check_spec(text: &str) -> Result<String, String> {
     ))
 }
 
+/// Validates a structured log file (JSON lines, one
+/// [`ia_obs::log::LogRecord`] per line) like `--log-file` and the
+/// serve flight pump append.
+///
+/// Each non-empty line must carry `ts_ns` (unsigned integer), `level`
+/// (one of `error`/`warn`/`info`/`debug`/`trace`), a non-empty
+/// `target`, `msg` and `tid`; optionally `ctx` (16 lowercase hex
+/// digits), a positive `suppressed` count (the writer omits zero) and
+/// a `fields` object.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or parse
+/// error) found, prefixed with its 1-based line number.
+pub fn check_logs(text: &str) -> Result<String, String> {
+    let mut records = 0usize;
+    let mut ctxs: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = format!("line {}", i + 1);
+        let doc = JsonValue::parse(line).map_err(|e| format!("{ctx}: invalid JSON: {e}"))?;
+        expect_u64(&doc, "ts_ns", &ctx)?;
+        let level = expect_str(&doc, "level", &ctx)?;
+        if !matches!(level, "error" | "warn" | "info" | "debug" | "trace") {
+            return Err(format!(
+                "{ctx}: `level` must be one of error/warn/info/debug/trace, got `{level}`"
+            ));
+        }
+        let target = expect_str(&doc, "target", &ctx)?;
+        if target.is_empty() {
+            return Err(format!("{ctx}: `target` must be non-empty"));
+        }
+        expect_str(&doc, "msg", &ctx)?;
+        expect_u64(&doc, "tid", &ctx)?;
+        if let Some(correlation) = doc.get("ctx") {
+            let hex = correlation
+                .as_str()
+                .ok_or_else(|| format!("{ctx}: `ctx` must be a string"))?;
+            let lower_hex = |b: u8| b.is_ascii_digit() || (b'a'..=b'f').contains(&b);
+            if hex.len() != 16 || !hex.bytes().all(lower_hex) {
+                return Err(format!(
+                    "{ctx}: `ctx` must be 16 lowercase hex digits, got `{hex}`"
+                ));
+            }
+            ctxs.insert(hex.to_owned());
+        }
+        if let Some(suppressed) = doc.get("suppressed") {
+            let n = suppressed
+                .as_u64()
+                .ok_or_else(|| format!("{ctx}: `suppressed` must be an unsigned integer"))?;
+            if n == 0 {
+                return Err(format!("{ctx}: `suppressed` is omitted when zero"));
+            }
+        }
+        if let Some(fields) = doc.get("fields") {
+            if fields.as_object().is_none() {
+                return Err(format!("{ctx}: `fields` must be an object"));
+            }
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err("log file has no records (was logging enabled?)".to_owned());
+    }
+    Ok(format!(
+        "log file OK: {records} record(s), {} correlation id(s)",
+        ctxs.len()
+    ))
+}
+
+/// One parsed Prometheus sample line: metric name, labels, value.
+type PromSample = (String, Vec<(String, String)>, f64);
+
+fn parse_prom_sample(line: &str, ctx: &str) -> Result<PromSample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("{ctx}: unclosed label braces"))?;
+            if close < open {
+                return Err(format!("{ctx}: unclosed label braces"));
+            }
+            (&line[..open], (&line[open + 1..close], &line[close + 1..]))
+        }
+        None => {
+            let space = line
+                .find(' ')
+                .ok_or_else(|| format!("{ctx}: sample needs `name value`"))?;
+            (&line[..space], ("", &line[space..]))
+        }
+    };
+    let name = name_part.trim();
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        || name.as_bytes()[0].is_ascii_digit()
+    {
+        return Err(format!("{ctx}: invalid metric name `{name}`"));
+    }
+    let (label_text, value_text) = rest;
+    let mut labels = Vec::new();
+    let mut chars = label_text.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err(format!("{ctx}: empty label name"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("{ctx}: label `{key}` value must be quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => value.push('\n'),
+                    Some(c) => value.push(c),
+                    None => return Err(format!("{ctx}: dangling escape in label `{key}`")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("{ctx}: unterminated value for label `{key}`")),
+            }
+        }
+        labels.push((key, value));
+        if chars.peek() == Some(&',') {
+            chars.next();
+        }
+    }
+    let value: f64 = value_text.trim().parse().map_err(|_| {
+        format!(
+            "{ctx}: sample value `{}` is not a number",
+            value_text.trim()
+        )
+    })?;
+    Ok((name.to_owned(), labels, value))
+}
+
+/// Validates a Prometheus 0.0.4 text exposition like `GET /metrics`
+/// serves under `Accept: text/plain`.
+///
+/// Checks that every sample's family (histogram `_bucket`/`_sum`/
+/// `_count` suffixes resolved to their base name) is declared by a
+/// preceding `# TYPE` line, that label values are well-quoted, and
+/// that each histogram series has non-decreasing cumulative bucket
+/// counts ending in a `+Inf` bucket equal to its `_count` sample.
+///
+/// Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// Returns a description of the first exposition violation found,
+/// prefixed with its 1-based line number.
+pub fn check_prom(text: &str) -> Result<String, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (family, non-le labels) -> cumulative bucket counts in file order,
+    // whether +Inf was seen, and the matching _count value.
+    let mut buckets: BTreeMap<(String, String), (Vec<f64>, bool)> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = format!("line {}", i + 1);
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if words.next() == Some("TYPE") {
+                let name = words
+                    .next()
+                    .ok_or_else(|| format!("{ctx}: `# TYPE` needs a metric name"))?;
+                let kind = words
+                    .next()
+                    .ok_or_else(|| format!("{ctx}: `# TYPE {name}` needs a kind"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("{ctx}: unknown metric kind `{kind}`"));
+                }
+                if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                    return Err(format!("{ctx}: duplicate `# TYPE` for `{name}`"));
+                }
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_prom_sample(line, &ctx)?;
+        samples += 1;
+        // Resolve histogram component suffixes to their family name.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(&name);
+        if !types.contains_key(family) {
+            return Err(format!(
+                "{ctx}: sample `{name}` has no preceding `# TYPE` declaration"
+            ));
+        }
+        if types[family] == "histogram" && family != name.as_str() {
+            let series: String = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v},"))
+                .collect();
+            let key = (family.to_owned(), series);
+            if let Some(suffix) = name.strip_prefix(family) {
+                match suffix {
+                    "_bucket" => {
+                        let le = labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.as_str())
+                            .ok_or_else(|| format!("{ctx}: `{name}` is missing its `le` label"))?;
+                        let entry = buckets.entry(key).or_default();
+                        if entry.1 {
+                            return Err(format!("{ctx}: bucket after `+Inf` in `{name}`"));
+                        }
+                        if le == "+Inf" {
+                            entry.1 = true;
+                        } else if le.parse::<f64>().is_err() {
+                            return Err(format!(
+                                "{ctx}: bucket boundary `le=\"{le}\"` is not a number"
+                            ));
+                        }
+                        if entry.0.last().is_some_and(|prev| value < *prev) {
+                            return Err(format!(
+                                "{ctx}: cumulative bucket count went backwards in `{name}`"
+                            ));
+                        }
+                        entry.0.push(value);
+                    }
+                    "_count" => {
+                        counts.insert(key, value);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if samples == 0 {
+        return Err("exposition has no samples".to_owned());
+    }
+    for ((family, series), (cumulative, saw_inf)) in &buckets {
+        let ctx = format!("histogram `{family}` series `{{{series}}}`");
+        if !saw_inf {
+            return Err(format!("{ctx}: missing `+Inf` bucket"));
+        }
+        let count = counts
+            .get(&(family.clone(), series.clone()))
+            .ok_or_else(|| format!("{ctx}: missing `_count` sample"))?;
+        let last = cumulative.last().copied().unwrap_or(0.0);
+        if (last - count).abs() > f64::EPSILON * count.abs() {
+            return Err(format!(
+                "{ctx}: `+Inf` bucket ({last}) disagrees with `_count` ({count})"
+            ));
+        }
+    }
+    Ok(format!(
+        "prometheus exposition OK: {} families, {samples} sample(s), {} histogram series",
+        types.len(),
+        buckets.len()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,7 +894,9 @@ mod tests {
 
     #[test]
     fn sarif_rejects_bad_shapes() {
-        assert!(check_sarif("not json").unwrap_err().contains("invalid JSON"));
+        assert!(check_sarif("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
         assert!(check_sarif(r#"{"version":"2.0.0","runs":[]}"#)
             .unwrap_err()
             .contains("2.1.0"));
@@ -641,6 +927,117 @@ mod tests {
             "tool":{"driver":{"name":"ia-lint","rules":[{"id":"x"},{"id":"x"}]}},
             "results":[]}]}"#;
         assert!(check_sarif(dup).unwrap_err().contains("duplicate"));
+    }
+
+    const GOOD_LOGS: &str = concat!(
+        "{\"ts_ns\":42,\"level\":\"info\",\"target\":\"serve.request\",",
+        "\"msg\":\"handled\",\"tid\":7,\"ctx\":\"00000000000000a1\",",
+        "\"suppressed\":2,\"fields\":{\"status\":200}}\n",
+        "{\"ts_ns\":43,\"level\":\"debug\",\"target\":\"dse.round\",",
+        "\"msg\":\"round executed\",\"tid\":1}\n",
+    );
+
+    #[test]
+    fn good_logs_pass() {
+        let summary = check_logs(GOOD_LOGS).unwrap();
+        assert!(summary.contains("2 record(s)"), "{summary}");
+        assert!(summary.contains("1 correlation id(s)"), "{summary}");
+    }
+
+    #[test]
+    fn logs_reject_bad_shapes() {
+        assert!(check_logs("").unwrap_err().contains("no records"));
+        assert!(check_logs("not json\n").unwrap_err().contains("line 1"));
+        let bad_level = r#"{"ts_ns":1,"level":"fatal","target":"t","msg":"m","tid":1}"#;
+        assert!(check_logs(bad_level).unwrap_err().contains("fatal"));
+        let bad_ctx = r#"{"ts_ns":1,"level":"info","target":"t","msg":"m","tid":1,"ctx":"XY"}"#;
+        assert!(check_logs(bad_ctx)
+            .unwrap_err()
+            .contains("16 lowercase hex"));
+        let zero_sup =
+            r#"{"ts_ns":1,"level":"info","target":"t","msg":"m","tid":1,"suppressed":0}"#;
+        assert!(check_logs(zero_sup).unwrap_err().contains("omitted"));
+        let empty_target = r#"{"ts_ns":1,"level":"info","target":"","msg":"m","tid":1}"#;
+        assert!(check_logs(empty_target).unwrap_err().contains("non-empty"));
+        // The line number in the error is 1-based and skips blanks.
+        let second_bad = "\n{\"ts_ns\":1,\"level\":\"info\",\"target\":\"t\",\
+                          \"msg\":\"m\",\"tid\":1}\nbroken";
+        assert!(check_logs(second_bad).unwrap_err().contains("line 3"));
+    }
+
+    const GOOD_PROM: &str = "\
+# HELP iarank_http_requests_total requests by endpoint\n\
+# TYPE iarank_http_requests_total counter\n\
+iarank_http_requests_total{endpoint=\"/solve\"} 3\n\
+# TYPE iarank_http_request_duration_us histogram\n\
+iarank_http_request_duration_us_bucket{endpoint=\"/solve\",le=\"100\"} 1\n\
+iarank_http_request_duration_us_bucket{endpoint=\"/solve\",le=\"1000\"} 2\n\
+iarank_http_request_duration_us_bucket{endpoint=\"/solve\",le=\"+Inf\"} 3\n\
+iarank_http_request_duration_us_sum{endpoint=\"/solve\"} 1200\n\
+iarank_http_request_duration_us_count{endpoint=\"/solve\"} 3\n\
+# TYPE iarank_up gauge\n\
+iarank_up 1\n";
+
+    #[test]
+    fn good_prometheus_exposition_passes() {
+        let summary = check_prom(GOOD_PROM).unwrap();
+        assert!(summary.contains("3 families"), "{summary}");
+        assert!(summary.contains("1 histogram series"), "{summary}");
+    }
+
+    #[test]
+    fn prom_rejects_undeclared_and_broken_samples() {
+        assert!(check_prom("").unwrap_err().contains("no samples"));
+        assert!(check_prom("orphan_metric 1\n")
+            .unwrap_err()
+            .contains("no preceding `# TYPE`"));
+        assert!(check_prom("# TYPE m widget\nm 1\n")
+            .unwrap_err()
+            .contains("unknown metric kind"));
+        let unquoted = "# TYPE m counter\nm{l=v} 1\n";
+        assert!(check_prom(unquoted).unwrap_err().contains("quoted"));
+        let nan = "# TYPE m counter\nm x\n";
+        assert!(check_prom(nan).unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn prom_enforces_cumulative_histograms() {
+        let backwards = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_bucket{le=\"+Inf\"} 3\n\
+h_sum 9\n\
+h_count 3\n";
+        assert!(check_prom(backwards)
+            .unwrap_err()
+            .contains("went backwards"));
+        let no_inf = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 1\n\
+h_sum 1\n\
+h_count 1\n";
+        assert!(check_prom(no_inf).unwrap_err().contains("+Inf"));
+        let disagrees = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 1\n\
+h_bucket{le=\"+Inf\"} 2\n\
+h_sum 3\n\
+h_count 5\n";
+        assert!(check_prom(disagrees).unwrap_err().contains("disagrees"));
+    }
+
+    #[test]
+    fn prom_validates_the_served_exposition_shape() {
+        // The serve renderer escapes label values; round-trip one.
+        let mut w = ia_obs::prometheus::PromWriter::new();
+        w.family("iarank_http_requests_total", "counter", "requests");
+        w.sample(
+            "iarank_http_requests_total",
+            &[("endpoint", "/solve\"x\\y")],
+            2,
+        );
+        let summary = check_prom(&w.finish()).unwrap();
+        assert!(summary.contains("1 families"), "{summary}");
     }
 
     #[test]

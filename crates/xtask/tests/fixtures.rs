@@ -230,6 +230,29 @@ fn l11_descending_dependencies_are_clean() {
 }
 
 #[test]
+fn l12_raw_logging_is_reported() {
+    let diags = lint_fixture("no_raw_logging");
+    assert_eq!(diags.len(), 3, "got {diags:?}");
+    for d in &diags {
+        assert_eq!(d.file, Path::new("crates/report/src/lib.rs"));
+        assert_eq!(d.rule, "no-raw-logging");
+        assert!(d.message.contains("ia_obs::log"));
+    }
+    assert_eq!(diags[0].line, 9);
+    assert!(diags[0].message.contains("`println!`"));
+    assert_eq!(diags[1].line, 14);
+    assert!(diags[1].message.contains("`eprintln!`"));
+    assert_eq!(diags[2].line, 20);
+    assert!(diags[2].message.contains("`dbg!`"));
+}
+
+#[test]
+fn l12_exempts_the_cli_and_bench_crates() {
+    let diags = lint_fixture("no_raw_logging_cli");
+    assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+}
+
+#[test]
 fn stale_waivers_are_audited_by_default() {
     let diags = lint_fixture("stale_waiver");
     assert_eq!(diags.len(), 1, "got {diags:?}");
@@ -508,7 +531,10 @@ fn cli_sarif_format_roundtrips_through_check_sarif() {
     assert_eq!(out.status.code(), Some(1), "findings must still exit 1");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
-    assert!(stdout.contains("\"ruleId\": \"lock-discipline\""), "{stdout}");
+    assert!(
+        stdout.contains("\"ruleId\": \"lock-discipline\""),
+        "{stdout}"
+    );
     // The emitted log must satisfy the tool's own SARIF validator.
     let summary = xtask::schema::check_sarif(&stdout).expect("emitted SARIF is valid");
     assert!(summary.contains("4 result(s)"), "{summary}");

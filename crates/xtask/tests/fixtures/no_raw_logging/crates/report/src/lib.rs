@@ -1,0 +1,44 @@
+//! Fixture: raw stdout/stderr logging outside the CLI and bench
+//! binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Raw stdout print: flagged.
+pub fn announce(x: u64) {
+    println!("value is {x}");
+}
+
+/// Raw stderr print: flagged.
+pub fn complain(x: u64) {
+    eprintln!("bad value {x}");
+}
+
+/// Debug macro: flagged.
+#[must_use]
+pub fn inspect(x: u64) -> u64 {
+    dbg!(x)
+}
+
+/// Waived print: not flagged.
+pub fn announce_waived(x: u64) {
+    println!("value is {x}"); // lint: no-raw-logging (fixture waiver)
+}
+
+/// A doc example mentioning `println!` is comment text, not code:
+///
+/// ```
+/// println!("doc examples are exempt");
+/// ```
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_print_directly() {
+        println!("tests own their stdout");
+        announce(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: the bench binaries print their reports to stdout, so raw
+//! prints there are sanctioned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A bench report line: not flagged.
+pub fn report(wall_ns: u64) {
+    println!("BENCH wall_ns={wall_ns}");
+}

@@ -1,0 +1,11 @@
+//! Fixture: the CLI crate owns the process stdout/stderr, so raw
+//! prints there are sanctioned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The CLI may print directly: not flagged.
+pub fn emit(x: u64) {
+    println!("value is {x}");
+    eprintln!("note: {x}");
+}
