@@ -64,6 +64,10 @@ pub struct MetricsOptions {
     pub format: Option<MetricsFormat>,
     /// Whether to print the span-timing tree.
     pub profile: bool,
+    /// Path for the aggregated span profile, if `--prof-out` was
+    /// given. A `.json` extension selects the `ia-prof-v1` JSON tree;
+    /// anything else gets folded-stack flamegraph text.
+    pub prof_out: Option<String>,
     /// Path for the Chrome trace-event export, if `--trace` was given.
     pub trace: Option<String>,
     /// Structured-log verbosity ceiling, if `--log-level` was given.
@@ -74,8 +78,9 @@ pub struct MetricsOptions {
 }
 
 impl MetricsOptions {
-    /// Reads `--metrics text|json`, `--profile`, `--trace PATH`,
-    /// `--log-level LEVEL` and `--log-file PATH` from the parsed args.
+    /// Reads `--metrics text|json`, `--profile`, `--prof-out PATH`,
+    /// `--trace PATH`, `--log-level LEVEL` and `--log-file PATH` from
+    /// the parsed args.
     ///
     /// # Errors
     ///
@@ -95,6 +100,7 @@ impl MetricsOptions {
         let profile = args
             .get_str("profile")
             .is_some_and(|v| v == "true" || v == "1");
+        let prof_out = args.get_str("prof-out");
         let trace = args.get_str("trace");
         let log_file = args.get_str("log-file");
         let log_level = match args.get_str("log-level").as_deref() {
@@ -108,6 +114,7 @@ impl MetricsOptions {
         Ok(Self {
             format,
             profile,
+            prof_out,
             trace,
             log_level,
             log_file,
@@ -117,7 +124,7 @@ impl MetricsOptions {
     /// Whether the collector must be enabled before dispatch.
     #[must_use]
     pub fn wants_collector(&self) -> bool {
-        self.format.is_some() || self.profile
+        self.format.is_some() || self.profile || self.prof_out.is_some()
     }
 
     /// Whether event tracing must be enabled before dispatch.
@@ -157,6 +164,29 @@ impl MetricsOptions {
         Ok(Some(path.clone()))
     }
 
+    /// Writes the aggregated span profile to the `--prof-out` path:
+    /// the `ia-prof-v1` JSON tree when the path ends in `.json`,
+    /// folded-stack flamegraph text otherwise. Returns the path
+    /// written, or `None` when `--prof-out` was not given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Domain`] when the file cannot be written.
+    pub fn write_prof(&self) -> Result<Option<String>, CliError> {
+        let Some(path) = &self.prof_out else {
+            return Ok(None);
+        };
+        let profile = ia_obs::Profile::from_snapshot(&ia_obs::snapshot());
+        let body = if path.ends_with(".json") {
+            profile.to_json_string()
+        } else {
+            profile.to_folded()
+        };
+        std::fs::write(path, body)
+            .map_err(|e| CliError::Domain(format!("cannot write profile {path}: {e}")))?;
+        Ok(Some(path.clone()))
+    }
+
     /// Drains the buffered trace events and writes the Chrome
     /// trace-event export to the `--trace` path. Returns the path
     /// written, or `None` when `--trace` was not given.
@@ -186,7 +216,7 @@ impl MetricsOptions {
         let mut out = String::new();
         if self.profile {
             out.push_str("\n-- profile --\n");
-            out.push_str(&snapshot.span_tree());
+            out.push_str(&ia_obs::Profile::from_snapshot(&snapshot).to_text());
         }
         match self.format {
             Some(MetricsFormat::Text) => {
@@ -690,8 +720,12 @@ TELEMETRY FLAGS (any command):
   --metrics text|json      print solver counters and span timings after
                            the command output (json is one compact
                            object on the final stdout line)
-  --profile                print the span-timing tree (--profile true
-                           also accepted)
+  --profile                print the aggregated span-profile tree
+                           (--profile true also accepted)
+  --prof-out FILE          write the aggregated span profile: folded
+                           flamegraph stacks (inferno / speedscope),
+                           or the ia-prof-v1 JSON tree when FILE ends
+                           in .json
   --trace FILE.json        record span/counter events and write a
                            Chrome trace-event file (open it at
                            ui.perfetto.dev or chrome://tracing)
@@ -705,6 +739,7 @@ EXAMPLES:
   iarank rank --node 130 --gates 1000000 --detail true
   iarank rank --gates 400000 --metrics json
   iarank sweep --axis r --gates 400000 --profile
+  iarank rank --gates 400000 --prof-out rank.folded
   iarank sweep --axis k --gates 400000 --parallel --trace sweep.json
   iarank wld --gates 250000 --out design.csv
   iarank optimize --node 90 --max-pairs 5 --gates 400000
@@ -981,7 +1016,7 @@ mod tests {
         let spans = doc.get("spans").unwrap().as_array().unwrap();
         assert!(spans
             .iter()
-            .any(|s| s.get("path").and_then(ia_obs::json::JsonValue::as_str) == Some("dp_solve")));
+            .any(|s| s.get("path").and_then(ia_obs::json::JsonValue::as_str) == Some("dp.solve")));
     }
 
     #[test]
@@ -1001,8 +1036,58 @@ mod tests {
         let rendered = metrics.render();
         assert!(rendered.contains("-- profile --"));
         assert!(rendered.contains("-- metrics --"));
-        assert!(rendered.contains("dp_solve"));
+        assert!(rendered.contains("dp.solve"));
         assert!(rendered.contains("dp.states"));
+    }
+
+    #[test]
+    fn prof_out_writes_valid_folded_stacks_and_json() {
+        let dir = std::env::temp_dir().join(format!("iarank_prof_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let folded_path = dir.join("rank.folded");
+        let (_, metrics) = run_with_metrics(&[
+            "rank",
+            "--gates",
+            "30000",
+            "--bunch",
+            "3000",
+            "--prof-out",
+            folded_path.to_str().unwrap(),
+        ]);
+        assert!(
+            metrics.wants_collector(),
+            "--prof-out enables the collector"
+        );
+        assert_eq!(
+            metrics.write_prof().unwrap().as_deref(),
+            folded_path.to_str(),
+            "write_prof reports the written path"
+        );
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        let parsed = ia_obs::Profile::from_folded(&folded).expect("folded output parses");
+        assert_eq!(
+            parsed.to_folded(),
+            folded,
+            "folded export round-trips byte-identically"
+        );
+        assert!(
+            folded.lines().any(|l| l.starts_with("dp.solve")),
+            "solver stacks present: {folded}"
+        );
+
+        let json_path = dir.join("rank.json");
+        let json_metrics = MetricsOptions {
+            prof_out: Some(json_path.to_str().unwrap().to_owned()),
+            ..MetricsOptions::default()
+        };
+        json_metrics.write_prof().unwrap();
+        let doc = ia_obs::json::JsonValue::parse(&std::fs::read_to_string(&json_path).unwrap())
+            .expect("profile JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(ia_obs::json::JsonValue::as_str),
+            Some("ia-prof-v1")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -1035,7 +1120,7 @@ mod tests {
             .filter_map(|s| s.get("path").and_then(ia_obs::json::JsonValue::as_str))
             .collect();
         assert!(paths.contains(&"sweep.parallel"), "{paths:?}");
-        assert!(paths.contains(&"dp_solve"), "{paths:?}");
+        assert!(paths.contains(&"dp.solve"), "{paths:?}");
     }
 
     #[test]

@@ -64,6 +64,14 @@ fn main() {
             // The trace and logs go to their own files; confirmations
             // go to stderr so `--metrics json | tail -n 1` stays
             // intact.
+            match metrics.write_prof() {
+                Ok(Some(path)) => eprintln!("profile written to {path}"),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
             match metrics.write_trace() {
                 Ok(Some(path)) => eprintln!("trace written to {path}"),
                 Ok(None) => {}

@@ -60,6 +60,7 @@ impl Front {
     /// Inserts an entry unless dominated; prunes entries it dominates.
     /// Returns whether the entry was kept.
     fn insert(&mut self, e: FrontEntry) -> bool {
+        let _merge_span = telemetry::hot_span(names::SPAN_DP_FRONT_MERGE);
         // Find insertion point by area.
         let pos = self
             .entries
@@ -73,13 +74,17 @@ impl Front {
         }
         // Prune successors the new entry dominates.
         let mut end = pos;
-        while end < self.entries.len()
-            && self.entries[end].area >= e.area
-            && self.entries[end].count >= e.count
         {
-            end += 1;
+            let _scan_span = telemetry::hot_span(names::SPAN_DP_PRUNE_SCAN);
+            while end < self.entries.len()
+                && self.entries[end].area >= e.area
+                && self.entries[end].count >= e.count
+            {
+                end += 1;
+            }
         }
         let pruned = (end - pos) as u64;
+        telemetry::histogram_record(names::DP_PRUNE_SCANNED, pruned);
         self.entries.splice(pos..end, [e]);
         telemetry::counter_add(names::DP_FRONT_INSERTIONS, 1);
         telemetry::counter_add(names::DP_FRONT_PRUNED, pruned);
@@ -194,7 +199,10 @@ pub fn rank(inst: &Instance) -> Solution {
     telemetry::counter_add(names::INSTANCE_BUNCHES, n as u64);
     telemetry::counter_add(names::INSTANCE_PAIRS, m as u64);
 
-    let mut best = Solution::zero(greedy_pack(inst, 0, 0, 0, 0));
+    let mut best = {
+        let _seed_span = telemetry::span(names::SPAN_DP_SEED);
+        Solution::zero(greedy_pack(inst, 0, 0, 0, 0))
+    };
     let mut pack_memo: HashMap<(usize, usize, u64), bool> = HashMap::new();
 
     // try_finalize: treat `pair` as the active pair, with delay-met
@@ -232,12 +240,17 @@ pub fn rank(inst: &Instance) -> Solution {
         }
         let wires_above = inst.wires_before(extras_end);
         let key = (extras_end, pair + 1, entry.count);
-        let ok = match pack_memo.get(&key) {
-            Some(&cached) => {
+        let cached = {
+            let _probe_span = telemetry::hot_span(names::SPAN_DP_MEMO_PROBE);
+            pack_memo.get(&key).copied()
+        };
+        let ok = match cached {
+            Some(cached) => {
                 telemetry::counter_add(names::DP_MEMO_HITS, 1);
                 cached
             }
             None => {
+                let _insert_span = telemetry::hot_span(names::SPAN_DP_MEMO_INSERT);
                 let computed = greedy_pack(inst, extras_end, pair + 1, wires_above, entry.count);
                 pack_memo.insert(key, computed);
                 computed
@@ -270,11 +283,13 @@ pub fn rank(inst: &Instance) -> Solution {
     });
 
     for j in 0..m {
+        let _expand_span = telemetry::span(names::SPAN_DP_EXPAND);
         let mut next: Vec<Option<Front>> = vec![None; n + 1];
         for i1 in 0..=n {
             let Some(front) = prev[i1].take() else {
                 continue;
             };
+            telemetry::histogram_record(names::DP_FRONT_OCCUPANCY, front.entries.len() as u64);
             for entry in &front.entries {
                 telemetry::counter_add(names::DP_STATES, 1);
                 let cap = inst.blocked_capacity(j, inst.wires_before(i1), entry.count);
@@ -323,6 +338,11 @@ pub fn rank(inst: &Instance) -> Solution {
         prev = next;
     }
 
+    // End the solve span here: the strict-invariants cross-check below
+    // re-solves the instance at zero budget, and that debug contract
+    // must not count as (or nest inside) this solve's phase profile.
+    drop(_solve_span);
+
     #[cfg(feature = "strict-invariants")]
     {
         // Solution self-consistency: the reported rank counts exactly
@@ -345,6 +365,7 @@ pub fn rank(inst: &Instance) -> Solution {
         // (The zero-budget re-solve does not recurse further.)
         if budget > 0.0 {
             if let Some(free) = budget_free_variant(inst) {
+                let _recheck_span = telemetry::span(names::SPAN_DP_STRICT_RECHECK);
                 let lower = rank(&free);
                 debug_assert!(
                     lower.rank_wires <= best.rank_wires,

@@ -541,11 +541,42 @@ mod tests {
         assert_eq!(
             snap.spans[names::SPAN_DP_SOLVE].calls,
             3,
-            "one merged dp_solve span per worker"
+            "one merged dp.solve span per worker"
         );
         assert!(
             snap.spans.contains_key(names::SPAN_SWEEP_PARALLEL),
             "the caller's own span is still there"
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn parallel_cached_sweep_merges_worker_phase_spans() {
+        let node = presets::tsmc130();
+        let arch = Architecture::baseline(&node);
+        let base = RankProblem::builder(&node, &arch)
+            .wld_spec(WldSpec::new(20_000).unwrap())
+            .bunch_size(2_000);
+        let cache = MapCache::default();
+        ia_obs::set_enabled(true);
+        ia_obs::reset();
+        let _ = sweep_parallel_cached(&base, &[3.9, 3.0, 2.1], apply_k, &cache).unwrap();
+        let snap = ia_obs::snapshot();
+        // Workers solve inside their own thread-local collectors; after
+        // the merge, the solver's phase spans appear under the same
+        // dp.solve/expand paths as a serial solve would record.
+        let expand = format!("{}/{}", names::SPAN_DP_SOLVE, names::SPAN_DP_EXPAND);
+        let solves = snap.spans[names::SPAN_DP_SOLVE].calls;
+        assert_eq!(solves, 3, "one merged dp.solve span per worker");
+        assert!(
+            snap.spans[&expand].calls >= solves,
+            "at least one merged expand span per solve: {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
+        let merge = format!("{expand}/{}", names::SPAN_DP_FRONT_MERGE);
+        assert!(
+            snap.spans[&merge].calls > 0,
+            "front merges recorded under the expand phase"
         );
     }
 

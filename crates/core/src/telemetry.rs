@@ -34,6 +34,16 @@ pub mod names {
     /// Histogram: Pareto-front length after each accepted insertion
     /// (log-scale buckets).
     pub const DP_FRONT_LEN: &str = "dp.front_len";
+    /// Histogram: Pareto-front occupancy (entry count) of each DP
+    /// state as the main loop expands it. Together with
+    /// [`DP_FRONT_LEN`] this separates "how big do fronts get" from
+    /// "how big are the fronts we actually pay to expand".
+    pub const DP_FRONT_OCCUPANCY: &str = "dp.front_occupancy";
+    /// Histogram: successor entries scanned (and pruned) per accepted
+    /// front insertion — the prune-efficiency distribution. Mostly 0
+    /// on well-ordered instances; a fat tail means insertion order is
+    /// fighting the domination test.
+    pub const DP_PRUNE_SCANNED: &str = "dp.prune_scanned";
     /// Counter: bunches of the instance handed to the solver.
     pub const INSTANCE_BUNCHES: &str = "instance.bunches";
     /// Counter: layer-pairs of the instance handed to the solver.
@@ -48,9 +58,41 @@ pub mod names {
     pub const SWEEP_CACHE_MISSES: &str = "sweep.cache.misses";
 
     /// Span: the DP solve proper ([`crate::dp::rank`]).
-    pub const SPAN_DP_SOLVE: &str = "dp_solve";
-    /// Span: solution-path reconstruction (nested under
-    /// [`SPAN_DP_SOLVE`]).
+    pub const SPAN_DP_SOLVE: &str = "dp.solve";
+    /// Span: one layer-pair expansion of the DP main loop (nested
+    /// under [`SPAN_DP_SOLVE`], one call per pair). The solver phase
+    /// spans below all nest under it, so a profile attributes
+    /// essentially all of `dp.solve` to named phases.
+    pub const SPAN_DP_EXPAND: &str = "expand";
+    /// Span: the Algorithm-5 base assignability check seeding the DP
+    /// (one `greedy_pack` over the whole WLD, nested under
+    /// [`SPAN_DP_SOLVE`] before the first expansion).
+    pub const SPAN_DP_SEED: &str = "seed";
+    /// Span: the `strict-invariants` budget-monotonicity cross-check —
+    /// a zero-budget re-solve of the instance. Recorded as a sibling of
+    /// [`SPAN_DP_SOLVE`] (never inside it) so debug contracts stay out
+    /// of the solver's phase profile.
+    pub const SPAN_DP_STRICT_RECHECK: &str = "strict.recheck";
+    /// Span: one `pack_memo` feasibility probe (nested under
+    /// [`SPAN_DP_EXPAND`]). Like the other per-iteration micro-phases
+    /// (`memo.insert`, `front.merge`, `prune.scan`) it is recorded via
+    /// `ia_obs::hot_span`: it aggregates into profiles and flamegraphs
+    /// but never emits trace events — a single solve opens these spans
+    /// often enough to flood the bounded per-thread trace buffers.
+    pub const SPAN_DP_MEMO_PROBE: &str = "memo.probe";
+    /// Span: one memo miss — the `greedy_pack` recompute plus the memo
+    /// insert (sibling of [`SPAN_DP_MEMO_PROBE`]; profile-only, see
+    /// there).
+    pub const SPAN_DP_MEMO_INSERT: &str = "memo.insert";
+    /// Span: one Pareto-front merge (`Front::insert`, nested under
+    /// [`SPAN_DP_EXPAND`]; profile-only, see [`SPAN_DP_MEMO_PROBE`]).
+    pub const SPAN_DP_FRONT_MERGE: &str = "front.merge";
+    /// Span: the dominated-successor prune scan inside a front merge
+    /// (nested under [`SPAN_DP_FRONT_MERGE`]; profile-only, see
+    /// [`SPAN_DP_MEMO_PROBE`]).
+    pub const SPAN_DP_PRUNE_SCAN: &str = "prune.scan";
+    /// Span: solution-path reconstruction (nested under the expansion
+    /// phase of [`SPAN_DP_SOLVE`]).
     pub const SPAN_RECONSTRUCT: &str = "reconstruct";
     /// Span: lowering physics + WLD to a solver [`crate::Instance`]
     /// (`RankProblemBuilder::build`).
@@ -80,7 +122,7 @@ pub mod names {
 }
 
 #[cfg(feature = "telemetry")]
-pub(crate) use ia_obs::{counter_add, counter_max, histogram_record, span, MergeSink};
+pub(crate) use ia_obs::{counter_add, counter_max, histogram_record, hot_span, span, MergeSink};
 
 /// Inert stand-ins compiled when the `telemetry` feature is off: every
 /// recording call is an empty inlined function the optimizer erases.
@@ -126,7 +168,13 @@ mod noop {
     pub(crate) fn span(_name: &'static str) -> Span {
         Span
     }
+
+    #[inline(always)]
+    #[must_use]
+    pub(crate) fn hot_span(_name: &'static str) -> Span {
+        Span
+    }
 }
 
 #[cfg(not(feature = "telemetry"))]
-pub(crate) use noop::{counter_add, counter_max, histogram_record, span, MergeSink};
+pub(crate) use noop::{counter_add, counter_max, histogram_record, hot_span, span, MergeSink};

@@ -175,9 +175,7 @@ impl Storage {
         }
         self.maxima.extend(other.maxima);
         for (path, stat) in other.spans {
-            let slot = self.spans.entry(path).or_default();
-            slot.calls += stat.calls;
-            slot.total_ns = slot.total_ns.saturating_add(stat.total_ns);
+            self.spans.entry(path).or_default().merge(&stat);
         }
         for (name, hist) in other.histograms {
             self.histograms.entry(name).or_default().merge(&hist);

@@ -17,6 +17,42 @@ pub struct SpanStat {
     pub calls: u64,
     /// Total time spent inside the span, in nanoseconds (saturating).
     pub total_ns: u64,
+    /// Shortest single call, in nanoseconds (0 when no call closed).
+    pub min_ns: u64,
+    /// Longest single call, in nanoseconds (0 when no call closed).
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Folds one closed call of `ns` nanoseconds into the stat.
+    pub fn record(&mut self, ns: u64) {
+        if self.calls == 0 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.calls += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Folds another stat (e.g. a worker thread's aggregate) into this
+    /// one; extremes merge as min-of-mins / max-of-maxes, ignoring the
+    /// side that never recorded a call.
+    pub fn merge(&mut self, other: &SpanStat) {
+        if other.calls == 0 {
+            return;
+        }
+        if self.calls == 0 {
+            self.min_ns = other.min_ns;
+            self.max_ns = other.max_ns;
+        } else {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.calls += other.calls;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
 }
 
 /// Exported statistics for one histogram.
@@ -63,7 +99,8 @@ impl Snapshot {
     ///
     /// ```json
     /// {"counters": {"dp.states": 123},
-    ///  "spans": [{"path": "dp_solve", "calls": 1, "total_ns": 456}],
+    ///  "spans": [{"path": "dp.solve", "calls": 1, "total_ns": 456,
+    ///             "min_ns": 456, "max_ns": 456}],
     ///  "histograms": [{"name": "dp.front_len", "count": 9, "sum": 30,
     ///                  "min": 1, "max": 7,
     ///                  "buckets": [{"le": 7, "count": 9}]}]}
@@ -83,6 +120,8 @@ impl Snapshot {
                     ("path".to_string(), JsonValue::Str(path.clone())),
                     ("calls".to_string(), JsonValue::UInt(stat.calls)),
                     ("total_ns".to_string(), JsonValue::UInt(stat.total_ns)),
+                    ("min_ns".to_string(), JsonValue::UInt(stat.min_ns)),
+                    ("max_ns".to_string(), JsonValue::UInt(stat.max_ns)),
                 ])
             })
             .collect();
@@ -171,7 +210,7 @@ impl Snapshot {
     ///
     /// ```text
     /// span tree:
-    ///   dp_solve            calls=1  total=35.1ms
+    ///   dp.solve            calls=1  total=35.1ms
     ///     reconstruct       calls=1  total=0.4ms
     /// ```
     #[must_use]
@@ -210,7 +249,7 @@ impl Snapshot {
 }
 
 /// Formats nanoseconds with a readable unit (ns / µs / ms / s).
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns}ns")
     } else if ns < 1_000_000 {
@@ -231,17 +270,21 @@ mod tests {
         snap.counters.insert("dp.states".to_string(), 42);
         snap.counters.insert("dp.front_max".to_string(), 7);
         snap.spans.insert(
-            "dp_solve".to_string(),
+            "dp.solve".to_string(),
             SpanStat {
                 calls: 1,
                 total_ns: 1_500_000,
+                min_ns: 1_500_000,
+                max_ns: 1_500_000,
             },
         );
         snap.spans.insert(
-            "dp_solve/reconstruct".to_string(),
+            "dp.solve/reconstruct".to_string(),
             SpanStat {
                 calls: 2,
                 total_ns: 800,
+                min_ns: 300,
+                max_ns: 500,
             },
         );
         snap.histograms.insert(
@@ -276,12 +319,20 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(
             spans[0].get("path").and_then(JsonValue::as_str),
-            Some("dp_solve")
+            Some("dp.solve")
         );
         assert_eq!(spans[0].get("calls").and_then(JsonValue::as_u64), Some(1));
         assert_eq!(
             spans[0].get("total_ns").and_then(JsonValue::as_u64),
             Some(1_500_000)
+        );
+        assert_eq!(
+            spans[1].get("min_ns").and_then(JsonValue::as_u64),
+            Some(300)
+        );
+        assert_eq!(
+            spans[1].get("max_ns").and_then(JsonValue::as_u64),
+            Some(500)
         );
         let hists = parsed
             .get("histograms")
@@ -302,7 +353,7 @@ mod tests {
     fn text_export_lists_every_section() {
         let text = sample().to_text();
         assert!(text.contains("dp.states = 42"));
-        assert!(text.contains("dp_solve: calls=1 total=1.5ms"));
+        assert!(text.contains("dp.solve: calls=1 total=1.5ms"));
         assert!(text.contains("dp.front_len: count=3 min=1 max=5 mean=3.00"));
         let empty = Snapshot::default().to_text();
         assert!(empty.contains("counters:\n  (none)"));
@@ -313,7 +364,7 @@ mod tests {
         let tree = sample().span_tree();
         let lines: Vec<&str> = tree.lines().collect();
         assert_eq!(lines[0], "span tree:");
-        assert!(lines[1].trim_start().starts_with("dp_solve"));
+        assert!(lines[1].trim_start().starts_with("dp.solve"));
         assert!(
             lines[2].starts_with("    reconstruct")
                 || lines[2].trim_start().starts_with("reconstruct")
@@ -324,6 +375,35 @@ mod tests {
             child_indent > parent_indent,
             "child is indented deeper:\n{tree}"
         );
+    }
+
+    #[test]
+    fn span_stat_record_and_merge_track_extremes() {
+        let mut stat = SpanStat::default();
+        stat.record(40);
+        stat.record(10);
+        stat.record(90);
+        assert_eq!((stat.calls, stat.total_ns), (3, 140));
+        assert_eq!((stat.min_ns, stat.max_ns), (10, 90));
+
+        // Merging an empty side leaves the extremes untouched.
+        stat.merge(&SpanStat::default());
+        assert_eq!((stat.min_ns, stat.max_ns), (10, 90));
+
+        // Merging into an empty stat adopts the other side's extremes.
+        let mut empty = SpanStat::default();
+        empty.merge(&stat);
+        assert_eq!(empty, stat);
+
+        let other = SpanStat {
+            calls: 2,
+            total_ns: 105,
+            min_ns: 5,
+            max_ns: 100,
+        };
+        stat.merge(&other);
+        assert_eq!((stat.calls, stat.total_ns), (5, 245));
+        assert_eq!((stat.min_ns, stat.max_ns), (5, 100));
     }
 
     #[test]

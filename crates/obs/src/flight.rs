@@ -176,9 +176,10 @@ impl FlightRecorder {
     }
 
     /// Renders the diagnostic bundle (schema `ia-flight-v1`): the dump
-    /// reason, the effective configuration, a final live `snapshot`,
-    /// every retained frame, and the recent log records — all with
-    /// deterministic field order so bundles diff cleanly.
+    /// reason, the effective configuration, a final live `snapshot`
+    /// plus its aggregated `ia-prof-v1` span `profile`, every retained
+    /// frame, and the recent log records — all with deterministic
+    /// field order so bundles diff cleanly.
     #[must_use]
     pub fn bundle(&self, reason: &str, config: JsonValue, snapshot: &Snapshot) -> JsonValue {
         let inner = self.lock();
@@ -202,6 +203,10 @@ impl FlightRecorder {
             ("reason".to_owned(), JsonValue::Str(reason.to_owned())),
             ("config".to_owned(), config),
             ("snapshot".to_owned(), snapshot.to_json()),
+            (
+                "profile".to_owned(),
+                crate::prof::Profile::from_snapshot(snapshot).to_json(),
+            ),
             ("frames".to_owned(), JsonValue::Arr(frames)),
             ("events".to_owned(), JsonValue::Arr(events)),
             (
@@ -314,6 +319,12 @@ mod tests {
                 .and_then(|c| c.get("serve.requests"))
                 .and_then(JsonValue::as_u64),
             Some(2)
+        );
+        assert_eq!(
+            doc.get("profile")
+                .and_then(|p| p.get("schema"))
+                .and_then(JsonValue::as_str),
+            Some("ia-prof-v1")
         );
         assert_eq!(
             doc.get("frames")

@@ -78,6 +78,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an exact unsigned integer, if it is one.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {

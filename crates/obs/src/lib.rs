@@ -17,7 +17,7 @@
 //! ia_obs::set_enabled(true);
 //! ia_obs::reset();
 //! {
-//!     let _solve = ia_obs::span("dp_solve");
+//!     let _solve = ia_obs::span("dp.solve");
 //!     ia_obs::counter_add("dp.states", 128);
 //!     ia_obs::counter_max("dp.front_max", 7);
 //!     ia_obs::histogram_record("dp.front_len", 7);
@@ -50,7 +50,10 @@
 //!   [`Snapshot`];
 //! - [`flight`] — a fixed-size flight recorder of periodic snapshots
 //!   and recent log records, rendered as `/statz` deltas or an
-//!   on-disk diagnostic bundle.
+//!   on-disk diagnostic bundle;
+//! - [`prof`] — deterministic hierarchical call-tree profiles
+//!   aggregated from span snapshots, exported as the exact-`u64`
+//!   `ia-prof-v1` JSON tree or folded-stack flamegraph text.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +64,7 @@ pub mod flight;
 mod histogram;
 pub mod json;
 pub mod log;
+pub mod prof;
 pub mod prometheus;
 mod span;
 mod stopwatch;
@@ -77,7 +81,8 @@ pub use log::{
     current_context, drain_logs, log_enabled, push_context, set_log_level, ContextGuard, LogBatch,
     LogLevel, LogRecord, RateLimit,
 };
-pub use span::{span, Span};
+pub use prof::{Profile, ProfileNode};
+pub use span::{hot_span, span, Span};
 pub use stopwatch::Stopwatch;
 pub use trace::{
     drain_trace, epoch_now_ns, set_trace_capacity, set_trace_enabled, trace_enabled, Trace,

@@ -1,0 +1,458 @@
+//! Hierarchical call-tree profiles aggregated from span snapshots.
+//!
+//! A [`Snapshot`] records spans flat, keyed by `/`-joined path;
+//! [`Profile::from_snapshot`] folds those paths into a deterministic
+//! call tree: per node the call count, total and self time (total
+//! minus the children's totals), and the per-call min/max extremes.
+//! Siblings are sorted by name, so two identical snapshots always
+//! render byte-identically.
+//!
+//! Two machine-readable exports ship with the tree:
+//!
+//! - [`Profile::to_json`] — the exact-`u64` `ia-prof-v1` document
+//!   (validated by `ia-lint check-prof`);
+//! - [`Profile::to_folded`] — Brendan-Gregg folded-stack text
+//!   (`frame;frame;frame self_ns` per line), the input format of
+//!   `inferno-flamegraph`, `flamegraph.pl` and speedscope.
+//!
+//! [`Profile::from_folded`] parses the folded text back, and
+//! re-emitting a parsed profile reproduces the input byte for byte —
+//! the round trip is what `check-prof` leans on.
+
+use std::fmt::Write as _;
+
+use crate::export::{fmt_ns, Snapshot};
+use crate::json::JsonValue;
+
+/// One node of the call tree: a span name plus its aggregated
+/// statistics at this position in the stack.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// The span name (one path segment).
+    pub name: String,
+    /// Number of times the span closed at this stack position (0 for
+    /// a synthetic intermediate node or a parsed folded stack).
+    pub calls: u64,
+    /// Total time inside the span, children included.
+    pub total_ns: u64,
+    /// Time inside the span minus the children's totals (saturating,
+    /// so clock skew between parent and child never underflows).
+    pub self_ns: u64,
+    /// Shortest single call (0 when unknown).
+    pub min_ns: u64,
+    /// Longest single call (0 when unknown).
+    pub max_ns: u64,
+    /// Child nodes, sorted by name.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn child_mut(&mut self, name: &str) -> &mut ProfileNode {
+        // Linear search: sibling counts are small (a handful of phases
+        // per span) and the tree is built once per export.
+        let index = match self.children.iter().position(|c| c.name == name) {
+            Some(index) => index,
+            None => {
+                self.children.push(ProfileNode {
+                    name: name.to_owned(),
+                    ..ProfileNode::default()
+                });
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[index]
+    }
+
+    /// Sorts children by name (recursively) and derives `self_ns` and
+    /// synthetic totals bottom-up.
+    fn finalize(&mut self) {
+        self.children.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut child_total = 0u64;
+        for child in &mut self.children {
+            child.finalize();
+            child_total = child_total.saturating_add(child.total_ns);
+        }
+        if self.calls == 0 && self.total_ns == 0 {
+            // A synthetic intermediate: a child path was recorded but
+            // the parent span itself never closed (possible only for
+            // parsed folded stacks or hand-built snapshots).
+            self.total_ns = child_total;
+            self.self_ns = 0;
+        } else {
+            self.self_ns = self.total_ns.saturating_sub(child_total);
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("name".to_owned(), JsonValue::Str(self.name.clone())),
+            ("calls".to_owned(), JsonValue::UInt(self.calls)),
+            ("total_ns".to_owned(), JsonValue::UInt(self.total_ns)),
+            ("self_ns".to_owned(), JsonValue::UInt(self.self_ns)),
+            ("min_ns".to_owned(), JsonValue::UInt(self.min_ns)),
+            ("max_ns".to_owned(), JsonValue::UInt(self.max_ns)),
+            (
+                "children".to_owned(),
+                JsonValue::Arr(self.children.iter().map(ProfileNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A deterministic hierarchical profile. Build with
+/// [`Profile::from_snapshot`] or [`Profile::from_folded`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Top-level spans, sorted by name.
+    pub roots: Vec<ProfileNode>,
+}
+
+impl Profile {
+    /// Aggregates a snapshot's flat span map into the call tree.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot) -> Profile {
+        let mut root = ProfileNode::default();
+        for (path, stat) in &snapshot.spans {
+            let mut node = &mut root;
+            for segment in path.split('/') {
+                node = node.child_mut(segment);
+            }
+            node.calls = stat.calls;
+            node.total_ns = stat.total_ns;
+            node.min_ns = stat.min_ns;
+            node.max_ns = stat.max_ns;
+        }
+        root.finalize();
+        Profile {
+            roots: root.children,
+        }
+    }
+
+    /// Whether no span made it into the tree.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// The profile as the `ia-prof-v1` JSON document:
+    ///
+    /// ```json
+    /// {"schema": "ia-prof-v1",
+    ///  "roots": [{"name": "dp.solve", "calls": 1, "total_ns": 900,
+    ///             "self_ns": 100, "min_ns": 900, "max_ns": 900,
+    ///             "children": [...]}]}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("schema".to_owned(), JsonValue::Str("ia-prof-v1".to_owned())),
+            (
+                "roots".to_owned(),
+                JsonValue::Arr(self.roots.iter().map(ProfileNode::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// [`to_json`](Self::to_json) rendered as one compact line.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// The profile as Brendan-Gregg folded-stack text: one
+    /// `frame;frame;frame self_ns` line per node that has self time or
+    /// is a leaf, in depth-first pre-order with siblings sorted by
+    /// name. Interior nodes whose time is fully attributed to children
+    /// are omitted — the stacks re-create them implicitly, which is
+    /// what keeps [`from_folded`](Self::from_folded) → `to_folded`
+    /// byte-identical.
+    #[must_use]
+    pub fn to_folded(&self) -> String {
+        fn walk(out: &mut String, stack: &mut Vec<String>, node: &ProfileNode) {
+            stack.push(node.name.clone());
+            if node.self_ns > 0 || node.children.is_empty() {
+                let _ = writeln!(out, "{} {}", stack.join(";"), node.self_ns);
+            }
+            for child in &node.children {
+                walk(out, stack, child);
+            }
+            stack.pop();
+        }
+        let mut out = String::new();
+        let mut stack = Vec::new();
+        for root in &self.roots {
+            walk(&mut out, &mut stack, root);
+        }
+        out
+    }
+
+    /// Parses folded-stack text back into a profile. Call counts and
+    /// min/max extremes are not representable in the folded format and
+    /// come back as 0; totals are re-derived from the self times.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed line: a missing value, a value
+    /// that is not an exact `u64`, an empty frame, or a stack that
+    /// appears twice.
+    pub fn from_folded(text: &str) -> Result<Profile, String> {
+        let mut root = ProfileNode::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let n = i + 1;
+            if line.is_empty() {
+                return Err(format!("line {n}: empty line"));
+            }
+            let (stack, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {n}: expected `stack value`, got `{line}`"))?;
+            let self_ns: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: `{value}` is not an exact u64"))?;
+            if seen.contains(&stack) {
+                return Err(format!("line {n}: duplicate stack `{stack}`"));
+            }
+            seen.push(stack);
+            let mut node = &mut root;
+            for frame in stack.split(';') {
+                if frame.is_empty() {
+                    return Err(format!("line {n}: empty frame in `{stack}`"));
+                }
+                node = node.child_mut(frame);
+            }
+            node.self_ns = self_ns;
+        }
+        fn derive_totals(node: &mut ProfileNode) {
+            node.children.sort_by(|a, b| a.name.cmp(&b.name));
+            let mut total = node.self_ns;
+            for child in &mut node.children {
+                derive_totals(child);
+                total = total.saturating_add(child.total_ns);
+            }
+            node.total_ns = total;
+        }
+        derive_totals(&mut root);
+        Ok(Profile {
+            roots: root.children,
+        })
+    }
+
+    /// A human-readable tree rendering — what `--profile` prints:
+    ///
+    /// ```text
+    /// profile:
+    ///   dp.solve      calls=1  total=35.1ms self=1.0ms  min=35.1ms max=35.1ms
+    ///     expand      calls=3  total=34.1ms self=34.1ms min=9.2ms  max=14.0ms
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        fn name_width(depth: usize, node: &ProfileNode) -> usize {
+            let own = 2 * depth + node.name.len();
+            node.children
+                .iter()
+                .map(|c| name_width(depth + 1, c))
+                .max()
+                .map_or(own, |deepest| own.max(deepest))
+        }
+        fn walk(out: &mut String, depth: usize, width: usize, node: &ProfileNode) {
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(
+                out,
+                "  {indent}{:<pad$}  calls={:<6} total={:<8} self={:<8} min={:<8} max={}",
+                node.name,
+                node.calls,
+                fmt_ns(node.total_ns),
+                fmt_ns(node.self_ns),
+                fmt_ns(node.min_ns),
+                fmt_ns(node.max_ns),
+                pad = width - 2 * depth,
+            );
+            for child in &node.children {
+                walk(out, depth + 1, width, child);
+            }
+        }
+        let mut out = String::from("profile:\n");
+        if self.roots.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+            return out;
+        }
+        let width = self
+            .roots
+            .iter()
+            .map(|r| name_width(0, r))
+            .max()
+            .unwrap_or(0);
+        for root in &self.roots {
+            walk(&mut out, 0, width, root);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::SpanStat;
+
+    fn stat(calls: u64, total_ns: u64, min_ns: u64, max_ns: u64) -> SpanStat {
+        SpanStat {
+            calls,
+            total_ns,
+            min_ns,
+            max_ns,
+        }
+    }
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.spans
+            .insert("dp.solve".to_owned(), stat(1, 1_000, 1_000, 1_000));
+        snap.spans
+            .insert("dp.solve/expand".to_owned(), stat(3, 600, 100, 300));
+        snap.spans.insert(
+            "dp.solve/expand/front.merge".to_owned(),
+            stat(9, 450, 10, 90),
+        );
+        snap.spans
+            .insert("dp.solve/reconstruct".to_owned(), stat(1, 250, 250, 250));
+        snap.spans.insert("sweep.k".to_owned(), stat(1, 40, 40, 40));
+        snap
+    }
+
+    #[test]
+    fn tree_computes_self_times_and_sorts_siblings() {
+        let profile = Profile::from_snapshot(&sample());
+        assert_eq!(profile.roots.len(), 2);
+        let solve = &profile.roots[0];
+        assert_eq!(solve.name, "dp.solve");
+        assert_eq!(solve.total_ns, 1_000);
+        assert_eq!(solve.self_ns, 150, "1000 - (600 + 250)");
+        assert_eq!(solve.children.len(), 2);
+        let expand = &solve.children[0];
+        assert_eq!(expand.name, "expand");
+        assert_eq!(expand.self_ns, 150, "600 - 450");
+        assert_eq!(expand.children[0].name, "front.merge");
+        assert_eq!(expand.children[0].self_ns, 450, "a leaf keeps it all");
+        assert_eq!(solve.children[1].name, "reconstruct");
+        assert_eq!(profile.roots[1].name, "sweep.k");
+    }
+
+    #[test]
+    fn dotted_sibling_does_not_break_tree_assembly() {
+        // BTreeMap orders `dp.x` between `dp` and `dp/child` (`.` <
+        // `/`), so the builder must not rely on parents being
+        // immediately followed by their children.
+        let mut snap = Snapshot::default();
+        snap.spans.insert("dp".to_owned(), stat(1, 100, 100, 100));
+        snap.spans.insert("dp.x".to_owned(), stat(1, 5, 5, 5));
+        snap.spans
+            .insert("dp/child".to_owned(), stat(2, 60, 20, 40));
+        let profile = Profile::from_snapshot(&snap);
+        assert_eq!(profile.roots.len(), 2);
+        assert_eq!(profile.roots[0].name, "dp");
+        assert_eq!(profile.roots[0].children.len(), 1);
+        assert_eq!(profile.roots[0].self_ns, 40);
+        assert_eq!(profile.roots[1].name, "dp.x");
+    }
+
+    #[test]
+    fn missing_intermediate_nodes_are_synthesized() {
+        let mut snap = Snapshot::default();
+        snap.spans.insert("a/b/c".to_owned(), stat(2, 80, 30, 50));
+        let profile = Profile::from_snapshot(&snap);
+        let a = &profile.roots[0];
+        assert_eq!(
+            (a.name.as_str(), a.calls, a.total_ns, a.self_ns),
+            ("a", 0, 80, 0)
+        );
+        let b = &a.children[0];
+        assert_eq!((b.calls, b.total_ns, b.self_ns), (0, 80, 0));
+        assert_eq!(b.children[0].self_ns, 80);
+    }
+
+    #[test]
+    fn json_export_is_schema_shaped() {
+        let json = Profile::from_snapshot(&sample()).to_json_string();
+        assert!(!json.contains('\n'));
+        let doc = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("ia-prof-v1")
+        );
+        let roots = doc.get("roots").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(roots.len(), 2);
+        let solve = &roots[0];
+        assert_eq!(
+            solve.get("name").and_then(JsonValue::as_str),
+            Some("dp.solve")
+        );
+        assert_eq!(
+            solve.get("total_ns").and_then(JsonValue::as_u64),
+            Some(1_000)
+        );
+        assert_eq!(solve.get("self_ns").and_then(JsonValue::as_u64), Some(150));
+        assert_eq!(solve.get("min_ns").and_then(JsonValue::as_u64), Some(1_000));
+        assert!(solve
+            .get("children")
+            .and_then(JsonValue::as_array)
+            .is_some());
+    }
+
+    #[test]
+    fn folded_export_emits_self_time_lines() {
+        let folded = Profile::from_snapshot(&sample()).to_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "dp.solve 150",
+                "dp.solve;expand 150",
+                "dp.solve;expand;front.merge 450",
+                "dp.solve;reconstruct 250",
+                "sweep.k 40",
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_round_trip_is_byte_identical() {
+        let folded = Profile::from_snapshot(&sample()).to_folded();
+        let parsed = Profile::from_folded(&folded).expect("own output parses");
+        assert_eq!(parsed.to_folded(), folded);
+        // Totals are re-derived from the self times.
+        assert_eq!(parsed.roots[0].total_ns, 1_000);
+    }
+
+    #[test]
+    fn folded_parse_rejects_malformed_lines() {
+        assert!(Profile::from_folded("no-value").is_err());
+        assert!(Profile::from_folded("a;b 1.5").is_err());
+        assert!(Profile::from_folded("a;;b 1").is_err());
+        let dup = "a;b 1\na;b 2\n";
+        let err = Profile::from_folded(dup).unwrap_err();
+        assert!(err.contains("duplicate stack"), "{err}");
+    }
+
+    #[test]
+    fn identical_snapshots_render_byte_identically() {
+        let first = Profile::from_snapshot(&sample());
+        let second = Profile::from_snapshot(&sample());
+        assert_eq!(first.to_json_string(), second.to_json_string());
+        assert_eq!(first.to_folded(), second.to_folded());
+        assert_eq!(first.to_text(), second.to_text());
+    }
+
+    #[test]
+    fn text_render_indents_children() {
+        let text = Profile::from_snapshot(&sample()).to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "profile:");
+        assert!(lines[1].trim_start().starts_with("dp.solve"));
+        assert!(lines[1].contains("self="));
+        let parent_indent = lines[1].len() - lines[1].trim_start().len();
+        let child_indent = lines[2].len() - lines[2].trim_start().len();
+        assert!(child_indent > parent_indent, "{text}");
+        let empty = Profile::default().to_text();
+        assert!(empty.contains("(no spans recorded)"));
+    }
+}

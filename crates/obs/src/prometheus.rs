@@ -224,10 +224,12 @@ mod tests {
         let mut snap = Snapshot::default();
         snap.counters.insert("dp.states".to_owned(), 42);
         snap.spans.insert(
-            "dp_solve".to_owned(),
+            "dp.solve".to_owned(),
             SpanStat {
                 calls: 2,
                 total_ns: 900,
+                min_ns: 400,
+                max_ns: 500,
             },
         );
         snap.histograms.insert(
@@ -244,8 +246,8 @@ mod tests {
         assert!(text.contains("# TYPE iarank_dp_states counter"));
         assert!(text.contains("iarank_dp_states 42"));
         assert!(text.contains("# TYPE iarank_span_calls_total counter"));
-        assert!(text.contains("iarank_span_calls_total{path=\"dp_solve\"} 2"));
-        assert!(text.contains("iarank_span_ns_total{path=\"dp_solve\"} 900"));
+        assert!(text.contains("iarank_span_calls_total{path=\"dp.solve\"} 2"));
+        assert!(text.contains("iarank_span_ns_total{path=\"dp.solve\"} 900"));
         assert!(text.contains("# TYPE iarank_dp_front_len histogram"));
         assert!(text.contains("iarank_dp_front_len_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("iarank_dp_front_len_count 1"));

@@ -24,12 +24,13 @@ pub struct Span {
 
 /// Opens a span named `name`, nested under any span currently open on
 /// this thread. Spans aggregate by their `/`-joined path: two calls to
-/// `span("reconstruct")` inside `span("dp_solve")` both accumulate
-/// into `dp_solve/reconstruct` (`calls` and `total_ns`). With tracing
+/// `span("reconstruct")` inside `span("dp.solve")` both accumulate
+/// into `dp.solve/reconstruct` (`calls`, `total_ns` and the per-call
+/// `min_ns`/`max_ns` extremes). With tracing
 /// enabled (see [`crate::set_trace_enabled`]) the span additionally
 /// records timestamped begin/end events on this thread's trace track.
 ///
-/// Bind the result — `let _span = ia_obs::span("dp_solve");` — so it
+/// Bind the result — `let _span = ia_obs::span("dp.solve");` — so it
 /// lives until the end of the scope being timed.
 #[must_use = "a span records on drop; bind it with `let _span = ...`"]
 pub fn span(name: &'static str) -> Span {
@@ -59,6 +60,37 @@ pub fn span(name: &'static str) -> Span {
     }
 }
 
+/// Opens an aggregation-only span: it nests, times and accumulates
+/// into the collector exactly like [`span`], but never records trace
+/// events, even while tracing is enabled.
+///
+/// Use it for per-iteration micro-phases hot enough to flood the
+/// bounded per-thread trace buffers (see
+/// [`crate::set_trace_capacity`]) — a solver inner loop can open one
+/// hundreds of thousands of times per solve. Their aggregate belongs
+/// in span profiles and flamegraphs; a begin/end event pair per call
+/// would evict the enclosing spans' end events and leave the trace
+/// unbalanced.
+#[must_use = "a span records on drop; bind it with `let _span = ...`"]
+pub fn hot_span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            start: None,
+            path: None,
+            trace_name: None,
+        };
+    }
+    let path = with_storage(|s| {
+        s.stack.push(name);
+        Some(s.stack.join("/"))
+    });
+    Span {
+        start: Some(Instant::now()),
+        path,
+        trace_name: None,
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start.take() else {
@@ -70,9 +102,7 @@ impl Drop for Span {
         with_storage(|s| {
             if let Some(path) = path {
                 s.stack.pop();
-                let stat = s.spans.entry(path).or_default();
-                stat.calls += 1;
-                stat.total_ns = stat.total_ns.saturating_add(ns);
+                s.spans.entry(path).or_default().record(ns);
             }
             if let Some((ts_ns, name)) = end {
                 s.push_span_event(ts_ns, TraceEventKind::End(name));

@@ -38,7 +38,8 @@ use ia_obs::json::JsonValue;
 use ia_obs::log::{self as obs_log, LogLevel, RateLimit};
 use ia_obs::prometheus::PromWriter;
 use ia_obs::{
-    counter_add, counter_max, histogram_record, FlightRecorder, MergeSink, Snapshot, Stopwatch,
+    counter_add, counter_max, histogram_record, FlightRecorder, MergeSink, Profile, Snapshot,
+    SpanStat, Stopwatch,
 };
 use ia_rank::canon::BoundProblem;
 use ia_rank::sensitivity::sensitivities;
@@ -153,6 +154,10 @@ struct Shared {
     tick_wake: Condvar,
     /// Bundle sequence numbers, so repeated dumps never overwrite.
     next_dump: AtomicU64,
+    /// Baseline snapshot taken by `POST /debug/prof/start`; `GET
+    /// /debug/prof` profiles the span deltas since it. `None` until a
+    /// window is started — then the full-lifetime profile is served.
+    prof_baseline: Mutex<Option<Snapshot>>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -211,6 +216,7 @@ impl Server {
             tick: Mutex::new(()),
             tick_wake: Condvar::new(),
             next_dump: AtomicU64::new(0),
+            prof_baseline: Mutex::new(None),
         });
 
         let acceptor = {
@@ -576,6 +582,8 @@ fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> http::
         ("GET", "/healthz") => json(healthz(shared)),
         ("GET", "/metrics") => metrics(shared, request),
         ("GET", "/statz") => statz(shared),
+        ("POST", "/debug/prof/start") => prof_start(shared),
+        ("GET", "/debug/prof") => prof_report(shared),
         ("POST", "/debug/dump") => debug_dump(shared),
         ("POST", "/debug/panic") => {
             // Deliberate fault injection so the panic → bundle → 500
@@ -600,8 +608,9 @@ fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> http::
         }
         (
             _,
-            "/healthz" | "/metrics" | "/statz" | "/debug/dump" | "/debug/panic" | "/solve"
-            | "/sweep" | "/sensitivity" | "/dse" | "/shutdown",
+            "/healthz" | "/metrics" | "/statz" | "/debug/prof" | "/debug/prof/start"
+            | "/debug/dump" | "/debug/panic" | "/solve" | "/sweep" | "/sensitivity" | "/dse"
+            | "/shutdown",
         ) => json((
             405,
             error_body(&format!(
@@ -623,6 +632,72 @@ fn statz(shared: &Shared) -> http::Response {
 
 /// Deltas rendered by `GET /statz`.
 const STATZ_LAST_K: usize = 16;
+
+/// `POST /debug/prof/start`: open a profiling window — remember the
+/// current merged snapshot so `GET /debug/prof` can report the span
+/// activity since this instant. Restarting simply moves the baseline.
+fn prof_start(shared: &Shared) -> http::Response {
+    shared.sink.flush_thread();
+    let snapshot = shared.sink.peek_snapshot();
+    let spans = snapshot.spans.len() as u64;
+    *lock(&shared.prof_baseline) = Some(snapshot);
+    http::Response::json(
+        200,
+        JsonValue::Obj(vec![
+            ("status".to_owned(), JsonValue::Str("started".to_owned())),
+            ("baseline_spans".to_owned(), JsonValue::UInt(spans)),
+        ])
+        .render(),
+    )
+}
+
+/// The span activity between `baseline` and `current`: per-path call
+/// and total-ns deltas. Windowed extremes are unknowable from two
+/// aggregate snapshots, so `min_ns`/`max_ns` are zeroed.
+fn span_window(current: &Snapshot, baseline: &Snapshot) -> Snapshot {
+    let mut delta = Snapshot::default();
+    for (path, stat) in &current.spans {
+        let (base_calls, base_total) = baseline
+            .spans
+            .get(path)
+            .map_or((0, 0), |b| (b.calls, b.total_ns));
+        let calls = stat.calls.saturating_sub(base_calls);
+        let total_ns = stat.total_ns.saturating_sub(base_total);
+        if calls > 0 || total_ns > 0 {
+            delta.spans.insert(
+                path.clone(),
+                SpanStat {
+                    calls,
+                    total_ns,
+                    min_ns: 0,
+                    max_ns: 0,
+                },
+            );
+        }
+    }
+    delta
+}
+
+/// `GET /debug/prof`: the aggregated `ia-prof-v1` span profile — of
+/// the window opened by `POST /debug/prof/start`, or of the server's
+/// whole lifetime when no window was started. The document carries a
+/// `window` flag so scrapers can tell which they got.
+fn prof_report(shared: &Shared) -> http::Response {
+    shared.sink.flush_thread();
+    let current = shared.sink.peek_snapshot();
+    let (profile, windowed) = match lock(&shared.prof_baseline).as_ref() {
+        Some(baseline) => (
+            Profile::from_snapshot(&span_window(&current, baseline)),
+            true,
+        ),
+        None => (Profile::from_snapshot(&current), false),
+    };
+    let mut doc = profile.to_json();
+    if let JsonValue::Obj(fields) = &mut doc {
+        fields.insert(1, ("window".to_owned(), JsonValue::Bool(windowed)));
+    }
+    http::Response::json(200, doc.render())
+}
 
 /// `POST /debug/dump`: write a diagnostic bundle now and report where.
 fn debug_dump(shared: &Shared) -> http::Response {
@@ -1187,6 +1262,10 @@ fn dse_result_json(run_id: &str, outcome: &RunOutcome) -> JsonValue {
                 ("cached".to_owned(), JsonValue::UInt(t.cached)),
                 ("execute_ns".to_owned(), JsonValue::UInt(t.execute_ns)),
                 ("refine_ns".to_owned(), JsonValue::UInt(t.refine_ns)),
+                ("dp_expand_ns".to_owned(), JsonValue::UInt(t.dp_expand_ns)),
+                ("dp_memo_ns".to_owned(), JsonValue::UInt(t.dp_memo_ns)),
+                ("dp_front_ns".to_owned(), JsonValue::UInt(t.dp_front_ns)),
+                ("dp_prune_ns".to_owned(), JsonValue::UInt(t.dp_prune_ns)),
             ])
         })
         .collect();

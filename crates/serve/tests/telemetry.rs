@@ -188,10 +188,19 @@ fn metrics_negotiates_prometheus_text_exposition() {
     let (status, _, _) = post(addr, "/solve", r#"{"gates":20000,"bunch":2000}"#);
     assert_eq!(status, 200);
 
-    let (status, headers, body) = exchange(
-        addr,
-        &request_bytes("GET", "/metrics", "", &[("Accept", "text/plain")]),
-    );
+    // The solve's worker flushes its counters after writing the
+    // response, so poll until the exposition includes them.
+    let (mut status, mut headers, mut body) = (0, BTreeMap::new(), String::new());
+    for _ in 0..200 {
+        (status, headers, body) = exchange(
+            addr,
+            &request_bytes("GET", "/metrics", "", &[("Accept", "text/plain")]),
+        );
+        if body.contains("iarank_http_requests_total{endpoint=\"solve\"} 1") {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
     assert_eq!(status, 200);
     assert_eq!(
         headers.get("content-type").map(String::as_str),
@@ -214,8 +223,10 @@ fn metrics_negotiates_prometheus_text_exposition() {
         body.contains("iarank_http_request_duration_us_count{endpoint=\"solve\"} 1"),
         "{body}"
     );
+    // The poll above may flush its own 2xx responses into the counter,
+    // so assert presence rather than an exact count.
     assert!(
-        body.contains("iarank_http_responses_total{class=\"2xx\"} 1"),
+        body.contains("iarank_http_responses_total{class=\"2xx\"} "),
         "{body}"
     );
 
@@ -368,10 +379,27 @@ fn dse_jobs_correlate_on_the_run_id() {
             "cached",
             "execute_ns",
             "refine_ns",
+            "dp_expand_ns",
+            "dp_memo_ns",
+            "dp_front_ns",
+            "dp_prune_ns",
         ] {
             assert!(
                 round.get(field).and_then(JsonValue::as_u64).is_some(),
                 "round missing `{field}`: {}",
+                round.render()
+            );
+        }
+        // A round that solved fresh points spent attributable solver
+        // time expanding layer pairs.
+        if round.get("solved").and_then(JsonValue::as_u64).unwrap_or(0) > 0 {
+            assert!(
+                round
+                    .get("dp_expand_ns")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0)
+                    > 0,
+                "fresh solves report expand-phase cost: {}",
                 round.render()
             );
         }
@@ -400,5 +428,118 @@ fn dse_jobs_correlate_on_the_run_id() {
         job_records.iter().any(|r| r.target == "dse.point"),
         "scheduler worker records missing: {job_records:?}"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Finds the node named `name` among `roots`' children-by-path walk.
+fn prof_node<'a>(doc: &'a JsonValue, path: &[&str]) -> Option<&'a JsonValue> {
+    let mut nodes = doc.get("roots")?.as_array()?;
+    let mut found = None;
+    for segment in path {
+        let node = nodes
+            .iter()
+            .find(|n| n.get("name").and_then(JsonValue::as_str) == Some(*segment))?;
+        nodes = node.get("children")?.as_array()?;
+        found = Some(node);
+    }
+    found
+}
+
+#[test]
+fn debug_prof_windows_span_activity_under_concurrent_solves() {
+    let dir = temp_dir("prof-window");
+    let server = start(4, &dir);
+    let addr = server.local_addr();
+
+    // Warm-up traffic before the window opens.
+    let (status, _, _) = post(addr, "/solve", r#"{"gates":20000,"bunch":2000}"#);
+    assert_eq!(status, 200);
+
+    // Without a window the whole lifetime is profiled.
+    let (status, _, body) = get(addr, "/debug/prof");
+    assert_eq!(status, 200, "body: {body}");
+    let doc = JsonValue::parse(&body).expect("profile JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("ia-prof-v1")
+    );
+    assert_eq!(doc.get("window").and_then(JsonValue::as_bool), Some(false));
+
+    // Open a window, then run distinct solves concurrently so several
+    // workers contribute spans inside it.
+    let (status, _, body) = post(addr, "/debug/prof/start", "");
+    assert_eq!(status, 200, "body: {body}");
+    let started = JsonValue::parse(&body).expect("start response JSON");
+    assert_eq!(
+        started.get("status").and_then(JsonValue::as_str),
+        Some("started")
+    );
+    thread::scope(|scope| {
+        for i in 0..6 {
+            scope.spawn(move || {
+                let body = format!(
+                    r#"{{"gates":20000,"bunch":2000,"miller":{}}}"#,
+                    1.3 + 0.1 * f64::from(i)
+                );
+                let (status, _, body) = post(addr, "/solve", &body);
+                assert_eq!(status, 200, "body: {body}");
+            });
+        }
+    });
+
+    // Workers flush their telemetry after writing the response, so the
+    // spans from the six solves may trail the six replies by a moment:
+    // poll until the window shows them all.
+    let mut windowed_body = String::new();
+    let mut solve_calls = 0;
+    for _ in 0..200 {
+        let (status, _, body) = get(addr, "/debug/prof");
+        assert_eq!(status, 200, "body: {body}");
+        windowed_body = body;
+        let windowed = JsonValue::parse(&windowed_body).expect("windowed profile JSON");
+        solve_calls = prof_node(&windowed, &["serve.request", "dp.solve"])
+            .and_then(|n| n.get("calls"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if solve_calls >= 6 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let windowed = JsonValue::parse(&windowed_body).expect("windowed profile JSON");
+    assert_eq!(
+        windowed.get("schema").and_then(JsonValue::as_str),
+        Some("ia-prof-v1")
+    );
+    assert_eq!(
+        windowed.get("window").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    // The solver ran inside the window: dp.solve nests under the
+    // request span with its expand phase below it, and the six fresh
+    // solves are visible.
+    assert!(
+        solve_calls >= 6,
+        "six fresh solves inside the window: {windowed_body}"
+    );
+    assert!(
+        prof_node(&windowed, &["serve.request", "dp.solve", "expand"]).is_some(),
+        "phase nodes survive the windowing: {windowed_body}"
+    );
+
+    // Restarting the window resets the baseline: an idle window
+    // profiles (close to) nothing solver-side.
+    let (status, _, _) = post(addr, "/debug/prof/start", "");
+    assert_eq!(status, 200);
+    let (status, _, body) = get(addr, "/debug/prof");
+    assert_eq!(status, 200);
+    let idle = JsonValue::parse(&body).expect("idle profile JSON");
+    assert!(
+        prof_node(&idle, &["serve.request", "dp.solve"]).is_none(),
+        "no solver activity since the restart: {body}"
+    );
+
+    server.shutdown();
+    let _ = server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -160,7 +160,7 @@ impl DiffReport {
 }
 
 /// The case's identity: its `params` object rendered with keys sorted.
-fn case_key(case: &JsonValue) -> Option<String> {
+pub(crate) fn case_key(case: &JsonValue) -> Option<String> {
     let params = case.get("params")?.as_object()?;
     let mut pairs: Vec<(String, JsonValue)> = params.to_vec();
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
@@ -169,7 +169,7 @@ fn case_key(case: &JsonValue) -> Option<String> {
 
 /// Relative change with a zero-safe denominator: a counter appearing
 /// from zero reads as `current`× growth instead of dividing by zero.
-fn rel_change(baseline: u64, current: u64) -> f64 {
+pub(crate) fn rel_change(baseline: u64, current: u64) -> f64 {
     let base = if baseline == 0 { 1.0 } else { baseline as f64 };
     (current as f64 - baseline as f64) / base
 }

@@ -10,8 +10,11 @@
 //! cargo run -p xtask -- check-sarif FILE
 //! cargo run -p xtask -- check-logs FILE
 //! cargo run -p xtask -- check-prom FILE
+//! cargo run -p xtask -- check-prof FILE
 //! cargo run -p xtask -- bench-diff --baseline DIR --current DIR
 //!                       [--tol-wall F] [--tol-counter F] [--json FILE]
+//! cargo run -p xtask -- perf-history [--bench-dir DIR] [--history FILE]
+//!                       [--commit HASH] [--tol-wall F] [--check]
 //! ```
 //!
 //! Exits 0 on a clean workspace / valid artifact / in-tolerance bench
@@ -36,8 +39,11 @@ fn usage() -> ExitCode {
          \x20      ia-lint check-sarif FILE\n\
          \x20      ia-lint check-logs FILE\n\
          \x20      ia-lint check-prom FILE\n\
+         \x20      ia-lint check-prof FILE\n\
          \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
          \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
+         \x20      ia-lint perf-history [--bench-dir DIR] [--history FILE]\n\
+         \x20                [--commit HASH] [--tol-wall F] [--check]\n\
          \n\
          lint walks the workspace source and enforces the domain rules\n\
          {}.\n\
@@ -53,11 +59,21 @@ fn usage() -> ExitCode {
          check-logs validates a structured JSON-lines log file like\n\
          `--log-file` appends;\n\
          check-prom validates a Prometheus 0.0.4 text exposition like\n\
-         `GET /metrics` serves under `Accept: text/plain`.\n\
+         `GET /metrics` serves under `Accept: text/plain`;\n\
+         check-prof validates a hierarchical profile — the `ia-prof-v1`\n\
+         JSON written by `--prof-out FILE.json` and served by\n\
+         `GET /debug/prof`, or the folded-stack text any other\n\
+         `--prof-out` extension emits (auto-detected).\n\
          bench-diff compares the `BENCH_*.json` artifacts in --current\n\
          against --baseline and exits 1 on any wall-time regression\n\
          beyond --tol-wall (relative, default 3.0) or counter drift\n\
          beyond --tol-counter (relative, default 0.0).\n\
+         perf-history appends the `BENCH_*.json` cases in --bench-dir\n\
+         (default bench/baseline) to the --history ledger (default\n\
+         bench/history.jsonl) under --commit (default `git rev-parse\n\
+         HEAD`) and prints the per-case wall-time trajectory; with\n\
+         --check nothing is appended and the exit code reports whether\n\
+         the freshest entries regressed against the committed baseline.\n\
          See docs/observability.md.",
         xtask::registry::usage_list()
     );
@@ -132,6 +148,77 @@ fn run_bench_diff(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses and runs `perf-history` (arguments after the subcommand
+/// name).
+fn run_perf_history(args: &[String]) -> ExitCode {
+    let root = default_root();
+    let mut bench_dir = root.join("bench/baseline");
+    let mut history = root.join("bench/history.jsonl");
+    let mut commit: Option<String> = None;
+    let mut check = false;
+    let mut tol_wall = 3.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench-dir" => match it.next() {
+                Some(p) => bench_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--history" => match it.next() {
+                Some(p) => history = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--commit" => match it.next() {
+                Some(c) if !c.is_empty() => commit = Some(c.clone()),
+                _ => return usage(),
+            },
+            "--tol-wall" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 && v.is_finite() => tol_wall = v,
+                _ => return usage(),
+            },
+            "--check" => check = true,
+            _ => return usage(),
+        }
+    }
+    let commit = commit.unwrap_or_else(|| resolve_head(&root));
+    if !bench_dir.is_dir() {
+        eprintln!(
+            "ia-lint: perf-history: {} is not a directory",
+            bench_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    match xtask::perf_history::run(&history, &bench_dir, &commit, check, tol_wall) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if check && outcome.regressions > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("ia-lint: perf-history: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The current commit hash via `git rev-parse HEAD`, falling back to
+/// `worktree` when the repository is not available (CI tarballs).
+fn resolve_head(root: &std::path::Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "worktree".to_owned())
+}
+
 /// Runs a schema checker against a file, mapping I/O errors to exit 2
 /// and schema violations to exit 1.
 fn run_check(kind: &str, file: &str, check: fn(&str) -> Result<String, String>) -> ExitCode {
@@ -194,11 +281,15 @@ fn main() -> ExitCode {
         Some("check-prom") if args.len() == 2 => {
             return run_check("check-prom", &args[1], xtask::schema::check_prom);
         }
+        Some("check-prof") if args.len() == 2 => {
+            return run_check("check-prof", &args[1], xtask::schema::check_prof);
+        }
         Some(
             "check-metrics" | "check-bench" | "check-trace" | "check-spec" | "check-sarif"
-            | "check-logs" | "check-prom",
+            | "check-logs" | "check-prom" | "check-prof",
         ) => return usage(),
         Some("bench-diff") => return run_bench_diff(&args[1..]),
+        Some("perf-history") => return run_perf_history(&args[1..]),
         _ => {}
     }
 

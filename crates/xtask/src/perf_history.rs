@@ -1,0 +1,481 @@
+//! `perf-history`: the append-only performance ledger and its
+//! trajectory report.
+//!
+//! Where `bench-diff` answers "did this run regress against the
+//! blessed baseline?", `perf-history` keeps the longitudinal record:
+//! every gated `BENCH_*.json` case is appended to `bench/history.jsonl`
+//! as one JSON line carrying the commit it was measured at, the case
+//! identity (its key-sorted `params` object), the wall time and the
+//! solver counters. The ledger is append-only and timestamp-free, so
+//! re-running the same commit is idempotent and two checkouts of the
+//! same history render the same report.
+//!
+//! The trajectory report groups the ledger by `(bench, case)` series
+//! and annotates every entry's wall time relative to the series
+//! baseline — the *first* entry, which the seeding run pins to the
+//! blessed `bench/baseline` artifacts. Entries beyond the wall
+//! tolerance are flagged `REGRESSION` / `improvement` with the same
+//! loose-by-default tolerance philosophy as `bench-diff` (wall time on
+//! shared machines is noisy; counters are exact but do not gate here —
+//! `bench-diff` owns that contract).
+//!
+//! Two modes drive the exit code:
+//!
+//! * append (default): the fresh cases are written to the ledger and
+//!   the report always exits 0 — history is a record, not a gate;
+//! * `--check`: nothing is written; the fresh cases are compared
+//!   in-memory and any series whose fresh entry regresses beyond the
+//!   tolerance fails the run (CI's bench-gate wires this after
+//!   `bench-diff`).
+
+use ia_obs::json::JsonValue;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::bench_diff::{case_key, rel_change};
+
+/// One measured case, pinned to the commit it was measured at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Commit hash or label the measurement belongs to.
+    pub commit: String,
+    /// Bench name (the report's `bench` field).
+    pub bench: String,
+    /// Case identity: the `params` object with keys sorted.
+    pub params: Vec<(String, JsonValue)>,
+    /// Measured wall time.
+    pub wall_ns: u64,
+    /// Solver counters captured with the measurement, name-sorted.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl HistoryEntry {
+    /// The series key this entry belongs to: bench name plus the
+    /// key-sorted params render.
+    #[must_use]
+    pub fn series(&self) -> String {
+        format!(
+            "{} {}",
+            self.bench,
+            JsonValue::Obj(self.params.clone()).render()
+        )
+    }
+
+    /// The entry as one ledger line (no trailing newline).
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        JsonValue::Obj(vec![
+            ("commit".to_owned(), JsonValue::Str(self.commit.clone())),
+            ("bench".to_owned(), JsonValue::Str(self.bench.clone())),
+            ("params".to_owned(), JsonValue::Obj(self.params.clone())),
+            ("wall_ns".to_owned(), JsonValue::UInt(self.wall_ns)),
+            (
+                "counters".to_owned(),
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// Extracts a name-sorted counter list from a case/entry document.
+fn counters_of(doc: &JsonValue, ctx: &str) -> Result<Vec<(String, u64)>, String> {
+    let map = doc
+        .get("counters")
+        .ok_or_else(|| format!("{ctx}: missing `counters` object"))?
+        .as_object()
+        .ok_or_else(|| format!("{ctx}: `counters` must be an object"))?;
+    let mut out = Vec::with_capacity(map.len());
+    for (name, value) in map {
+        let v = value
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: counter `{name}` must be an unsigned integer"))?;
+        out.push((name.clone(), v));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Key-sorted params list of a case/entry document.
+fn params_of(doc: &JsonValue, key: &str, ctx: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut pairs = doc
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}` object"))?
+        .as_object()
+        .ok_or_else(|| format!("{ctx}: `{key}` must be an object"))?
+        .to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(pairs)
+}
+
+/// Parses the `bench/history.jsonl` ledger.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line, prefixed with
+/// its 1-based line number.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = format!("line {}", i + 1);
+        let doc = JsonValue::parse(line).map_err(|e| format!("{ctx}: invalid JSON: {e}"))?;
+        let field = |key: &str| -> Result<String, String> {
+            let value = doc
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{ctx}: missing `{key}` string"))?;
+            if value.is_empty() {
+                return Err(format!("{ctx}: `{key}` must be non-empty"));
+            }
+            Ok(value.to_owned())
+        };
+        entries.push(HistoryEntry {
+            commit: field("commit")?,
+            bench: field("bench")?,
+            params: params_of(&doc, "params", &ctx)?,
+            wall_ns: doc
+                .get("wall_ns")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{ctx}: `wall_ns` must be an unsigned integer"))?,
+            counters: counters_of(&doc, &ctx)?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Reads every `BENCH_*.json` in `dir` into entries under `commit`.
+///
+/// # Errors
+///
+/// Fails on an unreadable directory, a directory without any
+/// `BENCH_*.json`, or a malformed report.
+pub fn collect_bench_dir(dir: &Path, commit: &str) -> Result<Vec<HistoryEntry>, String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json artifacts in {}", dir.display()));
+    }
+    let mut entries = Vec::new();
+    for name in names {
+        let path = dir.join(&name);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc =
+            JsonValue::parse(text.trim()).map_err(|e| format!("{name}: invalid JSON: {e}"))?;
+        let bench = doc
+            .get("bench")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{name}: missing `bench`"))?
+            .to_owned();
+        let cases = doc
+            .get("cases")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{name}: missing `cases` array"))?;
+        for (i, case) in cases.iter().enumerate() {
+            let ctx = format!("{name}: cases[{i}]");
+            // Validate the identity through the same helper bench-diff
+            // matches with, then keep the sorted pairs.
+            case_key(case).ok_or_else(|| format!("{ctx}: missing `params` object"))?;
+            entries.push(HistoryEntry {
+                commit: commit.to_owned(),
+                bench: bench.clone(),
+                params: params_of(case, "params", &ctx)?,
+                wall_ns: case
+                    .get("wall_ns")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("{ctx}: `wall_ns` must be an unsigned integer"))?,
+                counters: counters_of(case, &ctx)?,
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// The outcome of one `perf-history` run.
+#[derive(Debug)]
+pub struct HistoryOutcome {
+    /// The rendered trajectory report.
+    pub report: String,
+    /// Entries appended to the ledger (0 in `--check` mode).
+    pub appended: usize,
+    /// Fresh entries skipped because their `(commit, series)` was
+    /// already recorded.
+    pub skipped: usize,
+    /// Series whose newest entry regressed beyond the tolerance —
+    /// gates the exit code in `--check` mode.
+    pub regressions: usize,
+}
+
+/// Runs `perf-history`: folds the fresh `BENCH_*.json` cases in
+/// `bench_dir` into the ledger at `history_path` under `commit`
+/// (append mode) or compares them in-memory (`check`), then renders
+/// the per-series wall-time trajectory annotated against each series'
+/// first (seeded) entry with the relative tolerance `tol_wall`.
+///
+/// # Errors
+///
+/// Fails on unreadable or malformed inputs, on a `--check` run with no
+/// ledger to compare against, and on ledger write failures.
+pub fn run(
+    history_path: &Path,
+    bench_dir: &Path,
+    commit: &str,
+    check: bool,
+    tol_wall: f64,
+) -> Result<HistoryOutcome, String> {
+    let ledger_text = if history_path.is_file() {
+        fs::read_to_string(history_path)
+            .map_err(|e| format!("cannot read {}: {e}", history_path.display()))?
+    } else if check {
+        return Err(format!(
+            "no history ledger at {} to check against (seed it with an append run first)",
+            history_path.display()
+        ));
+    } else {
+        String::new()
+    };
+    let mut entries =
+        parse_history(&ledger_text).map_err(|e| format!("{}: {e}", history_path.display()))?;
+    let fresh = collect_bench_dir(bench_dir, commit)?;
+
+    let mut appended = 0usize;
+    let mut skipped = 0usize;
+    let mut new_lines = String::new();
+    let fresh_from = entries.len();
+    for entry in fresh {
+        let dup = entries
+            .iter()
+            .any(|e| e.commit == entry.commit && e.series() == entry.series());
+        if dup && !check {
+            skipped += 1;
+            continue;
+        }
+        if !check {
+            appended += 1;
+            let _ = writeln!(new_lines, "{}", entry.render_line());
+        }
+        entries.push(entry);
+    }
+    if !new_lines.is_empty() {
+        let mut text = ledger_text;
+        text.push_str(&new_lines);
+        fs::write(history_path, text)
+            .map_err(|e| format!("cannot write {}: {e}", history_path.display()))?;
+    }
+
+    // Group into series, preserving ledger order within each.
+    let mut series: Vec<(String, Vec<(usize, &HistoryEntry)>)> = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let key = entry.series();
+        match series.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, list)) => list.push((i, entry)),
+            None => series.push((key, vec![(i, entry)])),
+        }
+    }
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut regressions = 0usize;
+    let mut report = String::new();
+    for (key, list) in &series {
+        let _ = writeln!(report, "{key}");
+        let baseline = list[0].1.wall_ns;
+        let last = list.len() - 1;
+        for (pos, (index, entry)) in list.iter().enumerate() {
+            let fresh_mark = if *index >= fresh_from { " (fresh)" } else { "" };
+            if pos == 0 {
+                let _ = writeln!(
+                    report,
+                    "  {:<12} {:>12} ns  baseline{fresh_mark}",
+                    entry.commit, entry.wall_ns
+                );
+                continue;
+            }
+            let rel = rel_change(baseline, entry.wall_ns);
+            let verdict = if rel > tol_wall {
+                if pos == last {
+                    regressions += 1;
+                }
+                "  REGRESSION"
+            } else if -rel > tol_wall {
+                "  improvement"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                report,
+                "  {:<12} {:>12} ns  {:+.1}%{verdict}{fresh_mark}",
+                entry.commit,
+                entry.wall_ns,
+                rel * 100.0
+            );
+        }
+    }
+    let mode = if check {
+        "checked".to_owned()
+    } else {
+        format!("appended {appended}, skipped {skipped} duplicate(s)")
+    };
+    let summary = format!(
+        "perf-history: {} series, {} entr(ies), {mode}, {regressions} regression(s)\n",
+        series.len(),
+        entries.len()
+    );
+    Ok(HistoryOutcome {
+        report: summary + &report,
+        appended,
+        skipped,
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ia_perf_history_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn write_bench(dir: &Path, wall: u64) {
+        fs::write(
+            dir.join("BENCH_demo.json"),
+            format!(
+                r#"{{"bench":"demo","cases":[
+                    {{"params":{{"solver":"dp","gates":100}},"wall_ns":{wall},
+                      "counters":{{"dp.states":4}}}}]}}"#
+            ),
+        )
+        .expect("writable");
+    }
+
+    #[test]
+    fn seeding_then_appending_builds_a_trajectory() {
+        let dir = temp_dir("append");
+        let history = dir.join("history.jsonl");
+        write_bench(&dir, 1000);
+        let seeded = run(&history, &dir, "seed", false, 3.0).unwrap();
+        assert_eq!(seeded.appended, 1);
+        assert!(seeded.report.contains("baseline"), "{}", seeded.report);
+
+        write_bench(&dir, 1500);
+        let second = run(&history, &dir, "abc1234", false, 3.0).unwrap();
+        assert_eq!(second.appended, 1);
+        assert_eq!(second.regressions, 0);
+        assert!(second.report.contains("seed"), "{}", second.report);
+        assert!(second.report.contains("abc1234"), "{}", second.report);
+        assert!(second.report.contains("+50.0%"), "{}", second.report);
+
+        // The ledger is valid JSON lines with sorted params.
+        let text = fs::read_to_string(&history).unwrap();
+        let entries = parse_history(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].commit, "seed");
+        assert_eq!(entries[1].wall_ns, 1500);
+        assert_eq!(entries[0].params[0].0, "gates", "params are key-sorted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rerunning_the_same_commit_is_idempotent() {
+        let dir = temp_dir("idempotent");
+        let history = dir.join("history.jsonl");
+        write_bench(&dir, 1000);
+        run(&history, &dir, "seed", false, 3.0).unwrap();
+        let again = run(&history, &dir, "seed", false, 3.0).unwrap();
+        assert_eq!(again.appended, 0);
+        assert_eq!(again.skipped, 1);
+        let entries = parse_history(&fs::read_to_string(&history).unwrap()).unwrap();
+        assert_eq!(entries.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_mode_gates_without_writing() {
+        let dir = temp_dir("check");
+        let history = dir.join("history.jsonl");
+        write_bench(&dir, 1000);
+        run(&history, &dir, "seed", false, 3.0).unwrap();
+        let before = fs::read_to_string(&history).unwrap();
+
+        // In tolerance: clean, ledger untouched.
+        write_bench(&dir, 1200);
+        let ok = run(&history, &dir, "fresh", true, 3.0).unwrap();
+        assert_eq!(ok.regressions, 0, "{}", ok.report);
+        assert_eq!(ok.appended, 0);
+        assert!(ok.report.contains("(fresh)"), "{}", ok.report);
+        assert_eq!(fs::read_to_string(&history).unwrap(), before);
+
+        // A 5x slowdown beyond tol 3.0 regresses.
+        write_bench(&dir, 5000);
+        let bad = run(&history, &dir, "fresh", true, 3.0).unwrap();
+        assert_eq!(bad.regressions, 1, "{}", bad.report);
+        assert!(bad.report.contains("REGRESSION"), "{}", bad.report);
+        assert_eq!(fs::read_to_string(&history).unwrap(), before);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_mode_requires_a_seeded_ledger() {
+        let dir = temp_dir("unseeded");
+        write_bench(&dir, 1000);
+        let err = run(&dir.join("history.jsonl"), &dir, "c", true, 3.0).unwrap_err();
+        assert!(err.contains("seed it"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_old_regression_does_not_gate_when_the_latest_entry_recovered() {
+        let dir = temp_dir("recovered");
+        let history = dir.join("history.jsonl");
+        write_bench(&dir, 1000);
+        run(&history, &dir, "seed", false, 3.0).unwrap();
+        write_bench(&dir, 9000);
+        run(&history, &dir, "slow", false, 3.0).unwrap();
+        write_bench(&dir, 1100);
+        let now = run(&history, &dir, "fixed", true, 3.0).unwrap();
+        assert_eq!(now.regressions, 0, "{}", now.report);
+        assert!(
+            now.report.contains("REGRESSION"),
+            "the slow entry keeps its mark"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_ledgers() {
+        assert!(parse_history("not json\n").unwrap_err().contains("line 1"));
+        let no_commit = r#"{"bench":"b","params":{},"wall_ns":1,"counters":{}}"#;
+        assert!(parse_history(no_commit).unwrap_err().contains("commit"));
+        let bad_wall = r#"{"commit":"c","bench":"b","params":{},"wall_ns":1.5,"counters":{}}"#;
+        assert!(parse_history(bad_wall).unwrap_err().contains("wall_ns"));
+        assert!(parse_history("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn collect_requires_artifacts() {
+        let dir = temp_dir("empty");
+        let err = collect_bench_dir(&dir, "c").unwrap_err();
+        assert!(err.contains("no BENCH_"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

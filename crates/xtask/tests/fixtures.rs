@@ -370,7 +370,7 @@ fn cli_schema_checkers_validate_artifacts() {
     let metrics = dir.join("metrics.json");
     std::fs::write(
         &metrics,
-        r#"{"counters":{"dp.states":4},"spans":[{"path":"dp_solve","calls":1,"total_ns":9}],"histograms":[]}"#,
+        r#"{"counters":{"dp.states":4},"spans":[{"path":"dp.solve","calls":1,"total_ns":9}],"histograms":[]}"#,
     )
     .expect("writable");
     let ok = Command::new(bin)
@@ -436,8 +436,8 @@ fn cli_check_trace_validates_trace_exports() {
     std::fs::write(
         &good,
         r#"[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"iarank"}},
-            {"name":"dp_solve","cat":"span","ph":"B","ts":1.5,"pid":1,"tid":1},
-            {"name":"dp_solve","cat":"span","ph":"E","ts":9.0,"pid":1,"tid":1}]"#,
+            {"name":"dp.solve","cat":"span","ph":"B","ts":1.5,"pid":1,"tid":1},
+            {"name":"dp.solve","cat":"span","ph":"E","ts":9.0,"pid":1,"tid":1}]"#,
     )
     .expect("writable");
     let ok = Command::new(bin)
@@ -451,7 +451,7 @@ fn cli_check_trace_validates_trace_exports() {
     let bad = dir.join("bad_trace.json");
     std::fs::write(
         &bad,
-        r#"[{"name":"dp_solve","cat":"span","ph":"E","ts":1,"pid":1,"tid":1}]"#,
+        r#"[{"name":"dp.solve","cat":"span","ph":"E","ts":1,"pid":1,"tid":1}]"#,
     )
     .expect("writable");
     let err = Command::new(bin)
@@ -461,6 +461,127 @@ fn cli_check_trace_validates_trace_exports() {
         .expect("runs");
     assert_eq!(err.status.code(), Some(1), "unmatched end must exit 1");
     assert!(String::from_utf8_lossy(&err.stderr).contains("does not close"));
+}
+
+#[test]
+fn cli_check_prof_validates_both_profile_forms() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let dir = std::env::temp_dir().join("ia_lint_prof_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let json = dir.join("prof.json");
+    std::fs::write(
+        &json,
+        r#"{"schema":"ia-prof-v1","roots":[{"name":"dp.solve","calls":1,
+            "total_ns":900,"self_ns":200,"min_ns":900,"max_ns":900,"children":[
+            {"name":"expand","calls":3,"total_ns":700,"self_ns":700,
+             "min_ns":100,"max_ns":400,"children":[]}]}]}"#,
+    )
+    .expect("writable");
+    let ok = Command::new(bin)
+        .arg("check-prof")
+        .arg(&json)
+        .output()
+        .expect("runs");
+    assert!(ok.status.success(), "valid profile must exit 0");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("profile OK"));
+
+    let folded = dir.join("prof.folded");
+    std::fs::write(&folded, "dp.solve 200\ndp.solve;expand 700\n").expect("writable");
+    let ok = Command::new(bin)
+        .arg("check-prof")
+        .arg(&folded)
+        .output()
+        .expect("runs");
+    assert!(ok.status.success(), "valid folded profile must exit 0");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("folded profile OK"));
+
+    let bad = dir.join("bad.folded");
+    std::fs::write(&bad, "dp.solve 200\ndp.solve 1\n").expect("writable");
+    let err = Command::new(bin)
+        .arg("check-prof")
+        .arg(&bad)
+        .output()
+        .expect("runs");
+    assert_eq!(err.status.code(), Some(1), "duplicate stack must exit 1");
+    assert!(String::from_utf8_lossy(&err.stderr).contains("duplicate stack"));
+
+    let missing = Command::new(bin)
+        .args(["check-prof", "/nonexistent/prof.json"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "unreadable file must exit 2"
+    );
+}
+
+#[test]
+fn cli_perf_history_appends_and_gates() {
+    let bin = env!("CARGO_BIN_EXE_ia-lint");
+    let dir = std::env::temp_dir().join(format!("ia_lint_history_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let history = dir.join("history.jsonl");
+    let bench = dir.join("BENCH_demo.json");
+    let with_wall = |wall: u64| {
+        format!(
+            r#"{{"bench":"demo","cases":[{{"params":{{"gates":100}},"wall_ns":{wall},"counters":{{}}}}]}}"#
+        )
+    };
+
+    std::fs::write(&bench, with_wall(1000)).expect("writable");
+    let seed = Command::new(bin)
+        .args(["perf-history", "--commit", "seed", "--bench-dir"])
+        .arg(&dir)
+        .arg("--history")
+        .arg(&history)
+        .output()
+        .expect("runs");
+    assert!(seed.status.success(), "seeding run must exit 0");
+    let stdout = String::from_utf8_lossy(&seed.stdout);
+    assert!(stdout.contains("baseline"), "{stdout}");
+    assert!(history.is_file(), "ledger written");
+
+    // A regressed fresh run fails --check without touching the ledger.
+    std::fs::write(&bench, with_wall(9000)).expect("writable");
+    let ledger_before = std::fs::read_to_string(&history).unwrap();
+    let gate = Command::new(bin)
+        .args([
+            "perf-history",
+            "--check",
+            "--commit",
+            "current",
+            "--bench-dir",
+        ])
+        .arg(&dir)
+        .arg("--history")
+        .arg(&history)
+        .output()
+        .expect("runs");
+    assert_eq!(gate.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&gate.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("(fresh)"), "{stdout}");
+    assert_eq!(std::fs::read_to_string(&history).unwrap(), ledger_before);
+
+    // Usage and I/O errors exit 2.
+    let bad_flag = Command::new(bin)
+        .args(["perf-history", "--bogus"])
+        .output()
+        .expect("runs");
+    assert_eq!(bad_flag.status.code(), Some(2), "unknown flag must exit 2");
+    let missing_dir = Command::new(bin)
+        .args(["perf-history", "--bench-dir", "/nonexistent/bench-dir"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        missing_dir.status.code(),
+        Some(2),
+        "missing dir must exit 2"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
