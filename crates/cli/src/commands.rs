@@ -601,10 +601,14 @@ pub fn cmd_dse(args: &ParsedArgs) -> Result<String, CliError> {
             let runs = args.get_str("runs").unwrap_or_else(|| "runs".to_owned());
             let workers = args.get_str("workers");
             let max_points = args.get_str("max-points");
+            let remote = args.get_str("workers-remote");
             args.reject_unknown()?;
             let text = std::fs::read_to_string(&spec_path)
                 .map_err(|e| CliError::Domain(format!("cannot read spec {spec_path}: {e}")))?;
             let spec = ia_dse::ExperimentSpec::parse_str(&text).map_err(domain)?;
+            if let Some(coordinator) = remote {
+                return dse_run_remote(&coordinator, &text, &spec);
+            }
             let opts = dse_options(workers, max_points)?;
             let outcome = ia_dse::run(&spec, std::path::Path::new(&runs), &opts).map_err(domain)?;
             Ok(dse_status(&outcome))
@@ -628,11 +632,16 @@ pub fn cmd_dse(args: &ParsedArgs) -> Result<String, CliError> {
                     "`dse report` needs `--run DIR`".to_owned(),
                 ));
             };
+            let csv = args.get("csv", false)?;
             args.reject_unknown()?;
             // The report is a pure function of the persisted run: an
             // interrupted-then-resumed run prints byte-identically to
             // an uninterrupted one. Nothing is appended here.
-            ia_dse::report::for_run(std::path::Path::new(&run_dir)).map_err(domain)
+            if csv {
+                ia_dse::report::for_run_csv(std::path::Path::new(&run_dir)).map_err(domain)
+            } else {
+                ia_dse::report::for_run(std::path::Path::new(&run_dir)).map_err(domain)
+            }
         }
         other => Err(CliError::Domain(format!(
             "unknown dse action `{other}` (expected run, resume or report)"
@@ -662,6 +671,181 @@ fn dse_options(
     Ok(opts)
 }
 
+/// `dse run --workers-remote ADDR`: submit the spec to a fleet
+/// coordinator's `POST /dse` and poll `GET /dse/<id>` until the job
+/// finishes, so the exploration executes on the coordinator's worker
+/// fleet instead of this process.
+fn dse_run_remote(
+    coordinator: &str,
+    spec_text: &str,
+    spec: &ia_dse::ExperimentSpec,
+) -> Result<String, CliError> {
+    use ia_obs::json::JsonValue;
+    let timeout = std::time::Duration::from_secs(10);
+    let (status, body) =
+        ia_serve::client::post_json(coordinator, "/dse", spec_text, timeout).map_err(domain)?;
+    if status != 202 {
+        return Err(CliError::Domain(format!(
+            "coordinator rejected the spec ({status}): {body}"
+        )));
+    }
+    let job = JsonValue::parse(&body)
+        .ok()
+        .and_then(|doc| doc.get("job").and_then(JsonValue::as_u64))
+        .ok_or_else(|| CliError::Domain(format!("bad submit response: {body}")))?;
+    let path = format!("/dse/{job}");
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let (status, body) = ia_serve::client::get(coordinator, &path, timeout).map_err(domain)?;
+        if status != 200 {
+            return Err(CliError::Domain(format!(
+                "job poll failed ({status}): {body}"
+            )));
+        }
+        let doc = JsonValue::parse(&body)
+            .map_err(|e| CliError::Domain(format!("bad job status: {e}")))?;
+        match doc.get("status").and_then(|v| v.as_str()) {
+            Some("running") => {}
+            Some("done") => {
+                let count = |name: &str| {
+                    doc.get("result")
+                        .and_then(|r| r.get(name))
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0)
+                };
+                let complete = doc
+                    .get("result")
+                    .and_then(|r| r.get("complete"))
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false);
+                return Ok(format!(
+                    "coordinator: {coordinator}\njob: {job}\nrun id: {}\n\
+                     points: {} total, {} solved, {} cached, {} skipped ({} rounds)\n\
+                     status: {}\n",
+                    spec.run_id(),
+                    count("total_points"),
+                    count("solved"),
+                    count("cached"),
+                    count("skipped"),
+                    count("rounds"),
+                    if complete { "complete" } else { "incomplete" },
+                ));
+            }
+            Some("failed") => {
+                let message = doc
+                    .get("error")
+                    .and_then(|v| v.as_str().map(str::to_owned))
+                    .unwrap_or_else(|| "unknown error".to_owned());
+                return Err(CliError::Domain(format!(
+                    "remote dse job failed: {message}"
+                )));
+            }
+            other => {
+                return Err(CliError::Domain(format!(
+                    "unexpected job status `{}`",
+                    other.unwrap_or("<missing>")
+                )))
+            }
+        }
+    }
+}
+
+/// `iarank fleet worker`: one distributed-dse worker process, in
+/// either of two modes (see docs/dse.md):
+///
+/// * `--run DIR` (or `--spec FILE --runs DIR`): shared-store mode —
+///   partition a run's points with peer processes through the
+///   `claims.jsonl` work-stealing journal.
+/// * `--coordinator ADDR`: remote mode — pull point leases from a
+///   fleet-mode `iarank serve` over HTTP.
+pub fn cmd_fleet(args: &ParsedArgs) -> Result<String, CliError> {
+    let Some(action) = args.subcommand().map(str::to_owned) else {
+        return Err(CliError::Domain(
+            "`fleet` needs an action: worker".to_owned(),
+        ));
+    };
+    if action != "worker" {
+        return Err(CliError::Domain(format!(
+            "unknown fleet action `{action}` (expected worker)"
+        )));
+    }
+    let coordinator = args.get_str("coordinator");
+    let run = args.get_str("run");
+    let spec_path = args.get_str("spec");
+    if coordinator.is_some() && (run.is_some() || spec_path.is_some()) {
+        return Err(CliError::Domain(
+            "`--coordinator` and `--run`/`--spec` are mutually exclusive".to_owned(),
+        ));
+    }
+    let defaults = ia_dse::FleetOptions::default();
+    let worker_id = args
+        .get_str("worker-id")
+        .unwrap_or_else(|| defaults.worker_id.clone());
+    let poll_ms = args.get("poll-ms", defaults.poll_ms)?;
+    let max_idle_ms = args.get("max-idle-ms", defaults.max_idle_ms)?;
+    let stall_ms = args.get("stall-ms", defaults.stall_ms)?;
+    if let Some(coordinator) = coordinator {
+        args.reject_unknown()?;
+        let opts = ia_serve::WorkerOptions {
+            worker_id: worker_id.clone(),
+            poll_ms,
+            max_idle_ms,
+            stall_ms,
+            ..ia_serve::WorkerOptions::default()
+        };
+        let outcome = ia_serve::fleet::run_worker(&coordinator, &opts).map_err(domain)?;
+        return Ok(format!(
+            "coordinator: {coordinator}\nworker: {worker_id}\n\
+             points: {} solved, {} failed, {} idle polls\n",
+            outcome.solved, outcome.failed, outcome.idle_polls
+        ));
+    }
+    let lease_ms = args.get("lease-ms", defaults.lease_ms)?;
+    let max_points = args.get_str("max-points");
+    let run_dir = if let Some(dir) = run {
+        args.reject_unknown()?;
+        std::path::PathBuf::from(dir)
+    } else if let Some(spec_path) = spec_path {
+        // `--spec` initializes (or opens) the run directory first, so
+        // the first worker on a fresh machine needs no separate
+        // `dse run` step before the fleet can start.
+        let runs = args.get_str("runs").unwrap_or_else(|| "runs".to_owned());
+        args.reject_unknown()?;
+        let text = std::fs::read_to_string(&spec_path)
+            .map_err(|e| CliError::Domain(format!("cannot read spec {spec_path}: {e}")))?;
+        let spec = ia_dse::ExperimentSpec::parse_str(&text).map_err(domain)?;
+        let (store, _) =
+            ia_dse::RunStore::open_or_create(std::path::Path::new(&runs), &spec).map_err(domain)?;
+        store.dir().to_path_buf()
+    } else {
+        return Err(CliError::Domain(
+            "`fleet worker` needs `--coordinator ADDR`, `--run DIR`, or `--spec FILE`".to_owned(),
+        ));
+    };
+    let opts = dse_options(None, max_points)?;
+    let fleet = ia_dse::FleetOptions {
+        worker_id: worker_id.clone(),
+        lease_ms,
+        poll_ms,
+        max_idle_ms,
+        stall_ms,
+    };
+    let outcome = ia_dse::fleet::work(&run_dir, &opts, &fleet).map_err(domain)?;
+    let mut out = format!("run: {}\n", outcome.run_dir);
+    out.push_str(&format!("run id: {}\n", outcome.run_id));
+    out.push_str(&format!("worker: {worker_id}\n"));
+    out.push_str(&format!(
+        "points: {} solved, {} cached, {} lost, {} reclaimed ({} rounds)\n",
+        outcome.solved, outcome.cached, outcome.lost, outcome.reclaimed, outcome.rounds
+    ));
+    out.push_str(if outcome.complete {
+        "status: complete\n"
+    } else {
+        "status: incomplete\n"
+    });
+    Ok(out)
+}
+
 /// The `--help` text.
 #[must_use]
 pub fn usage() -> String {
@@ -680,6 +864,8 @@ COMMANDS:
   serve      run the rank service over HTTP (see docs/serving.md)
   dse        declarative design-space exploration (see docs/dse.md):
              dse run --spec FILE | dse resume --run DIR | dse report --run DIR
+  fleet      distributed dse worker (see docs/dse.md):
+             fleet worker --run DIR | --spec FILE | --coordinator ADDR
   help       show this text
 
 SHARED FLAGS (rank, sweep, optimize):
@@ -706,6 +892,23 @@ DSE FLAGS:
   --max-points N           fresh-solve budget for this invocation; the
                            run stops incomplete when it is reached and
                            `dse resume` continues it
+  --csv                    (dse report) emit the run as CSV instead of
+                           the Table-4-style text report
+  --workers-remote ADDR    (dse run) submit the spec to a fleet
+                           coordinator and poll until the job finishes
+
+FLEET WORKER FLAGS:
+  --run DIR                shared-store mode: join this run directory
+  --spec FILE              shared-store mode: init/open the run from a
+                           spec under --runs first
+  --coordinator ADDR       remote mode: pull point leases over HTTP
+  --worker-id ID           lease/journal identity  [worker-<pid>]
+  --lease-ms N             claim lease duration (shared-store) [30000]
+  --poll-ms N              idle poll interval           [25]
+  --max-idle-ms N          exit after this long with no work (0 = wait
+                           forever)                     [0]
+  --stall-ms N             fault injection: hold each claim this long
+                           before solving               [0]
 
 SERVE FLAGS:
   --addr HOST:PORT         listen address (port 0 = ephemeral) [127.0.0.1:8080]
@@ -715,6 +918,11 @@ SERVE FLAGS:
   --request-timeout-ms N   per-request deadline          [10000]
   --diag-dir DIR           where diagnostic bundles land [.]
   --flight-interval-ms N   flight-recorder snapshot period [500]
+  --fleet                  enable the fleet coordinator: dse jobs are
+                           dispatched to remote workers over /fleet/*
+  --lease-ms N             fleet point-lease duration    [30000]
+  --heartbeat-ms N         fleet worker heartbeat cadence [5000]
+  --runs DIR               persist dse jobs as resumable run stores
 
 TELEMETRY FLAGS (any command):
   --metrics text|json      print solver counters and span timings after
@@ -745,7 +953,10 @@ EXAMPLES:
   iarank optimize --node 90 --max-pairs 5 --gates 400000
   iarank serve --addr 127.0.0.1:0 --workers 4 --cache-entries 512
   iarank dse run --spec grid.toml --runs runs --metrics json
-  iarank dse report --run runs/1a2b3c4d5e6f7a8b
+  iarank dse report --run runs/1a2b3c4d5e6f7a8b --csv
+  iarank fleet worker --run runs/1a2b3c4d5e6f7a8b --worker-id w1
+  iarank serve --addr 127.0.0.1:0 --fleet --runs runs
+  iarank fleet worker --coordinator 127.0.0.1:8080
 "
     .to_owned()
 }
@@ -770,6 +981,10 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     let log_file = args.get_str("log-file");
     let diag_dir = args.get_str("diag-dir").unwrap_or_else(|| ".".to_owned());
     let flight_interval_ms = args.get("flight-interval-ms", 500u64)?;
+    let fleet = args.get("fleet", false)?;
+    let lease_ms = args.get("lease-ms", 30_000u64)?;
+    let heartbeat_ms = args.get("heartbeat-ms", 5_000u64)?;
+    let runs = args.get_str("runs");
     args.reject_unknown()?;
 
     let config = ia_serve::ServerConfig {
@@ -781,6 +996,10 @@ pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         log_file: log_file.map(std::path::PathBuf::from),
         diag_dir: std::path::PathBuf::from(diag_dir),
         flight_interval: std::time::Duration::from_millis(flight_interval_ms),
+        fleet,
+        lease_ms,
+        heartbeat_ms,
+        runs: runs.map(std::path::PathBuf::from),
         ..ia_serve::ServerConfig::default()
     };
     let server = ia_serve::Server::bind(config).map_err(domain)?;
@@ -826,6 +1045,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("optimize") => cmd_optimize(args),
         Some("serve") => cmd_serve(args),
         Some("dse") => cmd_dse(args),
+        Some("fleet") => cmd_fleet(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError::Domain(format!(
             "unknown command `{other}` — try `iarank help`"

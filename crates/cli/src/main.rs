@@ -10,14 +10,16 @@ use args::ParsedArgs;
 use commands::{CliError, MetricsOptions};
 
 fn main() {
-    // `--profile` and `--parallel` are boolean switches; rewrite the
-    // bare forms into the `--flag=true` spelling the `--flag value`
-    // parser understands.
+    // `--profile`, `--parallel`, `--fleet` and `--csv` are boolean
+    // switches; rewrite the bare forms into the `--flag=true` spelling
+    // the `--flag value` parser understands.
     let tokens: Vec<String> = std::env::args()
         .skip(1)
         .map(|t| match t.as_str() {
             "--profile" => "--profile=true".to_owned(),
             "--parallel" => "--parallel=true".to_owned(),
+            "--fleet" => "--fleet=true".to_owned(),
+            "--csv" => "--csv=true".to_owned(),
             _ => t,
         })
         .collect();

@@ -1,0 +1,425 @@
+//! End-to-end tests of the distributed dse fleet through the real
+//! `iarank` binary: concurrent shared-store workers, a SIGKILL'd
+//! worker whose lease must be reclaimed, and coordinator fan-out over
+//! HTTP. The acceptance bar is the one from docs/dse.md — fleet runs
+//! produce byte-identical reports to a single-process run, with zero
+//! duplicate solves, even when a worker dies mid-point.
+
+use std::collections::BTreeSet;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ia_obs::json::JsonValue;
+
+/// A 3x2 m/c grid (6 points) small enough to solve quickly in debug
+/// builds but wide enough that three workers genuinely interleave.
+const SPEC: &str = r#"{"name": "fleet-cli",
+    "base": {"gates": 20000, "bunch": 2000},
+    "axes": [{"knob": "m", "values": [1.5, 2.0, 2.5]},
+             {"knob": "c", "values": [400.0, 800.0]}]}"#;
+
+fn iarank() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iarank"))
+}
+
+/// A per-test scratch directory, wiped on entry (not on exit, so a
+/// failing test leaves its evidence behind).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iarank-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_spec(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("spec.json");
+    std::fs::write(&path, SPEC).expect("write spec");
+    path
+}
+
+/// Runs the binary to completion, asserting exit 0, and returns stdout.
+fn run_ok(args: &[&str]) -> String {
+    let out = iarank().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "iarank {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Scrapes the value of a `label: value` line from command output.
+fn scrape(output: &str, label: &str) -> String {
+    output
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{label}: ")))
+        .unwrap_or_else(|| panic!("no `{label}:` line in output:\n{output}"))
+        .to_owned()
+}
+
+/// Pulls the count before `marker` out of a worker's points line, e.g.
+/// `1` from `points: 5 solved, 0 cached, 0 lost, 1 reclaimed (3 rounds)`.
+fn count_before(line: &str, marker: &str) -> u64 {
+    let head = line
+        .split(marker)
+        .next()
+        .unwrap_or_else(|| panic!("no `{marker}` in `{line}`"));
+    head.rsplit([' ', ','])
+        .find(|token| !token.is_empty())
+        .and_then(|token| token.parse().ok())
+        .unwrap_or_else(|| panic!("no count before `{marker}` in `{line}`"))
+}
+
+/// Creates the run directory (manifest + empty result log) without
+/// solving anything, returning the run dir workers should join.
+fn init_store(spec: &std::path::Path, runs: &std::path::Path) -> std::path::PathBuf {
+    let out = run_ok(&[
+        "dse",
+        "run",
+        "--spec",
+        spec.to_str().expect("utf8 path"),
+        "--runs",
+        runs.to_str().expect("utf8 path"),
+        "--max-points",
+        "0",
+    ]);
+    std::path::PathBuf::from(scrape(&out, "run"))
+}
+
+/// A full single-process reference run; returns its run directory.
+fn reference_run(spec: &std::path::Path, runs: &std::path::Path) -> std::path::PathBuf {
+    let out = run_ok(&[
+        "dse",
+        "run",
+        "--spec",
+        spec.to_str().expect("utf8 path"),
+        "--runs",
+        runs.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.contains("status: complete"), "reference run: {out}");
+    std::path::PathBuf::from(scrape(&out, "run"))
+}
+
+fn report(run_dir: &std::path::Path) -> String {
+    run_ok(&[
+        "dse",
+        "report",
+        "--run",
+        run_dir.to_str().expect("utf8 path"),
+    ])
+}
+
+/// Asserts the result log holds exactly `expected` lines with
+/// `expected` distinct keys — the zero-duplicate-solves proof.
+fn assert_no_duplicates(run_dir: &std::path::Path, expected: usize) {
+    let text = std::fs::read_to_string(run_dir.join("results.jsonl")).expect("results.jsonl");
+    let lines: Vec<&str> = text.lines().collect();
+    let keys: BTreeSet<String> = lines
+        .iter()
+        .map(|line| {
+            let doc = JsonValue::parse(line).expect("result line parses");
+            doc.get("key")
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .expect("result line has a key")
+        })
+        .collect();
+    assert_eq!(lines.len(), expected, "result log line count:\n{text}");
+    assert_eq!(keys.len(), expected, "distinct result keys:\n{text}");
+}
+
+#[test]
+fn three_concurrent_workers_match_a_single_process_run() {
+    let dir = scratch("trio");
+    let spec = write_spec(&dir);
+    let reference = reference_run(&spec, &dir.join("ref-runs"));
+    let run_dir = init_store(&spec, &dir.join("fleet-runs"));
+
+    let spawn = |id: &str| -> Child {
+        iarank()
+            .args([
+                "fleet",
+                "worker",
+                "--run",
+                run_dir.to_str().expect("utf8 path"),
+                "--worker-id",
+                id,
+                "--poll-ms",
+                "5",
+                "--max-idle-ms",
+                "4000",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn worker")
+    };
+    let workers = [spawn("w1"), spawn("w2"), spawn("w3")];
+
+    let mut solved_total = 0;
+    for child in workers {
+        let out = child.wait_with_output().expect("worker exits");
+        assert!(
+            out.status.success(),
+            "worker failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        assert!(
+            text.contains("status: complete"),
+            "worker saw completion: {text}"
+        );
+        solved_total += count_before(&scrape(&text, "points"), " solved");
+    }
+
+    assert_eq!(solved_total, 6, "each point solved by exactly one worker");
+    assert_no_duplicates(&run_dir, 6);
+    assert_eq!(
+        report(&run_dir),
+        report(&reference),
+        "byte-identical reports"
+    );
+    let csv = |run: &std::path::Path| {
+        run_ok(&[
+            "dse",
+            "report",
+            "--run",
+            run.to_str().expect("utf8 path"),
+            "--csv",
+        ])
+    };
+    assert_eq!(csv(&run_dir), csv(&reference), "byte-identical CSV exports");
+}
+
+#[test]
+fn a_killed_workers_lease_is_reclaimed_and_the_run_completes() {
+    let dir = scratch("kill");
+    let spec = write_spec(&dir);
+    let reference = reference_run(&spec, &dir.join("ref-runs"));
+    let run_dir = init_store(&spec, &dir.join("fleet-runs"));
+
+    // The victim claims its first point, then stalls inside the lease
+    // (the fault-injection hook sleeps between claim and solve) until
+    // SIGKILL lands — leaving a live-looking claim with no result.
+    let mut victim = iarank()
+        .args([
+            "fleet",
+            "worker",
+            "--run",
+            run_dir.to_str().expect("utf8 path"),
+            "--worker-id",
+            "victim",
+            "--lease-ms",
+            "500",
+            "--poll-ms",
+            "5",
+            "--stall-ms",
+            "60000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+
+    let claims = run_dir.join("claims.jsonl");
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while std::fs::read_to_string(&claims)
+        .map(|text| !text.contains("\"claim\""))
+        .unwrap_or(true)
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "victim never claimed a point"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    victim.kill().expect("kill victim");
+    let _ = victim.wait();
+
+    let out = run_ok(&[
+        "fleet",
+        "worker",
+        "--run",
+        run_dir.to_str().expect("utf8 path"),
+        "--worker-id",
+        "survivor",
+        "--lease-ms",
+        "500",
+        "--poll-ms",
+        "5",
+        "--max-idle-ms",
+        "10000",
+    ]);
+    assert!(out.contains("status: complete"), "survivor finished: {out}");
+    let points = scrape(&out, "points");
+    assert!(
+        count_before(&points, " reclaimed") >= 1,
+        "the victim's expired lease was reclaimed: {points}"
+    );
+
+    assert_no_duplicates(&run_dir, 6);
+    assert_eq!(
+        report(&run_dir),
+        report(&reference),
+        "byte-identical reports"
+    );
+}
+
+/// Polls `probe` against a fleet-coordinator endpoint until it holds
+/// or the deadline passes.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !probe() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Reads a numeric field out of the coordinator's `/statz` fleet block.
+fn fleet_stat(addr: &str, field: &str) -> u64 {
+    let Ok((200, body)) = ia_serve::client::get(addr, "/statz", Duration::from_secs(5)) else {
+        return 0;
+    };
+    JsonValue::parse(&body)
+        .ok()
+        .and_then(|doc| {
+            doc.get("fleet")
+                .and_then(|f| f.get(field).and_then(JsonValue::as_u64))
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn a_coordinator_fans_out_and_survives_a_worker_kill() {
+    let dir = scratch("coord");
+    let spec = write_spec(&dir);
+    let reference = reference_run(&spec, &dir.join("ref-runs"));
+    let coord_runs = dir.join("coord-runs");
+
+    let mut serve = iarank()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--fleet",
+            "--lease-ms",
+            "700",
+            "--heartbeat-ms",
+            "100",
+            "--runs",
+            coord_runs.to_str().expect("utf8 path"),
+            "--diag-dir",
+            dir.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let mut serve_stdout = std::io::BufReader::new(serve.stdout.take().expect("serve stdout"));
+    let mut line = String::new();
+    serve_stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line}"))
+        .to_owned();
+
+    let worker = |id: &str, stall_ms: &str, max_idle_ms: &str| -> Child {
+        iarank()
+            .args([
+                "fleet",
+                "worker",
+                "--coordinator",
+                &addr,
+                "--worker-id",
+                id,
+                "--poll-ms",
+                "10",
+                "--stall-ms",
+                stall_ms,
+                "--max-idle-ms",
+                max_idle_ms,
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn remote worker")
+    };
+
+    // The stalling worker registers first, so the dispatcher sees a
+    // live fleet and queues points instead of solving in-process.
+    let mut staller = worker("stall", "60000", "0");
+    wait_for("worker registration", || fleet_stat(&addr, "workers") >= 1);
+
+    let submit = iarank()
+        .args([
+            "dse",
+            "run",
+            "--spec",
+            spec.to_str().expect("utf8 path"),
+            "--workers-remote",
+            &addr,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn remote submit");
+
+    // Once the staller holds a lease, bring up the helper and kill the
+    // staller mid-point; its lease must be reclaimed and re-dispatched.
+    wait_for("a dispatched lease", || fleet_stat(&addr, "inflight") >= 1);
+    let mut helper = worker("helper", "0", "8000");
+    staller.kill().expect("kill staller");
+    let _ = staller.wait();
+
+    let out = submit.wait_with_output().expect("submit exits");
+    assert!(
+        out.status.success(),
+        "remote dse run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        text.contains("status: complete"),
+        "remote run completed: {text}"
+    );
+    let run_id = scrape(&text, "run id");
+
+    // The reclaim counter is ticked on the coordinator; poll /metrics
+    // until the worker threads have flushed it into the snapshot.
+    wait_for("fleet.reclaimed > 0", || {
+        let Ok((200, body)) = ia_serve::client::get(&addr, "/metrics", Duration::from_secs(5))
+        else {
+            return false;
+        };
+        JsonValue::parse(&body)
+            .ok()
+            .and_then(|doc| {
+                doc.get("counters")
+                    .and_then(|c| c.get("fleet.reclaimed").and_then(JsonValue::as_u64))
+            })
+            .unwrap_or(0)
+            >= 1
+    });
+
+    // With `--runs` the coordinator persisted the run; its report (and
+    // result log) must match the single-process reference exactly.
+    let run_dir = coord_runs.join(&run_id);
+    assert_no_duplicates(&run_dir, 6);
+    assert_eq!(
+        report(&run_dir),
+        report(&reference),
+        "byte-identical reports"
+    );
+
+    let (status, _) = ia_serve::client::post_json(&addr, "/shutdown", "{}", Duration::from_secs(5))
+        .expect("shutdown request");
+    assert_eq!(status, 200);
+    let _ = serve.wait();
+    let _ = helper.kill();
+    let _ = helper.wait();
+}

@@ -1,0 +1,463 @@
+//! The work-stealing claim journal: `claims.jsonl` beside
+//! `results.jsonl` in `runs/<run_id>/`.
+//!
+//! N independent worker processes pointed at one run directory
+//! partition the pending point set through this journal. Each line is
+//! one action, keyed by the point's canonical content address:
+//!
+//! ```text
+//! {"action":"claim","expires_ms":T2,"key":"<32-hex>","ts_ms":T1,"worker":"w1"}
+//! {"action":"release","key":"<32-hex>","ts_ms":T3,"worker":"w1"}
+//! ```
+//!
+//! Appends go through `O_APPEND` in one write each, so concurrent
+//! writers never interleave bytes of a line. Mutual exclusion is
+//! *append-then-replay*: a worker appends its claim, re-reads the
+//! journal, and deterministically replays every line in file order —
+//! a claim takes the slot when it is free (never claimed, released by
+//! its holder, or the holder's lease expired before the claim was
+//! written); otherwise it loses. Every process replaying the same
+//! bytes reaches the same verdict, so exactly one writer wins each
+//! slot without any locks.
+//!
+//! Crashes are safe by construction: `results.jsonl` stays the source
+//! of truth (a claim is never proof of completion), a dead worker's
+//! lease simply expires and the next claimant takes the slot over —
+//! that takeover is a *reclaim*, counted under
+//! [`names::FLEET_RECLAIMED`](crate::names::FLEET_RECLAIMED). A torn
+//! final line (kill mid-append) is dropped on replay, like the result
+//! log.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ia_obs::json::JsonValue;
+
+use crate::error::DseError;
+
+/// Wall-clock milliseconds since the Unix epoch — the lease
+/// timestamp base shared by every worker on the machine.
+#[must_use]
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// The verdict of one claim attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// This worker holds the lease and must solve the point.
+    Won {
+        /// The winning claim displaced another worker's expired
+        /// lease — a dead-worker reclaim.
+        reclaimed: bool,
+    },
+    /// Another worker holds a live lease on the point.
+    Lost,
+}
+
+/// One worker's handle on a run's claim journal.
+#[derive(Debug)]
+pub struct ClaimJournal {
+    path: PathBuf,
+    worker: String,
+    // One writer at a time within the process; cross-process atomicity
+    // comes from O_APPEND single-write lines.
+    log: Mutex<File>,
+}
+
+impl ClaimJournal {
+    /// Opens (creating if needed) `claims.jsonl` in `run_dir` for
+    /// `worker` — the id recorded on every line this handle appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] when the journal cannot be opened, and
+    /// [`DseError::Spec`] for an empty worker id.
+    pub fn open(run_dir: &Path, worker: &str) -> Result<ClaimJournal, DseError> {
+        if worker.is_empty() {
+            return Err(DseError::Spec("worker id must be non-empty".to_owned()));
+        }
+        let path = run_dir.join("claims.jsonl");
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| DseError::io(&path, &e))?;
+        Ok(ClaimJournal {
+            path,
+            worker: worker.to_owned(),
+            log: Mutex::new(file),
+        })
+    }
+
+    /// This handle's worker id.
+    #[must_use]
+    pub fn worker(&self) -> &str {
+        &self.worker
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Attempts to claim `key` under a lease of `lease_ms`: appends
+    /// the claim line, then replays the journal to learn whether it
+    /// won the slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] for append/read failures and
+    /// [`DseError::Corrupt`] for a malformed journal.
+    pub fn try_claim(&self, key: u128, lease_ms: u64) -> Result<ClaimOutcome, DseError> {
+        let ts = now_ms();
+        let line = JsonValue::Obj(vec![
+            ("action".to_owned(), JsonValue::Str("claim".to_owned())),
+            (
+                "expires_ms".to_owned(),
+                JsonValue::UInt(ts.saturating_add(lease_ms)),
+            ),
+            ("key".to_owned(), JsonValue::Str(format!("{key:032x}"))),
+            ("ts_ms".to_owned(), JsonValue::UInt(ts)),
+            ("worker".to_owned(), JsonValue::Str(self.worker.clone())),
+        ]);
+        self.append(&line)?;
+        let table = self.replay()?;
+        match table.holders.get(&key) {
+            Some(holder) if holder.worker == self.worker => Ok(ClaimOutcome::Won {
+                reclaimed: holder.reclaimed,
+            }),
+            _ => Ok(ClaimOutcome::Lost),
+        }
+    }
+
+    /// Releases this worker's claim on `key` (appended
+    /// unconditionally; replay ignores releases by non-holders).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] when the append fails.
+    pub fn release(&self, key: u128) -> Result<(), DseError> {
+        let line = JsonValue::Obj(vec![
+            ("action".to_owned(), JsonValue::Str("release".to_owned())),
+            ("key".to_owned(), JsonValue::Str(format!("{key:032x}"))),
+            ("ts_ms".to_owned(), JsonValue::UInt(now_ms())),
+            ("worker".to_owned(), JsonValue::Str(self.worker.clone())),
+        ]);
+        self.append(&line)
+    }
+
+    /// Replays the journal into the current holder table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] / [`DseError::Corrupt`].
+    pub fn replay(&self) -> Result<ClaimTable, DseError> {
+        let text = match fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(DseError::io(&self.path, &e)),
+        };
+        replay_text(&text).map_err(|message| DseError::Corrupt {
+            path: self.path.display().to_string(),
+            message,
+        })
+    }
+
+    fn append(&self, line: &JsonValue) -> Result<(), DseError> {
+        // One write_all of the full line: under O_APPEND concurrent
+        // processes never interleave within it on a local filesystem.
+        let bytes = format!("{}\n", line.render());
+        let mut log = self
+            .log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        log.write_all(bytes.as_bytes())
+            .map_err(|e| DseError::io(&self.path, &e))
+    }
+}
+
+/// The lease currently holding a key, per replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Holder {
+    /// The worker id on the winning claim line.
+    pub worker: String,
+    /// When the lease was taken (the claim line's `ts_ms`).
+    pub ts_ms: u64,
+    /// When the lease expires and becomes reclaimable.
+    pub expires_ms: u64,
+    /// Whether this lease displaced another worker's expired lease.
+    pub reclaimed: bool,
+}
+
+/// The deterministic replay of a claim journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClaimTable {
+    /// Current holder per key (released slots are absent).
+    pub holders: BTreeMap<u128, Holder>,
+    /// Claim lines replayed.
+    pub claims: u64,
+    /// Release lines replayed.
+    pub releases: u64,
+    /// Expired-lease takeovers observed across the whole journal.
+    pub reclaims: u64,
+    /// Whether a torn final line (kill mid-append) was dropped.
+    pub torn_tail: bool,
+}
+
+/// Replays journal `text` line by line in file order — the one shared
+/// definition of the protocol, also driven by `ia-lint check-claims`.
+///
+/// A claim line takes a slot that is empty, released, expired (at the
+/// claim's own `ts_ms`), or already held by the same worker (a lease
+/// renewal); otherwise it loses and is ignored. A release line by the
+/// current holder frees the slot; by anyone else it is a no-op (a
+/// slow worker releasing a lease that was already reclaimed). A torn
+/// final line is dropped; malformed bytes anywhere else are an error.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line and field.
+pub fn replay_text(text: &str) -> Result<ClaimTable, String> {
+    let mut table = ClaimTable::default();
+    let lines: Vec<&str> = text.lines().collect();
+    for (index, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = match parse_line(line) {
+            Ok(entry) => entry,
+            // Same tolerance as results.jsonl: a kill mid-append
+            // tears at most the final line.
+            Err(_) if index + 1 == lines.len() => {
+                table.torn_tail = true;
+                continue;
+            }
+            Err(message) => return Err(format!("line {}: {message}", index + 1)),
+        };
+        match entry {
+            Line::Claim {
+                key,
+                worker,
+                ts_ms,
+                expires_ms,
+            } => {
+                table.claims += 1;
+                let slot = table.holders.get(&key);
+                let (wins, reclaimed) = match slot {
+                    None => (true, false),
+                    Some(holder) if holder.worker == worker => (true, holder.reclaimed),
+                    // The previous lease expired before this claim was
+                    // written: the slot is reclaimable.
+                    Some(holder) if holder.expires_ms <= ts_ms => (true, true),
+                    Some(_) => (false, false),
+                };
+                if wins {
+                    if reclaimed && slot.is_some_and(|h| h.worker != worker) {
+                        table.reclaims += 1;
+                    }
+                    table.holders.insert(
+                        key,
+                        Holder {
+                            worker,
+                            ts_ms,
+                            expires_ms,
+                            reclaimed,
+                        },
+                    );
+                }
+            }
+            Line::Release { key, worker } => {
+                table.releases += 1;
+                if table.holders.get(&key).is_some_and(|h| h.worker == worker) {
+                    table.holders.remove(&key);
+                }
+            }
+        }
+    }
+    Ok(table)
+}
+
+enum Line {
+    Claim {
+        key: u128,
+        worker: String,
+        ts_ms: u64,
+        expires_ms: u64,
+    },
+    Release {
+        key: u128,
+        worker: String,
+    },
+}
+
+fn parse_line(line: &str) -> Result<Line, String> {
+    let doc = JsonValue::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let need_str = |field: &str| {
+        doc.get(field)
+            .and_then(JsonValue::as_str)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing or empty `{field}`"))
+    };
+    let need_u64 = |field: &str| {
+        doc.get(field)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing or mistyped `{field}`"))
+    };
+    let key_hex = need_str("key")?;
+    if key_hex.len() != 32 {
+        return Err(format!("key `{key_hex}` is not 32 hex digits"));
+    }
+    let key = u128::from_str_radix(&key_hex, 16).map_err(|e| format!("bad key: {e}"))?;
+    let worker = need_str("worker")?;
+    let ts_ms = need_u64("ts_ms")?;
+    match need_str("action")?.as_str() {
+        "claim" => {
+            let expires_ms = need_u64("expires_ms")?;
+            if expires_ms < ts_ms {
+                return Err("claim expires before its own timestamp".to_owned());
+            }
+            Ok(Line::Claim {
+                key,
+                worker,
+                ts_ms,
+                expires_ms,
+            })
+        }
+        "release" => Ok(Line::Release { key, worker }),
+        other => Err(format!("unknown action `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ia-dse-claims-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn first_claimant_wins_second_loses() {
+        let dir = tmp_dir("race");
+        let a = ClaimJournal::open(&dir, "a").unwrap();
+        let b = ClaimJournal::open(&dir, "b").unwrap();
+        assert_eq!(
+            a.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { reclaimed: false }
+        );
+        assert_eq!(b.try_claim(7, 60_000).unwrap(), ClaimOutcome::Lost);
+        // A different key is free.
+        assert_eq!(
+            b.try_claim(8, 60_000).unwrap(),
+            ClaimOutcome::Won { reclaimed: false }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn release_frees_the_slot_for_the_next_claimant() {
+        let dir = tmp_dir("release");
+        let a = ClaimJournal::open(&dir, "a").unwrap();
+        let b = ClaimJournal::open(&dir, "b").unwrap();
+        assert!(matches!(
+            a.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { .. }
+        ));
+        a.release(7).unwrap();
+        assert_eq!(
+            b.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { reclaimed: false },
+            "a released slot is a fresh claim, not a reclaim"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed() {
+        let dir = tmp_dir("expire");
+        let a = ClaimJournal::open(&dir, "a").unwrap();
+        let b = ClaimJournal::open(&dir, "b").unwrap();
+        assert!(matches!(
+            a.try_claim(7, 0).unwrap(),
+            ClaimOutcome::Won { .. }
+        ));
+        // Lease of 0 ms: expired the moment it was taken.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(
+            b.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { reclaimed: true }
+        );
+        let table = b.replay().unwrap();
+        assert_eq!(table.reclaims, 1);
+        // The dead worker's late release is a no-op.
+        a.release(7).unwrap();
+        let table = b.replay().unwrap();
+        assert_eq!(table.holders.get(&7).unwrap().worker, "b");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renewing_ones_own_lease_is_not_a_reclaim() {
+        let dir = tmp_dir("renew");
+        let a = ClaimJournal::open(&dir, "a").unwrap();
+        assert_eq!(
+            a.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { reclaimed: false }
+        );
+        assert_eq!(
+            a.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { reclaimed: false }
+        );
+        assert_eq!(a.replay().unwrap().reclaims, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_mid_file_corruption_is_not() {
+        let dir = tmp_dir("torn");
+        let a = ClaimJournal::open(&dir, "a").unwrap();
+        assert!(matches!(
+            a.try_claim(7, 60_000).unwrap(),
+            ClaimOutcome::Won { .. }
+        ));
+        let path = dir.join("claims.jsonl");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"action\":\"claim\",\"key\"");
+        fs::write(&path, &text).unwrap();
+        let table = a.replay().unwrap();
+        assert!(table.torn_tail);
+        assert_eq!(table.claims, 1);
+
+        // The same torn bytes mid-file are corruption.
+        let torn_then_good = format!(
+            "{}{}\n",
+            "{\"action\":\"claim\",\"key\"\n",
+            text.lines().next().unwrap()
+        );
+        fs::write(&path, torn_then_good).unwrap();
+        assert!(matches!(a.replay().unwrap_err(), DseError::Corrupt { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_rejects_malformed_fields() {
+        assert!(replay_text("{\"action\":\"claim\",\"key\":\"zz\"}\n{}\n").is_err());
+        let short_key =
+            "{\"action\":\"release\",\"key\":\"ab\",\"ts_ms\":1,\"worker\":\"w\"}\n{}\n";
+        assert!(replay_text(short_key).unwrap_err().contains("32 hex"));
+        let bad_lease = "{\"action\":\"claim\",\"expires_ms\":1,\"key\":\"00000000000000000000000000000007\",\"ts_ms\":2,\"worker\":\"w\"}\n{}\n";
+        assert!(replay_text(bad_lease).unwrap_err().contains("expires"));
+    }
+}

@@ -26,7 +26,7 @@ use crate::error::DseError;
 use crate::names;
 use crate::pareto::detect_cliffs;
 use crate::point::{expand, expand_product, Point};
-use crate::scheduler::{execute, ExecOptions};
+use crate::scheduler::{execute, ExecOptions, PointSolver};
 use crate::spec::{ExperimentSpec, Strategy};
 use crate::store::{RunStore, StoreCache};
 
@@ -35,7 +35,7 @@ use crate::store::{RunStore, StoreCache};
 const REFINE_EPSILON: f64 = 1.0e-6;
 
 /// Caller-side knobs for one engine invocation.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Default, Clone, Copy)]
 pub struct RunOptions<'a> {
     /// Worker-thread override; defaults to the spec's `workers`.
     pub workers: Option<usize>,
@@ -48,6 +48,21 @@ pub struct RunOptions<'a> {
     pub cancel: Option<&'a AtomicBool>,
     /// Incremented once per completed point, for live progress reads.
     pub progress: Option<&'a AtomicU64>,
+    /// Replacement for the in-process DP solver — the fleet
+    /// coordinator's remote-dispatch hook ([`PointSolver`]).
+    pub solver: Option<&'a dyn PointSolver>,
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("workers", &self.workers)
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel.is_some())
+            .field("progress", &self.progress.is_some())
+            .field("solver", &self.solver.is_some())
+            .finish()
+    }
 }
 
 /// One completed exploration point.
@@ -150,12 +165,59 @@ fn effective_workers(spec: &ExperimentSpec, opts: &RunOptions<'_>) -> usize {
 
 /// Truncates an expanded point set to the spec's `max_points` cap,
 /// counting points that already completed against the cap.
-fn apply_cap(spec: &ExperimentSpec, points: &mut Vec<Point>, completed: usize) {
+pub(crate) fn apply_cap(spec: &ExperimentSpec, points: &mut Vec<Point>, completed: usize) {
     if let Some(cap) = spec.max_points {
         let cap = usize::try_from(cap).unwrap_or(usize::MAX);
         let room = cap.saturating_sub(completed);
         points.truncate(room);
     }
+}
+
+/// One adaptive-refinement step, shared by the in-process engine and
+/// the shared-store fleet workers (which must all derive the *same*
+/// next frontier from the same completed set): detects rank cliffs in
+/// `completed`, bisects every cliff interval into `axis_values`, and
+/// returns the refined not-yet-completed point set — or `None` when
+/// the grid is converged (no interval grew, or nothing new fits under
+/// the spec's point cap). Deterministic: depends only on the spec and
+/// the completed points.
+pub(crate) fn refine_frontier(
+    spec: &ExperimentSpec,
+    axis_values: &mut [Vec<f64>],
+    completed: &BTreeMap<u128, SolvedPoint>,
+    threshold: f64,
+) -> Result<Option<Vec<Point>>, DseError> {
+    let done: Vec<&SolvedPoint> = completed.values().collect();
+    let coords: Vec<&[f64]> = done.iter().map(|p| p.coords.as_slice()).collect();
+    let solves: Vec<CachedSolve> = done.iter().map(|p| p.solve).collect();
+    let cliffs = detect_cliffs(&coords, &solves, spec.axes.len(), threshold);
+    let mut grew = false;
+    for cliff in &cliffs {
+        let Some(axis) = spec.axes.get(cliff.axis) else {
+            continue;
+        };
+        let Some(values) = axis_values.get_mut(cliff.axis) else {
+            continue;
+        };
+        if let Some(mid) = midpoint(cliff.lo, cliff.hi, axis.knob.is_integer()) {
+            if !values.iter().any(|v| v.total_cmp(&mid).is_eq()) {
+                values.push(mid);
+                values.sort_by(f64::total_cmp);
+                grew = true;
+            }
+        }
+    }
+    if !grew {
+        return Ok(None);
+    }
+    let views: Vec<&[f64]> = axis_values.iter().map(Vec::as_slice).collect();
+    let mut refined = expand_product(spec, &views)?;
+    refined.retain(|p| !completed.contains_key(&p.key()));
+    apply_cap(spec, &mut refined, completed.len());
+    if refined.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(refined))
 }
 
 /// Proposes one bisection midpoint for a cliff interval, or `None`
@@ -230,6 +292,7 @@ pub fn explore(
             &ExecOptions { workers, budget },
             opts.cancel,
             opts.progress,
+            opts.solver,
         )?;
         let execute_ns = execute_watch.elapsed_ns();
         let phases_after = dp_phase_totals(&ia_obs::snapshot());
@@ -267,41 +330,17 @@ pub fn explore(
             }
 
             // Adaptive refinement: bisect every cliff interval.
-            let done: Vec<&SolvedPoint> = completed.values().collect();
-            let coords: Vec<&[f64]> = done.iter().map(|p| p.coords.as_slice()).collect();
-            let solves: Vec<CachedSolve> = done.iter().map(|p| p.solve).collect();
-            let cliffs = detect_cliffs(&coords, &solves, spec.axes.len(), threshold);
-            let mut grew = false;
-            for cliff in &cliffs {
-                let Some(axis) = spec.axes.get(cliff.axis) else {
-                    continue;
-                };
-                let Some(values) = axis_values.get_mut(cliff.axis) else {
-                    continue;
-                };
-                if let Some(mid) = midpoint(cliff.lo, cliff.hi, axis.knob.is_integer()) {
-                    if !values.iter().any(|v| v.total_cmp(&mid).is_eq()) {
-                        values.push(mid);
-                        values.sort_by(f64::total_cmp);
-                        grew = true;
-                    }
+            match refine_frontier(spec, &mut axis_values, &completed, threshold)? {
+                None => {
+                    converged = true;
+                    break 'refine true;
+                }
+                Some(refined) => {
+                    total_points = completed.len() + refined.len();
+                    pending = refined;
+                    false
                 }
             }
-            if !grew {
-                converged = true;
-                break 'refine true;
-            }
-            let views: Vec<&[f64]> = axis_values.iter().map(Vec::as_slice).collect();
-            let mut refined = expand_product(spec, &views)?;
-            refined.retain(|p| !completed.contains_key(&p.key()));
-            apply_cap(spec, &mut refined, completed.len());
-            total_points = completed.len() + refined.len();
-            if refined.is_empty() {
-                converged = true;
-                break 'refine true;
-            }
-            pending = refined;
-            false
         };
         let timing = RoundTiming {
             round,

@@ -39,8 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod claims;
 pub mod engine;
 mod error;
+pub mod fleet;
 pub mod pareto;
 pub mod point;
 pub mod report;
@@ -48,10 +50,13 @@ pub mod scheduler;
 pub mod spec;
 pub mod store;
 
+pub use claims::{ClaimJournal, ClaimOutcome};
 pub use engine::{explore, resume, run, RoundTiming, RunOptions, RunOutcome, SolvedPoint};
 pub use error::DseError;
+pub use fleet::{FleetOptions, FleetOutcome};
 pub use pareto::{pareto_front, Cliff};
 pub use point::Point;
+pub use scheduler::{LocalSolver, PointSolver};
 pub use spec::{AxisSpec, ExperimentSpec, Knob, Strategy};
 pub use store::RunStore;
 
@@ -71,4 +76,24 @@ pub mod names {
     pub const SPAN_POINT: &str = "dse.point";
     /// Worker-thread name prefix registered with the merge sink.
     pub const WORKER_PREFIX: &str = "dse.worker.";
+    /// Claim attempts appended to a run's claim journal.
+    pub const FLEET_CLAIMS: &str = "fleet.claims";
+    /// Claims won (this worker holds the lease).
+    pub const FLEET_CLAIMED: &str = "fleet.claimed";
+    /// Claims lost to a peer's live lease.
+    pub const FLEET_LOST: &str = "fleet.lost";
+    /// Leases released after the point's result landed.
+    pub const FLEET_RELEASED: &str = "fleet.released";
+    /// Expired leases taken over from dead workers — the dead-worker
+    /// recovery counter (also ticked by the serve coordinator when it
+    /// redispatches a batch from a worker that missed heartbeats).
+    pub const FLEET_RECLAIMED: &str = "fleet.reclaimed";
+    /// Poll waits while peers held every pending point.
+    pub const FLEET_IDLE_WAITS: &str = "fleet.idle_waits";
+    /// Coordinator: register/heartbeat requests accepted.
+    pub const FLEET_REGISTERED: &str = "fleet.registered";
+    /// Coordinator: point leases handed to remote workers.
+    pub const FLEET_DISPATCHED: &str = "fleet.dispatched";
+    /// Coordinator: remote results accepted and matched to a lease.
+    pub const FLEET_RESULTS: &str = "fleet.results";
 }

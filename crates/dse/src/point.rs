@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::DseError;
-use crate::spec::{ExperimentSpec, Strategy};
+use crate::spec::{ExperimentSpec, SampleMode, Strategy};
 
 /// One expanded exploration point.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,7 +58,13 @@ pub fn expand(spec: &ExperimentSpec) -> Result<Vec<Point>, DseError> {
             let values: Vec<&[f64]> = spec.axes.iter().map(|a| a.values.as_slice()).collect();
             expand_product(spec, &values)
         }
-        Strategy::Random { points, seed } => sample_random(spec, points, seed),
+        Strategy::Random { points, mode, .. } => {
+            let seed = spec.sampling_seed();
+            match mode {
+                SampleMode::Uniform => sample_random(spec, points, seed),
+                SampleMode::Lhs => sample_lhs(spec, points, seed),
+            }
+        }
     }
 }
 
@@ -111,6 +117,72 @@ fn sample_random(spec: &ExperimentSpec, count: u64, seed: u64) -> Result<Vec<Poi
     let mut seen = std::collections::BTreeSet::new();
     let budget = count.saturating_mul(64).max(1024);
     let target = usize::try_from(count).unwrap_or(usize::MAX);
+    for _ in 0..budget {
+        if points.len() >= target {
+            break;
+        }
+        let coords: Vec<f64> = spec
+            .axes
+            .iter()
+            .map(|axis| {
+                let i = rng.gen_range(0..axis.values.len());
+                axis.values.get(i).copied().unwrap_or_default()
+            })
+            .collect();
+        let point = bind_coords(spec, &coords)?;
+        if seen.insert(point.key()) {
+            points.push(point);
+        }
+    }
+    Ok(points)
+}
+
+/// Draws `count` Latin-hypercube-stratified grid points: each axis is
+/// cut into `count` strata visited exactly once through a seeded
+/// permutation, and each stratum maps onto the axis' (sorted) value
+/// list proportionally. Stratified tuples that alias to an
+/// already-seen content address are topped up with uniform draws from
+/// the same generator, so the sample stays deterministic and as close
+/// to `count` distinct points as the grid allows.
+fn sample_lhs(spec: &ExperimentSpec, count: u64, seed: u64) -> Result<Vec<Point>, DseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = usize::try_from(count).unwrap_or(usize::MAX);
+    let perms: Vec<Vec<usize>> = spec
+        .axes
+        .iter()
+        .map(|_| {
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            perm
+        })
+        .collect();
+    let mut points = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for sample in 0..n {
+        let coords: Vec<f64> = spec
+            .axes
+            .iter()
+            .zip(&perms)
+            .map(|(axis, perm)| {
+                let len = axis.values.len();
+                let stratum = perm.get(sample).copied().unwrap_or(0);
+                let index = (stratum * len / n.max(1)).min(len.saturating_sub(1));
+                axis.values.get(index).copied().unwrap_or_default()
+            })
+            .collect();
+        let point = bind_coords(spec, &coords)?;
+        if seen.insert(point.key()) {
+            points.push(point);
+        }
+    }
+    // Aliased strata (several strata landing on one value, or an axis
+    // value equal to the base) shrink the set; fill the shortfall
+    // with bounded uniform draws.
+    let target = usize::try_from(count).unwrap_or(usize::MAX);
+    let budget = count.saturating_mul(64).max(1024);
     for _ in 0..budget {
         if points.len() >= target {
             break;
@@ -208,5 +280,58 @@ mod tests {
         let reseeded = text.replace("\"seed\": 11", "\"seed\": 12");
         let c = expand(&ExperimentSpec::parse_str(&reseeded).unwrap()).unwrap();
         assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn omitted_seed_derives_from_the_spec_hash() {
+        let text = r#"{"name": "derived",
+            "axes": [{"knob": "k", "values": [2.0, 3.0, 4.0, 5.0]},
+                      {"knob": "m", "values": [1.0, 2.0, 3.0, 4.0]}],
+            "strategy": {"random": {"points": 6}}}"#;
+        let a = expand(&spec(text)).unwrap();
+        let b = expand(&spec(text)).unwrap();
+        assert_eq!(a, b, "the derived seed is deterministic");
+        assert_eq!(a.len(), 6);
+
+        // A different spec derives a different seed, so omitted-seed
+        // experiments no longer all share one fixed sample.
+        let renamed = text.replace("\"derived\"", "\"derived-2\"");
+        let renamed_spec = spec(&renamed);
+        assert_ne!(spec(text).sampling_seed(), renamed_spec.sampling_seed());
+        let c = expand(&renamed_spec).unwrap();
+        let coords =
+            |pts: &[Point]| -> Vec<Vec<f64>> { pts.iter().map(|p| p.coords.clone()).collect() };
+        assert_ne!(coords(&a), coords(&c), "different spec, different sample");
+
+        // An explicit seed still pins the sample independently of the
+        // spec hash.
+        let pinned = spec(&text.replace("{\"points\": 6}", "{\"points\": 6, \"seed\": 9}"));
+        assert_eq!(pinned.sampling_seed(), 9);
+    }
+
+    #[test]
+    fn lhs_sampling_is_deterministic_and_stratified() {
+        let text = r#"{"name": "lhs",
+            "axes": [{"knob": "k", "values": [2.0, 2.5, 3.0, 3.5]},
+                      {"knob": "m", "values": [1.0, 2.0, 3.0, 4.0]}],
+            "strategy": {"random": {"points": 4, "mode": "lhs", "seed": 3}}}"#;
+        let a = expand(&spec(text)).unwrap();
+        let b = expand(&spec(text)).unwrap();
+        assert_eq!(a, b, "same seed, same stratified sample");
+        assert_eq!(a.len(), 4);
+
+        // With points == axis length, every axis value is visited
+        // exactly once — the Latin-hypercube property that uniform
+        // sampling does not guarantee.
+        for axis in 0..2 {
+            let mut drawn: Vec<f64> = a.iter().map(|p| p.coords[axis]).collect();
+            drawn.sort_by(f64::total_cmp);
+            drawn.dedup();
+            assert_eq!(drawn.len(), 4, "axis {axis} covers all strata");
+        }
+
+        let reseeded = spec(&text.replace("\"seed\": 3", "\"seed\": 4"));
+        let c = expand(&reseeded).unwrap();
+        assert_ne!(a, c, "different seed, different permutation");
     }
 }

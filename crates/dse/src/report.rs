@@ -171,17 +171,73 @@ pub fn render(spec: &ExperimentSpec, points: &[SolvedPoint]) -> String {
     doc.render()
 }
 
-/// Loads a persisted run and renders its report **without solving
-/// anything**: the engine replays the expansion (and, for adaptive
-/// runs, the deterministic refinement) with a zero fresh-solve
-/// budget, so every completed point is a cache hit and every
-/// unfinished point is skipped.
+/// Renders a run's point set as CSV — the machine-readable export
+/// behind `iarank dse report --csv`. Schema-stable columns: one per
+/// axis knob (spec order), then `key`, the objectives, and `pareto`
+/// membership:
 ///
-/// # Errors
+/// ```text
+/// <knob>...,key,normalized_rank,rank_wires,total_wires,repeaters,
+/// repeater_area_mm2,die_area_mm2,fully_assignable,pareto
+/// ```
 ///
-/// Returns [`DseError`] when the run directory is not a readable run
-/// store.
-pub fn for_run(run_dir: &std::path::Path) -> Result<String, DseError> {
+/// Like [`render`], a pure function of the spec and the completed
+/// point set, so resumed / fleet runs export byte-identically to
+/// single-process runs. Quoting/escaping follows `ia_report`'s
+/// [`Table::to_csv`].
+#[must_use]
+pub fn to_csv(spec: &ExperimentSpec, points: &[SolvedPoint]) -> String {
+    let mut header: Vec<String> = spec
+        .axes
+        .iter()
+        .map(|a| a.knob.label().to_owned())
+        .collect();
+    header.extend(
+        [
+            "key",
+            "normalized_rank",
+            "rank_wires",
+            "total_wires",
+            "repeaters",
+            "repeater_area_mm2",
+            "die_area_mm2",
+            "fully_assignable",
+            "pareto",
+        ]
+        .map(str::to_owned),
+    );
+    let solves: Vec<_> = points.iter().map(|p| p.solve).collect();
+    let front: std::collections::BTreeSet<usize> = pareto_front(&solves).into_iter().collect();
+    let mut table = Table::new(header);
+    for (index, point) in points.iter().enumerate() {
+        let mut row: Vec<String> = point.coords.iter().copied().map(fmt_coord).collect();
+        row.push(format!("{:032x}", point.key));
+        row.push(fmt_norm(point.solve.normalized));
+        row.push(point.solve.rank.to_string());
+        row.push(point.solve.total_wires.to_string());
+        row.push(point.solve.repeater_count.to_string());
+        row.push(fmt_area_mm2(point.solve.repeater_area_m2));
+        row.push(fmt_area_mm2(point.solve.die_area_m2));
+        row.push(
+            if point.solve.fully_assignable {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
+        );
+        row.push(if front.contains(&index) { "yes" } else { "no" }.to_owned());
+        table.row(row);
+    }
+    table.to_csv()
+}
+
+/// Replays a persisted run **without solving anything** and returns
+/// its completed points: the engine reruns the expansion (and, for
+/// adaptive runs, the deterministic refinement) with a zero
+/// fresh-solve budget, so every completed point is a cache hit and
+/// every unfinished point is skipped.
+fn replay_run(run_dir: &std::path::Path) -> Result<(ExperimentSpec, Vec<SolvedPoint>), DseError> {
     let (store, spec, completed) = RunStore::open(run_dir)?;
     let cache = StoreCache::new(&store, completed);
     let outcome = explore(
@@ -195,7 +251,31 @@ pub fn for_run(run_dir: &std::path::Path) -> Result<String, DseError> {
     if let Some(error) = cache.take_error() {
         return Err(error);
     }
-    Ok(render(&spec, &outcome.points))
+    Ok((spec, outcome.points))
+}
+
+/// Loads a persisted run and renders its text report without solving
+/// anything (see [`replay_run`]).
+///
+/// # Errors
+///
+/// Returns [`DseError`] when the run directory is not a readable run
+/// store.
+pub fn for_run(run_dir: &std::path::Path) -> Result<String, DseError> {
+    let (spec, points) = replay_run(run_dir)?;
+    Ok(render(&spec, &points))
+}
+
+/// Loads a persisted run and renders its CSV export without solving
+/// anything (see [`replay_run`] and [`to_csv`]).
+///
+/// # Errors
+///
+/// Returns [`DseError`] when the run directory is not a readable run
+/// store.
+pub fn for_run_csv(run_dir: &std::path::Path) -> Result<String, DseError> {
+    let (spec, points) = replay_run(run_dir)?;
+    Ok(to_csv(&spec, &points))
 }
 
 #[cfg(test)]
@@ -262,6 +342,41 @@ mod tests {
         assert!(text.contains("-- pareto front"));
         assert!(text.contains("-- rank cliffs"));
         assert!(text.contains(&spec.run_id()));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn csv_export_is_schema_stable() {
+        let spec = ExperimentSpec::parse_str(
+            r#"{"name": "csv",
+                "base": {"gates": 20000, "bunch": 2000},
+                "axes": [{"knob": "m", "values": [1.5, 2.0, 2.5]},
+                         {"knob": "c", "values": [400.0, 800.0]}]}"#,
+        )
+        .unwrap();
+        let root = scratch("csv");
+        let outcome = run(&spec, &root, &RunOptions::default()).unwrap();
+        let csv = to_csv(&spec, &outcome.points);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "m,c,key,normalized_rank,rank_wires,total_wires,repeaters,\
+             repeater_area_mm2,die_area_mm2,fully_assignable,pareto",
+            "the column schema is stable"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 6, "one row per completed point");
+        for row in &rows {
+            assert_eq!(row.split(',').count(), 11, "row width matches header");
+        }
+        assert!(
+            rows.iter().any(|r| r.split(',').next_back() == Some("yes")),
+            "at least one Pareto member"
+        );
+
+        // The file-level entry point replays to the identical bytes.
+        let via_run = for_run_csv(&root.join(spec.run_id())).unwrap();
+        assert_eq!(via_run, csv);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

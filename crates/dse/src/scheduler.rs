@@ -29,6 +29,32 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// How a cache-missed point gets solved. The default is the in-process
+/// DP solver ([`LocalSolver`]); `ia-serve`'s fleet coordinator
+/// substitutes a dispatcher that ships the point to a remote worker
+/// and blocks the scheduler thread until the result comes back —
+/// which is how distributed runs reuse the engine's round loop,
+/// refinement, and store persistence unchanged.
+pub trait PointSolver: Sync {
+    /// Solves one expanded point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError`] when the point cannot be solved (bind
+    /// failure, or a remote dispatch failure).
+    fn solve_point(&self, point: &Point) -> Result<CachedSolve, DseError>;
+}
+
+/// The in-process solver: bind + DP solve on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSolver;
+
+impl PointSolver for LocalSolver {
+    fn solve_point(&self, point: &Point) -> Result<CachedSolve, DseError> {
+        point.config.solve().map_err(DseError::Bind)
+    }
+}
+
 /// Execution knobs for one scheduler round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOptions {
@@ -60,6 +86,7 @@ pub struct ExecOutcome {
 struct Round<'a> {
     points: &'a [Point],
     cache: &'a dyn PointCache,
+    solver: &'a dyn PointSolver,
     queue: Mutex<VecDeque<usize>>,
     results: Mutex<Vec<Option<CachedSolve>>>,
     solved: AtomicU64,
@@ -131,7 +158,7 @@ fn drain(round: &Round<'_>) {
         }
         let outcome = {
             let _span = ia_obs::span(names::SPAN_POINT);
-            point.config.solve()
+            round.solver.solve_point(point)
         };
         match outcome {
             Ok(value) => {
@@ -154,7 +181,7 @@ fn drain(round: &Round<'_>) {
                 round.record(index, value);
             }
             Err(e) => {
-                round.fail(DseError::Bind(e));
+                round.fail(e);
                 return;
             }
         }
@@ -166,7 +193,8 @@ fn drain(round: &Round<'_>) {
 /// `cancel` (when given) stops the round cooperatively between
 /// points — the graceful-drain hook for `ia-serve` jobs; `progress`
 /// (when given) is incremented once per completed point for live
-/// status reads.
+/// status reads; `solver` (when given) replaces the in-process DP
+/// solver — the fleet coordinator's remote-dispatch hook.
 ///
 /// # Errors
 ///
@@ -178,10 +206,12 @@ pub fn execute(
     opts: &ExecOptions,
     cancel: Option<&AtomicBool>,
     progress: Option<&AtomicU64>,
+    solver: Option<&dyn PointSolver>,
 ) -> Result<ExecOutcome, DseError> {
     let round = Round {
         points,
         cache,
+        solver: solver.unwrap_or(&LocalSolver),
         queue: Mutex::new((0..points.len()).collect()),
         results: Mutex::new(vec![None; points.len()]),
         solved: AtomicU64::new(0),
@@ -280,13 +310,13 @@ mod tests {
             workers: 3,
             budget: None,
         };
-        let first = execute(&points, &cache, &opts, None, None).unwrap();
+        let first = execute(&points, &cache, &opts, None, None, None).unwrap();
         assert_eq!(first.solved, 4);
         assert_eq!(first.cached, 0);
         assert_eq!(first.skipped, 0);
         assert!(first.results.iter().all(Option::is_some));
 
-        let second = execute(&points, &cache, &opts, None, None).unwrap();
+        let second = execute(&points, &cache, &opts, None, None, None).unwrap();
         assert_eq!(second.solved, 0);
         assert_eq!(second.cached, 4);
         assert_eq!(second.results, first.results);
@@ -300,13 +330,13 @@ mod tests {
             workers: 1,
             budget: Some(2),
         };
-        let first = execute(&points, &cache, &budgeted, None, None).unwrap();
+        let first = execute(&points, &cache, &budgeted, None, None, None).unwrap();
         assert_eq!(first.solved, 2);
         assert_eq!(first.skipped, 2);
 
         // Resuming under the same budget finishes: the two completed
         // points are free hits, the remaining two consume the budget.
-        let second = execute(&points, &cache, &budgeted, None, None).unwrap();
+        let second = execute(&points, &cache, &budgeted, None, None, None).unwrap();
         assert_eq!(second.cached, 2);
         assert_eq!(second.solved, 2);
         assert_eq!(second.skipped, 0);
@@ -325,6 +355,7 @@ mod tests {
                 budget: None,
             },
             Some(&cancel),
+            None,
             None,
         )
         .unwrap();
@@ -347,6 +378,7 @@ mod tests {
                 workers: 1,
                 budget: None,
             },
+            None,
             None,
             None,
         )

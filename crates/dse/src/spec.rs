@@ -184,17 +184,46 @@ impl AxisSpec {
     }
 }
 
+/// How a random sample spreads over the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleMode {
+    /// Independent uniform draws per axis.
+    #[default]
+    Uniform,
+    /// Latin-hypercube stratification: each axis is cut into `points`
+    /// strata and a seeded permutation visits every stratum exactly
+    /// once, so no axis region is over- or under-sampled.
+    Lhs,
+}
+
+impl SampleMode {
+    /// The mode's spec-file label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleMode::Uniform => "uniform",
+            SampleMode::Lhs => "lhs",
+        }
+    }
+}
+
 /// How the point set is chosen.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Strategy {
     /// The full cartesian product of every axis' values.
     Grid,
-    /// A seeded uniform sample of distinct grid points.
+    /// A seeded sample of distinct grid points.
     Random {
         /// How many distinct points to draw.
         points: u64,
-        /// Deterministic sampling seed.
-        seed: u64,
+        /// Deterministic sampling seed. `None` derives a default from
+        /// the spec's own content hash
+        /// ([`ExperimentSpec::sampling_seed`]), so two different
+        /// specs never share the fixed-constant sample an omitted
+        /// seed used to mean.
+        seed: Option<u64>,
+        /// Uniform draws or Latin-hypercube stratification.
+        mode: SampleMode,
     },
     /// Grid, then repeated bisection of axis intervals across which
     /// the best normalized rank drops by more than `threshold`.
@@ -384,13 +413,23 @@ impl ExperimentSpec {
             .collect();
         let strategy = match &self.strategy {
             Strategy::Grid => JsonValue::Str("grid".to_owned()),
-            Strategy::Random { points, seed } => JsonValue::Obj(vec![(
-                "random".to_owned(),
-                JsonValue::Obj(vec![
-                    ("points".to_owned(), JsonValue::UInt(*points)),
-                    ("seed".to_owned(), JsonValue::UInt(*seed)),
-                ]),
-            )]),
+            Strategy::Random { points, seed, mode } => {
+                // Canonical form: `mode` appears only when it departs
+                // from the default, and an omitted seed renders as
+                // `null` — which keeps the spec hash independent of
+                // the seed that will be *derived from* that hash
+                // (`sampling_seed`), breaking the circularity.
+                let mut fields = Vec::new();
+                if *mode == SampleMode::Lhs {
+                    fields.push(("mode".to_owned(), JsonValue::Str(mode.label().to_owned())));
+                }
+                fields.push(("points".to_owned(), JsonValue::UInt(*points)));
+                fields.push((
+                    "seed".to_owned(),
+                    seed.map_or(JsonValue::Null, JsonValue::UInt),
+                ));
+                JsonValue::Obj(vec![("random".to_owned(), JsonValue::Obj(fields))])
+            }
             Strategy::Adaptive {
                 threshold,
                 max_rounds,
@@ -428,6 +467,27 @@ impl ExperimentSpec {
         let hex = format!("{:032x}", self.spec_hash());
         hex.chars().take(16).collect()
     }
+
+    /// The effective random-sampling seed: the spec's explicit seed,
+    /// or a default folded from the spec's own content hash — stable
+    /// across processes and runs, but distinct per spec, so an
+    /// omitted seed no longer means one fixed constant shared by
+    /// every experiment. Well-defined because the canonical rendering
+    /// writes `"seed": null` when the seed is omitted: the hash never
+    /// depends on the value derived from it.
+    #[must_use]
+    pub fn sampling_seed(&self) -> u64 {
+        if let Strategy::Random {
+            seed: Some(seed), ..
+        } = self.strategy
+        {
+            return seed;
+        }
+        let hash = self.spec_hash();
+        let lo = u64::try_from(hash & u128::from(u64::MAX)).unwrap_or(0);
+        let hi = u64::try_from(hash >> 64).unwrap_or(0);
+        lo ^ hi
+    }
 }
 
 /// Renders a configuration in canonical JSON field order.
@@ -449,6 +509,26 @@ pub fn config_to_json(config: &BoundConfig) -> JsonValue {
             JsonValue::UInt(config.semi_global),
         ),
     ])
+}
+
+/// Parses a configuration rendered by [`config_to_json`] — the wire
+/// form the fleet coordinator dispatches points in, so a remote worker
+/// rebuilds the exact `BoundConfig` (and hence the exact content
+/// address) the coordinator holds the lease under.
+///
+/// # Errors
+///
+/// Returns [`DseError::Spec`] for non-object documents or any field
+/// that fails the strict `base` typing.
+pub fn config_from_json(doc: &JsonValue) -> Result<BoundConfig, DseError> {
+    let fields = doc
+        .as_object()
+        .ok_or_else(|| bad("config must be an object"))?;
+    let mut config = BoundConfig::default();
+    for (field, value) in fields {
+        apply_config_field(&mut config, field, value)?;
+    }
+    Ok(config)
 }
 
 /// Applies one `base` field, with the serve API's strict typing.
@@ -624,7 +704,8 @@ fn parse_strategy(doc: &JsonValue) -> Result<Strategy, DseError> {
     match kind.as_str() {
         "random" => {
             let mut points = None;
-            let mut seed = 0u64;
+            let mut seed = None;
+            let mut mode = SampleMode::default();
             for (key, value) in fields {
                 match key.as_str() {
                     "points" => {
@@ -633,9 +714,24 @@ fn parse_strategy(doc: &JsonValue) -> Result<Strategy, DseError> {
                         })?);
                     }
                     "seed" => {
-                        seed = value.as_u64().ok_or_else(|| {
-                            bad("`strategy.random.seed` must be a non-negative integer")
-                        })?;
+                        // `null` is the canonical spelling of an
+                        // omitted seed (manifest round-trips).
+                        if !matches!(value, JsonValue::Null) {
+                            seed = Some(value.as_u64().ok_or_else(|| {
+                                bad("`strategy.random.seed` must be a non-negative integer")
+                            })?);
+                        }
+                    }
+                    "mode" => {
+                        mode = match value.as_str() {
+                            Some("uniform") => SampleMode::Uniform,
+                            Some("lhs") => SampleMode::Lhs,
+                            _ => {
+                                return Err(bad(
+                                    "`strategy.random.mode` must be \"uniform\" or \"lhs\"",
+                                ))
+                            }
+                        };
                     }
                     other => {
                         return Err(bad(format!("unknown field `{other}` in `strategy.random`")))
@@ -646,7 +742,7 @@ fn parse_strategy(doc: &JsonValue) -> Result<Strategy, DseError> {
             if points == 0 {
                 return Err(bad("`strategy.random.points` must be at least 1"));
             }
-            Ok(Strategy::Random { points, seed })
+            Ok(Strategy::Random { points, seed, mode })
         }
         "adaptive" => {
             let mut threshold = None;
@@ -1005,7 +1101,39 @@ steps = 3
                 "strategy": {"random": {"points": 2, "seed": 7}}}"#,
         )
         .unwrap();
-        assert_eq!(random.strategy, Strategy::Random { points: 2, seed: 7 });
+        assert_eq!(
+            random.strategy,
+            Strategy::Random {
+                points: 2,
+                seed: Some(7),
+                mode: SampleMode::Uniform
+            }
+        );
+        let lhs = ExperimentSpec::parse_str(
+            r#"{"name": "x", "axes": [{"knob": "r", "values": [0.1, 0.4]}],
+                "strategy": {"random": {"points": 2, "mode": "lhs"}}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            lhs.strategy,
+            Strategy::Random {
+                points: 2,
+                seed: None,
+                mode: SampleMode::Lhs
+            }
+        );
+        // `"seed": null` round-trips as an omitted seed, and the
+        // canonical rendering re-parses to the same spec (manifests).
+        let round_trip = ExperimentSpec::from_json(&lhs.to_json()).unwrap();
+        assert_eq!(round_trip, lhs);
+        assert!(
+            ExperimentSpec::parse_str(
+                r#"{"name": "x", "axes": [{"knob": "r", "values": [0.1]}],
+                    "strategy": {"random": {"points": 1, "mode": "sobol"}}}"#,
+            )
+            .is_err(),
+            "unknown modes are rejected"
+        );
         let adaptive = ExperimentSpec::parse_str(
             r#"{"name": "x", "axes": [{"knob": "k", "values": [2.0, 4.0]}],
                 "strategy": {"adaptive": {"threshold": 0.1}}}"#,

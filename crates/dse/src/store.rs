@@ -114,6 +114,16 @@ impl RunStore {
         &self.dir
     }
 
+    /// Re-reads `results.jsonl` from disk — how a fleet worker sees
+    /// points its peers completed since the store was opened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] / [`DseError::Corrupt`] like open.
+    pub fn reload(&self) -> Result<BTreeMap<u128, CachedSolve>, DseError> {
+        load_results(&self.dir.join("results.jsonl"))
+    }
+
     /// Appends one completed point and flushes it to disk, so a kill
     /// after this call never loses the point.
     ///

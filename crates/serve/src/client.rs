@@ -1,0 +1,119 @@
+//! A minimal std-only HTTP/1.1 client, just big enough for fleet
+//! workers and remote-submit CLI flows to talk to a coordinator:
+//! one-shot `Connection: close` requests with a deadline, returning
+//! the status code and body.
+//!
+//! This deliberately mirrors the server's own [`crate::http`] framing
+//! (every response carries `Content-Length` and closes the
+//! connection), so the client can simply read to EOF and split on the
+//! header terminator.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// `POST`s a JSON body and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Returns a message for connect/write/read failures, timeouts, or an
+/// unparseable response head.
+pub fn post_json(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    request(addr, "POST", path, Some(body), timeout)
+}
+
+/// `GET`s a path and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Same failure surface as [`post_json`].
+pub fn get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), String> {
+    request(addr, "GET", path, None, timeout)
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("{addr}: set_read_timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("{addr}: set_write_timeout: {e}"))?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| format!("{addr}: write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("{addr}: read: {e}"))?;
+    parse_response(&raw).map_err(|e| format!("{addr}: {e}"))
+}
+
+/// Splits a raw `Connection: close` response into status and body.
+fn parse_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_owned())?;
+    let (head, rest) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response has no header terminator".to_owned())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    // `Connection: close` framing: the body is everything after the
+    // blank line; `Content-Length` is advisory here because the server
+    // closes the stream at the body's end.
+    Ok((code, rest.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_splits_status_and_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                    Content-Length: 2\r\nConnection: close\r\n\r\n{}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_response(b"no header terminator").is_err());
+        let bad_status = b"HTTP/1.1 teapot\r\n\r\nbody";
+        assert!(parse_response(bad_status).is_err());
+    }
+
+    #[test]
+    fn connect_to_a_closed_port_reports_the_address() {
+        // Bind-then-drop guarantees the port is closed.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let err = get(&addr, "/healthz", Duration::from_millis(200)).unwrap_err();
+        assert!(err.contains(&addr));
+    }
+}

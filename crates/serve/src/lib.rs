@@ -12,6 +12,8 @@
 //! * `POST /sensitivity` — knob elasticities at an operating point;
 //! * `GET /healthz` — liveness plus queue/cache occupancy;
 //! * `GET /metrics` — the merged `ia-obs` telemetry snapshot;
+//! * `POST /fleet/register|claim|result` — the distributed-dse worker
+//!   protocol (fleet mode; see [`fleet`]);
 //! * `POST /shutdown` — graceful drain-then-exit.
 //!
 //! At its heart sits [`SolveCache`]: a sharded LRU keyed by a
@@ -32,10 +34,13 @@
 pub mod api;
 pub mod cache;
 pub mod canon;
+pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod server;
 
 pub use api::{Axis, SensitivityRequest, SolveRequest, SweepRequest};
 pub use cache::{CacheOutcome, SolveCache};
 pub use canon::{cache_key, canonical_string, fnv1a_128};
+pub use fleet::{FleetDispatcher, FleetState, WorkerOptions, WorkerOutcome};
 pub use server::{Server, ServerConfig};

@@ -53,6 +53,7 @@ use crate::api::{
 };
 use crate::cache::{CacheOutcome, SolveCache};
 use crate::canon::cache_key;
+use crate::fleet::{FleetDispatcher, FleetState};
 use crate::http::{self, error_body, Request};
 
 /// Tuning knobs of one server instance.
@@ -85,6 +86,21 @@ pub struct ServerConfig {
     pub flight_events: usize,
     /// How often the flight ticker snapshots metrics and drains logs.
     pub flight_interval: Duration,
+    /// Enables fleet mode: `POST /dse` jobs dispatch points to remote
+    /// workers over the `/fleet/*` endpoints instead of solving them
+    /// on the job thread (see [`crate::fleet`]).
+    pub fleet: bool,
+    /// Fleet point-lease duration; an expired lease is reclaimed and
+    /// redispatched.
+    pub lease_ms: u64,
+    /// Heartbeat cadence advertised to fleet workers; a worker silent
+    /// for a full lease period loses its leases.
+    pub heartbeat_ms: u64,
+    /// Run-store root for `POST /dse` jobs. When set, jobs execute
+    /// through the persistent engine (`runs/<run_id>/` with
+    /// `results.jsonl`), so a resubmitted spec resumes instead of
+    /// recomputing.
+    pub runs: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +117,10 @@ impl Default for ServerConfig {
             flight_frames: 64,
             flight_events: 256,
             flight_interval: Duration::from_millis(500),
+            fleet: false,
+            lease_ms: 30_000,
+            heartbeat_ms: 5_000,
+            runs: None,
         }
     }
 }
@@ -158,6 +178,8 @@ struct Shared {
     /// /debug/prof` profiles the span deltas since it. `None` until a
     /// window is started — then the full-lifetime profile is served.
     prof_baseline: Mutex<Option<Snapshot>>,
+    /// Fleet coordinator bookkeeping; `Some` only in fleet mode.
+    fleet: Option<FleetState>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -202,6 +224,9 @@ impl Server {
         let shared = Arc::new(Shared {
             cache: SolveCache::new(cfg.cache_entries),
             flight: FlightRecorder::new(cfg.flight_frames, cfg.flight_events),
+            fleet: cfg
+                .fleet
+                .then(|| FleetState::new(cfg.lease_ms, cfg.heartbeat_ms)),
             cfg,
             local_addr,
             queue: Mutex::new(VecDeque::new()),
@@ -475,6 +500,15 @@ fn config_json(cfg: &ServerConfig) -> JsonValue {
             "flight_interval_ms".to_owned(),
             JsonValue::UInt(u64::try_from(cfg.flight_interval.as_millis()).unwrap_or(u64::MAX)),
         ),
+        ("fleet".to_owned(), JsonValue::Bool(cfg.fleet)),
+        ("lease_ms".to_owned(), JsonValue::UInt(cfg.lease_ms)),
+        ("heartbeat_ms".to_owned(), JsonValue::UInt(cfg.heartbeat_ms)),
+        (
+            "runs".to_owned(),
+            cfg.runs
+                .as_ref()
+                .map_or(JsonValue::Null, |p| JsonValue::Str(p.display().to_string())),
+        ),
     ])
 }
 
@@ -602,6 +636,9 @@ fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> http::
             shared,
             path.trim_start_matches("/dse/"),
         )),
+        ("POST", "/fleet/register") => json(fleet_endpoint(shared, &request.body, "register")),
+        ("POST", "/fleet/claim") => json(fleet_endpoint(shared, &request.body, "claim")),
+        ("POST", "/fleet/result") => json(fleet_endpoint(shared, &request.body, "result")),
         ("POST", "/shutdown") => {
             shared.request_stop();
             json((200, r#"{"status":"shutting down"}"#.to_owned()))
@@ -610,7 +647,7 @@ fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> http::
             _,
             "/healthz" | "/metrics" | "/statz" | "/debug/prof" | "/debug/prof/start"
             | "/debug/dump" | "/debug/panic" | "/solve" | "/sweep" | "/sensitivity" | "/dse"
-            | "/shutdown",
+            | "/fleet/register" | "/fleet/claim" | "/fleet/result" | "/shutdown",
         ) => json((
             405,
             error_body(&format!(
@@ -622,12 +659,34 @@ fn route(shared: &Arc<Shared>, request: &Request, started: &Stopwatch) -> http::
     }
 }
 
+/// Dispatches one `/fleet/*` request to the coordinator state, or
+/// rejects it when fleet mode is off.
+fn fleet_endpoint(shared: &Shared, body: &[u8], action: &str) -> (u16, String) {
+    let Some(fleet) = &shared.fleet else {
+        return (
+            503,
+            error_body("fleet mode is disabled (start serve with --fleet)"),
+        );
+    };
+    match action {
+        "register" => fleet.register(body),
+        "claim" => fleet.claim(body, shared.stop.load(Ordering::SeqCst)),
+        _ => fleet.result(body),
+    }
+}
+
 /// `GET /statz`: the flight recorder's last-k counter deltas, after an
-/// on-demand pump so the newest frame is current.
+/// on-demand pump so the newest frame is current. In fleet mode the
+/// document also carries a `fleet` block (worker, queue and lease
+/// occupancy).
 fn statz(shared: &Shared) -> http::Response {
     shared.sink.flush_thread();
     pump_flight(shared);
-    http::Response::json(200, shared.flight.statz(STATZ_LAST_K).render())
+    let mut doc = shared.flight.statz(STATZ_LAST_K);
+    if let (Some(fleet), JsonValue::Obj(fields)) = (&shared.fleet, &mut doc) {
+        fields.push(("fleet".to_owned(), fleet.statz_json()));
+    }
+    http::Response::json(200, doc.render())
 }
 
 /// Deltas rendered by `GET /statz`.
@@ -742,6 +801,7 @@ fn latency_histogram(path: &str) -> &'static str {
         "/healthz" => "serve.latency_us.healthz",
         "/metrics" => "serve.latency_us.metrics",
         path if path == "/dse" || path.starts_with("/dse/") => "serve.latency_us.dse",
+        path if path.starts_with("/fleet/") => "serve.latency_us.fleet",
         _ => "serve.latency_us.other",
     }
 }
@@ -1190,12 +1250,24 @@ fn run_dse_job(shared: &Shared, state: &JobState, spec: &ExperimentSpec) {
     let cache = ServeDseCache {
         cache: &shared.cache,
     };
+    // In fleet mode points are dispatched to remote workers; with a
+    // run-store root they persist under `runs/<run_id>/` (resumable);
+    // the two compose freely.
+    let dispatcher = shared
+        .fleet
+        .as_ref()
+        .map(|fleet| FleetDispatcher::new(fleet, &shared.stop));
     let opts = RunOptions {
         cancel: Some(&shared.stop),
         progress: Some(&state.progress),
+        solver: dispatcher.as_ref().map(|d| d as &dyn ia_dse::PointSolver),
         ..RunOptions::default()
     };
-    let phase = match ia_dse::explore(spec, &cache, &opts) {
+    let result = match &shared.cfg.runs {
+        Some(runs) => ia_dse::run(spec, runs, &opts),
+        None => ia_dse::explore(spec, &cache, &opts),
+    };
+    let phase = match result {
         Ok(outcome) => {
             obs_log::log(
                 LogLevel::Info,

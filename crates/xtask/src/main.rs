@@ -11,6 +11,7 @@
 //! cargo run -p xtask -- check-logs FILE
 //! cargo run -p xtask -- check-prom FILE
 //! cargo run -p xtask -- check-prof FILE
+//! cargo run -p xtask -- check-claims FILE
 //! cargo run -p xtask -- bench-diff --baseline DIR --current DIR
 //!                       [--tol-wall F] [--tol-counter F] [--json FILE]
 //! cargo run -p xtask -- perf-history [--bench-dir DIR] [--history FILE]
@@ -40,6 +41,7 @@ fn usage() -> ExitCode {
          \x20      ia-lint check-logs FILE\n\
          \x20      ia-lint check-prom FILE\n\
          \x20      ia-lint check-prof FILE\n\
+         \x20      ia-lint check-claims FILE\n\
          \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
          \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
          \x20      ia-lint perf-history [--bench-dir DIR] [--history FILE]\n\
@@ -63,7 +65,9 @@ fn usage() -> ExitCode {
          check-prof validates a hierarchical profile — the `ia-prof-v1`\n\
          JSON written by `--prof-out FILE.json` and served by\n\
          `GET /debug/prof`, or the folded-stack text any other\n\
-         `--prof-out` extension emits (auto-detected).\n\
+         `--prof-out` extension emits (auto-detected);\n\
+         check-claims validates a fleet `claims.jsonl` work-stealing\n\
+         journal (replaying the full claim/release/reclaim protocol).\n\
          bench-diff compares the `BENCH_*.json` artifacts in --current\n\
          against --baseline and exits 1 on any wall-time regression\n\
          beyond --tol-wall (relative, default 3.0) or counter drift\n\
@@ -284,9 +288,12 @@ fn main() -> ExitCode {
         Some("check-prof") if args.len() == 2 => {
             return run_check("check-prof", &args[1], xtask::schema::check_prof);
         }
+        Some("check-claims") if args.len() == 2 => {
+            return run_check("check-claims", &args[1], xtask::schema::check_claims);
+        }
         Some(
             "check-metrics" | "check-bench" | "check-trace" | "check-spec" | "check-sarif"
-            | "check-logs" | "check-prom" | "check-prof",
+            | "check-logs" | "check-prom" | "check-prof" | "check-claims",
         ) => return usage(),
         Some("bench-diff") => return run_bench_diff(&args[1..]),
         Some("perf-history") => return run_perf_history(&args[1..]),
