@@ -1,0 +1,185 @@
+//! Corpus-runner throughput: million-net streaming ingestion, a cold
+//! corpus run into a fresh on-disk run store, the all-cached resume,
+//! and the replay-driven report pass.
+//!
+//! Phases (each a `BENCH_corpus_throughput.json` case):
+//!
+//! * **ingest** — a generated 1M-net Bookshelf design streamed into a
+//!   measured WLD in one pass. Generation happens outside the timed
+//!   window; the `corpus.ingest.*` counters gate exactly (the
+//!   generator stream is seeded, so pin and length totals are fixed).
+//! * **cold** — a 12-point corpus (1 synthetic design × 4 backends ×
+//!   3 degradation levels) solved fresh into a new run store with 4
+//!   workers. `corpus.points.solved`, the design materialization
+//!   counters and the `dp.*` solver counters all gate exactly.
+//! * **resume** — the same run resumed: every point answered from the
+//!   store, no design ever touched again (zero ingest counters).
+//! * **report** — rendering the rank-comparison report from the
+//!   completed store (replays the expansion at `budget: 0`).
+//!
+//! The bench also enforces the corpus resumability acceptance
+//! criterion in process: an interrupted run (budget 5) plus a resume
+//! must report — text and CSV — byte-identically to a run that was
+//! never interrupted.
+
+use ia_bench::BenchReport;
+use ia_corpus::{CorpusSpec, RunOptions};
+use ia_netlist::{bookshelf, NetModel, SyntheticDesign};
+use ia_obs::Stopwatch;
+
+/// The streaming-ingest acceptance scale: one million nets.
+const INGEST_CELLS: u64 = 250_000;
+const INGEST_NETS: u64 = 1_000_000;
+
+/// Corpus-run scale: small enough that 12 fresh solves finish in
+/// seconds, large enough that solving dwarfs store I/O.
+const CORPUS_CELLS: u64 = 10_000;
+const CORPUS_NETS: u64 = 50_000;
+
+fn corpus_spec() -> CorpusSpec {
+    let text = format!(
+        r#"{{"name": "bench-corpus",
+            "workers": 4,
+            "base": {{"bunch": 2000}},
+            "backends": ["measured", "davis", "hefeida-site", "hefeida-occupancy"],
+            "degrade": [1.0, 2.0, 4.0],
+            "designs": [{{"name": "synth",
+                          "kind": "synthetic",
+                          "cells": {CORPUS_CELLS},
+                          "nets": {CORPUS_NETS},
+                          "seed": 7}}]}}"#
+    );
+    CorpusSpec::parse_str(&text).expect("corpus spec parses")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ia-corpus-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let mut report = BenchReport::new("corpus_throughput");
+
+    // ---- ingest: 1M nets streamed into a measured WLD ----
+    let ingest_dir = scratch("ingest");
+    let design = SyntheticDesign::new(INGEST_CELLS, INGEST_NETS, 42).expect("design spec");
+    let paths = design
+        .write_to(&ingest_dir, "mega")
+        .expect("generate design");
+    println!(
+        "corpus_throughput: ingesting {INGEST_NETS} nets ({INGEST_CELLS} cells) from {}",
+        ingest_dir.display()
+    );
+    ia_obs::reset();
+    let ingest_wall = Stopwatch::start();
+    let ingested = bookshelf::ingest_files(&paths.nodes, &paths.nets, &paths.pl, NetModel::Star)
+        .expect("ingest");
+    let ingest_ns = ingest_wall.elapsed_ns();
+    assert_eq!(ingested.cells, INGEST_CELLS);
+    assert_eq!(ingested.nets, INGEST_NETS);
+    assert!(ingested.wld.total_wires() > INGEST_NETS / 2);
+    report.case(
+        [("phase", "ingest".into()), ("nets", INGEST_NETS.into())],
+        ingest_ns,
+    );
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+
+    // ---- cold: every point is a fresh solve + store append ----
+    let runs_root = scratch("runs");
+    let spec = corpus_spec();
+    ia_obs::reset();
+    let cold_wall = Stopwatch::start();
+    let cold = ia_corpus::run(&spec, &runs_root, &RunOptions::default()).expect("cold run");
+    let cold_ns = cold_wall.elapsed_ns();
+    assert!(cold.complete, "cold corpus must complete");
+    assert_eq!(cold.solved, 12, "cold corpus solves every point");
+    report.case(
+        [("phase", "cold".into()), ("points", 12u64.into())],
+        cold_ns,
+    );
+
+    // ---- resume: the whole corpus answered from the run store ----
+    let run_dir = runs_root.join(spec.run_id());
+    ia_obs::reset();
+    let resume_wall = Stopwatch::start();
+    let (_, resumed) = ia_corpus::resume(&run_dir, &RunOptions::default()).expect("resume");
+    let resume_ns = resume_wall.elapsed_ns();
+    assert!(resumed.complete);
+    assert_eq!(resumed.solved, 0, "resume must re-solve nothing");
+    assert_eq!(resumed.cached, 12, "resume answers from the store");
+    report.case(
+        [("phase", "resume".into()), ("points", 12u64.into())],
+        resume_ns,
+    );
+
+    // ---- report: render the rank comparison from the store ----
+    ia_obs::reset();
+    let report_wall = Stopwatch::start();
+    let straight_report = ia_corpus::report::for_run(&run_dir).expect("report");
+    let report_ns = report_wall.elapsed_ns();
+    assert!(straight_report.contains("ia-corpus-v1"));
+    report.case(
+        [("phase", "report".into()), ("points", 12u64.into())],
+        report_ns,
+    );
+    ia_obs::reset();
+
+    // Resumability acceptance: interrupt a second store mid-run,
+    // resume it, and require byte-identical reports (text and CSV) to
+    // the straight run.
+    let interrupted_root = scratch("interrupted");
+    let partial = ia_corpus::run(
+        &spec,
+        &interrupted_root,
+        &RunOptions {
+            budget: Some(5),
+            ..RunOptions::default()
+        },
+    )
+    .expect("interrupted run");
+    assert!(!partial.complete);
+    let interrupted_dir = interrupted_root.join(spec.run_id());
+    let (_, finished) =
+        ia_corpus::resume(&interrupted_dir, &RunOptions::default()).expect("resume interrupted");
+    assert!(finished.complete);
+    assert_eq!(finished.solved, 7, "only the missing points are solved");
+    let resumed_report = ia_corpus::report::for_run(&interrupted_dir).expect("resumed report");
+    assert_eq!(
+        straight_report, resumed_report,
+        "interrupted+resumed report must be byte-identical to the straight run"
+    );
+    assert_eq!(
+        ia_corpus::report::for_run_csv(&run_dir).expect("csv"),
+        ia_corpus::report::for_run_csv(&interrupted_dir).expect("resumed csv"),
+        "CSV twin must match byte-for-byte too"
+    );
+
+    // ---- human-readable summary ----
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("\nphase       scale      wall_ms");
+    println!("ingest    {INGEST_NETS:>7} {:>12.2}", ms(ingest_ns));
+    println!("cold      {:>7} {:>12.2}", 12, ms(cold_ns));
+    println!("resume    {:>7} {:>12.2}", 12, ms(resume_ns));
+    println!("report    {:>7} {:>12.2}", 12, ms(report_ns));
+    println!(
+        "\ningest rate: {:.1} Mnet/s; resume speedup: {:.1}x",
+        INGEST_NETS as f64 * 1e3 / ingest_ns as f64,
+        cold_ns as f64 / resume_ns.max(1) as f64
+    );
+
+    // Acceptance: resuming a finished run must beat solving it fresh —
+    // the resume path never regenerates or re-ingests a design.
+    assert!(
+        resume_ns.saturating_mul(2) <= cold_ns,
+        "resume not at least 2x faster than cold: {resume_ns} ns vs {cold_ns} ns"
+    );
+
+    let _ = std::fs::remove_dir_all(&runs_root);
+    let _ = std::fs::remove_dir_all(&interrupted_root);
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+}

@@ -750,6 +750,115 @@ fn dse_run_remote(
     }
 }
 
+/// Formats a corpus run outcome as the `corpus run`/`corpus resume`
+/// status block. The first line is `run: <dir>` so scripts (and the
+/// CI smoke job) can scrape the run directory, matching `dse run`.
+fn corpus_status(outcome: &ia_corpus::RunOutcome) -> String {
+    let mut out = format!("run: {}\n", outcome.run_dir);
+    out.push_str(&format!("run id: {}\n", outcome.run_id));
+    out.push_str(&format!(
+        "points: {} total, {} solved, {} cached, {} skipped\n",
+        outcome.total_points, outcome.solved, outcome.cached, outcome.skipped
+    ));
+    if outcome.complete {
+        out.push_str("status: complete\n");
+    } else {
+        out.push_str(&format!(
+            "status: incomplete — continue with `iarank corpus resume --run {}`\n",
+            outcome.run_dir
+        ));
+    }
+    out
+}
+
+/// Parses the optional `--workers`/`--max-points` overrides into
+/// corpus engine options.
+fn corpus_options(
+    workers: Option<String>,
+    max_points: Option<String>,
+) -> Result<ia_corpus::RunOptions, CliError> {
+    let mut opts = ia_corpus::RunOptions::default();
+    if let Some(raw) = workers {
+        opts.workers = Some(
+            raw.parse::<usize>()
+                .map_err(|e| CliError::Domain(format!("bad --workers value `{raw}`: {e}")))?,
+        );
+    }
+    if let Some(raw) = max_points {
+        opts.budget = Some(
+            raw.parse::<u64>()
+                .map_err(|e| CliError::Domain(format!("bad --max-points value `{raw}`: {e}")))?,
+        );
+    }
+    Ok(opts)
+}
+
+/// `iarank corpus run|resume|report`: real-design corpus workloads —
+/// designs × WLD backends × degradation levels over a resumable run
+/// store (see docs/corpus.md).
+pub fn cmd_corpus(args: &ParsedArgs) -> Result<String, CliError> {
+    let Some(action) = args.subcommand().map(str::to_owned) else {
+        return Err(CliError::Domain(
+            "`corpus` needs an action: run, resume or report".to_owned(),
+        ));
+    };
+    match action.as_str() {
+        "run" => {
+            let Some(spec_path) = args.get_str("spec") else {
+                return Err(CliError::Domain(
+                    "`corpus run` needs `--spec FILE`".to_owned(),
+                ));
+            };
+            let runs = args.get_str("runs").unwrap_or_else(|| "runs".to_owned());
+            let workers = args.get_str("workers");
+            let max_points = args.get_str("max-points");
+            args.reject_unknown()?;
+            let text = std::fs::read_to_string(&spec_path)
+                .map_err(|e| CliError::Domain(format!("cannot read spec {spec_path}: {e}")))?;
+            let spec = ia_corpus::CorpusSpec::parse_str(&text).map_err(domain)?;
+            let opts = corpus_options(workers, max_points)?;
+            let outcome =
+                ia_corpus::run(&spec, std::path::Path::new(&runs), &opts).map_err(domain)?;
+            Ok(corpus_status(&outcome))
+        }
+        "resume" => {
+            let Some(run_dir) = args.get_str("run") else {
+                return Err(CliError::Domain(
+                    "`corpus resume` needs `--run DIR`".to_owned(),
+                ));
+            };
+            let workers = args.get_str("workers");
+            let max_points = args.get_str("max-points");
+            args.reject_unknown()?;
+            let opts = corpus_options(workers, max_points)?;
+            let (_, outcome) =
+                ia_corpus::resume(std::path::Path::new(&run_dir), &opts).map_err(domain)?;
+            Ok(corpus_status(&outcome))
+        }
+        "report" => {
+            let Some(run_dir) = args.get_str("run") else {
+                return Err(CliError::Domain(
+                    "`corpus report` needs `--run DIR`".to_owned(),
+                ));
+            };
+            let csv = args.get("csv", false)?;
+            args.reject_unknown()?;
+            // The report is a pure replay of the persisted run:
+            // nothing is solved, generated, or ingested here, and an
+            // interrupted-then-resumed run prints byte-identically to
+            // an uninterrupted one.
+            if csv {
+                ia_corpus::report::for_run_csv(std::path::Path::new(&run_dir)).map_err(domain)
+            } else {
+                ia_corpus::report::for_run(std::path::Path::new(&run_dir)).map_err(domain)
+            }
+        }
+        other => Err(CliError::Domain(format!(
+            "unknown corpus action `{other}` (expected run, resume or report)"
+        ))),
+    }
+}
+
 /// `iarank fleet worker`: one distributed-dse worker process, in
 /// either of two modes (see docs/dse.md):
 ///
@@ -864,6 +973,9 @@ COMMANDS:
   serve      run the rank service over HTTP (see docs/serving.md)
   dse        declarative design-space exploration (see docs/dse.md):
              dse run --spec FILE | dse resume --run DIR | dse report --run DIR
+  corpus     real-design corpus workloads (see docs/corpus.md):
+             corpus run --spec FILE | corpus resume --run DIR |
+             corpus report --run DIR [--csv]
   fleet      distributed dse worker (see docs/dse.md):
              fleet worker --run DIR | --spec FILE | --coordinator ADDR
   help       show this text
@@ -896,6 +1008,19 @@ DSE FLAGS:
                            the Table-4-style text report
   --workers-remote ADDR    (dse run) submit the spec to a fleet
                            coordinator and poll until the job finishes
+
+CORPUS FLAGS:
+  --spec FILE              corpus spec, TOML or JSON (corpus run):
+                           designs × backends (measured, davis,
+                           hefeida-site, hefeida-occupancy) × degrade
+                           levels (γ ≥ 1)
+  --runs DIR               run-store root directory       [runs]
+  --run DIR                an existing run directory (resume, report)
+  --workers N              worker-thread override         [spec value]
+  --max-points N           fresh-solve budget; `corpus resume`
+                           continues an incomplete run
+  --csv                    (corpus report) emit the stable ia-corpus-v1
+                           CSV instead of the text report
 
 FLEET WORKER FLAGS:
   --run DIR                shared-store mode: join this run directory
@@ -954,6 +1079,8 @@ EXAMPLES:
   iarank serve --addr 127.0.0.1:0 --workers 4 --cache-entries 512
   iarank dse run --spec grid.toml --runs runs --metrics json
   iarank dse report --run runs/1a2b3c4d5e6f7a8b --csv
+  iarank corpus run --spec corpus.toml --runs runs
+  iarank corpus report --run runs/9f8e7d6c5b4a3f2e --csv
   iarank fleet worker --run runs/1a2b3c4d5e6f7a8b --worker-id w1
   iarank serve --addr 127.0.0.1:0 --fleet --runs runs
   iarank fleet worker --coordinator 127.0.0.1:8080
@@ -1045,6 +1172,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("optimize") => cmd_optimize(args),
         Some("serve") => cmd_serve(args),
         Some("dse") => cmd_dse(args),
+        Some("corpus") => cmd_corpus(args),
         Some("fleet") => cmd_fleet(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(CliError::Domain(format!(
@@ -1471,6 +1599,93 @@ mod tests {
         assert_eq!(resumed_report, straight_report);
         assert!(resumed_report.contains("== dse report: cli-smoke =="));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_run_interrupt_resume_report_round_trip() {
+        let dir = std::env::temp_dir().join(format!("iarank_corpus_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("corpus.toml");
+        std::fs::write(
+            &spec_path,
+            "name = \"cli-corpus\"\ndegrade = [1.0, 2.0]\n\
+             backends = [\"davis\", \"hefeida-site\"]\n\n\
+             [base]\ngates = 20000\nbunch = 2000\n\n\
+             [[designs]]\nname = \"ref\"\nkind = \"davis\"\ngates = 20000\n",
+        )
+        .unwrap();
+        let runs = dir.join("runs");
+
+        // Interrupted run: only one fresh solve allowed.
+        let out = run(&[
+            "corpus",
+            "run",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--runs",
+            runs.to_str().unwrap(),
+            "--max-points",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("1 solved"), "{out}");
+        assert!(out.contains("status: incomplete"), "{out}");
+        let run_dir = out
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("run: "))
+            .unwrap()
+            .to_owned();
+
+        // Resume finishes without re-solving the persisted point.
+        let out = run(&["corpus", "resume", "--run", &run_dir]).unwrap();
+        assert!(out.contains("3 solved"), "{out}");
+        assert!(out.contains("1 cached"), "{out}");
+        assert!(out.contains("status: complete"), "{out}");
+
+        // The report matches an uninterrupted run byte for byte.
+        let resumed_report = run(&["corpus", "report", "--run", &run_dir]).unwrap();
+        let runs2 = dir.join("runs2");
+        let out = run(&[
+            "corpus",
+            "run",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--runs",
+            runs2.to_str().unwrap(),
+        ])
+        .unwrap();
+        let straight_dir = out
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("run: "))
+            .unwrap()
+            .to_owned();
+        let straight_report = run(&["corpus", "report", "--run", &straight_dir]).unwrap();
+        assert_eq!(resumed_report, straight_report);
+        assert!(resumed_report.contains("ia-corpus-v1"), "{resumed_report}");
+        assert!(
+            resumed_report.contains("delta_vs_davis"),
+            "{resumed_report}"
+        );
+        let csv = run(&["corpus", "report", "--run", &run_dir, "--csv", "true"]).unwrap();
+        assert!(csv.starts_with("design,backend,gamma,key,"), "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_validates_its_arguments() {
+        let err = run(&["corpus"]).unwrap_err();
+        assert!(err.to_string().contains("needs an action"));
+        let err = run(&["corpus", "explode"]).unwrap_err();
+        assert!(err.to_string().contains("unknown corpus action"));
+        let err = run(&["corpus", "run"]).unwrap_err();
+        assert!(err.to_string().contains("--spec"));
+        let err = run(&["corpus", "resume"]).unwrap_err();
+        assert!(err.to_string().contains("--run"));
+        let err = run(&["corpus", "report", "--run", "/nonexistent-run"]).unwrap_err();
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use ia_arch::{Architecture, ArchitectureBuilder};
 use ia_tech::TechnologyNode;
 use ia_units::{Frequency, Permittivity};
-use ia_wld::WldSpec;
+use ia_wld::{Degradation, DegradeKind, Wld, WldSpec};
 
 use crate::sweep::CachedSolve;
 use crate::{RankProblem, RankProblemBuilder};
@@ -68,6 +68,12 @@ pub struct BoundConfig {
     pub semi_global: u64,
     /// Local layer-pair count.
     pub local: u64,
+    /// Placement-suboptimality factor `γ ≥ 1` (the corpus axis): the
+    /// Davis WLD's tail is stretched by this factor before solving.
+    /// `1.0` (the default) means the pristine closed-form WLD and is
+    /// omitted from the canonical rendering, so pre-existing cache
+    /// keys are unchanged.
+    pub degrade: f64,
 }
 
 impl Default for BoundConfig {
@@ -83,6 +89,7 @@ impl Default for BoundConfig {
             global: 1,
             semi_global: 2,
             local: 0,
+            degrade: 1.0,
         }
     }
 }
@@ -97,7 +104,7 @@ impl BoundConfig {
         let k = self
             .k
             .map_or_else(|| "default".to_owned(), |k| k.to_string());
-        format!(
+        let mut rendered = format!(
             "node={};gates={};bunch={};clock_mhz={};fraction={};miller={};k={};global={};semi_global={};local={}",
             self.node.trim_start_matches("tsmc"),
             self.gates,
@@ -109,7 +116,13 @@ impl BoundConfig {
             self.global,
             self.semi_global,
             self.local,
-        )
+        );
+        // The identity factor is elided so every configuration minted
+        // before the corpus axis existed keeps its cache key.
+        if self.degrade != 1.0 {
+            rendered.push_str(&format!(";degrade={}", self.degrade));
+        }
+        rendered
     }
 
     /// The content-address of this configuration: the FNV-1a 128 hash
@@ -156,6 +169,29 @@ impl BoundConfig {
         let result = problem.rank();
         Ok(CachedSolve::of(&problem, &result))
     }
+
+    /// Binds and solves over a caller-supplied distribution — a
+    /// measured netlist WLD or an alternate stochastic backend —
+    /// instead of the generated Davis spec. The `degrade` factor is
+    /// applied to the supplied distribution exactly as [`solve`]
+    /// applies it to the generated one, so corpus stress points and
+    /// pristine points share one code path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] when binding, degradation, or problem
+    /// construction fails.
+    ///
+    /// [`solve`]: BoundConfig::solve
+    pub fn solve_with_wld(&self, wld: Wld) -> Result<CachedSolve, BindError> {
+        let bound = self.bind()?;
+        let problem = bound
+            .builder_with_wld(wld)?
+            .build()
+            .map_err(|e| BindError::Invalid(e.to_string()))?;
+        let result = problem.rank();
+        Ok(CachedSolve::of(&problem, &result))
+    }
 }
 
 /// A configuration with its resolved tech node and architecture. The
@@ -181,8 +217,47 @@ impl BoundProblem {
     pub fn builder(&self) -> Result<RankProblemBuilder<'_>, BindError> {
         let spec =
             WldSpec::new(self.config.gates).map_err(|e| BindError::Invalid(e.to_string()))?;
-        let mut builder = RankProblem::builder(&self.node, &self.architecture)
-            .wld_spec(spec)
+        if self.config.degrade == 1.0 {
+            let builder = RankProblem::builder(&self.node, &self.architecture).wld_spec(spec);
+            return Ok(self.knobs(builder));
+        }
+        // The corpus stress axis: generate the pristine Davis
+        // distribution, then degrade it like any supplied WLD.
+        self.builder_with_wld(spec.generate())
+    }
+
+    /// Like [`builder`](BoundProblem::builder), but over a
+    /// caller-supplied distribution (a measured netlist WLD or an
+    /// alternate stochastic backend) instead of the generated Davis
+    /// spec. The configuration's `degrade` factor is applied to the
+    /// supplied distribution first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] when the degradation parameters are
+    /// invalid or the stretch overflows.
+    pub fn builder_with_wld(&self, wld: Wld) -> Result<RankProblemBuilder<'_>, BindError> {
+        let wld = if self.config.degrade == 1.0 {
+            wld
+        } else {
+            // Tail-stretch: wires longer than the die side (√gates)
+            // grow by the suboptimality factor γ; count-preserving
+            // and exactly invertible from the report metadata.
+            let threshold =
+                ia_units::convert::f64_to_u64_saturating((self.config.gates as f64).sqrt());
+            Degradation::from_gamma(DegradeKind::TailStretch, self.config.degrade, threshold)
+                .and_then(|d| d.apply(&wld))
+                .map_err(|e| BindError::Invalid(e.to_string()))?
+        };
+        let builder = RankProblem::builder(&self.node, &self.architecture)
+            .wld(wld)
+            .gates(self.config.gates);
+        Ok(self.knobs(builder))
+    }
+
+    /// Applies the configuration's scalar knobs to a builder.
+    fn knobs<'p>(&'p self, builder: RankProblemBuilder<'p>) -> RankProblemBuilder<'p> {
+        let mut builder = builder
             .bunch_size(self.config.bunch)
             .clock(Frequency::from_megahertz(self.config.clock_mhz))
             .repeater_fraction(self.config.fraction)
@@ -190,7 +265,7 @@ impl BoundProblem {
         if let Some(k) = self.config.k {
             builder = builder.permittivity(Permittivity::from_relative(k));
         }
-        Ok(builder)
+        builder
     }
 }
 
@@ -293,6 +368,66 @@ mod tests {
             err.to_string(),
             "unknown node `65` (expected 90, 130 or 180)"
         );
+    }
+
+    #[test]
+    fn degrade_axis_is_elided_at_identity_and_rendered_otherwise() {
+        let identity = BoundConfig {
+            degrade: 1.0,
+            ..BoundConfig::default()
+        };
+        // γ = 1 must not change the pinned rendering or any existing key.
+        assert_eq!(
+            identity.canonical_string(),
+            BoundConfig::default().canonical_string()
+        );
+        let stressed = BoundConfig {
+            degrade: 1.5,
+            ..BoundConfig::default()
+        };
+        assert!(stressed.canonical_string().ends_with(";degrade=1.5"));
+        assert_ne!(stressed.cache_key(), identity.cache_key());
+    }
+
+    #[test]
+    fn degraded_solves_rank_lower_than_pristine() {
+        let pristine = BoundConfig {
+            gates: 20_000,
+            bunch: 2_000,
+            ..BoundConfig::default()
+        };
+        let stressed = BoundConfig {
+            degrade: 2.0,
+            ..pristine.clone()
+        };
+        let a = pristine.solve().expect("pristine solves");
+        let b = stressed.solve().expect("degraded solves");
+        // Stretching the tail makes wires longer and the stack's job
+        // harder: the degraded design never outranks the pristine one.
+        assert!(
+            b.rank <= a.rank,
+            "degraded rank {} > pristine {}",
+            b.rank,
+            a.rank
+        );
+        assert_eq!(
+            a.total_wires, b.total_wires,
+            "tail-stretch preserves wire count"
+        );
+        // Deterministic under repetition, like every other solve.
+        assert_eq!(stressed.solve().expect("solves"), b);
+    }
+
+    #[test]
+    fn invalid_degrade_is_a_bind_error_not_a_panic() {
+        let config = BoundConfig {
+            gates: 20_000,
+            bunch: 2_000,
+            degrade: 0.5,
+            ..BoundConfig::default()
+        };
+        let err = config.solve().expect_err("γ < 1 must be rejected");
+        assert!(matches!(err, BindError::Invalid(_)));
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Design materialization: synthetic generation and measured ingestion.
+//!
+//! Materialization is demand-driven. A design is touched only when at
+//! least one of its points is missing from the run store, and its
+//! placement is streamed through the Bookshelf ingester only when a
+//! missing point actually needs the measured distribution (or the
+//! design's gate count is unknowable without the `.nodes` header). A
+//! fully cached resume therefore generates and ingests nothing — the
+//! property the acceptance tests pin.
+
+use std::path::Path;
+
+use ia_netlist::{bookshelf, SyntheticDesign};
+use ia_obs::counter_add;
+use ia_wld::Wld;
+
+use crate::error::CorpusError;
+use crate::names;
+use crate::spec::{CorpusSpec, DesignSource};
+
+/// What the scheduler knows about one materialized design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignData {
+    /// The design's gate count (the scale the stochastic backends
+    /// model). Synthetic and davis designs declare it; Bookshelf
+    /// designs learn it from the `.nodes` header.
+    pub gates: u64,
+    /// The measured distribution, present only when a pending point
+    /// uses the `measured` backend.
+    pub measured: Option<Wld>,
+}
+
+/// What the pending point set demands from one design.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DesignNeed {
+    /// Some point of this design is still unsolved.
+    pub any: bool,
+    /// Some unsolved point uses the measured backend.
+    pub measured: bool,
+}
+
+/// Materializes every design the pending points demand; untouched
+/// designs stay `None`.
+pub(crate) fn materialize(
+    spec: &CorpusSpec,
+    run_dir: &Path,
+    needs: &[DesignNeed],
+) -> Result<Vec<Option<DesignData>>, CorpusError> {
+    spec.designs
+        .iter()
+        .zip(needs)
+        .map(|(design, need)| {
+            if !need.any {
+                return Ok(None);
+            }
+            materialize_one(spec, run_dir, &design.name, &design.source, need.measured).map(Some)
+        })
+        .collect()
+}
+
+fn materialize_one(
+    spec: &CorpusSpec,
+    run_dir: &Path,
+    name: &str,
+    source: &DesignSource,
+    measured: bool,
+) -> Result<DesignData, CorpusError> {
+    match source {
+        DesignSource::Davis { gates } => Ok(DesignData {
+            gates: *gates,
+            measured: None,
+        }),
+        DesignSource::Synthetic { cells, nets, seed } => {
+            if !measured {
+                return Ok(DesignData {
+                    gates: *cells,
+                    measured: None,
+                });
+            }
+            let generator = SyntheticDesign::new(*cells, *nets, *seed)
+                .map_err(|e| CorpusError::design(name, &e))?;
+            let dir = run_dir.join("designs").join(name);
+            let paths = ia_netlist::BookshelfPaths {
+                nodes: dir.join(format!("{name}.nodes")),
+                nets: dir.join(format!("{name}.nets")),
+                pl: dir.join(format!("{name}.pl")),
+            };
+            let on_disk = paths.nodes.is_file() && paths.nets.is_file() && paths.pl.is_file();
+            let paths = if on_disk {
+                paths
+            } else {
+                std::fs::create_dir_all(&dir).map_err(|e| CorpusError::io(&dir, &e))?;
+                counter_add(names::DESIGNS_GENERATED, 1);
+                generator
+                    .write_to(&dir, name)
+                    .map_err(|e| CorpusError::design(name, &e))?
+            };
+            let outcome = ingest(name, &paths.nodes, &paths.nets, &paths.pl, spec)?;
+            Ok(DesignData {
+                gates: *cells,
+                measured: Some(outcome.wld),
+            })
+        }
+        DesignSource::Bookshelf { nodes, nets, pl } => {
+            // Even a model-only point needs the `.nodes` header for
+            // the design's gate count, so Bookshelf designs always
+            // stream once when any of their points is pending.
+            let outcome = ingest(name, Path::new(nodes), Path::new(nets), Path::new(pl), spec)?;
+            Ok(DesignData {
+                gates: outcome.cells,
+                measured: measured.then_some(outcome.wld),
+            })
+        }
+    }
+}
+
+fn ingest(
+    name: &str,
+    nodes: &Path,
+    nets: &Path,
+    pl: &Path,
+    spec: &CorpusSpec,
+) -> Result<bookshelf::IngestOutcome, CorpusError> {
+    counter_add(names::DESIGNS_INGESTED, 1);
+    bookshelf::ingest_files(nodes, nets, pl, spec.net_model)
+        .map_err(|e| CorpusError::design(name, &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DesignSpec;
+
+    fn spec_with(source: DesignSource) -> CorpusSpec {
+        let mut spec = CorpusSpec::parse_str(
+            r#"{"name": "t", "designs": [{"name": "ref", "kind": "davis", "gates": 1000}]}"#,
+        )
+        .unwrap();
+        spec.designs = vec![DesignSpec {
+            name: "d".to_owned(),
+            source,
+        }];
+        spec
+    }
+
+    #[test]
+    fn unneeded_designs_are_not_materialized() {
+        let spec = spec_with(DesignSource::Synthetic {
+            cells: 100,
+            nets: 200,
+            seed: 1,
+        });
+        let out = materialize(&spec, Path::new("/nonexistent"), &[DesignNeed::default()]).unwrap();
+        assert_eq!(out, vec![None]);
+    }
+
+    #[test]
+    fn model_only_synthetic_designs_skip_generation() {
+        let spec = spec_with(DesignSource::Synthetic {
+            cells: 100,
+            nets: 200,
+            seed: 1,
+        });
+        let need = DesignNeed {
+            any: true,
+            measured: false,
+        };
+        // The run directory does not exist; gates come from the spec
+        // without touching the filesystem.
+        let out = materialize(&spec, Path::new("/nonexistent"), &[need]).unwrap();
+        assert_eq!(
+            out,
+            vec![Some(DesignData {
+                gates: 100,
+                measured: None
+            })]
+        );
+    }
+
+    #[test]
+    fn measured_synthetic_designs_generate_once_and_reingest_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "ia-corpus-design-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = spec_with(DesignSource::Synthetic {
+            cells: 400,
+            nets: 900,
+            seed: 7,
+        });
+        let need = DesignNeed {
+            any: true,
+            measured: true,
+        };
+        let first = materialize(&spec, &dir, &[need]).unwrap();
+        // Second materialization finds the files on disk and streams
+        // them to the identical distribution.
+        let second = materialize(&spec, &dir, &[need]).unwrap();
+        assert_eq!(first, second);
+        let data = first[0].clone().unwrap();
+        assert_eq!(data.gates, 400);
+        assert!(data.measured.unwrap().total_wires() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_bookshelf_files_surface_as_design_errors() {
+        let spec = spec_with(DesignSource::Bookshelf {
+            nodes: "/nonexistent/x.nodes".to_owned(),
+            nets: "/nonexistent/x.nets".to_owned(),
+            pl: "/nonexistent/x.pl".to_owned(),
+        });
+        let need = DesignNeed {
+            any: true,
+            measured: false,
+        };
+        let err = materialize(&spec, Path::new("/tmp"), &[need]).unwrap_err();
+        assert!(matches!(err, CorpusError::Design { .. }), "{err}");
+    }
+}

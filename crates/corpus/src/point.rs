@@ -1,0 +1,139 @@
+//! Corpus point expansion and content addressing.
+
+use ia_rank::canon::{fnv1a_128, BoundConfig};
+
+use crate::spec::{net_model_label, Backend, CorpusSpec, DesignSource};
+
+/// One cell of the corpus product: a design modeled by one backend at
+/// one degradation level, under the spec's base configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusPoint {
+    /// Index into [`CorpusSpec::designs`].
+    pub design: usize,
+    /// The WLD backend this point evaluates.
+    pub backend: Backend,
+    /// The placement-suboptimality factor `γ ≥ 1`.
+    pub gamma: f64,
+    /// The solve configuration: the spec's base with `degrade = γ`
+    /// and, when the design's gate count is statically known, `gates`
+    /// overridden to it. Bookshelf designs learn their gate count at
+    /// ingestion and patch it in then.
+    pub config: BoundConfig,
+}
+
+impl CorpusPoint {
+    /// The point's content address: an FNV-1a 128 hash of everything
+    /// that determines its solve — design name and source descriptor,
+    /// net model, backend, `γ`, and the base configuration's own
+    /// canonical string. Stable across runs and resumes; different
+    /// sources can never alias even under the same design name.
+    #[must_use]
+    pub fn key(&self, spec: &CorpusSpec) -> u128 {
+        let design = &spec.designs[self.design];
+        let canonical = format!(
+            "corpus;design={};src={};model={};backend={};gamma={};base={}",
+            design.name,
+            design.source.canonical(),
+            net_model_label(spec.net_model),
+            self.backend.label(),
+            self.gamma,
+            spec.base.canonical_string(),
+        );
+        fnv1a_128(canonical.as_bytes())
+    }
+}
+
+/// Expands a spec into its full point list, in the deterministic
+/// order the report renders: designs outermost, then backends, then
+/// degradation levels innermost.
+#[must_use]
+pub fn expand(spec: &CorpusSpec) -> Vec<CorpusPoint> {
+    let mut points = Vec::with_capacity(
+        spec.designs
+            .len()
+            .saturating_mul(spec.backends.len())
+            .saturating_mul(spec.degrade.len()),
+    );
+    for (design, entry) in spec.designs.iter().enumerate() {
+        for &backend in &spec.backends {
+            if backend == Backend::Measured && matches!(entry.source, DesignSource::Davis { .. }) {
+                // Validation already rejects this pairing; the guard
+                // keeps expansion total if a spec is built by hand.
+                continue;
+            }
+            for &gamma in &spec.degrade {
+                let mut config = spec.base.clone();
+                config.degrade = gamma;
+                if let Some(gates) = entry.source.gates_hint() {
+                    config.gates = gates;
+                }
+                points.push(CorpusPoint {
+                    design,
+                    backend,
+                    gamma,
+                    config,
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec::parse_str(
+            r#"{"name": "t", "degrade": [1.0, 2.0],
+                "backends": ["davis", "hefeida-site"],
+                "designs": [
+                  {"name": "a", "kind": "davis", "gates": 50000},
+                  {"name": "b", "kind": "synthetic",
+                   "cells": 20000, "nets": 40000, "seed": 3}]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_order_is_designs_then_backends_then_gamma() {
+        let spec = spec();
+        let points = expand(&spec);
+        assert_eq!(points.len(), 8);
+        assert_eq!(points[0].design, 0);
+        assert_eq!(points[0].gamma, 1.0);
+        assert_eq!(points[1].gamma, 2.0);
+        assert_eq!(points[1].backend, points[0].backend);
+        assert_eq!(points[4].design, 1);
+        // Gate hints land in the per-point configs.
+        assert_eq!(points[0].config.gates, 50_000);
+        assert_eq!(points[4].config.gates, 20_000);
+        assert_eq!(points[1].config.degrade, 2.0);
+    }
+
+    #[test]
+    fn keys_are_stable_and_collision_free() {
+        let spec = spec();
+        let points = expand(&spec);
+        let mut keys: Vec<u128> = points.iter().map(|p| p.key(&spec)).collect();
+        let again: Vec<u128> = points.iter().map(|p| p.key(&spec)).collect();
+        assert_eq!(keys, again);
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), points.len());
+    }
+
+    #[test]
+    fn key_depends_on_the_design_source_not_just_its_name() {
+        let spec_a = spec();
+        let mut spec_b = spec_a.clone();
+        if let crate::spec::DesignSource::Synthetic { seed, .. } = &mut spec_b.designs[1].source {
+            *seed += 1;
+        }
+        let a = expand(&spec_a);
+        let b = expand(&spec_b);
+        assert_ne!(a[4].key(&spec_a), b[4].key(&spec_b));
+        assert_eq!(a[0].key(&spec_a), b[0].key(&spec_b));
+    }
+}

@@ -1,0 +1,307 @@
+//! The deterministic `ia-corpus-v1` rank-comparison report.
+//!
+//! [`render`] and [`to_csv`] are pure functions of the spec and the
+//! completed point list, so two runs of the same spec produce
+//! byte-identical reports — the property the CI smoke job diffs.
+//! [`for_run`] / [`for_run_csv`] rebuild a report from a run
+//! directory alone via a zero-budget replay (nothing is solved,
+//! nothing is ingested).
+
+use std::path::Path;
+
+use ia_report::{Document, Table};
+use ia_units::convert::f64_to_u64_saturating;
+use ia_wld::{Degradation, DegradeKind, WldModel};
+
+use crate::engine::{resume, RunOptions, SolvedCorpusPoint};
+use crate::error::CorpusError;
+use crate::spec::{net_model_label, Backend, CorpusSpec};
+
+/// A normalized-rank drop between adjacent degradation levels larger
+/// than this flags a cliff (same threshold as the DSE refinement
+/// default).
+pub const CLIFF_THRESHOLD: f64 = 0.1;
+
+/// Report format marker, bumped on any column change.
+pub const FORMAT: &str = "ia-corpus-v1";
+
+fn find<'p>(
+    points: &'p [SolvedCorpusPoint],
+    design: &str,
+    backend: Backend,
+    gamma: f64,
+) -> Option<&'p SolvedCorpusPoint> {
+    points
+        .iter()
+        .find(|p| p.design == design && p.backend == backend && p.gamma == gamma)
+}
+
+/// The Davis baseline for a `(design, γ)` cell, when the spec ranked
+/// one.
+fn davis_baseline<'p>(
+    points: &'p [SolvedCorpusPoint],
+    design: &str,
+    gamma: f64,
+) -> Option<&'p SolvedCorpusPoint> {
+    find(points, design, Backend::Model(WldModel::Davis), gamma)
+}
+
+/// The previous (next-smaller) degradation level in the spec, for
+/// cliff detection.
+fn previous_gamma(spec: &CorpusSpec, gamma: f64) -> Option<f64> {
+    spec.degrade.iter().copied().rfind(|&g| g < gamma)
+}
+
+/// Whether the step from the previous degradation level to this point
+/// is a cliff: a normalized-rank drop beyond [`CLIFF_THRESHOLD`], or
+/// the point losing full assignability its predecessor still had.
+fn is_cliff(spec: &CorpusSpec, points: &[SolvedCorpusPoint], point: &SolvedCorpusPoint) -> bool {
+    let Some(prev_gamma) = previous_gamma(spec, point.gamma) else {
+        return false;
+    };
+    let Some(prev) = find(points, &point.design, point.backend, prev_gamma) else {
+        return false;
+    };
+    let drop = prev.solve.normalized - point.solve.normalized;
+    drop > CLIFF_THRESHOLD || (prev.solve.fully_assignable && !point.solve.fully_assignable)
+}
+
+/// The signed rank delta against the Davis baseline at the same
+/// `(design, γ)`, rendered `-` when the spec ranked no baseline and
+/// `0` (by construction) on the baseline's own row.
+fn rank_delta(points: &[SolvedCorpusPoint], point: &SolvedCorpusPoint) -> String {
+    match davis_baseline(points, &point.design, point.gamma) {
+        None => "-".to_owned(),
+        Some(base) => {
+            let delta = i128::from(point.solve.rank) - i128::from(base.solve.rank);
+            format!("{delta:+}")
+        }
+    }
+}
+
+fn comparison_table(spec: &CorpusSpec, points: &[SolvedCorpusPoint]) -> Table {
+    let mut table = Table::new([
+        "design",
+        "backend",
+        "gamma",
+        "rank",
+        "normalized",
+        "delta_vs_davis",
+        "cliff",
+    ]);
+    for point in points {
+        table.row([
+            point.design.clone(),
+            point.backend.label().to_owned(),
+            format!("{}", point.gamma),
+            format!("{}", point.solve.rank),
+            format!("{:.6}", point.solve.normalized),
+            rank_delta(points, point),
+            if is_cliff(spec, points, point) {
+                "CLIFF".to_owned()
+            } else {
+                "-".to_owned()
+            },
+        ]);
+    }
+    table
+}
+
+/// The exact degradation metadata the runner applied per `(design,
+/// γ)` cell: the quantized rational factor and the locality
+/// threshold. Publishing `num/den/threshold` makes every transform
+/// exactly invertible by a reader — `count' = count` for lengths `≤
+/// threshold`, `length' = length·num/den` rounded half-up above it.
+fn degradation_table(spec: &CorpusSpec) -> Result<Table, CorpusError> {
+    let mut table = Table::new(["design", "gamma", "kind", "num", "den", "threshold"]);
+    for design in &spec.designs {
+        let gates = design.source.gates_hint().unwrap_or(spec.base.gates);
+        let threshold = f64_to_u64_saturating((gates as f64).sqrt());
+        for &gamma in &spec.degrade {
+            if gamma == 1.0 {
+                continue;
+            }
+            let degradation = Degradation::from_gamma(DegradeKind::TailStretch, gamma, threshold)?;
+            table.row([
+                design.name.clone(),
+                format!("{gamma}"),
+                degradation.kind.label().to_owned(),
+                format!("{}", degradation.num),
+                format!("{}", degradation.den),
+                format!("{}", degradation.threshold),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// Renders the full human-readable report.
+#[must_use]
+pub fn render(spec: &CorpusSpec, points: &[SolvedCorpusPoint]) -> String {
+    let mut doc = Document::new(format!("{FORMAT} — {}", spec.name));
+    doc.line(format!("run: {}", spec.run_id()))
+        .line(format!(
+            "designs: {}  backends: {}  degrade levels: {}  net model: {}",
+            spec.designs.len(),
+            spec.backends.len(),
+            spec.degrade.len(),
+            net_model_label(spec.net_model),
+        ))
+        .line(format!(
+            "points: {} completed of {} expanded",
+            points.len(),
+            crate::point::expand(spec).len(),
+        ));
+    doc.section("rank comparison (baseline: davis)");
+    doc.table(comparison_table(spec, points));
+    match degradation_table(spec) {
+        Ok(table) if !spec.degrade.iter().all(|&g| g == 1.0) => {
+            doc.section("applied degradations (exactly invertible)");
+            doc.table(table);
+        }
+        _ => {}
+    }
+    doc.render()
+}
+
+/// Renders the machine-readable CSV (stable `ia-corpus-v1` schema).
+#[must_use]
+pub fn to_csv(spec: &CorpusSpec, points: &[SolvedCorpusPoint]) -> String {
+    let mut table = Table::new([
+        "design",
+        "backend",
+        "gamma",
+        "key",
+        "rank",
+        "normalized",
+        "total_wires",
+        "repeater_count",
+        "fully_assignable",
+        "delta_vs_davis",
+        "cliff",
+    ]);
+    for point in points {
+        table.row([
+            point.design.clone(),
+            point.backend.label().to_owned(),
+            format!("{}", point.gamma),
+            format!("{:032x}", point.key),
+            format!("{}", point.solve.rank),
+            format!("{:.6}", point.solve.normalized),
+            format!("{}", point.solve.total_wires),
+            format!("{}", point.solve.repeater_count),
+            format!("{}", point.solve.fully_assignable),
+            rank_delta(points, point),
+            format!("{}", is_cliff(spec, points, point)),
+        ]);
+    }
+    table.to_csv()
+}
+
+/// Rebuilds the report for a persisted run directory via a
+/// zero-budget replay: completed points are read back, nothing is
+/// solved or ingested.
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] when the directory is not a readable run.
+pub fn for_run(run_dir: &Path) -> Result<String, CorpusError> {
+    let (spec, outcome) = replay(run_dir)?;
+    Ok(render(&spec, &outcome.points))
+}
+
+/// CSV twin of [`for_run`].
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] when the directory is not a readable run.
+pub fn for_run_csv(run_dir: &Path) -> Result<String, CorpusError> {
+    let (spec, outcome) = replay(run_dir)?;
+    Ok(to_csv(&spec, &outcome.points))
+}
+
+fn replay(run_dir: &Path) -> Result<(CorpusSpec, crate::engine::RunOutcome), CorpusError> {
+    resume(
+        run_dir,
+        &RunOptions {
+            workers: Some(1),
+            budget: Some(0),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec::parse_str(
+            r#"{"name": "report", "degrade": [1.0, 2.0, 4.0],
+                "base": {"gates": 20000, "bunch": 2000},
+                "backends": ["davis", "hefeida-site", "hefeida-occupancy"],
+                "designs": [{"name": "ref", "kind": "davis", "gates": 20000}]}"#,
+        )
+        .unwrap()
+    }
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ia-corpus-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn report_is_deterministic_and_carries_all_columns() {
+        let root = tmp_root("deterministic");
+        let spec = spec();
+        let outcome = run(&spec, &root, &RunOptions::default()).unwrap();
+        let text = render(&spec, &outcome.points);
+        assert!(text.contains("ia-corpus-v1"), "{text}");
+        assert!(text.contains("delta_vs_davis"), "{text}");
+        assert!(text.contains("cliff"), "{text}");
+        assert!(text.contains("hefeida-occupancy"), "{text}");
+        // The Davis rows are their own baseline.
+        assert!(text.contains("+0"), "{text}");
+        // Degradation metadata section exists and is invertible.
+        assert!(text.contains("exactly invertible"), "{text}");
+        assert!(text.contains("tail-stretch"), "{text}");
+
+        // Re-running changes nothing, byte for byte.
+        let again = run(&spec, &root, &RunOptions::default()).unwrap();
+        assert_eq!(render(&spec, &again.points), text);
+
+        // The replay path reproduces the identical bytes too.
+        let replayed = for_run(std::path::Path::new(&outcome.run_dir)).unwrap();
+        assert_eq!(replayed, text);
+        let csv = for_run_csv(std::path::Path::new(&outcome.run_dir)).unwrap();
+        assert_eq!(csv, to_csv(&spec, &outcome.points));
+        assert!(csv.starts_with("design,backend,gamma,key,rank,"), "{csv}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn heavy_degradation_flags_a_cliff() {
+        let root = tmp_root("cliff");
+        let spec = CorpusSpec::parse_str(
+            r#"{"name": "cliff", "degrade": [1.0, 8.0],
+                "base": {"gates": 20000, "bunch": 2000},
+                "backends": ["davis"],
+                "designs": [{"name": "ref", "kind": "davis", "gates": 20000}]}"#,
+        )
+        .unwrap();
+        let outcome = run(&spec, &root, &RunOptions::default()).unwrap();
+        let a = &outcome.points[0];
+        let b = &outcome.points[1];
+        assert!(b.solve.normalized <= a.solve.normalized);
+        // γ = 8 stretches the global tail hard enough to shed more
+        // than the cliff threshold of normalized rank.
+        if a.solve.normalized - b.solve.normalized > CLIFF_THRESHOLD {
+            assert!(is_cliff(&spec, &outcome.points, b));
+            assert!(render(&spec, &outcome.points).contains("CLIFF"));
+        }
+        assert!(!is_cliff(&spec, &outcome.points, a));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

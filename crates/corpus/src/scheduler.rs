@@ -1,0 +1,367 @@
+//! The bounded parallel corpus-point executor.
+//!
+//! The same shape as `ia-dse`'s scheduler — a fixed set of scoped
+//! worker threads draining one mutex-guarded deque, checking the
+//! [`PointCache`] before solving, under an optional fresh-solve
+//! budget — with one corpus-specific twist: a point's solve starts
+//! from a *wire-length distribution* chosen by its backend (the
+//! design's measured histogram, or a stochastic model evaluated at
+//! the design's gate count) rather than from the Davis closed form
+//! alone. Every worker registers with an [`ia_obs::MergeSink`], so
+//! `corpus.points.*` counters and `corpus.point` spans merge into the
+//! caller's snapshot.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use ia_obs::json::JsonValue;
+use ia_obs::log::{self as obs_log, LogLevel, RateLimit};
+use ia_obs::{counter_add, MergeSink};
+use ia_rank::sweep::{CachedSolve, PointCache};
+use ia_wld::RentParameters;
+
+use crate::design::DesignData;
+use crate::error::CorpusError;
+use crate::names;
+use crate::point::CorpusPoint;
+use crate::spec::{Backend, CorpusSpec};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Execution knobs for one corpus round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ExecOptions {
+    /// Worker-thread count (clamped to at least 1 and at most the
+    /// point count).
+    pub workers: usize,
+    /// Ceiling on **fresh solves** this round; cache hits are free.
+    /// The deterministic "kill" lever the resume tests and the CI
+    /// smoke job use.
+    pub budget: Option<u64>,
+}
+
+/// What one corpus round did.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ExecOutcome {
+    /// Per-point results, aligned with the input slice; `None` =
+    /// skipped (budget exhausted).
+    pub results: Vec<Option<CachedSolve>>,
+    /// Points solved fresh this round.
+    pub solved: u64,
+    /// Points answered by the cache this round.
+    pub cached: u64,
+    /// Points left unsolved this round.
+    pub skipped: u64,
+}
+
+/// Shared worker state for one round.
+struct Round<'a> {
+    spec: &'a CorpusSpec,
+    points: &'a [CorpusPoint],
+    designs: &'a [Option<DesignData>],
+    cache: &'a dyn PointCache,
+    queue: Mutex<VecDeque<usize>>,
+    results: Mutex<Vec<Option<CachedSolve>>>,
+    solved: AtomicU64,
+    cached: AtomicU64,
+    budget: Option<u64>,
+    budget_used: AtomicU64,
+    halt: AtomicBool,
+    error: Mutex<Option<CorpusError>>,
+}
+
+impl Round<'_> {
+    /// Claims one unit of fresh-solve budget, if any remains.
+    fn admit(&self) -> bool {
+        self.budget_used
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |used| {
+                match self.budget {
+                    Some(budget) if used >= budget => None,
+                    _ => Some(used + 1),
+                }
+            })
+            .is_ok()
+    }
+
+    fn record(&self, index: usize, value: CachedSolve) {
+        if let Some(slot) = lock(&self.results).get_mut(index) {
+            *slot = Some(value);
+        }
+    }
+
+    fn fail(&self, error: CorpusError) {
+        lock(&self.error).get_or_insert(error);
+        self.halt.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Solves one corpus point from its design's materialized data.
+fn solve_point(point: &CorpusPoint, data: &DesignData) -> Result<CachedSolve, CorpusError> {
+    let wld = match point.backend {
+        Backend::Measured => data.measured.clone().ok_or(CorpusError::Spec(
+            "measured backend reached a design with no measured distribution".to_owned(),
+        ))?,
+        Backend::Model(model) => model.generate(data.gates, RentParameters::default())?,
+    };
+    point.config.solve_with_wld(wld).map_err(CorpusError::Bind)
+}
+
+fn drain(round: &Round<'_>) {
+    loop {
+        if round.halt.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(index) = lock(&round.queue).pop_front() else {
+            return;
+        };
+        let Some(point) = round.points.get(index) else {
+            return;
+        };
+        let key = point.key(round.spec);
+        if let Some(hit) = round.cache.lookup(key) {
+            round.cached.fetch_add(1, Ordering::SeqCst);
+            counter_add(names::POINTS_CACHED, 1);
+            round.record(index, hit);
+            continue;
+        }
+        if !round.admit() {
+            // Budget exhausted: hand the point back for the skip
+            // count and retire this worker.
+            lock(&round.queue).push_front(index);
+            return;
+        }
+        let Some(data) = round.designs.get(point.design).and_then(Option::as_ref) else {
+            round.fail(CorpusError::Spec(format!(
+                "point {index} references unmaterialized design {}",
+                point.design
+            )));
+            return;
+        };
+        let outcome = {
+            let _span = ia_obs::span(names::POINT_SPAN);
+            solve_point(point, data)
+        };
+        match outcome {
+            Ok(value) => {
+                round.cache.store(key, value);
+                round.solved.fetch_add(1, Ordering::SeqCst);
+                counter_add(names::POINTS_SOLVED, 1);
+                // Rate-limited so a dense corpus logs a sample of its
+                // points, not all of them.
+                static POINT_LOG: RateLimit = RateLimit::new(256, 1_000_000_000);
+                obs_log::log_limited(
+                    &POINT_LOG,
+                    LogLevel::Debug,
+                    "corpus.point",
+                    "point solved",
+                    vec![
+                        ("key", JsonValue::Str(format!("{key:032x}"))),
+                        ("backend", JsonValue::Str(point.backend.label().to_owned())),
+                        ("rank", JsonValue::UInt(value.rank)),
+                    ],
+                );
+                round.record(index, value);
+            }
+            Err(e) => {
+                round.fail(e);
+                return;
+            }
+        }
+    }
+}
+
+/// Executes `points` against `cache` on a bounded worker pool.
+///
+/// # Errors
+///
+/// Returns the first point's [`CorpusError`] (WLD generation, bind,
+/// solve, or missing design data), or
+/// [`CorpusError::WorkerPanicked`] if a worker died.
+pub(crate) fn execute(
+    spec: &CorpusSpec,
+    points: &[CorpusPoint],
+    designs: &[Option<DesignData>],
+    cache: &dyn PointCache,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, CorpusError> {
+    let round = Round {
+        spec,
+        points,
+        designs,
+        cache,
+        queue: Mutex::new((0..points.len()).collect()),
+        results: Mutex::new(vec![None; points.len()]),
+        solved: AtomicU64::new(0),
+        cached: AtomicU64::new(0),
+        budget: opts.budget,
+        budget_used: AtomicU64::new(0),
+        halt: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+    let workers = opts.workers.clamp(1, points.len().max(1));
+    let sink = MergeSink::new();
+    // The correlation context is thread-local; carry the caller's into
+    // every worker so per-point records correlate to the run.
+    let ctx = ia_obs::current_context();
+    let mut panicked = false;
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let round = &round;
+            let sink = &sink;
+            handles.push(scope.spawn(move || {
+                let _guard = sink.register_worker(&format!("{}{i}", names::WORKER_PREFIX));
+                let _ctx = ia_obs::push_context(ctx);
+                drain(round);
+            }));
+        }
+        for handle in handles {
+            if handle.join().is_err() {
+                panicked = true;
+            }
+        }
+    });
+    // Merge the workers' counters and spans into the caller's
+    // thread-local collector before reporting anything.
+    sink.collect();
+    if panicked {
+        return Err(CorpusError::WorkerPanicked);
+    }
+    if let Some(error) = lock(&round.error).take() {
+        return Err(error);
+    }
+    let skipped = u64::try_from(lock(&round.queue).len()).unwrap_or(u64::MAX);
+    if skipped > 0 {
+        counter_add(names::POINTS_SKIPPED, skipped);
+    }
+    let results = lock(&round.results).clone();
+    Ok(ExecOutcome {
+        results,
+        solved: round.solved.load(Ordering::SeqCst),
+        cached: round.cached.load(Ordering::SeqCst),
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::expand;
+    use std::collections::BTreeMap;
+
+    /// A plain in-memory cache for scheduler tests.
+    #[derive(Default)]
+    struct MapCache {
+        map: Mutex<BTreeMap<u128, CachedSolve>>,
+    }
+
+    impl PointCache for MapCache {
+        fn key(&self, _x: f64) -> Option<u128> {
+            None
+        }
+        fn lookup(&self, key: u128) -> Option<CachedSolve> {
+            lock(&self.map).get(&key).copied()
+        }
+        fn store(&self, key: u128, value: CachedSolve) {
+            lock(&self.map).insert(key, value);
+        }
+    }
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec::parse_str(
+            r#"{"name": "sched", "degrade": [1.0, 2.0],
+                "base": {"gates": 20000, "bunch": 2000},
+                "backends": ["davis", "hefeida-site"],
+                "designs": [{"name": "ref", "kind": "davis", "gates": 20000}]}"#,
+        )
+        .unwrap()
+    }
+
+    fn designs() -> Vec<Option<DesignData>> {
+        vec![Some(DesignData {
+            gates: 20_000,
+            measured: None,
+        })]
+    }
+
+    #[test]
+    fn executes_all_points_and_reuses_the_cache() {
+        let spec = spec();
+        let points = expand(&spec);
+        assert_eq!(points.len(), 4);
+        let cache = MapCache::default();
+        let opts = ExecOptions {
+            workers: 3,
+            budget: None,
+        };
+        let first = execute(&spec, &points, &designs(), &cache, &opts).unwrap();
+        assert_eq!(first.solved, 4);
+        assert_eq!(first.cached, 0);
+        assert!(first.results.iter().all(Option::is_some));
+
+        let second = execute(&spec, &points, &designs(), &cache, &opts).unwrap();
+        assert_eq!(second.solved, 0);
+        assert_eq!(second.cached, 4);
+        assert_eq!(second.results, first.results);
+    }
+
+    #[test]
+    fn budget_stops_fresh_solves_but_not_cache_hits() {
+        let spec = spec();
+        let points = expand(&spec);
+        let cache = MapCache::default();
+        let budgeted = ExecOptions {
+            workers: 1,
+            budget: Some(2),
+        };
+        let first = execute(&spec, &points, &designs(), &cache, &budgeted).unwrap();
+        assert_eq!(first.solved, 2);
+        assert_eq!(first.skipped, 2);
+
+        let second = execute(&spec, &points, &designs(), &cache, &budgeted).unwrap();
+        assert_eq!(second.cached, 2);
+        assert_eq!(second.solved, 2);
+        assert_eq!(second.skipped, 0);
+    }
+
+    #[test]
+    fn backends_disagree_on_rank_at_the_same_scale() {
+        let spec = spec();
+        let points = expand(&spec);
+        let cache = MapCache::default();
+        let opts = ExecOptions {
+            workers: 2,
+            budget: None,
+        };
+        let outcome = execute(&spec, &points, &designs(), &cache, &opts).unwrap();
+        // Points 0..1 are davis at γ=1,2; points 2..3 hefeida-site.
+        let davis = outcome.results[0].unwrap();
+        let site = outcome.results[2].unwrap();
+        assert_ne!(davis.rank, site.rank);
+        // Degradation can only lose rank, never gain it.
+        assert!(outcome.results[1].unwrap().rank <= davis.rank);
+    }
+
+    #[test]
+    fn a_missing_design_is_a_loud_error() {
+        let spec = spec();
+        let points = expand(&spec);
+        let cache = MapCache::default();
+        let err = execute(
+            &spec,
+            &points,
+            &[None],
+            &cache,
+            &ExecOptions {
+                workers: 1,
+                budget: None,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unmaterialized"), "{err}");
+    }
+}

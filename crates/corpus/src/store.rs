@@ -1,0 +1,400 @@
+//! The resumable corpus run store: `runs/<run_id>/`.
+//!
+//! Same journal conventions as `ia-dse` runs — and deliberately so,
+//! since the two stores are operated side by side:
+//!
+//! * `manifest.json` — format version, corpus name, run id, and the
+//!   spec in canonical JSON (the manifest *is* the resume spec).
+//! * `results.jsonl` — append-only, one completed point per line:
+//!   `{"key": "<32-hex content address>", "solve": {...}}`, the solve
+//!   rendered by [`ia_dse::store::solve_to_json`]. Every append is
+//!   flushed; a torn **final** line is tolerated on load (the point
+//!   re-solves), corruption anywhere else is a loud
+//!   [`CorpusError::Corrupt`].
+//! * `designs/<name>/` — synthetic placements generated on demand, so
+//!   a resume re-streams the identical bytes.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use ia_dse::store::{solve_from_json, solve_to_json};
+use ia_obs::json::JsonValue;
+use ia_rank::sweep::{CachedSolve, PointCache};
+
+use crate::error::CorpusError;
+use crate::spec::CorpusSpec;
+
+/// Manifest schema version.
+const FORMAT: u64 = 1;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One corpus run directory with its append-only results log held
+/// open.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    log: Mutex<BufWriter<File>>,
+}
+
+impl RunStore {
+    /// Opens (or creates) the run directory for `spec` under
+    /// `runs_root`, returning the store and the already-completed
+    /// points. An existing directory is validated against the spec's
+    /// content hash, so two different specs can never share one store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Io`] for filesystem failures and
+    /// [`CorpusError::Corrupt`] for a manifest/spec mismatch or an
+    /// unreadable log.
+    pub fn open_or_create(
+        runs_root: &Path,
+        spec: &CorpusSpec,
+    ) -> Result<(RunStore, BTreeMap<u128, CachedSolve>), CorpusError> {
+        let dir = runs_root.join(spec.run_id());
+        let manifest_path = dir.join("manifest.json");
+        if manifest_path.is_file() {
+            let stored = read_manifest(&manifest_path)?;
+            if stored.spec_hash() != spec.spec_hash() {
+                return Err(CorpusError::Corrupt {
+                    path: manifest_path.display().to_string(),
+                    message: "existing run was created from a different spec".to_owned(),
+                });
+            }
+        } else {
+            fs::create_dir_all(&dir).map_err(|e| CorpusError::io(&dir, &e))?;
+            write_manifest(&manifest_path, spec)?;
+        }
+        let completed = load_results(&dir.join("results.jsonl"))?;
+        let store = RunStore::open_log(dir)?;
+        Ok((store, completed))
+    }
+
+    /// Opens an existing run directory for resumption, recovering the
+    /// spec from the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Io`] / [`CorpusError::Corrupt`] when the
+    /// directory is not a readable corpus run.
+    pub fn open(
+        run_dir: &Path,
+    ) -> Result<(RunStore, CorpusSpec, BTreeMap<u128, CachedSolve>), CorpusError> {
+        let spec = read_manifest(&run_dir.join("manifest.json"))?;
+        let completed = load_results(&run_dir.join("results.jsonl"))?;
+        let store = RunStore::open_log(run_dir.to_path_buf())?;
+        Ok((store, spec, completed))
+    }
+
+    fn open_log(dir: PathBuf) -> Result<RunStore, CorpusError> {
+        let path = dir.join("results.jsonl");
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CorpusError::io(&path, &e))?;
+        Ok(RunStore {
+            dir,
+            log: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The run directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one completed point and flushes it, so a kill after
+    /// this call never loses the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Io`] when the write or flush fails.
+    pub fn append(&self, key: u128, solve: &CachedSolve) -> Result<(), CorpusError> {
+        let line = JsonValue::Obj(vec![
+            ("key".to_owned(), JsonValue::Str(format!("{key:032x}"))),
+            ("solve".to_owned(), solve_to_json(solve)),
+        ])
+        .render();
+        let path = self.dir.join("results.jsonl");
+        let mut log = lock(&self.log);
+        log.write_all(line.as_bytes())
+            .and_then(|()| log.write_all(b"\n"))
+            .and_then(|()| log.flush())
+            .map_err(|e| CorpusError::io(&path, &e))
+    }
+}
+
+/// A [`PointCache`] over the run store plus an in-memory index:
+/// lookups answer from the index, stores append to disk first and
+/// then publish. Disk failures are latched (the cache hook cannot
+/// return errors) and surfaced after the round via
+/// [`StoreCache::take_error`].
+#[derive(Debug)]
+pub struct StoreCache<'s> {
+    store: &'s RunStore,
+    completed: Mutex<BTreeMap<u128, CachedSolve>>,
+    write_error: Mutex<Option<CorpusError>>,
+}
+
+impl<'s> StoreCache<'s> {
+    /// Wraps a store and the completed points loaded from it.
+    #[must_use]
+    pub fn new(store: &'s RunStore, completed: BTreeMap<u128, CachedSolve>) -> Self {
+        StoreCache {
+            store,
+            completed: Mutex::new(completed),
+            write_error: Mutex::new(None),
+        }
+    }
+
+    /// The first append failure recorded during execution, if any.
+    pub fn take_error(&self) -> Option<CorpusError> {
+        lock(&self.write_error).take()
+    }
+}
+
+impl PointCache for StoreCache<'_> {
+    fn key(&self, _x: f64) -> Option<u128> {
+        // The 1-D sweep entry point is unused: corpus points carry
+        // their own multi-axis content address.
+        None
+    }
+
+    fn lookup(&self, key: u128) -> Option<CachedSolve> {
+        lock(&self.completed).get(&key).copied()
+    }
+
+    fn store(&self, key: u128, value: CachedSolve) {
+        if let Err(e) = self.store.append(key, &value) {
+            let mut slot = lock(&self.write_error);
+            slot.get_or_insert(e);
+        }
+        lock(&self.completed).insert(key, value);
+    }
+}
+
+fn write_manifest(path: &Path, spec: &CorpusSpec) -> Result<(), CorpusError> {
+    let doc = JsonValue::Obj(vec![
+        ("format".to_owned(), JsonValue::UInt(FORMAT)),
+        ("name".to_owned(), JsonValue::Str(spec.name.clone())),
+        ("run_id".to_owned(), JsonValue::Str(spec.run_id())),
+        ("spec".to_owned(), spec.to_json()),
+        (
+            "spec_hash".to_owned(),
+            JsonValue::Str(format!("{:032x}", spec.spec_hash())),
+        ),
+    ]);
+    fs::write(path, doc.render()).map_err(|e| CorpusError::io(path, &e))
+}
+
+fn read_manifest(path: &Path) -> Result<CorpusSpec, CorpusError> {
+    let corrupt = |message: String| CorpusError::Corrupt {
+        path: path.display().to_string(),
+        message,
+    };
+    let text = fs::read_to_string(path).map_err(|e| CorpusError::io(path, &e))?;
+    let doc = JsonValue::parse(&text).map_err(|e| corrupt(format!("bad manifest JSON: {e}")))?;
+    let format = doc
+        .get("format")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| corrupt("manifest has no `format`".to_owned()))?;
+    if format != FORMAT {
+        return Err(corrupt(format!(
+            "manifest format {format} is not the supported {FORMAT}"
+        )));
+    }
+    let spec_doc = doc
+        .get("spec")
+        .ok_or_else(|| corrupt("manifest has no `spec`".to_owned()))?;
+    let spec = CorpusSpec::from_json(spec_doc).map_err(|e| corrupt(e.to_string()))?;
+    let stored_hash = doc
+        .get("spec_hash")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    if stored_hash != format!("{:032x}", spec.spec_hash()) {
+        return Err(corrupt("manifest spec hash mismatch".to_owned()));
+    }
+    Ok(spec)
+}
+
+fn load_results(path: &Path) -> Result<BTreeMap<u128, CachedSolve>, CorpusError> {
+    let mut completed = BTreeMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(completed),
+        Err(e) => return Err(CorpusError::io(path, &e)),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    for (index, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_result_line(line) {
+            Ok((key, solve)) => {
+                completed.insert(key, solve);
+            }
+            // A torn final line is the expected shape of a kill
+            // mid-append: drop it (the point re-solves). Anything
+            // earlier means real corruption.
+            Err(_) if index + 1 == lines.len() => {}
+            Err(message) => {
+                return Err(CorpusError::Corrupt {
+                    path: path.display().to_string(),
+                    message: format!("line {}: {message}", index + 1),
+                });
+            }
+        }
+    }
+    Ok(completed)
+}
+
+fn parse_result_line(line: &str) -> Result<(u128, CachedSolve), String> {
+    let doc = JsonValue::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let key_hex = doc
+        .get("key")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing `key`".to_owned())?;
+    let key = u128::from_str_radix(key_hex, 16).map_err(|e| format!("bad key: {e}"))?;
+    let solve_doc = doc
+        .get("solve")
+        .ok_or_else(|| "missing `solve`".to_owned())?;
+    let solve = solve_from_json(solve_doc)?;
+    Ok((key, solve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec::parse_str(
+            r#"{"name": "store-test",
+                "designs": [{"name": "ref", "kind": "davis", "gates": 20000}]}"#,
+        )
+        .unwrap()
+    }
+
+    fn solve(rank: u64) -> CachedSolve {
+        CachedSolve {
+            rank,
+            normalized: 0.25,
+            total_wires: rank * 4,
+            fully_assignable: true,
+            repeater_count: 2,
+            repeater_area_m2: 1.0e-7,
+            die_area_m2: 1.0e-4,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ia-corpus-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_points_and_spec() {
+        let root = tmp_dir("reopen");
+        let spec = spec();
+        let (store, completed) = RunStore::open_or_create(&root, &spec).unwrap();
+        assert!(completed.is_empty());
+        store.append(7, &solve(3)).unwrap();
+        let run_dir = store.dir().to_path_buf();
+        drop(store);
+
+        let (_, reopened, completed) = RunStore::open(&run_dir).unwrap();
+        assert_eq!(reopened, spec);
+        assert_eq!(completed.get(&7).unwrap().rank, 3);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_mid_file_corruption_is_not() {
+        let root = tmp_dir("torn");
+        let spec = spec();
+        let (store, _) = RunStore::open_or_create(&root, &spec).unwrap();
+        store.append(1, &solve(5)).unwrap();
+        let log = store.dir().join("results.jsonl");
+        let run_dir = store.dir().to_path_buf();
+        drop(store);
+
+        let mut text = fs::read_to_string(&log).unwrap();
+        text.push_str("{\"key\":\"02\",\"solve\":{\"rank\"");
+        fs::write(&log, &text).unwrap();
+        let (_, _, completed) = RunStore::open(&run_dir).unwrap();
+        assert_eq!(completed.len(), 1);
+
+        let torn_then_good = format!(
+            "{}\n{}",
+            "{\"key\":\"02\",\"solve\":{\"rank\"",
+            JsonValue::Obj(vec![
+                ("key".to_owned(), JsonValue::Str(format!("{:032x}", 3u128))),
+                ("solve".to_owned(), solve_to_json(&solve(9))),
+            ])
+            .render()
+        );
+        fs::write(&log, torn_then_good).unwrap();
+        let err = RunStore::open(&run_dir).unwrap_err();
+        assert!(matches!(err, CorpusError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_different_spec_cannot_reuse_a_run_directory() {
+        let root = tmp_dir("mismatch");
+        let spec = spec();
+        let (store, _) = RunStore::open_or_create(&root, &spec).unwrap();
+        let run_dir = store.dir().to_path_buf();
+        drop(store);
+
+        let manifest = run_dir.join("manifest.json");
+        let text = fs::read_to_string(&manifest)
+            .unwrap()
+            .replace("store-test", "forged-name");
+        fs::write(&manifest, text).unwrap();
+        assert!(matches!(
+            RunStore::open(&run_dir).unwrap_err(),
+            CorpusError::Corrupt { .. }
+        ));
+
+        let mut other = spec.clone();
+        other.name = "other".to_owned();
+        // Restore a valid manifest, then try to open with a different
+        // spec through open_or_create.
+        let _ = fs::remove_dir_all(&root);
+        let (store, _) = RunStore::open_or_create(&root, &spec).unwrap();
+        drop(store);
+        // Same directory name would be needed for a collision; force
+        // it by renaming other's run dir onto spec's.
+        let clash = root.join(other.run_id());
+        fs::rename(run_dir, &clash).unwrap();
+        assert!(matches!(
+            RunStore::open_or_create(&root, &other).unwrap_err(),
+            CorpusError::Corrupt { .. }
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_cache_latches_append_failures() {
+        let root = tmp_dir("latch");
+        let spec = spec();
+        let (store, completed) = RunStore::open_or_create(&root, &spec).unwrap();
+        let cache = StoreCache::new(&store, completed);
+        assert!(cache.lookup(7).is_none());
+        cache.store(7, solve(4));
+        assert_eq!(cache.lookup(7).unwrap().rank, 4);
+        assert!(cache.take_error().is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -96,4 +96,7 @@ pub mod names {
     pub const FLEET_DISPATCHED: &str = "fleet.dispatched";
     /// Coordinator: remote results accepted and matched to a lease.
     pub const FLEET_RESULTS: &str = "fleet.results";
+    /// Worker: result-upload attempts retried after a transport error
+    /// (capped exponential backoff; the first attempt is not counted).
+    pub const FLEET_UPLOAD_RETRIES: &str = "fleet.upload_retries";
 }

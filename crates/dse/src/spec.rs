@@ -51,6 +51,10 @@ pub enum Knob {
     SemiGlobal,
     /// Local layer-pair count.
     Local,
+    /// Placement-suboptimality factor `γ` (the corpus stress axis):
+    /// `1.0` is the pristine closed-form WLD, larger values stretch
+    /// the distribution's tail before solving.
+    Corpus,
 }
 
 impl Knob {
@@ -70,9 +74,10 @@ impl Knob {
             "global" => Ok(Knob::Global),
             "semi_global" => Ok(Knob::SemiGlobal),
             "local" => Ok(Knob::Local),
+            "corpus" => Ok(Knob::Corpus),
             other => Err(bad(format!(
                 "unknown knob `{other}` (expected k, m, c, r, gates, bunch, \
-                 global, semi_global or local)"
+                 global, semi_global, local or corpus)"
             ))),
         }
     }
@@ -90,6 +95,7 @@ impl Knob {
             Knob::Global => "global",
             Knob::SemiGlobal => "semi_global",
             Knob::Local => "local",
+            Knob::Corpus => "corpus",
         }
     }
 
@@ -132,6 +138,12 @@ impl Knob {
             Knob::Global => config.global = self.count(x)?,
             Knob::SemiGlobal => config.semi_global = self.count(x)?,
             Knob::Local => config.local = self.count(x)?,
+            Knob::Corpus => {
+                if x < 1.0 {
+                    return Err(bad(format!("axis `corpus` value {x} is below 1 (γ ≥ 1)")));
+                }
+                config.degrade = x;
+            }
         }
         Ok(())
     }
@@ -494,7 +506,7 @@ impl ExperimentSpec {
 #[must_use]
 pub fn config_to_json(config: &BoundConfig) -> JsonValue {
     let k = config.k.map_or(JsonValue::Null, JsonValue::Num);
-    JsonValue::Obj(vec![
+    let mut fields = vec![
         ("bunch".to_owned(), JsonValue::UInt(config.bunch)),
         ("clock_mhz".to_owned(), JsonValue::Num(config.clock_mhz)),
         ("fraction".to_owned(), JsonValue::Num(config.fraction)),
@@ -508,7 +520,13 @@ pub fn config_to_json(config: &BoundConfig) -> JsonValue {
             "semi_global".to_owned(),
             JsonValue::UInt(config.semi_global),
         ),
-    ])
+    ];
+    // Identity γ is elided so pre-corpus manifests, wire messages and
+    // their hashes are byte-identical to what older binaries produced.
+    if config.degrade != 1.0 {
+        fields.insert(2, ("degrade".to_owned(), JsonValue::Num(config.degrade)));
+    }
+    JsonValue::Obj(fields)
 }
 
 /// Parses a configuration rendered by [`config_to_json`] — the wire
@@ -585,6 +603,11 @@ pub(crate) fn apply_config_field(
         "local" => {
             config.local =
                 as_u64(value).ok_or_else(|| bad("`local` must be a non-negative integer"))?;
+        }
+        "degrade" => {
+            config.degrade = value
+                .as_f64()
+                .ok_or_else(|| bad("`degrade` must be a number"))?;
         }
         other => return Err(bad(format!("unknown field `{other}` in `base`"))),
     }
@@ -794,10 +817,16 @@ fn parse_strategy(doc: &JsonValue) -> Result<Strategy, DseError> {
 /// single-line arrays of scalars. That is the whole grammar an
 /// experiment file needs; anything else is a parse error, never a
 /// silent misread.
-mod toml_subset {
+pub mod toml_subset {
     use ia_obs::json::JsonValue;
 
-    pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+    /// Parses the TOML subset into a [`JsonValue`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `TOML line N: …` message for anything outside the
+    /// subset grammar.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
         let mut root = JsonValue::Obj(Vec::new());
         // The table the next `key = value` lines land in.
         let mut current: Vec<String> = Vec::new();
@@ -1152,6 +1181,28 @@ steps = 3
                 "strategy": {"random": {"points": 5}}}"#,
         )
         .is_err());
+    }
+
+    #[test]
+    fn corpus_knob_sweeps_the_degrade_axis() {
+        let spec = ExperimentSpec::parse_str(
+            r#"{"name": "stress", "axes": [{"knob": "corpus", "values": [1.0, 1.5, 2.0]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.axes[0].knob, Knob::Corpus);
+        assert!(!Knob::Corpus.is_integer());
+        let mut config = BoundConfig::default();
+        Knob::Corpus.apply(&mut config, 1.5).unwrap();
+        assert!((config.degrade - 1.5).abs() < f64::EPSILON);
+        // γ < 1 would *improve* the placement; the axis refuses it.
+        assert!(Knob::Corpus.apply(&mut config, 0.9).is_err());
+        // The wire form round-trips the degraded configuration exactly
+        // and elides the identity factor.
+        let wire = config_to_json(&config);
+        assert_eq!(config_from_json(&wire).unwrap(), config);
+        assert!(wire.render().contains("\"degrade\""));
+        let pristine = config_to_json(&BoundConfig::default());
+        assert!(!pristine.render().contains("\"degrade\""));
     }
 
     #[test]

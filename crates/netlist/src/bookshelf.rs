@@ -1,0 +1,565 @@
+//! Streaming Bookshelf-subset ingestion.
+//!
+//! The Bookshelf placement benchmark format splits a design across
+//! three files: `.nodes` (cell names and sizes), `.nets` (pin lists)
+//! and `.pl` (placed coordinates). Real corpus designs run to millions
+//! of nets, so — unlike [`crate::Placement`], which materializes every
+//! net — this reader derives the measured [`Wld`] in a **single
+//! bounded-memory pass**: each net is folded into the length histogram
+//! as its pins stream by and then forgotten. Resident state is the
+//! cell-position table (`O(cells)`) plus the histogram
+//! (`O(distinct lengths)`, tens of KB even for million-net designs);
+//! the net list itself never exists in memory.
+//!
+//! The supported subset (enough for the classic ISPD/ICCAD suites):
+//!
+//! ```text
+//! design.nodes:  UCLA nodes 1.0          design.pl:  UCLA pl 1.0
+//!                NumNodes : 2                        a 0 0 : N
+//!                NumTerminals : 0                    b 3 4 : N
+//!                a 1 1
+//!                b 1 1
+//!
+//! design.nets:   UCLA nets 1.0
+//!                NumNets : 1
+//!                NumPins : 2
+//!                NetDegree : 2  n0
+//!                    a I : 0 0
+//!                    b O : 0 0
+//! ```
+//!
+//! Comment lines (`#`) and blank lines are skipped everywhere; pin
+//! direction and offsets are accepted and ignored (lengths are measured
+//! between cell origins, in gate pitches); `NumNodes`/`NumNets`/
+//! `NumPins` headers are validated against the streamed counts.
+//!
+//! Every pass publishes `corpus.ingest.*` counters (see [`names`]) so
+//! callers can assert the bounded-memory claim from telemetry: the
+//! histogram's peak entry count is reported, not inferred from RSS.
+
+use crate::{NetModel, NetlistError};
+use ia_wld::Wld;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Counter and span names published by the streaming ingester.
+pub mod names {
+    /// Cells read from the `.nodes` file.
+    pub const INGEST_CELLS: &str = "corpus.ingest.cells";
+    /// Nets folded into the histogram.
+    pub const INGEST_NETS: &str = "corpus.ingest.nets";
+    /// Pins streamed across all nets.
+    pub const INGEST_PINS: &str = "corpus.ingest.pins";
+    /// Zero-length connections dropped (Davis support starts at 1).
+    pub const INGEST_DROPPED: &str = "corpus.ingest.dropped_zero_length";
+    /// Peak number of distinct lengths resident in the histogram —
+    /// the measured bound on the fold's working state.
+    pub const INGEST_DISTINCT: &str = "corpus.ingest.distinct_lengths";
+    /// Span covering one whole three-file ingest pass.
+    pub const SPAN_INGEST: &str = "corpus.ingest";
+}
+
+/// Outcome of one streaming pass: the measured distribution plus the
+/// stream statistics the corpus report records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// The measured wire-length distribution.
+    pub wld: Wld,
+    /// Cells declared by the `.nodes` file.
+    pub cells: u64,
+    /// Nets folded.
+    pub nets: u64,
+    /// Pins streamed.
+    pub pins: u64,
+    /// Connections dropped for having zero length.
+    pub dropped_zero_length: u64,
+}
+
+/// Running fold state: one net's bounding box / driver position plus
+/// the global histogram. This — not a net list — is all the pass keeps.
+struct Fold {
+    model: NetModel,
+    counts: BTreeMap<u64, u64>,
+    pins: u64,
+    dropped: u64,
+    // Current net's accumulator.
+    driver: Option<(i64, i64)>,
+    bbox: Option<(i64, i64, i64, i64)>,
+}
+
+impl Fold {
+    fn new(model: NetModel) -> Self {
+        Self {
+            model,
+            counts: BTreeMap::new(),
+            pins: 0,
+            dropped: 0,
+            driver: None,
+            bbox: None,
+        }
+    }
+
+    fn record(&mut self, length: u64) -> Result<(), NetlistError> {
+        if length == 0 {
+            self.dropped += 1;
+            return Ok(());
+        }
+        let slot = self.counts.entry(length).or_insert(0);
+        *slot = slot
+            .checked_add(1)
+            .ok_or(NetlistError::CountOverflow { length })?;
+        Ok(())
+    }
+
+    /// Folds one pin of the current net.
+    fn pin(&mut self, x: i64, y: i64) -> Result<(), NetlistError> {
+        self.pins += 1;
+        match self.model {
+            NetModel::Star => match self.driver {
+                None => self.driver = Some((x, y)),
+                Some((dx, dy)) => self.record(dx.abs_diff(x) + dy.abs_diff(y))?,
+            },
+            NetModel::Hpwl => {
+                self.bbox = Some(match self.bbox {
+                    None => (x, x, y, y),
+                    Some((min_x, max_x, min_y, max_y)) => {
+                        (min_x.min(x), max_x.max(x), min_y.min(y), max_y.max(y))
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the current net (folds an HPWL box, resets accumulators).
+    fn finish_net(&mut self) -> Result<(), NetlistError> {
+        if let Some((min_x, max_x, min_y, max_y)) = self.bbox.take() {
+            self.record((max_x - min_x) as u64 + (max_y - min_y) as u64)?;
+        }
+        self.driver = None;
+        Ok(())
+    }
+}
+
+/// Splits a Bookshelf line into whitespace/colon-separated tokens.
+fn tokens(line: &str) -> Vec<&str> {
+    line.split(|c: char| c.is_whitespace() || c == ':')
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn is_noise(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with('#') || t.starts_with("UCLA")
+}
+
+fn parse_coord(raw: &str, line: usize) -> Result<i64, NetlistError> {
+    // Placements are integer gate pitches in this subset; accept a
+    // trailing `.0` float spelling, which several generators emit.
+    let cleaned = raw.strip_suffix(".0").unwrap_or(raw);
+    cleaned.parse().map_err(|e| NetlistError::Parse {
+        line,
+        message: format!("bad coordinate `{raw}`: {e}"),
+    })
+}
+
+fn parse_count(raw: &str, what: &str, line: usize) -> Result<u64, NetlistError> {
+    raw.parse().map_err(|e| NetlistError::Parse {
+        line,
+        message: format!("bad {what} `{raw}`: {e}"),
+    })
+}
+
+/// Streams the `.pl` file into the cell-position table.
+fn read_positions<R: BufRead>(reader: R) -> Result<BTreeMap<String, (i64, i64)>, NetlistError> {
+    let mut positions = BTreeMap::new();
+    for (idx, line) in read_lines(reader)? {
+        if is_noise(&line) {
+            continue;
+        }
+        let t = tokens(&line);
+        if t.len() < 3 {
+            return Err(NetlistError::Parse {
+                line: idx,
+                message: "expected `<name> <x> <y> [: orientation]`".to_owned(),
+            });
+        }
+        let x = parse_coord(t[1], idx)?;
+        let y = parse_coord(t[2], idx)?;
+        if positions.insert(t[0].to_owned(), (x, y)).is_some() {
+            return Err(NetlistError::DuplicateCell {
+                name: t[0].to_owned(),
+            });
+        }
+    }
+    Ok(positions)
+}
+
+/// Streams the `.nodes` file, returning the validated cell count.
+fn read_nodes<R: BufRead>(
+    reader: R,
+    positions: &BTreeMap<String, (i64, i64)>,
+) -> Result<u64, NetlistError> {
+    let mut declared: Option<u64> = None;
+    let mut seen: u64 = 0;
+    for (idx, line) in read_lines(reader)? {
+        if is_noise(&line) {
+            continue;
+        }
+        let t = tokens(&line);
+        match t.as_slice() {
+            ["NumNodes", n] => declared = Some(parse_count(n, "NumNodes", idx)?),
+            ["NumTerminals", n] => {
+                parse_count(n, "NumTerminals", idx)?;
+            }
+            [name, ..] => {
+                seen += 1;
+                if !positions.contains_key(*name) {
+                    return Err(NetlistError::UnplacedCell {
+                        cell: (*name).to_owned(),
+                    });
+                }
+            }
+            // A line of only separators tokenizes to nothing: noise.
+            [] => {}
+        }
+    }
+    if let Some(expected) = declared {
+        if expected != seen {
+            return Err(NetlistError::CountMismatch {
+                what: "NumNodes",
+                declared: expected,
+                seen,
+            });
+        }
+    }
+    Ok(seen)
+}
+
+/// Reads lines with 1-based numbering, converting IO errors.
+fn read_lines<R: BufRead>(
+    reader: R,
+) -> Result<impl Iterator<Item = (usize, String)>, NetlistError> {
+    let lines: Vec<String> =
+        reader
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| NetlistError::Io {
+                path: "<stream>".to_owned(),
+                message: e.to_string(),
+            })?;
+    Ok(lines.into_iter().enumerate().map(|(i, l)| (i + 1, l)))
+}
+
+/// Streams the `.nets` file through the per-net fold.
+fn fold_nets<R: BufRead>(
+    reader: R,
+    positions: &BTreeMap<String, (i64, i64)>,
+    model: NetModel,
+) -> Result<(Fold, u64), NetlistError> {
+    let mut fold = Fold::new(model);
+    let mut declared_nets: Option<u64> = None;
+    let mut declared_pins: Option<u64> = None;
+    let mut nets: u64 = 0;
+    let mut remaining_pins: u64 = 0;
+    let mut current_net = String::new();
+    for (idx, line) in read_lines(reader)? {
+        if is_noise(&line) {
+            continue;
+        }
+        let t = tokens(&line);
+        match t.as_slice() {
+            ["NumNets", n] => declared_nets = Some(parse_count(n, "NumNets", idx)?),
+            ["NumPins", n] => declared_pins = Some(parse_count(n, "NumPins", idx)?),
+            ["NetDegree", degree, rest @ ..] => {
+                if remaining_pins != 0 {
+                    return Err(NetlistError::Parse {
+                        line: idx,
+                        message: format!(
+                            "net `{current_net}` is missing {remaining_pins} pin line(s)"
+                        ),
+                    });
+                }
+                fold.finish_net()?;
+                let degree = parse_count(degree, "NetDegree", idx)?;
+                if degree < 2 {
+                    return Err(NetlistError::DegenerateNet {
+                        net: rest
+                            .first()
+                            .map_or_else(|| format!("<line {idx}>"), |n| (*n).to_owned()),
+                    });
+                }
+                current_net = rest
+                    .first()
+                    .map_or_else(|| format!("<line {idx}>"), |n| (*n).to_owned());
+                remaining_pins = degree;
+                nets += 1;
+            }
+            [name, ..] => {
+                if remaining_pins == 0 {
+                    return Err(NetlistError::Parse {
+                        line: idx,
+                        message: format!("pin `{name}` outside any NetDegree record"),
+                    });
+                }
+                let &(x, y) = positions
+                    .get(*name)
+                    .ok_or_else(|| NetlistError::UnknownCell {
+                        net: current_net.clone(),
+                        cell: (*name).to_owned(),
+                    })?;
+                fold.pin(x, y)?;
+                remaining_pins -= 1;
+            }
+            // A line of only separators tokenizes to nothing: noise.
+            [] => {}
+        }
+    }
+    if remaining_pins != 0 {
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: format!("net `{current_net}` truncated: {remaining_pins} pin line(s) missing"),
+        });
+    }
+    fold.finish_net()?;
+    if let Some(expected) = declared_nets {
+        if expected != nets {
+            return Err(NetlistError::CountMismatch {
+                what: "NumNets",
+                declared: expected,
+                seen: nets,
+            });
+        }
+    }
+    if let Some(expected) = declared_pins {
+        if expected != fold.pins {
+            return Err(NetlistError::CountMismatch {
+                what: "NumPins",
+                declared: expected,
+                seen: fold.pins,
+            });
+        }
+    }
+    Ok((fold, nets))
+}
+
+/// Ingests a Bookshelf design from in-memory text (tests, proptests).
+///
+/// # Errors
+///
+/// Same contract as [`ingest_files`].
+pub fn ingest_str(
+    nodes: &str,
+    nets: &str,
+    pl: &str,
+    model: NetModel,
+) -> Result<IngestOutcome, NetlistError> {
+    ingest_readers(nodes.as_bytes(), nets.as_bytes(), pl.as_bytes(), model)
+}
+
+/// Ingests a Bookshelf design from its three files in one streaming
+/// pass, deriving the measured WLD.
+///
+/// # Errors
+///
+/// * [`NetlistError::Parse`] (with line number) for malformed records;
+/// * [`NetlistError::CountMismatch`] when a `Num*` header disagrees
+///   with the streamed count;
+/// * [`NetlistError::UnknownCell`] / [`NetlistError::UnplacedCell`] /
+///   [`NetlistError::DuplicateCell`] for referential problems;
+/// * [`NetlistError::DegenerateNet`] for `NetDegree < 2`;
+/// * [`NetlistError::CountOverflow`] if a length's count exceeds `u64`;
+/// * [`NetlistError::Empty`] / [`NetlistError::AllZeroLength`] when no
+///   measurable wire survives;
+/// * [`NetlistError::Io`] for filesystem errors.
+pub fn ingest_files(
+    nodes: &std::path::Path,
+    nets: &std::path::Path,
+    pl: &std::path::Path,
+    model: NetModel,
+) -> Result<IngestOutcome, NetlistError> {
+    let open = |path: &std::path::Path| -> Result<_, NetlistError> {
+        std::fs::File::open(path)
+            .map(std::io::BufReader::new)
+            .map_err(|e| NetlistError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+    };
+    ingest_readers(open(nodes)?, open(nets)?, open(pl)?, model)
+}
+
+/// The shared streaming pass over any three line sources.
+fn ingest_readers<R1: BufRead, R2: BufRead, R3: BufRead>(
+    nodes: R1,
+    nets: R2,
+    pl: R3,
+    model: NetModel,
+) -> Result<IngestOutcome, NetlistError> {
+    let _span = ia_obs::span(names::SPAN_INGEST);
+    let positions = read_positions(pl)?;
+    let cells = read_nodes(nodes, &positions)?;
+    if positions.len() as u64 != cells {
+        return Err(NetlistError::CountMismatch {
+            what: "placed cells",
+            declared: cells,
+            seen: positions.len() as u64,
+        });
+    }
+    let (fold, net_count) = fold_nets(nets, &positions, model)?;
+    if net_count == 0 {
+        return Err(NetlistError::Empty);
+    }
+    ia_obs::counter_add(names::INGEST_CELLS, cells);
+    ia_obs::counter_add(names::INGEST_NETS, net_count);
+    ia_obs::counter_add(names::INGEST_PINS, fold.pins);
+    ia_obs::counter_add(names::INGEST_DROPPED, fold.dropped);
+    ia_obs::counter_max(names::INGEST_DISTINCT, fold.counts.len() as u64);
+    let wld = Wld::from_pairs(fold.counts).map_err(|_| NetlistError::AllZeroLength)?;
+    Ok(IngestOutcome {
+        wld,
+        cells,
+        nets: net_count,
+        pins: fold.pins,
+        dropped_zero_length: fold.dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES: &str =
+        "UCLA nodes 1.0\n# comment\nNumNodes : 4\nNumTerminals : 0\na 1 1\nb 1 1\nc 1 1\nd 1 1\n";
+    const PL: &str = "UCLA pl 1.0\na 0 0 : N\nb 3 4 : N\nc 0 9 : N\nd 3 0 : N\n";
+    const NETS: &str = "UCLA nets 1.0\nNumNets : 2\nNumPins : 5\n\
+        NetDegree : 3 n1\n  a I : 0 0\n  b O : 0 0\n  c O : 0 0\n\
+        NetDegree : 2 n2\n  d I : 0 0\n  b O : 0 0\n";
+
+    #[test]
+    fn star_matches_the_placement_extractor() {
+        // Same toy design as placement.rs's sample(): a→b = 7, a→c = 9,
+        // d→b = 4.
+        let out = ingest_str(NODES, NETS, PL, NetModel::Star).unwrap();
+        assert_eq!(out.cells, 4);
+        assert_eq!(out.nets, 2);
+        assert_eq!(out.pins, 5);
+        assert_eq!(out.dropped_zero_length, 0);
+        assert_eq!(out.wld.total_wires(), 3);
+        assert_eq!(out.wld.count_of(7), 1);
+        assert_eq!(out.wld.count_of(9), 1);
+        assert_eq!(out.wld.count_of(4), 1);
+    }
+
+    #[test]
+    fn hpwl_folds_one_box_per_net() {
+        let out = ingest_str(NODES, NETS, PL, NetModel::Hpwl).unwrap();
+        assert_eq!(out.wld.total_wires(), 2);
+        assert_eq!(out.wld.count_of(12), 1); // n1 bbox 3 + 9
+        assert_eq!(out.wld.count_of(4), 1); // n2 bbox 0 + 4
+    }
+
+    #[test]
+    fn header_count_mismatches_are_rejected() {
+        let bad_nodes = NODES.replace("NumNodes : 4", "NumNodes : 5");
+        assert!(matches!(
+            ingest_str(&bad_nodes, NETS, PL, NetModel::Star).unwrap_err(),
+            NetlistError::CountMismatch {
+                what: "NumNodes",
+                ..
+            }
+        ));
+        let bad_nets = NETS.replace("NumNets : 2", "NumNets : 3");
+        assert!(matches!(
+            ingest_str(NODES, &bad_nets, PL, NetModel::Star).unwrap_err(),
+            NetlistError::CountMismatch {
+                what: "NumNets",
+                ..
+            }
+        ));
+        let bad_pins = NETS.replace("NumPins : 5", "NumPins : 6");
+        assert!(matches!(
+            ingest_str(NODES, &bad_pins, PL, NetModel::Star).unwrap_err(),
+            NetlistError::CountMismatch {
+                what: "NumPins",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_and_malformed_records_are_parse_errors() {
+        // Net cut off before its pins arrive.
+        let truncated = "NumNets : 1\nNumPins : 3\nNetDegree : 3 n1\n  a I : 0 0\n";
+        assert!(matches!(
+            ingest_str(NODES, truncated, PL, NetModel::Star).unwrap_err(),
+            NetlistError::Parse { .. }
+        ));
+        // Pin with no enclosing net.
+        let orphan = "NumNets : 0\nNumPins : 0\n  a I : 0 0\n";
+        assert!(matches!(
+            ingest_str(NODES, orphan, PL, NetModel::Star).unwrap_err(),
+            NetlistError::Parse { .. }
+        ));
+        // Bad coordinate.
+        let bad_pl = "a zero 0 : N\n";
+        assert!(matches!(
+            ingest_str(NODES, NETS, bad_pl, NetModel::Star).unwrap_err(),
+            NetlistError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn referential_problems_are_typed() {
+        let ghost_net = NETS.replace("  d I : 0 0", "  ghost I : 0 0");
+        assert!(matches!(
+            ingest_str(NODES, &ghost_net, PL, NetModel::Star).unwrap_err(),
+            NetlistError::UnknownCell { .. }
+        ));
+        let dup_pl = format!("{PL}a 1 1 : N\n");
+        assert!(matches!(
+            ingest_str(NODES, NETS, &dup_pl, NetModel::Star).unwrap_err(),
+            NetlistError::DuplicateCell { .. }
+        ));
+        let unplaced_nodes = format!("{NODES}e 1 1\n");
+        assert!(matches!(
+            ingest_str(&unplaced_nodes, NETS, PL, NetModel::Star).unwrap_err(),
+            NetlistError::UnplacedCell { .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_and_empty_designs_are_rejected() {
+        let degenerate = "NumNets : 1\nNumPins : 1\nNetDegree : 1 n1\n  a I : 0 0\n";
+        assert!(matches!(
+            ingest_str(NODES, degenerate, PL, NetModel::Star).unwrap_err(),
+            NetlistError::DegenerateNet { .. }
+        ));
+        assert_eq!(
+            ingest_str(NODES, "NumNets : 0\nNumPins : 0\n", PL, NetModel::Star).unwrap_err(),
+            NetlistError::Empty
+        );
+        // All terminals coincident → nothing measurable.
+        let flat_pl = "a 0 0 : N\nb 0 0 : N\nc 0 0 : N\nd 0 0 : N\n";
+        assert_eq!(
+            ingest_str(NODES, NETS, flat_pl, NetModel::Star).unwrap_err(),
+            NetlistError::AllZeroLength
+        );
+    }
+
+    #[test]
+    fn ingest_publishes_bounded_state_counters() {
+        ia_obs::set_enabled(true);
+        ia_obs::reset();
+        let out = ingest_str(NODES, NETS, PL, NetModel::Star).unwrap();
+        let snapshot = ia_obs::snapshot();
+        assert_eq!(snapshot.counter(names::INGEST_NETS), Some(2));
+        assert_eq!(snapshot.counter(names::INGEST_PINS), Some(5));
+        assert_eq!(
+            snapshot.counter(names::INGEST_DISTINCT),
+            Some(out.wld.distinct_lengths() as u64)
+        );
+        ia_obs::set_enabled(false);
+        ia_obs::reset();
+    }
+}

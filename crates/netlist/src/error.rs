@@ -30,6 +30,25 @@ pub enum NetlistError {
         /// The offending net.
         net: String,
     },
+    /// A Bookshelf `.nodes` cell has no `.pl` position.
+    UnplacedCell {
+        /// The cell with no placement record.
+        cell: String,
+    },
+    /// A Bookshelf `Num*` header disagrees with the streamed count.
+    CountMismatch {
+        /// Which header (e.g. `"NumNets"`).
+        what: &'static str,
+        /// The count the header declared.
+        declared: u64,
+        /// The count actually streamed.
+        seen: u64,
+    },
+    /// A length's wire count exceeded `u64` during the streaming fold.
+    CountOverflow {
+        /// The length whose count overflowed.
+        length: u64,
+    },
     /// The placement has no nets (nothing to extract).
     Empty,
     /// All extracted connections have zero length (all terminals of
@@ -58,6 +77,19 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DegenerateNet { net } => {
                 write!(f, "net `{net}` needs a driver and at least one sink")
+            }
+            NetlistError::UnplacedCell { cell } => {
+                write!(f, "cell `{cell}` has no placement record")
+            }
+            NetlistError::CountMismatch {
+                what,
+                declared,
+                seen,
+            } => {
+                write!(f, "{what} declares {declared} but {seen} were streamed")
+            }
+            NetlistError::CountOverflow { length } => {
+                write!(f, "wire count at length {length} overflowed u64")
             }
             NetlistError::Empty => write!(f, "placement has no nets"),
             NetlistError::AllZeroLength => {

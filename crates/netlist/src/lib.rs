@@ -46,8 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bookshelf;
 mod error;
 mod placement;
+pub mod synthetic;
 
+pub use bookshelf::IngestOutcome;
 pub use error::NetlistError;
 pub use placement::{NetModel, Placement, PlacementStats};
+pub use synthetic::{BookshelfPaths, SyntheticDesign};

@@ -29,6 +29,146 @@ fn placement_strategy() -> impl Strategy<Value = Placement> {
         })
 }
 
+/// A raw design the tests can render into either input format: cell
+/// positions plus nets as distinct cell-index lists (first = driver).
+#[derive(Debug, Clone)]
+struct Design {
+    cells: Vec<(i64, i64)>,
+    nets: Vec<Vec<usize>>,
+}
+
+/// Random raw design: 2..12 cells, 1..10 nets with 2..4 distinct
+/// terminals each (degenerate candidates are dropped, so every design
+/// has at least the guaranteed two-cell net).
+fn design_strategy() -> impl Strategy<Value = Design> {
+    let cells = proptest::collection::vec((0i64..32, 0i64..32), 2..12);
+    (
+        cells,
+        proptest::collection::vec((0usize..12, 0usize..12, 0usize..12), 1..10),
+    )
+        .prop_map(|(cells, raw_nets)| {
+            let n = cells.len();
+            let mut nets: Vec<Vec<usize>> = Vec::new();
+            for (a, b, c) in raw_nets {
+                let mut ids = Vec::new();
+                for id in [a % n, b % n, c % n] {
+                    if !ids.contains(&id) {
+                        ids.push(id);
+                    }
+                }
+                if ids.len() >= 2 {
+                    nets.push(ids);
+                }
+            }
+            if nets.is_empty() {
+                nets.push(vec![0, 1]);
+            }
+            Design { cells, nets }
+        })
+}
+
+/// Builds the [`Placement`] a design describes.
+fn placement_of(d: &Design) -> Placement {
+    let mut p = Placement::new();
+    for (i, (x, y)) in d.cells.iter().enumerate() {
+        p.add_cell(format!("c{i}"), *x, *y).expect("unique names");
+    }
+    for (idx, net) in d.nets.iter().enumerate() {
+        let names: Vec<String> = net.iter().map(|id| format!("c{id}")).collect();
+        p.add_net(format!("n{idx}"), names).expect("valid net");
+    }
+    p
+}
+
+/// Renders a design in the crate's line-oriented text format.
+fn render_text(d: &Design) -> String {
+    let mut out = String::new();
+    for (i, (x, y)) in d.cells.iter().enumerate() {
+        out.push_str(&format!("cell c{i} {x} {y}\n"));
+    }
+    for (idx, net) in d.nets.iter().enumerate() {
+        out.push_str(&format!("net n{idx}"));
+        for id in net {
+            out.push_str(&format!(" c{id}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a design as a Bookshelf triple (`.nodes`, `.nets`, `.pl`).
+fn render_bookshelf(d: &Design) -> (String, String, String) {
+    let mut nodes = format!(
+        "UCLA nodes 1.0\nNumNodes : {}\nNumTerminals : 0\n",
+        d.cells.len()
+    );
+    let mut pl = "UCLA pl 1.0\n".to_owned();
+    for (i, (x, y)) in d.cells.iter().enumerate() {
+        nodes.push_str(&format!("c{i} 1 1\n"));
+        pl.push_str(&format!("c{i} {x} {y} : N\n"));
+    }
+    let pins: usize = d.nets.iter().map(Vec::len).sum();
+    let mut nets = format!(
+        "UCLA nets 1.0\nNumNets : {}\nNumPins : {pins}\n",
+        d.nets.len()
+    );
+    for (idx, net) in d.nets.iter().enumerate() {
+        nets.push_str(&format!("NetDegree : {} n{idx}\n", net.len()));
+        for (k, id) in net.iter().enumerate() {
+            let dir = if k == 0 { 'O' } else { 'I' };
+            nets.push_str(&format!("  c{id} {dir} : 0 0\n"));
+        }
+    }
+    (nodes, nets, pl)
+}
+
+/// Garbage generator for the never-panic fuzz tests: lines built from
+/// tokens the parsers care about plus arbitrary junk.
+fn arbitrary_text() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("cell".to_owned()),
+        Just("net".to_owned()),
+        Just("NetDegree".to_owned()),
+        Just("NumNodes".to_owned()),
+        Just("NumNets".to_owned()),
+        Just("NumPins".to_owned()),
+        Just(":".to_owned()),
+        Just("#".to_owned()),
+        Just("UCLA".to_owned()),
+        Just("-7".to_owned()),
+        Just("c0".to_owned()),
+        Just("0".to_owned()),
+        Just("99999999999999999999".to_owned()),
+        Just("\u{2603}".to_owned()),
+        Just(String::new()),
+    ];
+    let line = proptest::collection::vec(token, 0..6).prop_map(|toks| toks.join(" "));
+    proptest::collection::vec(line, 0..12).prop_map(|lines| lines.join("\n"))
+}
+
+/// Checks the [`ia_wld::Wld`] container invariants on an extracted
+/// distribution: sorted, distinct, positive lengths and counts.
+fn assert_valid_wld(wld: &ia_wld::Wld) -> Result<(), proptest::test_runner::TestCaseError> {
+    let entries = wld.entries();
+    prop_assert!(!entries.is_empty());
+    for window in entries.windows(2) {
+        prop_assert!(
+            window[0].0 < window[1].0,
+            "entries must be strictly ascending"
+        );
+    }
+    for &(l, c) in entries {
+        prop_assert!(l >= 1);
+        prop_assert!(c >= 1);
+    }
+    // Rebuilding from the entries must succeed and reproduce the value.
+    prop_assert_eq!(
+        &ia_wld::Wld::from_pairs(entries.iter().copied()).expect("valid entries"),
+        wld
+    );
+    Ok(())
+}
+
 proptest! {
     #[test]
     fn extraction_is_deterministic(p in placement_strategy()) {
@@ -58,6 +198,96 @@ proptest! {
         // Each 3-terminal net contributes at most 2 connections, and
         // zero-length ones are dropped.
         prop_assert!(star.total_wires() <= 2 * p.net_count() as u64);
+    }
+
+    #[test]
+    fn text_parser_never_panics_on_arbitrary_input(text in arbitrary_text()) {
+        // Malformed, truncated or duplicate records must come back as
+        // typed errors, never a panic.
+        let _ = Placement::parse(&text);
+    }
+
+    #[test]
+    fn text_parser_never_panics_on_mangled_valid_input(
+        d in design_strategy(),
+        cut in 0usize..400,
+        dup in 0usize..2,
+    ) {
+        // Start from a well-formed rendering, then truncate mid-record
+        // and/or duplicate a line — the classic torn-file shapes.
+        let mut text = render_text(&d);
+        if dup == 1 {
+            let first = text.lines().next().unwrap_or("").to_owned();
+            text.push_str(&first);
+            text.push('\n');
+        }
+        let cut = cut.min(text.len());
+        let _ = Placement::parse(&text[..cut]);
+        let _ = Placement::parse(&text);
+    }
+
+    #[test]
+    fn bookshelf_ingester_never_panics_on_arbitrary_input(
+        nodes in arbitrary_text(),
+        nets in arbitrary_text(),
+        pl in arbitrary_text(),
+    ) {
+        for model in [NetModel::Star, NetModel::Hpwl] {
+            let _ = ia_netlist::bookshelf::ingest_str(&nodes, &nets, &pl, model);
+        }
+    }
+
+    #[test]
+    fn bookshelf_ingester_never_panics_on_mangled_designs(
+        d in design_strategy(),
+        cut in 0usize..600,
+        which in 0usize..3,
+    ) {
+        let (nodes, nets, pl) = render_bookshelf(&d);
+        let mangle = |s: &str| {
+            let cut = cut.min(s.len());
+            s[..cut].to_owned()
+        };
+        let (n, e, l) = match which {
+            0 => (mangle(&nodes), nets.clone(), pl.clone()),
+            1 => (nodes.clone(), mangle(&nets), pl.clone()),
+            _ => (nodes.clone(), nets.clone(), mangle(&pl)),
+        };
+        let _ = ia_netlist::bookshelf::ingest_str(&n, &e, &l, NetModel::Star);
+    }
+
+    #[test]
+    fn parse_to_wld_always_yields_a_valid_wld(d in design_strategy()) {
+        // Round-trip through the text format, then extract: whenever a
+        // Wld comes out, it satisfies the container's invariants.
+        let p = placement_of(&d);
+        let reparsed = Placement::parse(&render_text(&d)).expect("rendering is well-formed");
+        prop_assert_eq!(&reparsed, &p);
+        for model in [NetModel::Star, NetModel::Hpwl] {
+            if let Ok(wld) = reparsed.to_wld(model) {
+                assert_valid_wld(&wld)?;
+            }
+        }
+    }
+
+    #[test]
+    fn bookshelf_ingest_matches_placement_extraction(d in design_strategy()) {
+        // The streaming fold and the materializing extractor are two
+        // implementations of the same measurement.
+        let p = placement_of(&d);
+        let (nodes, nets, pl) = render_bookshelf(&d);
+        for model in [NetModel::Star, NetModel::Hpwl] {
+            let streamed = ia_netlist::bookshelf::ingest_str(&nodes, &nets, &pl, model);
+            match (p.to_wld(model), streamed) {
+                (Ok(expected), Ok(out)) => {
+                    prop_assert_eq!(&out.wld, &expected);
+                    assert_valid_wld(&out.wld)?;
+                    prop_assert_eq!(out.nets, p.net_count() as u64);
+                }
+                (Err(NetlistError::AllZeroLength), Err(NetlistError::AllZeroLength)) => {}
+                (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+            }
+        }
     }
 
     #[test]

@@ -58,6 +58,8 @@ pub struct SolveRequest {
     pub semi_global: u64,
     /// Local layer-pair count.
     pub local: u64,
+    /// Placement-suboptimality factor `γ ≥ 1` (`1.0` = pristine WLD).
+    pub degrade: f64,
 }
 
 impl Default for SolveRequest {
@@ -73,6 +75,7 @@ impl Default for SolveRequest {
             global: 1,
             semi_global: 2,
             local: 0,
+            degrade: 1.0,
         }
     }
 }
@@ -132,6 +135,7 @@ impl SolveRequest {
             "global" => self.global = field_u64(key, value)?,
             "semi_global" => self.semi_global = field_u64(key, value)?,
             "local" => self.local = field_u64(key, value)?,
+            "degrade" => self.degrade = field_f64(key, value)?,
             other => return Err(bad(format!("unknown field `{other}`"))),
         }
         Ok(())
@@ -153,6 +157,7 @@ impl SolveRequest {
             global: self.global,
             semi_global: self.semi_global,
             local: self.local,
+            degrade: self.degrade,
         }
     }
 

@@ -566,10 +566,50 @@ fn solve_lease(
         }
     }
     let body = JsonValue::Obj(fields).render();
-    // A lost upload is recoverable: the lease expires and the point is
-    // redispatched, so failures here only cost a duplicate solve.
-    let _ = client::post_json(coordinator, "/fleet/result", &body, opts.timeout);
+    // A lost upload is recoverable — the lease expires and the point
+    // is redispatched — but that costs a full duplicate solve, so a
+    // brief coordinator outage is ridden out with retries first.
+    let _ = upload_result(coordinator, opts, &body);
     Ok(())
+}
+
+/// Result-upload attempts before surrendering the point to
+/// lease-expiry redispatch.
+const MAX_UPLOAD_ATTEMPTS: u32 = 4;
+
+/// Ceiling on the doubling upload-retry backoff.
+const MAX_UPLOAD_BACKOFF: Duration = Duration::from_millis(500);
+
+/// Posts one result body, retrying transport errors with capped
+/// exponential backoff (starting at `poll_ms`). Any HTTP *response*
+/// settles the upload — a stale-lease rejection cannot be revived by
+/// retrying — so only connect/read failures burn attempts. Returns
+/// whether the coordinator answered.
+fn upload_result(coordinator: &str, opts: &WorkerOptions, body: &str) -> bool {
+    let mut backoff = Duration::from_millis(opts.poll_ms.max(1));
+    for attempt in 1..=MAX_UPLOAD_ATTEMPTS {
+        match client::post_json(coordinator, "/fleet/result", body, opts.timeout) {
+            Ok(_) => return true,
+            Err(error) => {
+                if attempt == MAX_UPLOAD_ATTEMPTS {
+                    obs_log::log(
+                        LogLevel::Warn,
+                        "serve.fleet.worker",
+                        "result upload abandoned; the lease will expire",
+                        vec![
+                            ("error", JsonValue::Str(error)),
+                            ("attempts", JsonValue::UInt(u64::from(attempt))),
+                        ],
+                    );
+                    break;
+                }
+                counter_add(names::FLEET_UPLOAD_RETRIES, 1);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_UPLOAD_BACKOFF);
+            }
+        }
+    }
+    false
 }
 
 /// Parses `{"worker": "<id>"}` request bodies.
@@ -705,6 +745,50 @@ mod tests {
         assert_eq!(doc.get("live_workers").unwrap().as_u64().unwrap(), 1);
         assert_eq!(doc.get("pending").unwrap().as_u64().unwrap(), 1);
         assert_eq!(doc.get("inflight").unwrap().as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn result_upload_rides_out_a_brief_coordinator_outage() {
+        use std::io::{Read, Write};
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Outage: the first two connections die before any
+            // response bytes, which the client reports as transport
+            // errors.
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                drop(stream);
+            }
+            // Recovery: the third attempt gets a real response.
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+            let body = r#"{"status": "accepted"}"#;
+            let _ = write!(
+                stream,
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        });
+        ia_obs::set_enabled(true);
+        let before = ia_obs::snapshot()
+            .counter(names::FLEET_UPLOAD_RETRIES)
+            .unwrap_or(0);
+        let opts = WorkerOptions {
+            poll_ms: 1,
+            ..WorkerOptions::default()
+        };
+        assert!(upload_result(&addr, &opts, "{}"), "third attempt lands");
+        server.join().unwrap();
+        let after = ia_obs::snapshot()
+            .counter(names::FLEET_UPLOAD_RETRIES)
+            .unwrap_or(0);
+        assert_eq!(after - before, 2, "one retry per dropped connection");
+        // With no listener at all every attempt fails and the upload
+        // is abandoned (the lease recovers it server-side).
+        assert!(!upload_result(&addr, &opts, "{}"));
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Placement-suboptimality (degraded-locality) transforms.
+//!
+//! Cong et al.'s placement-suboptimality studies (arXiv:2305.16413)
+//! quantify how far real placements sit from optimal as a wirelength
+//! suboptimality factor `γ ≥ 1`. This module applies such a factor to a
+//! WLD as a deterministic integer transform, so corpus experiments can
+//! ask how the rank verdict moves as placement quality degrades —
+//! without re-placing anything.
+//!
+//! The factor is carried as an exact rational `num/den` (see
+//! [`Degradation::from_gamma`]), never as a float, so the transform is
+//! reproducible bit-for-bit across platforms and its parameters can be
+//! recorded in reports as plain integers:
+//!
+//! * [`DegradeKind::TailStretch`] multiplies every length above the
+//!   locality threshold by `num/den` (round half up). For `γ ≥ 1` the
+//!   mapping `l ↦ ⌊(l·num + den/2)/den⌋` is strictly increasing on the
+//!   tail, so it is **injective**: given the metadata, each degraded
+//!   entry maps back to exactly one source entry — the transform is
+//!   exactly invertible. Counts (and so `total_wires`) are unchanged.
+//! * [`DegradeKind::CountReweight`] multiplies every *count* above the
+//!   threshold by `num/den` (round half up, floor 1): the placement
+//!   produces more long wires rather than longer ones. Total wire count
+//!   grows; the pre-image totals recorded in the report metadata make
+//!   the change auditable.
+//!
+//! The identity factor (`γ = 1`) returns the input unchanged for both
+//! kinds, which is what anchors the corpus baseline column.
+
+use crate::{Wld, WldError};
+
+/// Denominator used when quantizing a real `γ` to a rational.
+pub const GAMMA_DENOMINATOR: u64 = 1000;
+
+/// Largest accepted suboptimality factor.
+pub const GAMMA_MAX: f64 = 16.0;
+
+/// Which degradation is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DegradeKind {
+    /// Stretch tail lengths by `num/den` (count-preserving, injective).
+    TailStretch,
+    /// Inflate tail counts by `num/den` (length-preserving).
+    CountReweight,
+}
+
+impl DegradeKind {
+    /// The canonical spelling used in specs and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeKind::TailStretch => "tail-stretch",
+            DegradeKind::CountReweight => "count-reweight",
+        }
+    }
+
+    /// Parses a canonical label (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "tail-stretch" => Some(DegradeKind::TailStretch),
+            "count-reweight" => Some(DegradeKind::CountReweight),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully-specified degradation: kind, exact rational factor, and the
+/// locality threshold below which wires are left untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Degradation {
+    /// Which transform is applied.
+    pub kind: DegradeKind,
+    /// Factor numerator (`num ≥ den` ⇒ `γ ≥ 1`).
+    pub num: u64,
+    /// Factor denominator (always [`GAMMA_DENOMINATOR`] when built via
+    /// [`Degradation::from_gamma`]).
+    pub den: u64,
+    /// Lengths `≤ threshold` are untouched (the local population a
+    /// suboptimal placer still gets right).
+    pub threshold: u64,
+}
+
+impl Degradation {
+    /// Quantizes a real factor `γ ∈ [1, 16]` to the exact rational
+    /// `round(γ·1000)/1000` and pairs it with a threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::InvalidParameter`] for non-finite `γ`,
+    /// `γ < 1`, or `γ >` [`GAMMA_MAX`].
+    // lint: raw-f64 (γ is a dimensionless placement factor, not a unit)
+    pub fn from_gamma(kind: DegradeKind, gamma: f64, threshold: u64) -> Result<Self, WldError> {
+        if !gamma.is_finite() || !(1.0..=GAMMA_MAX).contains(&gamma) {
+            return Err(WldError::InvalidParameter {
+                field: "gamma",
+                value: gamma,
+            });
+        }
+        let num =
+            ia_units::convert::f64_to_u64_saturating((gamma * GAMMA_DENOMINATOR as f64).round());
+        Ok(Self {
+            kind,
+            num,
+            den: GAMMA_DENOMINATOR,
+            threshold,
+        })
+    }
+
+    /// The quantized factor as a float (for display only — the exact
+    /// value is `num/den`).
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Whether this degradation leaves every WLD unchanged.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Applies the transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::Overflow`] if a stretched length or an
+    /// inflated count exceeds `u64`, and propagates construction errors
+    /// (unreachable for valid inputs: both transforms preserve
+    /// positivity and `TailStretch` preserves distinctness).
+    pub fn apply(&self, wld: &Wld) -> Result<Wld, WldError> {
+        if self.is_identity() {
+            return Ok(wld.clone());
+        }
+        let scale = |value: u64, op: &'static str, length: u64| -> Result<u64, WldError> {
+            value
+                .checked_mul(self.num)
+                .and_then(|v| v.checked_add(self.den / 2))
+                .map(|v| v / self.den)
+                .ok_or(WldError::Overflow {
+                    op,
+                    length: Some(length),
+                })
+        };
+        let pairs: Vec<(u64, u64)> = wld
+            .iter()
+            .map(|(l, c)| match self.kind {
+                DegradeKind::TailStretch if l > self.threshold => {
+                    scale(l, "tail_stretch", l).map(|stretched| (stretched, c))
+                }
+                DegradeKind::CountReweight if l > self.threshold => {
+                    scale(c, "count_reweight", l).map(|inflated| (l, inflated.max(1)))
+                }
+                _ => Ok((l, c)),
+            })
+            .collect::<Result<_, _>>()?;
+        Wld::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wld() -> Wld {
+        Wld::from_pairs([(1, 500), (10, 40), (100, 8), (200, 2)]).unwrap()
+    }
+
+    #[test]
+    fn gamma_quantizes_to_exact_rationals() {
+        let d = Degradation::from_gamma(DegradeKind::TailStretch, 1.25, 10).unwrap();
+        assert_eq!((d.num, d.den), (1250, 1000));
+        assert!(!d.is_identity());
+        let id = Degradation::from_gamma(DegradeKind::TailStretch, 1.0, 10).unwrap();
+        assert!(id.is_identity());
+        assert!(Degradation::from_gamma(DegradeKind::TailStretch, 0.9, 10).is_err());
+        assert!(Degradation::from_gamma(DegradeKind::TailStretch, f64::NAN, 10).is_err());
+        assert!(Degradation::from_gamma(DegradeKind::TailStretch, 17.0, 10).is_err());
+    }
+
+    #[test]
+    fn identity_returns_the_input_unchanged() {
+        let w = wld();
+        for kind in [DegradeKind::TailStretch, DegradeKind::CountReweight] {
+            let d = Degradation::from_gamma(kind, 1.0, 0).unwrap();
+            assert_eq!(d.apply(&w).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn tail_stretch_preserves_counts_and_stretches_lengths() {
+        let d = Degradation::from_gamma(DegradeKind::TailStretch, 1.5, 10).unwrap();
+        let out = d.apply(&wld()).unwrap();
+        assert_eq!(out.total_wires(), wld().total_wires());
+        // 1 and 10 are at/below the threshold; 100 → 150, 200 → 300.
+        assert_eq!(out.count_of(1), 500);
+        assert_eq!(out.count_of(10), 40);
+        assert_eq!(out.count_of(150), 8);
+        assert_eq!(out.count_of(300), 2);
+        assert!(out.total_length() > wld().total_length());
+    }
+
+    #[test]
+    fn tail_stretch_is_injective_on_the_tail() {
+        // Dense consecutive tail lengths stay distinct after the
+        // stretch (strict monotonicity of l ↦ round(l·γ) for γ ≥ 1).
+        let dense = Wld::from_pairs((50..150).map(|l| (l, 3))).unwrap();
+        let d = Degradation::from_gamma(DegradeKind::TailStretch, 1.001, 0).unwrap();
+        let out = d.apply(&dense).unwrap();
+        assert_eq!(out.distinct_lengths(), dense.distinct_lengths());
+        assert_eq!(out.total_wires(), dense.total_wires());
+    }
+
+    #[test]
+    fn count_reweight_inflates_tail_counts_only() {
+        let d = Degradation::from_gamma(DegradeKind::CountReweight, 2.0, 10).unwrap();
+        let out = d.apply(&wld()).unwrap();
+        assert_eq!(out.count_of(1), 500);
+        assert_eq!(out.count_of(10), 40);
+        assert_eq!(out.count_of(100), 16);
+        assert_eq!(out.count_of(200), 4);
+        assert_eq!(out.longest(), wld().longest());
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let w = Wld::from_pairs([(1, 1), (u64::MAX / 2, 1)]).unwrap();
+        let d = Degradation::from_gamma(DegradeKind::TailStretch, 3.0, 1).unwrap();
+        assert!(matches!(
+            d.apply(&w).unwrap_err(),
+            WldError::Overflow {
+                op: "tail_stretch",
+                ..
+            }
+        ));
+        let heavy = Wld::from_pairs([(5, u64::MAX / 2)]).unwrap();
+        let r = Degradation::from_gamma(DegradeKind::CountReweight, 3.0, 1).unwrap();
+        assert!(matches!(
+            r.apply(&heavy).unwrap_err(),
+            WldError::Overflow {
+                op: "count_reweight",
+                ..
+            }
+        ));
+    }
+}

@@ -110,14 +110,21 @@ impl Wld {
     }
 
     /// Number of wires with length at least `length`.
-    #[must_use]
-    pub fn count_at_least(&self, length: u64) -> u64 {
-        self.entries
-            .iter()
-            .rev()
-            .take_while(|&&(l, _)| l >= length)
-            .map(|&(_, c)| c)
-            .sum()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::Overflow`] if the running total exceeds
+    /// `u64::MAX` (reachable once merged corpus distributions approach
+    /// the integer limit).
+    pub fn count_at_least(&self, length: u64) -> Result<u64, WldError> {
+        let mut total: u64 = 0;
+        for &(_, c) in self.entries.iter().rev().take_while(|&&(l, _)| l >= length) {
+            total = total.checked_add(c).ok_or(WldError::Overflow {
+                op: "count_at_least",
+                length: None,
+            })?;
+        }
+        Ok(total)
     }
 
     /// Iterates `(length, count)` in ascending length order.
@@ -145,15 +152,24 @@ impl Wld {
 
     /// Superposes two distributions (counts of equal lengths add) —
     /// e.g. to model two blocks sharing an interconnect stack.
-    #[must_use]
-    pub fn merge(&self, other: &Wld) -> Wld {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::Overflow`] if any per-length count sum
+    /// exceeds `u64::MAX` — million-net corpora make this reachable, so
+    /// wrapping silently is not an option.
+    pub fn merge(&self, other: &Wld) -> Result<Wld, WldError> {
         let mut counts: std::collections::BTreeMap<u64, u64> =
             self.entries.iter().copied().collect();
         for (l, c) in other.iter() {
-            *counts.entry(l).or_insert(0) += c;
+            let slot = counts.entry(l).or_insert(0);
+            *slot = slot.checked_add(c).ok_or(WldError::Overflow {
+                op: "merge",
+                length: Some(l),
+            })?;
         }
         // lint: no-panic (structure-preserving rebuild)
-        Wld::from_pairs(counts).expect("merging two valid distributions is valid")
+        Ok(Wld::from_pairs(counts).expect("merging two valid distributions is valid"))
     }
 
     /// Scales every count by an integer factor (replicating a block
@@ -161,10 +177,27 @@ impl Wld {
     ///
     /// # Errors
     ///
-    /// Returns [`WldError::ZeroCount`] semantics via construction if
-    /// `factor == 0` (an empty distribution is invalid).
+    /// * [`WldError::Overflow`] if any scaled count exceeds `u64::MAX`;
+    /// * [`WldError::ZeroCount`] semantics via construction if
+    ///   `factor == 0` (an empty distribution is invalid).
     pub fn scale_counts(&self, factor: u64) -> Result<Wld, WldError> {
-        Wld::from_pairs(self.entries.iter().map(|&(l, c)| (l, c * factor)))
+        let scaled: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|&(l, c)| {
+                if factor == 0 {
+                    // Let `from_pairs` report the zero-count error.
+                    return Ok((l, 0));
+                }
+                c.checked_mul(factor)
+                    .map(|scaled| (l, scaled))
+                    .ok_or(WldError::Overflow {
+                        op: "scale_counts",
+                        length: Some(l),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        Wld::from_pairs(scaled)
     }
 
     /// Keeps only wires of length at most `max_length` (e.g. the local
@@ -233,16 +266,16 @@ mod tests {
         let w = wld();
         assert_eq!(w.count_of(10), 40);
         assert_eq!(w.count_of(11), 0);
-        assert_eq!(w.count_at_least(10), 42);
-        assert_eq!(w.count_at_least(1), 542);
-        assert_eq!(w.count_at_least(101), 0);
+        assert_eq!(w.count_at_least(10).unwrap(), 42);
+        assert_eq!(w.count_at_least(1).unwrap(), 542);
+        assert_eq!(w.count_at_least(101).unwrap(), 0);
     }
 
     #[test]
     fn merge_adds_counts() {
         let a = Wld::from_pairs([(1, 10), (5, 2)]).unwrap();
         let b = Wld::from_pairs([(5, 3), (9, 1)]).unwrap();
-        let m = a.merge(&b);
+        let m = a.merge(&b).unwrap();
         assert_eq!(m.entries(), &[(1, 10), (5, 5), (9, 1)]);
         assert_eq!(m.total_wires(), a.total_wires() + b.total_wires());
     }
@@ -253,6 +286,49 @@ mod tests {
         let s = a.scale_counts(3).unwrap();
         assert_eq!(s.entries(), &[(1, 30), (5, 6)]);
         assert!(a.scale_counts(0).is_err());
+    }
+
+    #[test]
+    fn merge_reports_overflow_instead_of_wrapping() {
+        let a = Wld::from_pairs([(1, u64::MAX - 1), (5, 2)]).unwrap();
+        let b = Wld::from_pairs([(1, 2)]).unwrap();
+        assert_eq!(
+            a.merge(&b).unwrap_err(),
+            WldError::Overflow {
+                op: "merge",
+                length: Some(1)
+            }
+        );
+        // Disjoint lengths still merge fine at extreme counts.
+        let c = Wld::from_pairs([(9, u64::MAX)]).unwrap();
+        assert!(a.merge(&c).is_ok());
+    }
+
+    #[test]
+    fn scale_counts_reports_overflow_instead_of_wrapping() {
+        let a = Wld::from_pairs([(1, 2), (5, u64::MAX / 2 + 1)]).unwrap();
+        assert_eq!(
+            a.scale_counts(2).unwrap_err(),
+            WldError::Overflow {
+                op: "scale_counts",
+                length: Some(5)
+            }
+        );
+        assert!(a.scale_counts(1).is_ok());
+    }
+
+    #[test]
+    fn count_at_least_reports_overflow_instead_of_wrapping() {
+        let w = Wld::from_pairs([(1, u64::MAX), (2, 1)]).unwrap();
+        // The tail alone is fine; including length 1 overflows the sum.
+        assert_eq!(w.count_at_least(2).unwrap(), 1);
+        assert_eq!(
+            w.count_at_least(1).unwrap_err(),
+            WldError::Overflow {
+                op: "count_at_least",
+                length: None
+            }
+        );
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub enum WldError {
     },
     /// A bunch size of zero was requested.
     ZeroBunchSize,
+    /// A count arithmetic operation overflowed `u64` (reachable when
+    /// merging or scaling million-net corpus distributions).
+    Overflow {
+        /// The operation that overflowed (e.g. `"merge"`).
+        op: &'static str,
+        /// The length (in gate pitches) whose count overflowed, if the
+        /// overflow is attributable to a single length entry.
+        length: Option<u64>,
+    },
     /// A CSV line could not be parsed.
     Parse {
         /// 1-based line number of the offending line.
@@ -70,6 +79,10 @@ impl fmt::Display for WldError {
                 write!(f, "parameter `{field}` is out of range: {value}")
             }
             WldError::ZeroBunchSize => write!(f, "bunch size must be positive"),
+            WldError::Overflow { op, length } => match length {
+                Some(l) => write!(f, "`{op}` overflowed u64 at length {l}"),
+                None => write!(f, "`{op}` overflowed u64"),
+            },
             WldError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

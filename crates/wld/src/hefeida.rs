@@ -1,0 +1,187 @@
+//! Hefeida's improved stochastic wire-length densities.
+//!
+//! Reference: M. S. Hefeida, *"Improved Model for Wire-Length
+//! Estimation in Stochastic Wiring Distribution"* (arXiv:1502.05931).
+//! Hefeida's programme replaces the coarsest approximations inside the
+//! Davis–De–Meindl derivation while keeping its Rent-rule skeleton: the
+//! expected count at Manhattan length `l` is still
+//! `q(l) ∝ S(l)·l^(2p−4)`, but the *site function* `S(l)` — how many
+//! gate pairs sit at distance `l` — is computed without the continuum
+//! shortcuts Davis takes.
+//!
+//! Two variants are provided, matching the paper's pair of improved
+//! models:
+//!
+//! * **site** ([`site_counts`]): the exact discrete ordered-pair count
+//!   on the `s × s` gate array. Davis approximates this combinatorial
+//!   quantity with a piecewise cubic in the continuum limit; the exact
+//!   form removes the region-I/region-II seam and the `O(1/s)` boundary
+//!   error, which is visible for small arrays and at the support ends.
+//! * **occupancy** ([`normalized_counts`] with `occupancy = true`): the
+//!   exact site function with an additional linear occupancy taper
+//!   `(1 − l/(2s))` modelling the reduced probability that a long route
+//!   finds free adjacent channels — long wires compete for the same
+//!   scarce routing resources, so their realized population falls below
+//!   the purely combinatorial expectation.
+//!
+//! Both densities are normalized, exactly as the Davis backend is, so
+//! the counts sum to the Rent-derived total interconnect count
+//! `I_total = α·k·N·(1 − N^(p−1))`; the three backends are therefore
+//! directly comparable — same total wiring demand, different shapes.
+
+use crate::RentParameters;
+
+/// Exact number of ordered gate pairs at each Manhattan distance
+/// `d = 1..=2(s−1)` on an `s × s` array (index `d − 1`).
+///
+/// Per axis, a line of `s` sites has `s` ordered pairs at offset 0 and
+/// `2(s − i)` at offset `i ≥ 1`; the 2-D count convolves the two axes:
+/// `S(d) = Σ_{i+j=d} c(i)·c(j)`. The whole table costs `O(s²)` — about
+/// one operation per gate — and is the exact quantity Davis
+/// approximates with his piecewise cubic.
+///
+/// Returns an empty vector for `s < 2` (no pairs exist).
+#[must_use]
+pub fn site_counts(side: u64) -> Vec<f64> {
+    if side < 2 {
+        return Vec::new();
+    }
+    let s = usize::try_from(side).unwrap_or(usize::MAX);
+    let line = |i: usize| -> f64 {
+        if i == 0 {
+            s as f64
+        } else {
+            2.0 * (s - i) as f64
+        }
+    };
+    let max_d = 2 * (s - 1);
+    let mut counts = vec![0.0f64; max_d];
+    for (idx, slot) in counts.iter_mut().enumerate() {
+        let d = idx + 1;
+        let lo = d.saturating_sub(s - 1);
+        let hi = d.min(s - 1);
+        let mut sum = 0.0;
+        for i in lo..=hi {
+            sum += line(i) * line(d - i);
+        }
+        *slot = sum;
+    }
+    counts
+}
+
+/// The expected count at every integer length `1..=2(s−1)` under the
+/// improved model, normalized so the counts sum to the Rent-derived
+/// total interconnect count (same convention as
+/// [`crate::davis::normalized_counts`]).
+///
+/// `s = ⌈√gates⌉` is the gate-array side. With `occupancy = false` this
+/// is the exact-site model; with `occupancy = true` the linear taper
+/// `(1 − l/(2s))` is applied before normalization.
+#[must_use]
+pub fn normalized_counts(gates: u64, rent: &RentParameters, occupancy: bool) -> Vec<f64> {
+    let side = {
+        let root = gates.isqrt();
+        if root * root < gates {
+            root + 1
+        } else {
+            root
+        }
+    };
+    let mut raw = site_counts(side);
+    for (idx, q) in raw.iter_mut().enumerate() {
+        let l = (idx + 1) as f64;
+        *q *= l.powf(2.0 * rent.p - 4.0);
+        if occupancy {
+            *q *= 1.0 - l / (2.0 * side as f64);
+        }
+    }
+    let total_raw: f64 = raw.iter().sum();
+    let target = rent.total_interconnects(gates as f64);
+    if total_raw > 0.0 {
+        let gamma = target / total_raw;
+        for q in &mut raw {
+            *q *= gamma;
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_counts_match_brute_force_on_a_tiny_array() {
+        // 3×3 array: enumerate all 81 ordered pairs by hand.
+        let s = 3i64;
+        let mut brute = vec![0u64; 2 * (s as usize - 1)];
+        for x1 in 0..s {
+            for y1 in 0..s {
+                for x2 in 0..s {
+                    for y2 in 0..s {
+                        let d = (x1 - x2).unsigned_abs() + (y1 - y2).unsigned_abs();
+                        if d >= 1 {
+                            brute[d as usize - 1] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let got = site_counts(3);
+        assert_eq!(got.len(), brute.len());
+        for (g, b) in got.iter().zip(&brute) {
+            assert!((g - *b as f64).abs() < 1e-9, "{got:?} vs {brute:?}");
+        }
+    }
+
+    #[test]
+    fn site_counts_total_is_all_distinct_ordered_pairs() {
+        let s = 50u64;
+        let total: f64 = site_counts(s).iter().sum();
+        let n = (s * s) as f64;
+        assert!((total - n * (n - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_sides_have_no_pairs() {
+        assert!(site_counts(0).is_empty());
+        assert!(site_counts(1).is_empty());
+    }
+
+    #[test]
+    fn normalized_counts_sum_to_rent_total() {
+        let rent = RentParameters::default();
+        for occupancy in [false, true] {
+            let counts = normalized_counts(100_000, &rent, occupancy);
+            let total: f64 = counts.iter().sum();
+            let target = rent.total_interconnects(1e5);
+            assert!((total / target - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn occupancy_taper_shifts_mass_toward_short_wires() {
+        let rent = RentParameters::default();
+        let site = normalized_counts(10_000, &rent, false);
+        let occ = normalized_counts(10_000, &rent, true);
+        // Same totals, but the tapered model has strictly fewer long
+        // wires past mid-support.
+        let mid = site.len() / 2;
+        let site_tail: f64 = site[mid..].iter().sum();
+        let occ_tail: f64 = occ[mid..].iter().sum();
+        assert!(occ_tail < site_tail);
+    }
+
+    #[test]
+    fn exact_site_model_tracks_davis_in_the_bulk() {
+        // The exact site function and Davis's continuum approximation
+        // agree to a few percent away from the support boundaries.
+        let rent = RentParameters::default();
+        let gates = 250_000u64;
+        let exact = normalized_counts(gates, &rent, false);
+        let davis = crate::davis::normalized_counts(gates as f64, &rent);
+        let l = 100usize; // deep inside region I
+        let rel = (exact[l - 1] - davis[l - 1]).abs() / davis[l - 1];
+        assert!(rel < 0.05, "relative gap {rel}");
+    }
+}

@@ -37,16 +37,21 @@
 
 pub mod coarsen;
 pub mod davis;
+pub mod degrade;
 mod distribution;
 mod error;
+pub mod hefeida;
 pub mod io;
+mod models;
 mod rent;
 mod spec;
 mod stats;
 
 pub use coarsen::{Bunch, CoarseWld};
+pub use degrade::{Degradation, DegradeKind};
 pub use distribution::Wld;
 pub use error::WldError;
+pub use models::WldModel;
 pub use rent::RentParameters;
 pub use spec::WldSpec;
 pub use stats::{percentile as stats_percentile, WldStats};

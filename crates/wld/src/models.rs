@@ -1,0 +1,154 @@
+//! Selectable stochastic WLD backends.
+//!
+//! The rank metric is defined over *any* wire-length distribution; the
+//! paper's experiments use the Davis closed form, and this module adds
+//! Hefeida's two improved models (see [`crate::hefeida`]) behind one
+//! enum so corpus experiments can compare backends on equal footing —
+//! all three share [`RentParameters`] and normalize to the same
+//! Rent-derived total interconnect count.
+
+use crate::{hefeida, RentParameters, Wld, WldError, WldSpec};
+
+/// Which stochastic model generates a design's WLD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum WldModel {
+    /// The Davis–De–Meindl closed form (the paper's choice).
+    Davis,
+    /// Hefeida's exact-site-function model: the discrete ordered-pair
+    /// count replaces Davis's continuum approximation.
+    HefeidaSite,
+    /// Hefeida's occupancy-corrected model: exact site function with a
+    /// linear long-wire occupancy taper.
+    HefeidaOccupancy,
+}
+
+impl WldModel {
+    /// Every backend, in report order (Davis is the baseline).
+    pub const ALL: [WldModel; 3] = [
+        WldModel::Davis,
+        WldModel::HefeidaSite,
+        WldModel::HefeidaOccupancy,
+    ];
+
+    /// The canonical spelling used in specs, reports and CLI flags.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            WldModel::Davis => "davis",
+            WldModel::HefeidaSite => "hefeida-site",
+            WldModel::HefeidaOccupancy => "hefeida-occupancy",
+        }
+    }
+
+    /// Parses a canonical label (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "davis" => Some(WldModel::Davis),
+            "hefeida-site" => Some(WldModel::HefeidaSite),
+            "hefeida-occupancy" => Some(WldModel::HefeidaOccupancy),
+            _ => None,
+        }
+    }
+
+    /// Generates the backend's WLD for a `gates`-gate design.
+    ///
+    /// All backends round the normalized real-valued density the same
+    /// way ([`WldSpec::generate`]'s convention): expected counts are
+    /// rounded per length and zero-rounding tail lengths are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WldError::TooFewGates`] for `gates < 16`, or
+    /// [`WldError::Empty`] if every expected count rounds to zero
+    /// (unreachable past the gate floor).
+    pub fn generate(&self, gates: u64, rent: RentParameters) -> Result<Wld, WldError> {
+        let counts = match self {
+            WldModel::Davis => return Ok(WldSpec::with_rent(gates, rent)?.generate()),
+            WldModel::HefeidaSite => {
+                WldSpec::with_rent(gates, rent)?; // shared gate-floor validation
+                hefeida::normalized_counts(gates, &rent, false)
+            }
+            WldModel::HefeidaOccupancy => {
+                WldSpec::with_rent(gates, rent)?;
+                hefeida::normalized_counts(gates, &rent, true)
+            }
+        };
+        let pairs = counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &expected)| {
+                let count = ia_units::convert::f64_to_u64_saturating(expected.round());
+                (count > 0).then_some(((idx + 1) as u64, count))
+            })
+            .collect::<Vec<_>>();
+        Wld::from_pairs(pairs)
+    }
+}
+
+impl std::fmt::Display for WldModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for model in WldModel::ALL {
+            assert_eq!(WldModel::parse(model.label()), Some(model));
+            assert_eq!(model.to_string(), model.label());
+        }
+        assert_eq!(WldModel::parse("DAVIS"), Some(WldModel::Davis));
+        assert_eq!(WldModel::parse("unknown"), None);
+    }
+
+    #[test]
+    fn davis_backend_matches_wld_spec() {
+        let rent = RentParameters::default();
+        let via_enum = WldModel::Davis.generate(50_000, rent).unwrap();
+        let via_spec = WldSpec::with_rent(50_000, rent).unwrap().generate();
+        assert_eq!(via_enum, via_spec);
+    }
+
+    #[test]
+    fn all_backends_share_the_rent_total() {
+        let rent = RentParameters::default();
+        let gates = 100_000u64;
+        let target = rent.total_interconnects(gates as f64);
+        for model in WldModel::ALL {
+            let wld = model.generate(gates, rent).unwrap();
+            let got = wld.total_wires() as f64;
+            assert!(
+                (got / target - 1.0).abs() < 0.01,
+                "{model}: expected ≈{target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_differ_in_shape_not_total() {
+        let rent = RentParameters::default();
+        let davis = WldModel::Davis.generate(100_000, rent).unwrap();
+        let site = WldModel::HefeidaSite.generate(100_000, rent).unwrap();
+        let occ = WldModel::HefeidaOccupancy.generate(100_000, rent).unwrap();
+        assert_ne!(davis, site);
+        assert_ne!(site, occ);
+        // The occupancy taper thins the long-wire tail.
+        assert!(occ.count_at_least(100).unwrap() < site.count_at_least(100).unwrap());
+    }
+
+    #[test]
+    fn gate_floor_applies_to_every_backend() {
+        for model in WldModel::ALL {
+            assert!(matches!(
+                model.generate(8, RentParameters::default()),
+                Err(WldError::TooFewGates { gates: 8 })
+            ));
+        }
+    }
+}

@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn short_wires_dominate() {
         let wld = WldSpec::new(10_000).unwrap().generate();
-        let below_10 = wld.total_wires() - wld.count_at_least(10);
+        let below_10 = wld.total_wires() - wld.count_at_least(10).unwrap();
         assert!(below_10 as f64 / wld.total_wires() as f64 > 0.5);
     }
 
@@ -137,8 +137,8 @@ mod tests {
         let hi = WldSpec::with_rent(100_000, RentParameters::new(0.7, 4.0, 3.0).unwrap())
             .unwrap()
             .generate();
-        let frac_lo = lo.count_at_least(50) as f64 / lo.total_wires() as f64;
-        let frac_hi = hi.count_at_least(50) as f64 / hi.total_wires() as f64;
+        let frac_lo = lo.count_at_least(50).unwrap() as f64 / lo.total_wires() as f64;
+        let frac_hi = hi.count_at_least(50).unwrap() as f64 / hi.total_wires() as f64;
         assert!(frac_hi > frac_lo);
     }
 

@@ -42,6 +42,7 @@ fn usage() -> ExitCode {
          \x20      ia-lint check-prom FILE\n\
          \x20      ia-lint check-prof FILE\n\
          \x20      ia-lint check-claims FILE\n\
+         \x20      ia-lint check-corpus FILE\n\
          \x20      ia-lint bench-diff --baseline DIR --current DIR\n\
          \x20                [--tol-wall F] [--tol-counter F] [--json FILE]\n\
          \x20      ia-lint perf-history [--bench-dir DIR] [--history FILE]\n\
@@ -67,7 +68,10 @@ fn usage() -> ExitCode {
          `GET /debug/prof`, or the folded-stack text any other\n\
          `--prof-out` extension emits (auto-detected);\n\
          check-claims validates a fleet `claims.jsonl` work-stealing\n\
-         journal (replaying the full claim/release/reclaim protocol).\n\
+         journal (replaying the full claim/release/reclaim protocol);\n\
+         check-corpus validates an ia-corpus-v1 rank-comparison report\n\
+         (the `iarank corpus report` text or its `--csv true` form,\n\
+         auto-detected).\n\
          bench-diff compares the `BENCH_*.json` artifacts in --current\n\
          against --baseline and exits 1 on any wall-time regression\n\
          beyond --tol-wall (relative, default 3.0) or counter drift\n\
@@ -291,9 +295,12 @@ fn main() -> ExitCode {
         Some("check-claims") if args.len() == 2 => {
             return run_check("check-claims", &args[1], xtask::schema::check_claims);
         }
+        Some("check-corpus") if args.len() == 2 => {
+            return run_check("check-corpus", &args[1], xtask::schema::check_corpus);
+        }
         Some(
             "check-metrics" | "check-bench" | "check-trace" | "check-spec" | "check-sarif"
-            | "check-logs" | "check-prom" | "check-prof" | "check-claims",
+            | "check-logs" | "check-prom" | "check-prof" | "check-claims" | "check-corpus",
         ) => return usage(),
         Some("bench-diff") => return run_bench_diff(&args[1..]),
         Some("perf-history") => return run_perf_history(&args[1..]),

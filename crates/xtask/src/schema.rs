@@ -885,6 +885,163 @@ pub fn check_claims(text: &str) -> Result<String, String> {
     Ok(summary)
 }
 
+/// The exact header of the stable `ia-corpus-v1` CSV schema.
+const CORPUS_CSV_HEADER: &str = "design,backend,gamma,key,rank,normalized,\
+                                 total_wires,repeater_count,fully_assignable,\
+                                 delta_vs_davis,cliff";
+
+/// The backend labels a corpus report may rank.
+const CORPUS_BACKENDS: [&str; 4] = ["measured", "davis", "hefeida-site", "hefeida-occupancy"];
+
+/// Validates an `ia-corpus-v1` report — either the CSV emitted by
+/// `iarank corpus report --csv true` (exact stable header, 32-hex
+/// keys, known backends, `γ ≥ 1`, `normalized ∈ [0, 1]`,
+/// `rank ≤ total_wires`, signed davis deltas with `+0` on every davis
+/// row) or the human-readable text report (format marker, rank
+/// comparison section, davis baseline note). The form is
+/// auto-detected from the first line.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn check_corpus(text: &str) -> Result<String, String> {
+    let Some(first) = text.lines().next() else {
+        return Err("corpus report: empty input".to_owned());
+    };
+    if first == CORPUS_CSV_HEADER {
+        return check_corpus_csv(text);
+    }
+    if first.starts_with("== ia-corpus-v1") {
+        return check_corpus_text(text);
+    }
+    Err(format!(
+        "corpus report: first line is neither the ia-corpus-v1 CSV header \
+         nor the `== ia-corpus-v1 — <name> ==` report title, got `{first}`"
+    ))
+}
+
+fn check_corpus_csv(text: &str) -> Result<String, String> {
+    let mut rows = 0usize;
+    let mut davis_rows = 0usize;
+    let mut cliffs = 0usize;
+    for (index, line) in text.lines().enumerate().skip(1) {
+        let context = format!("csv line {}", index + 1);
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(format!(
+                "{context}: expected 11 fields, got {}",
+                fields.len()
+            ));
+        }
+        if fields[0].is_empty() {
+            return Err(format!("{context}: empty design name"));
+        }
+        if !CORPUS_BACKENDS.contains(&fields[1]) {
+            return Err(format!("{context}: unknown backend `{}`", fields[1]));
+        }
+        let gamma: f64 = fields[2]
+            .parse()
+            .map_err(|e| format!("{context}: bad gamma `{}`: {e}", fields[2]))?;
+        if !gamma.is_finite() || gamma < 1.0 {
+            return Err(format!("{context}: gamma {gamma} is not a finite γ ≥ 1"));
+        }
+        if fields[3].len() != 32 || !fields[3].bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: key `{}` is not 32 hex digits",
+                fields[3]
+            ));
+        }
+        let rank: u64 = fields[4]
+            .parse()
+            .map_err(|e| format!("{context}: bad rank `{}`: {e}", fields[4]))?;
+        let normalized: f64 = fields[5]
+            .parse()
+            .map_err(|e| format!("{context}: bad normalized `{}`: {e}", fields[5]))?;
+        if !(0.0..=1.0).contains(&normalized) {
+            return Err(format!(
+                "{context}: normalized {normalized} is outside [0, 1]"
+            ));
+        }
+        let total_wires: u64 = fields[6]
+            .parse()
+            .map_err(|e| format!("{context}: bad total_wires `{}`: {e}", fields[6]))?;
+        if rank > total_wires {
+            return Err(format!(
+                "{context}: rank {rank} exceeds total_wires {total_wires}"
+            ));
+        }
+        let _repeaters: u64 = fields[7]
+            .parse()
+            .map_err(|e| format!("{context}: bad repeater_count `{}`: {e}", fields[7]))?;
+        if !matches!(fields[8], "true" | "false") {
+            return Err(format!(
+                "{context}: fully_assignable must be true/false, got `{}`",
+                fields[8]
+            ));
+        }
+        match fields[9] {
+            "-" => {}
+            delta
+                if delta.starts_with(['+', '-'])
+                    && delta[1..].bytes().all(|b| b.is_ascii_digit())
+                    && delta.len() > 1 => {}
+            other => {
+                return Err(format!(
+                    "{context}: delta_vs_davis must be `-` or a signed integer, got `{other}`"
+                ))
+            }
+        }
+        if fields[1] == "davis" {
+            davis_rows += 1;
+            if fields[9] != "+0" {
+                return Err(format!(
+                    "{context}: a davis row is its own baseline, so delta must be +0, got `{}`",
+                    fields[9]
+                ));
+            }
+        }
+        match fields[10] {
+            "true" => cliffs += 1,
+            "false" => {}
+            other => {
+                return Err(format!(
+                    "{context}: cliff must be true/false, got `{other}`"
+                ))
+            }
+        }
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("corpus csv: no data rows (did the run complete any points?)".to_owned());
+    }
+    Ok(format!(
+        "corpus csv OK: {rows} row(s), {davis_rows} davis baseline row(s), {cliffs} cliff(s)"
+    ))
+}
+
+fn check_corpus_text(text: &str) -> Result<String, String> {
+    if !text.contains("rank comparison (baseline: davis)") {
+        return Err(
+            "corpus report: missing the `rank comparison (baseline: davis)` \
+                    section"
+                .to_owned(),
+        );
+    }
+    for needed in ["run: ", "points: ", "delta_vs_davis", "cliff"] {
+        if !text.contains(needed) {
+            return Err(format!("corpus report: missing `{needed}`"));
+        }
+    }
+    let rows = text
+        .lines()
+        .filter(|l| CORPUS_BACKENDS.iter().any(|b| l.contains(b)))
+        .count();
+    Ok(format!(
+        "corpus report OK: {} line(s), {rows} backend row(s)",
+        text.lines().count()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -903,6 +1060,70 @@ mod tests {
         let summary = check_metrics(GOOD_METRICS).unwrap();
         assert!(summary.contains("2 counters"));
         assert!(summary.contains("1 spans"));
+    }
+
+    const GOOD_CORPUS_CSV: &str = "design,backend,gamma,key,rank,normalized,\
+         total_wires,repeater_count,fully_assignable,delta_vs_davis,cliff\n\
+         synth,davis,1,0123456789abcdef0123456789abcdef,100,0.500000,200,3,true,+0,false\n\
+         synth,hefeida-site,1,fedcba9876543210fedcba9876543210,90,0.450000,200,3,true,-10,false\n\
+         synth,hefeida-site,2,aaaa456789abcdef0123456789abcdef,50,0.250000,200,3,false,-50,true\n";
+
+    #[test]
+    fn good_corpus_csv_passes() {
+        let summary = check_corpus(GOOD_CORPUS_CSV).unwrap();
+        assert!(summary.contains("3 row(s)"), "{summary}");
+        assert!(summary.contains("1 davis baseline row(s)"), "{summary}");
+        assert!(summary.contains("1 cliff(s)"), "{summary}");
+    }
+
+    #[test]
+    fn corpus_csv_rejects_schema_violations() {
+        for (mangle, needle) in [
+            (
+                GOOD_CORPUS_CSV.replace("davis,1,0123", "davis,0.5,0123"),
+                "γ ≥ 1",
+            ),
+            (GOOD_CORPUS_CSV.replace(",+0,", ",+1,"), "baseline"),
+            (
+                GOOD_CORPUS_CSV.replace("hefeida-site", "zipf"),
+                "unknown backend",
+            ),
+            (
+                GOOD_CORPUS_CSV.replace("0123456789abcdef0123456789abcdef", "zz"),
+                "32 hex",
+            ),
+            (GOOD_CORPUS_CSV.replace("0.500000", "1.500000"), "[0, 1]"),
+            (
+                GOOD_CORPUS_CSV.replace("100,0.5", "900,0.5"),
+                "exceeds total_wires",
+            ),
+            (
+                GOOD_CORPUS_CSV.replace(",true,+0", ",maybe,+0"),
+                "true/false",
+            ),
+            (
+                GOOD_CORPUS_CSV.lines().next().unwrap().to_owned() + "\n",
+                "no data rows",
+            ),
+            ("design,backend\nbad\n".to_owned(), "neither"),
+            (String::new(), "empty input"),
+        ] {
+            let err = check_corpus(&mangle).unwrap_err();
+            assert!(err.contains(needle), "`{err}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn corpus_text_report_is_recognised() {
+        let report = "== ia-corpus-v1 — smoke ==\nrun: 0123456789abcdef\n\
+                      points: 4 completed of 4 expanded\n\
+                      -- rank comparison (baseline: davis) --\n\
+                      design backend gamma rank normalized delta_vs_davis cliff\n\
+                      synth davis 1 100 0.5 +0 -\n";
+        let summary = check_corpus(report).unwrap();
+        assert!(summary.contains("backend row(s)"), "{summary}");
+        let broken = report.replace("rank comparison", "rank chart");
+        assert!(check_corpus(&broken).unwrap_err().contains("section"));
     }
 
     #[test]
